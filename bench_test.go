@@ -1,0 +1,234 @@
+package sgtree
+
+// This file holds one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 5), one per ablation study from DESIGN.md,
+// and micro-benchmarks of the public API. The experiment benchmarks run
+// the same harness as cmd/sgbench at a reduced scale so `go test -bench=.`
+// terminates in minutes; set SGT_SCALE=full (or a number) to change it,
+// and run with -v to see the regenerated result tables.
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"sgtree/internal/harness"
+)
+
+// benchScale is deliberately smaller than the harness default: fourteen
+// experiments run back to back under -bench.
+func benchScale() harness.Scale {
+	if os.Getenv("SGT_SCALE") != "" {
+		return harness.DefaultScale()
+	}
+	return harness.Scale{D: 5000, Queries: 20}
+}
+
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		tables, err := harness.Experiments[id](scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Logf("\n%s", t)
+			}
+		}
+	}
+}
+
+func runAblationBench(b *testing.B, id string) {
+	b.Helper()
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Ablations[id](scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", t)
+		}
+	}
+}
+
+// --- paper artifacts ---
+
+func BenchmarkTable1SplitPolicies(b *testing.B) { runExperimentBench(b, "table1") }
+func BenchmarkFig5VaryT(b *testing.B)           { runExperimentBench(b, "fig5") }
+func BenchmarkFig6VaryTIO(b *testing.B)         { runExperimentBench(b, "fig6") }
+func BenchmarkFig7VaryI(b *testing.B)           { runExperimentBench(b, "fig7") }
+func BenchmarkFig8VaryIIO(b *testing.B)         { runExperimentBench(b, "fig8") }
+func BenchmarkFig9FixedRatio(b *testing.B)      { runExperimentBench(b, "fig9") }
+func BenchmarkFig10FixedRatioIO(b *testing.B)   { runExperimentBench(b, "fig10") }
+func BenchmarkFig11VaryD(b *testing.B)          { runExperimentBench(b, "fig11") }
+func BenchmarkFig12DistanceRanges(b *testing.B) { runExperimentBench(b, "fig12") }
+func BenchmarkFig13KNNSynthetic(b *testing.B)   { runExperimentBench(b, "fig13") }
+func BenchmarkFig14KNNCensus(b *testing.B)      { runExperimentBench(b, "fig14") }
+func BenchmarkFig15RangeSynthetic(b *testing.B) { runExperimentBench(b, "fig15") }
+func BenchmarkFig16RangeCensus(b *testing.B)    { runExperimentBench(b, "fig16") }
+func BenchmarkFig17DynamicUpdates(b *testing.B) { runExperimentBench(b, "fig17") }
+
+// --- ablations (design decisions called out in DESIGN.md) ---
+
+func BenchmarkAblationChooseSubtree(b *testing.B)         { runAblationBench(b, "choose") }
+func BenchmarkAblationCompression(b *testing.B)           { runAblationBench(b, "compress") }
+func BenchmarkAblationBestFirstVsDepthFirst(b *testing.B) { runAblationBench(b, "search") }
+func BenchmarkAblationBulkLoad(b *testing.B)              { runAblationBench(b, "bulkload") }
+func BenchmarkAblationBufferSize(b *testing.B)            { runAblationBench(b, "buffer") }
+func BenchmarkAblationCardStats(b *testing.B)             { runAblationBench(b, "cardstats") }
+func BenchmarkAblationLargeUniverse(b *testing.B)         { runAblationBench(b, "universe") }
+func BenchmarkAblationForcedReinsert(b *testing.B)        { runAblationBench(b, "reinsert") }
+
+// --- public-API micro-benchmarks ---
+
+func randomSets(n, universe int, seed int64) [][]int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]int, n)
+	for i := range out {
+		base := (i % 64) * (universe / 64)
+		set := map[int]struct{}{}
+		for len(set) < 4+r.Intn(8) {
+			if r.Float64() < 0.7 {
+				set[base+r.Intn(universe/64)] = struct{}{}
+			} else {
+				set[r.Intn(universe)] = struct{}{}
+			}
+		}
+		items := make([]int, 0, len(set))
+		for it := range set {
+			items = append(items, it)
+		}
+		sort.Ints(items)
+		out[i] = items
+	}
+	return out
+}
+
+func benchIndex(b *testing.B, n int) (*Index, [][]int) {
+	b.Helper()
+	sets := randomSets(n, 1024, 1)
+	ix, err := New(Config{Universe: 1024, Compress: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := make([]Item, len(sets))
+	for i, s := range sets {
+		items[i] = Item{ID: uint32(i), Items: s}
+	}
+	if err := ix.BulkLoad(items); err != nil {
+		b.Fatal(err)
+	}
+	return ix, sets
+}
+
+func BenchmarkAPIInsert(b *testing.B) {
+	sets := randomSets(b.N, 1024, 2)
+	ix, err := New(Config{Universe: 1024, Compress: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.Insert(uint32(i), sets[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPIBulkLoad10K(b *testing.B) {
+	sets := randomSets(10_000, 1024, 3)
+	items := make([]Item, len(sets))
+	for i, s := range sets {
+		items[i] = Item{ID: uint32(i), Items: s}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := New(Config{Universe: 1024, Compress: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ix.BulkLoad(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPIKNN10(b *testing.B) {
+	ix, sets := benchIndex(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.KNN(sets[i%len(sets)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPIRangeSearch(b *testing.B) {
+	ix, sets := benchIndex(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.RangeSearch(sets[i%len(sets)], 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPIContaining(b *testing.B) {
+	ix, sets := benchIndex(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sets[i%len(sets)]
+		if _, _, err := ix.Containing(s[:2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPIKNNParallel(b *testing.B) {
+	ix, sets := benchIndex(b, 20_000)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := ix.KNN(sets[i%len(sets)], 10); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkAPINNJoin(b *testing.B) {
+	a, _ := benchIndex(b, 2000)
+	other, _ := benchIndex(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.NNJoin(other, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPIDelete(b *testing.B) {
+	sets := randomSets(b.N, 1024, 4)
+	ix, err := New(Config{Universe: 1024, Compress: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, s := range sets {
+		if err := ix.Insert(uint32(i), s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found, err := ix.Delete(uint32(i), sets[i])
+		if err != nil || !found {
+			b.Fatalf("delete %d: %v %v", i, found, err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command datagen generates the paper's workloads to files in the binary
+// dataset format understood by sgtool.
+//
+// Usage:
+//
+//	datagen -kind quest -t 10 -i 6 -d 200000 -seed 1 -o t10i6d200k.sgds
+//	datagen -kind census -d 200000 -seed 1 -o census.sgds
+//	datagen -kind quest -t 30 -i 18 -d 1000 -queries 100 -o data.sgds -qo queries.sgds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind    = fs.String("kind", "quest", "workload kind: quest | census")
+		t       = fs.Int("t", 10, "quest: mean transaction size T")
+		i       = fs.Int("i", 6, "quest: mean large itemset size I")
+		d       = fs.Int("d", 100000, "cardinality D")
+		items   = fs.Int("items", 1000, "quest: item universe size")
+		seed    = fs.Int64("seed", 1, "generator seed")
+		out     = fs.String("o", "", "output dataset file (required)")
+		queries = fs.Int("queries", 0, "also generate this many queries")
+		qout    = fs.String("qo", "", "query output file (required with -queries)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "datagen:", err)
+		return 1
+	}
+	if *out == "" {
+		return fail(fmt.Errorf("-o is required"))
+	}
+	if (*queries > 0) != (*qout != "") {
+		return fail(fmt.Errorf("-queries and -qo must be used together"))
+	}
+
+	var (
+		data *dataset.Dataset
+		qs   []dataset.Transaction
+	)
+	switch *kind {
+	case "quest":
+		g, err := gen.NewQuest(gen.QuestConfig{
+			NumTransactions: *d, AvgSize: *t, AvgItemsetSize: *i, NumItems: *items, Seed: *seed,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		data = g.Generate()
+		if *queries > 0 {
+			qs = g.Queries(*queries, *seed+7777)
+		}
+	case "census":
+		c, err := gen.NewCensus(gen.CensusConfig{NumTuples: *d, Seed: *seed})
+		if err != nil {
+			return fail(err)
+		}
+		data = c.Generate()
+		if *queries > 0 {
+			qs = c.Queries(*queries, *seed+7777)
+		}
+	default:
+		return fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	if err := data.SaveFile(*out); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "wrote %d transactions over %d items to %s (avg size %.1f)\n",
+		data.Len(), data.Universe, *out, data.AvgSize())
+	if *queries > 0 {
+		qd := dataset.New(data.Universe)
+		qd.Tx = qs
+		if err := qd.SaveFile(*qout); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "wrote %d queries to %s\n", len(qs), *qout)
+	}
+	return 0
+}

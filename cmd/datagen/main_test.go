@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sgtree/internal/dataset"
+)
+
+func runGen(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestDatagenQuestWithQueries(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "d.sgds")
+	queryPath := filepath.Join(dir, "q.sgds")
+	out, errs, code := runGen(t,
+		"-kind", "quest", "-t", "6", "-i", "3", "-d", "500", "-seed", "3",
+		"-o", dataPath, "-queries", "25", "-qo", queryPath)
+	if code != 0 {
+		t.Fatalf("failed: %s", errs)
+	}
+	if !strings.Contains(out, "wrote 500 transactions") || !strings.Contains(out, "wrote 25 queries") {
+		t.Errorf("output: %s", out)
+	}
+	d, err := dataset.LoadFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 500 || d.Universe != 1000 {
+		t.Errorf("dataset: %d over %d", d.Len(), d.Universe)
+	}
+	q, err := dataset.LoadFile(queryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 25 {
+		t.Errorf("queries: %d", q.Len())
+	}
+}
+
+func TestDatagenCensus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.sgds")
+	_, errs, code := runGen(t, "-kind", "census", "-d", "300", "-o", path)
+	if code != 0 {
+		t.Fatalf("failed: %s", errs)
+	}
+	d, err := dataset.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 300 || d.Universe != 525 {
+		t.Errorf("census dataset: %d over %d", d.Len(), d.Universe)
+	}
+	for _, tx := range d.Tx {
+		if len(tx) != 36 {
+			t.Fatal("census tuple with wrong dimensionality")
+		}
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.sgds")
+	cases := [][]string{
+		{},                            // missing -o
+		{"-o", path, "-queries", "5"}, // -queries without -qo
+		{"-kind", "bogus", "-o", path},
+		{"-kind", "quest", "-t", "0", "-o", path}, // invalid quest config
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if _, _, code := runGen(t, args...); code == 0 {
+			t.Errorf("args %v: expected failure", args)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command sgbench reproduces the paper's evaluation: every table and figure
+// of Section 5 plus the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	sgbench                     # run everything at the default scale
+//	sgbench -exp fig5           # one experiment (table1, fig5..fig17)
+//	sgbench -ablation compress  # one ablation (choose, compress, search, bulkload, buffer, cardstats)
+//	sgbench -full               # paper scale (D=200K, 100 queries) — slow
+//	sgbench -scale 50000        # custom dataset cardinality
+//	sgbench -csv                # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"sgtree/internal/harness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sgbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp      = fs.String("exp", "", "run one experiment: "+strings.Join(harness.ExperimentOrder, ", "))
+		ablation = fs.String("ablation", "", "run one ablation: "+strings.Join(harness.AblationOrder, ", "))
+		full     = fs.Bool("full", false, "paper scale (D=200K, 100 queries)")
+		scaleD   = fs.Int("scale", 0, "dataset cardinality D (overrides SGT_SCALE)")
+		queries  = fs.Int("queries", 0, "queries per measured instance")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart    = fs.Bool("chart", false, "also render pruning bar charts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	scale := harness.DefaultScale()
+	if *full {
+		scale = harness.PaperScale
+	}
+	if *scaleD > 0 {
+		scale.D = *scaleD
+	}
+	if *queries > 0 {
+		scale.Queries = *queries
+	}
+
+	emit := func(tables []*harness.ResultTable) {
+		for _, t := range tables {
+			if *csv {
+				fmt.Fprintf(stdout, "# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
+			} else {
+				fmt.Fprintf(stdout, "%s\n", t)
+			}
+			if *chart {
+				if c := t.ComparisonChart(); strings.Count(c, "\n") > 1 {
+					fmt.Fprintf(stdout, "%s\n", c)
+				}
+			}
+		}
+	}
+
+	switch {
+	case *exp != "" && *ablation != "":
+		fmt.Fprintln(stderr, "sgbench: pick either -exp or -ablation, not both")
+		return 2
+	case *exp != "":
+		runner, ok := harness.Experiments[*exp]
+		if !ok {
+			fmt.Fprintf(stderr, "sgbench: unknown experiment %q (have: %s)\n", *exp, strings.Join(harness.ExperimentOrder, ", "))
+			return 2
+		}
+		tables, err := runner(scale)
+		if err != nil {
+			fmt.Fprintln(stderr, "sgbench:", err)
+			return 1
+		}
+		emit(tables)
+	case *ablation != "":
+		runner, ok := harness.Ablations[*ablation]
+		if !ok {
+			fmt.Fprintf(stderr, "sgbench: unknown ablation %q (have: %s)\n", *ablation, strings.Join(harness.AblationOrder, ", "))
+			return 2
+		}
+		t, err := runner(scale)
+		if err != nil {
+			fmt.Fprintln(stderr, "sgbench:", err)
+			return 1
+		}
+		emit([]*harness.ResultTable{t})
+	default:
+		fmt.Fprintf(stdout, "sgbench: full evaluation at D=%d, %d queries per instance\n\n", scale.D, scale.Queries)
+		seen := map[string]bool{}
+		for _, id := range harness.ExperimentOrder {
+			if seen[id] {
+				continue
+			}
+			start := time.Now()
+			tables, err := harness.Experiments[id](scale)
+			if err != nil {
+				fmt.Fprintf(stderr, "sgbench: %s: %v\n", id, err)
+				return 1
+			}
+			for _, t := range tables {
+				seen[strings.ToLower(strings.ReplaceAll(t.ID, "Figure ", "fig"))] = true
+			}
+			seen[id] = true
+			emit(tables)
+			fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		}
+		for _, id := range harness.AblationOrder {
+			t, err := harness.Ablations[id](scale)
+			if err != nil {
+				fmt.Fprintf(stderr, "sgbench: ablation %s: %v\n", id, err)
+				return 1
+			}
+			emit([]*harness.ResultTable{t})
+		}
+	}
+	return 0
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "fig15", "-scale", "600", "-queries", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Figure 15") {
+		t.Errorf("missing figure header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SG-tree(%data)") {
+		t.Errorf("missing columns:\n%s", out.String())
+	}
+}
+
+func TestRunAblationCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-ablation", "search", "-scale", "600", "-queries", "3", "-csv"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "# Ablation A3") {
+		t.Errorf("missing CSV header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "k,DF node accesses") {
+		t.Errorf("missing CSV columns:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "nope"},
+		{"-ablation", "nope"},
+		{"-exp", "fig5", "-ablation", "search"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+		if errb.Len() == 0 {
+			t.Errorf("args %v: no diagnostics on stderr", args)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+// Command sgtool builds, inspects and queries persistent SG-trees over
+// datasets produced by datagen.
+//
+// Usage:
+//
+//	sgtool build   -data t10i6.sgds -index tree.sgt [-compress] [-cardstats] [-split min|av|q] [-bulk]
+//	sgtool stats   -data t10i6.sgds -index tree.sgt
+//	sgtool check   -data t10i6.sgds -index tree.sgt
+//	sgtool knn     -data t10i6.sgds -index tree.sgt -k 5 -query "3,17,42"
+//	sgtool browse  -data t10i6.sgds -index tree.sgt -maxdist 6 -query "3,17,42"
+//	sgtool range   -data t10i6.sgds -index tree.sgt -eps 4 -query "3,17,42"
+//	sgtool contain -data t10i6.sgds -index tree.sgt -query "3,17"
+//	sgtool cluster -data t10i6.sgds -index tree.sgt -k 8
+//	sgtool bench   -data t10i6.sgds -index tree.sgt -queries q.sgds -k 1
+//	sgtool export  -data t10i6.sgds -index tree.sgt -o dump.sgds
+//
+// The -data file supplies the universe size (and the transactions when
+// building); the index file persists across invocations. Options used at
+// build time (-compress, -cardstats, -split) must be repeated when
+// querying, since they determine the on-disk node layout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sgtree/internal/core"
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dataPath  = fs.String("data", "", "dataset file (required)")
+		indexPath = fs.String("index", "", "index file (required)")
+		compress  = fs.Bool("compress", true, "signature compression (must match the build)")
+		cardstats = fs.Bool("cardstats", false, "cardinality statistics (must match the build)")
+		split     = fs.String("split", "min", "build: split policy (q | av | min)")
+		bulk      = fs.Bool("bulk", false, "build: gray-code bulk load instead of inserts")
+		k         = fs.Int("k", 1, "knn/cluster: number of neighbors / clusters")
+		eps       = fs.Float64("eps", 2, "range: distance threshold")
+		maxDist   = fs.Float64("maxdist", 5, "browse: stop when the distance exceeds this")
+		query     = fs.String("query", "", "query items, comma separated")
+		queryFile = fs.String("queries", "", "bench: dataset file of query transactions")
+		outFile   = fs.String("o", "", "export: output dataset file")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	if *dataPath == "" || *indexPath == "" {
+		return fail(fmt.Errorf("-data and -index are required"))
+	}
+	d, err := dataset.LoadFile(*dataPath)
+	if err != nil {
+		return fail(err)
+	}
+	opts := core.Options{
+		SignatureLength: d.Universe,
+		Compress:        *compress,
+		CardStats:       *cardstats,
+	}
+	switch *split {
+	case "q":
+		opts.Split = core.QSplit
+	case "av":
+		opts.Split = core.AvSplit
+	case "min":
+		opts.Split = core.MinSplit
+	default:
+		return fail(fmt.Errorf("unknown split policy %q", *split))
+	}
+
+	switch cmd {
+	case "build":
+		return buildIndex(stdout, stderr, d, opts, *indexPath, *bulk)
+	case "stats", "check", "knn", "browse", "range", "contain", "cluster", "bench", "export":
+		pager, err := storage.OpenFilePager(*indexPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer pager.Close()
+		tr, err := core.Open(pager, 1, opts)
+		if err != nil {
+			return fail(err)
+		}
+		switch cmd {
+		case "stats":
+			return showStats(stdout, stderr, tr)
+		case "check":
+			if err := tr.CheckInvariants(); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintln(stdout, "ok: all structural invariants hold")
+			return 0
+		case "knn":
+			return runKNN(stdout, stderr, tr, d, *query, *k)
+		case "browse":
+			return runBrowse(stdout, stderr, tr, d, *query, *maxDist)
+		case "range":
+			return runRange(stdout, stderr, tr, d, *query, *eps)
+		case "contain":
+			return runContain(stdout, stderr, tr, d, *query)
+		case "cluster":
+			return runCluster(stdout, stderr, tr, d, *k)
+		case "bench":
+			return runBench(stdout, stderr, tr, d, *queryFile, *k)
+		case "export":
+			return runExport(stdout, stderr, tr, d, *outFile)
+		}
+	}
+	usage(stderr)
+	return 2
+}
+
+func buildIndex(stdout, stderr io.Writer, d *dataset.Dataset, opts core.Options, path string, bulk bool) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	pager, err := storage.CreateFilePager(path, storage.DefaultPageSize)
+	if err != nil {
+		return fail(err)
+	}
+	defer pager.Close()
+	tr, err := core.NewWithPager(pager, opts)
+	if err != nil {
+		return fail(err)
+	}
+	m := signature.NewDirectMapper(d.Universe)
+	start := time.Now()
+	if bulk {
+		items := make([]core.BulkItem, d.Len())
+		for i, tx := range d.Tx {
+			items[i] = core.BulkItem{Sig: signature.FromItems(m, tx), TID: dataset.TID(i)}
+		}
+		if err := tr.BulkLoad(items); err != nil {
+			return fail(err)
+		}
+	} else {
+		for i, tx := range d.Tx {
+			if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := tr.Close(); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "indexed %d transactions in %.2fs (height %d, %d pages) -> %s\n",
+		d.Len(), time.Since(start).Seconds(), tr.Height(), pager.NumPages(), path)
+	return 0
+}
+
+func showStats(stdout, stderr io.Writer, tr *core.Tree) int {
+	st, err := tr.Stats()
+	if err != nil {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "entries:      %d\n", st.Count)
+	fmt.Fprintf(stdout, "height:       %d\n", st.Height)
+	fmt.Fprintf(stdout, "nodes:        %d\n", st.Nodes)
+	fmt.Fprintf(stdout, "utilization:  %.2f\n", st.Utilization())
+	fmt.Fprintf(stdout, "avg fanout:   %.1f\n", st.AvgFanout)
+	for l := 0; l < st.Height; l++ {
+		fmt.Fprintf(stdout, "level %d: %6d nodes, %8d entries, avg area %.1f\n",
+			l, st.NodesPerLevel[l], st.EntriesPerLevel[l], st.AvgAreaPerLevel[l])
+	}
+	return 0
+}
+
+func parseQuery(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-query is required")
+	}
+	parts := strings.Split(s, ",")
+	items := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad query item %q", p)
+		}
+		items = append(items, v)
+	}
+	return items, nil
+}
+
+func querySig(d *dataset.Dataset, query string) (signature.Signature, dataset.Transaction, error) {
+	items, err := parseQuery(query)
+	if err != nil {
+		return signature.Signature{}, nil, err
+	}
+	q := dataset.NewTransaction(items...)
+	if err := q.Validate(d.Universe); err != nil {
+		return signature.Signature{}, nil, err
+	}
+	return signature.FromItems(signature.NewDirectMapper(d.Universe), q), q, nil
+}
+
+func runKNN(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string, k int) int {
+	qsig, _, err := querySig(d, query)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	start := time.Now()
+	res, stats, err := tr.KNN(qsig, k)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%d neighbors in %v (%d nodes, %d transactions compared)\n",
+		len(res), time.Since(start), stats.NodesAccessed, stats.DataCompared)
+	for _, n := range res {
+		fmt.Fprintf(stdout, "  tid %-8d dist %-6.1f items %v\n", n.TID, n.Dist, d.Get(n.TID))
+	}
+	return 0
+}
+
+func runBrowse(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string, maxDist float64) int {
+	qsig, _, err := querySig(d, query)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	it, err := tr.NewNNIterator(qsig)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	n := 0
+	for {
+		nb, ok, err := it.Next()
+		if err != nil {
+			fmt.Fprintln(stderr, "sgtool:", err)
+			return 1
+		}
+		if !ok || nb.Dist > maxDist {
+			break
+		}
+		n++
+		if n <= 20 {
+			fmt.Fprintf(stdout, "  tid %-8d dist %-6.1f items %v\n", nb.TID, nb.Dist, d.Get(nb.TID))
+		}
+	}
+	if n > 20 {
+		fmt.Fprintf(stdout, "  ... and %d more\n", n-20)
+	}
+	st := it.Stats()
+	fmt.Fprintf(stdout, "%d results within %.1f (lazily, %d transactions compared)\n",
+		n, maxDist, st.DataCompared)
+	return 0
+}
+
+func runRange(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string, eps float64) int {
+	qsig, _, err := querySig(d, query)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	res, stats, err := tr.RangeSearch(qsig, eps)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%d transactions within %.1f (%d nodes accessed)\n", len(res), eps, stats.NodesAccessed)
+	for i, n := range res {
+		if i >= 20 {
+			fmt.Fprintf(stdout, "  ... and %d more\n", len(res)-20)
+			break
+		}
+		fmt.Fprintf(stdout, "  tid %-8d dist %-6.1f items %v\n", n.TID, n.Dist, d.Get(n.TID))
+	}
+	return 0
+}
+
+func runContain(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string) int {
+	qsig, q, err := querySig(d, query)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	res, stats, err := tr.Containment(qsig)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%d transactions contain %v (%d nodes accessed)\n", len(res), q, stats.NodesAccessed)
+	for i, tid := range res {
+		if i >= 20 {
+			fmt.Fprintf(stdout, "  ... and %d more\n", len(res)-20)
+			break
+		}
+		fmt.Fprintf(stdout, "  tid %-8d items %v\n", tid, d.Get(tid))
+	}
+	return 0
+}
+
+func runCluster(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, k int) int {
+	clusters, err := tr.ClusterLeaves(k)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%d clusters over %d transactions:\n", len(clusters), tr.Len())
+	for i, c := range clusters {
+		fmt.Fprintf(stdout, "  cluster %d: %6d members, cover area %d\n", i, len(c.Members), c.Cover.Area())
+	}
+	return 0
+}
+
+// runBench replays a saved query workload against the index and reports the
+// averaged costs the paper's evaluation uses: % of data compared, CPU time
+// and cold-buffer random I/Os per query.
+func runBench(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, queryFile string, k int) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	if queryFile == "" {
+		return fail(fmt.Errorf("-queries is required for bench"))
+	}
+	qd, err := dataset.LoadFile(queryFile)
+	if err != nil {
+		return fail(err)
+	}
+	if qd.Universe != d.Universe {
+		return fail(fmt.Errorf("query universe %d != data universe %d", qd.Universe, d.Universe))
+	}
+	if qd.Len() == 0 {
+		return fail(fmt.Errorf("no queries in %s", queryFile))
+	}
+	m := signature.NewDirectMapper(d.Universe)
+	var pctData, cpuMs, ios float64
+	for _, q := range qd.Tx {
+		if err := tr.Pool().Clear(); err != nil {
+			return fail(err)
+		}
+		tr.Pool().ResetStats()
+		start := time.Now()
+		_, stats, err := tr.KNN(signature.FromItems(m, q), k)
+		if err != nil {
+			return fail(err)
+		}
+		cpuMs += float64(time.Since(start).Microseconds()) / 1000
+		pctData += 100 * float64(stats.DataCompared) / float64(tr.Len())
+		ios += float64(tr.Pool().Stats().Misses)
+	}
+	div := float64(qd.Len())
+	fmt.Fprintf(stdout, "%d-NN over %d queries:\n", k, qd.Len())
+	fmt.Fprintf(stdout, "  %% of data compared: %.2f\n", pctData/div)
+	fmt.Fprintf(stdout, "  CPU time (ms):      %.2f\n", cpuMs/div)
+	fmt.Fprintf(stdout, "  random I/Os:        %.1f\n", ios/div)
+	return 0
+}
+
+// runExport walks the index and writes its contents as a dataset file:
+// each stored signature decodes back to its item set (exact under the
+// direct mapping the tool uses). Ordering is leaf order — a useful
+// similarity-clustered ordering in itself.
+func runExport(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, outFile string) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sgtool:", err)
+		return 1
+	}
+	if outFile == "" {
+		return fail(fmt.Errorf("-o is required for export"))
+	}
+	out := dataset.New(d.Universe)
+	err := tr.Walk(func(sig signature.Signature, tid dataset.TID) bool {
+		out.AddTransaction(dataset.Transaction(sig.Positions()))
+		return true
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if strings.HasSuffix(outFile, ".dat") || strings.HasSuffix(outFile, ".fimi") {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := out.WriteFIMI(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	} else if err := out.SaveFile(outFile); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "exported %d transactions to %s (leaf order)\n", out.Len(), outFile)
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: sgtool <build|stats|check|knn|browse|range|contain|cluster|bench|export> -data FILE -index FILE [flags]")
+}

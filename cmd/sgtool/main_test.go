@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+)
+
+// writeTestData generates a small dataset file and returns its path along
+// with a data transaction usable as a query.
+func writeTestData(t *testing.T) (string, dataset.Transaction) {
+	t.Helper()
+	d, err := gen.GenerateQuest(gen.QuestConfig{
+		NumTransactions: 400, AvgSize: 8, AvgItemsetSize: 4, NumItems: 200, NumItemsets: 50, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.sgds")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, d.Tx[3]
+}
+
+func queryArg(q dataset.Transaction) string {
+	parts := make([]string, len(q))
+	for i, it := range q {
+		parts[i] = itoa(it)
+	}
+	return strings.Join(parts, ",")
+}
+
+func itoa(v int) string {
+	return string(appendInt(nil, v))
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+func runTool(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestToolBuildAndQueryPipeline(t *testing.T) {
+	dataPath, q := writeTestData(t)
+	indexPath := filepath.Join(t.TempDir(), "tree.sgt")
+
+	out, errs, code := runTool(t, "build", "-data", dataPath, "-index", indexPath)
+	if code != 0 {
+		t.Fatalf("build failed: %s", errs)
+	}
+	if !strings.Contains(out, "indexed 400 transactions") {
+		t.Errorf("build output: %s", out)
+	}
+
+	out, errs, code = runTool(t, "stats", "-data", dataPath, "-index", indexPath)
+	if code != 0 || !strings.Contains(out, "entries:      400") {
+		t.Errorf("stats: code %d, out %s, err %s", code, out, errs)
+	}
+
+	out, _, code = runTool(t, "check", "-data", dataPath, "-index", indexPath)
+	if code != 0 || !strings.Contains(out, "ok") {
+		t.Errorf("check: %d %s", code, out)
+	}
+
+	out, errs, code = runTool(t, "knn", "-data", dataPath, "-index", indexPath, "-k", "3", "-query", queryArg(q))
+	if code != 0 {
+		t.Fatalf("knn failed: %s", errs)
+	}
+	if !strings.Contains(out, "3 neighbors") || !strings.Contains(out, "dist 0") {
+		t.Errorf("knn output: %s", out)
+	}
+
+	out, _, code = runTool(t, "browse", "-data", dataPath, "-index", indexPath, "-maxdist", "4", "-query", queryArg(q))
+	if code != 0 || !strings.Contains(out, "within 4.0") {
+		t.Errorf("browse: %d %s", code, out)
+	}
+
+	out, _, code = runTool(t, "range", "-data", dataPath, "-index", indexPath, "-eps", "3", "-query", queryArg(q))
+	if code != 0 || !strings.Contains(out, "within 3.0") {
+		t.Errorf("range: %d %s", code, out)
+	}
+
+	out, _, code = runTool(t, "contain", "-data", dataPath, "-index", indexPath, "-query", queryArg(q[:2]))
+	if code != 0 || !strings.Contains(out, "transactions contain") {
+		t.Errorf("contain: %d %s", code, out)
+	}
+
+	out, _, code = runTool(t, "cluster", "-data", dataPath, "-index", indexPath, "-k", "4")
+	if code != 0 || !strings.Contains(out, "4 clusters") {
+		t.Errorf("cluster: %d %s", code, out)
+	}
+}
+
+func TestToolBulkBuildAndCardStats(t *testing.T) {
+	dataPath, q := writeTestData(t)
+	indexPath := filepath.Join(t.TempDir(), "bulk.sgt")
+	_, errs, code := runTool(t, "build", "-data", dataPath, "-index", indexPath, "-bulk", "-cardstats")
+	if code != 0 {
+		t.Fatalf("bulk build failed: %s", errs)
+	}
+	// Querying with matching layout flags works.
+	_, errs, code = runTool(t, "knn", "-data", dataPath, "-index", indexPath, "-cardstats", "-query", queryArg(q))
+	if code != 0 {
+		t.Fatalf("knn on cardstats index: %s", errs)
+	}
+	// Mismatched layout flags are rejected, not silently misread.
+	_, _, code = runTool(t, "knn", "-data", dataPath, "-index", indexPath, "-query", queryArg(q))
+	if code == 0 {
+		t.Error("layout mismatch accepted")
+	}
+}
+
+func TestToolBenchCommand(t *testing.T) {
+	d, err := gen.GenerateQuest(gen.QuestConfig{
+		NumTransactions: 300, AvgSize: 8, AvgItemsetSize: 4, NumItems: 200, NumItemsets: 50, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "d.sgds")
+	if err := d.SaveFile(dataPath); err != nil {
+		t.Fatal(err)
+	}
+	qd := dataset.New(d.Universe)
+	qd.Tx = d.Tx[:10]
+	queryPath := filepath.Join(dir, "q.sgds")
+	if err := qd.SaveFile(queryPath); err != nil {
+		t.Fatal(err)
+	}
+	indexPath := filepath.Join(dir, "tree.sgt")
+	if _, errs, code := runTool(t, "build", "-data", dataPath, "-index", indexPath); code != 0 {
+		t.Fatal(errs)
+	}
+	out, errs, code := runTool(t, "bench", "-data", dataPath, "-index", indexPath, "-queries", queryPath, "-k", "2")
+	if code != 0 {
+		t.Fatalf("bench failed: %s", errs)
+	}
+	if !strings.Contains(out, "2-NN over 10 queries") || !strings.Contains(out, "% of data compared") {
+		t.Errorf("bench output:\n%s", out)
+	}
+	// Missing -queries and mismatched universes fail cleanly.
+	if _, _, code := runTool(t, "bench", "-data", dataPath, "-index", indexPath); code == 0 {
+		t.Error("bench without -queries accepted")
+	}
+	other := dataset.New(50)
+	other.Add(1, 2)
+	otherPath := filepath.Join(dir, "other.sgds")
+	if err := other.SaveFile(otherPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := runTool(t, "bench", "-data", dataPath, "-index", indexPath, "-queries", otherPath); code == 0 {
+		t.Error("universe mismatch accepted")
+	}
+}
+
+func TestToolExportCommand(t *testing.T) {
+	dataPath, _ := writeTestData(t)
+	dir := t.TempDir()
+	indexPath := filepath.Join(dir, "tree.sgt")
+	if _, errs, code := runTool(t, "build", "-data", dataPath, "-index", indexPath); code != 0 {
+		t.Fatal(errs)
+	}
+	outPath := filepath.Join(dir, "dump.sgds")
+	out, errs, code := runTool(t, "export", "-data", dataPath, "-index", indexPath, "-o", outPath)
+	if code != 0 {
+		t.Fatalf("export failed: %s", errs)
+	}
+	if !strings.Contains(out, "exported 400 transactions") {
+		t.Errorf("export output: %s", out)
+	}
+	exported, err := dataset.LoadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exported.Len() != 400 {
+		t.Errorf("exported %d transactions", exported.Len())
+	}
+	// FIMI output path too.
+	fimiPath := filepath.Join(dir, "dump.dat")
+	if _, _, code := runTool(t, "export", "-data", dataPath, "-index", indexPath, "-o", fimiPath); code != 0 {
+		t.Fatal("FIMI export failed")
+	}
+	if _, err := dataset.LoadFile(fimiPath); err != nil {
+		t.Fatal(err)
+	}
+	// Missing -o fails.
+	if _, _, code := runTool(t, "export", "-data", dataPath, "-index", indexPath); code == 0 {
+		t.Error("export without -o accepted")
+	}
+}
+
+func TestToolErrors(t *testing.T) {
+	dataPath, _ := writeTestData(t)
+	indexPath := filepath.Join(t.TempDir(), "x.sgt")
+	cases := [][]string{
+		{},
+		{"unknowncmd", "-data", dataPath, "-index", indexPath},
+		{"build", "-data", dataPath}, // missing -index
+		{"build", "-data", dataPath, "-index", indexPath, "-split", "bogus"},
+		{"knn", "-data", dataPath, "-index", "/nonexistent/tree.sgt", "-query", "1"},
+	}
+	for _, args := range cases {
+		if _, _, code := runTool(t, args...); code == 0 {
+			t.Errorf("args %v: expected failure", args)
+		}
+	}
+	// Bad queries after a valid build.
+	if _, _, code := runTool(t, "build", "-data", dataPath, "-index", indexPath); code != 0 {
+		t.Fatal("build failed")
+	}
+	for _, badQuery := range []string{"", "a,b", "999999"} {
+		if _, _, code := runTool(t, "knn", "-data", dataPath, "-index", indexPath, "-query", badQuery); code == 0 {
+			t.Errorf("query %q accepted", badQuery)
+		}
+	}
+}

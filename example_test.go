@@ -1,0 +1,128 @@
+package sgtree_test
+
+import (
+	"fmt"
+	"log"
+
+	"sgtree"
+)
+
+// The basic workflow: create an index over an item universe, insert sets,
+// and run a nearest-neighbor query.
+func Example() {
+	idx, err := sgtree.New(sgtree.Config{Universe: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx.Insert(1, []int{5, 12, 33})
+	idx.Insert(2, []int{5, 12, 33, 47})
+	idx.Insert(3, []int{70, 71, 72})
+
+	nn, _, err := idx.NearestNeighbor([]int{5, 12, 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("set %d at distance %.0f\n", nn.ID, nn.Distance)
+	// Output: set 1 at distance 2
+}
+
+// Containment queries return every set including all of the given items.
+func ExampleIndex_Containing() {
+	idx, _ := sgtree.New(sgtree.Config{Universe: 50})
+	idx.Insert(10, []int{1, 2, 3})
+	idx.Insert(11, []int{1, 2})
+	idx.Insert(12, []int{2, 3})
+
+	ids, _, _ := idx.Containing([]int{1, 2})
+	fmt.Println(len(ids), "sets contain {1,2}")
+	// Output: 2 sets contain {1,2}
+}
+
+// RangeSearch returns everything within a distance threshold, sorted by
+// distance.
+func ExampleIndex_RangeSearch() {
+	idx, _ := sgtree.New(sgtree.Config{Universe: 50})
+	idx.Insert(1, []int{1, 2, 3})
+	idx.Insert(2, []int{1, 2, 4})
+	idx.Insert(3, []int{40, 41, 42})
+
+	within, _, _ := idx.RangeSearch([]int{1, 2, 3}, 2)
+	for _, m := range within {
+		fmt.Printf("set %d at distance %.0f\n", m.ID, m.Distance)
+	}
+	// Output:
+	// set 1 at distance 0
+	// set 2 at distance 2
+}
+
+// Neighbors streams results in non-decreasing distance order; stop whenever
+// you have seen enough — no k needs to be chosen up front.
+func ExampleIndex_Neighbors() {
+	idx, _ := sgtree.New(sgtree.Config{Universe: 50})
+	idx.Insert(1, []int{1, 2, 3})
+	idx.Insert(2, []int{1, 2, 4})
+	idx.Insert(3, []int{1, 9, 10})
+
+	it, _ := idx.Neighbors([]int{1, 2, 3})
+	for {
+		m, ok, err := it.Next()
+		if err != nil || !ok || m.Distance > 2 {
+			break
+		}
+		fmt.Printf("set %d at distance %.0f\n", m.ID, m.Distance)
+	}
+	// Output:
+	// set 1 at distance 0
+	// set 2 at distance 2
+}
+
+// A categorical index stores one value per attribute and searches by the
+// number of disagreeing attributes.
+func ExampleNewCategorical() {
+	// Three attributes with domain sizes 3, 4 and 2.
+	ci, err := sgtree.NewCategorical([]int{3, 4, 2}, sgtree.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ci.Insert(1, []int{0, 0, 0})
+	ci.Insert(2, []int{0, 0, 1})
+	ci.Insert(3, []int{2, 3, 1})
+
+	res, _, _ := ci.KNN([]int{0, 0, 0}, 2)
+	for _, m := range res {
+		fmt.Printf("tuple %d differs on %.0f attribute(s)\n", m.ID, m.Distance/2)
+	}
+	// Output:
+	// tuple 1 differs on 0 attribute(s)
+	// tuple 2 differs on 1 attribute(s)
+}
+
+// Bulk loading builds the index from scratch much faster than repeated
+// inserts, using gray-code ordering for well-clustered leaves.
+func ExampleIndex_BulkLoad() {
+	idx, _ := sgtree.New(sgtree.Config{Universe: 1000, Compress: true})
+	items := make([]sgtree.Item, 1000)
+	for i := range items {
+		items[i] = sgtree.Item{ID: uint32(i), Items: []int{i % 1000, (i * 7) % 1000}}
+	}
+	if err := idx.BulkLoad(items); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(idx.Len(), "sets indexed")
+	// Output: 1000 sets indexed
+}
+
+// SimilarityJoin finds all pairs within a distance threshold across two
+// indexes (or within one index when joined with itself).
+func ExampleIndex_SimilarityJoin() {
+	idx, _ := sgtree.New(sgtree.Config{Universe: 50})
+	idx.Insert(1, []int{1, 2, 3})
+	idx.Insert(2, []int{1, 2, 4})
+	idx.Insert(3, []int{40, 41, 42})
+
+	pairs, _, _ := idx.SimilarityJoin(idx, 2)
+	for _, p := range pairs {
+		fmt.Printf("%d ~ %d at distance %.0f\n", p.Left, p.Right, p.Distance)
+	}
+	// Output: 1 ~ 2 at distance 2
+}

@@ -1,0 +1,114 @@
+// Analytics: the exploration features built on top of the tree — distance
+// browsing (neighbors streamed in increasing distance, no k chosen up
+// front) and structural clustering of the whole collection (the paper's
+// Section 6 direction: merge leaf covers as cluster guides). Run with:
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"sgtree"
+)
+
+// Sessions of page visits on a site with 6 distinct areas.
+const (
+	pagesPerArea = 25
+	areas        = 6
+	universe     = pagesPerArea * areas
+)
+
+func randomSession(r *rand.Rand, area int) []int {
+	base := area * pagesPerArea
+	set := map[int]struct{}{}
+	for len(set) < 5+r.Intn(5) {
+		if r.Float64() < 0.97 {
+			set[base+r.Intn(pagesPerArea)] = struct{}{}
+		} else {
+			set[r.Intn(universe)] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func main() {
+	idx, err := sgtree.New(sgtree.Config{Universe: universe, Compress: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(21))
+	var items []sgtree.Item
+	trueArea := map[uint32]int{}
+	for id := uint32(0); id < 12000; id++ {
+		area := r.Intn(areas)
+		items = append(items, sgtree.Item{ID: id, Items: randomSession(r, area)})
+		trueArea[id] = area
+	}
+	if err := idx.BulkLoad(items); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d sessions over %d pages\n\n", idx.Len(), universe)
+
+	// Distance browsing: stream neighbors until the distance passes a
+	// quality cut-off — a stopping rule no fixed k expresses, because how
+	// many sessions qualify is unknown in advance.
+	query := items[17].Items
+	const cutoff = 5.0
+	fmt.Printf("browsing from session 17 (area %d) until distance > %.0f:\n", trueArea[17], cutoff)
+	it, err := idx.Neighbors(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	yielded := 0
+	sameArea := 0
+	for {
+		m, ok, err := it.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok || m.Distance > cutoff {
+			break
+		}
+		yielded++
+		if trueArea[m.ID] == trueArea[17] {
+			sameArea++
+		}
+	}
+	st := it.Stats()
+	fmt.Printf("  %d sessions within distance %.0f (%d from the same area),\n", yielded, cutoff, sameArea)
+	fmt.Printf("  found lazily after comparing %d of %d sessions\n\n", st.DataCompared, idx.Len())
+
+	// Structural clustering: recover the site areas from the index alone.
+	groups, err := idx.Clusters(areas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clustering the collection into %d groups via leaf covers:\n", areas)
+	correct, total := 0, 0
+	for gi, g := range groups {
+		counts := map[int]int{}
+		for _, id := range g {
+			counts[trueArea[id]]++
+		}
+		best, bestN := -1, 0
+		for a, n := range counts {
+			if n > bestN {
+				best, bestN = a, n
+			}
+		}
+		correct += bestN
+		total += len(g)
+		fmt.Printf("  group %d: %5d sessions, %5.1f%% from area %d\n",
+			gi, len(g), 100*float64(bestN)/float64(len(g)), best)
+	}
+	fmt.Printf("overall purity: %.1f%%\n", 100*float64(correct)/float64(total))
+}

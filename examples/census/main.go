@@ -1,0 +1,122 @@
+// Census: similarity search over high-dimensional categorical tuples — the
+// paper's second data type. A CategoricalIndex encodes each tuple as a set
+// with one value per attribute and searches with the stricter
+// fixed-dimensionality bound of the paper's Section 6. Run with:
+//
+//	go run ./examples/census
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sgtree"
+)
+
+// A small demographic schema: attribute name and domain labels.
+var attrs = []struct {
+	name   string
+	values []string
+}{
+	{"age-band", []string{"<18", "18-25", "26-35", "36-50", "51-65", ">65"}},
+	{"education", []string{"none", "high-school", "college", "bachelor", "master", "phd"}},
+	{"marital", []string{"single", "married", "divorced", "widowed"}},
+	{"employment", []string{"student", "employed", "self-employed", "unemployed", "retired"}},
+	{"sector", []string{"agriculture", "industry", "services", "public", "tech", "health", "education", "none"}},
+	{"region", []string{"north", "south", "east", "west", "central"}},
+	{"housing", []string{"rent", "own", "family", "other"}},
+	{"vehicle", []string{"none", "one", "two-plus"}},
+}
+
+func domainSizes() []int {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		out[i] = len(a.values)
+	}
+	return out
+}
+
+// profilesmimic latent demographic clusters so tuples correlate.
+var clusterProfiles = [][]int{
+	{1, 3, 0, 0, 7, 0, 2, 0}, // young student
+	{2, 4, 1, 1, 4, 4, 0, 1}, // urban tech worker
+	{3, 1, 1, 1, 1, 1, 1, 2}, // industrial family
+	{5, 1, 1, 4, 7, 2, 1, 1}, // retiree
+	{3, 3, 1, 2, 2, 3, 1, 1}, // self-employed services
+}
+
+func randomTuple(r *rand.Rand) []int {
+	prof := clusterProfiles[r.Intn(len(clusterProfiles))]
+	tuple := make([]int, len(attrs))
+	for a := range tuple {
+		if r.Float64() < 0.75 {
+			tuple[a] = prof[a]
+		} else {
+			tuple[a] = r.Intn(len(attrs[a].values))
+		}
+	}
+	return tuple
+}
+
+func describe(tuple []int) string {
+	s := ""
+	for a, v := range tuple {
+		if a > 0 {
+			s += ", "
+		}
+		s += attrs[a].name + "=" + attrs[a].values[v]
+	}
+	return s
+}
+
+func main() {
+	ci, err := sgtree.NewCategorical(domainSizes(), sgtree.Config{Compress: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(11))
+	people := make([][]int, 20000)
+	for i := range people {
+		people[i] = randomTuple(r)
+		if err := ci.Insert(uint32(i), people[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d tuples over %d categorical attributes\n\n", ci.Len(), ci.NumAttributes())
+
+	// Find people most similar to a given profile.
+	query := []int{2, 3, 1, 1, 4, 4, 0, 1}
+	fmt.Printf("query: %s\n\n", describe(query))
+	res, stats, err := ci.KNN(query, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5 most similar tuples (compared %d of %d, %.1f%%):\n",
+		stats.DataCompared, ci.Len(), 100*float64(stats.DataCompared)/float64(ci.Len()))
+	for _, m := range res {
+		// Hamming distance between encoded tuples is 2 × differing attributes.
+		fmt.Printf("  id %-6d differs on %.0f attribute(s): %s\n",
+			m.ID, m.Distance/2, describe(people[m.ID]))
+	}
+
+	// Partial-match query: all retirees who own their home.
+	fmt.Println("\npartial match: employment=retired AND housing=own")
+	ids, _, err := ci.MatchingOn([]int{3, 6}, []int{4, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d matches", len(ids))
+	if len(ids) > 0 {
+		fmt.Printf("; first: %s", describe(people[ids[0]]))
+	}
+	fmt.Println()
+
+	// Range query: everyone within one attribute of the query profile.
+	close1, _, err := ci.RangeSearch(query, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d tuples differ from the query on at most one attribute\n", len(close1))
+}

@@ -1,0 +1,120 @@
+// Containment: the tree as a general-purpose set index — itemset
+// containment queries (Section 3 of the paper), subset and exact-match
+// queries, bulk loading, a similarity self-join, and persistence to disk.
+// Run with:
+//
+//	go run ./examples/containment
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sgtree"
+)
+
+func main() {
+	const universe = 500 // e.g. 500 possible tags
+	cfg := sgtree.Config{
+		Universe:         universe,
+		Compress:         true,
+		FixedCardinality: 0,
+	}
+
+	// Build with gray-code bulk loading: much faster than one-by-one
+	// inserts and better clustered.
+	r := rand.New(rand.NewSource(3))
+	items := make([]sgtree.Item, 30000)
+	for i := range items {
+		// Documents tagged with a topic cluster plus noise.
+		base := (i % 50) * 10
+		set := map[int]struct{}{}
+		for len(set) < 4+r.Intn(4) {
+			if r.Float64() < 0.7 {
+				set[base+r.Intn(10)] = struct{}{}
+			} else {
+				set[r.Intn(universe)] = struct{}{}
+			}
+		}
+		tags := make([]int, 0, len(set))
+		for t := range set {
+			tags = append(tags, t)
+		}
+		sort.Ints(tags)
+		items[i] = sgtree.Item{ID: uint32(i), Items: tags}
+	}
+
+	idx, err := sgtree.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := idx.BulkLoad(items); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bulk-loaded %d tag sets (height %d)\n\n", idx.Len(), idx.Height())
+
+	// Containment: all documents carrying both tags 100 and 103.
+	with, stats, err := idx.Containing([]int{100, 103})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("documents tagged with {100, 103}: %d (visited %d nodes)\n", len(with), stats.NodesAccessed)
+
+	// Exact match and subset queries.
+	probe := items[123].Items
+	exact, _, err := idx.ExactMatch(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("documents with exactly the tags %v: %d\n", probe, len(exact))
+	subs, _, err := idx.SubsetsOf(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("documents whose tags are a subset of it: %d\n\n", len(subs))
+
+	// Similarity self-join: near-duplicate documents (distance ≤ 2).
+	dupes, _, err := idx.SimilarityJoin(idx, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("near-duplicate pairs (tag distance ≤ 2): %d\n", len(dupes))
+	for i, p := range dupes {
+		if i >= 3 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  doc %d ~ doc %d (distance %.0f)\n", p.Left, p.Right, p.Distance)
+	}
+
+	// Persist to disk and reopen.
+	dir, err := os.MkdirTemp("", "sgtree-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "tags.sgt")
+	onDisk, err := sgtree.NewOnFile(cfg, path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := onDisk.BulkLoad(items[:1000]); err != nil {
+		log.Fatal(err)
+	}
+	if err := onDisk.Close(); err != nil {
+		log.Fatal(err)
+	}
+	reopened, err := sgtree.OpenFile(cfg, path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npersisted and reopened: %d sets on disk at %s\n", reopened.Len(), path)
+	if err := reopened.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("invariants after reopen: ok")
+}

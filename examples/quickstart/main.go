@@ -1,0 +1,79 @@
+// Quickstart: index a handful of item sets and run every query type the
+// library supports. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sgtree"
+)
+
+func main() {
+	// An index over a universe of 100 possible items (0..99).
+	idx, err := sgtree.New(sgtree.Config{Universe: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert some sets — think shopping baskets, tag sets, feature sets.
+	baskets := map[uint32][]int{
+		1: {5, 12, 33},      // bread, milk, eggs
+		2: {5, 12, 33, 47},  // ... plus butter
+		3: {5, 12, 90},      // bread, milk, coffee
+		4: {60, 61, 62, 63}, // a completely different basket
+		5: {5, 47, 90},      // bread, butter, coffee
+	}
+	for id, items := range baskets {
+		if err := idx.Insert(id, items); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d sets, tree height %d\n\n", idx.Len(), idx.Height())
+
+	// Nearest neighbor under Hamming distance (symmetric difference size).
+	query := []int{5, 12, 33, 90}
+	nn, stats, err := idx.NearestNeighbor(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %v\n", query)
+	fmt.Printf("  nearest neighbor: set %d at distance %.0f (%d sets compared)\n",
+		nn.ID, nn.Distance, stats.DataCompared)
+
+	// k nearest neighbors.
+	top3, _, err := idx.KNN(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  top 3:")
+	for _, m := range top3 {
+		fmt.Printf("    set %d at distance %.0f: %v\n", m.ID, m.Distance, baskets[m.ID])
+	}
+
+	// Everything within distance 3.
+	near, _, err := idx.RangeSearch(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  within distance 3: %d sets\n", len(near))
+
+	// Containment: which sets include both items 5 and 12?
+	with, _, err := idx.Containing([]int{5, 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  sets containing {5, 12}: %v\n", with)
+
+	// The index is fully dynamic.
+	if _, err := idx.Delete(4, baskets[4]); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter deleting set 4: %d sets remain\n", idx.Len())
+	if err := idx.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("structural invariants: ok")
+}

@@ -1,0 +1,130 @@
+// Recommend: the paper's motivating scenario — given a customer's market
+// basket, find the most similar historical transactions and recommend the
+// items they contain that the customer does not yet have. Run with:
+//
+//	go run ./examples/recommend
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"sgtree"
+)
+
+// catalog is a toy item catalog; shopper profiles buy correlated subsets.
+var catalog = []string{
+	"bread", "milk", "eggs", "butter", "cheese", "yogurt", "coffee", "tea",
+	"apples", "bananas", "oranges", "grapes", "chicken", "beef", "fish",
+	"rice", "pasta", "tomatoes", "onions", "garlic", "olive-oil", "salt",
+	"chocolate", "cookies", "chips", "soda", "beer", "wine", "diapers",
+	"wipes", "formula", "dog-food", "cat-food", "shampoo", "soap", "paper",
+}
+
+// profiles are latent shopper types: each buys from a pool of favourites.
+var profiles = [][]int{
+	{0, 1, 2, 3, 4, 5},                   // dairy-heavy family shop
+	{6, 7, 22, 23, 24},                   // coffee-and-snacks
+	{12, 13, 14, 15, 16, 17, 18, 19, 20}, // cooking from scratch
+	{25, 26, 27, 24},                     // party supplies
+	{28, 29, 30, 1, 2},                   // new parents
+	{31, 32, 35},                         // pet owners
+}
+
+func randomBasket(r *rand.Rand) []int {
+	prof := profiles[r.Intn(len(profiles))]
+	size := 3 + r.Intn(4)
+	set := map[int]struct{}{}
+	for len(set) < size {
+		if r.Float64() < 0.8 {
+			set[prof[r.Intn(len(prof))]] = struct{}{}
+		} else {
+			set[r.Intn(len(catalog))] = struct{}{}
+		}
+	}
+	items := make([]int, 0, len(set))
+	for it := range set {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	return items
+}
+
+func names(items []int) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = catalog[it]
+	}
+	return out
+}
+
+func main() {
+	idx, err := sgtree.New(sgtree.Config{
+		Universe: len(catalog),
+		Compress: true, // baskets are sparse
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index 5000 historical transactions.
+	r := rand.New(rand.NewSource(7))
+	history := make([][]int, 5000)
+	for i := range history {
+		history[i] = randomBasket(r)
+		if err := idx.Insert(uint32(i), history[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("indexed %d historical baskets (tree height %d)\n\n", idx.Len(), idx.Height())
+
+	// A customer is at the checkout with this basket.
+	customer := []int{0, 1, 3} // bread, milk, butter
+	fmt.Printf("customer basket: %v\n\n", names(customer))
+
+	// Find the 20 most similar past baskets and score co-purchased items.
+	similar, stats, err := idx.KNN(customer, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("20 nearest baskets found comparing only %d of %d transactions (%.1f%%)\n\n",
+		stats.DataCompared, idx.Len(), 100*float64(stats.DataCompared)/float64(idx.Len()))
+
+	have := map[int]bool{}
+	for _, it := range customer {
+		have[it] = true
+	}
+	scores := map[int]float64{}
+	for _, m := range similar {
+		// Closer baskets vote with more weight.
+		w := 1.0 / (1.0 + m.Distance)
+		for _, it := range history[m.ID] {
+			if !have[it] {
+				scores[it] += w
+			}
+		}
+	}
+	type rec struct {
+		item  int
+		score float64
+	}
+	var recs []rec
+	for it, s := range scores {
+		recs = append(recs, rec{it, s})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].score != recs[j].score {
+			return recs[i].score > recs[j].score
+		}
+		return recs[i].item < recs[j].item
+	})
+	fmt.Println("recommendations:")
+	for i, rc := range recs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-10s (score %.2f)\n", catalog[rc.item], rc.score)
+	}
+}

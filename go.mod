@@ -1,0 +1,3 @@
+module sgtree
+
+go 1.22

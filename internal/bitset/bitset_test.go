@@ -1,0 +1,405 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 129, 525, 1000} {
+		b := New(n)
+		if b.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, b.Len())
+		}
+		if b.Count() != 0 {
+			t.Errorf("New(%d) not empty", n)
+		}
+		if !b.IsZero() {
+			t.Errorf("New(%d).IsZero() = false", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if b.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", b.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for name, fn := range map[string]func(){
+		"Set(10)":   func() { b.Set(10) },
+		"Set(-1)":   func() { b.Set(-1) },
+		"Test(10)":  func() { b.Test(10) },
+		"Clear(99)": func() { b.Clear(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched lengths did not panic")
+		}
+	}()
+	a.Or(b)
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromPositions(100, []int{1, 5, 64, 99})
+	b := FromPositions(100, []int{5, 6, 64, 70})
+
+	or := a.Clone()
+	or.Or(b)
+	if got := or.Positions(); !equalInts(got, []int{1, 5, 6, 64, 70, 99}) {
+		t.Errorf("Or positions = %v", got)
+	}
+	and := a.Clone()
+	and.And(b)
+	if got := and.Positions(); !equalInts(got, []int{5, 64}) {
+		t.Errorf("And positions = %v", got)
+	}
+	andnot := a.Clone()
+	andnot.AndNot(b)
+	if got := andnot.Positions(); !equalInts(got, []int{1, 99}) {
+		t.Errorf("AndNot positions = %v", got)
+	}
+	xor := a.Clone()
+	xor.Xor(b)
+	if got := xor.Positions(); !equalInts(got, []int{1, 6, 70, 99}) {
+		t.Errorf("Xor positions = %v", got)
+	}
+}
+
+func TestNotRespectsTail(t *testing.T) {
+	b := New(70)
+	b.Set(0)
+	b.Not()
+	if b.Test(0) {
+		t.Error("bit 0 still set after Not")
+	}
+	if got, want := b.Count(), 69; got != want {
+		t.Errorf("Count after Not = %d, want %d (tail bits must stay clear)", got, want)
+	}
+	b.Not()
+	if got := b.Positions(); !equalInts(got, []int{0}) {
+		t.Errorf("double Not positions = %v, want [0]", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := FromPositions(64, []int{1, 2, 3})
+	b := FromPositions(64, []int{1, 3})
+	if !a.Contains(b) {
+		t.Error("a should contain b")
+	}
+	if b.Contains(a) {
+		t.Error("b should not contain a")
+	}
+	if !a.Contains(a) {
+		t.Error("a should contain itself")
+	}
+	empty := New(64)
+	if !a.Contains(empty) {
+		t.Error("anything should contain empty")
+	}
+	if empty.Contains(a) {
+		t.Error("empty should not contain a")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromPositions(200, []int{150})
+	b := FromPositions(200, []int{150, 2})
+	c := FromPositions(200, []int{2})
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a,b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a,c should not intersect")
+	}
+}
+
+func TestCountingOps(t *testing.T) {
+	a := FromPositions(256, []int{0, 10, 100, 200, 255})
+	b := FromPositions(256, []int{10, 100, 201})
+	if got := a.AndCount(b); got != 2 {
+		t.Errorf("AndCount = %d, want 2", got)
+	}
+	if got := a.AndNotCount(b); got != 3 {
+		t.Errorf("AndNotCount = %d, want 3", got)
+	}
+	if got := b.AndNotCount(a); got != 1 {
+		t.Errorf("AndNotCount reverse = %d, want 1", got)
+	}
+	if got := a.OrCount(b); got != 6 {
+		t.Errorf("OrCount = %d, want 6", got)
+	}
+	if got := a.HammingDistance(b); got != 4 {
+		t.Errorf("Hamming = %d, want 4", got)
+	}
+	if got := a.EnlargementCount(b); got != 1 {
+		t.Errorf("Enlargement = %d, want 1 (bit 201)", got)
+	}
+}
+
+func TestNextSetAndIteration(t *testing.T) {
+	pos := []int{0, 1, 63, 64, 100, 191}
+	b := FromPositions(192, pos)
+	var got []int
+	for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if !equalInts(got, pos) {
+		t.Errorf("NextSet iteration = %v, want %v", got, pos)
+	}
+	var fe []int
+	b.ForEach(func(i int) { fe = append(fe, i) })
+	if !equalInts(fe, pos) {
+		t.Errorf("ForEach = %v, want %v", fe, pos)
+	}
+	if b.NextSet(192) != -1 {
+		t.Error("NextSet past end should be -1")
+	}
+	if New(64).NextSet(0) != -1 {
+		t.Error("NextSet on empty should be -1")
+	}
+	if b.NextSet(-5) != 0 {
+		t.Error("NextSet with negative start should clamp to 0")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	s := "100010"
+	b, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != s {
+		t.Errorf("round trip = %q, want %q", b.String(), s)
+	}
+	if got := b.Positions(); !equalInts(got, []int{0, 4}) {
+		t.Errorf("positions = %v", got)
+	}
+	if _, err := Parse("10x"); err == nil {
+		t.Error("Parse should reject invalid characters")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromPositions(64, []int{5})
+	b := a.Clone()
+	b.Set(6)
+	if a.Test(6) {
+		t.Error("Clone shares storage with original")
+	}
+	a.CopyFrom(b)
+	if !a.Test(6) {
+		t.Error("CopyFrom did not copy")
+	}
+}
+
+func TestSetWordsClampsTail(t *testing.T) {
+	b := New(65)
+	b.SetWords([]uint64{^uint64(0), ^uint64(0)})
+	if got := b.Count(); got != 65 {
+		t.Errorf("Count = %d, want 65 (tail clamped)", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromPositions(64, []int{1})
+	b := FromPositions(64, []int{1})
+	c := FromPositions(65, []int{1})
+	if !a.Equal(b) {
+		t.Error("identical bitmaps not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different lengths reported Equal")
+	}
+	b.Set(2)
+	if a.Equal(b) {
+		t.Error("different contents reported Equal")
+	}
+}
+
+// --- property-based tests ---
+
+// randomPair builds two random bitmaps of the same random length from quick's
+// random values.
+func randomPair(r *rand.Rand) (*Bitset, *Bitset) {
+	n := 1 + r.Intn(600)
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			a.Set(i)
+		}
+		if r.Intn(3) == 0 {
+			b.Set(i)
+		}
+	}
+	return a, b
+}
+
+func quickCheck(t *testing.T, name string, f func(seed int64) bool) {
+	t.Helper()
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+func TestPropInclusionExclusion(t *testing.T) {
+	quickCheck(t, "|a|+|b| = |a∪b|+|a∩b|", func(seed int64) bool {
+		a, b := randomPair(rand.New(rand.NewSource(seed)))
+		return a.Count()+b.Count() == a.OrCount(b)+a.AndCount(b)
+	})
+}
+
+func TestPropHammingIdentities(t *testing.T) {
+	quickCheck(t, "hamming = |a\\b|+|b\\a| and symmetry", func(seed int64) bool {
+		a, b := randomPair(rand.New(rand.NewSource(seed)))
+		h := a.HammingDistance(b)
+		return h == a.AndNotCount(b)+b.AndNotCount(a) && h == b.HammingDistance(a)
+	})
+}
+
+func TestPropTriangleInequality(t *testing.T) {
+	quickCheck(t, "hamming triangle inequality", func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		mk := func() *Bitset {
+			x := New(n)
+			for i := 0; i < n; i++ {
+				if r.Intn(4) == 0 {
+					x.Set(i)
+				}
+			}
+			return x
+		}
+		a, b, c := mk(), mk(), mk()
+		return a.HammingDistance(c) <= a.HammingDistance(b)+b.HammingDistance(c)
+	})
+}
+
+func TestPropOrContainsBoth(t *testing.T) {
+	quickCheck(t, "a|b contains a and b", func(seed int64) bool {
+		a, b := randomPair(rand.New(rand.NewSource(seed)))
+		u := Union(a, b)
+		return u.Contains(a) && u.Contains(b) && u.Count() >= a.Count() && u.Count() >= b.Count()
+	})
+}
+
+func TestPropContainmentIffAndNotZero(t *testing.T) {
+	quickCheck(t, "b⊆a ⟺ |b\\a|=0", func(seed int64) bool {
+		a, b := randomPair(rand.New(rand.NewSource(seed)))
+		return a.Contains(b) == (b.AndNotCount(a) == 0)
+	})
+}
+
+func TestPropPositionsRoundTrip(t *testing.T) {
+	quickCheck(t, "FromPositions(Positions(a)) == a", func(seed int64) bool {
+		a, _ := randomPair(rand.New(rand.NewSource(seed)))
+		return FromPositions(a.Len(), a.Positions()).Equal(a)
+	})
+}
+
+func TestPropIntersectionCommutes(t *testing.T) {
+	quickCheck(t, "a∩b == b∩a and ⊆ both", func(seed int64) bool {
+		a, b := randomPair(rand.New(rand.NewSource(seed)))
+		x := Intersection(a, b)
+		y := Intersection(b, a)
+		return x.Equal(y) && a.Contains(x) && b.Contains(x)
+	})
+}
+
+func TestPropXorIsSymmetricDifference(t *testing.T) {
+	quickCheck(t, "a^b == (a\\b)|(b\\a)", func(seed int64) bool {
+		a, b := randomPair(rand.New(rand.NewSource(seed)))
+		x := a.Clone()
+		x.Xor(b)
+		d1 := a.Clone()
+		d1.AndNot(b)
+		d2 := b.Clone()
+		d2.AndNot(a)
+		d1.Or(d2)
+		return x.Equal(d1)
+	})
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkHammingDistance512(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := New(512), New(512)
+	for i := 0; i < 512; i++ {
+		if r.Intn(3) == 0 {
+			x.Set(i)
+		}
+		if r.Intn(3) == 0 {
+			y.Set(i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.HammingDistance(y)
+	}
+}
+
+func BenchmarkOr512(b *testing.B) {
+	x, y := New(512), New(512)
+	for i := 0; i < 512; i += 3 {
+		x.Set(i)
+		y.Set(i + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}

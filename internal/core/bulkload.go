@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// This file implements the bulk-loading direction of Section 6: instead of
+// inserting transactions one by one, sort them by the gray code of their
+// signatures (the analogue of space-filling-curve ordering for R-tree bulk
+// loading) and pack nodes bottom-up. Consecutive gray codes differ little,
+// so neighboring signatures land in the same leaf and the resulting tree is
+// "globally optimized" while being built in O(n log n).
+
+// BulkItem is one ⟨signature, tid⟩ pair for bulk loading.
+type BulkItem struct {
+	Sig signature.Signature
+	TID dataset.TID
+}
+
+// defaultBulkFill is the target node utilization of the packed tree,
+// leaving headroom so early updates do not immediately split every node.
+const defaultBulkFill = 0.75
+
+// BulkLoad builds the tree from the given items, replacing any existing
+// content. Items are sorted by the gray code of their signature bitmaps and
+// packed level by level.
+func (t *Tree) BulkLoad(items []BulkItem) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range items {
+		if err := t.checkDataSignature(items[i].Sig); err != nil {
+			return fmt.Errorf("core: bulk item %d: %w", i, err)
+		}
+	}
+	if t.root != storage.InvalidPage {
+		if _, err := t.dismantle(t.root); err != nil {
+			return err
+		}
+		t.root = storage.InvalidPage
+		t.height = 0
+		t.count = 0
+	}
+	if len(items) == 0 {
+		return nil
+	}
+
+	// Sort by gray-code rank.
+	keys := make([]grayKey, len(items))
+	for i := range items {
+		keys[i] = grayCodeKey(items[i].Sig)
+	}
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return compareGrayKeys(keys[order[a]], keys[order[b]]) < 0
+	})
+
+	entries := make([]entry, len(items))
+	for i, idx := range order {
+		a := items[idx].Sig.Area()
+		entries[i] = entry{sig: items[idx].Sig.Clone(), tid: items[idx].TID, lo: a, hi: a}
+	}
+
+	level := 0
+	for {
+		nodes, err := t.packLevel(entries, level)
+		if err != nil {
+			return err
+		}
+		if len(nodes) == 1 {
+			t.root = nodes[0].id
+			t.height = level + 1
+			t.count = len(items)
+			return nil
+		}
+		// Build the next level's entries from the packed nodes.
+		next := make([]entry, len(nodes))
+		for i, n := range nodes {
+			next[i] = n.parentEntry(t.opts.SignatureLength)
+		}
+		entries = next
+		level++
+	}
+}
+
+// packLevel greedily packs entries (already in gray order) into nodes at
+// the given level, respecting the page size, MaxNodeEntries and the bulk
+// fill target, and guaranteeing no node is left with fewer than two entries.
+func (t *Tree) packLevel(entries []entry, level int) ([]*node, error) {
+	targetCount := int(defaultBulkFill * float64(t.opts.MaxNodeEntries))
+	if targetCount < 2 {
+		targetCount = 2
+	}
+	targetBytes := int(defaultBulkFill * float64(t.opts.PageSize))
+	var nodes []*node
+	i := 0
+	for i < len(entries) {
+		n, err := t.allocNode(level == 0, level)
+		if err != nil {
+			return nil, err
+		}
+		size := nodeHeaderSize
+		for i < len(entries) && len(n.entries) < targetCount {
+			es := t.layout.entrySize(entries[i].sig, level == 0)
+			if len(n.entries) >= 2 && size+es > targetBytes {
+				break
+			}
+			n.entries = append(n.entries, entries[i])
+			size += es
+			i++
+		}
+		// Never orphan a single trailing entry: steal one back from this
+		// node, or absorb the straggler when the node is at the two-entry
+		// minimum (three worst-case entries always fit a page).
+		if len(entries)-i == 1 {
+			if len(n.entries) > 2 {
+				i--
+				n.entries = n.entries[:len(n.entries)-1]
+			} else {
+				n.entries = append(n.entries, entries[i])
+				i++
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	// A trailing node with one entry only happens when the level has a
+	// single entry total (the root of a one-item tree) — everywhere else
+	// the stealing rule above prevents it. A leaf root with one entry is
+	// legal; a directory with one entry would collapse below anyway.
+	for _, n := range nodes {
+		if err := t.writeNode(n); err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}
+
+// grayKey is a bit-reversed gray code of the signature, comparable
+// lexicographically word by word with bit 0 of the signature as the most
+// significant position.
+type grayKey []uint64
+
+// grayCodeKey computes G = B xor (B >> 1) where the bitstring B reads the
+// signature with bit 0 as the most significant bit — so gray bit i is
+// sig[i] xor sig[i-1]. Each word is then bit-reversed to allow plain uint64
+// comparison in that order.
+func grayCodeKey(s signature.Signature) grayKey {
+	words := s.Words()
+	key := make(grayKey, len(words))
+	var prevLastBit uint64
+	for w, b := range words {
+		// shifted holds B >> 1 in signature bit order: bit i takes the
+		// value of bit i-1, i.e. a left shift of the LSB-first word with
+		// the carry coming from the previous word's top bit.
+		shifted := b<<1 | prevLastBit
+		prevLastBit = b >> 63
+		key[w] = bits.Reverse64(b ^ shifted)
+	}
+	return key
+}
+
+func compareGrayKeys(a, b grayKey) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+func bulkItems(t *testing.T, d *dataset.Dataset) []BulkItem {
+	t.Helper()
+	m := signature.NewDirectMapper(d.Universe)
+	items := make([]BulkItem, d.Len())
+	for i, tx := range d.Tx {
+		items[i] = BulkItem{Sig: signature.FromItems(m, tx), TID: dataset.TID(i)}
+	}
+	return items
+}
+
+func TestBulkLoadBasic(t *testing.T) {
+	d := questData(t, 700, 41)
+	tr := mustTree(t, testOptions(200))
+	if err := tr.BulkLoad(bulkItems(t, d)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 700 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("bulk-loaded tree too flat: height %d", tr.Height())
+	}
+	// Every item retrievable, NN answers match the oracle.
+	for _, qi := range []int{0, 13, 350, 699} {
+		q := d.Tx[qi]
+		got, _, err := tr.KNN(sigOf(t, 200, q), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := linearKNN(d, q, 3)
+		for i := range got {
+			if got[i].Dist != want[i] {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestBulkLoadEdgeSizes(t *testing.T) {
+	m := signature.NewDirectMapper(64)
+	for _, n := range []int{0, 1, 2, 3, 5, 9, 17} {
+		tr := mustTree(t, testOptions(64))
+		items := make([]BulkItem, n)
+		for i := range items {
+			items[i] = BulkItem{Sig: signature.FromItems(m, []int{i % 64, (i * 7) % 64}), TID: dataset.TID(i)}
+		}
+		if err := tr.BulkLoad(items); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBulkLoadReplacesExisting(t *testing.T) {
+	d := questData(t, 200, 43)
+	tr := buildTree(t, d, testOptions(200))
+	pagesBefore := tr.Pool().Pager().NumPages()
+	// Reload with only half the items; the old pages must be recycled.
+	items := bulkItems(t, d)[:100]
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if after := tr.Pool().Pager().NumPages(); after > pagesBefore {
+		t.Errorf("pages grew from %d to %d; old tree not freed", pagesBefore, after)
+	}
+}
+
+func TestBulkLoadRejectsBadItems(t *testing.T) {
+	tr := mustTree(t, testOptions(64))
+	if err := tr.BulkLoad([]BulkItem{{Sig: signature.New(63)}}); err == nil {
+		t.Error("wrong-length signature accepted")
+	}
+}
+
+func TestBulkLoadUpdatableAfter(t *testing.T) {
+	d := questData(t, 300, 47)
+	tr := mustTree(t, testOptions(200))
+	if err := tr.BulkLoad(bulkItems(t, d)); err != nil {
+		t.Fatal(err)
+	}
+	m := signature.NewDirectMapper(200)
+	// Insert and delete on top of the packed tree.
+	extra := dataset.NewTransaction(1, 2, 3)
+	if err := tr.Insert(signature.FromItems(m, extra), 9999); err != nil {
+		t.Fatal(err)
+	}
+	found, err := tr.Delete(signature.FromItems(m, d.Tx[10]), 10)
+	if err != nil || !found {
+		t.Fatalf("delete after bulk load: %v %v", found, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 300 {
+		t.Errorf("Len = %d, want 300", tr.Len())
+	}
+}
+
+func TestBulkLoadQualityComparableToInsertion(t *testing.T) {
+	// The gray-code packed tree should prune NN queries at least roughly as
+	// well as the incrementally built tree, with higher storage utilization.
+	d := questData(t, 1500, 53)
+	inc := buildTree(t, d, testOptions(200))
+	bulk := mustTree(t, testOptions(200))
+	if err := bulk.BulkLoad(bulkItems(t, d)); err != nil {
+		t.Fatal(err)
+	}
+	incStats, err := inc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulkStats, err := bulk.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulkStats.Nodes >= incStats.Nodes {
+		t.Errorf("bulk tree has %d nodes, incremental %d; packing should be denser",
+			bulkStats.Nodes, incStats.Nodes)
+	}
+	r := rand.New(rand.NewSource(2))
+	incWork, bulkWork := 0, 0
+	for i := 0; i < 30; i++ {
+		q := sigOf(t, 200, d.Tx[r.Intn(d.Len())])
+		_, s1, err := inc.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, s2, err := bulk.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incWork += s1.DataCompared
+		bulkWork += s2.DataCompared
+	}
+	t.Logf("data compared: incremental %d, bulk %d", incWork, bulkWork)
+	if bulkWork > 3*incWork {
+		t.Errorf("bulk-loaded tree prunes far worse: %d vs %d", bulkWork, incWork)
+	}
+}
+
+func TestGrayCodeKeyOrdering(t *testing.T) {
+	// Adjacent binary values differ by one bit in gray code; the key order
+	// must match the integer interpretation's gray sequence for small
+	// signatures. Verify the key of b and b+1 differ and ordering is total.
+	mk := func(bits ...int) signature.Signature {
+		return signature.FromItems(signature.NewDirectMapper(8), bits)
+	}
+	a := grayCodeKey(mk(0))    // 10000000
+	b := grayCodeKey(mk(0, 1)) // 11000000
+	c := grayCodeKey(mk(1))    // 01000000
+	zero := grayCodeKey(mk())  // 00000000
+	if compareGrayKeys(a, a) != 0 {
+		t.Error("key not equal to itself")
+	}
+	// Gray code of bitstrings ordered by MSB-first value: 000..=0, gray(1xx) > gray(0xx) on the first bit.
+	if compareGrayKeys(zero, a) >= 0 {
+		t.Error("empty signature should sort before bit-0 signature")
+	}
+	// The gray code of 11000000 (b) is 10100000, of 10000000 (a) is 11000000:
+	// so a sorts after b.
+	if compareGrayKeys(b, a) >= 0 {
+		t.Error("gray order of 110 vs 100 wrong")
+	}
+	if compareGrayKeys(zero, c) >= 0 {
+		t.Error("empty should sort first")
+	}
+}
+
+func TestGrayCodeCrossWordCarry(t *testing.T) {
+	// Bit 63 set must influence gray bit 64.
+	s1 := signature.FromItems(signature.NewDirectMapper(128), []int{63, 64})
+	s2 := signature.FromItems(signature.NewDirectMapper(128), []int{64})
+	k1 := grayCodeKey(s1)
+	k2 := grayCodeKey(s2)
+	// gray(s1) bit64 = s1[64] xor s1[63] = 0; gray(s2) bit64 = 1.
+	// Check word 1 differs accordingly.
+	if k1[1] == k2[1] {
+		t.Error("cross-word carry not propagated into gray code")
+	}
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// variableCardData produces sets whose sizes vary wildly (2 to ~40 items),
+// the regime where cardinality statistics pay off.
+func variableCardData(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	d := dataset.New(300)
+	for i := 0; i < n; i++ {
+		base := r.Intn(10) * 30
+		var sz int
+		if r.Intn(2) == 0 {
+			sz = 2 + r.Intn(4) // small sets
+		} else {
+			sz = 20 + r.Intn(20) // large sets
+		}
+		items := make([]int, 0, sz)
+		for len(items) < sz {
+			items = append(items, base+r.Intn(30))
+		}
+		d.Add(items...)
+	}
+	return d
+}
+
+func cardStatsOptions() Options {
+	o := testOptions(300)
+	o.CardStats = true
+	return o
+}
+
+func TestCardStatsInvariantsAndCorrectness(t *testing.T) {
+	d := variableCardData(t, 800, 3)
+	tr := buildTree(t, d, cardStatsOptions())
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// KNN answers match the oracle exactly.
+	for _, qi := range []int{0, 99, 500} {
+		q := d.Tx[qi]
+		got, _, err := tr.KNN(sigOf(t, 300, q), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := linearKNN(d, q, 7)
+		for i := range got {
+			if got[i].Dist != want[i] {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, got[i].Dist, want[i])
+			}
+		}
+	}
+	// Range queries too.
+	q := d.Tx[42]
+	got, _, err := tr.RangeSearch(sigOf(t, 300, q), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tx := range d.Tx {
+		if float64(q.Hamming(tx)) <= 6 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("range: %d vs %d", len(got), want)
+	}
+}
+
+func TestCardStatsImprovePruning(t *testing.T) {
+	d := variableCardData(t, 2000, 7)
+	plain := buildTree(t, d, testOptions(300))
+	stats := buildTree(t, d, cardStatsOptions())
+	r := rand.New(rand.NewSource(11))
+	plainWork, statsWork := 0, 0
+	for i := 0; i < 40; i++ {
+		q := sigOf(t, 300, d.Tx[r.Intn(d.Len())])
+		_, s1, err := plain.KNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, s2, err := stats.KNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainWork += s1.DataCompared
+		statsWork += s2.DataCompared
+	}
+	t.Logf("data compared: plain %d, card-stats %d", plainWork, statsWork)
+	if statsWork > plainWork {
+		t.Errorf("cardinality stats made pruning worse: %d vs %d", statsWork, plainWork)
+	}
+}
+
+func TestCardStatsSurviveDeletesAndReinserts(t *testing.T) {
+	d := variableCardData(t, 600, 13)
+	tr := buildTree(t, d, cardStatsOptions())
+	m := signature.NewDirectMapper(300)
+	r := rand.New(rand.NewSource(5))
+	perm := r.Perm(d.Len())
+	for i := 0; i < 400; i++ {
+		id := perm[i]
+		found, err := tr.Delete(signature.FromItems(m, d.Tx[id]), dataset.TID(id))
+		if err != nil || !found {
+			t.Fatalf("delete %d: %v %v", id, found, err)
+		}
+		if i%80 == 79 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCardStatsBulkLoad(t *testing.T) {
+	d := variableCardData(t, 700, 17)
+	tr := mustTree(t, cardStatsOptions())
+	if err := tr.BulkLoad(bulkItems(t, d)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q := d.Tx[100]
+	got, _, err := tr.KNN(sigOf(t, 300, q), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linearKNN(d, q, 3)
+	for i := range got {
+		if got[i].Dist != want[i] {
+			t.Fatalf("rank %d: %v vs %v", i, got[i].Dist, want[i])
+		}
+	}
+}
+
+func TestCardStatsPersistence(t *testing.T) {
+	opts := cardStatsOptions()
+	p := storage.NewMemPager(opts.PageSize)
+	tr, err := NewWithPager(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := variableCardData(t, 300, 19)
+	m := signature.NewDirectMapper(300)
+	for i, tx := range d.Tx {
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with matching options: stats intact.
+	re, err := Open(p, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with mismatched flag: rejected.
+	noStats := opts
+	noStats.CardStats = false
+	if _, err := Open(p, 1, noStats); err == nil {
+		t.Error("CardStats flag mismatch accepted")
+	}
+}
+
+func TestCardStatsJaccardMetric(t *testing.T) {
+	d := variableCardData(t, 500, 23)
+	opts := cardStatsOptions()
+	opts.Metric = signature.Jaccard
+	tr := buildTree(t, d, opts)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q := d.Tx[10]
+	qsig := sigOf(t, 300, q)
+	got, _, err := tr.KNN(qsig, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle.
+	dists := make([]float64, d.Len())
+	for i, tx := range d.Tx {
+		dists[i] = 1 - q.Jaccard(tx)
+	}
+	for i := 0; i < 5; i++ {
+		min := i
+		for j := i; j < len(dists); j++ {
+			if dists[j] < dists[min] {
+				min = j
+			}
+		}
+		dists[i], dists[min] = dists[min], dists[i]
+		if diff := got[i].Dist - dists[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("rank %d: %v vs %v", i, got[i].Dist, dists[i])
+		}
+	}
+}
+
+func TestCardStatsRejectsHugeSignatures(t *testing.T) {
+	o := Options{SignatureLength: 70000, PageSize: 65536, CardStats: true}
+	if err := o.Validate(); err == nil {
+		t.Error("signature length beyond uint16 accepted with CardStats")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// This file implements the clustering direction of the paper's Section 6:
+// "we can investigate whether the SG-tree can be used for clustering large
+// dynamic collections of set and categorical data ... e.g. by merging the
+// leaf nodes using their signatures as guides". The insertion heuristics
+// already co-locate similar transactions in leaves, so agglomerating the
+// leaf covers — a structure typically 1-2 orders of magnitude smaller than
+// the data — produces a clustering in O(L²) for L leaves instead of the
+// Ω(n²) of the categorical clustering algorithms the paper cites.
+
+// Cluster is one group of transactions produced by ClusterLeaves: the
+// member ids and the cover signature of the whole group.
+type Cluster struct {
+	Members []dataset.TID
+	Cover   signature.Signature
+}
+
+// ClusterLeaves partitions the indexed collection into k clusters by
+// hierarchically merging leaf nodes with group-average linkage over the
+// Jaccard distances between the *leaf* covers (Lance–Williams update).
+// Group-average on the original leaf covers resists the saturation that a
+// merged-cover distance suffers on large noisy collections, where every big
+// cluster's OR-cover converges to the full universe and all inter-cluster
+// distances collapse. k is clamped to the number of leaves.
+func (t *Tree) ClusterLeaves(k int) ([]Cluster, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d < 1", k)
+	}
+	if t.root == storage.InvalidPage {
+		return nil, nil
+	}
+	var clusters []Cluster
+	if err := t.collectLeafClusters(t.root, &clusters); err != nil {
+		return nil, err
+	}
+	if k > len(clusters) {
+		k = len(clusters)
+	}
+	n := len(clusters)
+	// Pairwise group-average distances, initialized from the leaf covers.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := 1 - clusters[i].Cover.Jaccard(clusters[j].Cover)
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	alive := make([]bool, n)
+	weight := make([]int, n) // number of original leaves merged in
+	for i := range alive {
+		alive[i] = true
+		weight[i] = 1
+	}
+	liveCount := n
+	for liveCount > k {
+		bi, bj := -1, -1
+		best := 0.0
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				if bi == -1 || dist[i][j] < best {
+					best, bi, bj = dist[i][j], i, j
+				}
+			}
+		}
+		// Lance–Williams group-average update, then merge bj into bi.
+		wi, wj := float64(weight[bi]), float64(weight[bj])
+		for m := 0; m < n; m++ {
+			if !alive[m] || m == bi || m == bj {
+				continue
+			}
+			d := (wi*dist[m][bi] + wj*dist[m][bj]) / (wi + wj)
+			dist[m][bi], dist[bi][m] = d, d
+		}
+		clusters[bi].Members = append(clusters[bi].Members, clusters[bj].Members...)
+		clusters[bi].Cover.Merge(clusters[bj].Cover)
+		weight[bi] += weight[bj]
+		alive[bj] = false
+		liveCount--
+	}
+	out := make([]Cluster, 0, k)
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			out = append(out, clusters[i])
+		}
+	}
+	return out, nil
+}
+
+func (t *Tree) collectLeafClusters(id storage.PageID, out *[]Cluster) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		c := Cluster{Cover: signature.New(t.opts.SignatureLength)}
+		for i := range n.entries {
+			c.Members = append(c.Members, n.entries[i].tid)
+			c.Cover.Merge(n.entries[i].sig)
+		}
+		*out = append(*out, c)
+		return nil
+	}
+	for i := range n.entries {
+		if err := t.collectLeafClusters(n.entries[i].child, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

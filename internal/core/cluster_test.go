@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+// blockData generates transactions from well-separated item blocks, so the
+// ground-truth clustering is unambiguous.
+func blockData(t *testing.T, perBlock int, blocks int) (*dataset.Dataset, []int) {
+	t.Helper()
+	d := dataset.New(blocks * 20)
+	truth := make([]int, 0, perBlock*blocks)
+	r := rand.New(rand.NewSource(17))
+	for b := 0; b < blocks; b++ {
+		base := b * 20
+		for i := 0; i < perBlock; i++ {
+			items := []int{base + r.Intn(20), base + r.Intn(20), base + r.Intn(20), base + r.Intn(20)}
+			d.Add(items...)
+			truth = append(truth, b)
+		}
+	}
+	return d, truth
+}
+
+func TestClusterLeavesSeparatesBlocks(t *testing.T) {
+	const blocks = 4
+	d, truth := blockData(t, 100, blocks)
+	// Bulk loading gives gray-code-sorted (hence block-pure) leaves; an
+	// insertion-built tree can contain a few "bridge" leaves polluted
+	// before splits separated the blocks, which chains clusters together.
+	tr := mustTree(t, testOptions(d.Universe))
+	if err := tr.BulkLoad(bulkItems(t, d)); err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := tr.ClusterLeaves(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != blocks {
+		t.Fatalf("got %d clusters, want %d", len(clusters), blocks)
+	}
+	total := 0
+	for ci, c := range clusters {
+		if len(c.Members) == 0 {
+			t.Fatalf("cluster %d empty", ci)
+		}
+		total += len(c.Members)
+		// Purity: the dominant block should own nearly all members (leaves
+		// can pick up a few strays during insertion before splits separate
+		// the blocks, so demand 90% rather than perfection).
+		counts := map[int]int{}
+		for _, id := range c.Members {
+			counts[truth[id]]++
+		}
+		max := 0
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		if purity := float64(max) / float64(len(c.Members)); purity < 0.9 {
+			t.Fatalf("cluster %d purity %.2f (%v)", ci, purity, counts)
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("clusters hold %d of %d transactions", total, d.Len())
+	}
+}
+
+func TestClusterLeavesEdges(t *testing.T) {
+	tr := mustTree(t, testOptions(64))
+	// Empty tree.
+	cs, err := tr.ClusterLeaves(3)
+	if err != nil || cs != nil {
+		t.Errorf("empty tree: %v %v", cs, err)
+	}
+	if _, err := tr.ClusterLeaves(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// Fewer leaves than k: every leaf becomes its own cluster.
+	m := signature.NewDirectMapper(64)
+	for i := 0; i < 5; i++ {
+		if err := tr.Insert(signature.FromItems(m, []int{i}), dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, err = tr.ClusterLeaves(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range cs {
+		total += len(c.Members)
+	}
+	if total != 5 {
+		t.Errorf("clusters hold %d of 5", total)
+	}
+}
+
+func TestClusterLeavesFasterThanQuadratic(t *testing.T) {
+	// Sanity on the Section 6 rationale: the number of pairwise distance
+	// computations operates on leaves, not on transactions.
+	d, _ := blockData(t, 300, 3)
+	tr := buildTree(t, d, testOptions(d.Universe))
+	st, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := st.NodesPerLevel[0]
+	if leaves*leaves >= d.Len()*d.Len()/10 {
+		t.Skipf("tree too small for the asymptotic argument: %d leaves for %d transactions", leaves, d.Len())
+	}
+	if _, err := tr.ClusterLeaves(3); err != nil {
+		t.Fatal(err)
+	}
+}

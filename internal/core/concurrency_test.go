@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+// TestConcurrentQueriesAndUpdates hammers one tree from several goroutines
+// mixing inserts, deletes and every query type. Run under -race this
+// verifies the locking discipline; the final invariant check verifies the
+// structure survived.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	d := questData(t, 1200, 83)
+	tr := buildTree(t, d.Slice(0, 600), testOptions(200))
+	m := signature.NewDirectMapper(200)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	report := func(err error) {
+		if err != nil {
+			select {
+			case errs <- err:
+			default:
+			}
+		}
+	}
+
+	// Two writers: one inserting the second half, one deleting from the
+	// first quarter.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 600; i < 1200; i++ {
+			report(tr.Insert(signature.FromItems(m, d.Tx[i]), dataset.TID(i)))
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 150; i++ {
+			_, err := tr.Delete(signature.FromItems(m, d.Tx[i]), dataset.TID(i))
+			report(err)
+		}
+	}()
+	// Four readers running mixed queries.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				q := signature.FromItems(m, d.Tx[(seed*97+i*13)%1200])
+				switch i % 4 {
+				case 0:
+					_, _, err := tr.KNN(q, 3)
+					report(err)
+				case 1:
+					_, _, err := tr.RangeSearch(q, 4)
+					report(err)
+				case 2:
+					_, _, err := tr.Containment(q)
+					report(err)
+				case 3:
+					_, _, err := tr.KNNBestFirst(q, 2)
+					report(err)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 600+600-150 {
+		t.Errorf("Len = %d, want %d", tr.Len(), 1050)
+	}
+}

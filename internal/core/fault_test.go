@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// newFaultTree builds a tree over a FaultPager with faults disabled, loads
+// some data, then returns the tree and the pager for the test to arm.
+func newFaultTree(t *testing.T, n int) (*Tree, *storage.FaultPager, *dataset.Dataset) {
+	t.Helper()
+	opts := testOptions(200)
+	opts.BufferPages = 4 // tiny pool: most accesses reach the pager
+	fp := storage.NewFaultPager(storage.NewMemPager(opts.PageSize))
+	tr, err := NewWithPager(fp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := questData(t, n, 91)
+	m := signature.NewDirectMapper(200)
+	for i, tx := range d.Tx {
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, fp, d
+}
+
+func wantInjected(t *testing.T, err error, what string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: expected an error from the injected fault", what)
+	}
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("%s: error %v does not wrap the injected fault", what, err)
+	}
+}
+
+func TestQueriesSurfaceReadFaults(t *testing.T) {
+	tr, fp, d := newFaultTree(t, 300)
+	m := signature.NewDirectMapper(200)
+	q := signature.FromItems(m, d.Tx[0])
+
+	fp.FailReads = true
+	fp.After = 2 // let the root through, fail deeper
+	if _, _, err := tr.KNN(q, 3); err == nil {
+		t.Error("KNN swallowed a read fault")
+	}
+	fp.Reset()
+	if _, _, err := tr.RangeSearch(q, 5); err == nil {
+		t.Error("RangeSearch swallowed a read fault")
+	}
+	fp.Reset()
+	if _, _, err := tr.Containment(q); err == nil {
+		t.Error("Containment swallowed a read fault")
+	}
+	fp.Reset()
+	if _, _, err := tr.KNNBestFirst(q, 2); err == nil {
+		t.Error("KNNBestFirst swallowed a read fault")
+	}
+	fp.FailReads = false
+
+	// The tree was never modified: after disarming, everything works and
+	// invariants hold.
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.KNN(q, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertSurfacesAllocFaults(t *testing.T) {
+	tr, fp, d := newFaultTree(t, 300)
+	m := signature.NewDirectMapper(200)
+	fp.FailAllocs = true
+	fp.After = 0
+	// Inserting enough entries eventually needs a split, which allocates.
+	var sawErr bool
+	for i := 0; i < 200; i++ {
+		tx := d.Tx[i%d.Len()]
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(10000+i)); err != nil {
+			wantInjected(t, err, "insert alloc")
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("no insert ever needed an allocation")
+	}
+}
+
+func TestBulkLoadSurfacesFaults(t *testing.T) {
+	opts := testOptions(200)
+	fp := storage.NewFaultPager(storage.NewMemPager(opts.PageSize))
+	tr, err := NewWithPager(fp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := questData(t, 200, 93)
+	m := signature.NewDirectMapper(200)
+	items := make([]BulkItem, d.Len())
+	for i, tx := range d.Tx {
+		items[i] = BulkItem{Sig: signature.FromItems(m, tx), TID: dataset.TID(i)}
+	}
+	fp.FailAllocs = true
+	fp.After = 3
+	wantInjected(t, tr.BulkLoad(items), "bulk load")
+}
+
+func TestOpenSurfacesReadFaults(t *testing.T) {
+	opts := testOptions(200)
+	mp := storage.NewMemPager(opts.PageSize)
+	tr, err := NewWithPager(mp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fp := storage.NewFaultPager(mp)
+	fp.FailReads = true
+	if _, err := Open(fp, 1, opts); err == nil {
+		t.Error("Open swallowed a read fault")
+	}
+}

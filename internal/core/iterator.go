@@ -1,0 +1,122 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// NNIterator implements distance browsing (Hjaltason & Samet, the paper's
+// reference for optimal NN search): it yields indexed signatures in
+// non-decreasing distance from the query, on demand. Unlike KNN it needs no
+// k up front — callers stop when they have seen enough, and the tree is
+// explored lazily with the usual coverage bounds.
+//
+// The iterator reads tree pages as it advances; it must not be used
+// concurrently with updates to the same tree (results would be undefined,
+// though never unsafe — each Next locks the tree internally).
+type NNIterator struct {
+	t     *Tree
+	q     signature.Signature
+	pq    browseHeap
+	stats QueryStats
+}
+
+// browseItem is either an unexpanded subtree (node != InvalidPage) or a
+// data entry with its exact distance.
+type browseItem struct {
+	dist float64
+	node storage.PageID
+	area int
+	tid  dataset.TID
+}
+
+type browseHeap []browseItem
+
+func (h browseHeap) Len() int { return len(h) }
+func (h browseHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	// Yield data before expanding subtrees at the same distance: the order
+	// stays non-decreasing (a tied subtree can only contain items at this
+	// distance or farther) and callers consuming a short prefix avoid
+	// expanding every tied node — with integral Hamming distances the
+	// difference is large. Break remaining ties by area then tid.
+	iNode := h[i].node != storage.InvalidPage
+	jNode := h[j].node != storage.InvalidPage
+	if iNode != jNode {
+		return jNode
+	}
+	if iNode {
+		return h[i].area < h[j].area
+	}
+	return h[i].tid < h[j].tid
+}
+func (h browseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *browseHeap) Push(x interface{}) { *h = append(*h, x.(browseItem)) }
+func (h *browseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewNNIterator starts a distance-browsing traversal from q.
+func (t *Tree) NewNNIterator(q signature.Signature) (*NNIterator, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, err
+	}
+	it := &NNIterator{t: t, q: q.Clone()}
+	if t.root != storage.InvalidPage {
+		it.pq = browseHeap{{node: t.root}}
+	}
+	return it, nil
+}
+
+// Next returns the next neighbor in non-decreasing distance order; ok is
+// false when the tree is exhausted.
+func (it *NNIterator) Next() (Neighbor, bool, error) {
+	it.t.mu.RLock()
+	defer it.t.mu.RUnlock()
+	for it.pq.Len() > 0 {
+		item := heap.Pop(&it.pq).(browseItem)
+		if item.node == storage.InvalidPage {
+			return Neighbor{TID: item.tid, Dist: item.dist}, true, nil
+		}
+		n, err := it.t.readNode(item.node)
+		if err != nil {
+			return Neighbor{}, false, fmt.Errorf("core: distance browsing: %w", err)
+		}
+		it.stats.NodesAccessed++
+		if n.leaf {
+			it.stats.LeavesAccessed++
+			for i := range n.entries {
+				it.stats.DataCompared++
+				heap.Push(&it.pq, browseItem{
+					dist: it.t.opts.distance(it.q, n.entries[i].sig),
+					tid:  n.entries[i].tid,
+				})
+			}
+			continue
+		}
+		for i := range n.entries {
+			it.stats.EntriesTested++
+			heap.Push(&it.pq, browseItem{
+				dist: it.t.entryMinDist(it.q, &n.entries[i]),
+				node: n.entries[i].child,
+				area: n.entries[i].sig.Area(),
+			})
+		}
+	}
+	return Neighbor{}, false, nil
+}
+
+// Stats returns the cumulative work performed so far.
+func (it *NNIterator) Stats() QueryStats { return it.stats }

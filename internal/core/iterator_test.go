@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"sgtree/internal/signature"
+)
+
+func TestNNIteratorFullOrder(t *testing.T) {
+	d := questData(t, 400, 71)
+	tr := buildTree(t, d, testOptions(200))
+	q := d.Tx[7]
+	qsig := sigOf(t, 200, q)
+	it, err := tr.NewNNIterator(qsig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	seen := map[uint32]bool{}
+	for {
+		nb, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if seen[uint32(nb.TID)] {
+			t.Fatalf("tid %d yielded twice", nb.TID)
+		}
+		seen[uint32(nb.TID)] = true
+		got = append(got, nb.Dist)
+	}
+	if len(got) != d.Len() {
+		t.Fatalf("yielded %d of %d", len(got), d.Len())
+	}
+	// Non-decreasing order.
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("distances out of order at %d: %v < %v", i, got[i], got[i-1])
+		}
+	}
+	// Same multiset as the oracle.
+	want := make([]float64, d.Len())
+	for i, tx := range d.Tx {
+		want[i] = float64(q.Hamming(tx))
+	}
+	sort.Float64s(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNNIteratorPrefixMatchesKNN(t *testing.T) {
+	d := questData(t, 500, 73)
+	tr := buildTree(t, d, testOptions(200))
+	q := sigOf(t, 200, d.Tx[99])
+	it, err := tr.NewNNIterator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, _, err := tr.KNN(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		nb, ok, err := it.Next()
+		if err != nil || !ok {
+			t.Fatalf("iterator ended early at %d: %v", i, err)
+		}
+		if nb.Dist != knn[i].Dist {
+			t.Fatalf("rank %d: iterator %v vs KNN %v", i, nb.Dist, knn[i].Dist)
+		}
+	}
+	// Lazy: a 10-neighbor prefix costs no more than a best-first 10-NN
+	// (the iterator is the same traversal, stopped early).
+	_, bfStats, err := tr.KNNBestFirst(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := it.Stats(); st.DataCompared > bfStats.DataCompared {
+		t.Errorf("iterator compared %d entries for a 10-prefix, best-first KNN compared %d",
+			st.DataCompared, bfStats.DataCompared)
+	}
+}
+
+func TestNNIteratorEmptyTreeAndErrors(t *testing.T) {
+	tr := mustTree(t, testOptions(64))
+	it, err := tr.NewNNIterator(signature.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Error("empty tree iterator should end immediately")
+	}
+	if _, err := tr.NewNNIterator(signature.New(63)); err == nil {
+		t.Error("wrong-length query accepted")
+	}
+}
+
+func TestNNIteratorExhaustionIsSticky(t *testing.T) {
+	d := questData(t, 50, 79)
+	tr := buildTree(t, d, testOptions(200))
+	it, err := tr.NewNNIterator(sigOf(t, 200, d.Tx[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("yielded %d", n)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, _ := it.Next(); ok {
+			t.Fatal("exhausted iterator yielded again")
+		}
+	}
+}

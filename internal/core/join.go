@@ -1,0 +1,375 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// This file implements tree-to-tree similarity queries in the spirit of the
+// "other query types" of Section 4.2 (whose citations point at the R-tree
+// spatial join of Brinkhoff et al. and the closest-pair queries of Corral
+// et al.): a similarity join (all pairs within ε) and top-k closest pairs.
+//
+// Pruning pairs of directory entries needs a lower bound on the distance
+// between any t1 ⊆ e1 and t2 ⊆ e2. Under plain Hamming no useful bound
+// exists (both subtrees may contain the same small subset), so the general
+// case filters at the leaves only. With fixed-cardinality d (categorical
+// data), |t1 ∩ t2| ≤ min(d, |e1 ∩ e2|) gives
+//
+//	pairMinDist(e1,e2) = 2·(d − min(d, |e1 ∩ e2|)),
+//
+// which prunes directory pairs the way the Section 6 query bound does.
+
+// Pair is one result of a join: two ids and their distance.
+type Pair struct {
+	Left, Right dataset.TID
+	Dist        float64
+}
+
+// pairMinDist returns a lower bound on the distance between any two data
+// signatures covered by e1 and e2 respectively.
+func (t *Tree) pairMinDist(e1, e2 signature.Signature) float64 {
+	d := t.opts.FixedCardinality
+	if d <= 0 || t.opts.Metric != signature.Hamming {
+		return 0 // no admissible directory bound in the general case
+	}
+	shared := e1.Intersect(e2)
+	if shared > d {
+		shared = d
+	}
+	return float64(2 * (d - shared))
+}
+
+// SimilarityJoin returns all pairs (a, b) with a indexed in t, b indexed in
+// other, and distance(a, b) ≤ eps. Both trees must share the signature
+// length and metric. Joining a tree with itself returns each unordered pair
+// once (Left < Right) and skips identical tids.
+func (t *Tree) SimilarityJoin(other *Tree, eps float64) ([]Pair, QueryStats, error) {
+	self := t == other
+	t.mu.RLock()
+	if !self {
+		other.mu.RLock()
+		defer other.mu.RUnlock()
+	}
+	defer t.mu.RUnlock()
+
+	var stats QueryStats
+	if err := t.joinCompatible(other); err != nil {
+		return nil, stats, err
+	}
+	if eps < 0 {
+		return nil, stats, fmt.Errorf("core: negative join range %v", eps)
+	}
+	if t.root == storage.InvalidPage || other.root == storage.InvalidPage {
+		return nil, stats, nil
+	}
+	var out []Pair
+	if err := t.joinNodes(other, t.root, other.root, eps, self, &out, &stats); err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+func (t *Tree) joinCompatible(other *Tree) error {
+	if t.opts.SignatureLength != other.opts.SignatureLength {
+		return fmt.Errorf("core: join across signature lengths %d and %d",
+			t.opts.SignatureLength, other.opts.SignatureLength)
+	}
+	if t.opts.Metric != other.opts.Metric {
+		return fmt.Errorf("core: join across metrics %s and %s", t.opts.Metric, other.opts.Metric)
+	}
+	return nil
+}
+
+// joinNodes recursively joins two subtrees. For a self join only pairs with
+// n1.id <= n2.id are explored, halving the work.
+func (t *Tree) joinNodes(other *Tree, id1, id2 storage.PageID, eps float64, self bool, out *[]Pair, stats *QueryStats) error {
+	n1, err := t.readNode(id1)
+	if err != nil {
+		return err
+	}
+	n2, err := other.readNode(id2)
+	if err != nil {
+		return err
+	}
+	stats.NodesAccessed += 2
+
+	switch {
+	case n1.leaf && n2.leaf:
+		stats.LeavesAccessed += 2
+		sameNode := self && id1 == id2
+		for i := range n1.entries {
+			jStart := 0
+			if sameNode {
+				jStart = i + 1
+			}
+			for j := jStart; j < len(n2.entries); j++ {
+				stats.DataCompared++
+				d := t.opts.distance(n1.entries[i].sig, n2.entries[j].sig)
+				if d <= eps {
+					left, right := n1.entries[i].tid, n2.entries[j].tid
+					if self && left > right {
+						left, right = right, left // normalize unordered pairs
+					}
+					*out = append(*out, Pair{Left: left, Right: right, Dist: d})
+				}
+			}
+		}
+		return nil
+	case n1.leaf:
+		// Descend the taller side.
+		for j := range n2.entries {
+			stats.EntriesTested++
+			if t.pairMinDist(n1.coverSignature(t.opts.SignatureLength), n2.entries[j].sig) <= eps {
+				if err := t.joinNodes(other, id1, n2.entries[j].child, eps, self, out, stats); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case n2.leaf:
+		for i := range n1.entries {
+			stats.EntriesTested++
+			if t.pairMinDist(n1.entries[i].sig, n2.coverSignature(t.opts.SignatureLength)) <= eps {
+				if err := t.joinNodes(other, n1.entries[i].child, id2, eps, self, out, stats); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		for i := range n1.entries {
+			for j := range n2.entries {
+				if self && id1 == id2 && j < i {
+					continue // symmetric pairs handled once
+				}
+				stats.EntriesTested++
+				if t.pairMinDist(n1.entries[i].sig, n2.entries[j].sig) <= eps {
+					if err := t.joinNodes(other, n1.entries[i].child, n2.entries[j].child, eps, self, out, stats); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// pairPQItem is a node pair in the best-first closest-pair queue.
+type pairPQItem struct {
+	id1, id2 storage.PageID
+	minDist  float64
+}
+
+type pairPQ []pairPQItem
+
+func (h pairPQ) Len() int            { return len(h) }
+func (h pairPQ) Less(i, j int) bool  { return h[i].minDist < h[j].minDist }
+func (h pairPQ) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairPQ) Push(x interface{}) { *h = append(*h, x.(pairPQItem)) }
+func (h *pairPQ) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// pairHeap is a bounded max-heap of the k best pairs.
+type pairHeap []Pair
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(Pair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ClosestPairs returns the k closest pairs between t and other (best-first,
+// after Corral et al.). For a self join each unordered pair counts once and
+// identical tids are skipped. Directory-level pruning again requires the
+// fixed-cardinality bound; otherwise the algorithm degenerates gracefully
+// to leaf-level filtering.
+func (t *Tree) ClosestPairs(other *Tree, k int) ([]Pair, QueryStats, error) {
+	self := t == other
+	t.mu.RLock()
+	if !self {
+		other.mu.RLock()
+		defer other.mu.RUnlock()
+	}
+	defer t.mu.RUnlock()
+
+	var stats QueryStats
+	if err := t.joinCompatible(other); err != nil {
+		return nil, stats, err
+	}
+	if k < 1 {
+		return nil, stats, fmt.Errorf("core: k = %d < 1", k)
+	}
+	if t.root == storage.InvalidPage || other.root == storage.InvalidPage {
+		return nil, stats, nil
+	}
+
+	best := pairHeap{}
+	bound := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[0].Dist
+	}
+	offer := func(p Pair) {
+		if len(best) < k {
+			heap.Push(&best, p)
+		} else if p.Dist < best[0].Dist {
+			best[0] = p
+			heap.Fix(&best, 0)
+		}
+	}
+
+	pq := &pairPQ{{id1: t.root, id2: other.root}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(pairPQItem)
+		if item.minDist > bound() {
+			break
+		}
+		n1, err := t.readNode(item.id1)
+		if err != nil {
+			return nil, stats, err
+		}
+		n2, err := other.readNode(item.id2)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.NodesAccessed += 2
+		switch {
+		case n1.leaf && n2.leaf:
+			stats.LeavesAccessed += 2
+			sameNode := self && item.id1 == item.id2
+			for i := range n1.entries {
+				jStart := 0
+				if sameNode {
+					jStart = i + 1
+				}
+				for j := jStart; j < len(n2.entries); j++ {
+					stats.DataCompared++
+					d := t.opts.distance(n1.entries[i].sig, n2.entries[j].sig)
+					left, right := n1.entries[i].tid, n2.entries[j].tid
+					if self && left > right {
+						left, right = right, left
+					}
+					offer(Pair{Left: left, Right: right, Dist: d})
+				}
+			}
+		case n1.leaf:
+			for j := range n2.entries {
+				stats.EntriesTested++
+				md := t.pairMinDist(n1.coverSignature(t.opts.SignatureLength), n2.entries[j].sig)
+				if md <= bound() {
+					heap.Push(pq, pairPQItem{id1: item.id1, id2: n2.entries[j].child, minDist: md})
+				}
+			}
+		case n2.leaf:
+			for i := range n1.entries {
+				stats.EntriesTested++
+				md := t.pairMinDist(n1.entries[i].sig, n2.coverSignature(t.opts.SignatureLength))
+				if md <= bound() {
+					heap.Push(pq, pairPQItem{id1: n1.entries[i].child, id2: item.id2, minDist: md})
+				}
+			}
+		default:
+			for i := range n1.entries {
+				for j := range n2.entries {
+					if self && item.id1 == item.id2 && j < i {
+						continue
+					}
+					stats.EntriesTested++
+					md := t.pairMinDist(n1.entries[i].sig, n2.entries[j].sig)
+					if md <= bound() {
+						heap.Push(pq, pairPQItem{id1: n1.entries[i].child, id2: n2.entries[j].child, minDist: md})
+					}
+				}
+			}
+		}
+	}
+	out := append([]Pair(nil), best...)
+	// Sort by distance, then tids, for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && lessPair(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, stats, nil
+}
+
+// JoinMatch is one row of a k-NN join: an id from the left tree and its
+// nearest neighbors in the right tree.
+type JoinMatch struct {
+	Left      dataset.TID
+	Neighbors []Neighbor
+}
+
+// NNJoin returns, for every signature indexed in t, its k nearest
+// neighbors in other (the all-nearest-neighbors operation of the
+// closest-pair query family). Joining a tree with itself excludes each
+// item's own tid from its neighbor list. Left items are processed in leaf
+// order, which keeps consecutive queries similar and the right tree's
+// buffer pool warm.
+func (t *Tree) NNJoin(other *Tree, k int) ([]JoinMatch, QueryStats, error) {
+	var stats QueryStats
+	if err := t.joinCompatible(other); err != nil {
+		return nil, stats, err
+	}
+	if k < 1 {
+		return nil, stats, fmt.Errorf("core: k = %d < 1", k)
+	}
+	// Export first: it holds t's lock, which must be released before
+	// querying when other == t (the mutex is not reentrant).
+	items, err := t.Export()
+	if err != nil {
+		return nil, stats, err
+	}
+	self := t == other
+	kk := k
+	if self {
+		kk++ // fetch one extra to drop the item itself
+	}
+	out := make([]JoinMatch, 0, len(items))
+	for _, it := range items {
+		res, st, err := other.KNN(it.Sig, kk)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.add(st)
+		if self {
+			trimmed := res[:0]
+			for _, nb := range res {
+				if nb.TID != it.TID && len(trimmed) < k {
+					trimmed = append(trimmed, nb)
+				}
+			}
+			res = trimmed
+		}
+		out = append(out, JoinMatch{Left: it.TID, Neighbors: res})
+	}
+	return out, stats, nil
+}
+
+func lessPair(a, b Pair) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	if a.Left != b.Left {
+		return a.Left < b.Left
+	}
+	return a.Right < b.Right
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/signature"
+)
+
+// censusTrees builds two fixed-cardinality trees over split halves of a
+// categorical dataset, plus the raw halves for oracle checks.
+func censusTrees(t *testing.T, n int) (*Tree, *Tree, *dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	c, err := gen.NewCensus(gen.CensusConfig{NumTuples: n, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Generate()
+	half := d.Len() / 2
+	d1 := dataset.New(d.Universe)
+	d2 := dataset.New(d.Universe)
+	d1.Tx = d.Tx[:half]
+	d2.Tx = d.Tx[half:]
+	opts := Options{
+		SignatureLength:  525,
+		PageSize:         2048,
+		MaxNodeEntries:   8,
+		Compress:         true,
+		FixedCardinality: 36,
+	}
+	return buildTree(t, d1, opts), buildTree(t, d2, opts), d1, d2
+}
+
+func TestSimilarityJoinMatchesNestedLoop(t *testing.T) {
+	t1, t2, d1, d2 := censusTrees(t, 240)
+	eps := 8.0
+	got, stats, err := t1.SimilarityJoin(t2, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]dataset.TID]float64{}
+	for i, a := range d1.Tx {
+		for j, b := range d2.Tx {
+			if d := float64(a.Hamming(b)); d <= eps {
+				want[[2]dataset.TID{dataset.TID(i), dataset.TID(j)}] = d
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("join returned %d pairs, want %d", len(got), len(want))
+	}
+	for _, p := range got {
+		wd, ok := want[[2]dataset.TID{p.Left, p.Right}]
+		if !ok || wd != p.Dist {
+			t.Fatalf("unexpected pair %+v", p)
+		}
+	}
+	// Fixed-cardinality pruning must beat the full nested loop.
+	if stats.DataCompared >= d1.Len()*d2.Len() {
+		t.Errorf("join compared %d pairs of %d possible; no pruning", stats.DataCompared, d1.Len()*d2.Len())
+	}
+}
+
+func TestSelfJoinEmitsUnorderedPairsOnce(t *testing.T) {
+	t1, _, d1, _ := censusTrees(t, 160)
+	eps := 6.0
+	got, _, err := t1.SimilarityJoin(t1, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := range d1.Tx {
+		for j := i + 1; j < len(d1.Tx); j++ {
+			if float64(d1.Tx[i].Hamming(d1.Tx[j])) <= eps {
+				want++
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("self join: %d pairs, want %d", len(got), want)
+	}
+	seen := map[[2]dataset.TID]bool{}
+	for _, p := range got {
+		if p.Left >= p.Right {
+			t.Fatalf("pair not normalized: %+v", p)
+		}
+		key := [2]dataset.TID{p.Left, p.Right}
+		if seen[key] {
+			t.Fatalf("duplicate pair %+v", p)
+		}
+		seen[key] = true
+	}
+}
+
+func TestJoinErrorsAndEdges(t *testing.T) {
+	t1, t2, _, _ := censusTrees(t, 80)
+	if _, _, err := t1.SimilarityJoin(t2, -1); err == nil {
+		t.Error("negative eps accepted")
+	}
+	other := mustTree(t, testOptions(64))
+	if _, _, err := t1.SimilarityJoin(other, 1); err == nil {
+		t.Error("join across signature lengths accepted")
+	}
+	empty := mustTree(t, Options{SignatureLength: 525, PageSize: 2048, FixedCardinality: 36})
+	pairs, _, err := t1.SimilarityJoin(empty, 5)
+	if err != nil || len(pairs) != 0 {
+		t.Error("join with empty tree should return nothing")
+	}
+	if _, _, err := t1.ClosestPairs(t2, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestJoinAcrossMetricsRejected(t *testing.T) {
+	d := questData(t, 50, 3)
+	o1 := testOptions(200)
+	t1 := buildTree(t, d, o1)
+	o2 := testOptions(200)
+	o2.Metric = signature.Jaccard
+	t2 := buildTree(t, d, o2)
+	if _, _, err := t1.SimilarityJoin(t2, 1); err == nil {
+		t.Error("join across metrics accepted")
+	}
+}
+
+func TestClosestPairsMatchesOracle(t *testing.T) {
+	t1, t2, d1, d2 := censusTrees(t, 200)
+	for _, k := range []int{1, 5, 20} {
+		got, _, err := t1.ClosestPairs(t2, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: all pair distances sorted.
+		var dists []float64
+		for _, a := range d1.Tx {
+			for _, b := range d2.Tx {
+				dists = append(dists, float64(a.Hamming(b)))
+			}
+		}
+		for i := 0; i < k; i++ {
+			minIdx := i
+			for j := i; j < len(dists); j++ {
+				if dists[j] < dists[minIdx] {
+					minIdx = j
+				}
+			}
+			dists[i], dists[minIdx] = dists[minIdx], dists[i]
+		}
+		if len(got) != k {
+			t.Fatalf("k=%d: got %d pairs", k, len(got))
+		}
+		for i := 0; i < k; i++ {
+			if got[i].Dist != dists[i] {
+				t.Fatalf("k=%d rank %d: dist %v, want %v", k, i, got[i].Dist, dists[i])
+			}
+		}
+	}
+}
+
+func TestClosestPairsSelf(t *testing.T) {
+	t1, _, d1, _ := censusTrees(t, 120)
+	k := 10
+	got, _, err := t1.ClosestPairs(t1, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dists []float64
+	for i := range d1.Tx {
+		for j := i + 1; j < len(d1.Tx); j++ {
+			dists = append(dists, float64(d1.Tx[i].Hamming(d1.Tx[j])))
+		}
+	}
+	for i := 0; i < k; i++ {
+		minIdx := i
+		for j := i; j < len(dists); j++ {
+			if dists[j] < dists[minIdx] {
+				minIdx = j
+			}
+		}
+		dists[i], dists[minIdx] = dists[minIdx], dists[i]
+	}
+	if len(got) != k {
+		t.Fatalf("got %d pairs", len(got))
+	}
+	for i := range got {
+		if got[i].Dist != dists[i] {
+			t.Fatalf("rank %d: %v vs %v", i, got[i].Dist, dists[i])
+		}
+		if got[i].Left >= got[i].Right {
+			t.Fatalf("self pair not normalized: %+v", got[i])
+		}
+	}
+}
+
+func TestNNJoinMatchesOracle(t *testing.T) {
+	t1, t2, d1, d2 := censusTrees(t, 160)
+	res, stats, err := t1.NNJoin(t2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != d1.Len() {
+		t.Fatalf("join rows: %d, want %d", len(res), d1.Len())
+	}
+	if stats.DataCompared == 0 {
+		t.Fatal("no work recorded")
+	}
+	for _, row := range res {
+		if len(row.Neighbors) != 2 {
+			t.Fatalf("left %d: %d neighbors", row.Left, len(row.Neighbors))
+		}
+		// Oracle for this row.
+		q := d1.Tx[row.Left]
+		want := make([]float64, 0, d2.Len())
+		for _, tx := range d2.Tx {
+			want = append(want, float64(q.Hamming(tx)))
+		}
+		for i := 0; i < 2; i++ {
+			min := i
+			for j := i; j < len(want); j++ {
+				if want[j] < want[min] {
+					min = j
+				}
+			}
+			want[i], want[min] = want[min], want[i]
+			if row.Neighbors[i].Dist != want[i] {
+				t.Fatalf("left %d rank %d: %v vs %v", row.Left, i, row.Neighbors[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestNNJoinSelfExcludesIdentity(t *testing.T) {
+	t1, _, d1, _ := censusTrees(t, 120)
+	res, _, err := t1.NNJoin(t1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != d1.Len() {
+		t.Fatalf("rows: %d", len(res))
+	}
+	for _, row := range res {
+		if len(row.Neighbors) != 1 {
+			t.Fatalf("left %d: %d neighbors", row.Left, len(row.Neighbors))
+		}
+		if row.Neighbors[0].TID == row.Left {
+			t.Fatalf("left %d matched itself", row.Left)
+		}
+		// Distance must equal the true NN distance excluding self.
+		q := d1.Tx[row.Left]
+		best := -1.0
+		for j, tx := range d1.Tx {
+			if dataset.TID(j) == row.Left {
+				continue
+			}
+			if d := float64(q.Hamming(tx)); best < 0 || d < best {
+				best = d
+			}
+		}
+		if row.Neighbors[0].Dist != best {
+			t.Fatalf("left %d: dist %v, want %v", row.Left, row.Neighbors[0].Dist, best)
+		}
+	}
+	if _, _, err := t1.NNJoin(t1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestGeneralJoinWithoutFixedCardStillCorrect(t *testing.T) {
+	// Without the fixed-cardinality bound the join cannot prune directory
+	// pairs, but must stay correct.
+	d := questData(t, 120, 61)
+	tr := buildTree(t, d, testOptions(200))
+	eps := 4.0
+	got, _, err := tr.SimilarityJoin(tr, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := range d.Tx {
+		for j := i + 1; j < len(d.Tx); j++ {
+			if float64(d.Tx[i].Hamming(d.Tx[j])) <= eps {
+				want++
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("general self join: %d pairs, want %d", len(got), want)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+// TestModelBasedRandomOps drives the tree with a long random sequence of
+// inserts and deletes, mirroring every operation in a trivial map-based
+// model, and cross-checks KNN, range, containment, exact-match and
+// iterator results against the model after every batch. This is the
+// highest-level correctness net: if any structural bug slips past the
+// invariant checker, the answers diverge here.
+func TestModelBasedRandomOps(t *testing.T) {
+	const (
+		universe   = 120
+		steps      = 2500
+		checkEvery = 250
+	)
+	r := rand.New(rand.NewSource(1234))
+	opts := testOptions(universe)
+	configs := []struct {
+		compress, cardStats, reinsert bool
+	}{
+		{false, false, false},
+		{true, false, false},
+		{false, true, false},
+		{true, true, true},
+		{false, false, true},
+	}
+	for _, cfg := range configs {
+		compress := cfg.compress
+		opts.Compress = compress
+		opts.CardStats = cfg.cardStats
+		opts.ForcedReinsert = cfg.reinsert
+		tr := mustTree(t, opts)
+		m := signature.NewDirectMapper(universe)
+		model := map[dataset.TID]dataset.Transaction{}
+		nextTID := dataset.TID(0)
+
+		randomTx := func() dataset.Transaction {
+			base := r.Intn(6) * 20
+			items := []int{base + r.Intn(20), base + r.Intn(20)}
+			for j := 0; j < r.Intn(4); j++ {
+				items = append(items, r.Intn(universe))
+			}
+			return dataset.NewTransaction(items...)
+		}
+
+		for step := 0; step < steps; step++ {
+			if len(model) == 0 || r.Intn(5) > 0 {
+				tx := randomTx()
+				if err := tr.Insert(signature.FromItems(m, tx), nextTID); err != nil {
+					t.Fatal(err)
+				}
+				model[nextTID] = tx
+				nextTID++
+			} else {
+				// Delete a pseudo-random live tid.
+				k := r.Intn(len(model))
+				var victim dataset.TID
+				for id := range model {
+					if k == 0 {
+						victim = id
+						break
+					}
+					k--
+				}
+				found, err := tr.Delete(signature.FromItems(m, model[victim]), victim)
+				if err != nil || !found {
+					t.Fatalf("step %d: delete %d: %v %v", step, victim, found, err)
+				}
+				delete(model, victim)
+			}
+			if step%checkEvery != checkEvery-1 {
+				continue
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d (compress=%v): %v", step, compress, err)
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("step %d: Len %d vs model %d", step, tr.Len(), len(model))
+			}
+			q := randomTx()
+			qsig := signature.FromItems(m, q)
+
+			// KNN distances match the model's k smallest.
+			got, _, err := tr.KNN(qsig, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dists []float64
+			for _, tx := range model {
+				dists = append(dists, float64(q.Hamming(tx)))
+			}
+			for i := 0; i < len(got); i++ {
+				min := math.Inf(1)
+				minAt := -1
+				for j, dd := range dists {
+					if dd < min {
+						min, minAt = dd, j
+					}
+				}
+				if got[i].Dist != min {
+					t.Fatalf("step %d KNN rank %d: %v vs %v", step, i, got[i].Dist, min)
+				}
+				dists[minAt] = math.Inf(1)
+			}
+
+			// Range query result set matches exactly (ids and distances).
+			eps := float64(r.Intn(5))
+			gotR, _, err := tr.RangeSearch(qsig, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantR := map[dataset.TID]float64{}
+			for id, tx := range model {
+				if dd := float64(q.Hamming(tx)); dd <= eps {
+					wantR[id] = dd
+				}
+			}
+			if len(gotR) != len(wantR) {
+				t.Fatalf("step %d range(%v): %d vs %d", step, eps, len(gotR), len(wantR))
+			}
+			for _, nb := range gotR {
+				if wantR[nb.TID] != nb.Dist {
+					t.Fatalf("step %d range: wrong member %+v", step, nb)
+				}
+			}
+
+			// Containment of a 2-item probe.
+			probe := dataset.NewTransaction(q[0], q[len(q)-1])
+			gotC, _, err := tr.Containment(signature.FromItems(m, probe))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantC := 0
+			for _, tx := range model {
+				if tx.ContainsAll(probe) {
+					wantC++
+				}
+			}
+			if len(gotC) != wantC {
+				t.Fatalf("step %d containment: %d vs %d", step, len(gotC), wantC)
+			}
+
+			// Exact match of a random live transaction.
+			if len(model) > 0 {
+				var anyID dataset.TID
+				for id := range model {
+					anyID = id
+					break
+				}
+				gotE, _, err := tr.Exact(signature.FromItems(m, model[anyID]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				found := false
+				for _, id := range gotE {
+					if id == anyID {
+						found = true
+					}
+					if model[id].Hamming(model[anyID]) != 0 {
+						t.Fatalf("step %d exact: tid %d is not equal", step, id)
+					}
+				}
+				if !found {
+					t.Fatalf("step %d exact: live tid %d missing", step, anyID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// This file implements the nearest-neighbor machinery of Section 4.1: the
+// depth-first branch-and-bound algorithm of Figure 4 (an adaptation of
+// Roussopoulos et al. to signature covers, with the paper's area
+// tie-breaking), its k-NN generalization with a bounded priority queue, the
+// all-ties variant, and the optimal best-first algorithm of Hjaltason &
+// Samet that Section 4.1 describes as the node-access-optimal alternative.
+
+// resultHeap is a bounded max-heap holding the k best neighbors found so
+// far; the root is the current k-th best, whose distance is the pruning
+// bound.
+type resultHeap []Neighbor
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist } // max-heap
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// knnAccumulator tracks the k nearest neighbors during a search.
+type knnAccumulator struct {
+	k    int
+	heap resultHeap
+}
+
+// bound returns the pruning distance: +Inf until k results exist, then the
+// distance of the k-th best.
+func (a *knnAccumulator) bound() float64 {
+	if len(a.heap) < a.k {
+		return math.Inf(1)
+	}
+	return a.heap[0].Dist
+}
+
+// offer considers a candidate.
+func (a *knnAccumulator) offer(n Neighbor) {
+	if len(a.heap) < a.k {
+		heap.Push(&a.heap, n)
+		return
+	}
+	if n.Dist < a.heap[0].Dist {
+		a.heap[0] = n
+		heap.Fix(&a.heap, 0)
+	}
+}
+
+// results returns the neighbors sorted by distance.
+func (a *knnAccumulator) results() []Neighbor {
+	out := append([]Neighbor(nil), a.heap...)
+	sortNeighbors(out)
+	return out
+}
+
+// NearestNeighbor returns the single nearest neighbor of q using the
+// depth-first algorithm of Figure 4. It errors on an empty tree.
+func (t *Tree) NearestNeighbor(q signature.Signature) (Neighbor, QueryStats, error) {
+	res, stats, err := t.KNN(q, 1)
+	if err != nil {
+		return Neighbor{}, stats, err
+	}
+	if len(res) == 0 {
+		return Neighbor{}, stats, fmt.Errorf("core: nearest neighbor on an empty tree")
+	}
+	return res[0], stats, nil
+}
+
+// KNN returns the k nearest neighbors of q (fewer if the tree holds fewer
+// signatures), sorted by distance, using depth-first branch and bound.
+func (t *Tree) KNN(q signature.Signature, k int) ([]Neighbor, QueryStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var stats QueryStats
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, stats, err
+	}
+	if k < 1 {
+		return nil, stats, fmt.Errorf("core: k = %d < 1", k)
+	}
+	if t.root == storage.InvalidPage {
+		return nil, stats, nil
+	}
+	acc := &knnAccumulator{k: k}
+	if err := t.dfSearch(t.root, q, acc, &stats); err != nil {
+		return nil, stats, err
+	}
+	return acc.results(), stats, nil
+}
+
+// branchEntry carries the sort key of Figure 4: ascending optimistic bound,
+// ties broken by the smallest area (the smaller cover is the more likely to
+// actually contain the optimistic match — see the probabilistic argument in
+// Section 4.1).
+type branchEntry struct {
+	idx     int
+	minDist float64
+	area    int
+}
+
+func (t *Tree) orderBranches(n *node, q signature.Signature, stats *QueryStats) []branchEntry {
+	branches := make([]branchEntry, len(n.entries))
+	for i := range n.entries {
+		stats.EntriesTested++
+		branches[i] = branchEntry{
+			idx:     i,
+			minDist: t.entryMinDist(q, &n.entries[i]),
+			area:    n.entries[i].sig.Area(),
+		}
+	}
+	sort.Slice(branches, func(a, b int) bool {
+		if branches[a].minDist != branches[b].minDist {
+			return branches[a].minDist < branches[b].minDist
+		}
+		return branches[a].area < branches[b].area
+	})
+	return branches
+}
+
+// dfSearch is the recursive procedure of Figure 4 generalized to k results.
+func (t *Tree) dfSearch(id storage.PageID, q signature.Signature, acc *knnAccumulator, stats *QueryStats) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			stats.DataCompared++
+			d := t.opts.distance(q, n.entries[i].sig)
+			if d < acc.bound() {
+				acc.offer(Neighbor{TID: n.entries[i].tid, Dist: d})
+			}
+		}
+		return nil
+	}
+	for _, b := range t.orderBranches(n, q, stats) {
+		if b.minDist >= acc.bound() {
+			// Entries are sorted: nothing further can improve the result.
+			break
+		}
+		if err := t.dfSearch(n.entries[b.idx].child, q, acc, stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllNearestNeighbors returns every signature at the minimum distance from
+// q — the variant of Figure 4 with "<" relaxed to "≤" that the paper
+// sketches for retrieving all ties.
+func (t *Tree) AllNearestNeighbors(q signature.Signature) ([]Neighbor, QueryStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var stats QueryStats
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, stats, err
+	}
+	if t.root == storage.InvalidPage {
+		return nil, stats, nil
+	}
+	best := math.Inf(1)
+	var out []Neighbor
+	if err := t.dfSearchAll(t.root, q, &best, &out, &stats); err != nil {
+		return nil, stats, err
+	}
+	sortNeighbors(out)
+	return out, stats, nil
+}
+
+func (t *Tree) dfSearchAll(id storage.PageID, q signature.Signature, best *float64, out *[]Neighbor, stats *QueryStats) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			stats.DataCompared++
+			d := t.opts.distance(q, n.entries[i].sig)
+			switch {
+			case d < *best:
+				*best = d
+				*out = (*out)[:0]
+				*out = append(*out, Neighbor{TID: n.entries[i].tid, Dist: d})
+			case d == *best:
+				*out = append(*out, Neighbor{TID: n.entries[i].tid, Dist: d})
+			}
+		}
+		return nil
+	}
+	for _, b := range t.orderBranches(n, q, stats) {
+		if b.minDist > *best {
+			break
+		}
+		if err := t.dfSearchAll(n.entries[b.idx].child, q, best, out, stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pqItem is a priority-queue element of the best-first search: a node (or
+// tree region) with its optimistic distance.
+type pqItem struct {
+	id      storage.PageID
+	minDist float64
+	area    int
+}
+
+type nodePQ []pqItem
+
+func (h nodePQ) Len() int { return len(h) }
+func (h nodePQ) Less(i, j int) bool {
+	if h[i].minDist != h[j].minDist {
+		return h[i].minDist < h[j].minDist
+	}
+	return h[i].area < h[j].area
+}
+func (h nodePQ) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodePQ) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *nodePQ) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNNBestFirst returns the k nearest neighbors using the optimal best-first
+// strategy (Hjaltason & Samet): a global priority queue of subtrees ordered
+// by optimistic distance. It visits the provably minimal set of nodes, at
+// the cost of the queue bookkeeping — the trade-off Section 4.1 discusses
+// against the simpler depth-first algorithm.
+func (t *Tree) KNNBestFirst(q signature.Signature, k int) ([]Neighbor, QueryStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var stats QueryStats
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, stats, err
+	}
+	if k < 1 {
+		return nil, stats, fmt.Errorf("core: k = %d < 1", k)
+	}
+	if t.root == storage.InvalidPage {
+		return nil, stats, nil
+	}
+	acc := &knnAccumulator{k: k}
+	pq := &nodePQ{{id: t.root, minDist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(pqItem)
+		if item.minDist >= acc.bound() {
+			break
+		}
+		n, err := t.readNode(item.id)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.NodesAccessed++
+		if n.leaf {
+			stats.LeavesAccessed++
+			for i := range n.entries {
+				stats.DataCompared++
+				d := t.opts.distance(q, n.entries[i].sig)
+				if d < acc.bound() {
+					acc.offer(Neighbor{TID: n.entries[i].tid, Dist: d})
+				}
+			}
+			continue
+		}
+		for i := range n.entries {
+			stats.EntriesTested++
+			md := t.entryMinDist(q, &n.entries[i])
+			if md < acc.bound() {
+				heap.Push(pq, pqItem{
+					id:      n.entries[i].child,
+					minDist: md,
+					area:    n.entries[i].sig.Area(),
+				})
+			}
+		}
+	}
+	return acc.results(), stats, nil
+}

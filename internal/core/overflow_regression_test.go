@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+// TestCompressedMergeOverflowRegression reproduces a bug where merging a
+// new signature into an existing directory entry grew the entry's sparse
+// encoding past the page size without triggering a split (compressed
+// trees only: dense encodings have constant size). The size cap must bind
+// before the entry-count cap for the bug to fire, so the page is small
+// relative to MaxNodeEntries.
+func TestCompressedMergeOverflowRegression(t *testing.T) {
+	opts := Options{
+		SignatureLength: 300,
+		PageSize:        1024,
+		BufferPages:     64,
+		MaxNodeEntries:  256, // never binds: the page size must do the work
+		Compress:        true,
+	}
+	tr := mustTree(t, opts)
+	r := rand.New(rand.NewSource(5))
+	m := signature.NewDirectMapper(300)
+	for i := 0; i < 4000; i++ {
+		// Sets with a clustered core plus far-flung noise, so directory
+		// covers keep absorbing new bits as the tree grows.
+		base := (i % 20) * 15
+		items := []int{base, base + 1, base + 2}
+		for j := 0; j < 3; j++ {
+			items = append(items, r.Intn(300))
+		}
+		tx := dataset.NewTransaction(items...)
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

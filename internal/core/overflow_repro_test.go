@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/signature"
+)
+
+// TestCompressedOverflowAblationRepro is the exact configuration that first
+// exposed the merge-overflow bug (ablation A1: quest T=10/I=6 data,
+// compressed tree, min-overlap choose policy, default page geometry).
+func TestCompressedOverflowAblationRepro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow repro")
+	}
+	q, err := gen.NewQuest(gen.QuestConfig{
+		NumTransactions: 20000,
+		AvgSize:         10,
+		AvgItemsetSize:  6,
+		NumItemsets:     200,
+		Seed:            42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := q.Generate()
+	opts := Options{
+		SignatureLength: 1000,
+		PageSize:        4096,
+		BufferPages:     256,
+		MaxNodeEntries:  64,
+		Split:           MinSplit,
+		Choose:          MinOverlap,
+		Compress:        true,
+	}
+	tr := mustTree(t, opts)
+	m := signature.NewDirectMapper(1000)
+	for i, tx := range d.Tx {
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

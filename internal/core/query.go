@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// QueryStats reports the work a single query performed. The paper's
+// evaluation plots derive from these: "% of data processed" is
+// DataCompared over the dataset cardinality, and node accesses approximate
+// random I/Os under a cold buffer (exact I/Os come from the buffer pool).
+type QueryStats struct {
+	// NodesAccessed counts tree nodes visited (directory + leaf).
+	NodesAccessed int
+	// LeavesAccessed counts leaf nodes among them.
+	LeavesAccessed int
+	// DataCompared counts leaf entries whose exact distance (or predicate)
+	// was evaluated against the query — the transactions "accessed and
+	// compared with the query transaction".
+	DataCompared int
+	// EntriesTested counts directory entries for which a bound was computed.
+	EntriesTested int
+}
+
+func (s *QueryStats) add(o QueryStats) {
+	s.NodesAccessed += o.NodesAccessed
+	s.LeavesAccessed += o.LeavesAccessed
+	s.DataCompared += o.DataCompared
+	s.EntriesTested += o.EntriesTested
+}
+
+// Neighbor is one similarity-search result.
+type Neighbor struct {
+	TID  dataset.TID
+	Dist float64
+}
+
+// byDistThenTID orders neighbors by distance, breaking ties by TID so
+// results are deterministic.
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].TID < ns[j].TID
+	})
+}
+
+func (t *Tree) checkQuerySignature(q signature.Signature) error {
+	if q.Len() != t.opts.SignatureLength {
+		return fmt.Errorf("core: query signature length %d != tree length %d", q.Len(), t.opts.SignatureLength)
+	}
+	return nil
+}
+
+// Containment returns the ids of all indexed signatures that cover q —
+// the itemset containment query of Section 3 ("find all transactions
+// containing items i1..ik"). With a direct item mapping the result is
+// exact; with a hashed mapping it is a candidate set without false
+// negatives.
+func (t *Tree) Containment(q signature.Signature) ([]dataset.TID, QueryStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var stats QueryStats
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, stats, err
+	}
+	var out []dataset.TID
+	if t.root == storage.InvalidPage {
+		return nil, stats, nil
+	}
+	err := t.walkContainment(t.root, q, &out, &stats)
+	return out, stats, err
+}
+
+func (t *Tree) walkContainment(id storage.PageID, q signature.Signature, out *[]dataset.TID, stats *QueryStats) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			stats.DataCompared++
+			if n.entries[i].sig.Covers(q) {
+				*out = append(*out, n.entries[i].tid)
+			}
+		}
+		return nil
+	}
+	for i := range n.entries {
+		stats.EntriesTested++
+		// Only subtrees whose cover includes every query bit can hold a
+		// superset of q.
+		if n.entries[i].sig.Covers(q) {
+			if err := t.walkContainment(n.entries[i].child, q, out, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Exact returns the ids of all indexed signatures exactly equal to q.
+func (t *Tree) Exact(q signature.Signature) ([]dataset.TID, QueryStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var stats QueryStats
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, stats, err
+	}
+	var out []dataset.TID
+	if t.root == storage.InvalidPage {
+		return nil, stats, nil
+	}
+	err := t.walkExact(t.root, q, &out, &stats)
+	return out, stats, err
+}
+
+func (t *Tree) walkExact(id storage.PageID, q signature.Signature, out *[]dataset.TID, stats *QueryStats) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			stats.DataCompared++
+			if n.entries[i].sig.Equal(q.Bitset) {
+				*out = append(*out, n.entries[i].tid)
+			}
+		}
+		return nil
+	}
+	for i := range n.entries {
+		stats.EntriesTested++
+		if n.entries[i].sig.Covers(q) {
+			if err := t.walkExact(n.entries[i].child, q, out, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Subset returns the ids of all indexed signatures that are subsets of q.
+// As the paper notes (citing Helmer & Moerkotte), signature trees prune
+// poorly for this query type — a subtree can be skipped only when its
+// cover shares nothing with q — and inverted indexes are preferable; the
+// method exists for completeness and for the comparison benchmarks.
+func (t *Tree) Subset(q signature.Signature) ([]dataset.TID, QueryStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var stats QueryStats
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, stats, err
+	}
+	var out []dataset.TID
+	if t.root == storage.InvalidPage {
+		return nil, stats, nil
+	}
+	err := t.walkSubset(t.root, q, &out, &stats)
+	return out, stats, err
+}
+
+func (t *Tree) walkSubset(id storage.PageID, q signature.Signature, out *[]dataset.TID, stats *QueryStats) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			stats.DataCompared++
+			if q.Covers(n.entries[i].sig) {
+				*out = append(*out, n.entries[i].tid)
+			}
+		}
+		return nil
+	}
+	for i := range n.entries {
+		stats.EntriesTested++
+		// A subtree may contain a subset of q unless its cover is fully
+		// disjoint from q (only the empty set would qualify, and indexed
+		// signatures are non-empty in practice — but stay safe and prune
+		// only when the subtree cannot contain any t ⊆ q with t ≠ ∅).
+		if n.entries[i].sig.Intersects(q.Bitset) {
+			if err := t.walkSubset(n.entries[i].child, q, out, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RangeSearch returns every indexed signature within distance eps of q
+// under the tree's metric, sorted by distance. Subtrees are pruned with
+// the same lower bound the NN search uses (Section 4.1).
+func (t *Tree) RangeSearch(q signature.Signature, eps float64) ([]Neighbor, QueryStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var stats QueryStats
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, stats, err
+	}
+	if eps < 0 {
+		return nil, stats, fmt.Errorf("core: negative range %v", eps)
+	}
+	var out []Neighbor
+	if t.root == storage.InvalidPage {
+		return nil, stats, nil
+	}
+	if err := t.walkRange(t.root, q, eps, &out, &stats); err != nil {
+		return nil, stats, err
+	}
+	sortNeighbors(out)
+	return out, stats, nil
+}
+
+func (t *Tree) walkRange(id storage.PageID, q signature.Signature, eps float64, out *[]Neighbor, stats *QueryStats) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	stats.NodesAccessed++
+	if n.leaf {
+		stats.LeavesAccessed++
+		for i := range n.entries {
+			stats.DataCompared++
+			if d := t.opts.distance(q, n.entries[i].sig); d <= eps {
+				*out = append(*out, Neighbor{TID: n.entries[i].tid, Dist: d})
+			}
+		}
+		return nil
+	}
+	for i := range n.entries {
+		stats.EntriesTested++
+		if t.entryMinDist(q, &n.entries[i]) <= eps {
+			if err := t.walkRange(n.entries[i].child, q, eps, out, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

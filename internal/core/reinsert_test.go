@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+func TestForcedReinsertCorrectness(t *testing.T) {
+	d := questData(t, 900, 131)
+	opts := testOptions(200)
+	opts.ForcedReinsert = true
+	tr := buildTree(t, d, opts)
+	if tr.Len() != 900 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Query answers match the oracle exactly.
+	for _, qi := range []int{3, 400, 899} {
+		q := d.Tx[qi]
+		got, _, err := tr.KNN(sigOf(t, 200, q), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := linearKNN(d, q, 5)
+		for i := range got {
+			if got[i].Dist != want[i] {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestForcedReinsertWithDeletesAndCardStats(t *testing.T) {
+	d := questData(t, 600, 137)
+	opts := testOptions(200)
+	opts.ForcedReinsert = true
+	opts.CardStats = true
+	tr := buildTree(t, d, opts)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m := signature.NewDirectMapper(200)
+	r := rand.New(rand.NewSource(7))
+	perm := r.Perm(d.Len())
+	for i := 0; i < 400; i++ {
+		id := perm[i]
+		found, err := tr.Delete(signature.FromItems(m, d.Tx[id]), dataset.TID(id))
+		if err != nil || !found {
+			t.Fatalf("delete %d: %v %v", id, found, err)
+		}
+		if i%100 == 99 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	// Interleave re-inserts.
+	for i := 0; i < 100; i++ {
+		id := perm[i]
+		if err := tr.Insert(signature.FromItems(m, d.Tx[id]), dataset.TID(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", tr.Len())
+	}
+}
+
+func TestForcedReinsertImprovesOrMatchesClustering(t *testing.T) {
+	d := questData(t, 2000, 139)
+	plain := buildTree(t, d, testOptions(200))
+	opts := testOptions(200)
+	opts.ForcedReinsert = true
+	fr := buildTree(t, d, opts)
+
+	r := rand.New(rand.NewSource(3))
+	plainWork, frWork := 0, 0
+	for i := 0; i < 30; i++ {
+		q := sigOf(t, 200, d.Tx[r.Intn(d.Len())])
+		_, s1, err := plain.KNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, s2, err := fr.KNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainWork += s1.DataCompared
+		frWork += s2.DataCompared
+	}
+	t.Logf("data compared: plain %d, forced-reinsert %d", plainWork, frWork)
+	if frWork > 2*plainWork {
+		t.Errorf("forced reinsert made clustering far worse: %d vs %d", frWork, plainWork)
+	}
+}
+
+func TestExclusiveContributions(t *testing.T) {
+	m := signature.NewDirectMapper(16)
+	entries := []entry{
+		{sig: signature.FromItems(m, []int{0, 1, 2})},
+		{sig: signature.FromItems(m, []int{1, 2, 3})},
+		{sig: signature.FromItems(m, []int{10, 11, 12})},
+	}
+	got := exclusiveContributions(entries, 16)
+	// Entry 0: bit 0 exclusive. Entry 1: bit 3. Entry 2: 10,11,12 all.
+	want := []int{1, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d: contribution %d, want %d", i, got[i], want[i])
+		}
+	}
+}

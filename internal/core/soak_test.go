@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/signature"
+)
+
+// TestSoakLargeScale builds a production-geometry tree over 100K
+// transactions, checks invariants, spot-checks query answers against the
+// scan oracle, deletes a third and re-verifies. Guarded by -short.
+func TestSoakLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	q, err := gen.NewQuest(gen.QuestConfig{
+		NumTransactions: 100_000,
+		AvgSize:         10,
+		AvgItemsetSize:  6,
+		NumItemsets:     1000,
+		Seed:            64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := q.Generate()
+	opts := Options{
+		SignatureLength: 1000,
+		PageSize:        4096,
+		BufferPages:     512,
+		MaxNodeEntries:  64,
+		Split:           MinSplit,
+		Compress:        true,
+		CardStats:       true,
+	}
+	tr, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := signature.NewDirectMapper(1000)
+	for i, tx := range d.Tx {
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height %d suspiciously flat for 100K entries", tr.Height())
+	}
+
+	// Spot-check KNN against the oracle on 5 queries.
+	for qi, query := range q.Queries(5, 99) {
+		got, _, err := tr.KNN(signature.FromItems(m, query), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := linearKNN(d, query, 3)
+		for i := range got {
+			if got[i].Dist != want[i] {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, got[i].Dist, want[i])
+			}
+		}
+	}
+
+	// Delete a third in random order, then verify structure and survivors.
+	r := rand.New(rand.NewSource(5))
+	perm := r.Perm(d.Len())
+	nDel := d.Len() / 3
+	for i := 0; i < nDel; i++ {
+		id := perm[i]
+		found, err := tr.Delete(signature.FromItems(m, d.Tx[id]), dataset.TID(id))
+		if err != nil || !found {
+			t.Fatalf("delete %d: %v %v", id, found, err)
+		}
+	}
+	if tr.Len() != d.Len()-nDel {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := nDel; i < nDel+50; i++ {
+		id := perm[i]
+		got, _, err := tr.Exact(signature.FromItems(m, d.Tx[id]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := false
+		for _, g := range got {
+			if g == dataset.TID(id) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("survivor %d missing after mass deletion", id)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"sgtree/internal/signature"
+)
+
+// mkEntry builds a leaf entry whose compressed encoding has roughly the
+// requested number of set bits (hence size).
+func mkEntry(t *testing.T, universe, bits, seedBase int) entry {
+	t.Helper()
+	s := signature.New(universe)
+	for i := 0; i < bits; i++ {
+		s.Set((seedBase + i*7) % universe)
+	}
+	return entry{sig: s}
+}
+
+func TestRebalanceForSizeMovesOversize(t *testing.T) {
+	opts := Options{
+		SignatureLength: 512,
+		PageSize:        512,
+		Compress:        true,
+		MaxNodeEntries:  64,
+	}
+	tr := mustTree(t, opts)
+	budget := tr.layout.budget()
+
+	size := func(g []entry) int {
+		s := nodeHeaderSize
+		for i := range g {
+			s += tr.layout.entrySize(g[i].sig, true)
+		}
+		return s
+	}
+
+	// g1 crams several mid-size entries past the budget; g2 is tiny.
+	var g1, g2 []entry
+	for i := 0; size(g1) <= budget; i++ {
+		g1 = append(g1, mkEntry(t, 512, 60, i*13))
+	}
+	g2 = append(g2, mkEntry(t, 512, 4, 1), mkEntry(t, 512, 4, 99))
+	n1, n2 := len(g1), len(g2)
+
+	r1, r2 := tr.rebalanceForSize(g1, g2, true)
+	if size(r1) > budget || size(r2) > budget {
+		t.Fatalf("rebalance left an oversized group: %d / %d > %d", size(r1), size(r2), budget)
+	}
+	if len(r1)+len(r2) != n1+n2 {
+		t.Fatalf("entries lost: %d+%d != %d+%d", len(r1), len(r2), n1, n2)
+	}
+}
+
+// TestRebalanceForSizeFallbackDirect exercises the defensive first-fit
+// repartition directly. Under a genuine split's preconditions (the node
+// exceeded the budget by at most one entry, entries capped at a quarter
+// budget) the two move loops provably settle, so the fallback is
+// unreachable in production; it exists for defense in depth and this test
+// feeds it inputs that *violate* the precondition to confirm it still
+// conserves entries and produces the least-bad partition it can.
+func TestRebalanceForSizeFallbackDirect(t *testing.T) {
+	opts := Options{
+		SignatureLength: 512,
+		PageSize:        512,
+		Compress:        true,
+		MaxNodeEntries:  64,
+	}
+	tr := mustTree(t, opts)
+	// 13 dense-capped entries ≈ 1.9 budgets: no legal 2-partition exists,
+	// but the fallback must still terminate, keep every entry, and split
+	// the byte load roughly evenly.
+	var g1, g2 []entry
+	for i := 0; i < 7; i++ {
+		g1 = append(g1, mkEntry(t, 512, 256, i))
+	}
+	for i := 0; i < 6; i++ {
+		g2 = append(g2, mkEntry(t, 512, 256, 100+i))
+	}
+	r1, r2 := tr.rebalanceForSize(g1, g2, true)
+	if len(r1)+len(r2) != 13 {
+		t.Fatalf("entries lost: %d + %d != 13", len(r1), len(r2))
+	}
+	if len(r1) < 6 || len(r2) < 6 {
+		t.Errorf("fallback produced a lopsided partition: %d vs %d", len(r1), len(r2))
+	}
+}
+
+func TestSplitMinGroupBounds(t *testing.T) {
+	tr := mustTree(t, testOptions(64))
+	for _, n := range []int{4, 5, 8, 10, 100} {
+		m := tr.splitMinGroup(n)
+		if m < 2 || m > n/2 {
+			t.Errorf("splitMinGroup(%d) = %d outside [2, %d]", n, m, n/2)
+		}
+	}
+}

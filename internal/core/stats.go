@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"sgtree/internal/storage"
+)
+
+// TreeStats summarizes the structure of the tree. AvgAreaPerLevel is the
+// quality metric of Table 1: the smaller the average signature area of the
+// entries at the intermediate levels, the tighter the clustering.
+type TreeStats struct {
+	// Height is the number of levels (1 = the root is a leaf).
+	Height int
+	// Count is the number of indexed signatures.
+	Count int
+	// Nodes is the total number of nodes, NodesPerLevel[l] per level
+	// (level 0 = leaves).
+	Nodes         int
+	NodesPerLevel []int
+	// EntriesPerLevel[l] is the total entry count at level l.
+	EntriesPerLevel []int
+	// AvgAreaPerLevel[l] is the mean signature area of the entries stored
+	// in nodes at level l.
+	AvgAreaPerLevel []float64
+	// AvgFanout is the mean entry count of directory nodes.
+	AvgFanout float64
+	// BytesUsed is the sum of encoded node sizes; PageBytes the allocated
+	// page bytes — their ratio is the storage utilization.
+	BytesUsed int
+	PageBytes int
+}
+
+// Utilization returns BytesUsed / PageBytes (0 for an empty tree).
+func (s TreeStats) Utilization() float64 {
+	if s.PageBytes == 0 {
+		return 0
+	}
+	return float64(s.BytesUsed) / float64(s.PageBytes)
+}
+
+// Stats walks the whole tree and returns its structural statistics.
+func (t *Tree) Stats() (TreeStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := TreeStats{Height: t.height, Count: t.count}
+	if t.root == storage.InvalidPage {
+		return s, nil
+	}
+	s.NodesPerLevel = make([]int, t.height)
+	s.EntriesPerLevel = make([]int, t.height)
+	areaSum := make([]int, t.height)
+	if err := t.statsWalk(t.root, &s, areaSum); err != nil {
+		return s, err
+	}
+	s.AvgAreaPerLevel = make([]float64, t.height)
+	dirNodes, dirEntries := 0, 0
+	for l := 0; l < t.height; l++ {
+		if s.EntriesPerLevel[l] > 0 {
+			s.AvgAreaPerLevel[l] = float64(areaSum[l]) / float64(s.EntriesPerLevel[l])
+		}
+		s.Nodes += s.NodesPerLevel[l]
+		if l > 0 {
+			dirNodes += s.NodesPerLevel[l]
+			dirEntries += s.EntriesPerLevel[l]
+		}
+	}
+	if dirNodes > 0 {
+		s.AvgFanout = float64(dirEntries) / float64(dirNodes)
+	}
+	s.PageBytes = s.Nodes * t.opts.PageSize
+	return s, nil
+}
+
+func (t *Tree) statsWalk(id storage.PageID, s *TreeStats, areaSum []int) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.level >= len(s.NodesPerLevel) {
+		return fmt.Errorf("core: node %d at level %d exceeds height %d", id, n.level, len(s.NodesPerLevel))
+	}
+	s.NodesPerLevel[n.level]++
+	s.EntriesPerLevel[n.level] += len(n.entries)
+	for i := range n.entries {
+		areaSum[n.level] += n.entries[i].sig.Area()
+	}
+	s.BytesUsed += t.layout.encodedSize(n)
+	if n.leaf {
+		return nil
+	}
+	for i := range n.entries {
+		if err := t.statsWalk(n.entries[i].child, s, areaSum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

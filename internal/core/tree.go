@@ -1,0 +1,546 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// Tree is a signature tree: a paginated, height-balanced index over
+// ⟨signature, tid⟩ pairs. All methods are safe for concurrent use by
+// multiple goroutines: queries run concurrently under a read lock while
+// updates (Insert, Delete, BulkLoad) take the tree exclusively.
+type Tree struct {
+	mu     sync.RWMutex
+	opts   Options
+	codec  signature.Codec
+	layout nodeLayout
+	pool   *storage.BufferPool
+
+	metaPage storage.PageID
+	root     storage.PageID // InvalidPage for an empty tree
+	height   int            // levels; 1 = root is a leaf; 0 = empty
+	count    int            // indexed signatures
+
+	// Forced-reinsert state, alive only during one top-level Insert:
+	// reinsertActive marks levels that already evicted this round and
+	// reinsertQueue holds evicted entries awaiting re-insertion.
+	reinsertActive map[int]bool
+	reinsertQueue  []reinsertItem
+}
+
+// Meta page layout: magic | root | height | count | sigLen | flags.
+const (
+	treeMagic     = 0x53475431 // "SGT1"
+	metaSize      = 4 + 4 + 4 + 8 + 4 + 4
+	metaCompress  = 0x1
+	metaCardStats = 0x2
+)
+
+// New creates an SG-tree over a fresh in-memory pager.
+func New(opts Options) (*Tree, error) {
+	return NewWithPager(storage.NewMemPager(opts.withDefaults().PageSize), opts)
+}
+
+// NewWithPager creates an SG-tree on an empty pager (its first allocation
+// becomes the tree's meta page).
+func NewWithPager(p storage.Pager, opts Options) (*Tree, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if p.PageSize() != opts.PageSize {
+		return nil, fmt.Errorf("core: pager page size %d != options page size %d", p.PageSize(), opts.PageSize)
+	}
+	t := &Tree{
+		opts:   opts,
+		codec:  opts.codec(),
+		layout: nodeLayout{codec: opts.codec(), cardStats: opts.CardStats, pageSize: opts.PageSize, maxPages: opts.MaxNodePages},
+		pool:   storage.NewBufferPool(p, opts.BufferPages),
+	}
+	id, page, err := t.pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	t.metaPage = id
+	t.encodeMeta(page)
+	t.pool.Unpin(id, true)
+	return t, nil
+}
+
+// Open reopens a tree previously created with NewWithPager on a persistent
+// pager. The meta page is assumed to be the pager's first page. The options
+// must match the ones the tree was created with (signature length and
+// compression are verified against the stored meta).
+func Open(p storage.Pager, metaPage storage.PageID, opts Options) (*Tree, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	t := &Tree{
+		opts:     opts,
+		codec:    opts.codec(),
+		layout:   nodeLayout{codec: opts.codec(), cardStats: opts.CardStats, pageSize: opts.PageSize, maxPages: opts.MaxNodePages},
+		pool:     storage.NewBufferPool(p, opts.BufferPages),
+		metaPage: metaPage,
+	}
+	page, err := t.pool.Get(metaPage)
+	if err != nil {
+		return nil, err
+	}
+	defer t.pool.Unpin(metaPage, false)
+	if err := t.decodeMeta(page); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Tree) encodeMeta(page []byte) {
+	binary.LittleEndian.PutUint32(page[0:], treeMagic)
+	binary.LittleEndian.PutUint32(page[4:], uint32(t.root))
+	binary.LittleEndian.PutUint32(page[8:], uint32(t.height))
+	binary.LittleEndian.PutUint64(page[12:], uint64(t.count))
+	binary.LittleEndian.PutUint32(page[20:], uint32(t.opts.SignatureLength))
+	var flags uint32
+	if t.opts.Compress {
+		flags |= metaCompress
+	}
+	if t.opts.CardStats {
+		flags |= metaCardStats
+	}
+	binary.LittleEndian.PutUint32(page[24:], flags)
+}
+
+func (t *Tree) decodeMeta(page []byte) error {
+	if len(page) < metaSize {
+		return fmt.Errorf("core: meta page too small")
+	}
+	if binary.LittleEndian.Uint32(page[0:]) != treeMagic {
+		return fmt.Errorf("core: not an SG-tree meta page")
+	}
+	t.root = storage.PageID(binary.LittleEndian.Uint32(page[4:]))
+	t.height = int(binary.LittleEndian.Uint32(page[8:]))
+	t.count = int(binary.LittleEndian.Uint64(page[12:]))
+	gotLen := int(binary.LittleEndian.Uint32(page[20:]))
+	if gotLen != t.opts.SignatureLength {
+		return fmt.Errorf("core: stored signature length %d != configured %d", gotLen, t.opts.SignatureLength)
+	}
+	flags := binary.LittleEndian.Uint32(page[24:])
+	if (flags&metaCompress != 0) != t.opts.Compress {
+		return fmt.Errorf("core: stored compression flag differs from configured options")
+	}
+	if (flags&metaCardStats != 0) != t.opts.CardStats {
+		return fmt.Errorf("core: stored cardinality-stats flag differs from configured options")
+	}
+	return nil
+}
+
+// flushMeta writes the meta fields through the pool.
+func (t *Tree) flushMeta() error {
+	page, err := t.pool.Get(t.metaPage)
+	if err != nil {
+		return err
+	}
+	t.encodeMeta(page)
+	t.pool.Unpin(t.metaPage, true)
+	return nil
+}
+
+// Close flushes all dirty state to the pager. It does not close the pager
+// (the caller owns it when using NewWithPager; New's in-memory pager needs
+// no closing).
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.flushMeta(); err != nil {
+		return err
+	}
+	return t.pool.FlushAll()
+}
+
+// Options returns the tree's configuration (defaults applied).
+func (t *Tree) Options() Options { return t.opts }
+
+// Len returns the number of indexed signatures.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Height returns the number of levels (0 when empty, 1 when the root is a leaf).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// Pool exposes the buffer pool for I/O accounting by benchmarks.
+func (t *Tree) Pool() *storage.BufferPool { return t.pool }
+
+// --- node I/O through the buffer pool ---
+//
+// A node occupies a primary page plus up to MaxNodePages-1 continuation
+// pages chained through 4-byte next pointers; reading an L-page node costs
+// L page accesses, which is how multipage nodes show up in the I/O metric.
+
+// readNode assembles the node's logical byte string from its page chain
+// and decodes it.
+func (t *Tree) readNode(id storage.PageID) (*node, error) {
+	page, err := t.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	next := storage.PageID(binary.LittleEndian.Uint32(page[nodeNextOff:]))
+	var buf []byte
+	if next == storage.InvalidPage {
+		// Common case: single-page node, decode straight from the frame.
+		n, err := t.layout.decodeBuf(id, page)
+		t.pool.Unpin(id, false)
+		return n, err
+	}
+	buf = append(buf, page...)
+	t.pool.Unpin(id, false)
+	var cont []storage.PageID
+	for next != storage.InvalidPage {
+		cid := next
+		cpage, err := t.pool.Get(cid)
+		if err != nil {
+			return nil, err
+		}
+		next = storage.PageID(binary.LittleEndian.Uint32(cpage[:contHeaderSize]))
+		buf = append(buf, cpage[contHeaderSize:]...)
+		t.pool.Unpin(cid, false)
+		cont = append(cont, cid)
+		if len(cont) > t.opts.MaxNodePages {
+			return nil, fmt.Errorf("core: node %d chain exceeds MaxNodePages %d", id, t.opts.MaxNodePages)
+		}
+	}
+	n, err := t.layout.decodeBuf(id, buf)
+	if err != nil {
+		return nil, err
+	}
+	n.cont = cont
+	return n, nil
+}
+
+// writeNode distributes the node's logical byte string over its page
+// chain, growing or trimming continuation pages as the node's size moved.
+func (t *Tree) writeNode(n *node) error {
+	buf, err := t.layout.encodeBuf(n)
+	if err != nil {
+		return err
+	}
+	if len(buf) > t.layout.budget() {
+		return fmt.Errorf("core: node %d overflows node budget: %d > %d bytes", n.id, len(buf), t.layout.budget())
+	}
+	// How many continuation pages does this size need?
+	needed := 0
+	if len(buf) > t.opts.PageSize {
+		rest := len(buf) - t.opts.PageSize
+		chunk := t.opts.PageSize - contHeaderSize
+		needed = (rest + chunk - 1) / chunk
+	}
+	// Grow or trim the chain.
+	for len(n.cont) < needed {
+		id, page, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		_ = page
+		t.pool.Unpin(id, true)
+		n.cont = append(n.cont, id)
+	}
+	for len(n.cont) > needed {
+		last := n.cont[len(n.cont)-1]
+		if err := t.pool.Discard(last); err != nil {
+			return err
+		}
+		n.cont = n.cont[:len(n.cont)-1]
+	}
+	// Primary page: header chunk with the chain pointer patched in.
+	primary, err := t.pool.Get(n.id)
+	if err != nil {
+		return err
+	}
+	take := len(buf)
+	if take > t.opts.PageSize {
+		take = t.opts.PageSize
+	}
+	copy(primary, buf[:take])
+	for i := take; i < t.opts.PageSize; i++ {
+		primary[i] = 0
+	}
+	var firstCont storage.PageID
+	if needed > 0 {
+		firstCont = n.cont[0]
+	}
+	binary.LittleEndian.PutUint32(primary[nodeNextOff:], uint32(firstCont))
+	t.pool.Unpin(n.id, true)
+	// Continuation pages.
+	pos := take
+	for ci := 0; ci < needed; ci++ {
+		cid := n.cont[ci]
+		cpage, err := t.pool.Get(cid)
+		if err != nil {
+			return err
+		}
+		var next storage.PageID
+		if ci+1 < needed {
+			next = n.cont[ci+1]
+		}
+		binary.LittleEndian.PutUint32(cpage[:contHeaderSize], uint32(next))
+		take := len(buf) - pos
+		if max := t.opts.PageSize - contHeaderSize; take > max {
+			take = max
+		}
+		copy(cpage[contHeaderSize:], buf[pos:pos+take])
+		for i := contHeaderSize + take; i < t.opts.PageSize; i++ {
+			cpage[i] = 0
+		}
+		pos += take
+		t.pool.Unpin(cid, true)
+	}
+	return nil
+}
+
+func (t *Tree) allocNode(leaf bool, level int) (*node, error) {
+	id, page, err := t.pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	_ = page
+	t.pool.Unpin(id, true)
+	n := &node{id: id, leaf: leaf, level: level}
+	return n, t.writeNode(n)
+}
+
+// freeNode releases the node's primary page and its continuation chain.
+func (t *Tree) freeNode(n *node) error {
+	for _, cid := range n.cont {
+		if err := t.pool.Discard(cid); err != nil {
+			return err
+		}
+	}
+	n.cont = nil
+	return t.pool.Discard(n.id)
+}
+
+// --- insertion (Figure 3) ---
+
+// Insert adds a ⟨signature, tid⟩ pair to the tree. The signature is cloned,
+// so the caller may reuse it.
+func (t *Tree) Insert(sig signature.Signature, tid dataset.TID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkDataSignature(sig); err != nil {
+		return err
+	}
+	e := entry{sig: sig.Clone(), tid: tid}
+	if t.opts.ForcedReinsert {
+		t.reinsertActive = map[int]bool{}
+		defer func() { t.reinsertActive = nil }()
+	}
+	if err := t.insertEntry(e, 0); err != nil {
+		return err
+	}
+	if err := t.drainReinserts(); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+func (t *Tree) checkDataSignature(sig signature.Signature) error {
+	if sig.Len() != t.opts.SignatureLength {
+		return fmt.Errorf("core: signature length %d != tree length %d", sig.Len(), t.opts.SignatureLength)
+	}
+	if fc := t.opts.FixedCardinality; fc > 0 && sig.Area() != fc {
+		return fmt.Errorf("core: signature area %d violates fixed cardinality %d", sig.Area(), fc)
+	}
+	return nil
+}
+
+// insertEntry inserts e into a node at targetLevel, growing the tree as
+// needed. Caller holds the lock and maintains count.
+func (t *Tree) insertEntry(e entry, targetLevel int) error {
+	if targetLevel == 0 {
+		// Data entries carry their own cardinality as a degenerate range,
+		// so ancestors can maintain [lo, hi] without re-deriving it.
+		a := e.sig.Area()
+		e.lo, e.hi = a, a
+	}
+	if t.root == storage.InvalidPage {
+		if targetLevel != 0 {
+			return fmt.Errorf("core: internal: reinsertion at level %d into an empty tree", targetLevel)
+		}
+		root, err := t.allocNode(true, 0)
+		if err != nil {
+			return err
+		}
+		root.entries = append(root.entries, e)
+		if err := t.writeNode(root); err != nil {
+			return err
+		}
+		t.root = root.id
+		t.height = 1
+		return nil
+	}
+	rootNode, err := t.readNode(t.root)
+	if err != nil {
+		return err
+	}
+	if targetLevel > rootNode.level {
+		return fmt.Errorf("core: internal: reinsertion level %d above root level %d", targetLevel, rootNode.level)
+	}
+	right, err := t.insertRec(rootNode, e, targetLevel)
+	if err != nil {
+		return err
+	}
+	if right == nil {
+		return nil
+	}
+	// Root split: grow a new root with two entries.
+	newRoot, err := t.allocNode(false, rootNode.level+1)
+	if err != nil {
+		return err
+	}
+	newRoot.entries = []entry{
+		rootNode.parentEntry(t.opts.SignatureLength),
+		right.parentEntry(t.opts.SignatureLength),
+	}
+	if err := t.writeNode(newRoot); err != nil {
+		return err
+	}
+	t.root = newRoot.id
+	t.height++
+	return nil
+}
+
+// insertRec implements the generic balanced-tree insertion of Figure 3.
+// It returns the freshly created sibling if n was split, nil otherwise.
+func (t *Tree) insertRec(n *node, e entry, targetLevel int) (*node, error) {
+	if n.level == targetLevel {
+		n.entries = append(n.entries, e)
+		if t.overflows(n) {
+			if ok, err := t.maybeForcedReinsert(n); err != nil {
+				return nil, err
+			} else if ok {
+				return nil, nil
+			}
+			return t.splitNode(n)
+		}
+		return nil, t.writeNode(n)
+	}
+	idx := t.chooseSubtree(n, e.sig)
+	child, err := t.readNode(n.entries[idx].child)
+	if err != nil {
+		return nil, err
+	}
+	right, err := t.insertRec(child, e, targetLevel)
+	if err != nil {
+		return nil, err
+	}
+	if right == nil {
+		// No split below: the chosen entry just absorbs the new signature
+		// and widens its cardinality range. Forced reinsertion can have
+		// *shrunk* the child, so in that mode the cover is recomputed
+		// exactly instead of merely enlarged. With compression the grown
+		// cover can encode to more bytes, so the node may overflow the
+		// page even without gaining an entry.
+		if t.opts.ForcedReinsert {
+			n.entries[idx] = child.parentEntry(t.opts.SignatureLength)
+		} else {
+			n.entries[idx].sig.Merge(e.sig)
+			if e.lo < n.entries[idx].lo {
+				n.entries[idx].lo = e.lo
+			}
+			if e.hi > n.entries[idx].hi {
+				n.entries[idx].hi = e.hi
+			}
+		}
+		if t.overflows(n) {
+			return t.splitNode(n)
+		}
+		return nil, t.writeNode(n)
+	}
+	// The child split: recompute its cover and add an entry for the sibling.
+	n.entries[idx] = child.parentEntry(t.opts.SignatureLength)
+	n.entries = append(n.entries, right.parentEntry(t.opts.SignatureLength))
+	if t.overflows(n) {
+		return t.splitNode(n)
+	}
+	return nil, t.writeNode(n)
+}
+
+// chooseSubtree picks the entry of directory node n to insert sig under,
+// per Section 3.1. Three cases: a unique covering entry is taken directly;
+// among several covering entries the one with minimum area wins (it is the
+// most specific); with no covering entry, the configured heuristic decides.
+func (t *Tree) chooseSubtree(n *node, sig signature.Signature) int {
+	best := -1
+	bestArea := 0
+	for i := range n.entries {
+		if n.entries[i].sig.Covers(sig) {
+			a := n.entries[i].sig.Area()
+			if best == -1 || a < bestArea {
+				best, bestArea = i, a
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	switch t.opts.Choose {
+	case MinOverlap:
+		return chooseMinOverlap(n, sig)
+	default:
+		return chooseMinEnlargement(n, sig)
+	}
+}
+
+// chooseMinEnlargement picks the entry whose area grows least when
+// absorbing sig; ties break on smaller area.
+func chooseMinEnlargement(n *node, sig signature.Signature) int {
+	best := 0
+	bestEnl := n.entries[0].sig.Enlargement(sig)
+	bestArea := n.entries[0].sig.Area()
+	for i := 1; i < len(n.entries); i++ {
+		enl := n.entries[i].sig.Enlargement(sig)
+		area := n.entries[i].sig.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// chooseMinOverlap picks the entry which, once extended with sig, has the
+// minimum overlap increase with the remaining entries of the node. Ties
+// break on enlargement, then area. This is the costlier alternative the
+// paper evaluated: O(|node|²) bitmap intersections per level.
+func chooseMinOverlap(n *node, sig signature.Signature) int {
+	best := 0
+	bestInc, bestEnl, bestArea := -1, 0, 0
+	for i := range n.entries {
+		extended := n.entries[i].sig.Union(sig)
+		inc := 0
+		for j := range n.entries {
+			if j == i {
+				continue
+			}
+			inc += extended.Intersect(n.entries[j].sig) - n.entries[i].sig.Intersect(n.entries[j].sig)
+		}
+		enl := n.entries[i].sig.Enlargement(sig)
+		area := n.entries[i].sig.Area()
+		if bestInc == -1 || inc < bestInc ||
+			(inc == bestInc && (enl < bestEnl || (enl == bestEnl && area < bestArea))) {
+			best, bestInc, bestEnl, bestArea = i, inc, enl, area
+		}
+	}
+	return best
+}

@@ -1,0 +1,775 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// testOptions returns small-page options that force multi-level trees on
+// modest datasets.
+func testOptions(sigLen int) Options {
+	return Options{
+		SignatureLength: sigLen,
+		PageSize:        1024,
+		BufferPages:     64,
+		MaxNodeEntries:  8,
+		Compress:        true,
+	}
+}
+
+func mustTree(t *testing.T, opts Options) *Tree {
+	t.Helper()
+	tr, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func sigOf(t *testing.T, universe int, tx dataset.Transaction) signature.Signature {
+	t.Helper()
+	return signature.FromItems(signature.NewDirectMapper(universe), tx)
+}
+
+// buildTree indexes every transaction of d into a fresh tree.
+func buildTree(t *testing.T, d *dataset.Dataset, opts Options) *Tree {
+	t.Helper()
+	tr := mustTree(t, opts)
+	m := signature.NewDirectMapper(d.Universe)
+	for i, tx := range d.Tx {
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return tr
+}
+
+// questData builds a small clustered dataset for tests.
+func questData(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	d, err := gen.GenerateQuest(gen.QuestConfig{
+		NumTransactions: n, AvgSize: 8, AvgItemsetSize: 4, NumItems: 200, NumItemsets: 50, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{},                                     // missing signature length
+		{SignatureLength: -1},                  // negative
+		{SignatureLength: 64, MinFill: 0.9},    // MinFill too high
+		{SignatureLength: 64, MinFill: -0.1},   // negative MinFill
+		{SignatureLength: 8000, PageSize: 512}, // signatures larger than a quarter page
+		{SignatureLength: 64, MaxNodeEntries: 2},
+		{SignatureLength: 64, FixedCardinality: -1},
+		{SignatureLength: 64, FixedCardinality: 3, Metric: signature.Jaccard},
+		{SignatureLength: 64, Split: SplitPolicy(9)},
+		{SignatureLength: 64, Choose: ChoosePolicy(9)},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+	good := Options{SignatureLength: 512}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if QSplit.String() != "q-split" || AvSplit.String() != "av-split" || MinSplit.String() != "min-split" {
+		t.Error("split policy names wrong")
+	}
+	if SplitPolicy(9).String() != "unknown" {
+		t.Error("unknown split should say so")
+	}
+	if MinEnlargement.String() != "min-enlargement" || MinOverlap.String() != "min-overlap" {
+		t.Error("choose policy names wrong")
+	}
+	if ChoosePolicy(9).String() != "unknown" {
+		t.Error("unknown choose should say so")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := mustTree(t, testOptions(64))
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Error("fresh tree not empty")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	q := signature.New(64)
+	if _, _, err := tr.NearestNeighbor(q); err == nil {
+		t.Error("NN on empty tree should error")
+	}
+	res, _, err := tr.KNN(q, 3)
+	if err != nil || len(res) != 0 {
+		t.Error("KNN on empty tree should return nothing")
+	}
+	if found, err := tr.Delete(q, 0); err != nil || found {
+		t.Error("Delete on empty tree should be a clean no-op")
+	}
+	ids, _, err := tr.Containment(q)
+	if err != nil || len(ids) != 0 {
+		t.Error("Containment on empty tree should return nothing")
+	}
+}
+
+func TestInsertSingleAndInvariants(t *testing.T) {
+	tr := mustTree(t, testOptions(64))
+	s := signature.FromItems(signature.NewDirectMapper(64), []int{1, 5, 9})
+	if err := tr.Insert(s, 42); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Height() != 1 {
+		t.Errorf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	nn, _, err := tr.NearestNeighbor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.TID != 42 || nn.Dist != 0 {
+		t.Errorf("NN = %+v", nn)
+	}
+}
+
+func TestInsertRejectsBadSignatures(t *testing.T) {
+	tr := mustTree(t, testOptions(64))
+	if err := tr.Insert(signature.New(65), 0); err == nil {
+		t.Error("wrong-length signature accepted")
+	}
+	opts := testOptions(64)
+	opts.FixedCardinality = 3
+	tr2 := mustTree(t, opts)
+	if err := tr2.Insert(signature.FromItems(signature.NewDirectMapper(64), []int{1, 2}), 0); err == nil {
+		t.Error("wrong-cardinality signature accepted under FixedCardinality")
+	}
+	if err := tr2.Insert(signature.FromItems(signature.NewDirectMapper(64), []int{1, 2, 3}), 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrowthThroughSplitsAllPolicies(t *testing.T) {
+	for _, policy := range []SplitPolicy{QSplit, AvSplit, MinSplit} {
+		t.Run(policy.String(), func(t *testing.T) {
+			d := questData(t, 600, 1)
+			opts := testOptions(200)
+			opts.Split = policy
+			tr := buildTree(t, d, opts)
+			if tr.Len() != 600 {
+				t.Fatalf("Len = %d", tr.Len())
+			}
+			if tr.Height() < 2 {
+				t.Fatalf("tree did not grow: height %d", tr.Height())
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestChoosePolicies(t *testing.T) {
+	for _, choose := range []ChoosePolicy{MinEnlargement, MinOverlap} {
+		t.Run(choose.String(), func(t *testing.T) {
+			d := questData(t, 300, 2)
+			opts := testOptions(200)
+			opts.Choose = choose
+			tr := buildTree(t, d, opts)
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// linearKNN is the brute-force oracle.
+func linearKNN(d *dataset.Dataset, q dataset.Transaction, k int) []float64 {
+	dists := make([]float64, d.Len())
+	for i, tx := range d.Tx {
+		dists[i] = float64(q.Hamming(tx))
+	}
+	// selection sort of the k smallest is fine at test scale
+	out := make([]float64, 0, k)
+	used := make([]bool, len(dists))
+	for len(out) < k && len(out) < len(dists) {
+		best := -1
+		for i := range dists {
+			if used[i] {
+				continue
+			}
+			if best == -1 || dists[i] < dists[best] {
+				best = i
+			}
+		}
+		used[best] = true
+		out = append(out, dists[best])
+	}
+	return out
+}
+
+func TestKNNMatchesLinearScan(t *testing.T) {
+	d := questData(t, 500, 3)
+	tr := buildTree(t, d, testOptions(200))
+	q2, err := gen.NewQuest(gen.QuestConfig{
+		NumTransactions: 1, AvgSize: 8, AvgItemsetSize: 4, NumItems: 200, NumItemsets: 50, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := q2.Queries(25, 99)
+	bfNodes, dfNodes := 0, 0
+	for qi, q := range queries {
+		qsig := sigOf(t, 200, q)
+		for _, k := range []int{1, 5, 17} {
+			want := linearKNN(d, q, k)
+			got, _, err := tr.KNN(qsig, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("query %d k=%d: got %d results, want %d", qi, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Dist != want[i] {
+					t.Fatalf("query %d k=%d rank %d: dist %v, want %v", qi, k, i, got[i].Dist, want[i])
+				}
+			}
+			// Best-first must agree with depth-first.
+			bf, bfStats, err := tr.KNNBestFirst(qsig, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range bf {
+				if bf[i].Dist != want[i] {
+					t.Fatalf("best-first query %d k=%d rank %d: dist %v, want %v", qi, k, i, bf[i].Dist, want[i])
+				}
+			}
+			_, dfStats, _ := tr.KNN(qsig, k)
+			bfNodes += bfStats.NodesAccessed
+			dfNodes += dfStats.NodesAccessed
+		}
+	}
+	// Best-first is node-access optimal up to distance ties; in aggregate it
+	// must not lose to depth-first.
+	if bfNodes > dfNodes {
+		t.Errorf("best-first accessed %d nodes in aggregate, depth-first %d", bfNodes, dfNodes)
+	}
+}
+
+func TestRangeSearchMatchesLinearScan(t *testing.T) {
+	d := questData(t, 400, 5)
+	tr := buildTree(t, d, testOptions(200))
+	q := d.Tx[17] // a data transaction: guarantees at least one hit at 0
+	qsig := sigOf(t, 200, q)
+	for _, eps := range []float64{0, 2, 5, 10} {
+		want := 0
+		for _, tx := range d.Tx {
+			if float64(q.Hamming(tx)) <= eps {
+				want++
+			}
+		}
+		got, _, err := tr.RangeSearch(qsig, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want {
+			t.Errorf("eps=%v: %d results, want %d", eps, len(got), want)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Error("results not sorted by distance")
+			}
+		}
+		for _, nb := range got {
+			if float64(q.Hamming(d.Tx[nb.TID])) != nb.Dist {
+				t.Error("reported distance wrong")
+			}
+		}
+	}
+	if _, _, err := tr.RangeSearch(qsig, -1); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+func TestAllNearestNeighbors(t *testing.T) {
+	d := questData(t, 300, 7)
+	tr := buildTree(t, d, testOptions(200))
+	q := d.Tx[5]
+	qsig := sigOf(t, 200, q)
+	got, _, err := tr.AllNearestNeighbors(qsig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: minimum distance and its multiplicity.
+	best := math.Inf(1)
+	count := 0
+	for _, tx := range d.Tx {
+		d := float64(q.Hamming(tx))
+		if d < best {
+			best, count = d, 1
+		} else if d == best {
+			count++
+		}
+	}
+	if len(got) != count {
+		t.Fatalf("got %d ties, want %d", len(got), count)
+	}
+	for _, nb := range got {
+		if nb.Dist != best {
+			t.Errorf("neighbor at distance %v, want %v", nb.Dist, best)
+		}
+	}
+}
+
+func TestContainmentMatchesLinearScan(t *testing.T) {
+	d := questData(t, 400, 11)
+	tr := buildTree(t, d, testOptions(200))
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		// Query with a sub-itemset of a random transaction (non-empty hits)
+		// or random items (possibly empty hits).
+		var items dataset.Transaction
+		if trial%2 == 0 {
+			tx := d.Tx[r.Intn(d.Len())]
+			n := 1 + r.Intn(3)
+			if n > len(tx) {
+				n = len(tx)
+			}
+			items = dataset.NewTransaction(tx[:n]...)
+		} else {
+			items = dataset.NewTransaction(r.Intn(200), r.Intn(200))
+		}
+		qsig := sigOf(t, 200, items)
+		got, _, err := tr.Containment(qsig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[dataset.TID]bool{}
+		for i, tx := range d.Tx {
+			if tx.ContainsAll(items) {
+				want[dataset.TID(i)] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("trial %d: unexpected tid %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestSubsetAndExactMatchLinearScan(t *testing.T) {
+	d := questData(t, 300, 13)
+	tr := buildTree(t, d, testOptions(200))
+	q := d.Tx[42]
+	qsig := sigOf(t, 200, q)
+
+	gotSub, _, err := tr.Subset(qsig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSub := 0
+	for _, tx := range d.Tx {
+		if q.ContainsAll(tx) {
+			wantSub++
+		}
+	}
+	if len(gotSub) != wantSub {
+		t.Errorf("Subset: %d results, want %d", len(gotSub), wantSub)
+	}
+
+	gotEq, _, err := tr.Exact(qsig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEq := 0
+	for _, tx := range d.Tx {
+		if q.Hamming(tx) == 0 {
+			wantEq++
+		}
+	}
+	if len(gotEq) != wantEq || wantEq < 1 {
+		t.Errorf("Exact: %d results, want %d (≥1)", len(gotEq), wantEq)
+	}
+}
+
+func TestNNPrunesComparedToScan(t *testing.T) {
+	// The whole point of the index: NN search must not touch all the data.
+	d := questData(t, 2000, 17)
+	tr := buildTree(t, d, testOptions(200))
+	qgen, err := gen.NewQuest(gen.QuestConfig{
+		NumTransactions: 1, AvgSize: 8, AvgItemsetSize: 4, NumItems: 200, NumItemsets: 50, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, q := range qgen.Queries(20, 5) {
+		_, stats, err := tr.NearestNeighbor(sigOf(t, 200, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += stats.DataCompared
+	}
+	avg := float64(total) / 20
+	if avg > 0.8*float64(d.Len()) {
+		t.Errorf("NN compares %.0f of %d transactions on average; no pruning", avg, d.Len())
+	}
+}
+
+func TestDeleteSimple(t *testing.T) {
+	tr := mustTree(t, testOptions(64))
+	m := signature.NewDirectMapper(64)
+	s1 := signature.FromItems(m, []int{1, 2})
+	s2 := signature.FromItems(m, []int{3, 4})
+	if err := tr.Insert(s1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(s2, 2); err != nil {
+		t.Fatal(err)
+	}
+	found, err := tr.Delete(s1, 1)
+	if err != nil || !found {
+		t.Fatalf("delete failed: %v %v", found, err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// Deleting again: not found.
+	found, err = tr.Delete(s1, 1)
+	if err != nil || found {
+		t.Error("second delete should find nothing")
+	}
+	// Wrong tid with right signature: not found.
+	found, err = tr.Delete(s2, 99)
+	if err != nil || found {
+		t.Error("delete with wrong tid should find nothing")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the last: tree empties fully.
+	if found, _ = tr.Delete(s2, 2); !found {
+		t.Fatal("could not delete last entry")
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Errorf("after emptying: Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(s1, 1); err != nil {
+		t.Fatalf("reuse after emptying: %v", err)
+	}
+}
+
+func TestDeleteBulkWithCondense(t *testing.T) {
+	d := questData(t, 800, 19)
+	tr := buildTree(t, d, testOptions(200))
+	m := signature.NewDirectMapper(200)
+	r := rand.New(rand.NewSource(4))
+	perm := r.Perm(d.Len())
+	// Delete 70% in random order, checking invariants periodically.
+	nDel := 560
+	for i := 0; i < nDel; i++ {
+		id := perm[i]
+		found, err := tr.Delete(signature.FromItems(m, d.Tx[id]), dataset.TID(id))
+		if err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if !found {
+			t.Fatalf("delete %d: tid %d not found", i, id)
+		}
+		if i%100 == 99 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != d.Len()-nDel {
+		t.Fatalf("Len = %d, want %d", tr.Len(), d.Len()-nDel)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The survivors must all be findable exactly.
+	for i := nDel; i < d.Len(); i++ {
+		id := perm[i]
+		got, _, err := tr.Exact(signature.FromItems(m, d.Tx[id]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := false
+		for _, g := range got {
+			if g == dataset.TID(id) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("surviving tid %d not found", id)
+		}
+	}
+}
+
+func TestInsertDeleteInterleaved(t *testing.T) {
+	d := questData(t, 400, 23)
+	opts := testOptions(200)
+	tr := mustTree(t, opts)
+	m := signature.NewDirectMapper(200)
+	live := map[int]bool{}
+	r := rand.New(rand.NewSource(9))
+	next := 0
+	for step := 0; step < 1200; step++ {
+		if next < d.Len() && (len(live) == 0 || r.Intn(3) > 0) {
+			if err := tr.Insert(signature.FromItems(m, d.Tx[next]), dataset.TID(next)); err != nil {
+				t.Fatal(err)
+			}
+			live[next] = true
+			next++
+		} else {
+			if len(live) == 0 {
+				break // everything inserted and deleted again
+			}
+			// Delete a random live id.
+			var id int
+			for id = range live {
+				break
+			}
+			found, err := tr.Delete(signature.FromItems(m, d.Tx[id]), dataset.TID(id))
+			if err != nil || !found {
+				t.Fatalf("step %d: delete tid %d: found=%v err=%v", step, id, found, err)
+			}
+			delete(live, id)
+		}
+		if step%200 == 199 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("step %d: Len=%d live=%d", step, tr.Len(), len(live))
+			}
+		}
+	}
+}
+
+func TestTreeStats(t *testing.T) {
+	d := questData(t, 500, 29)
+	tr := buildTree(t, d, testOptions(200))
+	s, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 500 || s.Height != tr.Height() {
+		t.Errorf("stats header wrong: %+v", s)
+	}
+	if s.Nodes < 2 || len(s.NodesPerLevel) != s.Height {
+		t.Errorf("node accounting wrong: %+v", s)
+	}
+	if s.NodesPerLevel[s.Height-1] != 1 {
+		t.Error("root level should have one node")
+	}
+	if s.EntriesPerLevel[0] != 500 {
+		t.Errorf("leaf entries = %d", s.EntriesPerLevel[0])
+	}
+	// Area must grow with level (covers get larger).
+	for l := 1; l < s.Height; l++ {
+		if s.AvgAreaPerLevel[l] <= s.AvgAreaPerLevel[l-1] {
+			t.Errorf("avg area did not grow from level %d (%v) to %d (%v)",
+				l-1, s.AvgAreaPerLevel[l-1], l, s.AvgAreaPerLevel[l])
+		}
+	}
+	if u := s.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %v out of range", u)
+	}
+	if (TreeStats{}).Utilization() != 0 {
+		t.Error("empty stats utilization should be 0")
+	}
+}
+
+func TestPersistenceThroughFilePager(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/tree.db"
+	opts := testOptions(200)
+	p, err := storage.CreateFilePager(path, opts.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewWithPager(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := questData(t, 300, 31)
+	m := signature.NewDirectMapper(200)
+	for i, tx := range d.Tx {
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantNN, _, err := tr.NearestNeighbor(signature.FromItems(m, d.Tx[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := storage.OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	tr2, err := Open(p2, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 300 {
+		t.Fatalf("reopened Len = %d", tr2.Len())
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	gotNN, _, err := tr2.NearestNeighbor(signature.FromItems(m, d.Tx[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotNN != wantNN {
+		t.Errorf("NN after reopen = %+v, want %+v", gotNN, wantNN)
+	}
+}
+
+func TestOpenRejectsMismatchedOptions(t *testing.T) {
+	opts := testOptions(200)
+	p := storage.NewMemPager(opts.PageSize)
+	tr, err := NewWithPager(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wrongLen := opts
+	wrongLen.SignatureLength = 128
+	if _, err := Open(p, 1, wrongLen); err == nil {
+		t.Error("mismatched signature length accepted")
+	}
+	wrongComp := opts
+	wrongComp.Compress = !opts.Compress
+	if _, err := Open(p, 1, wrongComp); err == nil {
+		t.Error("mismatched compression accepted")
+	}
+}
+
+func TestJaccardMetricTree(t *testing.T) {
+	d := questData(t, 400, 37)
+	opts := testOptions(200)
+	opts.Metric = signature.Jaccard
+	tr := buildTree(t, d, opts)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	q := d.Tx[10]
+	qsig := sigOf(t, 200, q)
+	got, _, err := tr.KNN(qsig, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle under Jaccard distance.
+	want := make([]float64, 0, d.Len())
+	for _, tx := range d.Tx {
+		want = append(want, 1-q.Jaccard(tx))
+	}
+	// smallest 5
+	for i := 0; i < 5; i++ {
+		minIdx := i
+		for j := i; j < len(want); j++ {
+			if want[j] < want[minIdx] {
+				minIdx = j
+			}
+		}
+		want[i], want[minIdx] = want[minIdx], want[i]
+		if math.Abs(got[i].Dist-want[i]) > 1e-12 {
+			t.Fatalf("rank %d: dist %v, want %v", i, got[i].Dist, want[i])
+		}
+	}
+}
+
+func TestFixedCardinalityCensusTree(t *testing.T) {
+	c, err := gen.NewCensus(gen.CensusConfig{NumTuples: 800, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Generate()
+	opts := Options{
+		SignatureLength:  525,
+		PageSize:         2048,
+		MaxNodeEntries:   16,
+		Compress:         true,
+		FixedCardinality: 36,
+	}
+	tr := buildTree(t, d, opts)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	queries := c.Queries(10, 55)
+	for _, q := range queries {
+		got, _, err := tr.KNN(sigOf(t, 525, q), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := linearKNN(d, q, 3)
+		for i := range got {
+			if got[i].Dist != want[i] {
+				t.Fatalf("fixed-card KNN rank %d: %v vs %v", i, got[i].Dist, want[i])
+			}
+		}
+	}
+	// The stricter bound must prune at least as well as the relaxed one.
+	relOpts := opts
+	relOpts.FixedCardinality = 0
+	tr2 := buildTree(t, d, relOpts)
+	strictNodes, relaxedNodes := 0, 0
+	for _, q := range queries {
+		_, s1, err := tr.KNN(sigOf(t, 525, q), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strictNodes += s1.NodesAccessed
+		_, s2, err := tr2.KNN(sigOf(t, 525, q), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relaxedNodes += s2.NodesAccessed
+	}
+	t.Logf("fixed-card bound: %d node accesses vs %d relaxed", strictNodes, relaxedNodes)
+}
+
+func TestQueryStatsAccumulate(t *testing.T) {
+	var a, b QueryStats
+	a = QueryStats{NodesAccessed: 1, LeavesAccessed: 2, DataCompared: 3, EntriesTested: 4}
+	b = QueryStats{NodesAccessed: 10, LeavesAccessed: 20, DataCompared: 30, EntriesTested: 40}
+	a.add(b)
+	if a.NodesAccessed != 11 || a.LeavesAccessed != 22 || a.DataCompared != 33 || a.EntriesTested != 44 {
+		t.Errorf("add broken: %+v", a)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"sgtree/internal/storage"
+)
+
+// CheckInvariants walks the entire tree and verifies its structural
+// invariants. It exists for tests and for the sgtool doctor command; a
+// healthy tree always passes:
+//
+//  1. every directory entry's signature is exactly the OR of the child's
+//     entry signatures (Definition 5), which implies the coverage property
+//     the search bounds rely on;
+//  2. all leaves are at level 0 and all root-to-leaf paths have the same
+//     length (height balance);
+//  3. node levels decrease by exactly one along every edge;
+//  4. every node fits its page and respects MaxNodeEntries;
+//  5. the recorded count matches the number of leaf entries;
+//  6. no node other than the root has fewer than two entries.
+func (t *Tree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == storage.InvalidPage {
+		if t.height != 0 || t.count != 0 {
+			return fmt.Errorf("core: empty tree with height %d count %d", t.height, t.count)
+		}
+		return nil
+	}
+	rootNode, err := t.readNode(t.root)
+	if err != nil {
+		return err
+	}
+	if rootNode.level != t.height-1 {
+		return fmt.Errorf("core: root level %d != height-1 (%d)", rootNode.level, t.height-1)
+	}
+	leafEntries := 0
+	if err := t.checkNode(rootNode, true, &leafEntries); err != nil {
+		return err
+	}
+	if leafEntries != t.count {
+		return fmt.Errorf("core: count %d but %d leaf entries found", t.count, leafEntries)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(n *node, isRoot bool, leafEntries *int) error {
+	if len(n.entries) == 0 && !isRoot {
+		return fmt.Errorf("core: node %d is empty", n.id)
+	}
+	if !isRoot && len(n.entries) < 2 {
+		return fmt.Errorf("core: non-root node %d has %d entries", n.id, len(n.entries))
+	}
+	if len(n.entries) > t.opts.MaxNodeEntries {
+		return fmt.Errorf("core: node %d has %d entries > MaxNodeEntries %d", n.id, len(n.entries), t.opts.MaxNodeEntries)
+	}
+	if sz := t.layout.encodedSize(n); sz > t.layout.budget() {
+		return fmt.Errorf("core: node %d encodes to %d bytes > node budget %d", n.id, sz, t.layout.budget())
+	}
+	if n.leaf {
+		if n.level != 0 {
+			return fmt.Errorf("core: leaf node %d at level %d", n.id, n.level)
+		}
+		*leafEntries += len(n.entries)
+		for i := range n.entries {
+			if n.entries[i].sig.Len() != t.opts.SignatureLength {
+				return fmt.Errorf("core: leaf %d entry %d has signature length %d", n.id, i, n.entries[i].sig.Len())
+			}
+			if fc := t.opts.FixedCardinality; fc > 0 && n.entries[i].sig.Area() != fc {
+				return fmt.Errorf("core: leaf %d entry %d area %d violates fixed cardinality %d",
+					n.id, i, n.entries[i].sig.Area(), fc)
+			}
+		}
+		return nil
+	}
+	if n.level == 0 {
+		return fmt.Errorf("core: directory node %d at level 0", n.id)
+	}
+	for i := range n.entries {
+		child, err := t.readNode(n.entries[i].child)
+		if err != nil {
+			return fmt.Errorf("core: node %d entry %d: %w", n.id, i, err)
+		}
+		if child.level != n.level-1 {
+			return fmt.Errorf("core: node %d (level %d) points to child %d at level %d",
+				n.id, n.level, child.id, child.level)
+		}
+		cover := child.coverSignature(t.opts.SignatureLength)
+		if !n.entries[i].sig.Equal(cover.Bitset) {
+			return fmt.Errorf("core: node %d entry %d signature is not the exact OR of child %d (area %d vs %d)",
+				n.id, i, child.id, n.entries[i].sig.Area(), cover.Area())
+		}
+		if t.opts.CardStats {
+			lo, hi := child.cardRange()
+			if n.entries[i].lo != lo || n.entries[i].hi != hi {
+				return fmt.Errorf("core: node %d entry %d cardinality range [%d,%d] != child %d range [%d,%d]",
+					n.id, i, n.entries[i].lo, n.entries[i].hi, child.id, lo, hi)
+			}
+		}
+		if err := t.checkNode(child, false, leafEntries); err != nil {
+			return err
+		}
+	}
+	return nil
+}

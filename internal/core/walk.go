@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// Walk visits every indexed ⟨signature, tid⟩ pair in leaf order. The
+// callback receives a signature that is only valid for the duration of the
+// call (clone it to retain). Returning false stops the walk early.
+//
+// Walk is the export path: Walk + BulkLoad round-trips a tree (e.g. to
+// rebuild it with different options or compact it after heavy deletion).
+func (t *Tree) Walk(fn func(sig signature.Signature, tid dataset.TID) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == storage.InvalidPage {
+		return nil
+	}
+	_, err := t.walkRec(t.root, fn)
+	return err
+}
+
+func (t *Tree) walkRec(id storage.PageID, fn func(signature.Signature, dataset.TID) bool) (bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	if n.leaf {
+		for i := range n.entries {
+			if !fn(n.entries[i].sig, n.entries[i].tid) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for i := range n.entries {
+		cont, err := t.walkRec(n.entries[i].child, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// Export returns every indexed pair as bulk items (signatures cloned), in
+// leaf order. Feeding the result to BulkLoad on a fresh tree reproduces the
+// content.
+func (t *Tree) Export() ([]BulkItem, error) {
+	items := make([]BulkItem, 0, t.Len())
+	err := t.Walk(func(sig signature.Signature, tid dataset.TID) bool {
+		items = append(items, BulkItem{Sig: sig.Clone(), TID: tid})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// Compact rebuilds the tree in place via export + gray-code bulk load.
+// After heavy deletion or a long random insertion history this restores
+// packing density and leaf clustering in O(n log n).
+func (t *Tree) Compact() error {
+	items, err := t.Export()
+	if err != nil {
+		return err
+	}
+	return t.BulkLoad(items)
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/signature"
+)
+
+func TestWalkVisitsEverything(t *testing.T) {
+	d := questData(t, 300, 101)
+	tr := buildTree(t, d, testOptions(200))
+	seen := map[dataset.TID]bool{}
+	err := tr.Walk(func(sig signature.Signature, tid dataset.TID) bool {
+		if seen[tid] {
+			t.Fatalf("tid %d visited twice", tid)
+		}
+		seen[tid] = true
+		m := signature.NewDirectMapper(200)
+		if !sig.Equal(signature.FromItems(m, d.Tx[tid]).Bitset) {
+			t.Fatalf("tid %d signature mismatch", tid)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 300 {
+		t.Fatalf("visited %d of 300", len(seen))
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	d := questData(t, 200, 103)
+	tr := buildTree(t, d, testOptions(200))
+	n := 0
+	err := tr.Walk(func(signature.Signature, dataset.TID) bool {
+		n++
+		return n < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("visited %d, want 10", n)
+	}
+	// Empty tree walk is a no-op.
+	if err := mustTree(t, testOptions(64)).Walk(func(signature.Signature, dataset.TID) bool {
+		t.Fatal("callback on empty tree")
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportBulkLoadRoundTrip(t *testing.T) {
+	d := questData(t, 400, 107)
+	tr := buildTree(t, d, testOptions(200))
+	items, err := tr.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 400 {
+		t.Fatalf("exported %d", len(items))
+	}
+	// Rebuild into a fresh tree with different options (larger fanout).
+	opts := testOptions(200)
+	opts.MaxNodeEntries = 16
+	tr2 := mustTree(t, opts)
+	if err := tr2.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 400 {
+		t.Fatalf("rebuilt Len = %d", tr2.Len())
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Same answers.
+	q := sigOf(t, 200, d.Tx[11])
+	a, _, err := tr.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := tr2.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Dist != b[i].Dist {
+			t.Fatalf("rank %d: %v vs %v", i, a[i].Dist, b[i].Dist)
+		}
+	}
+}
+
+func TestCompactRestoresDensity(t *testing.T) {
+	d := questData(t, 600, 113)
+	tr := buildTree(t, d, testOptions(200))
+	// Delete half to fragment the tree.
+	m := signature.NewDirectMapper(200)
+	for i := 0; i < 300; i++ {
+		if found, err := tr.Delete(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil || !found {
+			t.Fatalf("delete %d: %v %v", i, found, err)
+		}
+	}
+	before, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := tr.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if after.Nodes > before.Nodes {
+		t.Errorf("compact grew the tree: %d -> %d nodes", before.Nodes, after.Nodes)
+	}
+	// Content preserved.
+	for _, i := range []int{300, 450, 599} {
+		got, _, err := tr.Exact(signature.FromItems(m, d.Tx[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := false
+		for _, id := range got {
+			if id == dataset.TID(i) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("tid %d lost by Compact", i)
+		}
+	}
+}
+
+func TestCosineMetricTree(t *testing.T) {
+	d := questData(t, 300, 109)
+	opts := testOptions(200)
+	opts.Metric = signature.Cosine
+	tr := buildTree(t, d, opts)
+	q := d.Tx[42]
+	qsig := sigOf(t, 200, q)
+	got, _, err := tr.KNN(qsig, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle under cosine distance.
+	m := signature.NewDirectMapper(200)
+	dists := make([]float64, d.Len())
+	for i, tx := range d.Tx {
+		dists[i] = 1 - qsig.Cosine(signature.FromItems(m, tx))
+	}
+	for i := 0; i < 5; i++ {
+		min := i
+		for j := i; j < len(dists); j++ {
+			if dists[j] < dists[min] {
+				min = j
+			}
+		}
+		dists[i], dists[min] = dists[min], dists[i]
+		if diff := got[i].Dist - dists[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("rank %d: %v vs %v", i, got[i].Dist, dists[i])
+		}
+	}
+}
+
+func TestJoinAcrossDifferentHeights(t *testing.T) {
+	// A tall tree joined with a root-leaf tree exercises the leaf/directory
+	// mismatch branches of the recursive join.
+	mkCensus := func(n int) (*Tree, *dataset.Dataset) {
+		c, err := gen.NewCensus(gen.CensusConfig{NumTuples: n, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := c.Generate()
+		opts := Options{
+			SignatureLength:  525,
+			PageSize:         2048,
+			MaxNodeEntries:   8,
+			Compress:         true,
+			FixedCardinality: 36,
+		}
+		return buildTree(t, d, opts), d
+	}
+	big, dBig := mkCensus(150)
+	small, dSmall := mkCensus(5)
+	if big.Height() <= small.Height() {
+		t.Skipf("heights not distinct: %d vs %d", big.Height(), small.Height())
+	}
+	eps := 10.0
+	for _, pair := range [][2]*Tree{{big, small}, {small, big}} {
+		got, _, err := pair[0].SimilarityJoin(pair[1], eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, a := range dBig.Tx {
+			for _, b := range dSmall.Tx {
+				if float64(a.Hamming(b)) <= eps {
+					want++
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("join %d vs %d pairs", len(got), want)
+		}
+	}
+}

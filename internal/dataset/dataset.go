@@ -1,0 +1,160 @@
+// Package dataset defines the data model of the paper's workloads: market
+// basket transactions (sets of item ids) and categorical tuples (one value
+// per attribute), plus binary serialization so generated datasets can be
+// stored and re-queried by the command-line tools.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TID identifies a transaction within a dataset (its position).
+type TID uint32
+
+// Transaction is a set of item ids, kept sorted and duplicate-free.
+type Transaction []int
+
+// NewTransaction returns the canonical (sorted, deduplicated) transaction
+// for the given items.
+func NewTransaction(items ...int) Transaction {
+	t := append(Transaction(nil), items...)
+	sort.Ints(t)
+	out := t[:0]
+	for i, v := range t {
+		if i == 0 || v != t[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the transaction includes the item (binary search).
+func (t Transaction) Contains(item int) bool {
+	i := sort.SearchInts(t, item)
+	return i < len(t) && t[i] == item
+}
+
+// ContainsAll reports whether the transaction is a superset of items
+// (items must be sorted).
+func (t Transaction) ContainsAll(items Transaction) bool {
+	i := 0
+	for _, want := range items {
+		for i < len(t) && t[i] < want {
+			i++
+		}
+		if i >= len(t) || t[i] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectSize returns |t ∩ o| for two sorted transactions.
+func (t Transaction) IntersectSize(o Transaction) int {
+	i, j, n := 0, 0, 0
+	for i < len(t) && j < len(o) {
+		switch {
+		case t[i] < o[j]:
+			i++
+		case t[i] > o[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Hamming returns |t Δ o|, the size of the symmetric difference — the
+// paper's primary distance between transactions.
+func (t Transaction) Hamming(o Transaction) int {
+	inter := t.IntersectSize(o)
+	return len(t) + len(o) - 2*inter
+}
+
+// Jaccard returns |t∩o| / |t∪o| in [0,1]; two empty sets are similarity 1.
+func (t Transaction) Jaccard(o Transaction) float64 {
+	inter := t.IntersectSize(o)
+	union := len(t) + len(o) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Validate checks canonical form and that all items are within the universe.
+func (t Transaction) Validate(universe int) error {
+	for i, v := range t {
+		if v < 0 || v >= universe {
+			return fmt.Errorf("dataset: item %d outside universe [0,%d)", v, universe)
+		}
+		if i > 0 && t[i-1] >= v {
+			return fmt.Errorf("dataset: transaction not sorted/deduplicated at index %d", i)
+		}
+	}
+	return nil
+}
+
+// Dataset is an ordered collection of transactions over a fixed item
+// universe [0, Universe). The position of a transaction is its TID.
+type Dataset struct {
+	// Universe is the number of distinct items; all item ids are below it.
+	Universe int
+	// Tx holds the transactions; Tx[i] has TID i.
+	Tx []Transaction
+}
+
+// New returns an empty dataset over the given universe.
+func New(universe int) *Dataset {
+	return &Dataset{Universe: universe}
+}
+
+// Len returns the number of transactions.
+func (d *Dataset) Len() int { return len(d.Tx) }
+
+// Add appends a transaction (canonicalized) and returns its TID.
+func (d *Dataset) Add(items ...int) TID {
+	t := NewTransaction(items...)
+	d.Tx = append(d.Tx, t)
+	return TID(len(d.Tx) - 1)
+}
+
+// AddTransaction appends an already-canonical transaction.
+func (d *Dataset) AddTransaction(t Transaction) TID {
+	d.Tx = append(d.Tx, t)
+	return TID(len(d.Tx) - 1)
+}
+
+// Get returns the transaction with the given TID.
+func (d *Dataset) Get(id TID) Transaction { return d.Tx[id] }
+
+// Validate checks every transaction against the universe.
+func (d *Dataset) Validate() error {
+	for i, t := range d.Tx {
+		if err := t.Validate(d.Universe); err != nil {
+			return fmt.Errorf("transaction %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Slice returns a view of transactions [lo, hi) as a dataset over the same
+// universe. The transactions are shared, not copied; TIDs restart at 0.
+func (d *Dataset) Slice(lo, hi int) *Dataset {
+	return &Dataset{Universe: d.Universe, Tx: d.Tx[lo:hi]}
+}
+
+// AvgSize returns the mean transaction size (0 for an empty dataset).
+func (d *Dataset) AvgSize() float64 {
+	if len(d.Tx) == 0 {
+		return 0
+	}
+	total := 0
+	for _, t := range d.Tx {
+		total += len(t)
+	}
+	return float64(total) / float64(len(d.Tx))
+}

@@ -1,0 +1,381 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTransactionCanonicalizes(t *testing.T) {
+	tr := NewTransaction(5, 1, 3, 1, 5)
+	want := Transaction{1, 3, 5}
+	if len(tr) != 3 || tr[0] != 1 || tr[1] != 3 || tr[2] != 5 {
+		t.Errorf("got %v, want %v", tr, want)
+	}
+	if len(NewTransaction()) != 0 {
+		t.Error("empty input should give empty transaction")
+	}
+}
+
+func TestTransactionContains(t *testing.T) {
+	tr := NewTransaction(2, 4, 8)
+	for _, item := range []int{2, 4, 8} {
+		if !tr.Contains(item) {
+			t.Errorf("Contains(%d) = false", item)
+		}
+	}
+	for _, item := range []int{1, 3, 9} {
+		if tr.Contains(item) {
+			t.Errorf("Contains(%d) = true", item)
+		}
+	}
+	if !tr.ContainsAll(NewTransaction(2, 8)) {
+		t.Error("ContainsAll subset failed")
+	}
+	if tr.ContainsAll(NewTransaction(2, 3)) {
+		t.Error("ContainsAll non-subset succeeded")
+	}
+	if !tr.ContainsAll(NewTransaction()) {
+		t.Error("every set contains the empty set")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := NewTransaction(1, 2, 3, 4)
+	b := NewTransaction(3, 4, 5, 6)
+	if got := a.IntersectSize(b); got != 2 {
+		t.Errorf("IntersectSize = %d, want 2", got)
+	}
+	if got := a.Hamming(b); got != 4 {
+		t.Errorf("Hamming = %d, want 4", got)
+	}
+	if got := a.Jaccard(b); got != 2.0/6.0 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	empty := NewTransaction()
+	if empty.Jaccard(empty) != 1 {
+		t.Error("two empty sets should have Jaccard 1")
+	}
+	if a.Hamming(a) != 0 {
+		t.Error("self Hamming should be 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Transaction{1, 2, 3}).Validate(4); err != nil {
+		t.Error(err)
+	}
+	if err := (Transaction{1, 1}).Validate(4); err == nil {
+		t.Error("duplicates accepted")
+	}
+	if err := (Transaction{2, 1}).Validate(4); err == nil {
+		t.Error("unsorted accepted")
+	}
+	if err := (Transaction{5}).Validate(4); err == nil {
+		t.Error("out of universe accepted")
+	}
+	if err := (Transaction{-1}).Validate(4); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := New(10)
+	id0 := d.Add(3, 1)
+	id1 := d.AddTransaction(NewTransaction(2, 5, 7))
+	if id0 != 0 || id1 != 1 {
+		t.Errorf("ids = %d,%d", id0, id1)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if got := d.Get(0); !got.ContainsAll(NewTransaction(1, 3)) || len(got) != 2 {
+		t.Errorf("Get(0) = %v", got)
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	if got := d.AvgSize(); got != 2.5 {
+		t.Errorf("AvgSize = %v, want 2.5", got)
+	}
+	if New(5).AvgSize() != 0 {
+		t.Error("empty dataset AvgSize should be 0")
+	}
+}
+
+func TestDatasetSlice(t *testing.T) {
+	d := New(10)
+	d.Add(1)
+	d.Add(2)
+	d.Add(3)
+	s := d.Slice(1, 3)
+	if s.Len() != 2 || s.Universe != 10 {
+		t.Fatalf("Slice = %d items over %d", s.Len(), s.Universe)
+	}
+	if !s.Get(0).Contains(2) || !s.Get(1).Contains(3) {
+		t.Error("Slice contents wrong")
+	}
+}
+
+func TestSchemaEncodeDecode(t *testing.T) {
+	s, err := NewSchema([]int{2, 3, 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAttributes() != 3 || s.TotalValues() != 58 {
+		t.Fatalf("attrs=%d total=%d", s.NumAttributes(), s.TotalValues())
+	}
+	if s.ItemID(0, 1) != 1 || s.ItemID(1, 0) != 2 || s.ItemID(2, 52) != 57 {
+		t.Error("ItemID offsets wrong")
+	}
+	a, v := s.Attribute(4)
+	if a != 1 || v != 2 {
+		t.Errorf("Attribute(4) = (%d,%d), want (1,2)", a, v)
+	}
+	tuple := []int{1, 2, 17}
+	tr, err := s.EncodeTuple(tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(s.TotalValues()); err != nil {
+		t.Errorf("encoded tuple not canonical: %v", err)
+	}
+	back, err := s.DecodeTuple(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tuple {
+		if back[i] != tuple[i] {
+			t.Errorf("round trip mismatch at %d: %d vs %d", i, back[i], tuple[i])
+		}
+	}
+	if ds := s.DomainSizes(); len(ds) != 3 || ds[2] != 53 {
+		t.Error("DomainSizes wrong")
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema([]int{2, 0}); err == nil {
+		t.Error("zero domain accepted")
+	}
+	s, _ := NewSchema([]int{2, 3})
+	if _, err := s.EncodeTuple([]int{1}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := s.EncodeTuple([]int{1, 3}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	if _, err := s.DecodeTuple(Transaction{0, 1}); err == nil {
+		t.Error("two values of the same attribute accepted")
+	}
+	if _, err := s.DecodeTuple(Transaction{0}); err == nil {
+		t.Error("wrong item count accepted")
+	}
+	for name, fn := range map[string]func(){
+		"ItemID bad attr":  func() { s.ItemID(2, 0) },
+		"ItemID bad value": func() { s.ItemID(0, 2) },
+		"Attribute range":  func() { s.Attribute(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	d := New(1000)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		sz := 1 + r.Intn(30)
+		items := make([]int, sz)
+		for j := range items {
+			items[j] = r.Intn(1000)
+		}
+		d.Add(items...)
+	}
+	d.AddTransaction(NewTransaction()) // empty transaction edge case
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Universe != d.Universe || got.Len() != d.Len() {
+		t.Fatalf("header mismatch: %d/%d vs %d/%d", got.Universe, got.Len(), d.Universe, d.Len())
+	}
+	for i := range d.Tx {
+		if d.Tx[i].Hamming(got.Tx[i]) != 0 {
+			t.Fatalf("transaction %d differs", i)
+		}
+	}
+}
+
+func TestIOFileRoundTrip(t *testing.T) {
+	d := New(50)
+	d.Add(1, 2, 3)
+	d.Add(10, 20)
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Universe != 50 {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestFIMIRoundTrip(t *testing.T) {
+	in := "3 1 2\n\n10 20 10\n7\n"
+	d, err := ReadFIMI(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Universe != 21 {
+		t.Fatalf("Universe = %d, want 21", d.Universe)
+	}
+	if got := d.Get(0); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("first transaction = %v (must be canonicalized)", got)
+	}
+	if got := d.Get(1); len(got) != 2 {
+		t.Errorf("duplicates not removed: %v", got)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteFIMI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFIMI(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatal("FIMI round trip changed the count")
+	}
+	for i := range d.Tx {
+		if d.Tx[i].Hamming(back.Tx[i]) != 0 {
+			t.Fatalf("transaction %d differs after round trip", i)
+		}
+	}
+}
+
+func TestFIMIErrors(t *testing.T) {
+	for _, in := range []string{"1 x 3\n", "-5\n"} {
+		if _, err := ReadFIMI(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+	// Empty input is a valid empty dataset.
+	d, err := ReadFIMI(strings.NewReader(""))
+	if err != nil || d.Len() != 0 || d.Universe != 0 {
+		t.Errorf("empty input: %v %v", d, err)
+	}
+}
+
+func TestLoadFileAutoDetectsFIMI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "retail.dat")
+	if err := os.WriteFile(path, []byte("1 2 3\n4 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Universe != 6 {
+		t.Errorf("FIMI autodetect: %d over %d", d.Len(), d.Universe)
+	}
+}
+
+func TestReadDatasetErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXX"),
+		"truncated": []byte("SGDS"),
+	}
+	for name, raw := range cases {
+		if _, err := ReadDataset(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Size larger than universe.
+	var buf bytes.Buffer
+	buf.WriteString("SGDS")
+	buf.WriteByte(2)  // universe 2
+	buf.WriteByte(1)  // one transaction
+	buf.WriteByte(10) // size 10 > universe
+	if _, err := ReadDataset(&buf); err == nil {
+		t.Error("oversized transaction accepted")
+	}
+}
+
+func TestPropHammingMetricOnTransactions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() Transaction {
+			sz := r.Intn(20)
+			items := make([]int, sz)
+			for i := range items {
+				items[i] = r.Intn(50)
+			}
+			return NewTransaction(items...)
+		}
+		a, b, c := mk(), mk(), mk()
+		// symmetry, identity, triangle
+		return a.Hamming(b) == b.Hamming(a) &&
+			a.Hamming(a) == 0 &&
+			a.Hamming(c) <= a.Hamming(b)+b.Hamming(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIORoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := 1 + r.Intn(300)
+		d := New(u)
+		n := r.Intn(30)
+		for i := 0; i < n; i++ {
+			sz := r.Intn(u)
+			items := make([]int, sz)
+			for j := range items {
+				items[j] = r.Intn(u)
+			}
+			d.Add(items...)
+		}
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadDataset(&buf)
+		if err != nil || got.Len() != d.Len() {
+			return false
+		}
+		for i := range d.Tx {
+			if d.Tx[i].Hamming(got.Tx[i]) != 0 {
+				return false
+			}
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadDataset feeds arbitrary bytes to the dataset reader: it must
+// never panic, and anything it accepts must validate and round-trip.
+func FuzzReadDataset(f *testing.F) {
+	d := New(50)
+	d.Add(1, 2, 3)
+	d.Add(10, 49)
+	d.AddTransaction(NewTransaction())
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SGDS"))
+	f.Add([]byte("SGDS\x02\x01\x0a"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadDataset(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted dataset does not validate: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := ReadDataset(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Len() != got.Len() || again.Universe != got.Universe {
+			t.Fatal("round trip changed the dataset")
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Binary dataset format:
+//
+//	magic "SGDS" | uvarint universe | uvarint count |
+//	per transaction: uvarint size, then delta-encoded uvarint item ids.
+//
+// Delta encoding keeps files around one byte per item for the dense,
+// low-gap transactions the Quest generator produces.
+
+var datasetMagic = [4]byte{'S', 'G', 'D', 'S'}
+
+// WriteTo serializes the dataset.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.Write(datasetMagic[:])); err != nil {
+		return n, err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) error {
+		k := binary.PutUvarint(tmp[:], v)
+		return count(bw.Write(tmp[:k]))
+	}
+	if err := putUv(uint64(d.Universe)); err != nil {
+		return n, err
+	}
+	if err := putUv(uint64(len(d.Tx))); err != nil {
+		return n, err
+	}
+	for _, t := range d.Tx {
+		if err := putUv(uint64(len(t))); err != nil {
+			return n, err
+		}
+		prev := 0
+		for _, item := range t {
+			if err := putUv(uint64(item - prev)); err != nil {
+				return n, err
+			}
+			prev = item
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadDataset deserializes a dataset written by WriteTo.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if magic != datasetMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	universe, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading universe: %w", err)
+	}
+	if universe > 1<<31 {
+		return nil, fmt.Errorf("dataset: implausible universe size %d", universe)
+	}
+	cnt, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading count: %w", err)
+	}
+	d := New(int(universe))
+	// Pre-allocate conservatively: cnt is untrusted input and the stream
+	// may be truncated long before cnt transactions arrive.
+	initial := cnt
+	if initial > 1<<20 {
+		initial = 1 << 20
+	}
+	d.Tx = make([]Transaction, 0, initial)
+	for i := uint64(0); i < cnt; i++ {
+		sz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: transaction %d size: %w", i, err)
+		}
+		if sz > universe {
+			return nil, fmt.Errorf("dataset: transaction %d size %d exceeds universe %d", i, sz, universe)
+		}
+		initialTx := sz
+		if initialTx > 1<<16 {
+			initialTx = 1 << 16 // untrusted size: grow on demand instead
+		}
+		t := make(Transaction, 0, initialTx)
+		prev := 0
+		for j := uint64(0); j < sz; j++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: transaction %d item %d: %w", i, j, err)
+			}
+			prev += int(delta)
+			if prev >= int(universe) {
+				return nil, fmt.Errorf("dataset: transaction %d item %d = %d outside universe", i, j, prev)
+			}
+			if j > 0 && delta == 0 {
+				return nil, fmt.Errorf("dataset: transaction %d has duplicate item %d", i, prev)
+			}
+			t = append(t, prev)
+		}
+		d.Tx = append(d.Tx, t)
+	}
+	return d, nil
+}
+
+// ReadFIMI parses the plain-text transaction format used by the FIMI
+// repository datasets (retail, kosarak, mushroom, ...) and by most
+// published market-basket collections: one transaction per line,
+// whitespace-separated non-negative item ids. Blank lines are skipped;
+// the universe is 1 + the largest item seen. Transactions are
+// canonicalized (sorted, deduplicated).
+func ReadFIMI(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22) // transactions can be long lines
+	d := New(0)
+	maxItem := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		items := make([]int, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("dataset: line %d: bad item %q", line, f)
+			}
+			if v > maxItem {
+				maxItem = v
+			}
+			items = append(items, v)
+		}
+		d.Add(items...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading FIMI input: %w", err)
+	}
+	d.Universe = maxItem + 1
+	return d, nil
+}
+
+// WriteFIMI writes the dataset in the FIMI text format.
+func (d *Dataset) WriteFIMI(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range d.Tx {
+		for i, item := range t {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(item)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the dataset to a file.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := d.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from a file: the binary format written by
+// SaveFile, or — when the name ends in .dat or .fimi — the FIMI text
+// format of the public market-basket datasets.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".dat") || strings.HasSuffix(path, ".fimi") {
+		return ReadFIMI(f)
+	}
+	return ReadDataset(f)
+}

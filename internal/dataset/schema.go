@@ -1,0 +1,99 @@
+package dataset
+
+import "fmt"
+
+// Schema describes a categorical relation: a list of attributes, each with
+// a finite domain. As the paper's Section 1 observes, categorical tuples
+// are a special case of transactions where the item universe is partitioned
+// into one group per attribute and every tuple takes exactly one value per
+// group. Schema performs that encoding: attribute a's value v maps to the
+// global item id offset(a) + v.
+type Schema struct {
+	domains []int
+	offsets []int
+	total   int
+}
+
+// NewSchema builds a schema from per-attribute domain sizes.
+func NewSchema(domainSizes []int) (*Schema, error) {
+	s := &Schema{domains: append([]int(nil), domainSizes...)}
+	s.offsets = make([]int, len(domainSizes))
+	for i, d := range domainSizes {
+		if d < 1 {
+			return nil, fmt.Errorf("dataset: attribute %d has domain size %d", i, d)
+		}
+		s.offsets[i] = s.total
+		s.total += d
+	}
+	return s, nil
+}
+
+// NumAttributes returns the number of attributes (the tuple dimensionality).
+func (s *Schema) NumAttributes() int { return len(s.domains) }
+
+// DomainSize returns the domain size of attribute a.
+func (s *Schema) DomainSize(a int) int { return s.domains[a] }
+
+// TotalValues returns the size of the induced item universe (sum of domains).
+func (s *Schema) TotalValues() int { return s.total }
+
+// ItemID maps (attribute, value) to a global item id.
+func (s *Schema) ItemID(attr, value int) int {
+	if attr < 0 || attr >= len(s.domains) {
+		panic(fmt.Sprintf("dataset: attribute %d out of range", attr))
+	}
+	if value < 0 || value >= s.domains[attr] {
+		panic(fmt.Sprintf("dataset: value %d outside domain of attribute %d (size %d)", value, attr, s.domains[attr]))
+	}
+	return s.offsets[attr] + value
+}
+
+// Attribute maps a global item id back to (attribute, value).
+func (s *Schema) Attribute(item int) (attr, value int) {
+	if item < 0 || item >= s.total {
+		panic(fmt.Sprintf("dataset: item %d outside universe [0,%d)", item, s.total))
+	}
+	// Linear scan is fine: schemas have tens of attributes.
+	for a := len(s.offsets) - 1; a >= 0; a-- {
+		if item >= s.offsets[a] {
+			return a, item - s.offsets[a]
+		}
+	}
+	panic("unreachable")
+}
+
+// EncodeTuple converts a tuple (one value per attribute) into a transaction
+// over the induced universe. The transaction has exactly NumAttributes
+// items — the "fixed area" property the Section 6 bound exploits.
+func (s *Schema) EncodeTuple(values []int) (Transaction, error) {
+	if len(values) != len(s.domains) {
+		return nil, fmt.Errorf("dataset: tuple has %d values, schema has %d attributes", len(values), len(s.domains))
+	}
+	t := make(Transaction, len(values))
+	for a, v := range values {
+		if v < 0 || v >= s.domains[a] {
+			return nil, fmt.Errorf("dataset: value %d outside domain of attribute %d (size %d)", v, a, s.domains[a])
+		}
+		t[a] = s.offsets[a] + v
+	}
+	return t, nil // offsets are increasing, so t is sorted with no duplicates
+}
+
+// DecodeTuple converts a transaction produced by EncodeTuple back to values.
+func (s *Schema) DecodeTuple(t Transaction) ([]int, error) {
+	if len(t) != len(s.domains) {
+		return nil, fmt.Errorf("dataset: transaction has %d items, schema has %d attributes", len(t), len(s.domains))
+	}
+	values := make([]int, len(t))
+	for i, item := range t {
+		a, v := s.Attribute(item)
+		if a != i {
+			return nil, fmt.Errorf("dataset: item %d belongs to attribute %d, expected %d", item, a, i)
+		}
+		values[i] = v
+	}
+	return values, nil
+}
+
+// DomainSizes returns a copy of the per-attribute domain sizes.
+func (s *Schema) DomainSizes() []int { return append([]int(nil), s.domains...) }

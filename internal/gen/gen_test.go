@@ -1,0 +1,351 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+)
+
+func TestQuestConfigName(t *testing.T) {
+	cases := []struct {
+		cfg  QuestConfig
+		want string
+	}{
+		{QuestConfig{NumTransactions: 200000, AvgSize: 10, AvgItemsetSize: 6}, "T10.I6.D200K"},
+		{QuestConfig{NumTransactions: 100000, AvgSize: 30, AvgItemsetSize: 18}, "T30.I18.D100K"},
+		{QuestConfig{NumTransactions: 500, AvgSize: 5, AvgItemsetSize: 3}, "T5.I3.D500"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestQuestValidate(t *testing.T) {
+	bad := []QuestConfig{
+		{NumTransactions: -1, AvgSize: 10, AvgItemsetSize: 6},
+		{NumTransactions: 10, AvgSize: 0, AvgItemsetSize: 6},
+		{NumTransactions: 10, AvgSize: 10, AvgItemsetSize: 0},
+		{NumTransactions: 10, AvgSize: 10, AvgItemsetSize: 6, NumItems: 5},
+		{NumTransactions: 10, AvgSize: 10, AvgItemsetSize: 6, Correlation: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := (QuestConfig{NumTransactions: 10, AvgSize: 10, AvgItemsetSize: 6}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestQuestGenerateShape(t *testing.T) {
+	cfg := QuestConfig{NumTransactions: 3000, AvgSize: 10, AvgItemsetSize: 6, Seed: 7}
+	d, err := GenerateQuest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3000 {
+		t.Fatalf("Len = %d, want 3000", d.Len())
+	}
+	if d.Universe != 1000 {
+		t.Fatalf("Universe = %d, want default 1000", d.Universe)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean size should be in the vicinity of T (the Quest process spreads
+	// it; allow a generous band).
+	avg := d.AvgSize()
+	if avg < 5 || avg > 16 {
+		t.Errorf("average transaction size = %.2f, want near 10", avg)
+	}
+}
+
+func TestQuestDeterminism(t *testing.T) {
+	cfg := QuestConfig{NumTransactions: 500, AvgSize: 8, AvgItemsetSize: 4, Seed: 42}
+	a, err := GenerateQuest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateQuest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tx {
+		if a.Tx[i].Hamming(b.Tx[i]) != 0 {
+			t.Fatalf("transaction %d differs between identical seeds", i)
+		}
+	}
+	cfg.Seed = 43
+	c, err := GenerateQuest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Tx {
+		if a.Tx[i].Hamming(c.Tx[i]) == 0 {
+			same++
+		}
+	}
+	if same == len(a.Tx) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestQuestTransactionsShareItemsets(t *testing.T) {
+	// The generator must produce *clustered* data: pairs of transactions
+	// should share items far more often than uniform random sets would.
+	cfg := QuestConfig{NumTransactions: 2000, AvgSize: 10, AvgItemsetSize: 6, Seed: 1}
+	d, err := GenerateQuest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	shared := 0
+	trials := 3000
+	for i := 0; i < trials; i++ {
+		a := d.Tx[r.Intn(d.Len())]
+		b := d.Tx[r.Intn(d.Len())]
+		if a.IntersectSize(b) >= 2 {
+			shared++
+		}
+	}
+	// Uniform 10-of-1000 sets share ≥2 items with probability ≈0.4%; the
+	// itemset process should push this several times higher.
+	if frac := float64(shared) / float64(trials); frac < 0.012 {
+		t.Errorf("only %.2f%% of pairs share ≥2 items; data not clustered", frac*100)
+	}
+}
+
+func TestQuestQueriesIndependentOfData(t *testing.T) {
+	q, err := NewQuest(QuestConfig{NumTransactions: 100, AvgSize: 10, AvgItemsetSize: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs1 := q.Queries(50, 99)
+	qs2 := q.Queries(50, 99)
+	qs3 := q.Queries(50, 100)
+	for i := range qs1 {
+		if qs1[i].Hamming(qs2[i]) != 0 {
+			t.Fatal("same stream seed produced different queries")
+		}
+	}
+	diff := false
+	for i := range qs1 {
+		if qs1[i].Hamming(qs3[i]) != 0 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different stream seeds produced identical queries")
+	}
+	for _, tr := range qs1 {
+		if err := tr.Validate(1000); err != nil {
+			t.Fatal(err)
+		}
+		if len(tr) == 0 {
+			t.Fatal("empty query generated")
+		}
+	}
+}
+
+func TestQuestItemsetPoolProperties(t *testing.T) {
+	q, err := NewQuest(QuestConfig{NumTransactions: 1, AvgSize: 10, AvgItemsetSize: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := q.Itemsets()
+	if len(sets) != 2000 {
+		t.Fatalf("pool size = %d, want default 2000", len(sets))
+	}
+	total := 0
+	for _, s := range sets {
+		if len(s) == 0 {
+			t.Fatal("empty itemset in pool")
+		}
+		total += len(s)
+	}
+	mean := float64(total) / float64(len(sets))
+	if mean < 4 || mean > 8 {
+		t.Errorf("mean itemset size = %.2f, want near 6", mean)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{0, 1, 5, 20, 50} {
+		n := 5000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(r, mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > 0.15*mean+0.2 {
+			t.Errorf("poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestCensusSchemaEnvelope(t *testing.T) {
+	sizes := censusAttributes()
+	if len(sizes) != 36 {
+		t.Fatalf("attributes = %d, want 36", len(sizes))
+	}
+	total := 0
+	for _, s := range sizes {
+		if s < 2 || s > 53 {
+			t.Errorf("domain size %d outside [2,53]", s)
+		}
+		total += s
+	}
+	if total != 525 {
+		t.Errorf("total values = %d, want 525", total)
+	}
+}
+
+func TestCensusGenerate(t *testing.T) {
+	c, err := NewCensus(CensusConfig{NumTuples: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Generate()
+	if d.Len() != 2000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Universe != 525 {
+		t.Fatalf("Universe = %d, want 525", d.Universe)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range d.Tx {
+		if len(tr) != 36 {
+			t.Fatalf("tuple %d has %d items, want fixed dimensionality 36", i, len(tr))
+		}
+	}
+	// Decodability: every transaction is a valid tuple.
+	if _, err := c.Schema().DecodeTuple(d.Tx[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCensusSkewAndClustering(t *testing.T) {
+	c, err := NewCensus(CensusConfig{NumTuples: 5000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Generate()
+	// Skew: on the largest attribute (domain 53), the most frequent value
+	// should be far above the uniform share.
+	counts := make(map[int]int)
+	for _, tr := range d.Tx {
+		vals, err := c.Schema().DecodeTuple(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[vals[0]]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if frac := float64(max) / float64(d.Len()); frac < 3.0/53.0 {
+		t.Errorf("top value share %.3f on a 53-value domain; expected heavy skew", frac)
+	}
+	// Clustering: random tuple pairs should frequently agree on many
+	// attributes (tuples from the same latent cluster).
+	r := rand.New(rand.NewSource(8))
+	big := 0
+	for i := 0; i < 2000; i++ {
+		a := d.Tx[r.Intn(d.Len())]
+		b := d.Tx[r.Intn(d.Len())]
+		if a.IntersectSize(b) >= 18 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Error("no tuple pairs agree on half the attributes; clusters missing")
+	}
+}
+
+func TestCensusQueriesSamePopulation(t *testing.T) {
+	c, err := NewCensus(CensusConfig{NumTuples: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := c.Queries(20, 77)
+	if len(qs) != 20 {
+		t.Fatal("wrong query count")
+	}
+	for _, q := range qs {
+		if len(q) != 36 {
+			t.Fatal("query with wrong dimensionality")
+		}
+		if _, err := c.Schema().DecodeTuple(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCensusConfigErrors(t *testing.T) {
+	bad := []CensusConfig{
+		{NumTuples: -1},
+		{NumTuples: 1, Adherence: 1.5},
+		{NumTuples: 1, Clusters: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCensus(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestCensusDeterminism(t *testing.T) {
+	a, _, err := GenerateCensus(CensusConfig{NumTuples: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := GenerateCensus(CensusConfig{NumTuples: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tx {
+		if a.Tx[i].Hamming(b.Tx[i]) != 0 {
+			t.Fatal("census generation not deterministic")
+		}
+	}
+}
+
+var sinkTx dataset.Transaction
+
+func BenchmarkQuestGenerate(b *testing.B) {
+	q, err := NewQuest(QuestConfig{NumTransactions: 1, AvgSize: 10, AvgItemsetSize: 6, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkTx = q.nextTransaction(r)
+	}
+}
+
+func BenchmarkCensusGenerate(b *testing.B) {
+	c, err := NewCensus(CensusConfig{NumTuples: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals := c.nextTuple(r)
+		tr, _ := c.Schema().EncodeTuple(vals)
+		sinkTx = tr
+	}
+}

@@ -1,0 +1,286 @@
+// Package gen generates the paper's workloads: IBM-Quest-style synthetic
+// market-basket data (the T·.I·.D· datasets of Section 5.1) and a
+// CENSUS-like categorical dataset with the same schema envelope as the UCI
+// census data the paper indexes. All generators are deterministic given
+// their seeds, so every experiment is reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sgtree/internal/dataset"
+)
+
+// QuestConfig parameterizes the synthetic transaction generator of Agrawal
+// & Srikant (VLDB '94), which the paper uses for all synthetic experiments.
+// A dataset with D transactions of mean size T built from potentially large
+// itemsets of mean size I is denoted T<T>.I<I>.D<D> (e.g. T10.I6.D200K).
+type QuestConfig struct {
+	// NumTransactions is D, the dataset cardinality.
+	NumTransactions int
+	// AvgSize is T, the mean transaction size (Poisson distributed).
+	AvgSize int
+	// AvgItemsetSize is I, the mean size of the potentially large itemsets.
+	AvgItemsetSize int
+	// NumItems is N, the size of the item universe (default 1000).
+	NumItems int
+	// NumItemsets is |L|, the number of potentially large itemsets
+	// (default 2000).
+	NumItemsets int
+	// Correlation is the fraction of each itemset drawn from its
+	// predecessor (default 0.5).
+	Correlation float64
+	// CorruptionMean and CorruptionSD parameterize the per-itemset
+	// corruption level, clamped to [0,1] (defaults 0.5 and 0.1).
+	CorruptionMean float64
+	CorruptionSD   float64
+	// Seed drives both the itemset pool and the transaction stream.
+	Seed int64
+}
+
+// withDefaults fills unset fields with the standard Quest defaults.
+func (c QuestConfig) withDefaults() QuestConfig {
+	if c.NumItems == 0 {
+		c.NumItems = 1000
+	}
+	if c.NumItemsets == 0 {
+		c.NumItemsets = 2000
+	}
+	if c.Correlation == 0 {
+		c.Correlation = 0.5
+	}
+	if c.CorruptionMean == 0 {
+		c.CorruptionMean = 0.5
+	}
+	if c.CorruptionSD == 0 {
+		c.CorruptionSD = 0.1
+	}
+	return c
+}
+
+// Name returns the paper's notation for the configuration, e.g. "T10.I6.D200K".
+func (c QuestConfig) Name() string {
+	d := c.NumTransactions
+	switch {
+	case d >= 1000 && d%1000 == 0:
+		return fmt.Sprintf("T%d.I%d.D%dK", c.AvgSize, c.AvgItemsetSize, d/1000)
+	default:
+		return fmt.Sprintf("T%d.I%d.D%d", c.AvgSize, c.AvgItemsetSize, d)
+	}
+}
+
+// Validate checks the configuration for obvious mistakes.
+func (c QuestConfig) Validate() error {
+	c = c.withDefaults()
+	if c.NumTransactions < 0 {
+		return fmt.Errorf("gen: negative transaction count")
+	}
+	if c.AvgSize < 1 {
+		return fmt.Errorf("gen: average transaction size %d < 1", c.AvgSize)
+	}
+	if c.AvgItemsetSize < 1 {
+		return fmt.Errorf("gen: average itemset size %d < 1", c.AvgItemsetSize)
+	}
+	if c.NumItems < c.AvgSize {
+		return fmt.Errorf("gen: universe %d smaller than average transaction size %d", c.NumItems, c.AvgSize)
+	}
+	if c.Correlation < 0 || c.Correlation > 1 {
+		return fmt.Errorf("gen: correlation %v outside [0,1]", c.Correlation)
+	}
+	return nil
+}
+
+// Quest is an instantiated generator: the itemset pool is fixed at
+// construction, and independent transaction streams can be drawn from it.
+// Fixing the pool while varying the stream is exactly how the paper builds
+// query workloads "using the same itemsets and parameters".
+type Quest struct {
+	cfg      QuestConfig
+	itemsets [][]int   // potentially large itemsets (sorted item ids)
+	cum      []float64 // cumulative itemset weights for roulette selection
+	corrupt  []float64 // per-itemset corruption level
+}
+
+// NewQuest builds the itemset pool for the configuration.
+func NewQuest(cfg QuestConfig) (*Quest, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	q := &Quest{cfg: cfg}
+	q.itemsets = make([][]int, cfg.NumItemsets)
+	q.corrupt = make([]float64, cfg.NumItemsets)
+	weights := make([]float64, cfg.NumItemsets)
+	var prev []int
+	for i := range q.itemsets {
+		size := poisson(r, float64(cfg.AvgItemsetSize-1)) + 1
+		if size > cfg.NumItems {
+			size = cfg.NumItems
+		}
+		set := make(map[int]struct{}, size)
+		// A fraction of the items comes from the previous itemset
+		// (exponentially distributed with the correlation as mean),
+		// which makes consecutive itemsets share items — the source of
+		// the clustering the SG-tree exploits.
+		if len(prev) > 0 {
+			frac := r.ExpFloat64() * cfg.Correlation
+			if frac > 1 {
+				frac = 1
+			}
+			take := int(frac * float64(size))
+			perm := r.Perm(len(prev))
+			for j := 0; j < take && j < len(prev); j++ {
+				set[prev[perm[j]]] = struct{}{}
+			}
+		}
+		for len(set) < size {
+			set[r.Intn(cfg.NumItems)] = struct{}{}
+		}
+		items := make([]int, 0, len(set))
+		for it := range set {
+			items = append(items, it)
+		}
+		sort.Ints(items)
+		q.itemsets[i] = items
+		prev = items
+		weights[i] = r.ExpFloat64()
+		q.corrupt[i] = clamp01(cfg.CorruptionMean + cfg.CorruptionSD*r.NormFloat64())
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	q.cum = make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		q.cum[i] = acc
+	}
+	q.cum[len(q.cum)-1] = 1 // guard against rounding
+	return q, nil
+}
+
+// Config returns the generator's configuration (with defaults applied).
+func (q *Quest) Config() QuestConfig { return q.cfg }
+
+// Itemsets returns the potentially large itemsets (shared, do not modify).
+func (q *Quest) Itemsets() [][]int { return q.itemsets }
+
+// pickItemset selects an itemset index by weight.
+func (q *Quest) pickItemset(r *rand.Rand) int {
+	x := r.Float64()
+	return sort.SearchFloat64s(q.cum, x)
+}
+
+// nextTransaction draws one transaction from stream r.
+func (q *Quest) nextTransaction(r *rand.Rand) dataset.Transaction {
+	target := poisson(r, float64(q.cfg.AvgSize))
+	if target < 1 {
+		target = 1
+	}
+	set := make(map[int]struct{}, target+4)
+	for len(set) < target {
+		idx := q.pickItemset(r)
+		items := q.itemsets[idx]
+		// Corrupt the itemset: repeatedly drop a random item while a
+		// uniform draw stays below the corruption level.
+		kept := append([]int(nil), items...)
+		c := q.corrupt[idx]
+		for len(kept) > 0 && r.Float64() < c {
+			j := r.Intn(len(kept))
+			kept[j] = kept[len(kept)-1]
+			kept = kept[:len(kept)-1]
+		}
+		if len(set) > 0 && len(set)+len(kept) > target+target/2 && r.Intn(2) == 0 {
+			// Half the time an overflowing itemset is deferred to keep
+			// sizes near the Poisson draw, as in the original generator.
+			break
+		}
+		for _, it := range kept {
+			set[it] = struct{}{}
+		}
+		if len(kept) == 0 {
+			// Fully corrupted itemset: add one random item so the loop
+			// always terminates even for tiny targets.
+			set[r.Intn(q.cfg.NumItems)] = struct{}{}
+		}
+	}
+	items := make([]int, 0, len(set))
+	for it := range set {
+		items = append(items, it)
+	}
+	sort.Ints(items)
+	return items
+}
+
+// Generate produces the dataset (D transactions from the primary stream).
+func (q *Quest) Generate() *dataset.Dataset {
+	r := rand.New(rand.NewSource(q.cfg.Seed + 1))
+	d := dataset.New(q.cfg.NumItems)
+	d.Tx = make([]dataset.Transaction, 0, q.cfg.NumTransactions)
+	for i := 0; i < q.cfg.NumTransactions; i++ {
+		d.AddTransaction(q.nextTransaction(r))
+	}
+	return d
+}
+
+// Queries draws n query transactions from an independent stream over the
+// same itemset pool, mirroring the paper's query workloads.
+func (q *Quest) Queries(n int, streamSeed int64) []dataset.Transaction {
+	r := rand.New(rand.NewSource(streamSeed))
+	out := make([]dataset.Transaction, n)
+	for i := range out {
+		out[i] = q.nextTransaction(r)
+	}
+	return out
+}
+
+// GenerateQuest is a convenience wrapper: build the pool and the dataset.
+func GenerateQuest(cfg QuestConfig) (*dataset.Dataset, error) {
+	q, err := NewQuest(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return q.Generate(), nil
+}
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's method (fine for the small means of this workload).
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// For larger means fall back to a normal approximation to avoid the
+	// O(mean) loop cost.
+	if mean > 30 {
+		v := int(mean + r.NormFloat64()*math.Sqrt(mean) + 0.5)
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,432 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"sgtree/internal/core"
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/scan"
+	"sgtree/internal/sgtable"
+	"sgtree/internal/signature"
+)
+
+// This file holds ablation experiments for the design decisions DESIGN.md
+// calls out. They are not paper artifacts but validate claims the paper
+// makes in prose: the ChooseSubtree trade-off (Section 3.1), the value of
+// compression (Section 3.2), depth-first vs best-first search (Section
+// 4.1), bulk loading (Section 6) and the memory-resources argument
+// (Sections 2.2.1 and 6).
+
+// RunAblationChooseSubtree validates the paper's claim that the
+// minimum-area-enlargement heuristic builds trees of the same quality as
+// minimum-overlap at a much lower insertion cost.
+func RunAblationChooseSubtree(s Scale) (*ResultTable, error) {
+	d, queries, err := questInstance(10, 6, s.D, s.Queries, 42)
+	if err != nil {
+		return nil, err
+	}
+	out := &ResultTable{
+		ID:      "Ablation A1",
+		Title:   "ChooseSubtree heuristics (Section 3.1 claim)",
+		Columns: []string{"heuristic", "insert (msec)", "%data", "CPU (ms)", "I/Os"},
+	}
+	for _, choose := range []core.ChoosePolicy{core.MinEnlargement, core.MinOverlap} {
+		opts := treeOptions(d.Universe, 0, true)
+		opts.Choose = choose
+		tr, insertMs, err := buildTree(d, opts)
+		if err != nil {
+			return nil, err
+		}
+		m, err := measureTreeKNN(tr, queries, d.Universe, 1)
+		if err != nil {
+			return nil, err
+		}
+		out.AddRow(choose.String(), f3(insertMs), f2(m.PctData), f2(m.CPUMillis), f1(m.IOs))
+	}
+	return out, nil
+}
+
+// RunAblationCompression measures the Section 3.2 compression: nodes hold
+// more sparse entries, so the tree has fewer pages and queries fewer I/Os.
+func RunAblationCompression(s Scale) (*ResultTable, error) {
+	d, queries, err := questInstance(10, 6, s.D, s.Queries, 43)
+	if err != nil {
+		return nil, err
+	}
+	out := &ResultTable{
+		ID:      "Ablation A2",
+		Title:   "signature compression (Section 3.2)",
+		Columns: []string{"encoding", "pages", "utilization", "%data", "I/Os"},
+	}
+	for _, compress := range []bool{false, true} {
+		tr, _, err := buildTree(d, treeOptions(d.Universe, 0, compress))
+		if err != nil {
+			return nil, err
+		}
+		st, err := tr.Stats()
+		if err != nil {
+			return nil, err
+		}
+		m, err := measureTreeKNN(tr, queries, d.Universe, 1)
+		if err != nil {
+			return nil, err
+		}
+		name := "dense bitmaps"
+		if compress {
+			name = "sparse lists"
+		}
+		out.AddRow(name, fmt.Sprintf("%d", st.Nodes), f2(st.Utilization()), f2(m.PctData), f1(m.IOs))
+	}
+	return out, nil
+}
+
+// RunAblationSearch compares the depth-first algorithm of Figure 4 with the
+// optimal best-first algorithm the paper describes as the alternative.
+func RunAblationSearch(s Scale) (*ResultTable, error) {
+	d, queries, err := questInstance(30, 18, s.D, s.Queries, 44)
+	if err != nil {
+		return nil, err
+	}
+	tr, _, err := buildTree(d, treeOptions(d.Universe, 0, true))
+	if err != nil {
+		return nil, err
+	}
+	m := signature.NewDirectMapper(d.Universe)
+	out := &ResultTable{
+		ID:      "Ablation A3",
+		Title:   "depth-first vs best-first NN (Section 4.1)",
+		Columns: []string{"k", "DF node accesses", "BF node accesses", "DF ms", "BF ms"},
+	}
+	for _, k := range []int{1, 10, 100} {
+		if k > d.Len() {
+			break
+		}
+		dfNodes, bfNodes := 0, 0
+		var dfMs, bfMs float64
+		for _, q := range queries {
+			qsig := signature.FromItems(m, q)
+			start := time.Now()
+			_, st1, err := tr.KNN(qsig, k)
+			if err != nil {
+				return nil, err
+			}
+			dfMs += float64(time.Since(start).Microseconds()) / 1000
+			dfNodes += st1.NodesAccessed
+			start = time.Now()
+			_, st2, err := tr.KNNBestFirst(qsig, k)
+			if err != nil {
+				return nil, err
+			}
+			bfMs += float64(time.Since(start).Microseconds()) / 1000
+			bfNodes += st2.NodesAccessed
+		}
+		div := float64(len(queries))
+		out.AddRow(fmt.Sprintf("%d", k),
+			f1(float64(dfNodes)/div), f1(float64(bfNodes)/div),
+			f2(dfMs/div), f2(bfMs/div))
+	}
+	return out, nil
+}
+
+// RunAblationBulkLoad compares one-by-one insertion with gray-code bulk
+// loading (Section 6 future work, implemented here): build time, tree size
+// and query performance.
+func RunAblationBulkLoad(s Scale) (*ResultTable, error) {
+	d, queries, err := questInstance(10, 6, s.D, s.Queries, 45)
+	if err != nil {
+		return nil, err
+	}
+	out := &ResultTable{
+		ID:      "Ablation A4",
+		Title:   "incremental insertion vs gray-code bulk loading (Section 6)",
+		Columns: []string{"build", "build time (ms)", "pages", "%data", "I/Os"},
+	}
+
+	opts := treeOptions(d.Universe, 0, true)
+	tr, insertMs, err := buildTree(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := tr.Stats()
+	if err != nil {
+		return nil, err
+	}
+	m, err := measureTreeKNN(tr, queries, d.Universe, 1)
+	if err != nil {
+		return nil, err
+	}
+	out.AddRow("insert one-by-one", f1(insertMs*float64(d.Len())), fmt.Sprintf("%d", st.Nodes), f2(m.PctData), f1(m.IOs))
+
+	bulk, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	mapper := signature.NewDirectMapper(d.Universe)
+	items := make([]core.BulkItem, d.Len())
+	for i, tx := range d.Tx {
+		items[i] = core.BulkItem{Sig: signature.FromItems(mapper, tx), TID: dataset.TID(i)}
+	}
+	start := time.Now()
+	if err := bulk.BulkLoad(items); err != nil {
+		return nil, err
+	}
+	bulkMs := float64(time.Since(start).Microseconds()) / 1000
+	st2, err := bulk.Stats()
+	if err != nil {
+		return nil, err
+	}
+	m2, err := measureTreeKNN(bulk, queries, d.Universe, 1)
+	if err != nil {
+		return nil, err
+	}
+	out.AddRow("gray-code bulk load", f1(bulkMs), fmt.Sprintf("%d", st2.Nodes), f2(m2.PctData), f1(m2.IOs))
+	return out, nil
+}
+
+// RunAblationBufferSize exercises the limited-memory argument of Sections
+// 2.2.1 and 6: warm-pool I/O cost of both structures as the buffer shrinks.
+// The paper reports that the SG-table "is not efficient when the memory
+// resources are limited" while the tree degrades gracefully with standard
+// caching.
+func RunAblationBufferSize(s Scale) (*ResultTable, error) {
+	d, queries, err := questInstance(10, 6, s.D, s.Queries, 46)
+	if err != nil {
+		return nil, err
+	}
+	out := &ResultTable{
+		ID:    "Ablation A5",
+		Title: "warm-pool I/O vs buffer size (1-NN)",
+		Columns: []string{
+			"buffer pages",
+			"SG-tree I/Os", "SG-tree CPU (ms)",
+			"SG-table I/Os", "SG-table CPU (ms)",
+		},
+	}
+	m := signature.NewDirectMapper(d.Universe)
+	for _, pages := range []int{4, 16, 64, 256} {
+		opts := treeOptions(d.Universe, 0, true)
+		opts.BufferPages = pages
+		tr, _, err := buildTree(d, opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg := tableConfig(d.Len())
+		cfg.BufferPages = pages
+		tbl, err := sgtable.Build(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Warm pools: do NOT clear between queries; the buffer works across
+		// the batch, which is what a small-memory deployment looks like.
+		tr.Pool().ResetStats()
+		tbl.Pool().ResetStats()
+		var treeCPU, tblCPU float64
+		for _, q := range queries {
+			start := time.Now()
+			if _, _, err := tr.KNN(signature.FromItems(m, q), 1); err != nil {
+				return nil, err
+			}
+			treeCPU += float64(time.Since(start).Microseconds()) / 1000
+			start = time.Now()
+			if _, _, err := tbl.KNN(q, 1); err != nil {
+				return nil, err
+			}
+			tblCPU += float64(time.Since(start).Microseconds()) / 1000
+		}
+		div := float64(len(queries))
+		out.AddRow(fmt.Sprintf("%d", pages),
+			f1(float64(tr.Pool().Stats().Misses)/div), f2(treeCPU/div),
+			f1(float64(tbl.Pool().Stats().Misses)/div), f2(tblCPU/div))
+	}
+	return out, nil
+}
+
+// RunAblationCardStats measures the closing-section optimization: directory
+// entries carrying min/max cardinality statistics tighten the search bounds
+// on data whose set sizes vary. Quest data with a large T spread makes the
+// effect visible; uniform-size data would show none.
+func RunAblationCardStats(s Scale) (*ResultTable, error) {
+	// Mix small and large transactions by interleaving two generators over
+	// the same universe.
+	dSmall, _, err := questInstance(5, 3, s.D/2, 1, 47)
+	if err != nil {
+		return nil, err
+	}
+	dLarge, queries, err := questInstance(30, 18, s.D/2, s.Queries, 48)
+	if err != nil {
+		return nil, err
+	}
+	d := dataset.New(dSmall.Universe)
+	for i := 0; i < dSmall.Len() || i < dLarge.Len(); i++ {
+		if i < dSmall.Len() {
+			d.AddTransaction(dSmall.Tx[i])
+		}
+		if i < dLarge.Len() {
+			d.AddTransaction(dLarge.Tx[i])
+		}
+	}
+	out := &ResultTable{
+		ID:      "Ablation A6",
+		Title:   "cardinality statistics in directory entries (closing-section optimization)",
+		Columns: []string{"bounds", "%data", "CPU (ms)", "I/Os"},
+	}
+	for _, stats := range []bool{false, true} {
+		opts := treeOptions(d.Universe, 0, false)
+		opts.CardStats = stats
+		tr, _, err := buildTree(d, opts)
+		if err != nil {
+			return nil, err
+		}
+		m, err := measureTreeKNN(tr, queries, d.Universe, 1)
+		if err != nil {
+			return nil, err
+		}
+		name := "coverage only"
+		if stats {
+			name = "coverage + card range"
+		}
+		out.AddRow(name, f2(m.PctData), f2(m.CPUMillis), f1(m.IOs))
+	}
+	return out, nil
+}
+
+// RunAblationLargeUniverse compares the two ways to index a universe much
+// larger than a page's worth of bits: hashed (superimposed) signatures of a
+// fixed length — compact but approximate, reported distances become lower
+// bounds — versus direct-mapped dense signatures on multipage nodes, exact
+// but with L-page node reads. Exactness is measured as the fraction of
+// 1-NN answers matching the true nearest neighbor.
+func RunAblationLargeUniverse(s Scale) (*ResultTable, error) {
+	const universe = 20000
+	g, err := gen.NewQuest(gen.QuestConfig{
+		NumTransactions: s.D / 2,
+		AvgSize:         12,
+		AvgItemsetSize:  6,
+		NumItems:        universe,
+		NumItemsets:     s.D / 100,
+		Seed:            49,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := g.Generate()
+	queries := g.Queries(s.Queries, 49+7777)
+	oracle := scan.New(d)
+
+	out := &ResultTable{
+		ID:      "Ablation A7",
+		Title:   fmt.Sprintf("universe of %d items: hashed signatures vs multipage dense", universe),
+		Columns: []string{"representation", "%data", "I/Os", "exact NN rate", "pages"},
+	}
+	type variant struct {
+		name   string
+		opts   core.Options
+		mapper signature.Mapper
+	}
+	variants := []variant{
+		{
+			name: "hashed 512-bit",
+			opts: core.Options{
+				SignatureLength: 512, PageSize: 4096, BufferPages: 256,
+				MaxNodeEntries: 64, Split: core.MinSplit,
+			},
+			mapper: signature.NewHashMapper(512, 0x5347),
+		},
+		{
+			name: "dense multipage",
+			opts: core.Options{
+				SignatureLength: universe, PageSize: 4096, BufferPages: 256,
+				MaxNodeEntries: 64, Split: core.MinSplit, Compress: true, MaxNodePages: 16,
+			},
+			mapper: signature.NewDirectMapper(universe),
+		},
+	}
+	for _, v := range variants {
+		tr, err := core.New(v.opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, tx := range d.Tx {
+			if err := tr.Insert(signature.FromItems(v.mapper, tx), dataset.TID(i)); err != nil {
+				return nil, err
+			}
+		}
+		var m Measurement
+		exact := 0
+		for _, q := range queries {
+			if err := tr.Pool().Clear(); err != nil {
+				return nil, err
+			}
+			tr.Pool().ResetStats()
+			res, stats, err := tr.KNN(signature.FromItems(v.mapper, q), 1)
+			if err != nil {
+				return nil, err
+			}
+			m.PctData += 100 * float64(stats.DataCompared) / float64(d.Len())
+			m.IOs += float64(tr.Pool().Stats().Misses)
+			if len(res) == 1 {
+				truth, err := oracle.NearestNeighbor(q)
+				if err != nil {
+					return nil, err
+				}
+				if float64(q.Hamming(d.Tx[res[0].TID])) == truth.Dist {
+					exact++
+				}
+			}
+		}
+		div := float64(len(queries))
+		out.AddRow(v.name, f2(m.PctData/div), f1(m.IOs/div),
+			f2(float64(exact)/div), fmt.Sprintf("%d", tr.Pool().Pager().NumPages()))
+	}
+	return out, nil
+}
+
+// RunAblationForcedReinsert measures the R*-style overflow treatment:
+// evicting cover-stretching entries on the first overflow per level and
+// re-inserting them, against plain immediate splitting.
+func RunAblationForcedReinsert(s Scale) (*ResultTable, error) {
+	d, queries, err := questInstance(10, 6, s.D, s.Queries, 51)
+	if err != nil {
+		return nil, err
+	}
+	out := &ResultTable{
+		ID:      "Ablation A8",
+		Title:   "forced reinsertion on overflow (R*-style)",
+		Columns: []string{"overflow treatment", "insert (msec)", "%data", "CPU (ms)", "I/Os"},
+	}
+	for _, fr := range []bool{false, true} {
+		opts := treeOptions(d.Universe, 0, false)
+		opts.ForcedReinsert = fr
+		tr, insertMs, err := buildTree(d, opts)
+		if err != nil {
+			return nil, err
+		}
+		m, err := measureTreeKNN(tr, queries, d.Universe, 1)
+		if err != nil {
+			return nil, err
+		}
+		name := "split immediately"
+		if fr {
+			name = "forced reinsert"
+		}
+		out.AddRow(name, f3(insertMs), f2(m.PctData), f2(m.CPUMillis), f1(m.IOs))
+	}
+	return out, nil
+}
+
+// Ablations maps ablation ids to runners.
+var Ablations = map[string]func(Scale) (*ResultTable, error){
+	"choose":    RunAblationChooseSubtree,
+	"compress":  RunAblationCompression,
+	"search":    RunAblationSearch,
+	"bulkload":  RunAblationBulkLoad,
+	"buffer":    RunAblationBufferSize,
+	"cardstats": RunAblationCardStats,
+	"universe":  RunAblationLargeUniverse,
+	"reinsert":  RunAblationForcedReinsert,
+}
+
+// AblationOrder lists ablation ids in presentation order.
+var AblationOrder = []string{"choose", "compress", "search", "bulkload", "buffer", "cardstats", "universe", "reinsert"}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chart renders the named numeric columns of the table as horizontal bar
+// charts (one block per column), a terminal rendition of the paper's
+// figures. Columns that don't exist or hold no numbers are skipped; bars
+// are scaled to the block's maximum value.
+func (t *ResultTable) Chart(columns ...string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	labelWidth := 0
+	for _, row := range t.Rows {
+		if len(row) > 0 && len(row[0]) > labelWidth {
+			labelWidth = len(row[0])
+		}
+	}
+	for _, col := range columns {
+		ci := -1
+		for i, c := range t.Columns {
+			if c == col {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			continue
+		}
+		type point struct {
+			label string
+			value float64
+			ok    bool
+		}
+		var pts []point
+		max := 0.0
+		for _, row := range t.Rows {
+			if ci >= len(row) {
+				continue
+			}
+			v, err := strconv.ParseFloat(row[ci], 64)
+			p := point{label: row[0], value: v, ok: err == nil}
+			if p.ok && v > max {
+				max = v
+			}
+			pts = append(pts, p)
+		}
+		if max == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n%s\n", col)
+		for _, p := range pts {
+			if !p.ok {
+				fmt.Fprintf(&sb, "  %-*s  %s\n", labelWidth, p.label, "-")
+				continue
+			}
+			const width = 44
+			n := int(p.value / max * width)
+			if n == 0 && p.value > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&sb, "  %-*s  %s %.2f\n", labelWidth, p.label, strings.Repeat("█", n), p.value)
+		}
+	}
+	return sb.String()
+}
+
+// ComparisonChart renders the standard experiment layout — the SG-table
+// and SG-tree %data columns side by side — for every table that has them.
+func (t *ResultTable) ComparisonChart() string {
+	return t.Chart("SG-table(%data)", "SG-tree(%data)")
+}

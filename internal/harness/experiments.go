@@ -1,0 +1,555 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"sgtree/internal/core"
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/sgtable"
+	"sgtree/internal/signature"
+)
+
+// RunTable1 reproduces Table 1: the three split policies compared on the
+// CENSUS dataset by tree quality (average entry area per level), insertion
+// cost and nearest-neighbor performance, on uncompressed trees as in the
+// paper.
+func RunTable1(s Scale) (*ResultTable, error) {
+	d, queries, err := censusInstance(s.D, s.Queries, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := &ResultTable{
+		ID:      "Table 1",
+		Title:   fmt.Sprintf("split policies on CENSUS-like data (D=%d, %d NN queries)", s.D, s.Queries),
+		Columns: []string{"metric", "q-split", "av-split", "min-split"},
+	}
+	type colResult struct {
+		areas    []float64
+		insertMs float64
+		m        Measurement
+		height   int
+	}
+	var cols []colResult
+	for _, policy := range []core.SplitPolicy{core.QSplit, core.AvSplit, core.MinSplit} {
+		opts := treeOptions(d.Universe, 36, false) // uncompressed, as in the paper
+		opts.Split = policy
+		tr, insertMs, err := buildTree(d, opts)
+		if err != nil {
+			return nil, err
+		}
+		st, err := tr.Stats()
+		if err != nil {
+			return nil, err
+		}
+		m, err := measureTreeKNN(tr, queries, d.Universe, 1)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, colResult{areas: st.AvgAreaPerLevel, insertMs: insertMs, m: m, height: st.Height})
+	}
+	maxLevel := 0
+	for _, c := range cols {
+		if c.height-1 > maxLevel {
+			maxLevel = c.height - 1
+		}
+	}
+	for lvl := 1; lvl <= maxLevel; lvl++ {
+		row := []string{fmt.Sprintf("average area at level %d", lvl)}
+		for _, c := range cols {
+			if lvl < len(c.areas) {
+				row = append(row, f1(c.areas[lvl]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		out.AddRow(row...)
+	}
+	addMetric := func(name string, get func(colResult) string) {
+		row := []string{name}
+		for _, c := range cols {
+			row = append(row, get(c))
+		}
+		out.AddRow(row...)
+	}
+	addMetric("insertion cost (msec)", func(c colResult) string { return f3(c.insertMs) })
+	addMetric("% of data accessed", func(c colResult) string { return f2(c.m.PctData) })
+	addMetric("CPU time (msec)", func(c colResult) string { return f2(c.m.CPUMillis) })
+	addMetric("I/Os", func(c colResult) string { return f1(c.m.IOs) })
+	return out, nil
+}
+
+// comparisonPoint measures one experimental x-value for both structures.
+type comparisonPoint struct {
+	label string
+	tree  Measurement
+	table Measurement
+}
+
+// renderComparison emits the pruning/CPU figure and (optionally) the I/O
+// figure from a series of comparison points.
+func renderComparison(id, title, xlabel string, pts []comparisonPoint) *ResultTable {
+	t := &ResultTable{
+		ID:    id,
+		Title: title,
+		Columns: []string{
+			xlabel,
+			"SG-table(%data)", "SG-tree(%data)",
+			"SG-table(time ms)", "SG-tree(time ms)",
+		},
+	}
+	for _, p := range pts {
+		t.AddRow(p.label, f2(p.table.PctData), f2(p.tree.PctData), f2(p.table.CPUMillis), f2(p.tree.CPUMillis))
+	}
+	return t
+}
+
+func renderIOs(id, title, xlabel string, pts []comparisonPoint) *ResultTable {
+	t := &ResultTable{
+		ID:      id,
+		Title:   title,
+		Columns: []string{xlabel, "SG-table(I/Os)", "SG-tree(I/Os)"},
+	}
+	for _, p := range pts {
+		t.AddRow(p.label, f1(p.table.IOs), f1(p.tree.IOs))
+	}
+	return t
+}
+
+// compareNN builds both structures over d and measures k-NN for both.
+func compareNN(d *dataset.Dataset, queries []dataset.Transaction, fixedCard, k int) (Measurement, Measurement, error) {
+	tr, _, err := buildTree(d, treeOptions(d.Universe, fixedCard, false))
+	if err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	treeM, err := measureTreeKNN(tr, queries, d.Universe, k)
+	if err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	tbl, err := sgtable.Build(d, tableConfig(d.Len()))
+	if err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	tblM, err := measureTableKNN(tbl, queries, k)
+	if err != nil {
+		return Measurement{}, Measurement{}, err
+	}
+	return treeM, tblM, nil
+}
+
+// RunVaryT reproduces Figures 5 and 6: 1-NN performance as the mean
+// transaction size T grows with I=6, D fixed.
+func RunVaryT(s Scale) ([]*ResultTable, error) {
+	var pts []comparisonPoint
+	for _, t := range []int{10, 15, 20, 25, 30} {
+		d, queries, err := questInstance(t, 6, s.D, s.Queries, int64(100+t))
+		if err != nil {
+			return nil, err
+		}
+		treeM, tblM, err := compareNN(d, queries, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, comparisonPoint{label: fmt.Sprintf("%d", t), tree: treeM, table: tblM})
+	}
+	title := fmt.Sprintf("1-NN varying T (I=6, D=%d)", s.D)
+	return []*ResultTable{
+		renderComparison("Figure 5", title, "T", pts),
+		renderIOs("Figure 6", title, "T", pts),
+	}, nil
+}
+
+// RunVaryI reproduces Figures 7 and 8: 1-NN performance as the large
+// itemset size I grows with T=30.
+func RunVaryI(s Scale) ([]*ResultTable, error) {
+	var pts []comparisonPoint
+	for _, i := range []int{6, 12, 18, 24} {
+		d, queries, err := questInstance(30, i, s.D, s.Queries, int64(200+i))
+		if err != nil {
+			return nil, err
+		}
+		treeM, tblM, err := compareNN(d, queries, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, comparisonPoint{label: fmt.Sprintf("%d", i), tree: treeM, table: tblM})
+	}
+	title := fmt.Sprintf("1-NN varying I (T=30, D=%d)", s.D)
+	return []*ResultTable{
+		renderComparison("Figure 7", title, "I", pts),
+		renderIOs("Figure 8", title, "I", pts),
+	}, nil
+}
+
+// RunFixedRatio reproduces Figures 9 and 10: dimensionality robustness at
+// constant skew I/T = 0.6.
+func RunFixedRatio(s Scale) ([]*ResultTable, error) {
+	var pts []comparisonPoint
+	for _, ti := range [][2]int{{10, 6}, {20, 12}, {30, 18}, {40, 24}, {50, 30}} {
+		d, queries, err := questInstance(ti[0], ti[1], s.D, s.Queries, int64(300+ti[0]))
+		if err != nil {
+			return nil, err
+		}
+		treeM, tblM, err := compareNN(d, queries, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, comparisonPoint{
+			label: fmt.Sprintf("T=%d,I=%d", ti[0], ti[1]), tree: treeM, table: tblM,
+		})
+	}
+	title := fmt.Sprintf("1-NN at fixed I/T=0.6 (D=%d)", s.D)
+	return []*ResultTable{
+		renderComparison("Figure 9", title, "T,I", pts),
+		renderIOs("Figure 10", title, "T,I", pts),
+	}, nil
+}
+
+// RunVaryD reproduces Figure 11: robustness to the database size with
+// T=10, I=6 (a configuration favourable to the SG-table).
+func RunVaryD(s Scale) (*ResultTable, error) {
+	var pts []comparisonPoint
+	for _, factor := range []float64{0.5, 1, 1.5, 2, 2.5} {
+		d0 := int(factor * float64(s.D))
+		d, queries, err := questInstance(10, 6, d0, s.Queries, int64(400))
+		if err != nil {
+			return nil, err
+		}
+		treeM, tblM, err := compareNN(d, queries, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, comparisonPoint{label: fmt.Sprintf("%d", d0), tree: treeM, table: tblM})
+	}
+	return renderComparison("Figure 11", "1-NN varying dataset cardinality (T=10, I=6)", "D", pts), nil
+}
+
+// RunDistanceRanges reproduces Figure 12: query cost bucketed by the
+// distance of the nearest neighbor (T30.I18), exposing how each structure
+// copes with "outlier" queries.
+func RunDistanceRanges(s Scale) (*ResultTable, error) {
+	numQueries := s.Queries * 10
+	d, queries, err := questInstance(30, 18, s.D, numQueries, 500)
+	if err != nil {
+		return nil, err
+	}
+	tr, _, err := buildTree(d, treeOptions(d.Universe, 0, false))
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := sgtable.Build(d, tableConfig(d.Len()))
+	if err != nil {
+		return nil, err
+	}
+	type bucket struct {
+		label    string
+		lo, hi   float64
+		tree     Measurement
+		table    Measurement
+		nQueries int
+	}
+	buckets := []bucket{
+		{label: "0", lo: 0, hi: 0},
+		{label: "1 to 3", lo: 1, hi: 3},
+		{label: "4 to 10", lo: 4, hi: 10},
+		{label: "11 to 20", lo: 11, hi: 20},
+		{label: ">20", lo: 21, hi: 1e18},
+	}
+	m := signature.NewDirectMapper(d.Universe)
+	for _, q := range queries {
+		// Measure the tree query (which also yields the NN distance).
+		if err := tr.Pool().Clear(); err != nil {
+			return nil, err
+		}
+		tr.Pool().ResetStats()
+		start := time.Now()
+		nn, treeStats, err := tr.NearestNeighbor(signature.FromItems(m, q))
+		if err != nil {
+			return nil, err
+		}
+		treeMs := float64(time.Since(start).Microseconds()) / 1000
+		treeIOs := float64(tr.Pool().Stats().Misses)
+
+		if err := tbl.Pool().Clear(); err != nil {
+			return nil, err
+		}
+		tbl.Pool().ResetStats()
+		start = time.Now()
+		_, tblStats, err := tbl.NearestNeighbor(q)
+		if err != nil {
+			return nil, err
+		}
+		tblMs := float64(time.Since(start).Microseconds()) / 1000
+		tblIOs := float64(tbl.Pool().Stats().Misses)
+
+		for bi := range buckets {
+			b := &buckets[bi]
+			if nn.Dist >= b.lo && nn.Dist <= b.hi {
+				b.tree.PctData += 100 * float64(treeStats.DataCompared) / float64(d.Len())
+				b.tree.CPUMillis += treeMs
+				b.tree.IOs += treeIOs
+				b.table.PctData += 100 * float64(tblStats.DataCompared) / float64(d.Len())
+				b.table.CPUMillis += tblMs
+				b.table.IOs += tblIOs
+				b.nQueries++
+				break
+			}
+		}
+	}
+	out := &ResultTable{
+		ID:    "Figure 12",
+		Title: fmt.Sprintf("1-NN cost by NN distance (T30.I18, D=%d, %d queries)", s.D, numQueries),
+		Columns: []string{
+			"NN distance", "queries",
+			"SG-table(%data)", "SG-tree(%data)",
+			"SG-table(time ms)", "SG-tree(time ms)",
+		},
+	}
+	for _, b := range buckets {
+		if b.nQueries == 0 {
+			out.AddRow(b.label, "0", "-", "-", "-", "-")
+			continue
+		}
+		div := float64(b.nQueries)
+		out.AddRow(b.label, fmt.Sprintf("%d", b.nQueries),
+			f2(b.table.PctData/div), f2(b.tree.PctData/div),
+			f2(b.table.CPUMillis/div), f2(b.tree.CPUMillis/div))
+	}
+	return out, nil
+}
+
+// runKNNSweep is shared by Figures 13 and 14: k-NN cost as k sweeps four
+// orders of magnitude.
+func runKNNSweep(id, name string, d *dataset.Dataset, queries []dataset.Transaction, fixedCard int) (*ResultTable, error) {
+	tr, _, err := buildTree(d, treeOptions(d.Universe, fixedCard, false))
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := sgtable.Build(d, tableConfig(d.Len()))
+	if err != nil {
+		return nil, err
+	}
+	out := &ResultTable{
+		ID:    id,
+		Title: fmt.Sprintf("k-NN varying k (%s, D=%d)", name, d.Len()),
+		Columns: []string{
+			"k",
+			"SG-table(%data)", "SG-tree(%data)",
+			"SG-table(time ms)", "SG-tree(time ms)",
+		},
+	}
+	for _, k := range []int{1, 10, 100, 1000, 10000} {
+		if k > d.Len() {
+			break
+		}
+		treeM, err := measureTreeKNN(tr, queries, d.Universe, k)
+		if err != nil {
+			return nil, err
+		}
+		tblM, err := measureTableKNN(tbl, queries, k)
+		if err != nil {
+			return nil, err
+		}
+		out.AddRow(fmt.Sprintf("%d", k),
+			f2(tblM.PctData), f2(treeM.PctData),
+			f2(tblM.CPUMillis), f2(treeM.CPUMillis))
+	}
+	return out, nil
+}
+
+// RunKNNSynthetic reproduces Figure 13 (T30.I18 synthetic data).
+func RunKNNSynthetic(s Scale) (*ResultTable, error) {
+	d, queries, err := questInstance(30, 18, s.D, s.Queries, 600)
+	if err != nil {
+		return nil, err
+	}
+	return runKNNSweep("Figure 13", "T30.I18", d, queries, 0)
+}
+
+// RunKNNCensus reproduces Figure 14 (CENSUS-like data).
+func RunKNNCensus(s Scale) (*ResultTable, error) {
+	d, queries, err := censusInstance(s.D, s.Queries, 2)
+	if err != nil {
+		return nil, err
+	}
+	return runKNNSweep("Figure 14", "CENSUS", d, queries, 36)
+}
+
+// runRangeSweep is shared by Figures 15 and 16.
+func runRangeSweep(id, name string, d *dataset.Dataset, queries []dataset.Transaction, fixedCard int) (*ResultTable, error) {
+	tr, _, err := buildTree(d, treeOptions(d.Universe, fixedCard, false))
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := sgtable.Build(d, tableConfig(d.Len()))
+	if err != nil {
+		return nil, err
+	}
+	out := &ResultTable{
+		ID:    id,
+		Title: fmt.Sprintf("similarity range queries varying epsilon (%s, D=%d)", name, d.Len()),
+		Columns: []string{
+			"epsilon",
+			"SG-table(%data)", "SG-tree(%data)",
+			"SG-table(time ms)", "SG-tree(time ms)",
+			"avg results",
+		},
+	}
+	for _, eps := range []float64{2, 4, 6, 8, 10} {
+		treeM, err := measureTreeRange(tr, queries, d.Universe, eps)
+		if err != nil {
+			return nil, err
+		}
+		tblM, err := measureTableRange(tbl, queries, eps)
+		if err != nil {
+			return nil, err
+		}
+		out.AddRow(fmt.Sprintf("%.0f", eps),
+			f2(tblM.PctData), f2(treeM.PctData),
+			f2(tblM.CPUMillis), f2(treeM.CPUMillis),
+			f1(treeM.Results))
+	}
+	return out, nil
+}
+
+// RunRangeSynthetic reproduces Figure 15 (T30.I18 synthetic data).
+func RunRangeSynthetic(s Scale) (*ResultTable, error) {
+	d, queries, err := questInstance(30, 18, s.D, s.Queries, 700)
+	if err != nil {
+		return nil, err
+	}
+	return runRangeSweep("Figure 15", "T30.I18", d, queries, 0)
+}
+
+// RunRangeCensus reproduces Figure 16 (CENSUS-like data).
+func RunRangeCensus(s Scale) (*ResultTable, error) {
+	d, queries, err := censusInstance(s.D, s.Queries, 3)
+	if err != nil {
+		return nil, err
+	}
+	return runRangeSweep("Figure 16", "CENSUS", d, queries, 36)
+}
+
+// RunDynamic reproduces Figure 17: both structures are built on an initial
+// batch and then grow by batches whose large itemsets come from fresh
+// seeds. The SG-table's vertical signatures stay optimized for the first
+// batch while the SG-tree adapts — the paper's key robustness argument.
+func RunDynamic(s Scale) (*ResultTable, error) {
+	batch := s.D / 2
+	if batch < 100 {
+		batch = 100
+	}
+	const phases = 5
+	gens := make([]*gen.Quest, phases)
+	for b := 0; b < phases; b++ {
+		g, err := gen.NewQuest(gen.QuestConfig{
+			NumTransactions: batch,
+			AvgSize:         10,
+			AvgItemsetSize:  6,
+			Seed:            int64(800 + 31*b), // fresh itemsets per batch
+		})
+		if err != nil {
+			return nil, err
+		}
+		gens[b] = g
+	}
+	universe := gens[0].Config().NumItems
+
+	first := gens[0].Generate()
+	tr, _, err := buildTree(first, treeOptions(universe, 0, false))
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := sgtable.Build(first, tableConfig(first.Len()))
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ResultTable{
+		ID:    "Figure 17",
+		Title: fmt.Sprintf("1-NN after dynamic updates (T=10, I=6, batches of %d)", batch),
+		Columns: []string{
+			"cardinality",
+			"SG-table(%data)", "SG-tree(%data)",
+			"SG-table(time ms)", "SG-tree(time ms)",
+		},
+	}
+	total := batch
+	mapper := signature.NewDirectMapper(universe)
+	measurePhase := func(phase int) error {
+		// Queries: each drawn from the generator of a random earlier batch.
+		var queries []dataset.Transaction
+		for qi := 0; qi < s.Queries; qi++ {
+			b := qi % (phase + 1)
+			queries = append(queries, gens[b].Queries(1, int64(9000+qi))[0])
+		}
+		treeM, err := measureTreeKNN(tr, queries, universe, 1)
+		if err != nil {
+			return err
+		}
+		tblM, err := measureTableKNN(tbl, queries, 1)
+		if err != nil {
+			return err
+		}
+		out.AddRow(fmt.Sprintf("%d", total),
+			f2(tblM.PctData), f2(treeM.PctData),
+			f2(tblM.CPUMillis), f2(treeM.CPUMillis))
+		return nil
+	}
+	if err := measurePhase(0); err != nil {
+		return nil, err
+	}
+	for phase := 1; phase < phases; phase++ {
+		d := gens[phase].Generate()
+		for i, tx := range d.Tx {
+			tid := dataset.TID(total + i)
+			if err := tr.Insert(signature.FromItems(mapper, tx), tid); err != nil {
+				return nil, err
+			}
+			if err := tbl.Insert(tx, tid); err != nil {
+				return nil, err
+			}
+		}
+		total += d.Len()
+		if err := measurePhase(phase); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Experiments maps experiment ids to their runners; cmd/sgbench and the
+// root benchmarks dispatch through it.
+var Experiments = map[string]func(Scale) ([]*ResultTable, error){
+	"table1": wrap1(RunTable1),
+	"fig5":   RunVaryT, // figures 5 and 6 share a runner
+	"fig6":   RunVaryT,
+	"fig7":   RunVaryI,
+	"fig8":   RunVaryI,
+	"fig9":   RunFixedRatio,
+	"fig10":  RunFixedRatio,
+	"fig11":  wrap1(RunVaryD),
+	"fig12":  wrap1(RunDistanceRanges),
+	"fig13":  wrap1(RunKNNSynthetic),
+	"fig14":  wrap1(RunKNNCensus),
+	"fig15":  wrap1(RunRangeSynthetic),
+	"fig16":  wrap1(RunRangeCensus),
+	"fig17":  wrap1(RunDynamic),
+}
+
+// ExperimentOrder lists the experiment ids in the paper's order.
+var ExperimentOrder = []string{
+	"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+}
+
+func wrap1(f func(Scale) (*ResultTable, error)) func(Scale) ([]*ResultTable, error) {
+	return func(s Scale) ([]*ResultTable, error) {
+		t, err := f(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*ResultTable{t}, nil
+	}
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ResultTable is a rendered experiment outcome: the rows/series a paper
+// table or figure reports.
+type ResultTable struct {
+	// ID is the paper artifact, e.g. "Table 1" or "Figure 5".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the column headers; Rows the cell values.
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *ResultTable) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *ResultTable) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *ResultTable) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Columns, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

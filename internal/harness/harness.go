@@ -1,0 +1,271 @@
+// Package harness reproduces the paper's evaluation (Section 5): it builds
+// the synthetic and CENSUS-like workloads, constructs SG-trees and
+// SG-tables, runs the measured query batches and formats one result table
+// per paper table/figure. DESIGN.md maps every experiment id to its runner;
+// EXPERIMENTS.md records the measured outcomes against the paper's claims.
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"sgtree/internal/core"
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/sgtable"
+	"sgtree/internal/signature"
+)
+
+// Scale controls the experiment sizes. The paper runs D = 200K with 100
+// queries per instance; the default scale is calibrated down so the whole
+// suite finishes in minutes on a laptop while preserving every trend.
+type Scale struct {
+	// D is the base dataset cardinality.
+	D int
+	// Queries is the number of queries per measured instance.
+	Queries int
+}
+
+// PaperScale reproduces the paper's sizes.
+var PaperScale = Scale{D: 200_000, Queries: 100}
+
+// DefaultScale returns the scale from the SGT_SCALE environment variable:
+// "full" selects PaperScale, an integer selects that D (with
+// proportionally fewer queries), and unset/invalid selects D = 20000.
+func DefaultScale() Scale {
+	switch v := os.Getenv("SGT_SCALE"); v {
+	case "full":
+		return PaperScale
+	case "":
+		return Scale{D: 20_000, Queries: 50}
+	default:
+		if d, err := strconv.Atoi(v); err == nil && d > 0 {
+			q := 100
+			if d < 100_000 {
+				q = 50
+			}
+			return Scale{D: d, Queries: q}
+		}
+		return Scale{D: 20_000, Queries: 50}
+	}
+}
+
+// Measurement aggregates one method's averaged query costs at one
+// experimental point — the three quantities the paper plots.
+type Measurement struct {
+	// PctData is the percentage of the dataset compared with the query
+	// (the pruning-efficiency bars of Figures 5-17).
+	PctData float64
+	// CPUMillis is the mean query CPU time in milliseconds.
+	CPUMillis float64
+	// IOs is the mean number of random I/Os (cold-cache page misses).
+	IOs float64
+	// Results is the mean result-set size (for range queries).
+	Results float64
+}
+
+// treeOptions returns the experiment SG-tree configuration. The paper's
+// setup: 4KB pages, fanout in the tens, min-split policy.
+func treeOptions(universe, fixedCard int, compress bool) core.Options {
+	return core.Options{
+		SignatureLength:  universe,
+		PageSize:         4096,
+		BufferPages:      256,
+		MaxNodeEntries:   64,
+		Split:            core.MinSplit,
+		Compress:         compress,
+		FixedCardinality: fixedCard,
+	}
+}
+
+// tableConfig returns the experiment SG-table configuration. K scales with
+// the dataset so the mean bucket occupancy matches the paper's full-scale
+// setup (K=12 at D=200K ≈ 48 transactions per table entry); a fixed K at
+// reduced scale would hand the table an artificially perfect hash.
+func tableConfig(d int) sgtable.Config {
+	k := 4
+	for (1<<uint(k+1)) <= d/48 && k < 16 {
+		k++
+	}
+	return sgtable.Config{
+		NumSignatures:       k,
+		ActivationThreshold: 2,
+		CriticalMass:        0.15,
+		PageSize:            4096,
+		BufferPages:         256,
+	}
+}
+
+// buildTree inserts the dataset one transaction at a time (the dynamic
+// construction the paper credits the tree with) and reports the mean
+// insertion cost in milliseconds.
+func buildTree(d *dataset.Dataset, opts core.Options) (*core.Tree, float64, error) {
+	tr, err := core.New(opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := signature.NewDirectMapper(d.Universe)
+	start := time.Now()
+	for i, tx := range d.Tx {
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+			return nil, 0, fmt.Errorf("insert %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	perInsert := 0.0
+	if d.Len() > 0 {
+		perInsert = float64(elapsed.Microseconds()) / 1000 / float64(d.Len())
+	}
+	return tr, perInsert, nil
+}
+
+// measureTreeKNN runs the query batch against the tree with a cold buffer
+// pool per query and averages the costs.
+func measureTreeKNN(tr *core.Tree, queries []dataset.Transaction, universe, k int) (Measurement, error) {
+	m := signature.NewDirectMapper(universe)
+	var agg Measurement
+	n := tr.Len()
+	for _, q := range queries {
+		if err := tr.Pool().Clear(); err != nil {
+			return agg, err
+		}
+		tr.Pool().ResetStats()
+		qsig := signature.FromItems(m, q)
+		start := time.Now()
+		res, stats, err := tr.KNN(qsig, k)
+		if err != nil {
+			return agg, err
+		}
+		agg.CPUMillis += float64(time.Since(start).Microseconds()) / 1000
+		agg.PctData += 100 * float64(stats.DataCompared) / float64(n)
+		agg.IOs += float64(tr.Pool().Stats().Misses)
+		agg.Results += float64(len(res))
+	}
+	div := float64(len(queries))
+	agg.PctData /= div
+	agg.CPUMillis /= div
+	agg.IOs /= div
+	agg.Results /= div
+	return agg, nil
+}
+
+// measureTreeRange mirrors measureTreeKNN for similarity range queries.
+func measureTreeRange(tr *core.Tree, queries []dataset.Transaction, universe int, eps float64) (Measurement, error) {
+	m := signature.NewDirectMapper(universe)
+	var agg Measurement
+	n := tr.Len()
+	for _, q := range queries {
+		if err := tr.Pool().Clear(); err != nil {
+			return agg, err
+		}
+		tr.Pool().ResetStats()
+		qsig := signature.FromItems(m, q)
+		start := time.Now()
+		res, stats, err := tr.RangeSearch(qsig, eps)
+		if err != nil {
+			return agg, err
+		}
+		agg.CPUMillis += float64(time.Since(start).Microseconds()) / 1000
+		agg.PctData += 100 * float64(stats.DataCompared) / float64(n)
+		agg.IOs += float64(tr.Pool().Stats().Misses)
+		agg.Results += float64(len(res))
+	}
+	div := float64(len(queries))
+	agg.PctData /= div
+	agg.CPUMillis /= div
+	agg.IOs /= div
+	agg.Results /= div
+	return agg, nil
+}
+
+// measureTableKNN runs the query batch against the SG-table.
+func measureTableKNN(tbl *sgtable.Table, queries []dataset.Transaction, k int) (Measurement, error) {
+	var agg Measurement
+	n := tbl.Len()
+	for _, q := range queries {
+		if err := tbl.Pool().Clear(); err != nil {
+			return agg, err
+		}
+		tbl.Pool().ResetStats()
+		start := time.Now()
+		res, stats, err := tbl.KNN(q, k)
+		if err != nil {
+			return agg, err
+		}
+		agg.CPUMillis += float64(time.Since(start).Microseconds()) / 1000
+		agg.PctData += 100 * float64(stats.DataCompared) / float64(n)
+		agg.IOs += float64(tbl.Pool().Stats().Misses)
+		agg.Results += float64(len(res))
+	}
+	div := float64(len(queries))
+	agg.PctData /= div
+	agg.CPUMillis /= div
+	agg.IOs /= div
+	agg.Results /= div
+	return agg, nil
+}
+
+// measureTableRange mirrors measureTableKNN for range queries.
+func measureTableRange(tbl *sgtable.Table, queries []dataset.Transaction, eps float64) (Measurement, error) {
+	var agg Measurement
+	n := tbl.Len()
+	for _, q := range queries {
+		if err := tbl.Pool().Clear(); err != nil {
+			return agg, err
+		}
+		tbl.Pool().ResetStats()
+		start := time.Now()
+		res, stats, err := tbl.RangeSearch(q, eps)
+		if err != nil {
+			return agg, err
+		}
+		agg.CPUMillis += float64(time.Since(start).Microseconds()) / 1000
+		agg.PctData += 100 * float64(stats.DataCompared) / float64(n)
+		agg.IOs += float64(tbl.Pool().Stats().Misses)
+		agg.Results += float64(len(res))
+	}
+	div := float64(len(queries))
+	agg.PctData /= div
+	agg.CPUMillis /= div
+	agg.IOs /= div
+	agg.Results /= div
+	return agg, nil
+}
+
+// questInstance builds a synthetic dataset and its query workload the way
+// the paper does: same itemset pool, independent streams. The pool size
+// scales with D (the paper's |L|=2000 at D=200K, i.e. ~100 transactions per
+// itemset) so that reduced-scale runs preserve the neighborhood density the
+// pruning behaviour depends on.
+func questInstance(t, i, d, queries int, seed int64) (*dataset.Dataset, []dataset.Transaction, error) {
+	pool := d / 100
+	if pool < 50 {
+		pool = 50
+	}
+	if pool > 2000 {
+		pool = 2000
+	}
+	q, err := gen.NewQuest(gen.QuestConfig{
+		NumTransactions: d,
+		AvgSize:         t,
+		AvgItemsetSize:  i,
+		NumItemsets:     pool,
+		Seed:            seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return q.Generate(), q.Queries(queries, seed+7777), nil
+}
+
+// censusInstance builds the CENSUS-like dataset and queries from the
+// held-out stream.
+func censusInstance(d, queries int, seed int64) (*dataset.Dataset, []dataset.Transaction, error) {
+	c, err := gen.NewCensus(gen.CensusConfig{NumTuples: d, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.Generate(), c.Queries(queries, seed+7777), nil
+}

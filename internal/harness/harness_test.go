@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps harness tests fast while still exercising every runner
+// end to end.
+var tinyScale = Scale{D: 1200, Queries: 6}
+
+func TestDefaultScale(t *testing.T) {
+	t.Setenv("SGT_SCALE", "")
+	if s := DefaultScale(); s.D != 20_000 {
+		t.Errorf("default D = %d", s.D)
+	}
+	t.Setenv("SGT_SCALE", "full")
+	if s := DefaultScale(); s != PaperScale {
+		t.Errorf("full scale = %+v", s)
+	}
+	t.Setenv("SGT_SCALE", "5000")
+	if s := DefaultScale(); s.D != 5000 || s.Queries != 50 {
+		t.Errorf("numeric scale = %+v", s)
+	}
+	t.Setenv("SGT_SCALE", "garbage")
+	if s := DefaultScale(); s.D != 20_000 {
+		t.Errorf("garbage scale = %+v", s)
+	}
+}
+
+func TestResultTableRendering(t *testing.T) {
+	rt := &ResultTable{ID: "Figure X", Title: "demo", Columns: []string{"a", "bb"}}
+	rt.AddRow("1", "2")
+	rt.AddRow("333", "4")
+	s := rt.String()
+	if !strings.Contains(s, "Figure X — demo") || !strings.Contains(s, "333") {
+		t.Errorf("rendering broken:\n%s", s)
+	}
+	csv := rt.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Errorf("CSV broken:\n%s", csv)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	rt := &ResultTable{
+		ID:      "Figure X",
+		Title:   "demo",
+		Columns: []string{"T", "SG-table(%data)", "SG-tree(%data)", "note"},
+	}
+	rt.AddRow("10", "50.0", "25.0", "x")
+	rt.AddRow("20", "100.0", "12.5", "5.0")
+	c := rt.ComparisonChart()
+	if !strings.Contains(c, "SG-table(%data)") || !strings.Contains(c, "SG-tree(%data)") {
+		t.Fatalf("chart missing blocks:\n%s", c)
+	}
+	// The 100.0 bar must be the longest; the 12.5 bar nonempty.
+	lines := strings.Split(c, "\n")
+	maxBar, smallBar := 0, 0
+	for _, ln := range lines {
+		bars := strings.Count(ln, "█")
+		if strings.Contains(ln, "100.00") {
+			maxBar = bars
+		}
+		if strings.Contains(ln, "12.50") {
+			smallBar = bars
+		}
+	}
+	if maxBar == 0 || smallBar == 0 || maxBar <= smallBar {
+		t.Errorf("bar scaling wrong (max=%d small=%d):\n%s", maxBar, smallBar, c)
+	}
+	// Unknown columns are skipped without panicking.
+	if s := rt.Chart("nonexistent"); strings.Count(s, "\n") != 1 {
+		t.Errorf("unknown column rendered something:\n%q", s)
+	}
+	// Non-numeric cells render as "-".
+	if s := rt.Chart("note"); s != "" && !strings.Contains(s, "-") {
+		t.Errorf("non-numeric handling wrong:\n%s", s)
+	}
+}
+
+func TestRunTable1Tiny(t *testing.T) {
+	rt, err := RunTable1(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Rows) < 5 {
+		t.Fatalf("too few rows:\n%s", rt)
+	}
+	if len(rt.Columns) != 4 {
+		t.Fatalf("want 4 columns, got %v", rt.Columns)
+	}
+	t.Logf("\n%s", rt)
+}
+
+func TestRunVaryTTiny(t *testing.T) {
+	tables, err := RunVaryT(Scale{D: 800, Queries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("want fig5+fig6, got %d tables", len(tables))
+	}
+	for _, rt := range tables {
+		if len(rt.Rows) != 5 {
+			t.Errorf("%s: %d rows, want 5", rt.ID, len(rt.Rows))
+		}
+	}
+	t.Logf("\n%s\n%s", tables[0], tables[1])
+}
+
+func TestRunVaryDTiny(t *testing.T) {
+	rt, err := RunVaryD(Scale{D: 600, Queries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Rows) != 5 {
+		t.Fatalf("%d rows", len(rt.Rows))
+	}
+}
+
+func TestRunDistanceRangesTiny(t *testing.T) {
+	rt, err := RunDistanceRanges(Scale{D: 800, Queries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Rows) != 5 {
+		t.Fatalf("%d rows", len(rt.Rows))
+	}
+	t.Logf("\n%s", rt)
+}
+
+func TestRunKNNAndRangeTiny(t *testing.T) {
+	for name, f := range map[string]func(Scale) (*ResultTable, error){
+		"fig13": RunKNNSynthetic,
+		"fig14": RunKNNCensus,
+		"fig15": RunRangeSynthetic,
+		"fig16": RunRangeCensus,
+	} {
+		rt, err := f(Scale{D: 700, Queries: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rt.Rows) == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+	}
+}
+
+func TestRunDynamicTiny(t *testing.T) {
+	rt, err := RunDynamic(Scale{D: 800, Queries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Rows) != 5 {
+		t.Fatalf("%d rows, want 5 phases", len(rt.Rows))
+	}
+	t.Logf("\n%s", rt)
+}
+
+func TestAblationsTiny(t *testing.T) {
+	for _, id := range AblationOrder {
+		rt, err := Ablations[id](Scale{D: 700, Queries: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rt.Rows) == 0 {
+			t.Fatalf("%s: empty", id)
+		}
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	if len(ExperimentOrder) != 14 {
+		t.Errorf("expected 14 experiment ids (Table 1 + Figures 5-17), got %d", len(ExperimentOrder))
+	}
+	for _, id := range ExperimentOrder {
+		if Experiments[id] == nil {
+			t.Errorf("experiment %s has no runner", id)
+		}
+	}
+}
+
+func TestQuestInstanceShape(t *testing.T) {
+	d, queries, err := questInstance(10, 6, 500, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 500 || len(queries) != 7 {
+		t.Errorf("sizes: %d, %d", d.Len(), len(queries))
+	}
+	d2, q2, err := censusInstance(300, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 300 || len(q2) != 5 {
+		t.Errorf("census sizes: %d, %d", d2.Len(), len(q2))
+	}
+}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestPaperShapesHold encodes the paper's most robust qualitative claims as
+// assertions at reduced scale, with generous margins so statistical noise
+// cannot flip them. If one of these fails, the reproduction has regressed
+// in a way that would distort EXPERIMENTS.md.
+//
+// Claims checked (see EXPERIMENTS.md for the full shape discussion):
+//  1. Figure 7/8: with T=30, I=24 (strongly clustered data) the SG-tree
+//     prunes clearly better than the SG-table (20% margin; the gap grows
+//     with D and reaches ~7× at D=20K).
+//  2. Figure 9: at T=50, I=30 the tree accesses less than half the data the
+//     table does (dimensionality robustness).
+//  3. Figure 12 regime: for queries whose NN is distant, the tree stays far
+//     ahead (checked via the T30.I18 instance at 1-NN).
+//  4. Table 1 regime: min-split beats q-split on pruning for CENSUS data.
+func TestPaperShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks are slow")
+	}
+	scale := Scale{D: 5000, Queries: 25}
+
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("non-numeric cell %q", s)
+		}
+		return v
+	}
+
+	// Claims 1 and 3: varying I at T=30.
+	tables, err := RunVaryI(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig7 := tables[0]
+	// Row layout: I | table %data | tree %data | table ms | tree ms.
+	last := fig7.Rows[len(fig7.Rows)-1] // I = 24
+	tableData, treeData := parse(last[1]), parse(last[2])
+	if treeData*1.2 > tableData {
+		t.Errorf("claim 1 (Fig 7, I=24): tree %.2f%% not clearly better than table %.2f%%", treeData, tableData)
+	}
+	mid := fig7.Rows[2] // I = 18, the T30.I18 regime of Figures 12-15
+	if parse(mid[2]) >= parse(mid[1]) {
+		t.Errorf("claim 3 (Fig 7, I=18): tree %.2f%% not better than table %.2f%%", parse(mid[2]), parse(mid[1]))
+	}
+
+	// Claim 2: fixed ratio, largest T.
+	tables, err = RunFixedRatio(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig9 := tables[0]
+	last = fig9.Rows[len(fig9.Rows)-1] // T=50, I=30
+	tableData, treeData = parse(last[1]), parse(last[2])
+	if treeData*2 > tableData {
+		t.Errorf("claim 2 (Fig 9, T=50): tree %.2f%% not 2x better than table %.2f%%", treeData, tableData)
+	}
+
+	// Claim 4: split policies on CENSUS.
+	table1, err := RunTable1(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the "% of data accessed" row: columns metric|q|av|min.
+	for _, row := range table1.Rows {
+		if row[0] == "% of data accessed" {
+			q, min := parse(row[1]), parse(row[3])
+			if min >= q {
+				t.Errorf("claim 4 (Table 1): min-split %.2f%% not better than q-split %.2f%%", min, q)
+			}
+			return
+		}
+	}
+	t.Fatal("Table 1 row '% of data accessed' not found")
+}

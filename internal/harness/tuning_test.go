@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+
+	"sgtree/internal/core"
+)
+
+// TestTuningMatrix is an exploratory harness (run with -v) that reports the
+// pruning efficiency of several tree configurations on the Figure 5 T=10
+// instance; it guards against configuration regressions by asserting the
+// chosen experiment configuration is not wildly worse than the best probed.
+func TestTuningMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning matrix is slow")
+	}
+	d, queries, err := questInstance(10, 6, 5000, 20, 142)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cfg struct {
+		name     string
+		compress bool
+		maxEnt   int
+		split    core.SplitPolicy
+	}
+	cases := []cfg{
+		{"compress,M=64,min", true, 64, core.MinSplit},
+		{"compress,M=32,min", true, 32, core.MinSplit},
+		{"compress,M=16,min", true, 16, core.MinSplit},
+		{"dense,M=64,min", false, 64, core.MinSplit},
+		{"dense,M=32,min", false, 32, core.MinSplit},
+		{"compress,M=32,q", true, 32, core.QSplit},
+		{"compress,M=32,av", true, 32, core.AvSplit},
+	}
+	results := map[string]float64{}
+	best := -1.0
+	for _, c := range cases {
+		opts := treeOptions(d.Universe, 0, c.compress)
+		opts.MaxNodeEntries = c.maxEnt
+		opts.Split = c.split
+		tr, _, err := buildTree(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _ := tr.Stats()
+		m, err := measureTreeKNN(tr, queries, d.Universe, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-22s %%data=%6.2f ios=%6.1f cpu=%5.2fms nodes=%4d l1area=%.0f",
+			c.name, m.PctData, m.IOs, m.CPUMillis, st.Nodes, st.AvgAreaPerLevel[1])
+		results[c.name] = m.PctData
+		if best < 0 || m.PctData < best {
+			best = m.PctData
+		}
+	}
+	// Guard: the configuration the experiments use (dense, M=64, min-split)
+	// must stay within a small factor of the best probed configuration — a
+	// regression here would silently distort every figure.
+	if chosen := results["dense,M=64,min"]; chosen > 3*best+1 {
+		t.Errorf("experiment configuration prunes %.2f%%, best probed %.2f%%", chosen, best)
+	}
+}

@@ -1,0 +1,120 @@
+// Package invidx implements an inverted index over set data: one posting
+// list of transaction ids per item. The paper (citing Helmer & Moerkotte)
+// notes that inverted and hash-based indexes beat signature trees for set
+// equality and subset queries while the tree wins at similarity search;
+// this package provides the comparison point for containment queries.
+package invidx
+
+import (
+	"fmt"
+	"sort"
+
+	"sgtree/internal/dataset"
+)
+
+// Index maps items to sorted posting lists of transaction ids.
+type Index struct {
+	universe int
+	postings [][]dataset.TID
+	sizes    []int // transaction sizes, for subset checking
+	count    int
+}
+
+// Build constructs the index from a dataset.
+func Build(d *dataset.Dataset) (*Index, error) {
+	idx := &Index{
+		universe: d.Universe,
+		postings: make([][]dataset.TID, d.Universe),
+		sizes:    make([]int, d.Len()),
+		count:    d.Len(),
+	}
+	for i, tx := range d.Tx {
+		if err := tx.Validate(d.Universe); err != nil {
+			return nil, fmt.Errorf("invidx: transaction %d: %w", i, err)
+		}
+		idx.sizes[i] = len(tx)
+		for _, it := range tx {
+			idx.postings[it] = append(idx.postings[it], dataset.TID(i))
+		}
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed transactions.
+func (idx *Index) Len() int { return idx.count }
+
+// PostingLen returns the length of an item's posting list.
+func (idx *Index) PostingLen(item int) int {
+	if item < 0 || item >= idx.universe {
+		return 0
+	}
+	return len(idx.postings[item])
+}
+
+// Containment returns the ids of all transactions containing every query
+// item, by intersecting the posting lists shortest-first.
+func (idx *Index) Containment(items dataset.Transaction) ([]dataset.TID, int) {
+	if len(items) == 0 {
+		out := make([]dataset.TID, idx.count)
+		for i := range out {
+			out[i] = dataset.TID(i)
+		}
+		return out, 0
+	}
+	lists := make([][]dataset.TID, 0, len(items))
+	for _, it := range items {
+		if it < 0 || it >= idx.universe || len(idx.postings[it]) == 0 {
+			return nil, 0 // an absent item empties the result
+		}
+		lists = append(lists, idx.postings[it])
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	acc := lists[0]
+	work := len(acc)
+	for _, l := range lists[1:] {
+		acc = intersect(acc, l)
+		work += len(l)
+		if len(acc) == 0 {
+			break
+		}
+	}
+	// Copy so callers cannot alias a posting list.
+	return append([]dataset.TID(nil), acc...), work
+}
+
+// Exact returns the ids of transactions exactly equal to the query set.
+func (idx *Index) Exact(items dataset.Transaction) ([]dataset.TID, int) {
+	cands, work := idx.Containment(items)
+	out := cands[:0]
+	for _, id := range cands {
+		if idx.sizes[id] == len(items) {
+			out = append(out, id)
+		}
+	}
+	return out, work
+}
+
+func intersect(a, b []dataset.TID) []dataset.TID {
+	out := make([]dataset.TID, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package invidx
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/scan"
+)
+
+func testData() *dataset.Dataset {
+	d := dataset.New(10)
+	d.Add(1, 2, 3)
+	d.Add(1, 2, 4)
+	d.Add(7, 8, 9)
+	d.Add(1, 2, 3, 4)
+	return d
+}
+
+func TestBuildAndContainment(t *testing.T) {
+	idx, err := Build(testData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 4 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if idx.PostingLen(1) != 3 || idx.PostingLen(9) != 1 || idx.PostingLen(5) != 0 {
+		t.Error("posting lengths wrong")
+	}
+	if idx.PostingLen(-1) != 0 || idx.PostingLen(99) != 0 {
+		t.Error("out-of-range items should have empty postings")
+	}
+	got, work := idx.Containment(dataset.NewTransaction(1, 2))
+	if len(got) != 3 || work == 0 {
+		t.Errorf("got %v (work %d)", got, work)
+	}
+	got, _ = idx.Containment(dataset.NewTransaction(1, 2, 3, 4))
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("got %v", got)
+	}
+	got, _ = idx.Containment(dataset.NewTransaction(5))
+	if len(got) != 0 {
+		t.Errorf("absent item matched: %v", got)
+	}
+	got, _ = idx.Containment(dataset.NewTransaction())
+	if len(got) != 4 {
+		t.Errorf("empty query should return everything, got %v", got)
+	}
+}
+
+func TestExact(t *testing.T) {
+	idx, err := Build(testData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := idx.Exact(dataset.NewTransaction(1, 2, 3))
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("Exact = %v", got)
+	}
+	got, _ = idx.Exact(dataset.NewTransaction(1, 2))
+	if len(got) != 0 {
+		t.Errorf("Exact of a strict subset matched: %v", got)
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	d := dataset.New(3)
+	d.Tx = append(d.Tx, dataset.Transaction{5}) // bypass Add's canonicalization
+	if _, err := Build(d); err == nil {
+		t.Error("out-of-universe transaction accepted")
+	}
+}
+
+func TestContainmentMatchesScanRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	d := dataset.New(50)
+	for i := 0; i < 500; i++ {
+		sz := 1 + r.Intn(8)
+		items := make([]int, sz)
+		for j := range items {
+			items[j] = r.Intn(50)
+		}
+		d.Add(items...)
+	}
+	idx, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := scan.New(d)
+	for trial := 0; trial < 50; trial++ {
+		sz := 1 + r.Intn(4)
+		items := make([]int, sz)
+		for j := range items {
+			items[j] = r.Intn(50)
+		}
+		q := dataset.NewTransaction(items...)
+		got, _ := idx.Containment(q)
+		want := oracle.Containment(q)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

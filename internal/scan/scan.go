@@ -1,0 +1,120 @@
+// Package scan provides the trivial baseline: sequential scan over the
+// dataset. It is the correctness oracle for every index in this repository
+// and the "no index" comparison point for the benchmarks.
+package scan
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"sgtree/internal/dataset"
+)
+
+// Scanner answers similarity queries by examining every transaction.
+type Scanner struct {
+	d *dataset.Dataset
+}
+
+// New returns a scanner over the dataset (which it references, not copies).
+func New(d *dataset.Dataset) *Scanner { return &Scanner{d: d} }
+
+// Neighbor is one similarity-search result.
+type Neighbor struct {
+	TID  dataset.TID
+	Dist float64
+}
+
+type resultHeap []Neighbor
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNN returns the k nearest transactions by Hamming distance.
+func (s *Scanner) KNN(q dataset.Transaction, k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("scan: k = %d < 1", k)
+	}
+	best := resultHeap{}
+	for i, tx := range s.d.Tx {
+		d := float64(q.Hamming(tx))
+		if len(best) < k {
+			heap.Push(&best, Neighbor{TID: dataset.TID(i), Dist: d})
+		} else if d < best[0].Dist {
+			best[0] = Neighbor{TID: dataset.TID(i), Dist: d}
+			heap.Fix(&best, 0)
+		}
+	}
+	out := append([]Neighbor(nil), best...)
+	sortNeighbors(out)
+	return out, nil
+}
+
+// NearestNeighbor returns the closest transaction; it errors when empty.
+func (s *Scanner) NearestNeighbor(q dataset.Transaction) (Neighbor, error) {
+	res, err := s.KNN(q, 1)
+	if err != nil {
+		return Neighbor{}, err
+	}
+	if len(res) == 0 {
+		return Neighbor{}, fmt.Errorf("scan: empty dataset")
+	}
+	return res[0], nil
+}
+
+// NNDistance returns only the nearest-neighbor distance (used to bucket
+// queries by difficulty as in Figure 12).
+func (s *Scanner) NNDistance(q dataset.Transaction) float64 {
+	best := math.Inf(1)
+	for _, tx := range s.d.Tx {
+		if d := float64(q.Hamming(tx)); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// RangeSearch returns all transactions within eps, sorted by distance.
+func (s *Scanner) RangeSearch(q dataset.Transaction, eps float64) ([]Neighbor, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("scan: negative range %v", eps)
+	}
+	var out []Neighbor
+	for i, tx := range s.d.Tx {
+		if d := float64(q.Hamming(tx)); d <= eps {
+			out = append(out, Neighbor{TID: dataset.TID(i), Dist: d})
+		}
+	}
+	sortNeighbors(out)
+	return out, nil
+}
+
+// Containment returns the ids of transactions containing every query item.
+func (s *Scanner) Containment(items dataset.Transaction) []dataset.TID {
+	var out []dataset.TID
+	for i, tx := range s.d.Tx {
+		if tx.ContainsAll(items) {
+			out = append(out, dataset.TID(i))
+		}
+	}
+	return out
+}
+
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].TID < ns[j].TID
+	})
+}

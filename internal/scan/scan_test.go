@@ -1,0 +1,98 @@
+package scan
+
+import (
+	"testing"
+
+	"sgtree/internal/dataset"
+)
+
+func testData() *dataset.Dataset {
+	d := dataset.New(10)
+	d.Add(1, 2, 3)    // tid 0
+	d.Add(1, 2, 4)    // tid 1
+	d.Add(7, 8, 9)    // tid 2
+	d.Add(1, 2, 3, 4) // tid 3
+	return d
+}
+
+func TestKNN(t *testing.T) {
+	s := New(testData())
+	q := dataset.NewTransaction(1, 2, 3)
+	res, err := s.KNN(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].TID != 0 || res[0].Dist != 0 {
+		t.Errorf("first = %+v", res[0])
+	}
+	if res[1].Dist != 1 || res[1].TID != 3 {
+		t.Errorf("second = %+v", res[1])
+	}
+	if res[2].Dist != 2 || res[2].TID != 1 {
+		t.Errorf("third = %+v", res[2])
+	}
+	if _, err := s.KNN(q, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// k larger than the dataset returns everything.
+	all, err := s.KNN(q, 100)
+	if err != nil || len(all) != 4 {
+		t.Errorf("k>n returned %d", len(all))
+	}
+}
+
+func TestNearestNeighborAndDistance(t *testing.T) {
+	s := New(testData())
+	q := dataset.NewTransaction(7, 8)
+	nn, err := s.NearestNeighbor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.TID != 2 || nn.Dist != 1 {
+		t.Errorf("NN = %+v", nn)
+	}
+	if d := s.NNDistance(q); d != 1 {
+		t.Errorf("NNDistance = %v", d)
+	}
+	empty := New(dataset.New(5))
+	if _, err := empty.NearestNeighbor(q); err == nil {
+		t.Error("empty dataset NN should error")
+	}
+}
+
+func TestRangeSearch(t *testing.T) {
+	s := New(testData())
+	q := dataset.NewTransaction(1, 2, 3)
+	res, err := s.RangeSearch(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d in range", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Error("not sorted")
+		}
+	}
+	if _, err := s.RangeSearch(q, -1); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+func TestContainment(t *testing.T) {
+	s := New(testData())
+	got := s.Containment(dataset.NewTransaction(1, 2))
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if len(s.Containment(dataset.NewTransaction(5))) != 0 {
+		t.Error("item 5 occurs nowhere")
+	}
+	if len(s.Containment(dataset.NewTransaction())) != 4 {
+		t.Error("empty query should match everything")
+	}
+}

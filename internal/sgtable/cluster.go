@@ -1,0 +1,216 @@
+// Package sgtable implements the signature table of Aggarwal, Wolf & Yu
+// (SIGMOD 1999), the baseline index of the paper's evaluation (described in
+// its Section 2.2.1). The structure is built from a static dataset in two
+// steps: a minimum-spanning-tree-style clustering of the item universe into
+// K groups of frequently co-occurring items (the "vertical signatures",
+// with a critical-mass rule that freezes groups before they grow too
+// popular), followed by hashing every transaction to one of 2^K buckets
+// according to which vertical signatures it activates. Nearest-neighbor
+// queries scan buckets in ascending order of an optimistic distance bound
+// and stop when the bound passes the best distance found.
+package sgtable
+
+import (
+	"fmt"
+	"sort"
+
+	"sgtree/internal/dataset"
+)
+
+// clusterItems groups the item universe into vertical signatures.
+//
+// It follows the description in the papers: every item starts as its own
+// cluster; cluster pairs are merged in decreasing order of the co-occurrence
+// frequency of their closest item pair (single link — clustering along the
+// maximum spanning tree of the co-occurrence graph); a cluster whose total
+// support exceeds criticalMass × (total support) is frozen and takes no
+// further merges. Merging stops when numGroups clusters remain (frozen ones
+// included). Items that never co-occur with anything stay singleton
+// clusters and are dropped from the result if there are too many groups;
+// dropping items keeps the bounds admissible (an ungrouped item simply
+// contributes nothing).
+func clusterItems(d *dataset.Dataset, numGroups int, criticalMass float64) [][]int {
+	n := d.Universe
+	support := make([]int64, n)
+	totalSupport := int64(0)
+	for _, tx := range d.Tx {
+		for _, it := range tx {
+			support[it]++
+			totalSupport++
+		}
+	}
+
+	// Pairwise co-occurrence counts. The universe of these workloads is
+	// around a thousand items, so a dense triangular matrix is cheap.
+	cooc := make(map[int64]int64)
+	key := func(a, b int) int64 {
+		if a > b {
+			a, b = b, a
+		}
+		return int64(a)*int64(n) + int64(b)
+	}
+	for _, tx := range d.Tx {
+		for i := 0; i < len(tx); i++ {
+			for j := i + 1; j < len(tx); j++ {
+				cooc[key(tx[i], tx[j])]++
+			}
+		}
+	}
+
+	type edge struct {
+		a, b  int
+		count int64
+	}
+	edges := make([]edge, 0, len(cooc))
+	for k, c := range cooc {
+		edges = append(edges, edge{a: int(k / int64(n)), b: int(k % int64(n)), count: c})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].count != edges[j].count {
+			return edges[i].count > edges[j].count
+		}
+		// Deterministic tie-break.
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	// Union-find over items.
+	parent := make([]int, n)
+	clusterSupport := make([]int64, n)
+	frozen := make([]bool, n)
+	for i := range parent {
+		parent[i] = i
+		clusterSupport[i] = support[i]
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// Only items that appear at all participate in clustering.
+	liveClusters := 0
+	for i := 0; i < n; i++ {
+		if support[i] > 0 {
+			liveClusters++
+		}
+	}
+	massLimit := int64(criticalMass * float64(totalSupport))
+
+	for _, e := range edges {
+		if liveClusters <= numGroups {
+			break
+		}
+		ra, rb := find(e.a), find(e.b)
+		if ra == rb || frozen[ra] || frozen[rb] {
+			continue
+		}
+		parent[rb] = ra
+		clusterSupport[ra] += clusterSupport[rb]
+		liveClusters--
+		if massLimit > 0 && clusterSupport[ra] > massLimit {
+			// Critical mass: the group is popular enough; freeze it so it
+			// does not swallow the universe.
+			frozen[ra] = true
+		}
+	}
+
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		if support[i] == 0 {
+			continue
+		}
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	// Prefer the highest-support groups when more than numGroups remain.
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := groupSupport(out[i], support), groupSupport(out[j], support)
+		if si != sj {
+			return si > sj
+		}
+		return out[i][0] < out[j][0]
+	})
+	if len(out) > numGroups {
+		out = out[:numGroups]
+	}
+	return out
+}
+
+func groupSupport(g []int, support []int64) int64 {
+	var s int64
+	for _, it := range g {
+		s += support[it]
+	}
+	return s
+}
+
+// Config parameterizes a signature table. These are exactly the hardwired
+// constants the paper criticizes: they must be chosen before the build and
+// the structure cannot adapt afterwards.
+type Config struct {
+	// NumSignatures is K, the number of vertical signatures; the table has
+	// up to 2^K entries. Default 12.
+	NumSignatures int
+	// ActivationThreshold is θ: a transaction activates a vertical
+	// signature when it shares at least θ items with it. Default 2.
+	ActivationThreshold int
+	// CriticalMass freezes an item cluster once its total support exceeds
+	// this fraction of the dataset's total support. Default 0.15.
+	CriticalMass float64
+	// PageSize is the bucket page size in bytes (default 4096).
+	PageSize int
+	// BufferPages is the buffer-pool capacity (default 256).
+	BufferPages int
+	// Compress stores bucket signatures in the sparse encoding instead of
+	// dense bitmaps. Off by default to mirror the uncompressed SG-tree
+	// configuration the paper's comparison uses.
+	Compress bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumSignatures == 0 {
+		c.NumSignatures = 12
+	}
+	if c.ActivationThreshold == 0 {
+		c.ActivationThreshold = 2
+	}
+	if c.CriticalMass == 0 {
+		c.CriticalMass = 0.15
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.BufferPages == 0 {
+		c.BufferPages = 256
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.NumSignatures < 1 || c.NumSignatures > 24 {
+		return fmt.Errorf("sgtable: NumSignatures %d outside [1,24]", c.NumSignatures)
+	}
+	if c.ActivationThreshold < 1 {
+		return fmt.Errorf("sgtable: ActivationThreshold %d < 1", c.ActivationThreshold)
+	}
+	if c.CriticalMass < 0 || c.CriticalMass > 1 {
+		return fmt.Errorf("sgtable: CriticalMass %v outside [0,1]", c.CriticalMass)
+	}
+	if c.PageSize < 64 {
+		return fmt.Errorf("sgtable: page size %d too small", c.PageSize)
+	}
+	return nil
+}

@@ -1,0 +1,460 @@
+package sgtable
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// Table is a signature table: K vertical signatures clustering the item
+// universe, an in-memory directory of up to 2^K entries, and per-entry
+// bucket page chains on disk holding the signatures of the transactions
+// that activate exactly that combination of vertical signatures. As in the
+// original structure, the indexed transactions are stored as bitmap
+// signatures (dense by default, matching the uncompressed SG-tree
+// configuration the paper evaluates against).
+type Table struct {
+	mu       sync.Mutex
+	cfg      Config
+	universe int
+	codec    signature.Codec
+	mapper   signature.DirectMapper
+	groups   [][]int // vertical signatures (sorted item lists)
+	itemGrp  []int   // item -> group index, -1 if ungrouped
+	pool     *storage.BufferPool
+	buckets  map[uint32]*bucketRef
+	count    int
+}
+
+type bucketRef struct {
+	head, tail storage.PageID
+	count      int
+}
+
+// Neighbor is one similarity-search result.
+type Neighbor struct {
+	TID  dataset.TID
+	Dist float64
+}
+
+// QueryStats reports the work of one query, mirroring the tree's metrics.
+type QueryStats struct {
+	// BucketsVisited counts table entries whose contents were read.
+	BucketsVisited int
+	// PagesRead counts bucket pages fetched.
+	PagesRead int
+	// DataCompared counts transactions compared with the query.
+	DataCompared int
+	// EntriesConsidered counts table entries for which a bound was computed.
+	EntriesConsidered int
+}
+
+// Build constructs a signature table from a static dataset: it clusters the
+// items into vertical signatures (the expensive preprocessing step the
+// paper holds against this structure) and hashes every transaction.
+func Build(d *dataset.Dataset, cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	t := &Table{
+		cfg:      cfg,
+		universe: d.Universe,
+		codec:    signature.Codec{Length: d.Universe, ForceDense: !cfg.Compress},
+		mapper:   signature.NewDirectMapper(d.Universe),
+		groups:   clusterItems(d, cfg.NumSignatures, cfg.CriticalMass),
+		pool:     storage.NewBufferPool(storage.NewMemPager(cfg.PageSize), cfg.BufferPages),
+		buckets:  make(map[uint32]*bucketRef),
+	}
+	t.itemGrp = make([]int, d.Universe)
+	for i := range t.itemGrp {
+		t.itemGrp[i] = -1
+	}
+	for g, items := range t.groups {
+		for _, it := range items {
+			t.itemGrp[it] = g
+		}
+	}
+	for i, tx := range d.Tx {
+		if err := t.Insert(tx, dataset.TID(i)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Groups returns the vertical signatures (shared; do not modify).
+func (t *Table) Groups() [][]int { return t.groups }
+
+// Len returns the number of indexed transactions.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// NumBuckets returns the number of non-empty table entries.
+func (t *Table) NumBuckets() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buckets)
+}
+
+// Pool exposes the buffer pool for I/O accounting.
+func (t *Table) Pool() *storage.BufferPool { return t.pool }
+
+// groupIntersections returns |tx ∩ V_i| for every vertical signature.
+func (t *Table) groupIntersections(tx dataset.Transaction) []int {
+	counts := make([]int, len(t.groups))
+	for _, it := range tx {
+		if it >= 0 && it < len(t.itemGrp) {
+			if g := t.itemGrp[it]; g >= 0 {
+				counts[g]++
+			}
+		}
+	}
+	return counts
+}
+
+// code returns the activation bit vector of a transaction: bit i is set iff
+// the transaction shares at least θ items with vertical signature i.
+func (t *Table) code(tx dataset.Transaction) uint32 {
+	var c uint32
+	for g, cnt := range t.groupIntersections(tx) {
+		if cnt >= t.cfg.ActivationThreshold {
+			c |= 1 << uint(g)
+		}
+	}
+	return c
+}
+
+// Insert hashes a transaction into its bucket. The vertical signatures are
+// fixed at build time, so inserts are cheap — but data drifting away from
+// the original clustering degrades the table, which is exactly the effect
+// the paper's dynamic-update experiment (Figure 17) measures.
+func (t *Table) Insert(tx dataset.Transaction, tid dataset.TID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := tx.Validate(t.universe); err != nil {
+		return fmt.Errorf("sgtable: %w", err)
+	}
+	if err := t.appendToBucket(t.code(tx), signature.FromItems(t.mapper, tx), tid); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Bucket page layout:
+//
+//	bytes 0..3  next page id (0 = end of chain)
+//	bytes 4..5  entry count (uint16)
+//	entries: codec-encoded signature followed by a uint32 tid.
+const (
+	bucketHeaderSize = 6
+	bucketNextOff    = 0
+	bucketCountOff   = 4
+)
+
+func (t *Table) encodeBucketEntry(dst []byte, sig signature.Signature, tid dataset.TID) []byte {
+	dst = t.codec.Append(dst, sig)
+	var ref [4]byte
+	binary.LittleEndian.PutUint32(ref[:], uint32(tid))
+	return append(dst, ref[:]...)
+}
+
+func (t *Table) decodeBucketEntry(buf []byte) (signature.Signature, dataset.TID, int, error) {
+	sig, n, err := t.codec.Decode(buf)
+	if err != nil {
+		return signature.Signature{}, 0, 0, fmt.Errorf("sgtable: corrupt bucket entry: %w", err)
+	}
+	if n+4 > len(buf) {
+		return signature.Signature{}, 0, 0, fmt.Errorf("sgtable: truncated bucket entry tid")
+	}
+	tid := dataset.TID(binary.LittleEndian.Uint32(buf[n:]))
+	return sig, tid, n + 4, nil
+}
+
+// appendToBucket adds the entry to the bucket's tail page, extending the
+// chain when full. Caller holds the lock.
+func (t *Table) appendToBucket(code uint32, sig signature.Signature, tid dataset.TID) error {
+	encoded := t.encodeBucketEntry(nil, sig, tid)
+	if bucketHeaderSize+len(encoded) > t.cfg.PageSize {
+		return fmt.Errorf("sgtable: signature of %d bits does not fit a %d-byte page", sig.Len(), t.cfg.PageSize)
+	}
+	ref, ok := t.buckets[code]
+	if !ok {
+		id, page, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint16(page[bucketCountOff:], 0)
+		t.pool.Unpin(id, true)
+		ref = &bucketRef{head: id, tail: id}
+		t.buckets[code] = ref
+	}
+	page, err := t.pool.Get(ref.tail)
+	if err != nil {
+		return err
+	}
+	used, cnt := t.bucketPageUsed(page)
+	if used+len(encoded) > t.cfg.PageSize {
+		// Chain a new tail page.
+		t.pool.Unpin(ref.tail, false)
+		newID, newPage, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		copy(newPage[bucketHeaderSize:], encoded)
+		binary.LittleEndian.PutUint16(newPage[bucketCountOff:], 1)
+		t.pool.Unpin(newID, true)
+		// Link the old tail to it.
+		oldPage, err := t.pool.Get(ref.tail)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(oldPage[bucketNextOff:], uint32(newID))
+		t.pool.Unpin(ref.tail, true)
+		ref.tail = newID
+	} else {
+		copy(page[used:], encoded)
+		binary.LittleEndian.PutUint16(page[bucketCountOff:], uint16(cnt+1))
+		t.pool.Unpin(ref.tail, true)
+	}
+	ref.count++
+	return nil
+}
+
+// bucketPageUsed returns the number of bytes in use and the entry count by
+// walking the entries (pages are small; this keeps the format headerless
+// beyond the 6 fixed bytes).
+func (t *Table) bucketPageUsed(page []byte) (int, int) {
+	cnt := int(binary.LittleEndian.Uint16(page[bucketCountOff:]))
+	pos := bucketHeaderSize
+	for i := 0; i < cnt; i++ {
+		_, _, n, err := t.decodeBucketEntry(page[pos:])
+		if err != nil {
+			break
+		}
+		pos += n
+	}
+	return pos, cnt
+}
+
+// forEachInBucket streams the stored signatures of a bucket chain.
+func (t *Table) forEachInBucket(ref *bucketRef, stats *QueryStats, fn func(sig signature.Signature, tid dataset.TID)) error {
+	id := ref.head
+	for id != storage.InvalidPage {
+		page, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		stats.PagesRead++
+		next := storage.PageID(binary.LittleEndian.Uint32(page[bucketNextOff:]))
+		cnt := int(binary.LittleEndian.Uint16(page[bucketCountOff:]))
+		pos := bucketHeaderSize
+		for i := 0; i < cnt; i++ {
+			sig, tid, n, err := t.decodeBucketEntry(page[pos:])
+			if err != nil {
+				t.pool.Unpin(id, false)
+				return fmt.Errorf("sgtable: page %d entry %d: %w", id, i, err)
+			}
+			pos += n
+			fn(sig, tid)
+		}
+		t.pool.Unpin(id, false)
+		id = next
+	}
+	return nil
+}
+
+// entryBound returns the optimistic lower bound on the Hamming distance
+// between q and any transaction hashed to the bucket with the given code.
+// For each vertical signature V_i with q_i = |q ∩ V_i|: a set bit means the
+// transaction shares at least θ items with V_i, so its part inside V_i has
+// size ≥ θ and the local symmetric difference is at least max(0, θ − q_i);
+// a clear bit bounds the shared part by θ−1, giving at least
+// max(0, q_i − (θ−1)). The group parts are disjoint, so the contributions
+// add up; items outside every group contribute nothing, keeping the bound
+// admissible.
+func (t *Table) entryBound(code uint32, qi []int) int {
+	theta := t.cfg.ActivationThreshold
+	bound := 0
+	for g := range t.groups {
+		q := qi[g]
+		if code&(1<<uint(g)) != 0 {
+			if theta > q {
+				bound += theta - q
+			}
+		} else {
+			if q > theta-1 {
+				bound += q - (theta - 1)
+			}
+		}
+	}
+	return bound
+}
+
+// resultHeap is a bounded max-heap of the k best neighbors.
+type resultHeap []Neighbor
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// KNN returns the k nearest transactions to q by Hamming distance: the
+// table entries are sorted by their optimistic bound and scanned in that
+// order until the next bound cannot improve the k-th best distance.
+func (t *Table) KNN(q dataset.Transaction, k int) ([]Neighbor, QueryStats, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var stats QueryStats
+	if k < 1 {
+		return nil, stats, fmt.Errorf("sgtable: k = %d < 1", k)
+	}
+	type cand struct {
+		code  uint32
+		bound int
+	}
+	qi := t.groupIntersections(q)
+	cands := make([]cand, 0, len(t.buckets))
+	for code := range t.buckets {
+		stats.EntriesConsidered++
+		cands = append(cands, cand{code: code, bound: t.entryBound(code, qi)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].bound != cands[j].bound {
+			return cands[i].bound < cands[j].bound
+		}
+		return cands[i].code < cands[j].code
+	})
+	best := resultHeap{}
+	bound := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[0].Dist
+	}
+	qsig := signature.FromItems(t.mapper, q)
+	for _, c := range cands {
+		if float64(c.bound) >= bound() {
+			break // sorted order: no later bucket can improve the result
+		}
+		stats.BucketsVisited++
+		err := t.forEachInBucket(t.buckets[c.code], &stats, func(sig signature.Signature, tid dataset.TID) {
+			stats.DataCompared++
+			d := float64(qsig.Hamming(sig))
+			if len(best) < k {
+				heap.Push(&best, Neighbor{TID: tid, Dist: d})
+			} else if d < best[0].Dist {
+				best[0] = Neighbor{TID: tid, Dist: d}
+				heap.Fix(&best, 0)
+			}
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	out := append([]Neighbor(nil), best...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out, stats, nil
+}
+
+// NearestNeighbor returns the single nearest transaction.
+func (t *Table) NearestNeighbor(q dataset.Transaction) (Neighbor, QueryStats, error) {
+	res, stats, err := t.KNN(q, 1)
+	if err != nil {
+		return Neighbor{}, stats, err
+	}
+	if len(res) == 0 {
+		return Neighbor{}, stats, fmt.Errorf("sgtable: nearest neighbor on an empty table")
+	}
+	return res[0], stats, nil
+}
+
+// RangeSearch returns every transaction within Hamming distance eps of q,
+// visiting only buckets whose bound does not exceed eps.
+func (t *Table) RangeSearch(q dataset.Transaction, eps float64) ([]Neighbor, QueryStats, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var stats QueryStats
+	if eps < 0 {
+		return nil, stats, fmt.Errorf("sgtable: negative range %v", eps)
+	}
+	qi := t.groupIntersections(q)
+	qsig := signature.FromItems(t.mapper, q)
+	var out []Neighbor
+	for code, ref := range t.buckets {
+		stats.EntriesConsidered++
+		if float64(t.entryBound(code, qi)) > eps {
+			continue
+		}
+		stats.BucketsVisited++
+		err := t.forEachInBucket(ref, &stats, func(sig signature.Signature, tid dataset.TID) {
+			stats.DataCompared++
+			if d := float64(qsig.Hamming(sig)); d <= eps {
+				out = append(out, Neighbor{TID: tid, Dist: d})
+			}
+		})
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out, stats, nil
+}
+
+// Stats describes the table structure.
+type TableStats struct {
+	Count       int
+	Buckets     int
+	Pages       int
+	GroupSizes  []int
+	MaxBucket   int
+	AvgPerEntry float64
+}
+
+// Stats returns structural statistics.
+func (t *Table) Stats() TableStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TableStats{Count: t.count, Buckets: len(t.buckets)}
+	for _, g := range t.groups {
+		s.GroupSizes = append(s.GroupSizes, len(g))
+	}
+	for _, ref := range t.buckets {
+		if ref.count > s.MaxBucket {
+			s.MaxBucket = ref.count
+		}
+	}
+	if len(t.buckets) > 0 {
+		s.AvgPerEntry = float64(t.count) / float64(len(t.buckets))
+	}
+	s.Pages = t.pool.Pager().NumPages()
+	return s
+}

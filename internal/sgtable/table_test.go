@@ -1,0 +1,435 @@
+package sgtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/scan"
+	"sgtree/internal/signature"
+)
+
+func questData(t *testing.T, n int, seed int64) (*dataset.Dataset, *gen.Quest) {
+	t.Helper()
+	q, err := gen.NewQuest(gen.QuestConfig{
+		NumTransactions: n, AvgSize: 8, AvgItemsetSize: 4, NumItems: 200, NumItemsets: 50, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Generate(), q
+}
+
+func testConfig() Config {
+	return Config{NumSignatures: 8, ActivationThreshold: 2, PageSize: 512, BufferPages: 64}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{NumSignatures: -1},
+		{NumSignatures: 30},
+		{ActivationThreshold: -2},
+		{CriticalMass: 1.5},
+		{PageSize: 32},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestClusterItemsShape(t *testing.T) {
+	d, _ := questData(t, 1000, 1)
+	groups := clusterItems(d, 8, 0.15)
+	if len(groups) == 0 || len(groups) > 8 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	seen := map[int]bool{}
+	for _, g := range groups {
+		if len(g) == 0 {
+			t.Fatal("empty group")
+		}
+		for i, it := range g {
+			if it < 0 || it >= d.Universe {
+				t.Fatalf("item %d out of universe", it)
+			}
+			if seen[it] {
+				t.Fatalf("item %d in two groups", it)
+			}
+			seen[it] = true
+			if i > 0 && g[i-1] >= it {
+				t.Fatal("group not sorted")
+			}
+		}
+	}
+}
+
+func TestClusterItemsGroupsCorrelatedItems(t *testing.T) {
+	// A dataset of two disjoint blocks: items 0-4 always together, 5-9
+	// always together. Clustering must not mix the blocks.
+	d := dataset.New(10)
+	for i := 0; i < 50; i++ {
+		d.Add(0, 1, 2, 3, 4)
+		d.Add(5, 6, 7, 8, 9)
+	}
+	groups := clusterItems(d, 2, 1.0)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	for _, g := range groups {
+		low, high := false, false
+		for _, it := range g {
+			if it < 5 {
+				low = true
+			} else {
+				high = true
+			}
+		}
+		if low && high {
+			t.Fatalf("group %v mixes the blocks", g)
+		}
+	}
+}
+
+func TestCriticalMassFreezesPopularClusters(t *testing.T) {
+	// One extremely popular pair plus background pairs. With a small
+	// critical mass the popular cluster freezes early and the rest still
+	// merges, so the popular items cannot swallow everything.
+	d := dataset.New(20)
+	for i := 0; i < 200; i++ {
+		d.Add(0, 1) // dominant pair
+	}
+	for i := 0; i < 20; i++ {
+		d.Add(2, 3, 4)
+		d.Add(5, 6, 7)
+	}
+	groups := clusterItems(d, 3, 0.3)
+	for _, g := range groups {
+		if len(g) > 3 {
+			contains01 := false
+			for _, it := range g {
+				if it == 0 || it == 1 {
+					contains01 = true
+				}
+			}
+			if contains01 {
+				t.Fatalf("popular cluster grew past critical mass: %v", g)
+			}
+		}
+	}
+}
+
+func TestBuildAndBasicProperties(t *testing.T) {
+	d, _ := questData(t, 500, 2)
+	tbl, err := Build(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 500 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if tbl.NumBuckets() < 2 {
+		t.Errorf("only %d buckets; hashing degenerate", tbl.NumBuckets())
+	}
+	st := tbl.Stats()
+	if st.Count != 500 || st.Buckets != tbl.NumBuckets() || st.Pages < st.Buckets {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+	if len(st.GroupSizes) == 0 || len(st.GroupSizes) > 8 {
+		t.Errorf("group sizes: %v", st.GroupSizes)
+	}
+}
+
+func TestKNNMatchesScan(t *testing.T) {
+	d, q := questData(t, 600, 3)
+	tbl, err := Build(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := scan.New(d)
+	for qi, query := range q.Queries(30, 77) {
+		for _, k := range []int{1, 4, 9} {
+			got, stats, err := tbl.KNN(query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.KNN(query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("query %d k=%d: %d results, want %d", qi, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("query %d k=%d rank %d: dist %v, want %v", qi, k, i, got[i].Dist, want[i].Dist)
+				}
+			}
+			if stats.DataCompared == 0 {
+				t.Fatal("no data compared?")
+			}
+		}
+	}
+}
+
+func TestKNNPrunes(t *testing.T) {
+	d, q := questData(t, 3000, 5)
+	tbl, err := Build(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	queries := q.Queries(20, 9)
+	for _, query := range queries {
+		_, stats, err := tbl.KNN(query, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += stats.DataCompared
+	}
+	avg := float64(total) / float64(len(queries))
+	if avg > 0.9*float64(d.Len()) {
+		t.Errorf("KNN compares %.0f of %d on average; the bound sort never stops early", avg, d.Len())
+	}
+}
+
+func TestRangeSearchMatchesScan(t *testing.T) {
+	d, _ := questData(t, 400, 7)
+	tbl, err := Build(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := scan.New(d)
+	q := d.Tx[33]
+	for _, eps := range []float64{0, 3, 8} {
+		got, _, err := tbl.RangeSearch(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.RangeSearch(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("eps=%v: %d results, want %d", eps, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Dist != want[i].Dist || got[i].TID != want[i].TID {
+				t.Fatalf("eps=%v rank %d: %+v vs %+v", eps, i, got[i], want[i])
+			}
+		}
+	}
+	if _, _, err := tbl.RangeSearch(q, -2); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+func TestNearestNeighborAndErrors(t *testing.T) {
+	d, _ := questData(t, 100, 11)
+	tbl, err := Build(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, _, err := tbl.NearestNeighbor(d.Tx[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.Dist != 0 {
+		t.Errorf("NN of a data transaction should be at distance 0, got %v", nn.Dist)
+	}
+	if _, _, err := tbl.KNN(d.Tx[0], 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	empty, err := Build(dataset.New(10), Config{NumSignatures: 2, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := empty.NearestNeighbor(dataset.NewTransaction(1)); err == nil {
+		t.Error("NN on empty table should error")
+	}
+}
+
+func TestInsertAfterBuild(t *testing.T) {
+	d, q := questData(t, 300, 13)
+	tbl, err := Build(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic inserts with drifted data (new itemsets).
+	d2, _ := questData(t, 100, 999)
+	for i, tx := range d2.Tx {
+		if err := tbl.Insert(tx, dataset.TID(d.Len()+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.Len() != 400 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	// Queries remain correct (bounds admissible regardless of drift).
+	combined := dataset.New(d.Universe)
+	combined.Tx = append(append([]dataset.Transaction{}, d.Tx...), d2.Tx...)
+	oracle := scan.New(combined)
+	for _, query := range q.Queries(10, 3) {
+		got, _, err := tbl.KNN(query, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := oracle.KNN(query, 3)
+		for i := range got {
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("after drift: rank %d dist %v, want %v", i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+	if err := tbl.Insert(dataset.Transaction{999}, 0); err == nil {
+		t.Error("out-of-universe transaction accepted")
+	}
+}
+
+func TestBucketChaining(t *testing.T) {
+	// Tiny pages force multi-page bucket chains.
+	d, _ := questData(t, 400, 17)
+	cfg := Config{NumSignatures: 2, ActivationThreshold: 2, PageSize: 64, BufferPages: 16}
+	tbl, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tbl.Stats()
+	if st.Pages <= st.Buckets {
+		t.Errorf("expected chained pages: %d pages for %d buckets", st.Pages, st.Buckets)
+	}
+	// All data still reachable.
+	oracle := scan.New(d)
+	got, _, err := tbl.KNN(d.Tx[5], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := oracle.KNN(d.Tx[5], 2)
+	for i := range got {
+		if got[i].Dist != want[i].Dist {
+			t.Fatalf("chained buckets lost data: %v vs %v", got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestEntryBoundAdmissible(t *testing.T) {
+	// Property: for every transaction t in bucket b, bound(b, q) ≤ d(q, t).
+	d, qgen := questData(t, 300, 19)
+	tbl, err := Build(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := qgen.Queries(20, 31)
+	for _, q := range queries {
+		qi := tbl.groupIntersections(q)
+		qsig := signature.FromItems(tbl.mapper, q)
+		for code, ref := range tbl.buckets {
+			bound := tbl.entryBound(code, qi)
+			var stats QueryStats
+			err := tbl.forEachInBucket(ref, &stats, func(sig signature.Signature, tid dataset.TID) {
+				if d := qsig.Hamming(sig); d < bound {
+					t.Fatalf("bound %d exceeds true distance %d (code %b)", bound, d, code)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestCodeActivation(t *testing.T) {
+	d := dataset.New(10)
+	d.Add(0, 1, 2) // group A candidates
+	d.Add(0, 1, 2)
+	d.Add(5, 6) // group B
+	d.Add(5, 6)
+	cfg := Config{NumSignatures: 2, ActivationThreshold: 2, PageSize: 256}
+	tbl, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A transaction sharing ≥2 items with a group activates it.
+	groups := tbl.Groups()
+	if len(groups) < 1 {
+		t.Fatal("no groups")
+	}
+	g0 := groups[0]
+	if len(g0) < 2 {
+		t.Skip("clustering produced singleton groups on this tiny input")
+	}
+	tx := dataset.NewTransaction(g0[0], g0[1])
+	if tbl.code(tx)&1 == 0 {
+		t.Error("transaction with 2 items of group 0 should activate bit 0")
+	}
+	if tbl.code(dataset.NewTransaction(g0[0]))&1 != 0 {
+		t.Error("one shared item is below the activation threshold")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	d, _ := questData(t, 300, 23)
+	t1, err := Build(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Build(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := t1.Groups(), t2.Groups()
+	if len(g1) != len(g2) {
+		t.Fatal("group count differs between identical builds")
+	}
+	for i := range g1 {
+		if len(g1[i]) != len(g2[i]) {
+			t.Fatal("group contents differ between identical builds")
+		}
+		for j := range g1[i] {
+			if g1[i][j] != g2[i][j] {
+				t.Fatal("group contents differ between identical builds")
+			}
+		}
+	}
+}
+
+func TestRandomizedSmallUniverse(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	d := dataset.New(30)
+	for i := 0; i < 200; i++ {
+		sz := 1 + r.Intn(6)
+		items := make([]int, sz)
+		for j := range items {
+			items[j] = r.Intn(30)
+		}
+		d.Add(items...)
+	}
+	tbl, err := Build(d, Config{NumSignatures: 4, ActivationThreshold: 1, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := scan.New(d)
+	for trial := 0; trial < 30; trial++ {
+		sz := 1 + r.Intn(6)
+		items := make([]int, sz)
+		for j := range items {
+			items[j] = r.Intn(30)
+		}
+		q := dataset.NewTransaction(items...)
+		got, _, err := tbl.KNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := oracle.KNN(q, 3)
+		for i := range got {
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}

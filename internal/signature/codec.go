@@ -1,0 +1,175 @@
+package signature
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Codec implements the compression scheme of Section 3.2. Sparse signatures
+// (few set bits) are stored as a flag byte followed by the list of set-bit
+// positions; dense signatures are stored as the raw bitmap. The encoder
+// picks whichever representation is smaller per signature, so a page holds
+// more entries when the data are sparse — exactly the effect the paper is
+// after. The flag byte plays the role described in the paper: it indicates
+// the representation and, for the sparse form, is followed by the number of
+// 1s and their positions.
+//
+// Positions are delta-encoded as unsigned varints, which generalizes the
+// paper's one-byte positions (valid only for 256-bit signatures) to
+// arbitrary signature lengths while staying at one byte per position for
+// signatures up to 128 bits of gap.
+type Codec struct {
+	// Length is the signature bit length all encoded signatures must have.
+	Length int
+	// ForceDense disables compression; every signature is stored as a raw
+	// bitmap. The paper's Table 1 experiment uses uncompressed trees.
+	ForceDense bool
+}
+
+const (
+	tagDense  = 0x00
+	tagSparse = 0x01
+)
+
+// denseSize is the byte size of the raw-bitmap representation (tag + bytes).
+func (c Codec) denseSize() int { return 1 + (c.Length+7)/8 }
+
+// MaxEncodedSize returns the worst-case encoded size of any signature,
+// which is the dense representation (the encoder never emits a sparse form
+// larger than the dense one).
+func (c Codec) MaxEncodedSize() int { return c.denseSize() }
+
+// EncodedSize returns the exact number of bytes Append would emit for s.
+func (c Codec) EncodedSize(s Signature) int {
+	if c.ForceDense {
+		return c.denseSize()
+	}
+	sp := c.sparseSize(s)
+	if d := c.denseSize(); sp > d {
+		return d
+	}
+	return sp
+}
+
+func (c Codec) sparseSize(s Signature) int {
+	n := 1 // tag
+	count := 0
+	prev := 0
+	s.ForEach(func(i int) {
+		delta := i - prev
+		prev = i
+		n += uvarintLen(uint64(delta))
+		count++
+	})
+	n += uvarintLen(uint64(count))
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Append encodes s and appends it to dst, returning the extended slice.
+// It panics if s has the wrong length, since that is always a programming
+// error in the tree layer.
+func (c Codec) Append(dst []byte, s Signature) []byte {
+	if s.Len() != c.Length {
+		panic(fmt.Sprintf("signature: codec length %d, signature length %d", c.Length, s.Len()))
+	}
+	if !c.ForceDense && c.sparseSize(s) <= c.denseSize() {
+		return c.appendSparse(dst, s)
+	}
+	return c.appendDense(dst, s)
+}
+
+func (c Codec) appendDense(dst []byte, s Signature) []byte {
+	dst = append(dst, tagDense)
+	nb := (c.Length + 7) / 8
+	var tmp [8]byte
+	for _, w := range s.Words() {
+		binary.LittleEndian.PutUint64(tmp[:], w)
+		take := 8
+		if nb < take {
+			take = nb
+		}
+		dst = append(dst, tmp[:take]...)
+		nb -= take
+	}
+	return dst
+}
+
+func (c Codec) appendSparse(dst []byte, s Signature) []byte {
+	dst = append(dst, tagSparse)
+	dst = binary.AppendUvarint(dst, uint64(s.Count()))
+	prev := 0
+	s.ForEach(func(i int) {
+		dst = binary.AppendUvarint(dst, uint64(i-prev))
+		prev = i
+	})
+	return dst
+}
+
+// Decode reads one encoded signature from buf, returning it and the number
+// of bytes consumed.
+func (c Codec) Decode(buf []byte) (Signature, int, error) {
+	if len(buf) == 0 {
+		return Signature{}, 0, fmt.Errorf("signature: decode on empty buffer")
+	}
+	switch buf[0] {
+	case tagDense:
+		nb := (c.Length + 7) / 8
+		if len(buf) < 1+nb {
+			return Signature{}, 0, fmt.Errorf("signature: dense form truncated: have %d bytes, need %d", len(buf)-1, nb)
+		}
+		s := New(c.Length)
+		words := make([]uint64, (c.Length+63)/64)
+		var tmp [8]byte
+		src := buf[1 : 1+nb]
+		for wi := range words {
+			for j := range tmp {
+				tmp[j] = 0
+			}
+			copy(tmp[:], src[min(len(src), wi*8):min(len(src), wi*8+8)])
+			words[wi] = binary.LittleEndian.Uint64(tmp[:])
+		}
+		s.SetWords(words)
+		return s, 1 + nb, nil
+	case tagSparse:
+		pos := 1
+		count, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return Signature{}, 0, fmt.Errorf("signature: bad sparse count")
+		}
+		pos += n
+		if count > uint64(c.Length) {
+			return Signature{}, 0, fmt.Errorf("signature: sparse count %d exceeds length %d", count, c.Length)
+		}
+		s := New(c.Length)
+		cur := 0
+		for i := uint64(0); i < count; i++ {
+			delta, n := binary.Uvarint(buf[pos:])
+			if n <= 0 {
+				return Signature{}, 0, fmt.Errorf("signature: truncated sparse position %d", i)
+			}
+			pos += n
+			// Check the delta before adding: a huge value could overflow
+			// the int accumulator and bypass the range check below.
+			if delta > uint64(c.Length) {
+				return Signature{}, 0, fmt.Errorf("signature: sparse delta %d out of range", delta)
+			}
+			cur += int(delta)
+			if cur >= c.Length {
+				return Signature{}, 0, fmt.Errorf("signature: sparse position %d out of range", cur)
+			}
+			s.Set(cur)
+		}
+		return s, pos, nil
+	default:
+		return Signature{}, 0, fmt.Errorf("signature: unknown encoding tag 0x%02x", buf[0])
+	}
+}

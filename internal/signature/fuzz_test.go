@@ -1,0 +1,40 @@
+package signature
+
+import "testing"
+
+// FuzzCodecDecode feeds arbitrary bytes to the signature decoder: it must
+// never panic and never mis-report the consumed length. Round-trips of
+// successfully decoded signatures must be stable.
+func FuzzCodecDecode(f *testing.F) {
+	c := Codec{Length: 256}
+	f.Add([]byte{})
+	f.Add([]byte{tagDense})
+	f.Add([]byte{tagSparse, 3, 1, 1, 1})
+	f.Add(c.Append(nil, FromItems(NewDirectMapper(256), []int{0, 17, 255})))
+	full := New(256)
+	for i := 0; i < 256; i++ {
+		full.Set(i)
+	}
+	f.Add(c.Append(nil, full))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sig, n, err := c.Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if sig.Len() != 256 {
+			t.Fatalf("decoded signature of length %d", sig.Len())
+		}
+		// Re-encode and decode again: must be identical.
+		re := c.Append(nil, sig)
+		sig2, _, err := c.Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !sig2.Equal(sig.Bitset) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package signature implements the signature abstraction of the paper:
+// fixed-length bitmaps that represent transactions (sets of items) and
+// groups of transactions, together with the distance functions and the
+// coverage-based lower bounds that drive branch-and-bound search on the
+// signature tree, and the sparse/dense on-disk codec of Section 3.2.
+//
+// A signature has one bit per position in a fixed universe of length L.
+// With the default direct mapping (item i -> bit i, requiring L >= number
+// of items) all distances computed on signatures are exact set distances.
+// A hashed mapping (superimposed coding) is available when the item
+// universe exceeds the configured signature length; distances then become
+// approximations and containment tests become admissible filters (no false
+// negatives).
+package signature
+
+import (
+	"fmt"
+	"math"
+
+	"sgtree/internal/bitset"
+)
+
+// Signature is a bitmap over the item universe. It embeds the bitmap
+// operations and adds signature-specific terminology from the paper:
+// Area (number of set bits) and the coverage relation.
+type Signature struct {
+	*bitset.Bitset
+}
+
+// New returns an empty signature of the given bit length.
+func New(length int) Signature {
+	return Signature{bitset.New(length)}
+}
+
+// FromItems builds a signature from item ids using mapper m.
+func FromItems(m Mapper, items []int) Signature {
+	s := New(m.Length())
+	for _, it := range items {
+		s.Set(m.Position(it))
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (s Signature) Clone() Signature {
+	return Signature{s.Bitset.Clone()}
+}
+
+// Area returns the number of set bits. Definition 5 of the paper extends
+// the transaction "size" notion to signatures of groups: the area of a
+// directory entry measures how many distinct items appear somewhere below it.
+func (s Signature) Area() int { return s.Count() }
+
+// Covers reports whether s covers o: every bit of o is set in s. A directory
+// entry covers every transaction in its subtree (Def. 5), which is the
+// property all lower bounds in this package rely on.
+func (s Signature) Covers(o Signature) bool { return s.Contains(o.Bitset) }
+
+// Union returns a new signature s | o.
+func (s Signature) Union(o Signature) Signature {
+	return Signature{bitset.Union(s.Bitset, o.Bitset)}
+}
+
+// Merge ORs o into s in place (extending a directory entry).
+func (s Signature) Merge(o Signature) { s.Or(o.Bitset) }
+
+// Enlargement returns how many bits s would gain by absorbing o:
+// |o \ s|. This is the quantity minimized by the ChooseSubtree heuristic.
+func (s Signature) Enlargement(o Signature) int {
+	return s.EnlargementCount(o.Bitset)
+}
+
+// Hamming returns the Hamming distance |s XOR o| — for direct-mapped
+// transaction signatures, the size of the symmetric difference of the sets.
+func (s Signature) Hamming(o Signature) int {
+	return s.HammingDistance(o.Bitset)
+}
+
+// Intersect returns |s AND o|.
+func (s Signature) Intersect(o Signature) int { return s.AndCount(o.Bitset) }
+
+// Difference returns |s AND NOT o|.
+func (s Signature) Difference(o Signature) int { return s.AndNotCount(o.Bitset) }
+
+// Jaccard returns the Jaccard similarity |s∩o| / |s∪o| in [0,1].
+// Two empty signatures have similarity 1 by convention.
+func (s Signature) Jaccard(o Signature) float64 {
+	u := s.OrCount(o.Bitset)
+	if u == 0 {
+		return 1
+	}
+	return float64(s.AndCount(o.Bitset)) / float64(u)
+}
+
+// Dice returns the Dice/Sørensen similarity 2|s∩o| / (|s|+|o|) in [0,1].
+// Two empty signatures have similarity 1 by convention.
+func (s Signature) Dice(o Signature) float64 {
+	d := s.Count() + o.Count()
+	if d == 0 {
+		return 1
+	}
+	return 2 * float64(s.AndCount(o.Bitset)) / float64(d)
+}
+
+// Cosine returns the set-cosine (Ochiai) similarity |s∩o| / √(|s|·|o|) in
+// [0,1]. Two empty signatures have similarity 1 by convention.
+func (s Signature) Cosine(o Signature) float64 {
+	sa, oa := s.Count(), o.Count()
+	if sa == 0 && oa == 0 {
+		return 1
+	}
+	if sa == 0 || oa == 0 {
+		return 0
+	}
+	return float64(s.AndCount(o.Bitset)) / math.Sqrt(float64(sa)*float64(oa))
+}
+
+// String renders the signature as a bit string, as in the paper's figures.
+func (s Signature) String() string { return s.Bitset.String() }
+
+// Parse builds a signature from a bit string such as "100010".
+func Parse(str string) (Signature, error) {
+	b, err := bitset.Parse(str)
+	if err != nil {
+		return Signature{}, err
+	}
+	return Signature{b}, nil
+}
+
+// --- Mapping items to bit positions ---
+
+// Mapper maps item identifiers to bit positions in a signature of a fixed
+// length. Implementations must be deterministic.
+type Mapper interface {
+	// Length is the signature length in bits.
+	Length() int
+	// Position maps an item id to a bit position in [0, Length()).
+	Position(item int) int
+}
+
+// DirectMapper maps item i to bit i. It requires every item id to be in
+// [0, L); distances on signatures are then exact set distances. This is the
+// mapping the paper uses throughout its evaluation.
+type DirectMapper struct {
+	L int
+}
+
+// NewDirectMapper returns a direct mapping with signature length universe.
+func NewDirectMapper(universe int) DirectMapper { return DirectMapper{L: universe} }
+
+// Length returns the signature length.
+func (m DirectMapper) Length() int { return m.L }
+
+// Position returns the item id itself, panicking if out of range.
+func (m DirectMapper) Position(item int) int {
+	if item < 0 || item >= m.L {
+		panic(fmt.Sprintf("signature: item %d outside direct-mapped universe [0,%d)", item, m.L))
+	}
+	return item
+}
+
+// HashMapper hashes item ids into a signature of length L (superimposed
+// coding). Containment filtering stays admissible (a superset's signature
+// covers its subsets' signatures) but distances become lower-bound
+// approximations of the true set distances. Useful when the universe is
+// much larger than the affordable signature length.
+type HashMapper struct {
+	L    int
+	seed uint64
+}
+
+// NewHashMapper returns a hashed mapping of the given signature length.
+func NewHashMapper(length int, seed uint64) HashMapper {
+	if length <= 0 {
+		panic("signature: non-positive hash mapper length")
+	}
+	return HashMapper{L: length, seed: seed}
+}
+
+// Length returns the signature length.
+func (m HashMapper) Length() int { return m.L }
+
+// Position maps the item with a 64-bit mix (splitmix64 finalizer).
+func (m HashMapper) Position(item int) int {
+	x := uint64(item) + m.seed + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(m.L))
+}

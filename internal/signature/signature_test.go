@@ -1,0 +1,335 @@
+package signature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sigFromItems(t *testing.T, universe int, items ...int) Signature {
+	t.Helper()
+	return FromItems(NewDirectMapper(universe), items)
+}
+
+func TestFromItemsAndArea(t *testing.T) {
+	s := sigFromItems(t, 10, 1, 3, 7)
+	if s.Area() != 3 {
+		t.Errorf("Area = %d, want 3", s.Area())
+	}
+	for _, i := range []int{1, 3, 7} {
+		if !s.Test(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+}
+
+func TestDirectMapperRejectsOutOfRange(t *testing.T) {
+	m := NewDirectMapper(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Position(5) did not panic")
+		}
+	}()
+	m.Position(5)
+}
+
+func TestCoversMatchesPaperExample(t *testing.T) {
+	// From Figure 2: entry 111000 covers leaf signatures 110000 and 011000.
+	e, err := Parse("111000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, _ := Parse("110000")
+	t9, _ := Parse("011000")
+	other, _ := Parse("100010")
+	if !e.Covers(t8) || !e.Covers(t9) {
+		t.Error("111000 should cover 110000 and 011000")
+	}
+	if e.Covers(other) {
+		t.Error("111000 should not cover 100010")
+	}
+}
+
+func TestUnionMerge(t *testing.T) {
+	a := sigFromItems(t, 8, 0, 1)
+	b := sigFromItems(t, 8, 1, 5)
+	u := a.Union(b)
+	if u.String() != "11000100" {
+		t.Errorf("Union = %s", u)
+	}
+	if a.String() != "11000000" {
+		t.Error("Union mutated receiver")
+	}
+	a.Merge(b)
+	if !a.Equal(u.Bitset) {
+		t.Error("Merge result differs from Union")
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := sigFromItems(t, 8, 0, 1)
+	b := sigFromItems(t, 8, 1, 5, 6)
+	if got := a.Enlargement(b); got != 2 {
+		t.Errorf("Enlargement = %d, want 2", got)
+	}
+	if got := b.Enlargement(a); got != 1 {
+		t.Errorf("Enlargement reverse = %d, want 1", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	q := sigFromItems(t, 16, 0, 1, 2, 3)
+	u := sigFromItems(t, 16, 2, 3, 4, 5)
+	if d := Distance(Hamming, q, u); d != 4 {
+		t.Errorf("Hamming = %v, want 4", d)
+	}
+	if j := q.Jaccard(u); math.Abs(j-2.0/6.0) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 1/3", j)
+	}
+	if d := Distance(Jaccard, q, u); math.Abs(d-(1-2.0/6.0)) > 1e-12 {
+		t.Errorf("Jaccard distance = %v", d)
+	}
+	if di := q.Dice(u); math.Abs(di-0.5) > 1e-12 {
+		t.Errorf("Dice = %v, want 0.5", di)
+	}
+	if d := Distance(Dice, q, u); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("Dice distance = %v", d)
+	}
+}
+
+func TestEmptySimilarityConventions(t *testing.T) {
+	a, b := New(8), New(8)
+	if a.Jaccard(b) != 1 || a.Dice(b) != 1 {
+		t.Error("two empty signatures should have similarity 1")
+	}
+	if Distance(Jaccard, a, b) != 0 {
+		t.Error("two empty signatures should have Jaccard distance 0")
+	}
+}
+
+func TestMinDistHamming(t *testing.T) {
+	q := sigFromItems(t, 8, 0, 5)
+	e := sigFromItems(t, 8, 0, 1, 2)
+	// q\e = {5}
+	if got := MinDist(Hamming, q, e); got != 1 {
+		t.Errorf("MinDist = %v, want 1", got)
+	}
+	if got := MinDist(Hamming, q, q); got != 0 {
+		t.Errorf("MinDist self = %v, want 0", got)
+	}
+}
+
+func TestMinDistFixedCardStricter(t *testing.T) {
+	// Universe 8, query {0,1,2,3}, entry {0,1,2,3,4,5,6,7}, data dimension 2.
+	// Relaxed bound: |q\e| = 0. Strict: |q|+d-2*min(d,|q|,|q∩e|) = 4+2-2*2 = 2.
+	q := sigFromItems(t, 8, 0, 1, 2, 3)
+	e := sigFromItems(t, 8, 0, 1, 2, 3, 4, 5, 6, 7)
+	if got := MinDist(Hamming, q, e); got != 0 {
+		t.Fatalf("relaxed = %v, want 0", got)
+	}
+	if got := MinDistFixedCard(Hamming, q, e, 2); got != 2 {
+		t.Errorf("fixed-card bound = %v, want 2", got)
+	}
+}
+
+func TestMinDistFixedCardPanicsOnJaccard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MinDistFixedCard(Jaccard, New(4), New(4), 2)
+}
+
+func TestMetricString(t *testing.T) {
+	if Hamming.String() != "hamming" || Jaccard.String() != "jaccard" || Dice.String() != "dice" || Cosine.String() != "cosine" {
+		t.Error("unexpected metric names")
+	}
+	if Metric(99).String() != "unknown" {
+		t.Error("unknown metric should say so")
+	}
+}
+
+func TestHashMapperDeterministicAndInRange(t *testing.T) {
+	m := NewHashMapper(128, 42)
+	for item := 0; item < 10000; item++ {
+		p := m.Position(item)
+		if p < 0 || p >= 128 {
+			t.Fatalf("position %d out of range for item %d", p, item)
+		}
+		if p != m.Position(item) {
+			t.Fatalf("non-deterministic position for item %d", item)
+		}
+	}
+	// Different seeds should usually give different layouts.
+	m2 := NewHashMapper(128, 43)
+	diff := 0
+	for item := 0; item < 100; item++ {
+		if m.Position(item) != m2.Position(item) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("two seeds produced identical mappings for 100 items")
+	}
+}
+
+func TestHashMapperContainmentAdmissible(t *testing.T) {
+	// A superset's hashed signature must always cover a subset's.
+	m := NewHashMapper(64, 7)
+	super := FromItems(m, []int{1, 2, 3, 4, 5, 900, 1234})
+	sub := FromItems(m, []int{2, 900})
+	if !super.Covers(sub) {
+		t.Error("hashed superset signature must cover subset signature")
+	}
+}
+
+// --- property tests ---
+
+func randSig(r *rand.Rand, n int, density float64) Signature {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Float64() < density {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func TestPropMinDistIsLowerBound(t *testing.T) {
+	// For every t ⊆ e, MinDist(q,e) ≤ Distance(q,t) for all metrics.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 16 + r.Intn(200)
+		e := randSig(r, n, 0.4)
+		// t: random subset of e
+		tsig := New(n)
+		e.ForEach(func(i int) {
+			if r.Intn(2) == 0 {
+				tsig.Set(i)
+			}
+		})
+		q := randSig(r, n, 0.3)
+		for _, m := range []Metric{Hamming, Jaccard, Dice, Cosine} {
+			if MinDist(m, q, e) > Distance(m, q, tsig)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFixedCardBoundIsLowerBoundAndDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 16 + r.Intn(200)
+		d := 1 + r.Intn(8)
+		e := randSig(r, n, 0.5)
+		if e.Area() < d {
+			return true // cannot draw a d-subset
+		}
+		// t: random d-subset of e.
+		pos := e.Positions()
+		r.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+		tsig := New(n)
+		for _, p := range pos[:d] {
+			tsig.Set(p)
+		}
+		q := randSig(r, n, 0.2)
+		strict := MinDistFixedCard(Hamming, q, e, d)
+		relaxed := MinDist(Hamming, q, e)
+		dist := Distance(Hamming, q, tsig)
+		return strict >= relaxed && strict <= dist+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDistCardRangeSpecialCases(t *testing.T) {
+	q := sigFromItems(t, 16, 0, 1, 2, 3)
+	e := sigFromItems(t, 16, 0, 1, 2, 3, 4, 5, 6, 7)
+	// Degenerate range [0, ∞) reduces to the generic bound.
+	if got, want := MinDistCardRange(Hamming, q, e, 0, 1000), MinDist(Hamming, q, e); got != want {
+		t.Errorf("unbounded range: %v, want %v", got, want)
+	}
+	// lo = hi = d reduces to the fixed-cardinality bound.
+	for d := 1; d <= 8; d++ {
+		got := MinDistCardRange(Hamming, q, e, d, d)
+		want := MinDistFixedCard(Hamming, q, e, d)
+		if got != want {
+			t.Errorf("d=%d: %v, want %v", d, got, want)
+		}
+	}
+	// Inverted and negative ranges are sanitized rather than trusted.
+	if got := MinDistCardRange(Hamming, q, e, -3, -5); got < 0 {
+		t.Errorf("negative range produced %v", got)
+	}
+	// Dice/Cosine fall back to the generic bound.
+	for _, m := range []Metric{Dice, Cosine} {
+		if got, want := MinDistCardRange(m, q, e, 2, 3), MinDist(m, q, e); got != want {
+			t.Errorf("%v fallback: %v, want %v", m, got, want)
+		}
+	}
+	// Empty query under Jaccard.
+	if got := MinDistCardRange(Jaccard, New(16), e, 2, 3); got != 0 {
+		t.Errorf("empty query Jaccard bound = %v", got)
+	}
+}
+
+func TestPropMinDistCardRangeIsLowerBoundAndDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 16 + r.Intn(200)
+		e := randSig(r, n, 0.5)
+		ea := e.Area()
+		if ea == 0 {
+			return true
+		}
+		// Draw t as a random subset of e, then use a [lo, hi] window that
+		// contains |t|.
+		tsig := New(n)
+		e.ForEach(func(i int) {
+			if r.Intn(2) == 0 {
+				tsig.Set(i)
+			}
+		})
+		ta := tsig.Area()
+		lo := ta - r.Intn(3)
+		hi := ta + r.Intn(3)
+		q := randSig(r, n, 0.3)
+		for _, m := range []Metric{Hamming, Jaccard} {
+			bound := MinDistCardRange(m, q, e, lo, hi)
+			if bound > Distance(m, q, tsig)+1e-9 {
+				return false // not admissible
+			}
+			if bound < MinDist(m, q, e)-1e-9 {
+				return false // weaker than the generic bound
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropJaccardDistanceIsMetricLike(t *testing.T) {
+	// Jaccard distance satisfies the triangle inequality (it is a metric).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(100)
+		a, b, c := randSig(r, n, 0.3), randSig(r, n, 0.3), randSig(r, n, 0.3)
+		ab := Distance(Jaccard, a, b)
+		bc := Distance(Jaccard, b, c)
+		ac := Distance(Jaccard, a, c)
+		return ac <= ab+bc+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,304 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages above a Pager with LRU replacement and pin
+// counting. Index structures read and write pages exclusively through a
+// pool; its miss counter is the "random I/Os" statistic of the paper's
+// experiments (every miss is a random page fetch from the store).
+//
+// The pool is sharded by page id so concurrent readers (e.g. parallel
+// similarity queries on one tree) do not serialize on a single lock; each
+// shard has its own LRU list and an even share of the capacity.
+type BufferPool struct {
+	pager  Pager
+	shards []*poolShard
+	total  int
+}
+
+// poolShard is one independently locked slice of the pool.
+type poolShard struct {
+	mu       sync.Mutex
+	pager    Pager
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // of *frame; front = most recently used
+	stats    BufferStats
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// BufferStats counts logical and physical page accesses through the pool.
+type BufferStats struct {
+	Hits      int64 // requests served from the pool
+	Misses    int64 // requests that read from the pager (random I/Os)
+	Evictions int64 // frames evicted to make room
+	Writes    int64 // dirty pages written back to the pager
+}
+
+func (s *BufferStats) add(o BufferStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Writes += o.Writes
+}
+
+// Accesses returns the total number of logical page requests.
+func (s BufferStats) Accesses() int64 { return s.Hits + s.Misses }
+
+// poolShardCount balances lock contention against per-shard capacity
+// granularity.
+const poolShardCount = 8
+
+// NewBufferPool returns a pool holding at most capacity pages (minimum 1).
+func NewBufferPool(p Pager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	nShards := poolShardCount
+	if capacity < nShards {
+		nShards = 1
+	}
+	b := &BufferPool{pager: p, total: capacity}
+	per := capacity / nShards
+	extra := capacity % nShards
+	for i := 0; i < nShards; i++ {
+		c := per
+		if i < extra {
+			c++
+		}
+		b.shards = append(b.shards, &poolShard{
+			pager:    p,
+			capacity: c,
+			frames:   make(map[PageID]*frame, c),
+			lru:      list.New(),
+		})
+	}
+	return b
+}
+
+func (b *BufferPool) shard(id PageID) *poolShard {
+	return b.shards[int(id)%len(b.shards)]
+}
+
+// Pager returns the underlying pager.
+func (b *BufferPool) Pager() Pager { return b.pager }
+
+// Capacity returns the maximum number of cached pages.
+func (b *BufferPool) Capacity() int { return b.total }
+
+// PageSize returns the page size of the underlying pager.
+func (b *BufferPool) PageSize() int { return b.pager.PageSize() }
+
+// Get pins the page and returns its buffer. The caller must Unpin it,
+// passing dirty=true if the buffer was modified. The returned slice aliases
+// the cached frame and is valid until Unpin.
+func (b *BufferPool) Get(id PageID) ([]byte, error) {
+	return b.shard(id).get(id)
+}
+
+func (s *poolShard) get(id PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[id]; ok {
+		s.stats.Hits++
+		f.pins++
+		s.lru.MoveToFront(f.elem)
+		return f.data, nil
+	}
+	s.stats.Misses++
+	f, err := s.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.pager.ReadPage(id, f.data); err != nil {
+		s.dropFrame(f)
+		return nil, err
+	}
+	f.pins = 1
+	return f.data, nil
+}
+
+// NewPage allocates a page in the pager and returns it pinned and zeroed.
+func (b *BufferPool) NewPage() (PageID, []byte, error) {
+	id, err := b.pager.Allocate()
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.admit(id)
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.pins = 1
+	f.dirty = true
+	return id, f.data, nil
+}
+
+// admit finds room for a new frame for id, evicting if needed. Caller holds mu.
+func (s *poolShard) admit(id PageID) (*frame, error) {
+	for len(s.frames) >= s.capacity {
+		if err := s.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, s.pager.PageSize())}
+	f.elem = s.lru.PushFront(f)
+	s.frames[id] = f
+	return f, nil
+}
+
+// evictOne drops the least recently used unpinned frame. Caller holds mu.
+func (s *poolShard) evictOne() error {
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if err := s.pager.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			s.stats.Writes++
+		}
+		s.dropFrame(f)
+		s.stats.Evictions++
+		return nil
+	}
+	return fmt.Errorf("storage: buffer pool shard of %d pages exhausted (all pinned)", s.capacity)
+}
+
+func (s *poolShard) dropFrame(f *frame) {
+	s.lru.Remove(f.elem)
+	delete(s.frames, f.id)
+}
+
+// Unpin releases one pin on the page, recording whether it was modified.
+func (b *BufferPool) Unpin(id PageID, dirty bool) {
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
+	if !ok || f.pins == 0 {
+		panic(fmt.Sprintf("storage: Unpin of page %d that is not pinned", id))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// Discard removes the page from the pool without writing it back, then
+// frees it in the pager. The page must not be pinned.
+func (b *BufferPool) Discard(id PageID) error {
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frames[id]; ok {
+		if f.pins > 0 {
+			return fmt.Errorf("storage: Discard of pinned page %d", id)
+		}
+		s.dropFrame(f)
+	}
+	return s.pager.Free(id)
+}
+
+// Flush writes back the page if it is cached and dirty.
+func (b *BufferPool) Flush(id PageID) error {
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
+	if !ok || !f.dirty {
+		return nil
+	}
+	if err := s.pager.WritePage(f.id, f.data); err != nil {
+		return err
+	}
+	s.stats.Writes++
+	f.dirty = false
+	return nil
+}
+
+// FlushAll writes back every dirty cached page.
+func (b *BufferPool) FlushAll() error {
+	for _, s := range b.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if !f.dirty {
+				continue
+			}
+			if err := s.pager.WritePage(f.id, f.data); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			s.stats.Writes++
+			f.dirty = false
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Clear flushes all dirty pages and empties the pool (simulating a cold
+// cache, as the paper does before each measured query batch). It fails if
+// any page is pinned.
+func (b *BufferPool) Clear() error {
+	for _, s := range b.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.pins > 0 {
+				id := f.id
+				s.mu.Unlock()
+				return fmt.Errorf("storage: Clear with pinned page %d", id)
+			}
+		}
+		for _, f := range s.frames {
+			if f.dirty {
+				if err := s.pager.WritePage(f.id, f.data); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				s.stats.Writes++
+			}
+			s.dropFrame(f)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats returns the cumulative counters summed over the shards.
+func (b *BufferPool) Stats() BufferStats {
+	var out BufferStats
+	for _, s := range b.shards {
+		s.mu.Lock()
+		out.add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (b *BufferPool) ResetStats() {
+	for _, s := range b.shards {
+		s.mu.Lock()
+		s.stats = BufferStats{}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error a FaultPager returns once triggered.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultPager wraps a Pager and starts failing every operation of the
+// selected kinds after a countdown of successful calls. It exists for
+// failure-injection tests: index structures must surface storage errors
+// rather than corrupt themselves or panic.
+type FaultPager struct {
+	mu sync.Mutex
+	// Inner is the wrapped pager.
+	Inner Pager
+	// FailReads/FailWrites/FailAllocs select which operations fail.
+	FailReads, FailWrites, FailAllocs bool
+	// After counts successful selected operations before failures begin
+	// (0 = fail immediately).
+	After int
+	calls int
+}
+
+// NewFaultPager wraps inner; configure the Fail* fields and After before use.
+func NewFaultPager(inner Pager) *FaultPager {
+	return &FaultPager{Inner: inner}
+}
+
+// shouldFail consumes one countdown tick for a selected operation.
+func (p *FaultPager) shouldFail(selected bool) bool {
+	if !selected {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.calls < p.After {
+		p.calls++
+		return false
+	}
+	return true
+}
+
+// Reset re-arms the countdown (the next After selected operations succeed
+// again before failures resume).
+func (p *FaultPager) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls = 0
+}
+
+// PageSize returns the wrapped page size.
+func (p *FaultPager) PageSize() int { return p.Inner.PageSize() }
+
+// Allocate forwards or fails.
+func (p *FaultPager) Allocate() (PageID, error) {
+	if p.shouldFail(p.FailAllocs) {
+		return InvalidPage, ErrInjected
+	}
+	return p.Inner.Allocate()
+}
+
+// ReadPage forwards or fails.
+func (p *FaultPager) ReadPage(id PageID, buf []byte) error {
+	if p.shouldFail(p.FailReads) {
+		return ErrInjected
+	}
+	return p.Inner.ReadPage(id, buf)
+}
+
+// WritePage forwards or fails.
+func (p *FaultPager) WritePage(id PageID, buf []byte) error {
+	if p.shouldFail(p.FailWrites) {
+		return ErrInjected
+	}
+	return p.Inner.WritePage(id, buf)
+}
+
+// Free forwards (frees are never failed: they are the cleanup path).
+func (p *FaultPager) Free(id PageID) error { return p.Inner.Free(id) }
+
+// NumPages forwards.
+func (p *FaultPager) NumPages() int { return p.Inner.NumPages() }
+
+// Stats forwards.
+func (p *FaultPager) Stats() PagerStats { return p.Inner.Stats() }
+
+// Close forwards.
+func (p *FaultPager) Close() error { return p.Inner.Close() }

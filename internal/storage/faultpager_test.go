@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultPagerCountdownAndKinds(t *testing.T) {
+	fp := NewFaultPager(NewMemPager(64))
+	id, err := fp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+
+	// No faults armed: everything passes through.
+	if err := fp.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reads fail after 2 successes; writes stay unaffected.
+	fp.FailReads = true
+	fp.After = 2
+	for i := 0; i < 2; i++ {
+		if err := fp.ReadPage(id, buf); err != nil {
+			t.Fatalf("read %d should pass the countdown: %v", i, err)
+		}
+	}
+	if err := fp.ReadPage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected injected fault, got %v", err)
+	}
+	if err := fp.WritePage(id, buf); err != nil {
+		t.Fatalf("write affected by read faults: %v", err)
+	}
+	// Reset re-arms the countdown.
+	fp.Reset()
+	if err := fp.ReadPage(id, buf); err != nil {
+		t.Fatalf("read after Reset: %v", err)
+	}
+
+	// Alloc and write faults.
+	fp.FailReads = false
+	fp.FailAllocs = true
+	fp.After = 0
+	fp.Reset()
+	if _, err := fp.Allocate(); !errors.Is(err, ErrInjected) {
+		t.Fatal("alloc fault not injected")
+	}
+	fp.FailAllocs = false
+	fp.FailWrites = true
+	if err := fp.WritePage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatal("write fault not injected")
+	}
+
+	// Passthroughs.
+	if fp.PageSize() != 64 {
+		t.Error("PageSize passthrough")
+	}
+	if fp.NumPages() != 1 {
+		t.Error("NumPages passthrough")
+	}
+	if fp.Stats().Allocs != 1 {
+		t.Error("Stats passthrough")
+	}
+	if err := fp.Free(id); err != nil {
+		t.Error("Free should never fail")
+	}
+	if err := fp.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferPoolSurfacesFaults(t *testing.T) {
+	fp := NewFaultPager(NewMemPager(64))
+	bp := NewBufferPool(fp, 2)
+	id, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, true)
+	// A read fault surfaces through Get after eviction.
+	if err := bp.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	fp.FailReads = true
+	if _, err := bp.Get(id); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Get should surface the fault, got %v", err)
+	}
+	fp.FailReads = false
+	// A write fault surfaces through FlushAll.
+	g, err := bp.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g[0] = 1
+	bp.Unpin(id, true)
+	fp.FailWrites = true
+	if err := bp.FlushAll(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("FlushAll should surface the fault, got %v", err)
+	}
+}

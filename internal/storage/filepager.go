@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FilePager is a pager backed by a single file. Page 0 is a header page
+// holding the magic, page size, high-water page count and the head of the
+// free list; freed pages are chained through their first four bytes. The
+// layout survives close/reopen, making trees persistent across processes.
+type FilePager struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	numPages int // high-water count, excluding header
+	freeHead PageID
+	nFree    int
+	stats    PagerStats
+}
+
+const (
+	filePagerMagic   = 0x5347_5452 // "SGTR"
+	headerMagicOff   = 0
+	headerPageSzOff  = 4
+	headerNumOff     = 8
+	headerFreeOff    = 12
+	headerNFreeOff   = 16
+	fileHeaderLength = 20
+)
+
+// CreateFilePager creates (truncating) a new paged file.
+func CreateFilePager(path string, pageSize int) (*FilePager, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < fileHeaderLength {
+		return nil, fmt.Errorf("storage: page size %d below header size", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p := &FilePager{f: f, pageSize: pageSize}
+	if err := p.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// OpenFilePager opens an existing paged file, validating its header.
+func OpenFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, fileHeaderLength)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[headerMagicOff:]) != filePagerMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is not a pager file", path)
+	}
+	p := &FilePager{
+		f:        f,
+		pageSize: int(binary.LittleEndian.Uint32(hdr[headerPageSzOff:])),
+		numPages: int(binary.LittleEndian.Uint32(hdr[headerNumOff:])),
+		freeHead: PageID(binary.LittleEndian.Uint32(hdr[headerFreeOff:])),
+		nFree:    int(binary.LittleEndian.Uint32(hdr[headerNFreeOff:])),
+	}
+	return p, nil
+}
+
+func (p *FilePager) writeHeader() error {
+	hdr := make([]byte, fileHeaderLength)
+	binary.LittleEndian.PutUint32(hdr[headerMagicOff:], filePagerMagic)
+	binary.LittleEndian.PutUint32(hdr[headerPageSzOff:], uint32(p.pageSize))
+	binary.LittleEndian.PutUint32(hdr[headerNumOff:], uint32(p.numPages))
+	binary.LittleEndian.PutUint32(hdr[headerFreeOff:], uint32(p.freeHead))
+	binary.LittleEndian.PutUint32(hdr[headerNFreeOff:], uint32(p.nFree))
+	_, err := p.f.WriteAt(hdr, 0)
+	return err
+}
+
+func (p *FilePager) offset(id PageID) int64 {
+	return int64(id) * int64(p.pageSize) // page 0 = header, data pages start at 1
+}
+
+// PageSize returns the page size.
+func (p *FilePager) PageSize() int { return p.pageSize }
+
+// Allocate returns a zeroed page, reusing the free list when possible.
+func (p *FilePager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	zero := make([]byte, p.pageSize)
+	var id PageID
+	if p.freeHead != InvalidPage {
+		id = p.freeHead
+		next := make([]byte, 4)
+		if _, err := p.f.ReadAt(next, p.offset(id)); err != nil {
+			return InvalidPage, fmt.Errorf("storage: reading free chain: %w", err)
+		}
+		p.freeHead = PageID(binary.LittleEndian.Uint32(next))
+		p.nFree--
+	} else {
+		p.numPages++
+		id = PageID(p.numPages)
+	}
+	if _, err := p.f.WriteAt(zero, p.offset(id)); err != nil {
+		return InvalidPage, err
+	}
+	p.stats.Allocs++
+	return id, p.writeHeader()
+}
+
+// ReadPage fills buf with the page contents.
+func (p *FilePager) ReadPage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkID(id); err != nil {
+		return err
+	}
+	if len(buf) != p.pageSize {
+		return fmt.Errorf("storage: read buffer size %d != page size %d", len(buf), p.pageSize)
+	}
+	if _, err := p.f.ReadAt(buf, p.offset(id)); err != nil {
+		return err
+	}
+	p.stats.Reads++
+	return nil
+}
+
+// WritePage stores buf as the page contents.
+func (p *FilePager) WritePage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkID(id); err != nil {
+		return err
+	}
+	if len(buf) != p.pageSize {
+		return fmt.Errorf("storage: write buffer size %d != page size %d", len(buf), p.pageSize)
+	}
+	if _, err := p.f.WriteAt(buf, p.offset(id)); err != nil {
+		return err
+	}
+	p.stats.Writes++
+	return nil
+}
+
+// Free pushes the page onto the free chain.
+func (p *FilePager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkID(id); err != nil {
+		return err
+	}
+	next := make([]byte, 4)
+	binary.LittleEndian.PutUint32(next, uint32(p.freeHead))
+	if _, err := p.f.WriteAt(next, p.offset(id)); err != nil {
+		return err
+	}
+	p.freeHead = id
+	p.nFree++
+	p.stats.Frees++
+	return p.writeHeader()
+}
+
+func (p *FilePager) checkID(id PageID) error {
+	if id == InvalidPage || int(id) > p.numPages {
+		return fmt.Errorf("storage: page %d out of range (1..%d)", id, p.numPages)
+	}
+	return nil
+}
+
+// NumPages returns the number of live pages.
+func (p *FilePager) NumPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.numPages - p.nFree
+}
+
+// Stats returns the physical I/O counters.
+func (p *FilePager) Stats() PagerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close syncs the header and closes the file.
+func (p *FilePager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.writeHeader(); err != nil {
+		p.f.Close()
+		return err
+	}
+	if err := p.f.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}

@@ -1,0 +1,409 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func testPagerBasics(t *testing.T, p Pager) {
+	t.Helper()
+	ps := p.PageSize()
+	id1, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == InvalidPage || id2 == InvalidPage || id1 == id2 {
+		t.Fatalf("bad ids %d, %d", id1, id2)
+	}
+	buf := make([]byte, ps)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := p.WritePage(id1, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, ps)
+	if err := p.ReadPage(id1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Error("read back differs from write")
+	}
+	// id2 should be zeroed
+	if err := p.ReadPage(id2, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Error("fresh page not zeroed")
+			break
+		}
+	}
+	if p.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", p.NumPages())
+	}
+	// Free and reallocate reuses the slot.
+	if err := p.Free(id1); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPages() != 1 {
+		t.Errorf("NumPages after free = %d, want 1", p.NumPages())
+	}
+	id3, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 != id1 {
+		t.Errorf("expected freed id %d to be reused, got %d", id1, id3)
+	}
+	if err := p.ReadPage(id3, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Error("reused page not zeroed")
+			break
+		}
+	}
+	// Size mismatch errors.
+	if err := p.ReadPage(id3, make([]byte, ps-1)); err == nil {
+		t.Error("short read buffer accepted")
+	}
+	if err := p.WritePage(id3, make([]byte, ps+1)); err == nil {
+		t.Error("long write buffer accepted")
+	}
+}
+
+func TestMemPagerBasics(t *testing.T) {
+	testPagerBasics(t, NewMemPager(512))
+}
+
+func TestFilePagerBasics(t *testing.T) {
+	p, err := CreateFilePager(filepath.Join(t.TempDir(), "pages.db"), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	testPagerBasics(t, p)
+}
+
+func TestMemPagerErrors(t *testing.T) {
+	p := NewMemPager(128)
+	buf := make([]byte, 128)
+	if err := p.ReadPage(42, buf); err == nil {
+		t.Error("read of unallocated page accepted")
+	}
+	if err := p.WritePage(42, buf); err == nil {
+		t.Error("write of unallocated page accepted")
+	}
+	if err := p.Free(42); err == nil {
+		t.Error("free of unallocated page accepted")
+	}
+	if p.PageSize() != 128 {
+		t.Error("wrong page size")
+	}
+	q := NewMemPager(0)
+	if q.PageSize() != DefaultPageSize {
+		t.Error("zero page size should default")
+	}
+}
+
+func TestFilePagerPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.db")
+	p, err := CreateFilePager(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte{0xAB}, 256)
+	if err := p.WritePage(id, content); err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := p.Allocate()
+	if err := p.Free(id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.PageSize() != 256 {
+		t.Errorf("page size not persisted: %d", p2.PageSize())
+	}
+	if p2.NumPages() != 1 {
+		t.Errorf("NumPages = %d, want 1", p2.NumPages())
+	}
+	got := make([]byte, 256)
+	if err := p2.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("content not persisted")
+	}
+	// The free list must also persist: next allocation reuses id2.
+	id3, err := p2.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 != id2 {
+		t.Errorf("free list not persisted: got %d, want %d", id3, id2)
+	}
+}
+
+func TestOpenFilePagerRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.bin")
+	p, err := CreateFilePager(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	// Corrupt the magic.
+	f, err := OpenFilePager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	raw := []byte{0, 0, 0, 0}
+	file, err := CreateFilePager(path, 256) // recreate truncates; instead write bad magic manually
+	if err != nil {
+		t.Fatal(err)
+	}
+	file.f.WriteAt(raw, 0)
+	file.f.Close()
+	if _, err := OpenFilePager(path); err == nil {
+		t.Error("garbage header accepted")
+	}
+}
+
+func TestBufferPoolHitsMissesEvictions(t *testing.T) {
+	p := NewMemPager(64)
+	bp := NewBufferPool(p, 2)
+	id1, buf, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 1
+	bp.Unpin(id1, true)
+	id2, buf2, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2[0] = 2
+	bp.Unpin(id2, true)
+	// Hit: id2 still cached.
+	if _, err := bp.Get(id2); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id2, false)
+	st := bp.Stats()
+	if st.Hits != 1 {
+		t.Errorf("Hits = %d, want 1", st.Hits)
+	}
+	// Third page evicts LRU (id1, dirty → written).
+	id3, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id3, true)
+	st = bp.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+	if st.Writes != 1 {
+		t.Errorf("Writes = %d, want 1 (dirty eviction)", st.Writes)
+	}
+	// Reading id1 misses and returns the written data.
+	got, err := bp.Get(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Error("evicted dirty page lost its data")
+	}
+	bp.Unpin(id1, false)
+	if bp.Stats().Misses == 0 {
+		t.Error("expected at least one miss")
+	}
+}
+
+func TestBufferPoolPinnedPagesNotEvicted(t *testing.T) {
+	p := NewMemPager(64)
+	bp := NewBufferPool(p, 1)
+	id1, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id1 stays pinned; allocating another page must fail (capacity 1).
+	if _, _, err := bp.NewPage(); err == nil {
+		t.Fatal("expected exhaustion error with all pages pinned")
+	}
+	bp.Unpin(id1, false)
+	if _, _, err := bp.NewPage(); err != nil {
+		t.Fatalf("after unpin, NewPage should succeed: %v", err)
+	}
+}
+
+func TestBufferPoolUnpinUnknownPanics(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(64), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bp.Unpin(5, false)
+}
+
+func TestBufferPoolFlushAndClear(t *testing.T) {
+	p := NewMemPager(64)
+	bp := NewBufferPool(p, 4)
+	id, buf, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[3] = 9
+	bp.Unpin(id, true)
+	if err := bp.Flush(id); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 64)
+	if err := p.ReadPage(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[3] != 9 {
+		t.Error("Flush did not reach the pager")
+	}
+	// Dirty again, then Clear; data must persist and pool must be cold.
+	g, _ := bp.Get(id)
+	g[4] = 7
+	bp.Unpin(id, true)
+	if err := bp.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	bp.ResetStats()
+	if _, err := bp.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id, false)
+	if st := bp.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("after Clear, Get should miss: %+v", st)
+	}
+}
+
+func TestBufferPoolClearFailsWhenPinned(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(64), 2)
+	id, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Clear(); err == nil {
+		t.Error("Clear with pinned page should fail")
+	}
+	bp.Unpin(id, false)
+	if err := bp.Clear(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBufferPoolDiscard(t *testing.T) {
+	p := NewMemPager(64)
+	bp := NewBufferPool(p, 4)
+	id, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Discard(id); err == nil {
+		t.Error("Discard of pinned page should fail")
+	}
+	bp.Unpin(id, true)
+	if err := bp.Discard(id); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPages() != 0 {
+		t.Error("Discard did not free the page in the pager")
+	}
+	if _, err := bp.Get(id); err == nil {
+		t.Error("Get of discarded page should fail")
+	}
+}
+
+func TestBufferPoolRandomizedConsistency(t *testing.T) {
+	// Write random data through a tiny pool; verify everything reads back
+	// correctly despite constant evictions.
+	p := NewMemPager(32)
+	bp := NewBufferPool(p, 3)
+	r := rand.New(rand.NewSource(11))
+	const n = 40
+	ids := make([]PageID, n)
+	want := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		id, buf, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = make([]byte, 32)
+		r.Read(want[i])
+		copy(buf, want[i])
+		bp.Unpin(id, true)
+		ids[i] = id
+	}
+	for trial := 0; trial < 500; trial++ {
+		i := r.Intn(n)
+		buf, err := bp.Get(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want[i]) {
+			t.Fatalf("page %d content mismatch at trial %d", ids[i], trial)
+		}
+		if r.Intn(4) == 0 { // occasionally rewrite
+			r.Read(want[i])
+			copy(buf, want[i])
+			bp.Unpin(ids[i], true)
+		} else {
+			bp.Unpin(ids[i], false)
+		}
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 32)
+	for i := range ids {
+		if err := p.ReadPage(ids[i], raw); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, want[i]) {
+			t.Fatalf("pager content for page %d stale after FlushAll", ids[i])
+		}
+	}
+}
+
+func TestBufferStatsAccesses(t *testing.T) {
+	s := BufferStats{Hits: 3, Misses: 4}
+	if s.Accesses() != 7 {
+		t.Error("Accesses should be hits+misses")
+	}
+}
+
+func TestBufferPoolMinimumCapacity(t *testing.T) {
+	bp := NewBufferPool(NewMemPager(64), 0)
+	if bp.Capacity() != 1 {
+		t.Errorf("capacity clamped to %d, want 1", bp.Capacity())
+	}
+	if bp.PageSize() != 64 {
+		t.Error("PageSize passthrough broken")
+	}
+}

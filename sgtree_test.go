@@ -1,0 +1,466 @@
+package sgtree
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{Universe: 100, PageSize: 1024, MaxNodeEntries: 8, Compress: true}
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	ix, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Exact() {
+		t.Error("direct-mapped index should report exact")
+	}
+	sets := [][]int{
+		{1, 2, 3},
+		{1, 2, 4},
+		{50, 51, 52},
+		{1, 2, 3, 4},
+	}
+	for i, s := range sets {
+		if err := ix.Insert(uint32(i), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	nn, stats, err := ix.NearestNeighbor([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.ID != 0 || nn.Distance != 0 {
+		t.Errorf("NN = %+v", nn)
+	}
+	if stats.NodesAccessed == 0 {
+		t.Error("stats empty")
+	}
+	res, _, err := ix.KNN([]int{1, 2, 3}, 2)
+	if err != nil || len(res) != 2 || res[1].Distance != 1 {
+		t.Errorf("KNN = %v, err %v", res, err)
+	}
+	within, _, err := ix.RangeSearch([]int{1, 2, 3}, 2)
+	if err != nil || len(within) != 3 {
+		t.Errorf("Range = %v", within)
+	}
+	ids, _, err := ix.Containing([]int{1, 2})
+	if err != nil || len(ids) != 3 {
+		t.Errorf("Containing = %v", ids)
+	}
+	subs, _, err := ix.SubsetsOf([]int{1, 2, 3, 4})
+	if err != nil || len(subs) != 3 {
+		t.Errorf("SubsetsOf = %v", subs)
+	}
+	eq, _, err := ix.ExactMatch([]int{1, 2, 3})
+	if err != nil || len(eq) != 1 || eq[0] != 0 {
+		t.Errorf("ExactMatch = %v", eq)
+	}
+	found, err := ix.Delete(1, []int{1, 2, 4})
+	if err != nil || !found {
+		t.Errorf("Delete: %v %v", found, err)
+	}
+	if ix.Len() != 3 {
+		t.Errorf("Len after delete = %d", ix.Len())
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	ix, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(0, []int{100}); err == nil {
+		t.Error("out-of-universe item accepted")
+	}
+	if err := ix.Insert(0, []int{-1}); err == nil {
+		t.Error("negative item accepted")
+	}
+	if _, _, err := ix.KNN([]int{200}, 1); err == nil {
+		t.Error("out-of-universe query accepted")
+	}
+}
+
+func TestBulkLoadFacade(t *testing.T) {
+	ix, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]Item, 200)
+	for i := range items {
+		items[i] = Item{ID: uint32(i), Items: []int{i % 100, (i * 3) % 100, (i * 7) % 100}}
+	}
+	if err := ix.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 200 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	nn, _, err := ix.NearestNeighbor(items[42].Items)
+	if err != nil || nn.Distance != 0 {
+		t.Errorf("bulk item not findable: %+v %v", nn, err)
+	}
+}
+
+func TestHashedSignatureMode(t *testing.T) {
+	cfg := Config{Universe: 100000, SignatureLength: 256, PageSize: 1024, MaxNodeEntries: 8}
+	ix, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Exact() {
+		t.Error("hashed index should not report exact")
+	}
+	if err := ix.Insert(1, []int{5, 99999, 12345}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(2, []int{7, 80000}); err != nil {
+		t.Fatal(err)
+	}
+	// Containment has no false negatives.
+	ids, _, err := ix.Containing([]int{99999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, id := range ids {
+		if id == 1 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("hashed containment dropped a true result")
+	}
+}
+
+func TestFilePersistenceFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.db")
+	cfg := testConfig()
+	ix, err := NewOnFile(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := ix.Insert(uint32(i), []int{i % 100, (i * 3) % 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 50 {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+	nn, _, err := re.NearestNeighbor([]int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = nn
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(Config{}, path); err == nil {
+		t.Error("OpenFile with zero config accepted")
+	}
+}
+
+func TestNeighborIteratorFacade(t *testing.T) {
+	ix, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := ix.Insert(uint32(i), []int{i % 100, (i * 3) % 100, (i * 7) % 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := ix.Neighbors([]int{0, 21, 49})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	n := 0
+	for {
+		m, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if m.Distance < prev {
+			t.Fatalf("out of order: %v after %v", m.Distance, prev)
+		}
+		prev = m.Distance
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("yielded %d of 100", n)
+	}
+	if it.Stats().NodesAccessed == 0 {
+		t.Error("iterator stats empty")
+	}
+	if _, err := ix.Neighbors([]int{1000}); err == nil {
+		t.Error("out-of-universe query accepted")
+	}
+}
+
+func TestJoinFacade(t *testing.T) {
+	mk := func(offset int) *Index {
+		cfg := Config{Universe: 30, PageSize: 1024, MaxNodeEntries: 8, FixedCardinality: 3}
+		ix, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			items := []int{(i + offset) % 30, (i + offset + 1) % 30, (i + offset + 2) % 30}
+			if err := ix.Insert(uint32(i), items); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ix
+	}
+	a, b := mk(0), mk(1)
+	pairs, _, err := a.SimilarityJoin(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Error("join found nothing despite overlapping sets")
+	}
+	top, _, err := a.ClosestPairs(b, 3)
+	if err != nil || len(top) != 3 {
+		t.Errorf("ClosestPairs: %v %v", top, err)
+	}
+	if top[0].Distance > top[2].Distance {
+		t.Error("pairs not sorted")
+	}
+}
+
+func TestClustersFacade(t *testing.T) {
+	ix, err := New(Config{Universe: 60, PageSize: 1024, MaxNodeEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three disjoint blobs of sets, bulk-loaded for block-pure leaves.
+	var items []Item
+	id := uint32(0)
+	for b := 0; b < 3; b++ {
+		base := b * 20
+		for i := 0; i < 40; i++ {
+			items = append(items, Item{ID: id, Items: []int{base + i%20, base + (i*7)%20}})
+			id++
+		}
+	}
+	if err := ix.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	groups, err := ix.Clusters(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("got %d clusters", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+		// Clustering works at leaf granularity, and one packed leaf can
+		// straddle a blob boundary, so demand 85% dominant-blob purity
+		// rather than perfection.
+		counts := map[uint32]int{}
+		for _, m := range g {
+			counts[m/40]++
+		}
+		max := 0
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		if purity := float64(max) / float64(len(g)); purity < 0.85 {
+			t.Fatalf("cluster purity %.2f: %v", purity, counts)
+		}
+	}
+	if total != 120 {
+		t.Fatalf("clusters hold %d of 120", total)
+	}
+	if _, err := ix.Clusters(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestCosineMetricFacade(t *testing.T) {
+	ix, err := New(Config{Universe: 50, Metric: Cosine, PageSize: 1024, MaxNodeEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Insert(1, []int{1, 2, 3})
+	ix.Insert(2, []int{1, 2, 3, 4, 5, 6})
+	ix.Insert(3, []int{40, 41})
+	nn, _, err := ix.NearestNeighbor([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn.ID != 1 || nn.Distance != 0 {
+		t.Errorf("NN = %+v", nn)
+	}
+}
+
+func TestTreeStatsAndCompactFacade(t *testing.T) {
+	ix, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := ix.Insert(uint32(i), []int{i % 100, (i * 3) % 100, (i * 7) % 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := ix.TreeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 300 || st.Height != ix.Height() || st.Nodes < 2 {
+		t.Errorf("stats: %+v", st)
+	}
+	for i := 0; i < 200; i++ {
+		if found, err := ix.Delete(uint32(i), []int{i % 100, (i * 3) % 100, (i * 7) % 100}); err != nil || !found {
+			t.Fatalf("delete %d: %v %v", i, found, err)
+		}
+	}
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 100 {
+		t.Errorf("Len after compact = %d", ix.Len())
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNJoinFacade(t *testing.T) {
+	mk := func(offset int) *Index {
+		ix, err := New(Config{Universe: 40, PageSize: 1024, MaxNodeEntries: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 15; i++ {
+			items := []int{(i + offset) % 40, (i + offset + 1) % 40}
+			if err := ix.Insert(uint32(i), items); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ix
+	}
+	a, b := mk(0), mk(1)
+	rows, _, err := a.NNJoin(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Neighbors) != 1 {
+			t.Fatalf("left %d: %d neighbors", r.Left, len(r.Neighbors))
+		}
+	}
+	// Self join excludes identity.
+	selfRows, _, err := a.NNJoin(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range selfRows {
+		if len(r.Neighbors) == 1 && r.Neighbors[0].ID == r.Left {
+			t.Fatalf("left %d matched itself", r.Left)
+		}
+	}
+}
+
+func TestCategoricalIndex(t *testing.T) {
+	ci, err := NewCategorical([]int{3, 4, 2}, Config{PageSize: 1024, MaxNodeEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.NumAttributes() != 3 {
+		t.Error("wrong arity")
+	}
+	tuples := [][]int{
+		{0, 0, 0},
+		{0, 0, 1},
+		{2, 3, 1},
+		{1, 2, 0},
+	}
+	for i, tp := range tuples {
+		if err := ci.Insert(uint32(i), tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ci.Len() != 4 {
+		t.Fatalf("Len = %d", ci.Len())
+	}
+	res, _, err := ci.KNN([]int{0, 0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 0 || res[0].Distance != 0 {
+		t.Errorf("first = %+v", res[0])
+	}
+	if res[1].ID != 1 || res[1].Distance != 2 { // one attribute differs = Hamming 2
+		t.Errorf("second = %+v", res[1])
+	}
+	within, _, err := ci.RangeSearch([]int{0, 0, 0}, 2)
+	if err != nil || len(within) != 2 {
+		t.Errorf("Range = %v", within)
+	}
+	ids, _, err := ci.MatchingOn([]int{2}, []int{1})
+	if err != nil || len(ids) != 2 {
+		t.Errorf("MatchingOn = %v", ids)
+	}
+	found, err := ci.Delete(3, []int{1, 2, 0})
+	if err != nil || !found {
+		t.Error("categorical delete failed")
+	}
+	// Validation errors.
+	if err := ci.Insert(9, []int{0, 0}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := ci.Insert(9, []int{0, 9, 0}); err == nil {
+		t.Error("out-of-domain value accepted")
+	}
+	if _, _, err := ci.MatchingOn([]int{0, 1}, []int{0}); err == nil {
+		t.Error("mismatched attrs/values accepted")
+	}
+	if _, _, err := ci.MatchingOn([]int{9}, []int{0}); err == nil {
+		t.Error("bad attribute accepted")
+	}
+	if _, _, err := ci.MatchingOn([]int{0}, []int{5}); err == nil {
+		t.Error("bad value accepted")
+	}
+	if _, err := NewCategorical([]int{2, 2}, Config{Metric: Jaccard}); err == nil {
+		t.Error("categorical with Jaccard accepted")
+	}
+	if _, err := NewCategorical([]int{0}, Config{}); err == nil {
+		t.Error("zero domain accepted")
+	}
+}
