@@ -1,0 +1,30 @@
+# Verification lanes. `make check` is the full pre-merge gate:
+# vet + the regular test suite + the race-detector lane that exercises
+# the concurrent batch engine against live insert traffic.
+
+GO ?= go
+
+.PHONY: build test vet race check fmt bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race lane matters here: queries run concurrently under the tree's
+# read lock and the batch engine fans them across a worker pool, so every
+# executor/batch/observer path is exercised under the race detector.
+race:
+	$(GO) test -race ./...
+
+check: vet test race
+
+fmt:
+	gofmt -l .
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

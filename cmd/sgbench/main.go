@@ -9,6 +9,12 @@
 //	sgbench -full               # paper scale (D=200K, 100 queries) — slow
 //	sgbench -scale 50000        # custom dataset cardinality
 //	sgbench -csv                # machine-readable output
+//	sgbench -workers 8          # parallel-throughput benchmark, JSON output
+//	sgbench -workers 8 -queries 5000 -k 10 -eps 4 -timeout 30s
+//
+// The -workers mode measures concurrent query throughput through the batch
+// engine and emits one JSON document (latency percentiles, buffer-pool hit
+// rate, prune counters) suitable for saving as BENCH_*.json.
 package main
 
 import (
@@ -37,6 +43,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		queries  = fs.Int("queries", 0, "queries per measured instance")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		chart    = fs.Bool("chart", false, "also render pruning bar charts")
+		workers  = fs.Int("workers", 0, "parallel-throughput mode: worker-pool size (JSON output)")
+		k        = fs.Int("k", 10, "throughput mode: neighbors per kNN query")
+		eps      = fs.Float64("eps", 4, "throughput mode: range-query radius")
+		timeout  = fs.Duration("timeout", 0, "throughput mode: per-batch deadline (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,6 +61,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *queries > 0 {
 		scale.Queries = *queries
+	}
+
+	if *workers > 0 {
+		if *exp != "" || *ablation != "" {
+			fmt.Fprintln(stderr, "sgbench: -workers is a standalone mode; drop -exp/-ablation")
+			return 2
+		}
+		return runThroughput(stdout, stderr, scale, *workers, *queries, *k, *eps, *timeout)
 	}
 
 	emit := func(tables []*harness.ResultTable) {

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"sgtree/internal/core"
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/harness"
+	"sgtree/internal/signature"
+)
+
+// This file is the parallel-throughput benchmark behind `sgbench -workers N`:
+// it bulk-loads a synthetic Quest workload, fans a query batch across the
+// tree's worker-pool batch engine, and emits one machine-readable JSON
+// document (latency percentiles, buffer-pool hit rate, prune counters) so
+// successive runs can be compared as BENCH_*.json files.
+
+// throughputReport is the JSON document one throughput run emits.
+type throughputReport struct {
+	// Workload identification.
+	Dataset string  `json:"dataset"`
+	D       int     `json:"d"`       // dataset cardinality
+	Queries int     `json:"queries"` // batch size
+	K       int     `json:"k"`       // neighbors per kNN query
+	Eps     float64 `json:"eps"`     // range-query radius
+	Workers int     `json:"workers"` // worker-pool size
+	Timeout string  `json:"timeout"` // per-batch deadline ("" = none)
+
+	BuildSeconds float64 `json:"build_seconds"`
+
+	KNN   workloadStats `json:"knn"`
+	Range workloadStats `json:"range"`
+
+	// Pool aggregates buffer-pool behaviour over both measured batches.
+	Pool poolStats `json:"buffer_pool"`
+	// Counters are the tree's cumulative executor counters over both
+	// measured batches.
+	Counters countersJSON `json:"counters"`
+}
+
+// workloadStats summarizes one measured query batch.
+type workloadStats struct {
+	Queries      int     `json:"queries"`
+	Errors       int     `json:"errors"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	QPS          float64 `json:"qps"`
+	LatencyMsP50 float64 `json:"latency_ms_p50"`
+	LatencyMsP90 float64 `json:"latency_ms_p90"`
+	LatencyMsP99 float64 `json:"latency_ms_p99"`
+	LatencyMsMax float64 `json:"latency_ms_max"`
+	AvgNodesRead float64 `json:"avg_nodes_read"`
+	AvgDataComp  float64 `json:"avg_data_compared"`
+	AvgPruned    float64 `json:"avg_entries_pruned"`
+	TotalResults int     `json:"total_results"`
+}
+
+type poolStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type countersJSON struct {
+	Queries       int64 `json:"queries"`
+	NodesRead     int64 `json:"nodes_read"`
+	EntriesPruned int64 `json:"entries_pruned"`
+	DataCompared  int64 `json:"data_compared"`
+	Cancellations int64 `json:"cancellations"`
+}
+
+// runThroughput executes the throughput benchmark and writes the JSON
+// report to stdout. queries <= 0 picks a batch size large enough to give
+// stable percentiles at the configured scale.
+func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queries, k int, eps float64, timeout time.Duration) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sgbench:", err)
+		return 1
+	}
+	if queries <= 0 {
+		queries = 2000
+	}
+	if k <= 0 {
+		k = 10
+	}
+
+	cfg := gen.QuestConfig{
+		NumTransactions: scale.D,
+		AvgSize:         8,
+		AvgItemsetSize:  4,
+		NumItems:        1000,
+		Seed:            42,
+	}
+	d, err := gen.GenerateQuest(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	tr, err := core.New(core.Options{
+		SignatureLength: d.Universe,
+		PageSize:        4096,
+		BufferPages:     256,
+		MaxNodeEntries:  64,
+		Split:           core.MinSplit,
+		Compress:        true,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	m := signature.NewDirectMapper(d.Universe)
+	buildStart := time.Now()
+	items := make([]core.BulkItem, len(d.Tx))
+	for i, tx := range d.Tx {
+		items[i] = core.BulkItem{Sig: signature.FromItems(m, tx), TID: dataset.TID(i)}
+	}
+	if err := tr.BulkLoad(items); err != nil {
+		return fail(err)
+	}
+	buildSeconds := time.Since(buildStart).Seconds()
+
+	q, err := gen.NewQuest(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	qs := make([]signature.Signature, queries)
+	for i, tx := range q.Queries(queries, 7) {
+		qs[i] = signature.FromItems(m, tx)
+	}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	tr.Pool().ResetStats()
+	tr.ResetCounters()
+
+	knn, err := measureBatch(ctx, qs, workers, func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error) {
+		res, st, err := tr.KNNContext(ctx, q, k)
+		return len(res), st, err
+	})
+	if err != nil {
+		return fail(err)
+	}
+	rng, err := measureBatch(ctx, qs, workers, func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error) {
+		res, st, err := tr.RangeSearchContext(ctx, q, eps)
+		return len(res), st, err
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	ps := tr.Pool().Stats()
+	c := tr.Counters()
+	report := throughputReport{
+		Dataset:      cfg.Name(),
+		D:            scale.D,
+		Queries:      queries,
+		K:            k,
+		Eps:          eps,
+		Workers:      workers,
+		BuildSeconds: buildSeconds,
+		KNN:          knn,
+		Range:        rng,
+		Pool: poolStats{
+			Hits:    ps.Hits,
+			Misses:  ps.Misses,
+			HitRate: hitRate(ps.Hits, ps.Misses),
+		},
+		Counters: countersJSON{
+			Queries:       c.Queries,
+			NodesRead:     c.NodesRead,
+			EntriesPruned: c.EntriesPruned,
+			DataCompared:  c.DataCompared,
+			Cancellations: c.Cancellations,
+		},
+	}
+	if timeout > 0 {
+		report.Timeout = timeout.String()
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// measureBatch runs one query per signature through the worker pool,
+// timing each query individually, and aggregates the batch.
+func measureBatch(ctx context.Context, qs []signature.Signature, workers int, run func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error)) (workloadStats, error) {
+	type perQuery struct {
+		latency time.Duration
+		stats   core.QueryStats
+		results int
+		err     error
+	}
+	out := make([]perQuery, len(qs))
+	var errMu sync.Mutex
+	errCount := 0
+	start := time.Now()
+	err := core.RunParallel(ctx, len(qs), workers, func(ctx context.Context, i int) error {
+		qStart := time.Now()
+		n, st, err := run(ctx, qs[i])
+		out[i] = perQuery{latency: time.Since(qStart), stats: st, results: n, err: err}
+		if err != nil {
+			errMu.Lock()
+			errCount++
+			errMu.Unlock()
+			if err == context.Canceled || err == context.DeadlineExceeded {
+				return err
+			}
+		}
+		return nil
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return workloadStats{}, err
+	}
+
+	lat := make([]float64, len(out))
+	var nodes, data, pruned, results int
+	for i, r := range out {
+		lat[i] = float64(r.latency.Microseconds()) / 1000.0
+		nodes += r.stats.NodesAccessed
+		data += r.stats.DataCompared
+		pruned += r.stats.EntriesPruned
+		results += r.results
+	}
+	sort.Float64s(lat)
+	n := float64(len(qs))
+	return workloadStats{
+		Queries:      len(qs),
+		Errors:       errCount,
+		WallSeconds:  wall.Seconds(),
+		QPS:          n / wall.Seconds(),
+		LatencyMsP50: percentile(lat, 0.50),
+		LatencyMsP90: percentile(lat, 0.90),
+		LatencyMsP99: percentile(lat, 0.99),
+		LatencyMsMax: percentile(lat, 1),
+		AvgNodesRead: float64(nodes) / n,
+		AvgDataComp:  float64(data) / n,
+		AvgPruned:    float64(pruned) / n,
+		TotalResults: results,
+	}, nil
+}
+
+// percentile returns the p-quantile of sorted (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func hitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

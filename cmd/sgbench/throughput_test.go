@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestThroughputMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-workers", "2", "-scale", "1500", "-queries", "60", "-k", "5", "-eps", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep throughputReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Workers != 2 || rep.D != 1500 || rep.Queries != 60 || rep.K != 5 || rep.Eps != 3 {
+		t.Errorf("workload parameters not echoed: %+v", rep)
+	}
+	for name, w := range map[string]workloadStats{"knn": rep.KNN, "range": rep.Range} {
+		if w.Queries != 60 || w.Errors != 0 {
+			t.Errorf("%s: queries=%d errors=%d", name, w.Queries, w.Errors)
+		}
+		if w.QPS <= 0 || w.WallSeconds <= 0 {
+			t.Errorf("%s: no throughput measured: %+v", name, w)
+		}
+		if w.LatencyMsP50 > w.LatencyMsP90 || w.LatencyMsP90 > w.LatencyMsP99 || w.LatencyMsP99 > w.LatencyMsMax {
+			t.Errorf("%s: percentiles not monotone: %+v", name, w)
+		}
+		if w.AvgNodesRead <= 0 {
+			t.Errorf("%s: no node accesses recorded", name)
+		}
+	}
+	if rep.KNN.TotalResults != 60*5 {
+		t.Errorf("knn returned %d results, want %d", rep.KNN.TotalResults, 60*5)
+	}
+	if rep.Pool.Hits+rep.Pool.Misses == 0 {
+		t.Error("buffer-pool stats empty")
+	}
+	if rep.Pool.HitRate < 0 || rep.Pool.HitRate > 1 {
+		t.Errorf("hit rate out of range: %v", rep.Pool.HitRate)
+	}
+	// Both measured batches ran 60 queries each through the executor.
+	if rep.Counters.Queries != 120 {
+		t.Errorf("counters.queries = %d, want 120", rep.Counters.Queries)
+	}
+	if rep.Counters.NodesRead <= 0 || rep.Counters.DataCompared <= 0 {
+		t.Errorf("cumulative counters empty: %+v", rep.Counters)
+	}
+}
+
+func TestThroughputModeFlagConflicts(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workers", "2", "-exp", "fig5"}, &out, &errb); code != 2 {
+		t.Errorf("-workers with -exp: exit %d, want 2", code)
+	}
+	if errb.Len() == 0 {
+		t.Error("no diagnostics on stderr")
+	}
+}

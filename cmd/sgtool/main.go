@@ -17,10 +17,13 @@
 // The -data file supplies the universe size (and the transactions when
 // building); the index file persists across invocations. Options used at
 // build time (-compress, -cardstats, -split) must be repeated when
-// querying, since they determine the on-disk node layout.
+// querying, since they determine the on-disk node layout. Query commands
+// accept -timeout to bound the traversal (cancellation is checked at every
+// index node).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		query     = fs.String("query", "", "query items, comma separated")
 		queryFile = fs.String("queries", "", "bench: dataset file of query transactions")
 		outFile   = fs.String("o", "", "export: output dataset file")
+		timeout   = fs.Duration("timeout", 0, "query deadline for knn/range/contain/browse/bench (0 = none)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
@@ -91,6 +95,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("unknown split policy %q", *split))
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch cmd {
 	case "build":
 		return buildIndex(stdout, stderr, d, opts, *indexPath, *bulk)
@@ -114,17 +125,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "ok: all structural invariants hold")
 			return 0
 		case "knn":
-			return runKNN(stdout, stderr, tr, d, *query, *k)
+			return runKNN(ctx, stdout, stderr, tr, d, *query, *k)
 		case "browse":
-			return runBrowse(stdout, stderr, tr, d, *query, *maxDist)
+			return runBrowse(ctx, stdout, stderr, tr, d, *query, *maxDist)
 		case "range":
-			return runRange(stdout, stderr, tr, d, *query, *eps)
+			return runRange(ctx, stdout, stderr, tr, d, *query, *eps)
 		case "contain":
-			return runContain(stdout, stderr, tr, d, *query)
+			return runContain(ctx, stdout, stderr, tr, d, *query)
 		case "cluster":
 			return runCluster(stdout, stderr, tr, d, *k)
 		case "bench":
-			return runBench(stdout, stderr, tr, d, *queryFile, *k)
+			return runBench(ctx, stdout, stderr, tr, d, *queryFile, *k)
 		case "export":
 			return runExport(stdout, stderr, tr, d, *outFile)
 		}
@@ -218,14 +229,14 @@ func querySig(d *dataset.Dataset, query string) (signature.Signature, dataset.Tr
 	return signature.FromItems(signature.NewDirectMapper(d.Universe), q), q, nil
 }
 
-func runKNN(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string, k int) int {
+func runKNN(ctx context.Context, stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string, k int) int {
 	qsig, _, err := querySig(d, query)
 	if err != nil {
 		fmt.Fprintln(stderr, "sgtool:", err)
 		return 1
 	}
 	start := time.Now()
-	res, stats, err := tr.KNN(qsig, k)
+	res, stats, err := tr.KNNContext(ctx, qsig, k)
 	if err != nil {
 		fmt.Fprintln(stderr, "sgtool:", err)
 		return 1
@@ -238,7 +249,7 @@ func runKNN(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query s
 	return 0
 }
 
-func runBrowse(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string, maxDist float64) int {
+func runBrowse(ctx context.Context, stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string, maxDist float64) int {
 	qsig, _, err := querySig(d, query)
 	if err != nil {
 		fmt.Fprintln(stderr, "sgtool:", err)
@@ -251,7 +262,7 @@ func runBrowse(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, quer
 	}
 	n := 0
 	for {
-		nb, ok, err := it.Next()
+		nb, ok, err := it.NextContext(ctx)
 		if err != nil {
 			fmt.Fprintln(stderr, "sgtool:", err)
 			return 1
@@ -273,13 +284,13 @@ func runBrowse(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, quer
 	return 0
 }
 
-func runRange(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string, eps float64) int {
+func runRange(ctx context.Context, stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string, eps float64) int {
 	qsig, _, err := querySig(d, query)
 	if err != nil {
 		fmt.Fprintln(stderr, "sgtool:", err)
 		return 1
 	}
-	res, stats, err := tr.RangeSearch(qsig, eps)
+	res, stats, err := tr.RangeSearchContext(ctx, qsig, eps)
 	if err != nil {
 		fmt.Fprintln(stderr, "sgtool:", err)
 		return 1
@@ -295,13 +306,13 @@ func runRange(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query
 	return 0
 }
 
-func runContain(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string) int {
+func runContain(ctx context.Context, stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query string) int {
 	qsig, q, err := querySig(d, query)
 	if err != nil {
 		fmt.Fprintln(stderr, "sgtool:", err)
 		return 1
 	}
-	res, stats, err := tr.Containment(qsig)
+	res, stats, err := tr.ContainmentContext(ctx, qsig)
 	if err != nil {
 		fmt.Fprintln(stderr, "sgtool:", err)
 		return 1
@@ -333,7 +344,7 @@ func runCluster(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, k i
 // runBench replays a saved query workload against the index and reports the
 // averaged costs the paper's evaluation uses: % of data compared, CPU time
 // and cold-buffer random I/Os per query.
-func runBench(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, queryFile string, k int) int {
+func runBench(ctx context.Context, stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, queryFile string, k int) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "sgtool:", err)
 		return 1
@@ -359,7 +370,7 @@ func runBench(stdout, stderr io.Writer, tr *core.Tree, d *dataset.Dataset, query
 		}
 		tr.Pool().ResetStats()
 		start := time.Now()
-		_, stats, err := tr.KNN(signature.FromItems(m, q), k)
+		_, stats, err := tr.KNNContext(ctx, signature.FromItems(m, q), k)
 		if err != nil {
 			return fail(err)
 		}

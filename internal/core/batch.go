@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+// This file is the parallel batch engine built on the executor layer.
+// Queries already run concurrently under the tree's read lock sharing the
+// buffer pool, so a batch of Q independent queries fans out across a
+// bounded worker pool: each worker pulls query indexes from a shared
+// counter and runs them through the ordinary context-aware APIs (one
+// executor per query).
+
+// RunParallel executes fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (GOMAXPROCS when workers <= 0). Work is distributed through a
+// shared atomic counter, so uneven per-item costs balance automatically.
+// The first non-nil error cancels the context passed to the remaining
+// calls and is returned once all workers have stopped.
+func RunParallel(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		// The parent context was cancelled between fn calls.
+		firstErr = context.Cause(ctx)
+	}
+	return firstErr
+}
+
+// isCancellation reports whether err is a context abort rather than a
+// per-query failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// BatchNNResult is the outcome of one query in a BatchNN call.
+type BatchNNResult struct {
+	Neighbors []Neighbor
+	Stats     QueryStats
+	Err       error
+}
+
+// BatchNN answers the k-nearest-neighbor query for every signature in
+// queries, fanning the batch across a worker pool (workers <= 0 means
+// GOMAXPROCS) that shares the tree's buffer pool. Results align with
+// queries by index. A per-query failure is recorded in its slot without
+// stopping the batch; a context cancellation aborts the whole batch and is
+// returned (slots not yet finished keep their zero value or a ctx error).
+func (t *Tree) BatchNN(ctx context.Context, queries []signature.Signature, k, workers int) ([]BatchNNResult, error) {
+	out := make([]BatchNNResult, len(queries))
+	err := RunParallel(ctx, len(queries), workers, func(ctx context.Context, i int) error {
+		res, st, err := t.KNNContext(ctx, queries[i], k)
+		out[i] = BatchNNResult{Neighbors: res, Stats: st, Err: err}
+		if isCancellation(err) {
+			return err
+		}
+		return nil
+	})
+	return out, err
+}
+
+// BatchRangeResult is the outcome of one query in a BatchRangeQuery call.
+type BatchRangeResult struct {
+	Neighbors []Neighbor
+	Stats     QueryStats
+	Err       error
+}
+
+// BatchRangeQuery answers the range query (all signatures within eps) for
+// every signature in queries in parallel, with the same worker-pool and
+// error semantics as BatchNN.
+func (t *Tree) BatchRangeQuery(ctx context.Context, queries []signature.Signature, eps float64, workers int) ([]BatchRangeResult, error) {
+	out := make([]BatchRangeResult, len(queries))
+	err := RunParallel(ctx, len(queries), workers, func(ctx context.Context, i int) error {
+		res, st, err := t.RangeSearchContext(ctx, queries[i], eps)
+		out[i] = BatchRangeResult{Neighbors: res, Stats: st, Err: err}
+		if isCancellation(err) {
+			return err
+		}
+		return nil
+	})
+	return out, err
+}
+
+// BatchContainmentResult is the outcome of one query in a BatchContainment
+// call.
+type BatchContainmentResult struct {
+	TIDs  []dataset.TID
+	Stats QueryStats
+	Err   error
+}
+
+// BatchContainment answers the containment query for every signature in
+// queries in parallel, with the same worker-pool and error semantics as
+// BatchNN.
+func (t *Tree) BatchContainment(ctx context.Context, queries []signature.Signature, workers int) ([]BatchContainmentResult, error) {
+	out := make([]BatchContainmentResult, len(queries))
+	err := RunParallel(ctx, len(queries), workers, func(ctx context.Context, i int) error {
+		ids, st, err := t.ContainmentContext(ctx, queries[i])
+		out[i] = BatchContainmentResult{TIDs: ids, Stats: st, Err: err}
+		if isCancellation(err) {
+			return err
+		}
+		return nil
+	})
+	return out, err
+}

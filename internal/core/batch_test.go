@@ -1,0 +1,264 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+func batchQueries(t *testing.T, d *dataset.Dataset, n int) []signature.Signature {
+	t.Helper()
+	if n > len(d.Tx) {
+		n = len(d.Tx)
+	}
+	qs := make([]signature.Signature, n)
+	for i := 0; i < n; i++ {
+		qs[i] = sigOf(t, d.Universe, d.Tx[i*7%len(d.Tx)])
+	}
+	return qs
+}
+
+// TestBatchMatchesSerial runs each batch API with a 4-worker pool against
+// the serial answers on the same tree; on a quiescent tree the batch must
+// be bit-for-bit identical (neighbors and stats), since each member query
+// is the same deterministic traversal.
+func TestBatchMatchesSerial(t *testing.T) {
+	d := questData(t, 600, 2)
+	tr := buildTree(t, d, testOptions(d.Universe))
+	qs := batchQueries(t, d, 40)
+	ctx := context.Background()
+
+	nnBatch, err := tr.BatchNN(ctx, qs, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, st, err := tr.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nnBatch[i].Err != nil {
+			t.Fatalf("batch NN %d: %v", i, nnBatch[i].Err)
+		}
+		if !reflect.DeepEqual(nnBatch[i].Neighbors, want) {
+			t.Errorf("batch NN %d: got %v want %v", i, nnBatch[i].Neighbors, want)
+		}
+		if nnBatch[i].Stats != st {
+			t.Errorf("batch NN %d stats: got %+v want %+v", i, nnBatch[i].Stats, st)
+		}
+	}
+
+	rgBatch, err := tr.BatchRangeQuery(ctx, qs, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, _, err := tr.RangeSearch(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rgBatch[i].Err != nil || !reflect.DeepEqual(rgBatch[i].Neighbors, want) {
+			t.Errorf("batch range %d: got (%v, %v) want %v", i, rgBatch[i].Neighbors, rgBatch[i].Err, want)
+		}
+	}
+
+	ctBatch, err := tr.BatchContainment(ctx, qs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, _, err := tr.Containment(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctBatch[i].Err != nil || !reflect.DeepEqual(ctBatch[i].TIDs, want) {
+			t.Errorf("batch containment %d: got (%v, %v) want %v", i, ctBatch[i].TIDs, ctBatch[i].Err, want)
+		}
+	}
+}
+
+// TestBatchDuringInserts drives batch queries concurrently with insert
+// traffic (the race detector checks the locking), then — once writers have
+// quiesced — compares a parallel batch against serial execution on a
+// frozen snapshot of the same data, bulk-loaded into a second tree.
+func TestBatchDuringInserts(t *testing.T) {
+	d := questData(t, 800, 3)
+	opts := testOptions(d.Universe)
+	tr := mustTree(t, opts)
+	m := signature.NewDirectMapper(d.Universe)
+	const preload = 500
+	for i := 0; i < preload; i++ {
+		if err := tr.Insert(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := batchQueries(t, d, 30)
+	ctx := context.Background()
+
+	insertDone := make(chan error, 1)
+	go func() {
+		for i := preload; i < len(d.Tx); i++ {
+			if err := tr.Insert(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil {
+				insertDone <- err
+				return
+			}
+		}
+		insertDone <- nil
+	}()
+	for round := 0; round < 4; round++ {
+		res, err := tr.BatchNN(ctx, qs, 5, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res {
+			if res[i].Err != nil {
+				t.Fatalf("round %d query %d: %v", round, i, res[i].Err)
+			}
+			if len(res[i].Neighbors) == 0 {
+				t.Fatalf("round %d query %d: no neighbors", round, i)
+			}
+		}
+	}
+	if err := <-insertDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze: bulk-load the final contents into a fresh tree and compare
+	// parallel batches on the live tree with serial queries on the
+	// snapshot. Range results are a property of the data alone, so they
+	// must agree exactly (modulo traversal order); KNN distances likewise.
+	items, err := tr.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := mustTree(t, opts)
+	if err := snap.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+
+	rg, err := tr.BatchRangeQuery(ctx, qs, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, _, err := snap.RangeSearch(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append([]Neighbor(nil), rg[i].Neighbors...)
+		sortNeighbors(got)
+		sortNeighbors(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("range %d: live batch %v, snapshot serial %v", i, got, want)
+		}
+	}
+
+	nn, err := tr.BatchNN(ctx, qs, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, _, err := snap.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := nn[i].Neighbors
+		if len(got) != len(want) {
+			t.Fatalf("knn %d: %d neighbors vs %d on snapshot", i, len(got), len(want))
+		}
+		for j := range got {
+			// Tie-breaking at the k-th place may legitimately pick a
+			// different TID on a differently-shaped tree; the distance
+			// profile must match.
+			if got[j].Dist != want[j].Dist {
+				t.Errorf("knn %d rank %d: dist %v vs %v", i, j, got[j].Dist, want[j].Dist)
+			}
+		}
+	}
+}
+
+// TestBatchCancellation cancels a batch mid-flight (from an observer, after
+// a fixed number of node visits across all workers) and checks the batch
+// aborts with context.Canceled while the tree stays usable.
+func TestBatchCancellation(t *testing.T) {
+	d := questData(t, 600, 4)
+	tr := buildTree(t, d, testOptions(d.Universe))
+	qs := batchQueries(t, d, 60)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var visits atomic.Int64
+	tr.SetObserver(&FuncObserver{NodeVisit: func(storage.PageID, bool) {
+		if visits.Add(1) == 40 {
+			cancel()
+		}
+	}})
+	_, err := tr.BatchNN(ctx, qs, 5, 4)
+	tr.SetObserver(nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: err = %v", err)
+	}
+
+	if res, err := tr.BatchNN(context.Background(), qs[:5], 5, 2); err != nil {
+		t.Fatalf("batch after abort: %v", err)
+	} else {
+		for i := range res {
+			if res[i].Err != nil || len(res[i].Neighbors) != 5 {
+				t.Fatalf("post-abort query %d: %v %v", i, res[i].Neighbors, res[i].Err)
+			}
+		}
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	// Every index is processed exactly once.
+	var hits [100]atomic.Int32
+	if err := RunParallel(context.Background(), len(hits), 7, func(_ context.Context, i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d processed %d times", i, hits[i].Load())
+		}
+	}
+
+	// A worker error cancels the shared context and is returned.
+	boom := errors.New("boom")
+	var after atomic.Int32
+	err := RunParallel(context.Background(), 1000, 4, func(ctx context.Context, i int) error {
+		if i == 10 {
+			return boom
+		}
+		if ctx.Err() != nil {
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+
+	// Degenerate shapes.
+	if err := RunParallel(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Error("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	if err := RunParallel(context.Background(), 3, 100, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil || ran.Load() != 3 {
+		t.Fatalf("workers>n: ran %d, err %v", ran.Load(), err)
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// executor is the shared query-execution layer: every read path (predicate
+// queries, range search, branch-and-bound NN, joins, walks, distance
+// browsing) drives the tree through one of these instead of touching
+// readNode and QueryStats directly. The executor owns
+//
+//   - node loading with cancellation checked at node granularity,
+//   - per-query stats accounting,
+//   - lower-bound computation and prune bookkeeping,
+//   - observer dispatch and the tree's cumulative counters.
+//
+// An executor serves exactly one traversal and is not safe for concurrent
+// use; concurrency comes from running many executors (one per query) under
+// the tree's read lock, as the batch engine does.
+type executor struct {
+	t     *Tree
+	ctx   context.Context // nil when the query is not cancellable
+	obs   Observer        // nil when no hooks are registered
+	stats QueryStats
+	done  bool
+}
+
+// newExec builds an executor for one traversal of t. The caller must hold
+// t.mu (read or write). A nil or Background context disables cancellation
+// checks entirely, keeping the legacy APIs at their original cost.
+func (t *Tree) newExec(ctx context.Context) *executor {
+	e := &executor{t: t}
+	if ctx != nil && ctx != context.Background() {
+		e.ctx = ctx
+	}
+	qObs := observerFrom(ctx)
+	switch {
+	case t.observer != nil && qObs != nil:
+		e.obs = multiObserver{t.observer, qObs}
+	case t.observer != nil:
+		e.obs = t.observer
+	default:
+		e.obs = qObs
+	}
+	return e
+}
+
+// visit loads a node of the executor's own tree.
+func (e *executor) visit(id storage.PageID) (*node, error) {
+	return e.visitIn(e.t, id)
+}
+
+// visitIn loads a node of tr (the non-receiver side of a join), checking
+// cancellation first and accounting the access. Cancellation is checked
+// here — once per node — so an aborted query stops within one node's worth
+// of work.
+func (e *executor) visitIn(tr *Tree, id storage.PageID) (*node, error) {
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	n, err := tr.readNode(id)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.NodesAccessed++
+	if n.leaf {
+		e.stats.LeavesAccessed++
+	}
+	if e.obs != nil {
+		e.obs.OnNodeVisit(id, n.leaf)
+	}
+	return n, nil
+}
+
+// bound computes the lower-bound distance between the query and a
+// directory entry, counting the entry as tested.
+func (e *executor) bound(q signature.Signature, ent *entry) float64 {
+	e.stats.EntriesTested++
+	return e.t.entryMinDist(q, ent)
+}
+
+// testEntry accounts a directory-entry predicate evaluation.
+func (e *executor) testEntry() {
+	e.stats.EntriesTested++
+}
+
+// prune records that the subtree under child was skipped; bound is the
+// lower bound that justified it (+Inf for boolean prunes).
+func (e *executor) prune(child storage.PageID, bound float64) {
+	e.stats.EntriesPruned++
+	if e.obs != nil {
+		e.obs.OnPrune(child, bound)
+	}
+}
+
+// compare evaluates the exact distance between the query and a leaf
+// signature, counting the comparison.
+func (e *executor) compare(q, s signature.Signature) float64 {
+	e.stats.DataCompared++
+	return e.t.opts.distance(q, s)
+}
+
+// testData accounts a leaf predicate evaluation.
+func (e *executor) testData() {
+	e.stats.DataCompared++
+}
+
+// result reports one produced result to the observers.
+func (e *executor) result(tid dataset.TID, dist float64) {
+	if e.obs != nil {
+		e.obs.OnResult(tid, dist)
+	}
+}
+
+// finish closes the traversal: it folds the per-query stats into the
+// tree's cumulative counters, classifies cancellations, and fires
+// OnQueryDone. It returns err unchanged so callers can write
+// `return out, e.stats, e.finish(err)`. finish is idempotent.
+func (e *executor) finish(err error) error {
+	if e.done {
+		return err
+	}
+	e.done = true
+	c := &e.t.counters
+	c.queries.Add(1)
+	c.nodesRead.Add(int64(e.stats.NodesAccessed))
+	c.entriesPruned.Add(int64(e.stats.EntriesPruned))
+	c.dataCompared.Add(int64(e.stats.DataCompared))
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		c.cancellations.Add(1)
+	}
+	if e.obs != nil {
+		e.obs.OnQueryDone(e.stats, err)
+	}
+	return err
+}
+
+// --- shared traversal shapes ---
+
+// predicate describes a boolean tree query: which directory covers may
+// hold matches (descend) and which leaf signatures match. The three
+// Section 3 query types (containment, exact, subset) are instances.
+type predicate struct {
+	descend func(cover signature.Signature) bool
+	match   func(data signature.Signature) bool
+}
+
+// predicateWalk is the single depth-first traversal behind every boolean
+// query: descend subtrees admitted by p.descend, collect leaf tids passing
+// p.match.
+func (e *executor) predicateWalk(id storage.PageID, p predicate, out *[]dataset.TID) error {
+	n, err := e.visit(id)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i := range n.entries {
+			e.testData()
+			if p.match(n.entries[i].sig) {
+				e.result(n.entries[i].tid, 0)
+				*out = append(*out, n.entries[i].tid)
+			}
+		}
+		return nil
+	}
+	for i := range n.entries {
+		e.testEntry()
+		if !p.descend(n.entries[i].sig) {
+			e.prune(n.entries[i].child, math.Inf(1))
+			continue
+		}
+		if err := e.predicateWalk(n.entries[i].child, p, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rangeWalk is the depth-first range-query traversal (Section 4.1's bound
+// applied with a fixed radius): descend subtrees whose lower bound is
+// within eps, collect leaf entries within eps.
+func (e *executor) rangeWalk(id storage.PageID, q signature.Signature, eps float64, out *[]Neighbor) error {
+	n, err := e.visit(id)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for i := range n.entries {
+			if d := e.compare(q, n.entries[i].sig); d <= eps {
+				e.result(n.entries[i].tid, d)
+				*out = append(*out, Neighbor{TID: n.entries[i].tid, Dist: d})
+			}
+		}
+		return nil
+	}
+	for i := range n.entries {
+		if md := e.bound(q, &n.entries[i]); md > eps {
+			e.prune(n.entries[i].child, md)
+			continue
+		}
+		if err := e.rangeWalk(n.entries[i].child, q, eps, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/storage"
+)
+
+// execTree builds a multi-level tree large enough that every query visits
+// several nodes, so mid-traversal cancellation has room to bite.
+func execTree(t *testing.T) (*Tree, *dataset.Dataset) {
+	t.Helper()
+	d := questData(t, 800, 1)
+	return buildTree(t, d, testOptions(d.Universe)), d
+}
+
+func TestQueryCancelledBeforeStart(t *testing.T) {
+	tr, d := execTree(t)
+	q := sigOf(t, d.Universe, d.Tx[0])
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, st, err := tr.KNNContext(ctx, q, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("KNN on cancelled ctx: err = %v", err)
+	} else if st.NodesAccessed != 0 {
+		t.Errorf("KNN on cancelled ctx touched %d nodes", st.NodesAccessed)
+	}
+	if _, st, err := tr.ContainmentContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Containment on cancelled ctx: err = %v", err)
+	} else if st.NodesAccessed != 0 {
+		t.Errorf("Containment on cancelled ctx touched %d nodes", st.NodesAccessed)
+	}
+}
+
+// TestCancelMidTraversalNN cancels an NN query from inside the traversal
+// (after the third node visit) and checks that the abort is prompt: the
+// executor checks the context once per node, so no further node may be
+// read after the cancellation fires.
+func TestCancelMidTraversalNN(t *testing.T) {
+	tr, d := execTree(t)
+	q := sigOf(t, d.Universe, d.Tx[3])
+
+	want, _, err := tr.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		// The promptness assertion below needs a traversal longer than the
+		// cancellation point.
+		t.Fatalf("tree too shallow for the test: height %d", tr.Height())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	visits := 0
+	obs := &FuncObserver{NodeVisit: func(storage.PageID, bool) {
+		visits++
+		if visits == 3 {
+			cancel()
+		}
+	}}
+	_, st, err := tr.KNNContext(WithObserver(ctx, obs), q, 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled KNN: err = %v", err)
+	}
+	if st.NodesAccessed != 3 {
+		t.Errorf("cancelled after visit 3, but %d nodes accessed", st.NodesAccessed)
+	}
+
+	// The tree stays fully usable after the abort.
+	got, _, err := tr.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-abort KNN differs: got %v want %v", got, want)
+	}
+}
+
+// TestCancelMidTraversalContainment is the boolean-query counterpart of
+// TestCancelMidTraversalNN.
+func TestCancelMidTraversalContainment(t *testing.T) {
+	tr, d := execTree(t)
+	q := sigOf(t, d.Universe, d.Tx[0])
+
+	want, _, err := tr.Containment(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("containment of an indexed transaction found nothing")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	visits := 0
+	obs := &FuncObserver{NodeVisit: func(storage.PageID, bool) {
+		visits++
+		if visits == 2 {
+			cancel()
+		}
+	}}
+	_, st, err := tr.ContainmentContext(WithObserver(ctx, obs), q)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled containment: err = %v", err)
+	}
+	if st.NodesAccessed != 2 {
+		t.Errorf("cancelled after visit 2, but %d nodes accessed", st.NodesAccessed)
+	}
+
+	got, _, err := tr.Containment(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-abort containment differs: got %v want %v", got, want)
+	}
+}
+
+func TestDeadlineExceededCounted(t *testing.T) {
+	tr, d := execTree(t)
+	q := sigOf(t, d.Universe, d.Tx[1])
+	tr.ResetCounters()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if _, _, err := tr.RangeSearchContext(ctx, q, 4); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v", err)
+	}
+	if c := tr.Counters(); c.Cancellations != 1 {
+		t.Errorf("Cancellations = %d, want 1", c.Cancellations)
+	}
+}
+
+// TestObserverEvents checks that the events a traversal reports are
+// consistent with its QueryStats, and that OnQueryDone fires exactly once,
+// after every OnResult.
+func TestObserverEvents(t *testing.T) {
+	tr, d := execTree(t)
+	q := sigOf(t, d.Universe, d.Tx[5])
+
+	var visits, prunes, results, done int
+	var doneStats QueryStats
+	var doneErr error
+	resultAfterDone := false
+	tr.SetObserver(&FuncObserver{
+		NodeVisit: func(storage.PageID, bool) { visits++ },
+		Prune:     func(storage.PageID, float64) { prunes++ },
+		Result: func(dataset.TID, float64) {
+			results++
+			if done > 0 {
+				resultAfterDone = true
+			}
+		},
+		QueryDone: func(st QueryStats, err error) {
+			done++
+			doneStats, doneErr = st, err
+		},
+	})
+	defer tr.SetObserver(nil)
+
+	res, st, err := tr.KNN(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visits != st.NodesAccessed {
+		t.Errorf("OnNodeVisit fired %d times, stats say %d", visits, st.NodesAccessed)
+	}
+	if prunes != st.EntriesPruned {
+		t.Errorf("OnPrune fired %d times, stats say %d", prunes, st.EntriesPruned)
+	}
+	if results != len(res) {
+		t.Errorf("OnResult fired %d times for %d results", results, len(res))
+	}
+	if done != 1 {
+		t.Errorf("OnQueryDone fired %d times", done)
+	}
+	if doneErr != nil || doneStats != st {
+		t.Errorf("OnQueryDone got (%+v, %v), want (%+v, nil)", doneStats, doneErr, st)
+	}
+	if resultAfterDone {
+		t.Error("OnResult fired after OnQueryDone")
+	}
+}
+
+// TestObserverTreeAndQuery verifies both hook scopes receive every event
+// when a per-query observer is layered on a tree-level one.
+func TestObserverTreeAndQuery(t *testing.T) {
+	tr, d := execTree(t)
+	q := sigOf(t, d.Universe, d.Tx[9])
+
+	treeVisits, queryVisits := 0, 0
+	tr.SetObserver(&FuncObserver{NodeVisit: func(storage.PageID, bool) { treeVisits++ }})
+	defer tr.SetObserver(nil)
+	ctx := WithObserver(context.Background(), &FuncObserver{NodeVisit: func(storage.PageID, bool) { queryVisits++ }})
+
+	_, st, err := tr.RangeSearchContext(ctx, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if treeVisits != st.NodesAccessed || queryVisits != st.NodesAccessed {
+		t.Errorf("tree observer saw %d visits, query observer %d, stats %d",
+			treeVisits, queryVisits, st.NodesAccessed)
+	}
+}
+
+func TestTreeCounters(t *testing.T) {
+	tr, d := execTree(t)
+	q := sigOf(t, d.Universe, d.Tx[2])
+	tr.ResetCounters()
+
+	_, st1, err := tr.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := tr.Containment(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := tr.KNNContext(ctx, q, 5); !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+
+	c := tr.Counters()
+	if c.Queries != 3 {
+		t.Errorf("Queries = %d, want 3", c.Queries)
+	}
+	if c.Cancellations != 1 {
+		t.Errorf("Cancellations = %d, want 1", c.Cancellations)
+	}
+	if want := int64(st1.NodesAccessed + st2.NodesAccessed); c.NodesRead != want {
+		t.Errorf("NodesRead = %d, want %d", c.NodesRead, want)
+	}
+	if want := int64(st1.EntriesPruned + st2.EntriesPruned); c.EntriesPruned != want {
+		t.Errorf("EntriesPruned = %d, want %d", c.EntriesPruned, want)
+	}
+	if want := int64(st1.DataCompared + st2.DataCompared); c.DataCompared != want {
+		t.Errorf("DataCompared = %d, want %d", c.DataCompared, want)
+	}
+
+	tr.ResetCounters()
+	if c := tr.Counters(); c != (Counters{}) {
+		t.Errorf("counters after reset: %+v", c)
+	}
+}
+
+// TestIteratorCancelResume aborts the first NextContext call and checks the
+// browsing frontier survives: the same iterator then yields the exact
+// sequence a fresh iterator produces.
+func TestIteratorCancelResume(t *testing.T) {
+	tr, d := execTree(t)
+	q := sigOf(t, d.Universe, d.Tx[7])
+
+	fresh, err := tr.NewNNIterator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Neighbor
+	for i := 0; i < 20; i++ {
+		nb, ok, err := fresh.Next()
+		if err != nil || !ok {
+			t.Fatalf("fresh iterator: %v %v", ok, err)
+		}
+		want = append(want, nb)
+	}
+
+	it, err := tr.NewNNIterator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := it.NextContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled NextContext: err = %v", err)
+	}
+	var got []Neighbor
+	for i := 0; i < 20; i++ {
+		nb, ok, err := it.Next()
+		if err != nil || !ok {
+			t.Fatalf("resumed iterator: %v %v", ok, err)
+		}
+		got = append(got, nb)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed iterator diverged:\ngot  %v\nwant %v", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"sgtree/internal/dataset"
@@ -15,14 +16,15 @@ import (
 // k up front — callers stop when they have seen enough, and the tree is
 // explored lazily with the usual coverage bounds.
 //
-// The iterator reads tree pages as it advances; it must not be used
-// concurrently with updates to the same tree (results would be undefined,
-// though never unsafe — each Next locks the tree internally).
+// The iterator reads tree pages through the shared executor as it
+// advances; it must not be used concurrently with updates to the same tree
+// (results would be undefined, though never unsafe — each Next locks the
+// tree internally) nor from multiple goroutines at once.
 type NNIterator struct {
-	t     *Tree
-	q     signature.Signature
-	pq    browseHeap
-	stats QueryStats
+	t  *Tree
+	q  signature.Signature
+	e  *executor
+	pq browseHeap
 }
 
 // browseItem is either an unexpanded subtree (node != InvalidPage) or a
@@ -73,7 +75,7 @@ func (t *Tree) NewNNIterator(q signature.Signature) (*NNIterator, error) {
 	if err := t.checkQuerySignature(q); err != nil {
 		return nil, err
 	}
-	it := &NNIterator{t: t, q: q.Clone()}
+	it := &NNIterator{t: t, q: q.Clone(), e: t.newExec(nil)}
 	if t.root != storage.InvalidPage {
 		it.pq = browseHeap{{node: t.root}}
 	}
@@ -83,40 +85,53 @@ func (t *Tree) NewNNIterator(q signature.Signature) (*NNIterator, error) {
 // Next returns the next neighbor in non-decreasing distance order; ok is
 // false when the tree is exhausted.
 func (it *NNIterator) Next() (Neighbor, bool, error) {
+	return it.NextContext(context.Background())
+}
+
+// NextContext is Next with cancellation: node reads performed while
+// advancing check ctx, and an aborted call returns ctx's error. The
+// iterator remains usable after an abort (the pending frontier is kept).
+func (it *NNIterator) NextContext(ctx context.Context) (Neighbor, bool, error) {
 	it.t.mu.RLock()
 	defer it.t.mu.RUnlock()
+	if ctx != nil && ctx != context.Background() {
+		it.e.ctx = ctx
+		defer func() { it.e.ctx = nil }()
+	}
 	for it.pq.Len() > 0 {
-		item := heap.Pop(&it.pq).(browseItem)
+		item := it.pq[0]
 		if item.node == storage.InvalidPage {
+			heap.Pop(&it.pq)
+			it.e.result(item.tid, item.dist)
 			return Neighbor{TID: item.tid, Dist: item.dist}, true, nil
 		}
-		n, err := it.t.readNode(item.node)
+		n, err := it.e.visit(item.node)
 		if err != nil {
+			// Leave the unexpanded subtree at the top of the frontier so a
+			// retry (e.g. after a transient cancellation) resumes cleanly.
 			return Neighbor{}, false, fmt.Errorf("core: distance browsing: %w", err)
 		}
-		it.stats.NodesAccessed++
+		heap.Pop(&it.pq)
 		if n.leaf {
-			it.stats.LeavesAccessed++
 			for i := range n.entries {
-				it.stats.DataCompared++
 				heap.Push(&it.pq, browseItem{
-					dist: it.t.opts.distance(it.q, n.entries[i].sig),
+					dist: it.e.compare(it.q, n.entries[i].sig),
 					tid:  n.entries[i].tid,
 				})
 			}
 			continue
 		}
 		for i := range n.entries {
-			it.stats.EntriesTested++
 			heap.Push(&it.pq, browseItem{
-				dist: it.t.entryMinDist(it.q, &n.entries[i]),
+				dist: it.e.bound(it.q, &n.entries[i]),
 				node: n.entries[i].child,
 				area: n.entries[i].sig.Area(),
 			})
 		}
 	}
+	it.e.finish(nil)
 	return Neighbor{}, false, nil
 }
 
 // Stats returns the cumulative work performed so far.
-func (it *NNIterator) Stats() QueryStats { return it.stats }
+func (it *NNIterator) Stats() QueryStats { return it.e.stats }

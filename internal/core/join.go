@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -14,6 +15,8 @@ import (
 // "other query types" of Section 4.2 (whose citations point at the R-tree
 // spatial join of Brinkhoff et al. and the closest-pair queries of Corral
 // et al.): a similarity join (all pairs within ε) and top-k closest pairs.
+// Node access on both sides runs through the shared executor, which charges
+// all work to the receiver tree's stats and counters.
 //
 // Pruning pairs of directory entries needs a lower bound on the distance
 // between any t1 ⊆ e1 and t2 ⊆ e2. Under plain Hamming no useful bound
@@ -45,11 +48,25 @@ func (t *Tree) pairMinDist(e1, e2 signature.Signature) float64 {
 	return float64(2 * (d - shared))
 }
 
+// pairBound computes the directory-pair lower bound, counting the pair as
+// one tested entry.
+func (e *executor) pairBound(s1, s2 signature.Signature) float64 {
+	e.stats.EntriesTested++
+	return e.t.pairMinDist(s1, s2)
+}
+
 // SimilarityJoin returns all pairs (a, b) with a indexed in t, b indexed in
 // other, and distance(a, b) ≤ eps. Both trees must share the signature
 // length and metric. Joining a tree with itself returns each unordered pair
 // once (Left < Right) and skips identical tids.
 func (t *Tree) SimilarityJoin(other *Tree, eps float64) ([]Pair, QueryStats, error) {
+	return t.SimilarityJoinContext(context.Background(), other, eps)
+}
+
+// SimilarityJoinContext is SimilarityJoin with cancellation: the traversal
+// checks ctx at every node read and on abort returns ctx's error with the
+// partial-work stats accumulated so far.
+func (t *Tree) SimilarityJoinContext(ctx context.Context, other *Tree, eps float64) ([]Pair, QueryStats, error) {
 	self := t == other
 	t.mu.RLock()
 	if !self {
@@ -58,21 +75,21 @@ func (t *Tree) SimilarityJoin(other *Tree, eps float64) ([]Pair, QueryStats, err
 	}
 	defer t.mu.RUnlock()
 
-	var stats QueryStats
 	if err := t.joinCompatible(other); err != nil {
-		return nil, stats, err
+		return nil, QueryStats{}, err
 	}
 	if eps < 0 {
-		return nil, stats, fmt.Errorf("core: negative join range %v", eps)
+		return nil, QueryStats{}, fmt.Errorf("core: negative join range %v", eps)
 	}
 	if t.root == storage.InvalidPage || other.root == storage.InvalidPage {
-		return nil, stats, nil
+		return nil, QueryStats{}, nil
 	}
+	e := t.newExec(ctx)
 	var out []Pair
-	if err := t.joinNodes(other, t.root, other.root, eps, self, &out, &stats); err != nil {
-		return nil, stats, err
+	if err := e.finish(e.joinNodes(other, t.root, other.root, eps, self, &out)); err != nil {
+		return nil, e.stats, err
 	}
-	return out, stats, nil
+	return out, e.stats, nil
 }
 
 func (t *Tree) joinCompatible(other *Tree) error {
@@ -88,20 +105,19 @@ func (t *Tree) joinCompatible(other *Tree) error {
 
 // joinNodes recursively joins two subtrees. For a self join only pairs with
 // n1.id <= n2.id are explored, halving the work.
-func (t *Tree) joinNodes(other *Tree, id1, id2 storage.PageID, eps float64, self bool, out *[]Pair, stats *QueryStats) error {
-	n1, err := t.readNode(id1)
+func (e *executor) joinNodes(other *Tree, id1, id2 storage.PageID, eps float64, self bool, out *[]Pair) error {
+	t := e.t
+	n1, err := e.visit(id1)
 	if err != nil {
 		return err
 	}
-	n2, err := other.readNode(id2)
+	n2, err := e.visitIn(other, id2)
 	if err != nil {
 		return err
 	}
-	stats.NodesAccessed += 2
 
 	switch {
 	case n1.leaf && n2.leaf:
-		stats.LeavesAccessed += 2
 		sameNode := self && id1 == id2
 		for i := range n1.entries {
 			jStart := 0
@@ -109,13 +125,13 @@ func (t *Tree) joinNodes(other *Tree, id1, id2 storage.PageID, eps float64, self
 				jStart = i + 1
 			}
 			for j := jStart; j < len(n2.entries); j++ {
-				stats.DataCompared++
-				d := t.opts.distance(n1.entries[i].sig, n2.entries[j].sig)
+				d := e.compare(n1.entries[i].sig, n2.entries[j].sig)
 				if d <= eps {
 					left, right := n1.entries[i].tid, n2.entries[j].tid
 					if self && left > right {
 						left, right = right, left // normalize unordered pairs
 					}
+					e.result(left, d)
 					*out = append(*out, Pair{Left: left, Right: right, Dist: d})
 				}
 			}
@@ -124,21 +140,23 @@ func (t *Tree) joinNodes(other *Tree, id1, id2 storage.PageID, eps float64, self
 	case n1.leaf:
 		// Descend the taller side.
 		for j := range n2.entries {
-			stats.EntriesTested++
-			if t.pairMinDist(n1.coverSignature(t.opts.SignatureLength), n2.entries[j].sig) <= eps {
-				if err := t.joinNodes(other, id1, n2.entries[j].child, eps, self, out, stats); err != nil {
-					return err
-				}
+			if md := e.pairBound(n1.coverSignature(t.opts.SignatureLength), n2.entries[j].sig); md > eps {
+				e.prune(n2.entries[j].child, md)
+				continue
+			}
+			if err := e.joinNodes(other, id1, n2.entries[j].child, eps, self, out); err != nil {
+				return err
 			}
 		}
 		return nil
 	case n2.leaf:
 		for i := range n1.entries {
-			stats.EntriesTested++
-			if t.pairMinDist(n1.entries[i].sig, n2.coverSignature(t.opts.SignatureLength)) <= eps {
-				if err := t.joinNodes(other, n1.entries[i].child, id2, eps, self, out, stats); err != nil {
-					return err
-				}
+			if md := e.pairBound(n1.entries[i].sig, n2.coverSignature(t.opts.SignatureLength)); md > eps {
+				e.prune(n1.entries[i].child, md)
+				continue
+			}
+			if err := e.joinNodes(other, n1.entries[i].child, id2, eps, self, out); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -148,11 +166,12 @@ func (t *Tree) joinNodes(other *Tree, id1, id2 storage.PageID, eps float64, self
 				if self && id1 == id2 && j < i {
 					continue // symmetric pairs handled once
 				}
-				stats.EntriesTested++
-				if t.pairMinDist(n1.entries[i].sig, n2.entries[j].sig) <= eps {
-					if err := t.joinNodes(other, n1.entries[i].child, n2.entries[j].child, eps, self, out, stats); err != nil {
-						return err
-					}
+				if md := e.pairBound(n1.entries[i].sig, n2.entries[j].sig); md > eps {
+					e.prune(n1.entries[i].child, md)
+					continue
+				}
+				if err := e.joinNodes(other, n1.entries[i].child, n2.entries[j].child, eps, self, out); err != nil {
+					return err
 				}
 			}
 		}
@@ -201,6 +220,11 @@ func (h *pairHeap) Pop() interface{} {
 // fixed-cardinality bound; otherwise the algorithm degenerates gracefully
 // to leaf-level filtering.
 func (t *Tree) ClosestPairs(other *Tree, k int) ([]Pair, QueryStats, error) {
+	return t.ClosestPairsContext(context.Background(), other, k)
+}
+
+// ClosestPairsContext is ClosestPairs with cancellation.
+func (t *Tree) ClosestPairsContext(ctx context.Context, other *Tree, k int) ([]Pair, QueryStats, error) {
 	self := t == other
 	t.mu.RLock()
 	if !self {
@@ -209,16 +233,16 @@ func (t *Tree) ClosestPairs(other *Tree, k int) ([]Pair, QueryStats, error) {
 	}
 	defer t.mu.RUnlock()
 
-	var stats QueryStats
 	if err := t.joinCompatible(other); err != nil {
-		return nil, stats, err
+		return nil, QueryStats{}, err
 	}
 	if k < 1 {
-		return nil, stats, fmt.Errorf("core: k = %d < 1", k)
+		return nil, QueryStats{}, fmt.Errorf("core: k = %d < 1", k)
 	}
 	if t.root == storage.InvalidPage || other.root == storage.InvalidPage {
-		return nil, stats, nil
+		return nil, QueryStats{}, nil
 	}
+	e := t.newExec(ctx)
 
 	best := pairHeap{}
 	bound := func() float64 {
@@ -242,18 +266,16 @@ func (t *Tree) ClosestPairs(other *Tree, k int) ([]Pair, QueryStats, error) {
 		if item.minDist > bound() {
 			break
 		}
-		n1, err := t.readNode(item.id1)
+		n1, err := e.visit(item.id1)
 		if err != nil {
-			return nil, stats, err
+			return nil, e.stats, e.finish(err)
 		}
-		n2, err := other.readNode(item.id2)
+		n2, err := e.visitIn(other, item.id2)
 		if err != nil {
-			return nil, stats, err
+			return nil, e.stats, e.finish(err)
 		}
-		stats.NodesAccessed += 2
 		switch {
 		case n1.leaf && n2.leaf:
-			stats.LeavesAccessed += 2
 			sameNode := self && item.id1 == item.id2
 			for i := range n1.entries {
 				jStart := 0
@@ -261,8 +283,7 @@ func (t *Tree) ClosestPairs(other *Tree, k int) ([]Pair, QueryStats, error) {
 					jStart = i + 1
 				}
 				for j := jStart; j < len(n2.entries); j++ {
-					stats.DataCompared++
-					d := t.opts.distance(n1.entries[i].sig, n2.entries[j].sig)
+					d := e.compare(n1.entries[i].sig, n2.entries[j].sig)
 					left, right := n1.entries[i].tid, n2.entries[j].tid
 					if self && left > right {
 						left, right = right, left
@@ -272,18 +293,20 @@ func (t *Tree) ClosestPairs(other *Tree, k int) ([]Pair, QueryStats, error) {
 			}
 		case n1.leaf:
 			for j := range n2.entries {
-				stats.EntriesTested++
-				md := t.pairMinDist(n1.coverSignature(t.opts.SignatureLength), n2.entries[j].sig)
+				md := e.pairBound(n1.coverSignature(t.opts.SignatureLength), n2.entries[j].sig)
 				if md <= bound() {
 					heap.Push(pq, pairPQItem{id1: item.id1, id2: n2.entries[j].child, minDist: md})
+				} else {
+					e.prune(n2.entries[j].child, md)
 				}
 			}
 		case n2.leaf:
 			for i := range n1.entries {
-				stats.EntriesTested++
-				md := t.pairMinDist(n1.entries[i].sig, n2.coverSignature(t.opts.SignatureLength))
+				md := e.pairBound(n1.entries[i].sig, n2.coverSignature(t.opts.SignatureLength))
 				if md <= bound() {
 					heap.Push(pq, pairPQItem{id1: n1.entries[i].child, id2: item.id2, minDist: md})
+				} else {
+					e.prune(n1.entries[i].child, md)
 				}
 			}
 		default:
@@ -292,10 +315,11 @@ func (t *Tree) ClosestPairs(other *Tree, k int) ([]Pair, QueryStats, error) {
 					if self && item.id1 == item.id2 && j < i {
 						continue
 					}
-					stats.EntriesTested++
-					md := t.pairMinDist(n1.entries[i].sig, n2.entries[j].sig)
+					md := e.pairBound(n1.entries[i].sig, n2.entries[j].sig)
 					if md <= bound() {
 						heap.Push(pq, pairPQItem{id1: n1.entries[i].child, id2: n2.entries[j].child, minDist: md})
+					} else {
+						e.prune(n1.entries[i].child, md)
 					}
 				}
 			}
@@ -308,7 +332,10 @@ func (t *Tree) ClosestPairs(other *Tree, k int) ([]Pair, QueryStats, error) {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	return out, stats, nil
+	for _, p := range out {
+		e.result(p.Left, p.Dist)
+	}
+	return out, e.stats, e.finish(nil)
 }
 
 // JoinMatch is one row of a k-NN join: an id from the left tree and its
@@ -325,6 +352,14 @@ type JoinMatch struct {
 // order, which keeps consecutive queries similar and the right tree's
 // buffer pool warm.
 func (t *Tree) NNJoin(other *Tree, k int) ([]JoinMatch, QueryStats, error) {
+	return t.NNJoinContext(context.Background(), other, k)
+}
+
+// NNJoinContext is NNJoin with cancellation: the context is threaded into
+// every per-item KNN probe, so an abort stops within one node's worth of
+// work. Stats for the probes accumulate on other (each probe is a query on
+// the right tree).
+func (t *Tree) NNJoinContext(ctx context.Context, other *Tree, k int) ([]JoinMatch, QueryStats, error) {
 	var stats QueryStats
 	if err := t.joinCompatible(other); err != nil {
 		return nil, stats, err
@@ -334,7 +369,7 @@ func (t *Tree) NNJoin(other *Tree, k int) ([]JoinMatch, QueryStats, error) {
 	}
 	// Export first: it holds t's lock, which must be released before
 	// querying when other == t (the mutex is not reentrant).
-	items, err := t.Export()
+	items, err := t.ExportContext(ctx)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -345,11 +380,11 @@ func (t *Tree) NNJoin(other *Tree, k int) ([]JoinMatch, QueryStats, error) {
 	}
 	out := make([]JoinMatch, 0, len(items))
 	for _, it := range items {
-		res, st, err := other.KNN(it.Sig, kk)
+		res, st, err := other.KNNContext(ctx, it.Sig, kk)
+		stats.add(st)
 		if err != nil {
 			return nil, stats, err
 		}
-		stats.add(st)
 		if self {
 			trimmed := res[:0]
 			for _, nb := range res {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -16,6 +17,8 @@ import (
 // tie-breaking), its k-NN generalization with a bounded priority queue, the
 // all-ties variant, and the optimal best-first algorithm of Hjaltason &
 // Samet that Section 4.1 describes as the node-access-optimal alternative.
+// All traversals run through the shared executor (exec.go), which owns
+// node loading, cancellation, stats and observer dispatch.
 
 // resultHeap is a bounded max-heap holding the k best neighbors found so
 // far; the root is the current k-th best, whose distance is the pruning
@@ -71,7 +74,12 @@ func (a *knnAccumulator) results() []Neighbor {
 // NearestNeighbor returns the single nearest neighbor of q using the
 // depth-first algorithm of Figure 4. It errors on an empty tree.
 func (t *Tree) NearestNeighbor(q signature.Signature) (Neighbor, QueryStats, error) {
-	res, stats, err := t.KNN(q, 1)
+	return t.NearestNeighborContext(context.Background(), q)
+}
+
+// NearestNeighborContext is NearestNeighbor with cancellation.
+func (t *Tree) NearestNeighborContext(ctx context.Context, q signature.Signature) (Neighbor, QueryStats, error) {
+	res, stats, err := t.KNNContext(ctx, q, 1)
 	if err != nil {
 		return Neighbor{}, stats, err
 	}
@@ -84,23 +92,34 @@ func (t *Tree) NearestNeighbor(q signature.Signature) (Neighbor, QueryStats, err
 // KNN returns the k nearest neighbors of q (fewer if the tree holds fewer
 // signatures), sorted by distance, using depth-first branch and bound.
 func (t *Tree) KNN(q signature.Signature, k int) ([]Neighbor, QueryStats, error) {
+	return t.KNNContext(context.Background(), q, k)
+}
+
+// KNNContext is KNN with cancellation: the traversal checks ctx at every
+// node and on abort returns ctx's error with the partial-work stats
+// accumulated so far.
+func (t *Tree) KNNContext(ctx context.Context, q signature.Signature, k int) ([]Neighbor, QueryStats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var stats QueryStats
 	if err := t.checkQuerySignature(q); err != nil {
-		return nil, stats, err
+		return nil, QueryStats{}, err
 	}
 	if k < 1 {
-		return nil, stats, fmt.Errorf("core: k = %d < 1", k)
+		return nil, QueryStats{}, fmt.Errorf("core: k = %d < 1", k)
 	}
 	if t.root == storage.InvalidPage {
-		return nil, stats, nil
+		return nil, QueryStats{}, nil
 	}
+	e := t.newExec(ctx)
 	acc := &knnAccumulator{k: k}
-	if err := t.dfSearch(t.root, q, acc, &stats); err != nil {
-		return nil, stats, err
+	if err := e.dfSearch(t.root, q, acc); err != nil {
+		return nil, e.stats, e.finish(err)
 	}
-	return acc.results(), stats, nil
+	res := acc.results()
+	for _, nb := range res {
+		e.result(nb.TID, nb.Dist)
+	}
+	return res, e.stats, e.finish(nil)
 }
 
 // branchEntry carries the sort key of Figure 4: ascending optimistic bound,
@@ -113,13 +132,12 @@ type branchEntry struct {
 	area    int
 }
 
-func (t *Tree) orderBranches(n *node, q signature.Signature, stats *QueryStats) []branchEntry {
+func (e *executor) orderBranches(n *node, q signature.Signature) []branchEntry {
 	branches := make([]branchEntry, len(n.entries))
 	for i := range n.entries {
-		stats.EntriesTested++
 		branches[i] = branchEntry{
 			idx:     i,
-			minDist: t.entryMinDist(q, &n.entries[i]),
+			minDist: e.bound(q, &n.entries[i]),
 			area:    n.entries[i].sig.Area(),
 		}
 	}
@@ -132,30 +150,37 @@ func (t *Tree) orderBranches(n *node, q signature.Signature, stats *QueryStats) 
 	return branches
 }
 
+// pruneFrom records the branches from position i on as pruned (entries are
+// sorted by bound, so once one fails the pruning test the rest do too).
+func (e *executor) pruneFrom(n *node, branches []branchEntry, i int) {
+	for ; i < len(branches); i++ {
+		e.prune(n.entries[branches[i].idx].child, branches[i].minDist)
+	}
+}
+
 // dfSearch is the recursive procedure of Figure 4 generalized to k results.
-func (t *Tree) dfSearch(id storage.PageID, q signature.Signature, acc *knnAccumulator, stats *QueryStats) error {
-	n, err := t.readNode(id)
+func (e *executor) dfSearch(id storage.PageID, q signature.Signature, acc *knnAccumulator) error {
+	n, err := e.visit(id)
 	if err != nil {
 		return err
 	}
-	stats.NodesAccessed++
 	if n.leaf {
-		stats.LeavesAccessed++
 		for i := range n.entries {
-			stats.DataCompared++
-			d := t.opts.distance(q, n.entries[i].sig)
+			d := e.compare(q, n.entries[i].sig)
 			if d < acc.bound() {
 				acc.offer(Neighbor{TID: n.entries[i].tid, Dist: d})
 			}
 		}
 		return nil
 	}
-	for _, b := range t.orderBranches(n, q, stats) {
+	branches := e.orderBranches(n, q)
+	for bi, b := range branches {
 		if b.minDist >= acc.bound() {
 			// Entries are sorted: nothing further can improve the result.
+			e.pruneFrom(n, branches, bi)
 			break
 		}
-		if err := t.dfSearch(n.entries[b.idx].child, q, acc, stats); err != nil {
+		if err := e.dfSearch(n.entries[b.idx].child, q, acc); err != nil {
 			return err
 		}
 	}
@@ -166,35 +191,40 @@ func (t *Tree) dfSearch(id storage.PageID, q signature.Signature, acc *knnAccumu
 // q — the variant of Figure 4 with "<" relaxed to "≤" that the paper
 // sketches for retrieving all ties.
 func (t *Tree) AllNearestNeighbors(q signature.Signature) ([]Neighbor, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var stats QueryStats
-	if err := t.checkQuerySignature(q); err != nil {
-		return nil, stats, err
-	}
-	if t.root == storage.InvalidPage {
-		return nil, stats, nil
-	}
-	best := math.Inf(1)
-	var out []Neighbor
-	if err := t.dfSearchAll(t.root, q, &best, &out, &stats); err != nil {
-		return nil, stats, err
-	}
-	sortNeighbors(out)
-	return out, stats, nil
+	return t.AllNearestNeighborsContext(context.Background(), q)
 }
 
-func (t *Tree) dfSearchAll(id storage.PageID, q signature.Signature, best *float64, out *[]Neighbor, stats *QueryStats) error {
-	n, err := t.readNode(id)
+// AllNearestNeighborsContext is AllNearestNeighbors with cancellation.
+func (t *Tree) AllNearestNeighborsContext(ctx context.Context, q signature.Signature) ([]Neighbor, QueryStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if t.root == storage.InvalidPage {
+		return nil, QueryStats{}, nil
+	}
+	e := t.newExec(ctx)
+	best := math.Inf(1)
+	var out []Neighbor
+	if err := e.dfSearchAll(t.root, q, &best, &out); err != nil {
+		return nil, e.stats, e.finish(err)
+	}
+	sortNeighbors(out)
+	for _, nb := range out {
+		e.result(nb.TID, nb.Dist)
+	}
+	return out, e.stats, e.finish(nil)
+}
+
+func (e *executor) dfSearchAll(id storage.PageID, q signature.Signature, best *float64, out *[]Neighbor) error {
+	n, err := e.visit(id)
 	if err != nil {
 		return err
 	}
-	stats.NodesAccessed++
 	if n.leaf {
-		stats.LeavesAccessed++
 		for i := range n.entries {
-			stats.DataCompared++
-			d := t.opts.distance(q, n.entries[i].sig)
+			d := e.compare(q, n.entries[i].sig)
 			switch {
 			case d < *best:
 				*best = d
@@ -206,11 +236,13 @@ func (t *Tree) dfSearchAll(id storage.PageID, q signature.Signature, best *float
 		}
 		return nil
 	}
-	for _, b := range t.orderBranches(n, q, stats) {
+	branches := e.orderBranches(n, q)
+	for bi, b := range branches {
 		if b.minDist > *best {
+			e.pruneFrom(n, branches, bi)
 			break
 		}
-		if err := t.dfSearchAll(n.entries[b.idx].child, q, best, out, stats); err != nil {
+		if err := e.dfSearchAll(n.entries[b.idx].child, q, best, out); err != nil {
 			return err
 		}
 	}
@@ -250,35 +282,38 @@ func (h *nodePQ) Pop() interface{} {
 // the cost of the queue bookkeeping — the trade-off Section 4.1 discusses
 // against the simpler depth-first algorithm.
 func (t *Tree) KNNBestFirst(q signature.Signature, k int) ([]Neighbor, QueryStats, error) {
+	return t.KNNBestFirstContext(context.Background(), q, k)
+}
+
+// KNNBestFirstContext is KNNBestFirst with cancellation.
+func (t *Tree) KNNBestFirstContext(ctx context.Context, q signature.Signature, k int) ([]Neighbor, QueryStats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var stats QueryStats
 	if err := t.checkQuerySignature(q); err != nil {
-		return nil, stats, err
+		return nil, QueryStats{}, err
 	}
 	if k < 1 {
-		return nil, stats, fmt.Errorf("core: k = %d < 1", k)
+		return nil, QueryStats{}, fmt.Errorf("core: k = %d < 1", k)
 	}
 	if t.root == storage.InvalidPage {
-		return nil, stats, nil
+		return nil, QueryStats{}, nil
 	}
+	e := t.newExec(ctx)
 	acc := &knnAccumulator{k: k}
 	pq := &nodePQ{{id: t.root, minDist: 0}}
 	for pq.Len() > 0 {
 		item := heap.Pop(pq).(pqItem)
 		if item.minDist >= acc.bound() {
-			break
+			e.prune(item.id, item.minDist)
+			continue
 		}
-		n, err := t.readNode(item.id)
+		n, err := e.visit(item.id)
 		if err != nil {
-			return nil, stats, err
+			return nil, e.stats, e.finish(err)
 		}
-		stats.NodesAccessed++
 		if n.leaf {
-			stats.LeavesAccessed++
 			for i := range n.entries {
-				stats.DataCompared++
-				d := t.opts.distance(q, n.entries[i].sig)
+				d := e.compare(q, n.entries[i].sig)
 				if d < acc.bound() {
 					acc.offer(Neighbor{TID: n.entries[i].tid, Dist: d})
 				}
@@ -286,16 +321,21 @@ func (t *Tree) KNNBestFirst(q signature.Signature, k int) ([]Neighbor, QueryStat
 			continue
 		}
 		for i := range n.entries {
-			stats.EntriesTested++
-			md := t.entryMinDist(q, &n.entries[i])
+			md := e.bound(q, &n.entries[i])
 			if md < acc.bound() {
 				heap.Push(pq, pqItem{
 					id:      n.entries[i].child,
 					minDist: md,
 					area:    n.entries[i].sig.Area(),
 				})
+			} else {
+				e.prune(n.entries[i].child, md)
 			}
 		}
 	}
-	return acc.results(), stats, nil
+	res := acc.results()
+	for _, nb := range res {
+		e.result(nb.TID, nb.Dist)
+	}
+	return res, e.stats, e.finish(nil)
 }

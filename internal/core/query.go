@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,6 +25,9 @@ type QueryStats struct {
 	DataCompared int
 	// EntriesTested counts directory entries for which a bound was computed.
 	EntriesTested int
+	// EntriesPruned counts directory entries whose subtrees were skipped
+	// because the bound (or predicate) excluded them.
+	EntriesPruned int
 }
 
 func (s *QueryStats) add(o QueryStats) {
@@ -31,6 +35,7 @@ func (s *QueryStats) add(o QueryStats) {
 	s.LeavesAccessed += o.LeavesAccessed
 	s.DataCompared += o.DataCompared
 	s.EntriesTested += o.EntriesTested
+	s.EntriesPruned += o.EntriesPruned
 }
 
 // Neighbor is one similarity-search result.
@@ -39,7 +44,7 @@ type Neighbor struct {
 	Dist float64
 }
 
-// byDistThenTID orders neighbors by distance, breaking ties by TID so
+// sortNeighbors orders neighbors by distance, breaking ties by TID so
 // results are deterministic.
 func sortNeighbors(ns []Neighbor) {
 	sort.Slice(ns, func(i, j int) bool {
@@ -63,90 +68,36 @@ func (t *Tree) checkQuerySignature(q signature.Signature) error {
 // exact; with a hashed mapping it is a candidate set without false
 // negatives.
 func (t *Tree) Containment(q signature.Signature) ([]dataset.TID, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var stats QueryStats
-	if err := t.checkQuerySignature(q); err != nil {
-		return nil, stats, err
-	}
-	var out []dataset.TID
-	if t.root == storage.InvalidPage {
-		return nil, stats, nil
-	}
-	err := t.walkContainment(t.root, q, &out, &stats)
-	return out, stats, err
+	return t.ContainmentContext(context.Background(), q)
 }
 
-func (t *Tree) walkContainment(id storage.PageID, q signature.Signature, out *[]dataset.TID, stats *QueryStats) error {
-	n, err := t.readNode(id)
-	if err != nil {
-		return err
+// ContainmentContext is Containment with cancellation: the traversal
+// checks ctx at every node and on abort returns ctx's error with the
+// partial-work stats accumulated so far.
+func (t *Tree) ContainmentContext(ctx context.Context, q signature.Signature) ([]dataset.TID, QueryStats, error) {
+	p := predicate{
+		descend: func(cover signature.Signature) bool {
+			// Only subtrees whose cover includes every query bit can hold
+			// a superset of q.
+			return cover.Covers(q)
+		},
+		match: func(data signature.Signature) bool { return data.Covers(q) },
 	}
-	stats.NodesAccessed++
-	if n.leaf {
-		stats.LeavesAccessed++
-		for i := range n.entries {
-			stats.DataCompared++
-			if n.entries[i].sig.Covers(q) {
-				*out = append(*out, n.entries[i].tid)
-			}
-		}
-		return nil
-	}
-	for i := range n.entries {
-		stats.EntriesTested++
-		// Only subtrees whose cover includes every query bit can hold a
-		// superset of q.
-		if n.entries[i].sig.Covers(q) {
-			if err := t.walkContainment(n.entries[i].child, q, out, stats); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return t.predicateQuery(ctx, q, p)
 }
 
 // Exact returns the ids of all indexed signatures exactly equal to q.
 func (t *Tree) Exact(q signature.Signature) ([]dataset.TID, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var stats QueryStats
-	if err := t.checkQuerySignature(q); err != nil {
-		return nil, stats, err
-	}
-	var out []dataset.TID
-	if t.root == storage.InvalidPage {
-		return nil, stats, nil
-	}
-	err := t.walkExact(t.root, q, &out, &stats)
-	return out, stats, err
+	return t.ExactContext(context.Background(), q)
 }
 
-func (t *Tree) walkExact(id storage.PageID, q signature.Signature, out *[]dataset.TID, stats *QueryStats) error {
-	n, err := t.readNode(id)
-	if err != nil {
-		return err
+// ExactContext is Exact with cancellation (see ContainmentContext).
+func (t *Tree) ExactContext(ctx context.Context, q signature.Signature) ([]dataset.TID, QueryStats, error) {
+	p := predicate{
+		descend: func(cover signature.Signature) bool { return cover.Covers(q) },
+		match:   func(data signature.Signature) bool { return data.Equal(q.Bitset) },
 	}
-	stats.NodesAccessed++
-	if n.leaf {
-		stats.LeavesAccessed++
-		for i := range n.entries {
-			stats.DataCompared++
-			if n.entries[i].sig.Equal(q.Bitset) {
-				*out = append(*out, n.entries[i].tid)
-			}
-		}
-		return nil
-	}
-	for i := range n.entries {
-		stats.EntriesTested++
-		if n.entries[i].sig.Covers(q) {
-			if err := t.walkExact(n.entries[i].child, q, out, stats); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return t.predicateQuery(ctx, q, p)
 }
 
 // Subset returns the ids of all indexed signatures that are subsets of q.
@@ -155,98 +106,69 @@ func (t *Tree) walkExact(id storage.PageID, q signature.Signature, out *[]datase
 // cover shares nothing with q — and inverted indexes are preferable; the
 // method exists for completeness and for the comparison benchmarks.
 func (t *Tree) Subset(q signature.Signature) ([]dataset.TID, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var stats QueryStats
-	if err := t.checkQuerySignature(q); err != nil {
-		return nil, stats, err
-	}
-	var out []dataset.TID
-	if t.root == storage.InvalidPage {
-		return nil, stats, nil
-	}
-	err := t.walkSubset(t.root, q, &out, &stats)
-	return out, stats, err
+	return t.SubsetContext(context.Background(), q)
 }
 
-func (t *Tree) walkSubset(id storage.PageID, q signature.Signature, out *[]dataset.TID, stats *QueryStats) error {
-	n, err := t.readNode(id)
-	if err != nil {
-		return err
+// SubsetContext is Subset with cancellation (see ContainmentContext).
+func (t *Tree) SubsetContext(ctx context.Context, q signature.Signature) ([]dataset.TID, QueryStats, error) {
+	p := predicate{
+		descend: func(cover signature.Signature) bool {
+			// A subtree may contain a subset of q unless its cover is fully
+			// disjoint from q (only the empty set would qualify, and indexed
+			// signatures are non-empty in practice — but stay safe and prune
+			// only when the subtree cannot contain any t ⊆ q with t ≠ ∅).
+			return cover.Intersects(q.Bitset)
+		},
+		match: func(data signature.Signature) bool { return q.Covers(data) },
 	}
-	stats.NodesAccessed++
-	if n.leaf {
-		stats.LeavesAccessed++
-		for i := range n.entries {
-			stats.DataCompared++
-			if q.Covers(n.entries[i].sig) {
-				*out = append(*out, n.entries[i].tid)
-			}
-		}
-		return nil
+	return t.predicateQuery(ctx, q, p)
+}
+
+// predicateQuery runs one boolean query through the executor.
+func (t *Tree) predicateQuery(ctx context.Context, q signature.Signature, p predicate) ([]dataset.TID, QueryStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, QueryStats{}, err
 	}
-	for i := range n.entries {
-		stats.EntriesTested++
-		// A subtree may contain a subset of q unless its cover is fully
-		// disjoint from q (only the empty set would qualify, and indexed
-		// signatures are non-empty in practice — but stay safe and prune
-		// only when the subtree cannot contain any t ⊆ q with t ≠ ∅).
-		if n.entries[i].sig.Intersects(q.Bitset) {
-			if err := t.walkSubset(n.entries[i].child, q, out, stats); err != nil {
-				return err
-			}
-		}
+	if t.root == storage.InvalidPage {
+		return nil, QueryStats{}, nil
 	}
-	return nil
+	e := t.newExec(ctx)
+	var out []dataset.TID
+	if err := e.finish(e.predicateWalk(t.root, p, &out)); err != nil {
+		return nil, e.stats, err
+	}
+	return out, e.stats, nil
 }
 
 // RangeSearch returns every indexed signature within distance eps of q
 // under the tree's metric, sorted by distance. Subtrees are pruned with
 // the same lower bound the NN search uses (Section 4.1).
 func (t *Tree) RangeSearch(q signature.Signature, eps float64) ([]Neighbor, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var stats QueryStats
-	if err := t.checkQuerySignature(q); err != nil {
-		return nil, stats, err
-	}
-	if eps < 0 {
-		return nil, stats, fmt.Errorf("core: negative range %v", eps)
-	}
-	var out []Neighbor
-	if t.root == storage.InvalidPage {
-		return nil, stats, nil
-	}
-	if err := t.walkRange(t.root, q, eps, &out, &stats); err != nil {
-		return nil, stats, err
-	}
-	sortNeighbors(out)
-	return out, stats, nil
+	return t.RangeSearchContext(context.Background(), q, eps)
 }
 
-func (t *Tree) walkRange(id storage.PageID, q signature.Signature, eps float64, out *[]Neighbor, stats *QueryStats) error {
-	n, err := t.readNode(id)
-	if err != nil {
-		return err
+// RangeSearchContext is RangeSearch with cancellation: the traversal
+// checks ctx at every node and on abort returns ctx's error with the
+// partial-work stats accumulated so far.
+func (t *Tree) RangeSearchContext(ctx context.Context, q signature.Signature, eps float64) ([]Neighbor, QueryStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.checkQuerySignature(q); err != nil {
+		return nil, QueryStats{}, err
 	}
-	stats.NodesAccessed++
-	if n.leaf {
-		stats.LeavesAccessed++
-		for i := range n.entries {
-			stats.DataCompared++
-			if d := t.opts.distance(q, n.entries[i].sig); d <= eps {
-				*out = append(*out, Neighbor{TID: n.entries[i].tid, Dist: d})
-			}
-		}
-		return nil
+	if eps < 0 {
+		return nil, QueryStats{}, fmt.Errorf("core: negative range %v", eps)
 	}
-	for i := range n.entries {
-		stats.EntriesTested++
-		if t.entryMinDist(q, &n.entries[i]) <= eps {
-			if err := t.walkRange(n.entries[i].child, q, eps, out, stats); err != nil {
-				return err
-			}
-		}
+	if t.root == storage.InvalidPage {
+		return nil, QueryStats{}, nil
 	}
-	return nil
+	e := t.newExec(ctx)
+	var out []Neighbor
+	if err := e.finish(e.rangeWalk(t.root, q, eps, &out)); err != nil {
+		return nil, e.stats, err
+	}
+	sortNeighbors(out)
+	return out, e.stats, nil
 }

@@ -21,6 +21,12 @@ type Tree struct {
 	layout nodeLayout
 	pool   *storage.BufferPool
 
+	// observer receives traversal events from every query (see SetObserver);
+	// guarded by mu. counters accumulate across queries atomically, since
+	// many queries run concurrently under the read lock.
+	observer Observer
+	counters treeCounters
+
 	metaPage storage.PageID
 	root     storage.PageID // InvalidPage for an empty tree
 	height   int            // levels; 1 = root is a leaf; 0 = empty

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sgtree/internal/dataset"
 	"sgtree/internal/signature"
 	"sgtree/internal/storage"
@@ -13,17 +15,24 @@ import (
 // Walk is the export path: Walk + BulkLoad round-trips a tree (e.g. to
 // rebuild it with different options or compact it after heavy deletion).
 func (t *Tree) Walk(fn func(sig signature.Signature, tid dataset.TID) bool) error {
+	return t.WalkContext(context.Background(), fn)
+}
+
+// WalkContext is Walk with cancellation: the traversal checks ctx at every
+// node and returns its error on abort.
+func (t *Tree) WalkContext(ctx context.Context, fn func(sig signature.Signature, tid dataset.TID) bool) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.root == storage.InvalidPage {
 		return nil
 	}
-	_, err := t.walkRec(t.root, fn)
-	return err
+	e := t.newExec(ctx)
+	_, err := e.walkRec(t.root, fn)
+	return e.finish(err)
 }
 
-func (t *Tree) walkRec(id storage.PageID, fn func(signature.Signature, dataset.TID) bool) (bool, error) {
-	n, err := t.readNode(id)
+func (e *executor) walkRec(id storage.PageID, fn func(signature.Signature, dataset.TID) bool) (bool, error) {
+	n, err := e.visit(id)
 	if err != nil {
 		return false, err
 	}
@@ -36,7 +45,7 @@ func (t *Tree) walkRec(id storage.PageID, fn func(signature.Signature, dataset.T
 		return true, nil
 	}
 	for i := range n.entries {
-		cont, err := t.walkRec(n.entries[i].child, fn)
+		cont, err := e.walkRec(n.entries[i].child, fn)
 		if err != nil || !cont {
 			return cont, err
 		}
@@ -48,8 +57,13 @@ func (t *Tree) walkRec(id storage.PageID, fn func(signature.Signature, dataset.T
 // leaf order. Feeding the result to BulkLoad on a fresh tree reproduces the
 // content.
 func (t *Tree) Export() ([]BulkItem, error) {
+	return t.ExportContext(context.Background())
+}
+
+// ExportContext is Export with cancellation.
+func (t *Tree) ExportContext(ctx context.Context) ([]BulkItem, error) {
 	items := make([]BulkItem, 0, t.Len())
-	err := t.Walk(func(sig signature.Signature, tid dataset.TID) bool {
+	err := t.WalkContext(ctx, func(sig signature.Signature, tid dataset.TID) bool {
 		items = append(items, BulkItem{Sig: sig.Clone(), TID: tid})
 		return true
 	})

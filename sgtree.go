@@ -22,6 +22,7 @@
 package sgtree
 
 import (
+	"context"
 	"fmt"
 
 	"sgtree/internal/core"
@@ -164,10 +165,34 @@ type Stats struct {
 	NodesAccessed int
 	// DataCompared counts stored sets compared with the query.
 	DataCompared int
+	// EntriesPruned counts directory entries whose subtrees were skipped.
+	EntriesPruned int
 }
 
 func toStats(s core.QueryStats) Stats {
-	return Stats{NodesAccessed: s.NodesAccessed, DataCompared: s.DataCompared}
+	return Stats{NodesAccessed: s.NodesAccessed, DataCompared: s.DataCompared, EntriesPruned: s.EntriesPruned}
+}
+
+// PageID identifies a tree page in observer events.
+type PageID = storage.PageID
+
+// Observer receives per-query traversal events (node visits, prunes,
+// results, completion); see core.Observer for the hook semantics. Attach
+// one per-index with SetObserver or per-query with WithObserver.
+type Observer = core.Observer
+
+// FuncObserver adapts optional callbacks to the Observer interface.
+type FuncObserver = core.FuncObserver
+
+// Counters is a snapshot of an index's cumulative query-execution
+// counters (queries served, nodes read, entries pruned, data compared,
+// cancellations), maintained atomically across concurrent queries.
+type Counters = core.Counters
+
+// WithObserver attaches a per-query observer to a context; every query
+// executed with the returned context reports its traversal events to obs.
+func WithObserver(ctx context.Context, obs Observer) context.Context {
+	return core.WithObserver(ctx, obs)
 }
 
 func toMatches(ns []core.Neighbor) []Match {
@@ -319,77 +344,186 @@ func (ix *Index) BulkLoad(items []Item) error {
 
 // KNN returns the k nearest sets to the query under the configured metric.
 func (ix *Index) KNN(query []int, k int) ([]Match, Stats, error) {
+	return ix.KNNContext(context.Background(), query, k)
+}
+
+// KNNContext is KNN with cancellation: the traversal checks ctx at every
+// index node and on abort returns ctx's error together with the
+// partial-work stats accumulated so far.
+func (ix *Index) KNNContext(ctx context.Context, query []int, k int) ([]Match, Stats, error) {
 	s, err := ix.sig(query)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	res, st, err := ix.tree.KNN(s, k)
+	res, st, err := ix.tree.KNNContext(ctx, s, k)
 	return toMatches(res), toStats(st), err
 }
 
 // NearestNeighbor returns the single closest set; it errors when empty.
 func (ix *Index) NearestNeighbor(query []int) (Match, Stats, error) {
+	return ix.NearestNeighborContext(context.Background(), query)
+}
+
+// NearestNeighborContext is NearestNeighbor with cancellation.
+func (ix *Index) NearestNeighborContext(ctx context.Context, query []int) (Match, Stats, error) {
 	s, err := ix.sig(query)
 	if err != nil {
 		return Match{}, Stats{}, err
 	}
-	res, st, err := ix.tree.NearestNeighbor(s)
+	res, st, err := ix.tree.NearestNeighborContext(ctx, s)
 	return Match{ID: uint32(res.TID), Distance: res.Dist}, toStats(st), err
 }
 
 // RangeSearch returns every set within distance eps of the query.
 func (ix *Index) RangeSearch(query []int, eps float64) ([]Match, Stats, error) {
+	return ix.RangeSearchContext(context.Background(), query, eps)
+}
+
+// RangeSearchContext is RangeSearch with cancellation.
+func (ix *Index) RangeSearchContext(ctx context.Context, query []int, eps float64) ([]Match, Stats, error) {
 	s, err := ix.sig(query)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	res, st, err := ix.tree.RangeSearch(s, eps)
+	res, st, err := ix.tree.RangeSearchContext(ctx, s, eps)
 	return toMatches(res), toStats(st), err
 }
 
 // Containing returns the ids of all sets that contain every query item.
 // With a hashed signature the result may include false positives.
 func (ix *Index) Containing(items []int) ([]uint32, Stats, error) {
+	return ix.ContainingContext(context.Background(), items)
+}
+
+// ContainingContext is Containing with cancellation.
+func (ix *Index) ContainingContext(ctx context.Context, items []int) ([]uint32, Stats, error) {
 	s, err := ix.sig(items)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	ids, st, err := ix.tree.Containment(s)
+	ids, st, err := ix.tree.ContainmentContext(ctx, s)
 	return toIDs(ids), toStats(st), err
 }
 
 // SubsetsOf returns the ids of all sets that are subsets of the query set.
 func (ix *Index) SubsetsOf(items []int) ([]uint32, Stats, error) {
+	return ix.SubsetsOfContext(context.Background(), items)
+}
+
+// SubsetsOfContext is SubsetsOf with cancellation.
+func (ix *Index) SubsetsOfContext(ctx context.Context, items []int) ([]uint32, Stats, error) {
 	s, err := ix.sig(items)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	ids, st, err := ix.tree.Subset(s)
+	ids, st, err := ix.tree.SubsetContext(ctx, s)
 	return toIDs(ids), toStats(st), err
 }
 
 // ExactMatch returns the ids of all sets exactly equal to the query set.
 func (ix *Index) ExactMatch(items []int) ([]uint32, Stats, error) {
+	return ix.ExactMatchContext(context.Background(), items)
+}
+
+// ExactMatchContext is ExactMatch with cancellation.
+func (ix *Index) ExactMatchContext(ctx context.Context, items []int) ([]uint32, Stats, error) {
 	s, err := ix.sig(items)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	ids, st, err := ix.tree.Exact(s)
+	ids, st, err := ix.tree.ExactContext(ctx, s)
 	return toIDs(ids), toStats(st), err
 }
 
 // SimilarityJoin returns all cross pairs within eps between two indexes
 // (or all unordered pairs when joined with itself).
 func (ix *Index) SimilarityJoin(other *Index, eps float64) ([]Pair, Stats, error) {
-	pairs, st, err := ix.tree.SimilarityJoin(other.tree, eps)
+	return ix.SimilarityJoinContext(context.Background(), other, eps)
+}
+
+// SimilarityJoinContext is SimilarityJoin with cancellation.
+func (ix *Index) SimilarityJoinContext(ctx context.Context, other *Index, eps float64) ([]Pair, Stats, error) {
+	pairs, st, err := ix.tree.SimilarityJoinContext(ctx, other.tree, eps)
 	return toPairs(pairs), toStats(st), err
 }
 
 // ClosestPairs returns the k closest pairs between two indexes.
 func (ix *Index) ClosestPairs(other *Index, k int) ([]Pair, Stats, error) {
-	pairs, st, err := ix.tree.ClosestPairs(other.tree, k)
+	return ix.ClosestPairsContext(context.Background(), other, k)
+}
+
+// ClosestPairsContext is ClosestPairs with cancellation.
+func (ix *Index) ClosestPairsContext(ctx context.Context, other *Index, k int) ([]Pair, Stats, error) {
+	pairs, st, err := ix.tree.ClosestPairsContext(ctx, other.tree, k)
 	return toPairs(pairs), toStats(st), err
 }
+
+// BatchResult is the outcome of one query in a batch call: its matches,
+// per-query stats, and error (nil on success).
+type BatchResult struct {
+	Matches []Match
+	Stats   Stats
+	Err     error
+}
+
+// BatchKNN answers the k-NN query for every query set in parallel, fanning
+// the batch across a worker pool (workers <= 0 means GOMAXPROCS) that
+// shares the index's buffer pool. Results align with queries by index. An
+// invalid query set fails the whole batch up front, before any work is
+// scheduled; a failure during execution is recorded in its slot without
+// stopping the batch; a context cancellation aborts the whole batch and is
+// returned.
+func (ix *Index) BatchKNN(ctx context.Context, queries [][]int, k, workers int) ([]BatchResult, error) {
+	sigs, out, err := ix.batchSigs(queries)
+	if err != nil {
+		return out, err
+	}
+	res, err := ix.tree.BatchNN(ctx, sigs, k, workers)
+	for i, r := range res {
+		out[i] = BatchResult{Matches: toMatches(r.Neighbors), Stats: toStats(r.Stats), Err: r.Err}
+	}
+	return out, err
+}
+
+// BatchRangeSearch answers the range query for every query set in
+// parallel, with the same worker-pool and error semantics as BatchKNN.
+func (ix *Index) BatchRangeSearch(ctx context.Context, queries [][]int, eps float64, workers int) ([]BatchResult, error) {
+	sigs, out, err := ix.batchSigs(queries)
+	if err != nil {
+		return out, err
+	}
+	res, err := ix.tree.BatchRangeQuery(ctx, sigs, eps, workers)
+	for i, r := range res {
+		out[i] = BatchResult{Matches: toMatches(r.Neighbors), Stats: toStats(r.Stats), Err: r.Err}
+	}
+	return out, err
+}
+
+// batchSigs maps every query item set to its signature up front, so an
+// invalid item fails the batch before any work is scheduled.
+func (ix *Index) batchSigs(queries [][]int) ([]signature.Signature, []BatchResult, error) {
+	sigs := make([]signature.Signature, len(queries))
+	out := make([]BatchResult, len(queries))
+	for i, q := range queries {
+		s, err := ix.sig(q)
+		if err != nil {
+			return nil, nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		sigs[i] = s
+	}
+	return sigs, out, nil
+}
+
+// SetObserver installs (or, with nil, removes) an index-level observer
+// receiving traversal events from every query.
+func (ix *Index) SetObserver(obs Observer) { ix.tree.SetObserver(obs) }
+
+// Counters returns a snapshot of the index's cumulative query-execution
+// counters.
+func (ix *Index) Counters() Counters { return ix.tree.Counters() }
+
+// ResetCounters zeroes the cumulative query counters.
+func (ix *Index) ResetCounters() { ix.tree.ResetCounters() }
 
 // JoinMatch is one row of a k-NN join: a left-index id and its nearest
 // neighbors in the right index.
@@ -402,7 +536,12 @@ type JoinMatch struct {
 // (all-nearest-neighbors). Joining an index with itself excludes each
 // item's own id.
 func (ix *Index) NNJoin(other *Index, k int) ([]JoinMatch, Stats, error) {
-	rows, st, err := ix.tree.NNJoin(other.tree, k)
+	return ix.NNJoinContext(context.Background(), other, k)
+}
+
+// NNJoinContext is NNJoin with cancellation.
+func (ix *Index) NNJoinContext(ctx context.Context, other *Index, k int) ([]JoinMatch, Stats, error) {
+	rows, st, err := ix.tree.NNJoinContext(ctx, other.tree, k)
 	if err != nil {
 		return nil, toStats(st), err
 	}
@@ -436,7 +575,14 @@ type NeighborIterator struct {
 
 // Next returns the next match; ok is false when the index is exhausted.
 func (n *NeighborIterator) Next() (Match, bool, error) {
-	nb, ok, err := n.it.Next()
+	return n.NextContext(context.Background())
+}
+
+// NextContext is Next with cancellation: node reads performed while
+// advancing check ctx, and an aborted call returns its error; the iterator
+// remains usable afterwards.
+func (n *NeighborIterator) NextContext(ctx context.Context) (Match, bool, error) {
+	nb, ok, err := n.it.NextContext(ctx)
 	if !ok || err != nil {
 		return Match{}, false, err
 	}

@@ -1,0 +1,123 @@
+package sgtree
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func buildCtxIndex(t *testing.T) (*Index, [][]int) {
+	t.Helper()
+	ix, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]Item, 300)
+	sets := make([][]int, len(items))
+	for i := range items {
+		sets[i] = []int{i % 100, (i * 3) % 100, (i*7 + 1) % 100, (i*11 + 2) % 100}
+		items[i] = Item{ID: uint32(i), Items: sets[i]}
+	}
+	if err := ix.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	return ix, sets
+}
+
+func TestContextVariantsFacade(t *testing.T) {
+	ix, sets := buildCtxIndex(t)
+	ctx := context.Background()
+
+	// Each Context variant must agree with its plain counterpart.
+	if got, _, err := ix.KNNContext(ctx, sets[5], 3); err != nil {
+		t.Fatal(err)
+	} else if want, _, _ := ix.KNN(sets[5], 3); !reflect.DeepEqual(got, want) {
+		t.Errorf("KNNContext %v != KNN %v", got, want)
+	}
+	if got, _, err := ix.RangeSearchContext(ctx, sets[5], 2); err != nil {
+		t.Fatal(err)
+	} else if want, _, _ := ix.RangeSearch(sets[5], 2); !reflect.DeepEqual(got, want) {
+		t.Errorf("RangeSearchContext %v != RangeSearch %v", got, want)
+	}
+	if got, _, err := ix.ContainingContext(ctx, sets[5][:2]); err != nil {
+		t.Fatal(err)
+	} else if want, _, _ := ix.Containing(sets[5][:2]); !reflect.DeepEqual(got, want) {
+		t.Errorf("ContainingContext %v != Containing %v", got, want)
+	}
+
+	// Cancellation propagates out of the facade.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := ix.KNNContext(cancelled, sets[0], 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("KNNContext on cancelled ctx: %v", err)
+	}
+	if _, _, err := ix.ExactMatchContext(cancelled, sets[0]); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExactMatchContext on cancelled ctx: %v", err)
+	}
+}
+
+func TestBatchFacade(t *testing.T) {
+	ix, sets := buildCtxIndex(t)
+	ctx := context.Background()
+	queries := sets[:25]
+
+	res, err := ix.BatchKNN(ctx, queries, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(res), len(queries))
+	}
+	for i, q := range queries {
+		want, _, err := ix.KNN(q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[i].Err != nil || !reflect.DeepEqual(res[i].Matches, want) {
+			t.Errorf("BatchKNN %d: got (%v, %v) want %v", i, res[i].Matches, res[i].Err, want)
+		}
+	}
+
+	rg, err := ix.BatchRangeSearch(ctx, queries, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want, _, err := ix.RangeSearch(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rg[i].Err != nil || !reflect.DeepEqual(rg[i].Matches, want) {
+			t.Errorf("BatchRangeSearch %d: got (%v, %v) want %v", i, rg[i].Matches, rg[i].Err, want)
+		}
+	}
+
+	// An invalid member query fails the batch up front, before any work is
+	// scheduled.
+	bad := append(append([][]int{}, queries[:2]...), []int{999999})
+	if _, err := ix.BatchKNN(ctx, bad, 4, 2); err == nil {
+		t.Error("out-of-universe batch member accepted")
+	}
+}
+
+func TestObserverAndCountersFacade(t *testing.T) {
+	ix, sets := buildCtxIndex(t)
+	ix.ResetCounters()
+
+	visits := 0
+	ix.SetObserver(&FuncObserver{NodeVisit: func(_ PageID, _ bool) { visits++ }})
+	defer ix.SetObserver(nil)
+
+	_, st, err := ix.KNN(sets[3], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visits != st.NodesAccessed {
+		t.Errorf("observer saw %d visits, stats %d", visits, st.NodesAccessed)
+	}
+	c := ix.Counters()
+	if c.Queries != 1 || c.NodesRead != int64(st.NodesAccessed) {
+		t.Errorf("counters %+v after one query with %d node reads", c, st.NodesAccessed)
+	}
+}
