@@ -1,10 +1,11 @@
 # Verification lanes. `make check` is the full pre-merge gate:
 # vet + the regular test suite + the race-detector lane that exercises
-# the concurrent batch engine against live insert traffic.
+# the concurrent batch engine against live insert traffic + the crash
+# lane that re-runs the WAL crash/recovery sweep several times.
 
 GO ?= go
 
-.PHONY: build test vet race check fmt bench
+.PHONY: build test vet race crash fuzz check fmt bench
 
 build:
 	$(GO) build ./...
@@ -21,7 +22,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet test race
+# The crash lane severs the write stream at points swept across a
+# randomized insert/delete workload and asserts that WAL recovery restores
+# an equivalent tree every time. Repeated runs vary scheduling around the
+# crash points.
+crash:
+	$(GO) test -run Crash -count=3 ./internal/storage/...
+
+# Short fuzz passes over every fuzz target (codec decoding, dataset
+# parsing, WAL replay). Each target needs its own invocation: go test
+# accepts a single -fuzz pattern per run.
+fuzz:
+	$(GO) test -fuzz FuzzCodecDecode -fuzztime 5s -run '^$$' ./internal/signature
+	$(GO) test -fuzz FuzzReadDataset -fuzztime 5s -run '^$$' ./internal/dataset
+	$(GO) test -fuzz FuzzWALReplay -fuzztime 5s -run '^$$' ./internal/storage
+
+check: vet test race crash
 
 fmt:
 	gofmt -l .

@@ -203,6 +203,37 @@ func TestToolExportCommand(t *testing.T) {
 	}
 }
 
+func TestToolDurableBuildAndRecover(t *testing.T) {
+	dataPath, q := writeTestData(t)
+	indexPath := filepath.Join(t.TempDir(), "durable.sgt")
+
+	out, errs, code := runTool(t, "build", "-data", dataPath, "-index", indexPath, "-durable")
+	if code != 0 {
+		t.Fatalf("durable build failed: %s", errs)
+	}
+	if !strings.Contains(out, "wal:") {
+		t.Errorf("durable build should report WAL activity, got: %s", out)
+	}
+
+	// Recovery on a cleanly built index is a no-op that still verifies it.
+	out, errs, code = runTool(t, "recover", "-data", dataPath, "-index", indexPath)
+	if code != 0 {
+		t.Fatalf("recover failed: %s", errs)
+	}
+	if !strings.Contains(out, "ok: recovered index with 400 entries") {
+		t.Errorf("recover output: %s", out)
+	}
+
+	// The recovered index answers queries.
+	out, errs, code = runTool(t, "knn", "-data", dataPath, "-index", indexPath, "-k", "3", "-query", queryArg(q))
+	if code != 0 {
+		t.Fatalf("knn after recover failed: %s", errs)
+	}
+	if !strings.Contains(out, "3 neighbors") {
+		t.Errorf("knn output: %s", out)
+	}
+}
+
 func TestToolErrors(t *testing.T) {
 	dataPath, _ := writeTestData(t)
 	indexPath := filepath.Join(t.TempDir(), "x.sgt")

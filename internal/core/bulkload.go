@@ -38,57 +38,59 @@ func (t *Tree) BulkLoad(items []BulkItem) error {
 			return fmt.Errorf("core: bulk item %d: %w", i, err)
 		}
 	}
-	if t.root != storage.InvalidPage {
-		if _, err := t.dismantle(t.root); err != nil {
-			return err
+	return t.runUpdate(func() error {
+		if t.root != storage.InvalidPage {
+			if _, err := t.dismantle(t.root); err != nil {
+				return err
+			}
+			t.root = storage.InvalidPage
+			t.height = 0
+			t.count = 0
 		}
-		t.root = storage.InvalidPage
-		t.height = 0
-		t.count = 0
-	}
-	if len(items) == 0 {
-		return nil
-	}
-
-	// Sort by gray-code rank.
-	keys := make([]grayKey, len(items))
-	for i := range items {
-		keys[i] = grayCodeKey(items[i].Sig)
-	}
-	order := make([]int, len(items))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return compareGrayKeys(keys[order[a]], keys[order[b]]) < 0
-	})
-
-	entries := make([]entry, len(items))
-	for i, idx := range order {
-		a := items[idx].Sig.Area()
-		entries[i] = entry{sig: items[idx].Sig.Clone(), tid: items[idx].TID, lo: a, hi: a}
-	}
-
-	level := 0
-	for {
-		nodes, err := t.packLevel(entries, level)
-		if err != nil {
-			return err
-		}
-		if len(nodes) == 1 {
-			t.root = nodes[0].id
-			t.height = level + 1
-			t.count = len(items)
+		if len(items) == 0 {
 			return nil
 		}
-		// Build the next level's entries from the packed nodes.
-		next := make([]entry, len(nodes))
-		for i, n := range nodes {
-			next[i] = n.parentEntry(t.opts.SignatureLength)
+
+		// Sort by gray-code rank.
+		keys := make([]grayKey, len(items))
+		for i := range items {
+			keys[i] = grayCodeKey(items[i].Sig)
 		}
-		entries = next
-		level++
-	}
+		order := make([]int, len(items))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return compareGrayKeys(keys[order[a]], keys[order[b]]) < 0
+		})
+
+		entries := make([]entry, len(items))
+		for i, idx := range order {
+			a := items[idx].Sig.Area()
+			entries[i] = entry{sig: items[idx].Sig.Clone(), tid: items[idx].TID, lo: a, hi: a}
+		}
+
+		level := 0
+		for {
+			nodes, err := t.packLevel(entries, level)
+			if err != nil {
+				return err
+			}
+			if len(nodes) == 1 {
+				t.root = nodes[0].id
+				t.height = level + 1
+				t.count = len(items)
+				return nil
+			}
+			// Build the next level's entries from the packed nodes.
+			next := make([]entry, len(nodes))
+			for i, n := range nodes {
+				next[i] = n.parentEntry(t.opts.SignatureLength)
+			}
+			entries = next
+			level++
+		}
+	})
 }
 
 // packLevel greedily packs entries (already in gray order) into nodes at

@@ -21,55 +21,60 @@ func (t *Tree) Delete(sig signature.Signature, tid dataset.TID) (bool, error) {
 	if t.root == storage.InvalidPage {
 		return false, nil
 	}
-	rootNode, err := t.readNode(t.root)
-	if err != nil {
-		return false, err
-	}
-	var orphans []orphan
-	found, underflow, err := t.deleteRec(rootNode, sig, tid, &orphans)
-	if err != nil {
-		return false, err
-	}
-	if !found {
-		return false, nil
-	}
-	t.count--
-	_ = underflow // the root never dissolves into an orphan; it shrinks below
-
-	// Shrink the root: a directory root with a single entry hands the tree
-	// to its only child; an empty root leaves an empty tree.
-	for {
-		rootNode, err = t.readNode(t.root)
+	var found bool
+	err := t.runUpdate(func() error {
+		rootNode, err := t.readNode(t.root)
 		if err != nil {
-			return false, err
+			return err
 		}
-		if len(rootNode.entries) == 0 {
-			if err := t.freeNode(rootNode); err != nil {
-				return false, err
-			}
-			t.root = storage.InvalidPage
-			t.height = 0
-			break
+		var orphans []orphan
+		var underflow bool
+		found, underflow, err = t.deleteRec(rootNode, sig, tid, &orphans)
+		if err != nil {
+			return err
 		}
-		if rootNode.leaf || len(rootNode.entries) > 1 {
-			break
+		if !found {
+			return nil
 		}
-		child := rootNode.entries[0].child
-		if err := t.freeNode(rootNode); err != nil {
-			return false, err
-		}
-		t.root = child
-		t.height--
-	}
+		t.count--
+		_ = underflow // the root never dissolves into an orphan; it shrinks below
 
-	// Re-insert orphaned entries. Higher levels first so leaf re-inserts
-	// land in an already-stabilized structure.
-	for i := len(orphans) - 1; i >= 0; i-- {
-		if err := t.reinsertOrphan(orphans[i]); err != nil {
-			return false, err
+		// Shrink the root: a directory root with a single entry hands the
+		// tree to its only child; an empty root leaves an empty tree.
+		for {
+			rootNode, err = t.readNode(t.root)
+			if err != nil {
+				return err
+			}
+			if len(rootNode.entries) == 0 {
+				if err := t.freeNode(rootNode); err != nil {
+					return err
+				}
+				t.root = storage.InvalidPage
+				t.height = 0
+				break
+			}
+			if rootNode.leaf || len(rootNode.entries) > 1 {
+				break
+			}
+			child := rootNode.entries[0].child
+			if err := t.freeNode(rootNode); err != nil {
+				return err
+			}
+			t.root = child
+			t.height--
 		}
-	}
-	return true, nil
+
+		// Re-insert orphaned entries. Higher levels first so leaf
+		// re-inserts land in an already-stabilized structure.
+		for i := len(orphans) - 1; i >= 0; i-- {
+			if err := t.reinsertOrphan(orphans[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return found && err == nil, err
 }
 
 // orphan is an entry whose node was dissolved, remembered with the level it

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	"sgtree/internal/dataset"
@@ -37,6 +39,244 @@ func wantInjected(t *testing.T, err error, what string) {
 	}
 	if !errors.Is(err, storage.ErrInjected) {
 		t.Fatalf("%s: error %v does not wrap the injected fault", what, err)
+	}
+}
+
+// newMatrixTree is newFaultTree with a pool large enough that update
+// rollback never needs evictions and with forced reinsertion enabled, so
+// the matrix exercises the reinsert path too.
+func newMatrixTree(t *testing.T, n int) (*Tree, *storage.FaultPager, *dataset.Dataset) {
+	t.Helper()
+	opts := testOptions(200)
+	opts.BufferPages = 256
+	opts.ForcedReinsert = true
+	fp := storage.NewFaultPager(storage.NewMemPager(opts.PageSize))
+	tr, err := NewWithPager(fp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := questData(t, n, 91)
+	m := signature.NewDirectMapper(200)
+	for i, tx := range d.Tx {
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, fp, d
+}
+
+// TestFaultMatrixUpdates sweeps every fault kind (read, write, alloc)
+// across every update operation (single insert, delete, splitting batch,
+// reinserting batch), injecting the fault at every countdown position. At
+// every position the error must surface wrapping ErrInjected, and the tree
+// must come back with its invariants intact and stay fully usable.
+func TestFaultMatrixUpdates(t *testing.T) {
+	kinds := []struct {
+		name string
+		arm  func(fp *storage.FaultPager, on bool)
+	}{
+		{"read", func(fp *storage.FaultPager, on bool) { fp.FailReads = on }},
+		{"write", func(fp *storage.FaultPager, on bool) { fp.FailWrites = on }},
+		{"alloc", func(fp *storage.FaultPager, on bool) { fp.FailAllocs = on }},
+	}
+	ops := []struct {
+		name string
+		// run performs attempt's worth of updates, returning the first error.
+		run func(tr *Tree, m signature.DirectMapper, d *dataset.Dataset, attempt int) error
+		// fires[kind] says the sweep must inject at least one fault.
+		fires map[string]bool
+	}{
+		{
+			name: "insert",
+			run: func(tr *Tree, m signature.DirectMapper, d *dataset.Dataset, attempt int) error {
+				tx := d.Tx[attempt%d.Len()]
+				return tr.Insert(signature.FromItems(m, tx), dataset.TID(50_000+attempt))
+			},
+			// A single insert rarely splits, so alloc faults may never fire.
+			fires: map[string]bool{"read": true, "write": true},
+		},
+		{
+			name: "delete",
+			run: func(tr *Tree, m signature.DirectMapper, d *dataset.Dataset, attempt int) error {
+				found, err := tr.Delete(signature.FromItems(m, d.Tx[attempt]), dataset.TID(attempt))
+				if err == nil && !found {
+					return fmt.Errorf("delete of live tid %d reported not found", attempt)
+				}
+				return err
+			},
+			fires: map[string]bool{"read": true, "write": true},
+		},
+		{
+			name: "split",
+			run: func(tr *Tree, m signature.DirectMapper, d *dataset.Dataset, attempt int) error {
+				// 30 fresh inserts guarantee node splits, hence allocations.
+				for j := 0; j < 30; j++ {
+					tx := d.Tx[(attempt*30+j)%d.Len()]
+					if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(100_000+attempt*1000+j)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			fires: map[string]bool{"read": true, "write": true, "alloc": true},
+		},
+		{
+			name: "reinsert",
+			run: func(tr *Tree, m signature.DirectMapper, d *dataset.Dataset, attempt int) error {
+				// Clustered signatures overflow one subtree, driving the
+				// forced-reinsert overflow treatment before splitting.
+				for j := 0; j < 30; j++ {
+					items := []int{1, 2, 3, 4, 5, 6, 7 + j%3}
+					if err := tr.Insert(signature.FromItems(m, items), dataset.TID(200_000+attempt*1000+j)); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			fires: map[string]bool{"read": true, "write": true, "alloc": true},
+		},
+	}
+
+	for _, kind := range kinds {
+		for _, op := range ops {
+			t.Run(kind.name+"/"+op.name, func(t *testing.T) {
+				tr, fp, d := newMatrixTree(t, 300)
+				m := signature.NewDirectMapper(200)
+				fired := false
+				attempt := 0
+				for after := 0; ; after++ {
+					if after > 400 {
+						t.Fatal("fault sweep did not terminate")
+					}
+					// Cold cache so reads reach the pager again.
+					if err := tr.pool.Clear(); err != nil {
+						t.Fatalf("after=%d: clearing cache: %v", after, err)
+					}
+					fp.Reset()
+					fp.After = after
+					kind.arm(fp, true)
+					err := op.run(tr, m, d, attempt)
+					if err == nil {
+						// The update landed (a later Sync fault does not
+						// undo it): move to fresh tids.
+						attempt++
+						if kind.name == "write" {
+							// With a large pool updates only hit the pager
+							// when flushed: write faults fire at Sync time.
+							err = tr.Sync()
+						}
+					}
+					kind.arm(fp, false)
+					if err != nil {
+						wantInjected(t, err, fmt.Sprintf("%s/%s after=%d", kind.name, op.name, after))
+						fired = true
+					}
+					if err := tr.CheckInvariants(); err != nil {
+						t.Fatalf("%s/%s after=%d: invariants violated: %v", kind.name, op.name, after, err)
+					}
+					if err == nil && !fp.Fired() {
+						break // demand < after: no later position can fire
+					}
+				}
+				if op.fires[kind.name] && !fired {
+					t.Fatalf("%s/%s: sweep never injected a fault", kind.name, op.name)
+				}
+
+				// The tree must be fully usable after the whole sweep.
+				fp.Reset()
+				if err := tr.Sync(); err != nil {
+					t.Fatalf("sync after sweep: %v", err)
+				}
+				if err := tr.Insert(signature.FromItems(m, d.Tx[0]), dataset.TID(900_000)); err != nil {
+					t.Fatalf("insert after sweep: %v", err)
+				}
+				if _, _, err := tr.KNN(signature.FromItems(m, d.Tx[0]), 3); err != nil {
+					t.Fatalf("query after sweep: %v", err)
+				}
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("final invariants: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultMatrixBatchQueries covers the query column of the matrix: read
+// faults surface as per-query errors without poisoning the batch, and
+// write/alloc faults can never fire — queries must not write.
+func TestFaultMatrixBatchQueries(t *testing.T) {
+	tr, fp, d := newMatrixTree(t, 300)
+	m := signature.NewDirectMapper(200)
+	queries := make([]signature.Signature, 16)
+	for i := range queries {
+		queries[i] = signature.FromItems(m, d.Tx[i])
+	}
+	ctx := context.Background()
+
+	// Read faults: some queries fail with the injected error, the batch
+	// call itself survives.
+	if err := tr.pool.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	fp.FailReads = true
+	fp.After = 3
+	res, err := tr.BatchNN(ctx, queries, 3, 4)
+	if err != nil {
+		t.Fatalf("BatchNN aborted instead of recording per-query errors: %v", err)
+	}
+	failed := 0
+	for i := range res {
+		if res[i].Err != nil {
+			if !errors.Is(res[i].Err, storage.ErrInjected) {
+				t.Fatalf("query %d failed with a non-injected error: %v", i, res[i].Err)
+			}
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no batch query surfaced the read fault")
+	}
+	fp.FailReads = false
+	fp.Reset()
+
+	// Write and alloc faults armed with zero countdown: a query that
+	// touched either path would fail instantly. None may fire.
+	fp.FailWrites, fp.FailAllocs = true, true
+	fp.After = 0
+	if res, err := tr.BatchNN(ctx, queries, 3, 4); err != nil {
+		t.Fatalf("BatchNN under write/alloc faults: %v", err)
+	} else {
+		for i := range res {
+			if res[i].Err != nil {
+				t.Fatalf("BatchNN query %d hit a write/alloc path: %v", i, res[i].Err)
+			}
+		}
+	}
+	if res, err := tr.BatchRangeQuery(ctx, queries, 8, 4); err != nil {
+		t.Fatalf("BatchRangeQuery under write/alloc faults: %v", err)
+	} else {
+		for i := range res {
+			if res[i].Err != nil {
+				t.Fatalf("BatchRangeQuery query %d hit a write/alloc path: %v", i, res[i].Err)
+			}
+		}
+	}
+	if res, err := tr.BatchContainment(ctx, queries, 4); err != nil {
+		t.Fatalf("BatchContainment under write/alloc faults: %v", err)
+	} else {
+		for i := range res {
+			if res[i].Err != nil {
+				t.Fatalf("BatchContainment query %d hit a write/alloc path: %v", i, res[i].Err)
+			}
+		}
+	}
+	if fp.Fired() {
+		t.Fatal("a query triggered a write or allocation")
+	}
+	fp.FailWrites, fp.FailAllocs = false, false
+
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

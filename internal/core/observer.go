@@ -146,16 +146,30 @@ type Counters struct {
 	// Cancellations is the number of traversals aborted by context
 	// cancellation or deadline.
 	Cancellations int64
+
+	// WAL activity of the tree's buffer pool, all zero when the tree runs
+	// without a write-ahead log. These are cumulative (not per-query): a
+	// query never writes, so WAL traffic is attributable only to updates
+	// and Sync/Close commits.
+	WALRecords     int64 // page-image and free records appended
+	WALCommits     int64 // commit records appended (one per Sync with dirty state)
+	WALCheckpoints int64 // log truncations after a durable checkpoint
+	WALBytes       int64 // total record bytes appended
 }
 
 // Counters returns a snapshot of the cumulative query counters.
 func (t *Tree) Counters() Counters {
+	ws := t.pool.WALStats()
 	return Counters{
-		Queries:       t.counters.queries.Load(),
-		NodesRead:     t.counters.nodesRead.Load(),
-		EntriesPruned: t.counters.entriesPruned.Load(),
-		DataCompared:  t.counters.dataCompared.Load(),
-		Cancellations: t.counters.cancellations.Load(),
+		Queries:        t.counters.queries.Load(),
+		NodesRead:      t.counters.nodesRead.Load(),
+		EntriesPruned:  t.counters.entriesPruned.Load(),
+		DataCompared:   t.counters.dataCompared.Load(),
+		Cancellations:  t.counters.cancellations.Load(),
+		WALRecords:     ws.Records,
+		WALCommits:     ws.Commits,
+		WALCheckpoints: ws.Checkpoints,
+		WALBytes:       ws.BytesAppended,
 	}
 }
 

@@ -55,6 +55,14 @@ func New(opts Options) (*Tree, error) {
 // NewWithPager creates an SG-tree on an empty pager (its first allocation
 // becomes the tree's meta page).
 func NewWithPager(p storage.Pager, opts Options) (*Tree, error) {
+	return NewWithPagerWAL(p, nil, opts)
+}
+
+// NewWithPagerWAL is NewWithPager with durability: when w is non-nil it is
+// attached to the tree's buffer pool, making every Sync/Close an atomic,
+// crash-recoverable commit (see storage.BufferPool.AttachWAL and
+// storage.OpenFilePagerRecover).
+func NewWithPagerWAL(p storage.Pager, w *storage.WAL, opts Options) (*Tree, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -67,6 +75,12 @@ func NewWithPager(p storage.Pager, opts Options) (*Tree, error) {
 		codec:  opts.codec(),
 		layout: nodeLayout{codec: opts.codec(), cardStats: opts.CardStats, pageSize: opts.PageSize, maxPages: opts.MaxNodePages},
 		pool:   storage.NewBufferPool(p, opts.BufferPages),
+	}
+	if w != nil {
+		if w.PageSize() != opts.PageSize {
+			return nil, fmt.Errorf("core: WAL page size %d != options page size %d", w.PageSize(), opts.PageSize)
+		}
+		t.pool.AttachWAL(w)
 	}
 	id, page, err := t.pool.NewPage()
 	if err != nil {
@@ -83,6 +97,13 @@ func NewWithPager(p storage.Pager, opts Options) (*Tree, error) {
 // must match the ones the tree was created with (signature length and
 // compression are verified against the stored meta).
 func Open(p storage.Pager, metaPage storage.PageID, opts Options) (*Tree, error) {
+	return OpenWithWAL(p, nil, metaPage, opts)
+}
+
+// OpenWithWAL is Open with durability (see NewWithPagerWAL). Recover the
+// pager first (storage.OpenFilePagerRecover) if the previous process may
+// have crashed: opening skips no recovery on its own.
+func OpenWithWAL(p storage.Pager, w *storage.WAL, metaPage storage.PageID, opts Options) (*Tree, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,6 +114,12 @@ func Open(p storage.Pager, metaPage storage.PageID, opts Options) (*Tree, error)
 		layout:   nodeLayout{codec: opts.codec(), cardStats: opts.CardStats, pageSize: opts.PageSize, maxPages: opts.MaxNodePages},
 		pool:     storage.NewBufferPool(p, opts.BufferPages),
 		metaPage: metaPage,
+	}
+	if w != nil {
+		if w.PageSize() != opts.PageSize {
+			return nil, fmt.Errorf("core: WAL page size %d != options page size %d", w.PageSize(), opts.PageSize)
+		}
+		t.pool.AttachWAL(w)
 	}
 	page, err := t.pool.Get(metaPage)
 	if err != nil {
@@ -162,10 +189,44 @@ func (t *Tree) flushMeta() error {
 func (t *Tree) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.syncLocked()
+}
+
+// Sync flushes all dirty state to the pager. With a WAL attached this is
+// the tree's commit point: the updates since the previous Sync become
+// durable atomically — after a crash, recovery restores either all of them
+// or none.
+func (t *Tree) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.syncLocked()
+}
+
+func (t *Tree) syncLocked() error {
 	if err := t.flushMeta(); err != nil {
 		return err
 	}
 	return t.pool.FlushAll()
+}
+
+// runUpdate executes one mutating operation inside a buffer-pool undo
+// scope. If the operation fails at any point — typically because the pager
+// surfaced an I/O error mid-update — every page it touched and the tree's
+// metadata are rolled back in memory, so a storage fault never leaves the
+// in-memory tree structurally broken: the error surfaces and the tree
+// remains usable.
+func (t *Tree) runUpdate(body func() error) error {
+	t.pool.BeginUndo()
+	root, height, count := t.root, t.height, t.count
+	if err := body(); err != nil {
+		t.root, t.height, t.count = root, height, count
+		t.reinsertQueue = nil
+		if rbErr := t.pool.RollbackUndo(); rbErr != nil {
+			return fmt.Errorf("%w (undo rollback also failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	return t.pool.CommitUndo()
 }
 
 // Options returns the tree's configuration (defaults applied).
@@ -346,19 +407,21 @@ func (t *Tree) Insert(sig signature.Signature, tid dataset.TID) error {
 	if err := t.checkDataSignature(sig); err != nil {
 		return err
 	}
-	e := entry{sig: sig.Clone(), tid: tid}
-	if t.opts.ForcedReinsert {
-		t.reinsertActive = map[int]bool{}
-		defer func() { t.reinsertActive = nil }()
-	}
-	if err := t.insertEntry(e, 0); err != nil {
-		return err
-	}
-	if err := t.drainReinserts(); err != nil {
-		return err
-	}
-	t.count++
-	return nil
+	return t.runUpdate(func() error {
+		e := entry{sig: sig.Clone(), tid: tid}
+		if t.opts.ForcedReinsert {
+			t.reinsertActive = map[int]bool{}
+			defer func() { t.reinsertActive = nil }()
+		}
+		if err := t.insertEntry(e, 0); err != nil {
+			return err
+		}
+		if err := t.drainReinserts(); err != nil {
+			return err
+		}
+		t.count++
+		return nil
+	})
 }
 
 func (t *Tree) checkDataSignature(sig signature.Signature) error {

@@ -3,7 +3,9 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // BufferPool caches pages above a Pager with LRU replacement and pin
@@ -14,15 +16,42 @@ import (
 // The pool is sharded by page id so concurrent readers (e.g. parallel
 // similarity queries on one tree) do not serialize on a single lock; each
 // shard has its own LRU list and an even share of the capacity.
+//
+// A pool can run in two optional protection modes, independently:
+//
+//   - Durability (AttachWAL): every page write to the pager is preceded by
+//     a synced before/after-image WAL record, FlushAll becomes an atomic
+//     commit + checkpoint, and page frees are deferred to the checkpoint so
+//     the free-list is never mutated mid-transaction.
+//   - In-memory atomicity (BeginUndo/CommitUndo/RollbackUndo): pre-images
+//     of pages touched by an update are captured in memory so a failed
+//     update can be rolled back without any pager I/O.
 type BufferPool struct {
 	pager  Pager
 	shards []*poolShard
 	total  int
+
+	wal *WAL // optional; non-nil after AttachWAL
+
+	// pendingFrees are pages discarded while a WAL is attached or an undo
+	// scope is active; they are released to the pager at the next commit
+	// (WAL) or CommitUndo (no WAL), never mid-transaction.
+	freeMu       sync.Mutex
+	pendingFrees []PageID
+
+	// Undo scope state. undoActive is read on every Get, so it is an
+	// atomic flag checked before taking undoMu.
+	undoActive atomic.Bool
+	undoMu     sync.Mutex
+	undoPages  map[PageID][]byte // pre-images, first touch wins
+	undoNew    map[PageID]bool   // pages allocated inside the scope
+	undoMark   int               // len(pendingFrees) at BeginUndo
 }
 
 // poolShard is one independently locked slice of the pool.
 type poolShard struct {
 	mu       sync.Mutex
+	pool     *BufferPool
 	pager    Pager
 	capacity int
 	frames   map[PageID]*frame
@@ -78,6 +107,7 @@ func NewBufferPool(p Pager, capacity int) *BufferPool {
 			c++
 		}
 		b.shards = append(b.shards, &poolShard{
+			pool:     b,
 			pager:    p,
 			capacity: c,
 			frames:   make(map[PageID]*frame, c),
@@ -100,11 +130,34 @@ func (b *BufferPool) Capacity() int { return b.total }
 // PageSize returns the page size of the underlying pager.
 func (b *BufferPool) PageSize() int { return b.pager.PageSize() }
 
+// AttachWAL routes every subsequent pager write through the write-ahead
+// log w: evictions and flushes append a synced before/after-image record
+// first, and FlushAll becomes commit + checkpoint. Attach before the first
+// write; the pool does not retroactively log already-dirty pages.
+func (b *BufferPool) AttachWAL(w *WAL) {
+	b.wal = w
+}
+
+// WAL returns the attached write-ahead log, or nil.
+func (b *BufferPool) WAL() *WAL { return b.wal }
+
+// WALStats returns the attached log's counters (zero without a WAL).
+func (b *BufferPool) WALStats() WALStats {
+	if b.wal == nil {
+		return WALStats{}
+	}
+	return b.wal.Stats()
+}
+
 // Get pins the page and returns its buffer. The caller must Unpin it,
 // passing dirty=true if the buffer was modified. The returned slice aliases
 // the cached frame and is valid until Unpin.
 func (b *BufferPool) Get(id PageID) ([]byte, error) {
-	return b.shard(id).get(id)
+	data, err := b.shard(id).get(id)
+	if err == nil && b.undoActive.Load() {
+		b.captureUndo(id, data)
+	}
+	return data, err
 }
 
 func (s *poolShard) get(id PageID) ([]byte, error) {
@@ -137,9 +190,9 @@ func (b *BufferPool) NewPage() (PageID, []byte, error) {
 	}
 	s := b.shard(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	f, err := s.admit(id)
 	if err != nil {
+		s.mu.Unlock()
 		return InvalidPage, nil, err
 	}
 	for i := range f.data {
@@ -147,6 +200,14 @@ func (b *BufferPool) NewPage() (PageID, []byte, error) {
 	}
 	f.pins = 1
 	f.dirty = true
+	s.mu.Unlock()
+	if b.undoActive.Load() {
+		b.undoMu.Lock()
+		if b.undoActive.Load() {
+			b.undoNew[id] = true
+		}
+		b.undoMu.Unlock()
+	}
 	return id, f.data, nil
 }
 
@@ -164,6 +225,8 @@ func (s *poolShard) admit(id PageID) (*frame, error) {
 }
 
 // evictOne drops the least recently used unpinned frame. Caller holds mu.
+// Dirty victims are "stolen": written back before commit, which is safe
+// under a WAL because the write is logged (with its before-image) first.
 func (s *poolShard) evictOne() error {
 	for e := s.lru.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*frame)
@@ -171,7 +234,7 @@ func (s *poolShard) evictOne() error {
 			continue
 		}
 		if f.dirty {
-			if err := s.pager.WritePage(f.id, f.data); err != nil {
+			if err := s.pool.walWrite(f.id, f.data); err != nil {
 				return err
 			}
 			s.stats.Writes++
@@ -181,6 +244,24 @@ func (s *poolShard) evictOne() error {
 		return nil
 	}
 	return fmt.Errorf("storage: buffer pool shard of %d pages exhausted (all pinned)", s.capacity)
+}
+
+// walWrite writes one page image to the pager, appending (and syncing) a
+// before/after-image WAL record first when a log is attached.
+func (b *BufferPool) walWrite(id PageID, data []byte) error {
+	if b.wal != nil {
+		before := make([]byte, len(data))
+		if err := b.pager.ReadPage(id, before); err != nil {
+			return err
+		}
+		if err := b.wal.AppendUpdate(id, before, data); err != nil {
+			return err
+		}
+		if err := b.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	return b.pager.WritePage(id, data)
 }
 
 func (s *poolShard) dropFrame(f *frame) {
@@ -204,21 +285,33 @@ func (b *BufferPool) Unpin(id PageID, dirty bool) {
 }
 
 // Discard removes the page from the pool without writing it back, then
-// frees it in the pager. The page must not be pinned.
+// frees it in the pager. The page must not be pinned. Under a WAL or an
+// active undo scope the pager free is deferred: it is applied at the next
+// commit (respectively CommitUndo), so a crash or rollback mid-transaction
+// never observes a half-updated free list.
 func (b *BufferPool) Discard(id PageID) error {
 	s := b.shard(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if f, ok := s.frames[id]; ok {
 		if f.pins > 0 {
+			s.mu.Unlock()
 			return fmt.Errorf("storage: Discard of pinned page %d", id)
 		}
 		s.dropFrame(f)
 	}
-	return s.pager.Free(id)
+	s.mu.Unlock()
+	if b.wal != nil || b.undoActive.Load() {
+		b.freeMu.Lock()
+		b.pendingFrees = append(b.pendingFrees, id)
+		b.freeMu.Unlock()
+		return nil
+	}
+	return b.pager.Free(id)
 }
 
-// Flush writes back the page if it is cached and dirty.
+// Flush writes back the page if it is cached and dirty (logging the write
+// when a WAL is attached). Prefer FlushAll: with a WAL only FlushAll
+// commits and checkpoints.
 func (b *BufferPool) Flush(id PageID) error {
 	s := b.shard(id)
 	s.mu.Lock()
@@ -227,7 +320,7 @@ func (b *BufferPool) Flush(id PageID) error {
 	if !ok || !f.dirty {
 		return nil
 	}
-	if err := s.pager.WritePage(f.id, f.data); err != nil {
+	if err := b.walWrite(f.id, f.data); err != nil {
 		return err
 	}
 	s.stats.Writes++
@@ -235,8 +328,16 @@ func (b *BufferPool) Flush(id PageID) error {
 	return nil
 }
 
-// FlushAll writes back every dirty cached page.
+// FlushAll writes back every dirty cached page. With a WAL attached it is
+// an atomic commit: before/after images of every dirty page plus deferred
+// frees are appended and fsynced, a commit record seals them, the pages are
+// written to the pager, and a checkpoint (data fsync, header LSN, log
+// truncation) retires the log. A crash anywhere in the sequence leaves the
+// store recoverable to either the previous or the new commit point.
 func (b *BufferPool) FlushAll() error {
+	if b.wal != nil {
+		return b.commit()
+	}
 	for _, s := range b.shards {
 		s.mu.Lock()
 		for _, f := range s.frames {
@@ -255,10 +356,120 @@ func (b *BufferPool) FlushAll() error {
 	return nil
 }
 
+// CheckpointPager is implemented by pagers (FilePager) that persist a
+// checkpoint LSN, letting the pool truncate the WAL after a commit.
+type CheckpointPager interface {
+	Sync() error
+	SetCheckpointLSN(lsn uint64) error
+	CheckpointLSN() uint64
+}
+
+// commit runs the WAL commit protocol over all shards.
+func (b *BufferPool) commit() error {
+	for _, s := range b.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range b.shards {
+			s.mu.Unlock()
+		}
+	}()
+
+	type dirtyFrame struct {
+		f *frame
+		s *poolShard
+	}
+	var dirty []dirtyFrame
+	for _, s := range b.shards {
+		for _, f := range s.frames {
+			if f.dirty {
+				dirty = append(dirty, dirtyFrame{f, s})
+			}
+		}
+	}
+	// Deterministic log order (map iteration is not).
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].f.id < dirty[j].f.id })
+	b.freeMu.Lock()
+	frees := append([]PageID(nil), b.pendingFrees...)
+	b.freeMu.Unlock()
+	if len(dirty) == 0 && len(frees) == 0 {
+		return nil
+	}
+
+	// 1. Log: before/after images, frees, then a synced commit record.
+	before := make([]byte, b.pager.PageSize())
+	for _, d := range dirty {
+		if err := b.pager.ReadPage(d.f.id, before); err != nil {
+			return err
+		}
+		if err := b.wal.AppendUpdate(d.f.id, before, d.f.data); err != nil {
+			return err
+		}
+	}
+	for _, id := range frees {
+		if err := b.wal.AppendFree(id); err != nil {
+			return err
+		}
+	}
+	lsn, err := b.wal.AppendCommit()
+	if err != nil {
+		return err
+	}
+	if err := b.wal.Sync(); err != nil {
+		return err
+	}
+
+	// 2. Apply: page writes and deferred frees. From here on the commit is
+	// durable — a crash replays it from the log.
+	for _, d := range dirty {
+		if err := b.pager.WritePage(d.f.id, d.f.data); err != nil {
+			return err
+		}
+		d.s.stats.Writes++
+		d.f.dirty = false
+	}
+	for _, id := range frees {
+		if err := b.pager.Free(id); err != nil {
+			return err
+		}
+	}
+	b.freeMu.Lock()
+	b.pendingFrees = b.pendingFrees[len(frees):]
+	b.freeMu.Unlock()
+
+	// 3. Checkpoint: force the data, record the LSN, retire the log.
+	if cp, ok := b.pager.(CheckpointPager); ok {
+		if err := cp.Sync(); err != nil {
+			return err
+		}
+		if err := cp.SetCheckpointLSN(lsn); err != nil {
+			return err
+		}
+	}
+	return b.wal.Reset(lsn)
+}
+
 // Clear flushes all dirty pages and empties the pool (simulating a cold
 // cache, as the paper does before each measured query batch). It fails if
 // any page is pinned.
 func (b *BufferPool) Clear() error {
+	for _, s := range b.shards {
+		s.mu.Lock()
+		pinned := PageID(InvalidPage)
+		for _, f := range s.frames {
+			if f.pins > 0 {
+				pinned = f.id
+				break
+			}
+		}
+		s.mu.Unlock()
+		if pinned != InvalidPage {
+			return fmt.Errorf("storage: Clear with pinned page %d", pinned)
+		}
+	}
+	if err := b.FlushAll(); err != nil {
+		return err
+	}
 	for _, s := range b.shards {
 		s.mu.Lock()
 		for _, f := range s.frames {
@@ -269,17 +480,141 @@ func (b *BufferPool) Clear() error {
 			}
 		}
 		for _, f := range s.frames {
-			if f.dirty {
-				if err := s.pager.WritePage(f.id, f.data); err != nil {
-					s.mu.Unlock()
-					return err
-				}
-				s.stats.Writes++
-			}
 			s.dropFrame(f)
 		}
 		s.mu.Unlock()
 	}
+	return nil
+}
+
+// BeginUndo opens an in-memory undo scope: until CommitUndo or
+// RollbackUndo, the pool captures a pre-image of every page first touched
+// through Get, records pages allocated through NewPage, and defers Discard
+// frees. Scopes protect single-writer updates (the tree holds its write
+// lock); they do not nest.
+func (b *BufferPool) BeginUndo() {
+	b.undoMu.Lock()
+	defer b.undoMu.Unlock()
+	if b.undoActive.Load() {
+		panic("storage: nested BeginUndo")
+	}
+	b.undoPages = make(map[PageID][]byte)
+	b.undoNew = make(map[PageID]bool)
+	b.freeMu.Lock()
+	b.undoMark = len(b.pendingFrees)
+	b.freeMu.Unlock()
+	b.undoActive.Store(true)
+}
+
+// captureUndo saves the page's current content if it is the first touch in
+// the active scope. data is the pinned frame buffer, still unmodified: Get
+// returns before the caller can write to it.
+func (b *BufferPool) captureUndo(id PageID, data []byte) {
+	b.undoMu.Lock()
+	defer b.undoMu.Unlock()
+	if !b.undoActive.Load() || b.undoNew[id] {
+		return
+	}
+	if _, ok := b.undoPages[id]; ok {
+		return
+	}
+	pre := make([]byte, len(data))
+	copy(pre, data)
+	b.undoPages[id] = pre
+}
+
+// CommitUndo closes the scope, keeping all changes. Without a WAL the
+// frees deferred during the scope are applied now; with one they stay
+// queued for the next commit.
+func (b *BufferPool) CommitUndo() error {
+	b.undoMu.Lock()
+	b.undoActive.Store(false)
+	b.undoPages = nil
+	b.undoNew = nil
+	b.undoMu.Unlock()
+	if b.wal != nil {
+		return nil
+	}
+	b.freeMu.Lock()
+	frees := append([]PageID(nil), b.pendingFrees...)
+	b.pendingFrees = b.pendingFrees[:0]
+	b.freeMu.Unlock()
+	for _, id := range frees {
+		if err := b.pager.Free(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RollbackUndo closes the scope, restoring every touched page to its
+// pre-image, releasing pages allocated inside the scope, and dropping the
+// scope's deferred frees. Restores go into the cache (frames marked dirty),
+// not the pager, so rollback succeeds even when the pager is failing — the
+// cause of most rollbacks. No page touched by the scope may still be
+// pinned.
+func (b *BufferPool) RollbackUndo() error {
+	b.undoMu.Lock()
+	if !b.undoActive.Load() {
+		b.undoMu.Unlock()
+		return nil
+	}
+	captured := b.undoPages
+	created := b.undoNew
+	mark := b.undoMark
+	b.undoActive.Store(false)
+	b.undoPages = nil
+	b.undoNew = nil
+	b.undoMu.Unlock()
+
+	b.freeMu.Lock()
+	if len(b.pendingFrees) > mark {
+		b.pendingFrees = b.pendingFrees[:mark]
+	}
+	b.freeMu.Unlock()
+
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for id, pre := range captured {
+		keep(b.restorePage(id, pre))
+	}
+	for id := range created {
+		s := b.shard(id)
+		s.mu.Lock()
+		if f, ok := s.frames[id]; ok {
+			if f.pins > 0 {
+				s.mu.Unlock()
+				keep(fmt.Errorf("storage: rollback of pinned page %d", id))
+				continue
+			}
+			s.dropFrame(f)
+		}
+		s.mu.Unlock()
+		keep(b.pager.Free(id))
+	}
+	return firstErr
+}
+
+// restorePage places pre as the cached content of id, marking it dirty.
+func (b *BufferPool) restorePage(id PageID, pre []byte) error {
+	s := b.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
+	if !ok {
+		var err error
+		if f, err = s.admit(id); err != nil {
+			return err
+		}
+	} else if f.pins > 0 {
+		return fmt.Errorf("storage: rollback of pinned page %d", id)
+	}
+	copy(f.data, pre)
+	f.dirty = true
 	return nil
 }
 

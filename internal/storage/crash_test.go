@@ -1,0 +1,427 @@
+package storage_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"sgtree/internal/core"
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// This file is the crash/fault harness of the durability story: a seeded
+// insert/delete workload runs over a file-backed tree whose write stream is
+// severed after a budgeted number of bytes — at every point of a sweep
+// across the whole workload's write volume — and after each simulated
+// crash the store is reopened through WAL recovery and compared against an
+// in-memory oracle, including KNN and range query equivalence.
+
+const (
+	crashUniverse = 128
+	crashPageSize = 512
+	crashOps      = 500
+	crashKNNK     = 5
+	crashRangeEps = 12
+)
+
+func crashOptions() core.Options {
+	return core.Options{
+		SignatureLength: crashUniverse,
+		PageSize:        crashPageSize,
+		BufferPages:     8, // tiny pool: evictions steal dirty pages mid-transaction
+		MaxNodeEntries:  8, // low fanout: splits, merges and reinserts are frequent
+		Compress:        true,
+	}
+}
+
+// memFile is an in-memory storage.File so thousands of crash/recovery
+// cycles run without disk I/O. Writes are durable the moment they are
+// applied; the crash model (CrashFile) decides which bytes get applied.
+type memFile struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memFile) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if need := off + int64(len(p)); need > int64(len(m.data)) {
+		m.data = append(m.data, make([]byte, need-int64(len(m.data)))...)
+	}
+	copy(m.data[off:], p)
+	return len(p), nil
+}
+
+func (m *memFile) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size <= int64(len(m.data)) {
+		m.data = m.data[:size]
+	} else {
+		m.data = append(m.data, make([]byte, size-int64(len(m.data)))...)
+	}
+	return nil
+}
+
+func (m *memFile) Sync() error          { return nil }
+func (m *memFile) Close() error         { return nil }
+func (m *memFile) Size() (int64, error) { return int64(len(m.data)), nil }
+
+// crashOp is one step of the workload. Deletes carry the victim's items so
+// the tree Delete call can rebuild its signature.
+type crashOp struct {
+	del   bool
+	tid   dataset.TID
+	items []int
+}
+
+// genCrashOps builds a deterministic workload of n inserts/deletes (roughly
+// one delete per two inserts once the tree is warm) with unique TIDs.
+func genCrashOps(n int, seed int64) []crashOp {
+	r := rand.New(rand.NewSource(seed))
+	type liveItem struct {
+		tid   dataset.TID
+		items []int
+	}
+	var (
+		ops  []crashOp
+		live []liveItem
+	)
+	next := dataset.TID(1)
+	for len(ops) < n {
+		if len(live) > 4 && r.Intn(100) < 35 {
+			i := r.Intn(len(live))
+			ops = append(ops, crashOp{del: true, tid: live[i].tid, items: live[i].items})
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		k := 4 + r.Intn(12)
+		seen := make(map[int]bool, k)
+		items := make([]int, 0, k)
+		for len(items) < k {
+			it := r.Intn(crashUniverse)
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		sort.Ints(items)
+		ops = append(ops, crashOp{tid: next, items: items})
+		live = append(live, liveItem{next, items})
+		next++
+	}
+	return ops
+}
+
+// oracleAfter replays the first k ops into a plain map — the ground truth
+// for the durable state after k committed operations.
+func oracleAfter(ops []crashOp, k int) map[dataset.TID]signature.Signature {
+	m := signature.NewDirectMapper(crashUniverse)
+	state := make(map[dataset.TID]signature.Signature)
+	for _, op := range ops[:k] {
+		if op.del {
+			delete(state, op.tid)
+		} else {
+			state[op.tid] = signature.FromItems(m, op.items)
+		}
+	}
+	return state
+}
+
+func sigKey(s signature.Signature) string { return fmt.Sprint(s.Words()) }
+
+// treeState walks the tree into a tid → signature-key map.
+func treeState(t *testing.T, tr *core.Tree) map[dataset.TID]string {
+	t.Helper()
+	got := make(map[dataset.TID]string)
+	err := tr.Walk(func(sig signature.Signature, tid dataset.TID) bool {
+		got[tid] = sigKey(sig)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("walking recovered tree: %v", err)
+	}
+	return got
+}
+
+func statesEqual(got map[dataset.TID]string, want map[dataset.TID]signature.Signature) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for tid, s := range want {
+		if got[tid] != sigKey(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyQueries checks KNN and range results of the recovered tree against
+// brute force over the oracle, including exact tie-breaking.
+func verifyQueries(t *testing.T, tr *core.Tree, oracle map[dataset.TID]signature.Signature, tag string) {
+	t.Helper()
+	m := signature.NewDirectMapper(crashUniverse)
+	queries := [][]int{
+		{1, 5, 9, 13, 17, 21},
+		{0, 2, 4, 8, 16, 32, 64},
+		{100, 101, 102, 103},
+	}
+	for qi, items := range queries {
+		q := signature.FromItems(m, items)
+		var all []core.Neighbor
+		for tid, s := range oracle {
+			all = append(all, core.Neighbor{TID: tid, Dist: signature.Distance(signature.Hamming, q, s)})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Dist != all[j].Dist {
+				return all[i].Dist < all[j].Dist
+			}
+			return all[i].TID < all[j].TID
+		})
+
+		gotKNN, _, err := tr.KNN(q, crashKNNK)
+		if err != nil {
+			t.Fatalf("%s: query %d: KNN: %v", tag, qi, err)
+		}
+		wantKNN := all[:min(crashKNNK, len(all))]
+		if !knnEquivalent(gotKNN, wantKNN, oracle, q) {
+			t.Fatalf("%s: query %d: KNN mismatch\n got %v\nwant %v", tag, qi, gotKNN, wantKNN)
+		}
+
+		gotRange, _, err := tr.RangeSearch(q, crashRangeEps)
+		if err != nil {
+			t.Fatalf("%s: query %d: RangeSearch: %v", tag, qi, err)
+		}
+		var wantRange []core.Neighbor
+		for _, n := range all {
+			if n.Dist <= crashRangeEps {
+				wantRange = append(wantRange, n)
+			}
+		}
+		if !neighborsEqual(gotRange, wantRange) {
+			t.Fatalf("%s: query %d: range mismatch\n got %v\nwant %v", tag, qi, gotRange, wantRange)
+		}
+	}
+}
+
+// knnEquivalent compares a KNN result with the brute-force answer, allowing
+// any choice among candidates tied at the k-th distance (the traversal
+// admits boundary ties in encounter order): the distance sequence must
+// match exactly and every returned TID must really sit at its reported
+// distance.
+func knnEquivalent(got, want []core.Neighbor, oracle map[dataset.TID]signature.Signature, q signature.Signature) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	seen := make(map[dataset.TID]bool, len(got))
+	for i := range got {
+		if got[i].Dist != want[i].Dist {
+			return false
+		}
+		if seen[got[i].TID] {
+			return false
+		}
+		seen[got[i].TID] = true
+		s, ok := oracle[got[i].TID]
+		if !ok || signature.Distance(signature.Hamming, q, s) != got[i].Dist {
+			return false
+		}
+	}
+	return true
+}
+
+func neighborsEqual(a, b []core.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runCrashWorkload builds a durable tree over in-memory files, runs the
+// workload with the crash point armed at the given byte budget (negative =
+// unarmed calibration run), then recovers from the surviving bytes and
+// checks invariants, oracle equivalence, query equivalence and post-crash
+// usability. It returns the number of workload bytes written (meaningful on
+// the calibration run).
+func runCrashWorkload(t *testing.T, ops []crashOp, budget int64) int64 {
+	t.Helper()
+	tag := fmt.Sprintf("budget=%d", budget)
+
+	cp := storage.NewCrashPoint()
+	dbf := &memFile{}
+	walf := &memFile{}
+	pager, err := storage.CreateFilePagerFile(storage.NewCrashFile(dbf, cp), crashPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, err := storage.CreateWALFile(storage.NewCrashFile(walf, cp), crashPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.NewWithPagerWAL(pager, wal, crashOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the empty tree durable before arming, mirroring a real store
+	// that was created and checkpointed before the crash window begins.
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	base := cp.BytesWritten()
+	if budget >= 0 {
+		cp.Arm(budget)
+	}
+
+	m := signature.NewDirectMapper(crashUniverse)
+	committed := 0
+	crashed := false
+	for _, op := range ops {
+		var err error
+		if op.del {
+			var found bool
+			found, err = tr.Delete(signature.FromItems(m, op.items), op.tid)
+			if err == nil && !found {
+				t.Fatalf("%s: delete of live tid %d reported not found", tag, op.tid)
+			}
+		} else {
+			err = tr.Insert(signature.FromItems(m, op.items), op.tid)
+		}
+		if err == nil {
+			err = tr.Sync()
+		}
+		if err != nil {
+			if !errors.Is(err, storage.ErrCrashed) {
+				t.Fatalf("%s: op %d failed with a non-crash error: %v", tag, committed, err)
+			}
+			crashed = true
+			break
+		}
+		committed++
+	}
+	workloadBytes := cp.BytesWritten() - base
+	if !crashed {
+		if err := tr.Close(); err != nil {
+			if !errors.Is(err, storage.ErrCrashed) {
+				t.Fatalf("%s: close: %v", tag, err)
+			}
+			crashed = true
+		}
+	}
+
+	// "Reboot": recover straight from the surviving bytes, no crash wrapper.
+	pager2, st, err := storage.RecoverFilePager(dbf, walf)
+	if err != nil {
+		t.Fatalf("%s (committed %d): recovery failed: %v", tag, committed, err)
+	}
+	wal2, err := storage.OpenWALFile(walf, crashPageSize)
+	if err != nil {
+		t.Fatalf("%s: reopening WAL after recovery: %v", tag, err)
+	}
+	tr2, err := core.OpenWithWAL(pager2, wal2, 1, crashOptions())
+	if err != nil {
+		t.Fatalf("%s (committed %d, recovery %+v): reopen failed: %v", tag, committed, st, err)
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatalf("%s (committed %d): invariants after recovery: %v", tag, committed, err)
+	}
+
+	// The durable state must be exactly the oracle after `committed` ops,
+	// or — when the crash hit inside the next op's commit, after its WAL
+	// commit record became durable — after committed+1 ops.
+	got := treeState(t, tr2)
+	oracle := oracleAfter(ops, committed)
+	if !statesEqual(got, oracle) {
+		matched := false
+		if crashed && committed+1 <= len(ops) {
+			oracle = oracleAfter(ops, committed+1)
+			matched = statesEqual(got, oracle)
+		}
+		if !matched {
+			t.Fatalf("%s: recovered state (%d entries) matches neither %d nor %d committed ops (recovery %+v)",
+				tag, len(got), committed, committed+1, st)
+		}
+	}
+	verifyQueries(t, tr2, oracle, tag)
+
+	// The recovered tree must be fully usable: a fresh insert commits and
+	// keeps the invariants.
+	extra := []int{3, 33, 63, 93, 123}
+	if err := tr2.Insert(signature.FromItems(m, extra), dataset.TID(1<<20)); err != nil {
+		t.Fatalf("%s: insert after recovery: %v", tag, err)
+	}
+	if err := tr2.Sync(); err != nil {
+		t.Fatalf("%s: sync after recovery: %v", tag, err)
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatalf("%s: invariants after post-recovery insert: %v", tag, err)
+	}
+	if got := treeState(t, tr2); len(got) != len(oracle)+1 {
+		t.Fatalf("%s: post-recovery insert lost: %d entries, want %d", tag, len(got), len(oracle)+1)
+	}
+	if err := tr2.Close(); err != nil {
+		t.Fatalf("%s: close after recovery: %v", tag, err)
+	}
+	return workloadBytes
+}
+
+// TestCrashRecoverySweep severs the write stream at points swept across the
+// whole workload's write volume and checks full recovery at each.
+func TestCrashRecoverySweep(t *testing.T) {
+	ops := genCrashOps(crashOps, 0xC0FFEE)
+
+	// Calibration: an unarmed run measures the workload's write volume and
+	// doubles as the clean-shutdown case.
+	total := runCrashWorkload(t, ops, -1)
+	if total <= 0 {
+		t.Fatalf("calibration run wrote %d bytes", total)
+	}
+
+	points := 40
+	if testing.Short() {
+		points = 12
+	}
+	step := total / int64(points)
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < points; i++ {
+		// Odd offsets land crashes mid-record and mid-page, not just on
+		// tidy boundaries.
+		budget := int64(i)*step + 13
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			runCrashWorkload(t, ops, budget)
+		})
+	}
+}
+
+// TestCrashImmediate arms a zero budget: the very first workload write
+// crashes, and recovery must hand back the durable empty tree.
+func TestCrashImmediate(t *testing.T) {
+	ops := genCrashOps(50, 7)
+	runCrashWorkload(t, ops, 0)
+}

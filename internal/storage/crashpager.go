@@ -1,0 +1,144 @@
+package storage
+
+// Crash injection for durability tests. A CrashPoint is a byte budget
+// shared by every CrashFile wrapped around a store's files (page file and
+// WAL): once the budget is exhausted the write stream is severed — the
+// tripping write is applied only up to the remaining bytes, emulating a
+// torn write, and every subsequent write, sync or truncate fails — as if
+// the process had been killed at that instant. Tests then reopen the files
+// through recovery and check that the store is intact.
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is returned by a CrashFile once its crash point has tripped.
+var ErrCrashed = errors.New("storage: simulated crash (write stream severed)")
+
+// CrashPoint is a shared, armable byte budget for simulated crashes. A new
+// CrashPoint is unarmed: writes pass through unlimited (but are counted, so
+// a calibration run can measure the total write volume). Arm sets the
+// number of bytes allowed through before the crash trips.
+type CrashPoint struct {
+	mu        sync.Mutex
+	armed     bool
+	remaining int64
+	tripped   bool
+	written   int64
+}
+
+// NewCrashPoint returns an unarmed crash point.
+func NewCrashPoint() *CrashPoint { return &CrashPoint{} }
+
+// Arm sets the write budget: after budget more bytes the crash trips.
+func (c *CrashPoint) Arm(budget int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.armed = true
+	c.remaining = budget
+	c.tripped = false
+}
+
+// Tripped reports whether the crash has fired.
+func (c *CrashPoint) Tripped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tripped
+}
+
+// BytesWritten returns the total bytes allowed through so far.
+func (c *CrashPoint) BytesWritten() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}
+
+// take consumes up to n bytes of budget, returning how many bytes may be
+// written. Fewer than n (possibly zero) means the crash trips on this call.
+func (c *CrashPoint) take(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tripped {
+		return 0
+	}
+	if !c.armed {
+		c.written += int64(n)
+		return n
+	}
+	if int64(n) <= c.remaining {
+		c.remaining -= int64(n)
+		c.written += int64(n)
+		return n
+	}
+	granted := int(c.remaining)
+	c.remaining = 0
+	c.tripped = true
+	c.written += int64(granted)
+	return granted
+}
+
+// ok consumes no budget but fails once the crash has tripped (reads, syncs
+// and truncates after the crash behave as if the process were gone).
+func (c *CrashPoint) ok() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.tripped
+}
+
+// CrashFile wraps a File, severing its write stream when the shared crash
+// point trips. The tripping WriteAt applies only the bytes the budget still
+// allows — a torn write, exactly what an OS crash leaves behind — and
+// returns ErrCrashed.
+type CrashFile struct {
+	f  File
+	cp *CrashPoint
+}
+
+// NewCrashFile wraps f with crash injection controlled by cp.
+func NewCrashFile(f File, cp *CrashPoint) *CrashFile {
+	return &CrashFile{f: f, cp: cp}
+}
+
+func (c *CrashFile) ReadAt(p []byte, off int64) (int, error) {
+	if !c.cp.ok() {
+		return 0, ErrCrashed
+	}
+	return c.f.ReadAt(p, off)
+}
+
+func (c *CrashFile) WriteAt(p []byte, off int64) (int, error) {
+	granted := c.cp.take(len(p))
+	if granted == len(p) {
+		return c.f.WriteAt(p, off)
+	}
+	if granted > 0 {
+		c.f.WriteAt(p[:granted], off)
+	}
+	return granted, ErrCrashed
+}
+
+func (c *CrashFile) Truncate(size int64) error {
+	if !c.cp.ok() {
+		return ErrCrashed
+	}
+	return c.f.Truncate(size)
+}
+
+func (c *CrashFile) Sync() error {
+	if !c.cp.ok() {
+		return ErrCrashed
+	}
+	return c.f.Sync()
+}
+
+func (c *CrashFile) Size() (int64, error) {
+	if !c.cp.ok() {
+		return 0, ErrCrashed
+	}
+	return c.f.Size()
+}
+
+// Close closes the wrapped file. It works even after the crash so tests
+// can release descriptors.
+func (c *CrashFile) Close() error { return c.f.Close() }

@@ -12,6 +12,11 @@ var ErrInjected = errors.New("storage: injected fault")
 // selected kinds after a countdown of successful calls. It exists for
 // failure-injection tests: index structures must surface storage errors
 // rather than corrupt themselves or panic.
+//
+// Failed operations are atomic: an injected fault is raised before the
+// inner pager is touched, and a write that fails inside the inner pager is
+// rolled back from a snapshot, so a failed WritePage never leaves the page
+// partially modified.
 type FaultPager struct {
 	mu sync.Mutex
 	// Inner is the wrapped pager.
@@ -22,6 +27,7 @@ type FaultPager struct {
 	// (0 = fail immediately).
 	After int
 	calls int
+	fired bool
 }
 
 // NewFaultPager wraps inner; configure the Fail* fields and After before use.
@@ -40,21 +46,31 @@ func (p *FaultPager) shouldFail(selected bool) bool {
 		p.calls++
 		return false
 	}
+	p.fired = true
 	return true
 }
 
 // Reset re-arms the countdown (the next After selected operations succeed
-// again before failures resume).
+// again before failures resume) and clears Fired.
 func (p *FaultPager) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.calls = 0
+	p.fired = false
+}
+
+// Fired reports whether any fault has been injected since the last Reset.
+func (p *FaultPager) Fired() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
 }
 
 // PageSize returns the wrapped page size.
 func (p *FaultPager) PageSize() int { return p.Inner.PageSize() }
 
-// Allocate forwards or fails.
+// Allocate forwards or fails. Injected faults are raised before the inner
+// pager is consulted, so a failed Allocate does not burn a page.
 func (p *FaultPager) Allocate() (PageID, error) {
 	if p.shouldFail(p.FailAllocs) {
 		return InvalidPage, ErrInjected
@@ -70,12 +86,24 @@ func (p *FaultPager) ReadPage(id PageID, buf []byte) error {
 	return p.Inner.ReadPage(id, buf)
 }
 
-// WritePage forwards or fails.
+// WritePage forwards or fails. Failed writes are atomic: an injected fault
+// fires before the inner pager sees the write, and an inner-pager failure
+// (e.g. a short write in a file-backed pager) is rolled back by restoring
+// the page's snapshot, so callers never observe a partially applied write.
 func (p *FaultPager) WritePage(id PageID, buf []byte) error {
 	if p.shouldFail(p.FailWrites) {
 		return ErrInjected
 	}
-	return p.Inner.WritePage(id, buf)
+	prev := make([]byte, len(buf))
+	if err := p.Inner.ReadPage(id, prev); err != nil {
+		// Page unreadable (nothing meaningful to preserve): forward as-is.
+		return p.Inner.WritePage(id, buf)
+	}
+	if err := p.Inner.WritePage(id, buf); err != nil {
+		p.Inner.WritePage(id, prev) // best-effort restore of the snapshot
+		return err
+	}
+	return nil
 }
 
 // Free forwards (frees are never failed: they are the cleanup path).

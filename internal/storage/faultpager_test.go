@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 )
@@ -70,6 +71,118 @@ func TestFaultPagerCountdownAndKinds(t *testing.T) {
 	}
 	if err := fp.Close(); err != nil {
 		t.Error(err)
+	}
+}
+
+// flakyWriter wraps a pager, letting tests make the *inner* WritePage fail
+// after it has already applied the write — the misbehavior FaultPager's
+// snapshot rollback must mask.
+type flakyWriter struct {
+	Pager
+	failNext bool
+}
+
+var errFlaky = errors.New("flaky inner write")
+
+func (f *flakyWriter) WritePage(id PageID, buf []byte) error {
+	if f.failNext {
+		f.failNext = false
+		f.Pager.WritePage(id, buf) // the damage is done...
+		return errFlaky            // ...and then the write "fails"
+	}
+	return f.Pager.WritePage(id, buf)
+}
+
+func faultTestPage(ps int, b byte) []byte { return bytes.Repeat([]byte{b}, ps) }
+
+// TestFaultPagerWriteAtomic is the regression test for partially applied
+// failed writes: an injected write fault must leave the inner page exactly
+// as it was.
+func TestFaultPagerWriteAtomic(t *testing.T) {
+	inner := NewMemPager(128)
+	fp := NewFaultPager(inner)
+	id, err := fp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.WritePage(id, faultTestPage(128, 'X')); err != nil {
+		t.Fatal(err)
+	}
+
+	fp.FailWrites = true
+	fp.After = 0
+	if err := fp.WritePage(id, faultTestPage(128, 'Y')); !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected injected fault, got %v", err)
+	}
+	if !fp.Fired() {
+		t.Fatal("Fired() false after an injected fault")
+	}
+	buf := make([]byte, 128)
+	if err := inner.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'X' {
+		t.Fatalf("failed write reached the inner pager: page now %q", buf[0])
+	}
+
+	// Disarming restores normal service.
+	fp.FailWrites = false
+	fp.Reset()
+	if fp.Fired() {
+		t.Fatal("Fired() survived Reset")
+	}
+	if err := fp.WritePage(id, faultTestPage(128, 'Y')); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'Y' {
+		t.Fatalf("write after reset lost: page is %q", buf[0])
+	}
+}
+
+// TestFaultPagerInnerWriteRollback checks the snapshot restore: when the
+// inner pager itself fails a write (after mutating the page), callers of
+// the FaultPager still see the old contents.
+func TestFaultPagerInnerWriteRollback(t *testing.T) {
+	mem := NewMemPager(128)
+	flaky := &flakyWriter{Pager: mem}
+	fp := NewFaultPager(flaky)
+	id, err := fp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.WritePage(id, faultTestPage(128, 'X')); err != nil {
+		t.Fatal(err)
+	}
+
+	flaky.failNext = true
+	if err := fp.WritePage(id, faultTestPage(128, 'Y')); !errors.Is(err, errFlaky) {
+		t.Fatalf("expected the inner error, got %v", err)
+	}
+	buf := make([]byte, 128)
+	if err := mem.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'X' {
+		t.Fatalf("inner failure left a partial write: page is %q", buf[0])
+	}
+}
+
+// TestFaultPagerAllocAtomic: a failed Allocate must not burn a page.
+func TestFaultPagerAllocAtomic(t *testing.T) {
+	fp := NewFaultPager(NewMemPager(128))
+	if _, err := fp.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	before := fp.NumPages()
+	fp.FailAllocs = true
+	if _, err := fp.Allocate(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected injected fault, got %v", err)
+	}
+	if got := fp.NumPages(); got != before {
+		t.Fatalf("failed Allocate changed NumPages: %d -> %d", before, got)
 	}
 }
 

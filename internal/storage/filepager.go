@@ -3,22 +3,25 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
 
 // FilePager is a pager backed by a single file. Page 0 is a header page
-// holding the magic, page size, high-water page count and the head of the
-// free list; freed pages are chained through their first four bytes. The
-// layout survives close/reopen, making trees persistent across processes.
+// holding the magic, page size, high-water page count, the head of the
+// free list and the LSN of the last WAL checkpoint; freed pages are chained
+// through their first four bytes. The layout survives close/reopen, making
+// trees persistent across processes.
 type FilePager struct {
-	mu       sync.Mutex
-	f        *os.File
-	pageSize int
-	numPages int // high-water count, excluding header
-	freeHead PageID
-	nFree    int
-	stats    PagerStats
+	mu            sync.Mutex
+	f             File
+	pageSize      int
+	numPages      int // high-water count, excluding header
+	freeHead      PageID
+	nFree         int
+	checkpointLSN uint64
+	stats         PagerStats
 }
 
 const (
@@ -28,24 +31,39 @@ const (
 	headerNumOff     = 8
 	headerFreeOff    = 12
 	headerNFreeOff   = 16
-	fileHeaderLength = 20
+	headerLSNOff     = 20
+	fileHeaderLength = 28
+	// fileHeaderV0Length is the pre-WAL header (no checkpoint LSN); files
+	// written by older versions open with an implicit LSN of 0.
+	fileHeaderV0Length = 20
 )
 
-// CreateFilePager creates (truncating) a new paged file.
+// CreateFilePager creates (truncating) a new paged file at path.
 func CreateFilePager(path string, pageSize int) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p, err := CreateFilePagerFile(osFile{f}, pageSize)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// CreateFilePagerFile initializes f (which must be empty or disposable) as
+// a new paged file. It exists so tests can interpose fault or crash
+// injection at the file layer.
+func CreateFilePagerFile(f File, pageSize int) (*FilePager, error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
 	if pageSize < fileHeaderLength {
 		return nil, fmt.Errorf("storage: page size %d below header size", pageSize)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return nil, err
-	}
 	p := &FilePager{f: f, pageSize: pageSize}
 	if err := p.writeHeader(); err != nil {
-		f.Close()
 		return nil, err
 	}
 	return p, nil
@@ -57,14 +75,24 @@ func OpenFilePager(path string) (*FilePager, error) {
 	if err != nil {
 		return nil, err
 	}
-	hdr := make([]byte, fileHeaderLength)
-	if _, err := f.ReadAt(hdr, 0); err != nil {
+	p, err := OpenFilePagerFile(osFile{f})
+	if err != nil {
 		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// OpenFilePagerFile opens an existing paged file over f, validating its
+// header.
+func OpenFilePagerFile(f File) (*FilePager, error) {
+	hdr := make([]byte, fileHeaderLength)
+	n, err := f.ReadAt(hdr, 0)
+	if err != nil && !(err == io.EOF && n >= fileHeaderV0Length) {
 		return nil, fmt.Errorf("storage: reading header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[headerMagicOff:]) != filePagerMagic {
-		f.Close()
-		return nil, fmt.Errorf("storage: %s is not a pager file", path)
+		return nil, fmt.Errorf("storage: not a pager file")
 	}
 	p := &FilePager{
 		f:        f,
@@ -72,6 +100,9 @@ func OpenFilePager(path string) (*FilePager, error) {
 		numPages: int(binary.LittleEndian.Uint32(hdr[headerNumOff:])),
 		freeHead: PageID(binary.LittleEndian.Uint32(hdr[headerFreeOff:])),
 		nFree:    int(binary.LittleEndian.Uint32(hdr[headerNFreeOff:])),
+	}
+	if n >= fileHeaderLength {
+		p.checkpointLSN = binary.LittleEndian.Uint64(hdr[headerLSNOff:])
 	}
 	return p, nil
 }
@@ -83,6 +114,7 @@ func (p *FilePager) writeHeader() error {
 	binary.LittleEndian.PutUint32(hdr[headerNumOff:], uint32(p.numPages))
 	binary.LittleEndian.PutUint32(hdr[headerFreeOff:], uint32(p.freeHead))
 	binary.LittleEndian.PutUint32(hdr[headerNFreeOff:], uint32(p.nFree))
+	binary.LittleEndian.PutUint64(hdr[headerLSNOff:], p.checkpointLSN)
 	_, err := p.f.WriteAt(hdr, 0)
 	return err
 }
@@ -93,6 +125,38 @@ func (p *FilePager) offset(id PageID) int64 {
 
 // PageSize returns the page size.
 func (p *FilePager) PageSize() int { return p.pageSize }
+
+// CheckpointLSN returns the LSN of the last durable checkpoint (0 when the
+// pager has never run under a WAL).
+func (p *FilePager) CheckpointLSN() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.checkpointLSN
+}
+
+// SetCheckpointLSN durably records that every WAL record up to and
+// including lsn has been applied to the page file: the header is rewritten
+// and synced. The caller must have synced the page writes themselves first
+// (see Sync).
+func (p *FilePager) SetCheckpointLSN(lsn uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checkpointLSN = lsn
+	if err := p.writeHeader(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
+
+// Sync forces the header and all written pages to stable storage.
+func (p *FilePager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.writeHeader(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
 
 // Allocate returns a zeroed page, reusing the free list when possible.
 func (p *FilePager) Allocate() (PageID, error) {

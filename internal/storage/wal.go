@@ -1,0 +1,608 @@
+package storage
+
+// Write-ahead logging for the paged store. The WAL makes a file-backed tree
+// crash-safe: every page write is preceded by a durable log record holding
+// the page's before- and after-image, and a commit record seals each batch
+// of dirty pages flushed by the buffer pool. After a crash,
+// OpenFilePagerRecover replays the log: committed records are re-applied in
+// order (redo), page writes of the uncommitted tail are rolled back from
+// their before-images (undo), torn or corrupt tails are discarded, and
+// free-list operations are re-applied exactly once. The pager header records
+// the LSN of the last checkpoint, after which the log is truncated.
+//
+// The protocol is physical redo/undo with a steal, force-at-commit buffer
+// pool: evicting a dirty page mid-transaction is allowed because its
+// before-image is logged (and fsynced) first, and a commit forces all dirty
+// pages to the store before the checkpoint truncates the log.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the subset of *os.File the storage layer performs I/O through. It
+// exists so tests can interpose fault and crash injection between the
+// pager/WAL and the real file system (see CrashFile).
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Size() (int64, error)
+}
+
+// osFile adapts *os.File to the File interface.
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// OSFile wraps an operating-system file in the storage File interface.
+func OSFile(f *os.File) File { return osFile{f} }
+
+// WALSuffix is appended to a pager file's path to name its write-ahead log.
+const WALSuffix = ".wal"
+
+// WALPath returns the conventional WAL path for a pager file.
+func WALPath(pagerPath string) string { return pagerPath + WALSuffix }
+
+// WAL file layout: a fixed header followed by a sequence of records.
+//
+//	header: magic u32 | version u32 | pageSize u32 | pad u32 | baseLSN u64
+//	record: kind u8 | pad u8×3 | pageID u32 | lsn u64 | payloadLen u32 | crc u32 | payload
+//
+// The crc is CRC-32 (IEEE) over the record header (sans crc) plus payload.
+// Update records carry the page's before-image followed by its after-image
+// (2×pageSize bytes); free and commit records carry no payload. LSNs are
+// strictly sequential from baseLSN+1, so a replayed, reordered or duplicated
+// record is rejected even when its checksum is intact.
+const (
+	walMagic         = 0x5347_574C // "SGWL"
+	walVersion       = 1
+	walHeaderSize    = 24
+	walRecHeaderSize = 24
+)
+
+// Record kinds.
+const (
+	walRecUpdate = 1 // page before/after image
+	walRecFree   = 2 // page released to the free list
+	walRecCommit = 3 // seals every record since the previous commit
+)
+
+// WALStats counts cumulative write-ahead-log activity.
+type WALStats struct {
+	Records       int64 // update + free records appended
+	Commits       int64 // commit records appended
+	Syncs         int64 // fsyncs of the log file
+	Checkpoints   int64 // log truncations after a successful checkpoint
+	BytesAppended int64 // total record bytes appended
+}
+
+// WAL is an append-only page-image log over a File. All methods are safe for
+// concurrent use.
+type WAL struct {
+	mu       sync.Mutex
+	f        File
+	pageSize int
+	end      int64 // append offset
+	lsn      uint64
+	unsynced bool
+	stats    WALStats
+}
+
+func encodeWALHeader(pageSize int, baseLSN uint64) []byte {
+	hdr := make([]byte, walHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(pageSize))
+	binary.LittleEndian.PutUint64(hdr[16:], baseLSN)
+	return hdr
+}
+
+// CreateWAL creates (truncating) a new write-ahead log at path.
+func CreateWAL(path string, pageSize int) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w, err := CreateWALFile(osFile{f}, pageSize)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// CreateWALFile initializes f (truncating it) as an empty write-ahead log.
+func CreateWALFile(f File, pageSize int) (*WAL, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if err := f.Truncate(0); err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteAt(encodeWALHeader(pageSize, 0), 0); err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	return &WAL{f: f, pageSize: pageSize, end: walHeaderSize}, nil
+}
+
+// OpenWAL opens the log at path, creating it when absent. An existing log is
+// scanned so appends continue after its last valid record; run recovery
+// (OpenFilePagerRecover) first if the log may hold unapplied records.
+func OpenWAL(path string, pageSize int) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		return CreateWAL(path, pageSize)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w, err := OpenWALFile(osFile{f}, pageSize)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// OpenWALFile opens an existing log over f, validating its header and
+// scanning to the end of the last valid record.
+func OpenWALFile(f File, pageSize int) (*WAL, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	_, end, lsn, err := scanWAL(f, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{f: f, pageSize: pageSize, end: end, lsn: lsn}, nil
+}
+
+// PageSize returns the page size the log was created with.
+func (w *WAL) PageSize() int { return w.pageSize }
+
+// LSN returns the sequence number of the last appended record.
+func (w *WAL) LSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lsn
+}
+
+// Stats returns the cumulative log counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// appendRecord writes one record at the end of the log. Caller holds mu.
+func (w *WAL) appendRecord(kind byte, id PageID, payload ...[]byte) error {
+	plen := 0
+	for _, p := range payload {
+		plen += len(p)
+	}
+	buf := make([]byte, walRecHeaderSize+plen)
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[4:], uint32(id))
+	binary.LittleEndian.PutUint64(buf[8:], w.lsn+1)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(plen))
+	pos := walRecHeaderSize
+	for _, p := range payload {
+		pos += copy(buf[pos:], p)
+	}
+	h := crc32.NewIEEE()
+	h.Write(buf[:20])
+	h.Write(buf[walRecHeaderSize:])
+	binary.LittleEndian.PutUint32(buf[20:], h.Sum32())
+	if _, err := w.f.WriteAt(buf, w.end); err != nil {
+		return err
+	}
+	w.end += int64(len(buf))
+	w.lsn++
+	w.unsynced = true
+	w.stats.BytesAppended += int64(len(buf))
+	return nil
+}
+
+// AppendUpdate logs a page write: its current (before) and new (after)
+// image. Both must be exactly one page.
+func (w *WAL) AppendUpdate(id PageID, before, after []byte) error {
+	if len(before) != w.pageSize || len(after) != w.pageSize {
+		return fmt.Errorf("storage: WAL image sizes %d/%d != page size %d", len(before), len(after), w.pageSize)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.appendRecord(walRecUpdate, id, before, after); err != nil {
+		return err
+	}
+	w.stats.Records++
+	return nil
+}
+
+// AppendFree logs the release of a page to the free list.
+func (w *WAL) AppendFree(id PageID) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.appendRecord(walRecFree, id); err != nil {
+		return err
+	}
+	w.stats.Records++
+	return nil
+}
+
+// AppendCommit seals every record appended since the previous commit and
+// returns the commit LSN. The caller must Sync before treating the batch as
+// durable.
+func (w *WAL) AppendCommit() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.appendRecord(walRecCommit, InvalidPage); err != nil {
+		return 0, err
+	}
+	w.stats.Commits++
+	return w.lsn, nil
+}
+
+// Sync forces appended records to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.unsynced {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.unsynced = false
+	w.stats.Syncs++
+	return nil
+}
+
+// Reset truncates the log after a checkpoint: every logged page image is
+// durably in the page store, so the records are obsolete. Future records
+// continue the LSN sequence from lsn, persisted in the header so sequence
+// numbers stay monotonic across restarts.
+func (w *WAL) Reset(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(walHeaderSize); err != nil {
+		return err
+	}
+	if _, err := w.f.WriteAt(encodeWALHeader(w.pageSize, lsn), 0); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.end = walHeaderSize
+	if lsn > w.lsn {
+		w.lsn = lsn
+	}
+	w.unsynced = false
+	w.stats.Checkpoints++
+	return nil
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.unsynced {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.f.Close()
+}
+
+// walRecord is one parsed log record.
+type walRecord struct {
+	kind    byte
+	page    PageID
+	lsn     uint64
+	payload []byte // update records: before-image ‖ after-image
+}
+
+// scanWAL parses records sequentially, stopping (without error) at the
+// first torn, corrupt, out-of-sequence or malformed record — everything
+// from that point on is untrusted tail. It returns the parsed records, the
+// offset just past the last valid record, and its LSN. Only a bad file
+// header is an error: then nothing in the log can be trusted.
+func scanWAL(f File, pageSize int) (recs []walRecord, end int64, lastLSN uint64, err error) {
+	hdr := make([]byte, walHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, 0, 0, fmt.Errorf("storage: reading WAL header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != walMagic {
+		return nil, 0, 0, fmt.Errorf("storage: not a WAL file")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != walVersion {
+		return nil, 0, 0, fmt.Errorf("storage: unsupported WAL version %d", v)
+	}
+	if got := int(binary.LittleEndian.Uint32(hdr[8:])); got != pageSize {
+		return nil, 0, 0, fmt.Errorf("storage: WAL page size %d != pager page size %d", got, pageSize)
+	}
+	lsn := binary.LittleEndian.Uint64(hdr[16:])
+	off := int64(walHeaderSize)
+	rh := make([]byte, walRecHeaderSize)
+	for {
+		if n, err := f.ReadAt(rh, off); err != nil || n < walRecHeaderSize {
+			break
+		}
+		plen := int(binary.LittleEndian.Uint32(rh[16:]))
+		switch rh[0] {
+		case walRecUpdate:
+			if plen != 2*pageSize {
+				return recs, off, lsn, nil
+			}
+		case walRecFree, walRecCommit:
+			if plen != 0 {
+				return recs, off, lsn, nil
+			}
+		default:
+			return recs, off, lsn, nil
+		}
+		rlsn := binary.LittleEndian.Uint64(rh[8:])
+		if rlsn != lsn+1 {
+			break
+		}
+		payload := make([]byte, plen)
+		if plen > 0 {
+			if n, err := f.ReadAt(payload, off+walRecHeaderSize); err != nil || n < plen {
+				break
+			}
+		}
+		h := crc32.NewIEEE()
+		h.Write(rh[:20])
+		h.Write(payload)
+		if h.Sum32() != binary.LittleEndian.Uint32(rh[20:]) {
+			break
+		}
+		recs = append(recs, walRecord{
+			kind:    rh[0],
+			page:    PageID(binary.LittleEndian.Uint32(rh[4:])),
+			lsn:     rlsn,
+			payload: payload,
+		})
+		lsn = rlsn
+		off += int64(walRecHeaderSize + plen)
+	}
+	return recs, off, lsn, nil
+}
+
+// RecoveryStats summarizes one WAL recovery pass.
+type RecoveryStats struct {
+	// Scanned is the number of records parsed with valid checksums.
+	Scanned int
+	// Committed counts the records inside committed batches.
+	Committed int
+	// Redone counts page images re-applied from committed records.
+	Redone int
+	// Undone counts uncommitted page writes rolled back from before-images.
+	Undone int
+	// FreesApplied counts committed free-list releases re-applied.
+	FreesApplied int
+	// TornTail reports that the log ended in a torn or corrupt record (or
+	// an uncommitted batch) whose bytes were discarded.
+	TornTail bool
+	// LastLSN is the pager's checkpoint LSN after recovery.
+	LastLSN uint64
+}
+
+// OpenFilePagerRecover opens a pager file and replays its write-ahead log
+// (at WALPath(path), when present): committed page images are re-applied,
+// uncommitted page writes are rolled back, and the log is truncated so a
+// second recovery is a no-op. It is safe to call on a cleanly closed pager —
+// recovery then does nothing.
+func OpenFilePagerRecover(path string) (*FilePager, RecoveryStats, error) {
+	dbf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	wf, err := os.OpenFile(WALPath(path), os.O_RDWR, 0o644)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		dbf.Close()
+		return nil, RecoveryStats{}, err
+	}
+	var walf File
+	if err == nil {
+		walf = osFile{wf}
+	}
+	p, stats, rerr := RecoverFilePager(osFile{dbf}, walf)
+	if walf != nil {
+		walf.Close()
+	}
+	if rerr != nil {
+		dbf.Close()
+		return nil, stats, rerr
+	}
+	return p, stats, nil
+}
+
+// RecoverFilePager is the handle-level form of OpenFilePagerRecover: it
+// opens a pager over dbf and replays walf into it (walf may be nil when the
+// store has no log). It exists so crash tests can run recovery over
+// in-memory File implementations. On success the log has been sealed
+// (truncated to a header carrying the recovered LSN); neither handle is
+// closed — both stay owned by the caller (dbf transitively via the
+// returned pager's Close).
+func RecoverFilePager(dbf, walf File) (*FilePager, RecoveryStats, error) {
+	p, err := OpenFilePagerFile(dbf)
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	if walf == nil {
+		return p, RecoveryStats{LastLSN: p.CheckpointLSN()}, nil
+	}
+	stats, err := p.recoverFromWAL(walf)
+	if err != nil {
+		return nil, stats, err
+	}
+	// Seal: truncate the replayed log so recovery is idempotent, keeping
+	// the LSN sequence monotonic.
+	if err := walf.Truncate(walHeaderSize); err == nil {
+		if _, err := walf.WriteAt(encodeWALHeader(p.PageSize(), stats.LastLSN), 0); err == nil {
+			err = walf.Sync()
+		}
+	}
+	return p, stats, nil
+}
+
+// recoverFromWAL replays the log wf into the pager: redo of committed
+// images in order, undo of the uncommitted tail in reverse, then exactly-
+// once re-application of committed frees.
+func (p *FilePager) recoverFromWAL(wf File) (RecoveryStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var st RecoveryStats
+	recs, end, _, err := scanWAL(wf, p.pageSize)
+	if err != nil {
+		return st, err
+	}
+	if sz, serr := wf.Size(); serr == nil && sz > end {
+		st.TornTail = true
+	}
+	st.Scanned = len(recs)
+
+	lastCommit := -1
+	for i := range recs {
+		if recs[i].kind == walRecCommit {
+			lastCommit = i
+		}
+	}
+	committed, tail := recs[:lastCommit+1], recs[lastCommit+1:]
+	st.Committed = len(committed)
+	if len(tail) > 0 {
+		st.TornTail = true
+	}
+
+	// A committed free record invalidates earlier updates of its page, and
+	// a committed update after a free means the page was reallocated, so
+	// the free must not be re-applied. Both are index comparisons.
+	lastFree := make(map[PageID]int)
+	lastUpdate := make(map[PageID]int)
+	for i, r := range committed {
+		switch r.kind {
+		case walRecFree:
+			lastFree[r.page] = i
+		case walRecUpdate:
+			lastUpdate[r.page] = i
+		}
+	}
+	// Sanity bound for corrupt logs: a genuine record can only reference a
+	// page the pager knew about or one allocation per record beyond it.
+	maxLegal := PageID(p.numPages + len(recs))
+
+	maxPage := PageID(0)
+	apply := func(id PageID, img []byte) error {
+		if _, err := p.f.WriteAt(img, p.offset(id)); err != nil {
+			return err
+		}
+		if id > maxPage {
+			maxPage = id
+		}
+		return nil
+	}
+	// Redo committed images in order, skipping pages freed later in the log.
+	for i, r := range committed {
+		if r.kind != walRecUpdate || r.page == InvalidPage || r.page > maxLegal {
+			continue
+		}
+		if at, freed := lastFree[r.page]; freed && at > i {
+			continue
+		}
+		if err := apply(r.page, r.payload[p.pageSize:]); err != nil {
+			return st, err
+		}
+		st.Redone++
+	}
+	// Undo the uncommitted tail in reverse, so the earliest before-image of
+	// each page — its committed content — wins.
+	for i := len(tail) - 1; i >= 0; i-- {
+		r := tail[i]
+		if r.kind != walRecUpdate || r.page == InvalidPage || r.page > maxLegal {
+			continue
+		}
+		if err := apply(r.page, r.payload[:p.pageSize]); err != nil {
+			return st, err
+		}
+		st.Undone++
+	}
+	if int(maxPage) > p.numPages {
+		p.numPages = int(maxPage)
+	}
+
+	// Re-apply committed frees exactly once: a crash mid-checkpoint may
+	// have applied a prefix of them, so pages already reachable on the free
+	// chain are skipped.
+	inChain := p.freeChainMembers()
+	next := make([]byte, 4)
+	for i, r := range committed {
+		if r.kind != walRecFree || r.page == InvalidPage || int(r.page) > p.numPages {
+			continue
+		}
+		if lu, ok := lastUpdate[r.page]; ok && lu > i {
+			continue // reallocated after the free
+		}
+		if inChain[r.page] {
+			continue
+		}
+		binary.LittleEndian.PutUint32(next, uint32(p.freeHead))
+		if _, err := p.f.WriteAt(next, p.offset(r.page)); err != nil {
+			return st, err
+		}
+		p.freeHead = r.page
+		p.nFree++
+		inChain[r.page] = true
+		st.FreesApplied++
+	}
+
+	if lastCommit >= 0 {
+		if lsn := committed[lastCommit].lsn; lsn > p.checkpointLSN {
+			p.checkpointLSN = lsn
+		}
+	}
+	st.LastLSN = p.checkpointLSN
+	if err := p.writeHeader(); err != nil {
+		return st, err
+	}
+	return st, p.f.Sync()
+}
+
+// freeChainMembers walks the on-disk free chain and returns the reachable
+// members. The walk is defensive: it stops at cycles, out-of-range ids and
+// read errors, since a crash can truncate the chain (losing pages is benign;
+// handing one out twice is not).
+func (p *FilePager) freeChainMembers() map[PageID]bool {
+	seen := make(map[PageID]bool)
+	next := make([]byte, 4)
+	id := p.freeHead
+	for n := 0; id != InvalidPage && n <= p.nFree; n++ {
+		if seen[id] || int(id) > p.numPages {
+			break
+		}
+		seen[id] = true
+		if _, err := p.f.ReadAt(next, p.offset(id)); err != nil {
+			break
+		}
+		id = PageID(binary.LittleEndian.Uint32(next))
+	}
+	return seen
+}

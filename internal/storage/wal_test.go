@@ -1,0 +1,445 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const walTestPageSize = 256
+
+func fillPage(b byte) []byte {
+	return bytes.Repeat([]byte{b}, walTestPageSize)
+}
+
+// newRecoverFixture creates a pager file with two pages (page 1 filled with
+// 'A', page 2 with 'B') and closes it cleanly; cases then append WAL
+// records and corrupt them as needed.
+func newRecoverFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tree.sgt")
+	p, err := CreateFilePager(path, walTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range []byte{'A', 'B'} {
+		id, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := PageID(i + 1); id != got {
+			t.Fatalf("allocated page %d, want %d", id, got)
+		}
+		if err := p.WritePage(id, fillPage(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readPageAfterRecovery(t *testing.T, p *FilePager, id PageID) []byte {
+	t.Helper()
+	buf := make([]byte, walTestPageSize)
+	if err := p.ReadPage(id, buf); err != nil {
+		t.Fatalf("reading page %d: %v", id, err)
+	}
+	return buf
+}
+
+func TestRecovery(t *testing.T) {
+	cases := []struct {
+		name    string
+		prepare func(t *testing.T, path string)
+		check   func(t *testing.T, p *FilePager, st RecoveryStats)
+	}{
+		{
+			name:    "no wal file",
+			prepare: func(t *testing.T, path string) {},
+			check: func(t *testing.T, p *FilePager, st RecoveryStats) {
+				if st.Scanned != 0 || st.Redone != 0 || st.Undone != 0 || st.TornTail {
+					t.Fatalf("expected zero stats, got %+v", st)
+				}
+				if got := readPageAfterRecovery(t, p, 1); got[0] != 'A' {
+					t.Fatalf("page 1 modified: %q", got[0])
+				}
+			},
+		},
+		{
+			name: "empty wal",
+			prepare: func(t *testing.T, path string) {
+				w, err := CreateWAL(WALPath(path), walTestPageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, p *FilePager, st RecoveryStats) {
+				if st.Scanned != 0 || st.Redone != 0 || st.Undone != 0 || st.TornTail {
+					t.Fatalf("expected zero stats, got %+v", st)
+				}
+			},
+		},
+		{
+			name: "committed records are redone",
+			prepare: func(t *testing.T, path string) {
+				// The commit record became durable but the page write was
+				// lost: recovery must re-apply the after-image.
+				w, err := CreateWAL(WALPath(path), walTestPageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.AppendUpdate(1, fillPage('A'), fillPage('C')); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := w.AppendCommit(); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, p *FilePager, st RecoveryStats) {
+				if got := readPageAfterRecovery(t, p, 1); got[0] != 'C' {
+					t.Fatalf("page 1 = %q, want redone 'C'", got[0])
+				}
+				if st.Scanned != 2 || st.Committed != 2 || st.Redone != 1 || st.Undone != 0 {
+					t.Fatalf("unexpected stats %+v", st)
+				}
+				if st.LastLSN != 2 {
+					t.Fatalf("LastLSN = %d, want 2", st.LastLSN)
+				}
+			},
+		},
+		{
+			name: "uncommitted tail is undone",
+			prepare: func(t *testing.T, path string) {
+				// A dirty page was stolen (written to the store) but the
+				// transaction never committed: recovery must restore the
+				// before-image.
+				w, err := CreateWAL(WALPath(path), walTestPageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.AppendUpdate(1, fillPage('A'), fillPage('C')); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+				p, err := OpenFilePager(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.WritePage(1, fillPage('C')); err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Close(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, p *FilePager, st RecoveryStats) {
+				if got := readPageAfterRecovery(t, p, 1); got[0] != 'A' {
+					t.Fatalf("page 1 = %q, want rolled-back 'A'", got[0])
+				}
+				if st.Undone != 1 || st.Redone != 0 || !st.TornTail {
+					t.Fatalf("unexpected stats %+v", st)
+				}
+			},
+		},
+		{
+			name: "torn tail bytes are discarded",
+			prepare: func(t *testing.T, path string) {
+				w, err := CreateWAL(WALPath(path), walTestPageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.AppendUpdate(1, fillPage('A'), fillPage('C')); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := w.AppendCommit(); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+				// A torn record: half a header of garbage at the end.
+				f, err := os.OpenFile(WALPath(path), os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write(bytes.Repeat([]byte{0xFF}, 11)); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, p *FilePager, st RecoveryStats) {
+				if got := readPageAfterRecovery(t, p, 1); got[0] != 'C' {
+					t.Fatalf("page 1 = %q, want redone 'C'", got[0])
+				}
+				if !st.TornTail || st.Committed != 2 || st.Redone != 1 {
+					t.Fatalf("unexpected stats %+v", st)
+				}
+			},
+		},
+		{
+			name: "checksum mismatch stops replay",
+			prepare: func(t *testing.T, path string) {
+				w, err := CreateWAL(WALPath(path), walTestPageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.AppendUpdate(1, fillPage('A'), fillPage('C')); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := w.AppendCommit(); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.AppendUpdate(2, fillPage('B'), fillPage('D')); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := w.AppendCommit(); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+				// Flip one payload byte of the second update record.
+				raw, err := os.ReadFile(WALPath(path))
+				if err != nil {
+					t.Fatal(err)
+				}
+				off := walHeaderSize + // file header
+					walRecHeaderSize + 2*walTestPageSize + // first update
+					walRecHeaderSize + // first commit
+					walRecHeaderSize + 10 // into the second update's payload
+				raw[off] ^= 0xFF
+				if err := os.WriteFile(WALPath(path), raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, p *FilePager, st RecoveryStats) {
+				// Replay must stop at the corrupt record: the first commit
+				// is honored, everything after is discarded.
+				if got := readPageAfterRecovery(t, p, 1); got[0] != 'C' {
+					t.Fatalf("page 1 = %q, want redone 'C'", got[0])
+				}
+				if got := readPageAfterRecovery(t, p, 2); got[0] != 'B' {
+					t.Fatalf("page 2 = %q, want untouched 'B'", got[0])
+				}
+				if !st.TornTail || st.Committed != 2 || st.Redone != 1 {
+					t.Fatalf("unexpected stats %+v", st)
+				}
+			},
+		},
+		{
+			name: "committed free is re-applied",
+			prepare: func(t *testing.T, path string) {
+				w, err := CreateWAL(WALPath(path), walTestPageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.AppendFree(2); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := w.AppendCommit(); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, p *FilePager, st RecoveryStats) {
+				if st.FreesApplied != 1 {
+					t.Fatalf("FreesApplied = %d, want 1", st.FreesApplied)
+				}
+				if got := p.NumPages(); got != 1 {
+					t.Fatalf("NumPages = %d, want 1 after free", got)
+				}
+				// The freed page must be reused by the next allocation.
+				id, err := p.Allocate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if id != 2 {
+					t.Fatalf("Allocate = %d, want recycled page 2", id)
+				}
+			},
+		},
+		{
+			name: "clean shutdown leaves nothing to replay",
+			prepare: func(t *testing.T, path string) {
+				// Full production flow: pool + WAL, a commit, a checkpoint.
+				p, err := OpenFilePager(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w, err := CreateWAL(WALPath(path), walTestPageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool := NewBufferPool(p, 8)
+				pool.AttachWAL(w)
+				data, err := pool.Get(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				copy(data, fillPage('Z'))
+				pool.Unpin(1, true)
+				if err := pool.FlushAll(); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Close(); err != nil {
+					t.Fatal(err)
+				}
+			},
+			check: func(t *testing.T, p *FilePager, st RecoveryStats) {
+				if st.Scanned != 0 || st.Redone != 0 || st.Undone != 0 || st.TornTail {
+					t.Fatalf("clean shutdown should replay nothing, got %+v", st)
+				}
+				if got := readPageAfterRecovery(t, p, 1); got[0] != 'Z' {
+					t.Fatalf("page 1 = %q, want committed 'Z'", got[0])
+				}
+				if st.LastLSN == 0 {
+					t.Fatal("checkpoint LSN not persisted")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := newRecoverFixture(t)
+			tc.prepare(t, path)
+			p, st, err := OpenFilePagerRecover(path)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer p.Close()
+			tc.check(t, p, st)
+		})
+	}
+}
+
+// TestRecoveryIdempotent runs recovery twice: the first pass must seal the
+// log so the second has nothing to do and changes nothing.
+func TestRecoveryIdempotent(t *testing.T) {
+	path := newRecoverFixture(t)
+	w, err := CreateWAL(WALPath(path), walTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendUpdate(1, fillPage('A'), fillPage('C')); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p1, st1, err := OpenFilePagerRecover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Redone != 1 {
+		t.Fatalf("first recovery: Redone = %d, want 1", st1.Redone)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, st2, err := OpenFilePagerRecover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if st2.Scanned != 0 || st2.Redone != 0 || st2.Undone != 0 || st2.TornTail {
+		t.Fatalf("second recovery should be a no-op, got %+v", st2)
+	}
+	if st2.LastLSN != st1.LastLSN {
+		t.Fatalf("LSN moved across idempotent recovery: %d -> %d", st1.LastLSN, st2.LastLSN)
+	}
+	if got := readPageAfterRecovery(t, p2, 1); got[0] != 'C' {
+		t.Fatalf("page 1 = %q, want 'C'", got[0])
+	}
+}
+
+// TestWALRoundTrip checks append + scan agree on record framing.
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wal")
+	w, err := CreateWAL(path, walTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendUpdate(7, fillPage(1), fillPage(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendFree(9); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.AppendCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 3 {
+		t.Fatalf("commit LSN = %d, want 3", lsn)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Records != 2 || st.Commits != 1 || st.Syncs != 1 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, _, last, err := scanWAL(osFile{f}, walTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || last != 3 {
+		t.Fatalf("scanned %d records (last LSN %d), want 3 (3)", len(recs), last)
+	}
+	if recs[0].kind != walRecUpdate || recs[0].page != 7 {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if !bytes.Equal(recs[0].payload[:walTestPageSize], fillPage(1)) ||
+		!bytes.Equal(recs[0].payload[walTestPageSize:], fillPage(2)) {
+		t.Fatal("update images corrupted in round trip")
+	}
+	if recs[1].kind != walRecFree || recs[1].page != 9 {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	if recs[2].kind != walRecCommit {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+
+	// Reset truncates and preserves LSN monotonicity.
+	if err := w.Reset(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendFree(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LSN(); got != lsn+1 {
+		t.Fatalf("LSN after reset = %d, want %d", got, lsn+1)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -111,6 +111,12 @@ type Config struct {
 	// entries and uses them to tighten search bounds — worthwhile when
 	// the indexed sets vary in size (for Hamming and Jaccard searches).
 	CardStats bool
+	// Durable (file-backed indexes only) guards every page write with a
+	// write-ahead log at path+".wal": each Sync/Close commits atomically,
+	// and after a crash Recover (or OpenFile, which recovers implicitly)
+	// restores the last committed state. Costs one fsynced log append per
+	// page flush.
+	Durable bool
 }
 
 func (c Config) coreOptions() core.Options {
@@ -213,11 +219,12 @@ type Index struct {
 
 // New creates an in-memory Index.
 func New(cfg Config) (*Index, error) {
-	return newIndex(cfg, nil)
+	return newIndex(cfg, nil, nil)
 }
 
 // NewOnFile creates an Index persisted to the given file (truncating it).
-// Call Close to flush before the process exits; reopen with OpenFile.
+// Call Close to flush before the process exits; reopen with OpenFile. With
+// cfg.Durable a write-ahead log is created at path+".wal".
 func NewOnFile(cfg Config, path string) (*Index, error) {
 	pageSize := cfg.PageSize
 	if pageSize == 0 {
@@ -227,33 +234,71 @@ func NewOnFile(cfg Config, path string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(cfg, p)
+	var wal *storage.WAL
+	if cfg.Durable {
+		if wal, err = storage.CreateWAL(storage.WALPath(path), pageSize); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	return newIndex(cfg, p, wal)
 }
 
 // OpenFile reopens an Index created with NewOnFile. The configuration must
-// match the one used at creation.
+// match the one used at creation. With cfg.Durable the write-ahead log is
+// replayed first, so opening after a crash restores the last committed
+// state (use Recover to also see the recovery statistics).
 func OpenFile(cfg Config, path string) (*Index, error) {
+	ix, _, err := openFile(cfg, path)
+	return ix, err
+}
+
+// RecoveryStats summarizes a WAL recovery pass; see storage.RecoveryStats.
+type RecoveryStats = storage.RecoveryStats
+
+// Recover is OpenFile for a durable index that may have crashed: it replays
+// the write-ahead log and reports what recovery did. On a cleanly closed
+// index the stats are zero.
+func Recover(cfg Config, path string) (*Index, RecoveryStats, error) {
+	cfg.Durable = true
+	return openFile(cfg, path)
+}
+
+func openFile(cfg Config, path string) (*Index, RecoveryStats, error) {
 	if cfg.Universe <= 0 {
-		return nil, fmt.Errorf("sgtree: Universe must be positive")
+		return nil, RecoveryStats{}, fmt.Errorf("sgtree: Universe must be positive")
 	}
-	p, err := storage.OpenFilePager(path)
-	if err != nil {
-		return nil, err
+	var (
+		p     *storage.FilePager
+		stats RecoveryStats
+		wal   *storage.WAL
+		err   error
+	)
+	if cfg.Durable {
+		if p, stats, err = storage.OpenFilePagerRecover(path); err != nil {
+			return nil, stats, err
+		}
+		if wal, err = storage.OpenWAL(storage.WALPath(path), p.PageSize()); err != nil {
+			p.Close()
+			return nil, stats, err
+		}
+	} else if p, err = storage.OpenFilePager(path); err != nil {
+		return nil, stats, err
 	}
-	tree, err := core.Open(p, 1, cfg.coreOptions())
+	tree, err := core.OpenWithWAL(p, wal, 1, cfg.coreOptions())
 	if err != nil {
 		p.Close()
-		return nil, err
+		return nil, stats, err
 	}
 	return &Index{
 		cfg:    cfg,
 		tree:   tree,
 		mapper: cfg.mapper(),
 		exact:  cfg.SignatureLength == 0 || cfg.SignatureLength >= cfg.Universe,
-	}, nil
+	}, stats, nil
 }
 
-func newIndex(cfg Config, pager storage.Pager) (*Index, error) {
+func newIndex(cfg Config, pager storage.Pager, wal *storage.WAL) (*Index, error) {
 	if cfg.Universe <= 0 {
 		return nil, fmt.Errorf("sgtree: Universe must be positive")
 	}
@@ -263,7 +308,7 @@ func newIndex(cfg Config, pager storage.Pager) (*Index, error) {
 	if pager == nil {
 		tree, err = core.New(opts)
 	} else {
-		tree, err = core.NewWithPager(pager, opts)
+		tree, err = core.NewWithPagerWAL(pager, wal, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -286,8 +331,14 @@ func (ix *Index) Len() int { return ix.tree.Len() }
 // Height returns the tree height (0 when empty).
 func (ix *Index) Height() int { return ix.tree.Height() }
 
-// Close flushes the index to its pager.
+// Close flushes the index to its pager. On a durable index this is a
+// commit point, like Sync.
 func (ix *Index) Close() error { return ix.tree.Close() }
+
+// Sync flushes all dirty state to the pager. On a durable index the
+// updates since the previous Sync become durable atomically: after a
+// crash, recovery restores either all of them or none.
+func (ix *Index) Sync() error { return ix.tree.Sync() }
 
 // Tree exposes the underlying core tree for benchmarks and advanced use.
 func (ix *Index) Tree() *core.Tree { return ix.tree }

@@ -182,6 +182,64 @@ func TestFilePersistenceFacade(t *testing.T) {
 	}
 }
 
+func TestDurableFacadeAndRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.db")
+	cfg := testConfig()
+	cfg.Durable = true
+	ix, err := NewOnFile(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := ix.Insert(uint32(i), []int{i % 100, (i * 3) % 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	c := ix.Counters()
+	if c.WALRecords == 0 || c.WALCommits == 0 {
+		t.Errorf("durable index reported no WAL activity: %+v", c)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// OpenFile on a durable index recovers implicitly.
+	re, err := OpenFile(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 50 {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit Recover works on a clean index too (no-op replay).
+	rec, st, err := Recover(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Redone != 0 || st.Undone != 0 {
+		t.Errorf("clean index replayed records: %+v", st)
+	}
+	if rec.Len() != 50 {
+		t.Fatalf("recovered Len = %d", rec.Len())
+	}
+	if err := rec.Insert(999, []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestNeighborIteratorFacade(t *testing.T) {
 	ix, err := New(testConfig())
 	if err != nil {
