@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race crash fuzz check fmt bench
+.PHONY: build test vet race crash fuzz check fmt bench bench-json
 
 build:
 	$(GO) build ./...
@@ -42,5 +42,30 @@ check: vet test race crash
 fmt:
 	gofmt -l .
 
+# The bench lane measures the query-path benchmarks with allocation
+# counts and, when benchstat is on PATH, compares the run against the
+# checked-in baseline (BENCH_baseline.txt, refreshed with `make
+# bench BENCH_UPDATE=1`). Without benchstat the raw numbers still print.
+# The default package is the root API benchmarks that the baseline covers;
+# override with BENCH_PKGS=./... for the full sweep.
+BENCH_PKGS ?= .
+BENCH_TIME ?= 2s
+BENCH_COUNT ?= 5
+
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) test -bench . -benchmem -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -run '^$$' $(BENCH_PKGS) | tee BENCH_latest.txt
+ifeq ($(BENCH_UPDATE),1)
+	cp BENCH_latest.txt BENCH_baseline.txt
+else
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat BENCH_baseline.txt BENCH_latest.txt; \
+	else \
+		echo "benchstat not installed; skipping baseline comparison"; \
+	fi
+endif
+
+# Refresh the checked-in throughput reports (used to track QPS between
+# revisions; see BENCH_throughput_w{1,4}.json).
+bench-json:
+	$(GO) run ./cmd/sgbench -workers 1 > BENCH_throughput_w1.json
+	$(GO) run ./cmd/sgbench -workers 4 > BENCH_throughput_w4.json

@@ -11,6 +11,7 @@
 //	sgbench -csv                # machine-readable output
 //	sgbench -workers 8          # parallel-throughput benchmark, JSON output
 //	sgbench -workers 8 -queries 5000 -k 10 -eps 4 -timeout 30s
+//	sgbench -workers 4 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // The -workers mode measures concurrent query throughput through the batch
 // engine and emits one JSON document (latency percentiles, buffer-pool hit
@@ -22,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,9 +50,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		k        = fs.Int("k", 10, "throughput mode: neighbors per kNN query")
 		eps      = fs.Float64("eps", 4, "throughput mode: range-query radius")
 		timeout  = fs.Duration("timeout", 0, "throughput mode: per-batch deadline (0 = none)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(stderr, "sgbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "sgbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, "sgbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "sgbench:", err)
+			}
+		}()
 	}
 
 	scale := harness.DefaultScale()

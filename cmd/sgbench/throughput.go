@@ -40,6 +40,8 @@ type throughputReport struct {
 
 	// Pool aggregates buffer-pool behaviour over both measured batches.
 	Pool poolStats `json:"buffer_pool"`
+	// NodeCache aggregates decoded-node cache behaviour over both batches.
+	NodeCache poolStats `json:"node_cache"`
 	// Counters are the tree's cumulative executor counters over both
 	// measured batches.
 	Counters countersJSON `json:"counters"`
@@ -173,6 +175,11 @@ func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queri
 			Hits:    ps.Hits,
 			Misses:  ps.Misses,
 			HitRate: hitRate(ps.Hits, ps.Misses),
+		},
+		NodeCache: poolStats{
+			Hits:    c.NodeCacheHits,
+			Misses:  c.NodeCacheMisses,
+			HitRate: hitRate(c.NodeCacheHits, c.NodeCacheMisses),
 		},
 		Counters: countersJSON{
 			Queries:       c.Queries,

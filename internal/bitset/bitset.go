@@ -33,6 +33,22 @@ func New(n int) *Bitset {
 	return &Bitset{words: make([]uint64, wordsFor(n)), n: n}
 }
 
+// View returns a Bitset value backed by the caller's word slice, without
+// copying. The slice must hold exactly wordsFor(n) words. The caller is
+// responsible for the tail invariant until a mutating operation that clamps
+// (SetWords, SetBytes, Not) runs; decoded views from the node codec always
+// arrive clamped. Views let a node keep all its entry signatures in one
+// contiguous slab.
+func View(words []uint64, n int) Bitset {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	if len(words) != wordsFor(n) {
+		panic(fmt.Sprintf("bitset: view of %d words cannot hold %d bits", len(words), n))
+	}
+	return Bitset{words: words, n: n}
+}
+
 // FromPositions returns a bitmap of length n with the given bit positions set.
 // Positions out of range cause a panic, matching Set.
 func FromPositions(n int, positions []int) *Bitset {
@@ -244,6 +260,29 @@ func (b *Bitset) AndNotCount(o *Bitset) int {
 	return c
 }
 
+// AndNotCountAtLeast is AndNotCount with an early exit: it stops counting
+// as soon as the running count reaches limit, returning the count so far
+// and whether the limit was reached. When reached is true the returned
+// count is a lower bound on the true count (it is at least limit); when
+// false it is exact. A limit <= 0 reports reached immediately. This is the
+// kernel behind the fused mindist-with-threshold bound: once a directory
+// entry's lower bound exceeds the pruning radius, the remaining words need
+// not be counted.
+func (b *Bitset) AndNotCountAtLeast(o *Bitset, limit int) (int, bool) {
+	b.mustMatch(o)
+	if limit <= 0 {
+		return 0, true
+	}
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(b.words[i] &^ w)
+		if c >= limit {
+			return c, true
+		}
+	}
+	return c, false
+}
+
 // OrCount returns |b | o| without allocating.
 func (b *Bitset) OrCount(o *Bitset) int {
 	b.mustMatch(o)
@@ -264,6 +303,25 @@ func (b *Bitset) HammingDistance(o *Bitset) int {
 		c += bits.OnesCount64(b.words[i] ^ w)
 	}
 	return c
+}
+
+// HammingAtLeast is HammingDistance with an early exit, mirroring
+// AndNotCountAtLeast: counting stops once the running XOR popcount reaches
+// limit. When reached is true the returned count is a lower bound (at
+// least limit); when false it is the exact distance.
+func (b *Bitset) HammingAtLeast(o *Bitset, limit int) (int, bool) {
+	b.mustMatch(o)
+	if limit <= 0 {
+		return 0, true
+	}
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(b.words[i] ^ w)
+		if c >= limit {
+			return c, true
+		}
+	}
+	return c, false
 }
 
 // EnlargementCount returns |o &^ b|: how many new bits b would gain if o
@@ -326,6 +384,30 @@ func (b *Bitset) SetWords(w []uint64) {
 		panic("bitset: SetWords length mismatch")
 	}
 	copy(b.words, w)
+	b.clampTail()
+}
+
+// SetBytes overwrites the bitmap from its little-endian byte serialization
+// (bit i of the bitmap is bit i%8 of byte i/8) and clamps the tail. src
+// must hold exactly (Len()+7)/8 bytes — the dense codec representation.
+// Unlike SetWords it needs no intermediate word slice, so the codec can
+// decode straight from a page into a preallocated bitmap.
+func (b *Bitset) SetBytes(src []byte) {
+	if len(src) != (b.n+7)/8 {
+		panic(fmt.Sprintf("bitset: SetBytes got %d bytes for %d bits", len(src), b.n))
+	}
+	for wi := range b.words {
+		var w uint64
+		base := wi * 8
+		m := len(src) - base
+		if m > 8 {
+			m = 8
+		}
+		for j := 0; j < m; j++ {
+			w |= uint64(src[base+j]) << (8 * uint(j))
+		}
+		b.words[wi] = w
+	}
 	b.clampTail()
 }
 

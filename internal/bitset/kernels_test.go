@@ -1,0 +1,157 @@
+package bitset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// kernelPair builds two random bitmaps of the same length with correlated
+// content (shared prefix of set bits) so early-exit kernels see both small
+// and large counts.
+func kernelPair(rng *rand.Rand, n int) (*Bitset, *Bitset) {
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) != 0 {
+			a.Set(i)
+		}
+		if rng.Intn(3) != 0 {
+			b.Set(i)
+		}
+	}
+	return a, b
+}
+
+func TestAndNotCountAtLeast(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := kernelPair(rng, n)
+		exact := a.AndNotCount(b)
+		for _, limit := range []int{-1, 0, 1, exact - 1, exact, exact + 1, n + 1} {
+			got, reached := a.AndNotCountAtLeast(b, limit)
+			if limit <= 0 {
+				if got != 0 || !reached {
+					t.Fatalf("n=%d limit=%d: got (%d,%v), want (0,true)", n, limit, got, reached)
+				}
+				continue
+			}
+			if reached != (exact >= limit) {
+				t.Fatalf("n=%d limit=%d exact=%d: reached=%v", n, limit, exact, reached)
+			}
+			if reached {
+				// A clamped count is a valid lower bound in [limit, exact].
+				if got < limit || got > exact {
+					t.Fatalf("n=%d limit=%d: clamped count %d outside [%d,%d]", n, limit, got, limit, exact)
+				}
+			} else if got != exact {
+				t.Fatalf("n=%d limit=%d: unreached count %d != exact %d", n, limit, got, exact)
+			}
+		}
+	}
+}
+
+func TestHammingAtLeast(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := kernelPair(rng, n)
+		exact := a.HammingDistance(b)
+		for _, limit := range []int{-1, 0, 1, exact - 1, exact, exact + 1, n + 1} {
+			got, reached := a.HammingAtLeast(b, limit)
+			if limit <= 0 {
+				if got != 0 || !reached {
+					t.Fatalf("n=%d limit=%d: got (%d,%v), want (0,true)", n, limit, got, reached)
+				}
+				continue
+			}
+			if reached != (exact >= limit) {
+				t.Fatalf("n=%d limit=%d exact=%d: reached=%v", n, limit, exact, reached)
+			}
+			if reached {
+				if got < limit || got > exact {
+					t.Fatalf("n=%d limit=%d: clamped count %d outside [%d,%d]", n, limit, got, limit, exact)
+				}
+			} else if got != exact {
+				t.Fatalf("n=%d limit=%d: unreached count %d != exact %d", n, limit, got, exact)
+			}
+		}
+	}
+}
+
+func TestAtLeastKernelsWithMaxLimit(t *testing.T) {
+	// MaxInt limits (from a +Inf threshold) must degrade to exact counts.
+	rng := rand.New(rand.NewSource(9))
+	a, b := kernelPair(rng, 500)
+	if got, reached := a.AndNotCountAtLeast(b, math.MaxInt); reached || got != a.AndNotCount(b) {
+		t.Fatalf("AndNotCountAtLeast(MaxInt) = (%d,%v)", got, reached)
+	}
+	if got, reached := a.HammingAtLeast(b, math.MaxInt); reached || got != a.HammingDistance(b) {
+		t.Fatalf("HammingAtLeast(MaxInt) = (%d,%v)", got, reached)
+	}
+}
+
+func TestView(t *testing.T) {
+	words := []uint64{0, 0}
+	v := View(words, 100)
+	v.Set(3)
+	v.Set(99)
+	if words[0] != 1<<3 || words[1] != 1<<(99-64) {
+		t.Fatal("view writes did not land in the backing slice")
+	}
+	if v.Count() != 2 || !v.Test(99) {
+		t.Fatal("view reads wrong")
+	}
+	// Views interoperate with heap bitsets of the same length.
+	o := New(100)
+	o.Set(3)
+	if v.AndNotCount(o) != 1 {
+		t.Fatal("view AndNotCount wrong")
+	}
+	for _, bad := range []struct {
+		words int
+		n     int
+	}{{1, 100}, {3, 100}, {2, 129}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("View(%d words, %d bits) did not panic", bad.words, bad.n)
+				}
+			}()
+			View(make([]uint64, bad.words), bad.n)
+		}()
+	}
+}
+
+func TestSetBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 7, 8, 63, 64, 65, 127, 128, 200, 500} {
+		src := make([]byte, (n+7)/8)
+		rng.Read(src)
+		b := New(n)
+		b.Set(0) // pre-set bits must be overwritten, not OR-ed
+		b.SetBytes(src)
+		for i := 0; i < n; i++ {
+			want := src[i/8]&(1<<uint(i%8)) != 0
+			if b.Test(i) != want {
+				t.Fatalf("n=%d bit %d: got %v want %v", n, i, b.Test(i), want)
+			}
+		}
+		// Tail bits beyond n must be clamped so counting ops stay exact.
+		count := 0
+		for i := 0; i < n; i++ {
+			if src[i/8]&(1<<uint(i%8)) != 0 {
+				count++
+			}
+		}
+		if b.Count() != count {
+			t.Fatalf("n=%d: Count=%d want %d (tail not clamped?)", n, b.Count(), count)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetBytes with wrong size did not panic")
+		}
+	}()
+	New(64).SetBytes(make([]byte, 7))
+}

@@ -107,7 +107,9 @@ func (t *Tree) ClusterLeaves(k int) ([]Cluster, error) {
 }
 
 func (t *Tree) collectLeafClusters(id storage.PageID, out *[]Cluster) error {
-	n, err := t.readNode(id)
+	// Read-only traversal: covers are merged into a fresh signature, so the
+	// shared cached decode is safe.
+	n, err := t.readNodeCached(id)
 	if err != nil {
 		return err
 	}

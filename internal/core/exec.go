@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync"
 
 	"sgtree/internal/dataset"
 	"sgtree/internal/signature"
@@ -23,19 +24,38 @@ import (
 // An executor serves exactly one traversal and is not safe for concurrent
 // use; concurrency comes from running many executors (one per query) under
 // the tree's read lock, as the batch engine does.
+//
+// Executors are pooled (execPool): the scratch state a traversal needs —
+// the bounded result heap, the best-first frontier, one branch-ordering
+// buffer per tree level — is retained across queries, so a steady query
+// stream stops paying per-query allocations for search bookkeeping.
 type executor struct {
 	t     *Tree
 	ctx   context.Context // nil when the query is not cancellable
 	obs   Observer        // nil when no hooks are registered
 	stats QueryStats
 	done  bool
+
+	// Pooled scratch, reset (lengths only) between queries:
+	acc        knnAccumulator  // k-NN result accumulator, heap backed by neighbors
+	neighbors  []Neighbor      // backing array handed to acc.heap
+	pq         nodePQ          // best-first search frontier
+	branchFree [][]branchEntry // free list of branch-ordering buffers (one per depth)
 }
 
-// newExec builds an executor for one traversal of t. The caller must hold
-// t.mu (read or write). A nil or Background context disables cancellation
-// checks entirely, keeping the legacy APIs at their original cost.
+var execPool = sync.Pool{New: func() interface{} { return new(executor) }}
+
+// newExec builds an executor for one traversal of t, drawing on the pool.
+// The caller must hold t.mu (read or write) and release the executor with
+// e.release() when the traversal — including any reads of e.stats — is
+// complete; the query entry points do this with defer, which runs after
+// the return values are evaluated. NNIterator keeps its executor for the
+// iterator's whole lifetime and never releases it. A nil or Background
+// context disables cancellation checks entirely, keeping the legacy APIs
+// at their original cost.
 func (t *Tree) newExec(ctx context.Context) *executor {
-	e := &executor{t: t}
+	e := execPool.Get().(*executor)
+	e.t = t
 	if ctx != nil && ctx != context.Background() {
 		e.ctx = ctx
 	}
@@ -51,6 +71,45 @@ func (t *Tree) newExec(ctx context.Context) *executor {
 	return e
 }
 
+// release returns the executor to the pool, keeping the scratch buffers'
+// capacity but dropping everything query-specific.
+func (e *executor) release() {
+	if e.acc.heap != nil {
+		// Recover the (possibly grown) heap backing for the next query.
+		e.neighbors = e.acc.heap[:0]
+	}
+	e.acc = knnAccumulator{}
+	e.pq = e.pq[:0]
+	e.t, e.ctx, e.obs = nil, nil, nil
+	e.stats = QueryStats{}
+	e.done = false
+	execPool.Put(e)
+}
+
+// newAccumulator readies the executor's k-NN accumulator on the pooled
+// heap backing.
+func (e *executor) newAccumulator(k int) *knnAccumulator {
+	e.acc = knnAccumulator{k: k, heap: e.neighbors[:0]}
+	return &e.acc
+}
+
+// getBranches hands out an empty branch-ordering buffer from the free
+// list; putBranches returns it. Depth-first traversals use one buffer per
+// level, so the free list grows to the tree height and then stops
+// allocating.
+func (e *executor) getBranches() []branchEntry {
+	if n := len(e.branchFree); n > 0 {
+		b := e.branchFree[n-1]
+		e.branchFree = e.branchFree[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (e *executor) putBranches(b []branchEntry) {
+	e.branchFree = append(e.branchFree, b)
+}
+
 // visit loads a node of the executor's own tree.
 func (e *executor) visit(id storage.PageID) (*node, error) {
 	return e.visitIn(e.t, id)
@@ -59,14 +118,16 @@ func (e *executor) visit(id storage.PageID) (*node, error) {
 // visitIn loads a node of tr (the non-receiver side of a join), checking
 // cancellation first and accounting the access. Cancellation is checked
 // here — once per node — so an aborted query stops within one node's worth
-// of work.
+// of work. The read goes through tr's decoded-node cache; the returned
+// node may be shared with concurrent queries and must be treated as
+// read-only by every traversal.
 func (e *executor) visitIn(tr *Tree, id storage.PageID) (*node, error) {
 	if e.ctx != nil {
 		if err := e.ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
-	n, err := tr.readNode(id)
+	n, err := tr.readNodeCached(id)
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +146,16 @@ func (e *executor) visitIn(tr *Tree, id storage.PageID) (*node, error) {
 func (e *executor) bound(q signature.Signature, ent *entry) float64 {
 	e.stats.EntriesTested++
 	return e.t.entryMinDist(q, ent)
+}
+
+// boundWithin is bound fused with the pruning test against threshold thr:
+// it returns the lower bound (clamped when the early-exit kernel proved
+// prunability before finishing the popcount) and whether the entry's
+// subtree can be skipped. strict selects the comparison the caller prunes
+// under (>= thr) versus the inclusive form (> thr).
+func (e *executor) boundWithin(q signature.Signature, ent *entry, thr float64, strict bool) (float64, bool) {
+	e.stats.EntriesTested++
+	return e.t.entryMinDistWithin(q, ent, thr, strict)
 }
 
 // testEntry accounts a directory-entry predicate evaluation.
@@ -106,6 +177,15 @@ func (e *executor) prune(child storage.PageID, bound float64) {
 func (e *executor) compare(q, s signature.Signature) float64 {
 	e.stats.DataCompared++
 	return e.t.opts.distance(q, s)
+}
+
+// compareWithin is compare fused with the acceptance test: for Hamming the
+// distance popcount aborts once the candidate is provably rejected under
+// threshold thr. Accepted candidates (failed == false) always carry their
+// exact distance.
+func (e *executor) compareWithin(q, s signature.Signature, thr float64, strict bool) (float64, bool) {
+	e.stats.DataCompared++
+	return e.t.opts.distanceWithin(q, s, thr, strict)
 }
 
 // testData accounts a leaf predicate evaluation.
@@ -194,7 +274,7 @@ func (e *executor) rangeWalk(id storage.PageID, q signature.Signature, eps float
 	}
 	if n.leaf {
 		for i := range n.entries {
-			if d := e.compare(q, n.entries[i].sig); d <= eps {
+			if d, failed := e.compareWithin(q, n.entries[i].sig, eps, false); !failed {
 				e.result(n.entries[i].tid, d)
 				*out = append(*out, Neighbor{TID: n.entries[i].tid, Dist: d})
 			}
@@ -202,7 +282,7 @@ func (e *executor) rangeWalk(id storage.PageID, q signature.Signature, eps float
 		return nil
 	}
 	for i := range n.entries {
-		if md := e.bound(q, &n.entries[i]); md > eps {
+		if md, prunable := e.boundWithin(q, &n.entries[i], eps, false); prunable {
 			e.prune(n.entries[i].child, md)
 			continue
 		}

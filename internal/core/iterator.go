@@ -75,6 +75,9 @@ func (t *Tree) NewNNIterator(q signature.Signature) (*NNIterator, error) {
 	if err := t.checkQuerySignature(q); err != nil {
 		return nil, err
 	}
+	// The iterator owns its executor for the whole browsing session — the
+	// frontier spans many Next calls — so unlike the one-shot queries it
+	// never returns it to the executor pool.
 	it := &NNIterator{t: t, q: q.Clone(), e: t.newExec(nil)}
 	if t.root != storage.InvalidPage {
 		it.pq = browseHeap{{node: t.root}}
@@ -125,7 +128,7 @@ func (it *NNIterator) NextContext(ctx context.Context) (Neighbor, bool, error) {
 			heap.Push(&it.pq, browseItem{
 				dist: it.e.bound(it.q, &n.entries[i]),
 				node: n.entries[i].child,
-				area: n.entries[i].sig.Area(),
+				area: n.entryArea(i),
 			})
 		}
 	}

@@ -85,6 +85,7 @@ func (t *Tree) SimilarityJoinContext(ctx context.Context, other *Tree, eps float
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
+	defer e.release()
 	var out []Pair
 	if err := e.finish(e.joinNodes(other, t.root, other.root, eps, self, &out)); err != nil {
 		return nil, e.stats, err
@@ -243,6 +244,7 @@ func (t *Tree) ClosestPairsContext(ctx context.Context, other *Tree, k int) ([]P
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
+	defer e.release()
 
 	best := pairHeap{}
 	bound := func() float64 {

@@ -1,11 +1,9 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"sgtree/internal/signature"
 	"sgtree/internal/storage"
@@ -22,19 +20,46 @@ import (
 
 // resultHeap is a bounded max-heap holding the k best neighbors found so
 // far; the root is the current k-th best, whose distance is the pruning
-// bound.
+// bound. The heap is hand-rolled over the slice rather than going through
+// container/heap: the interface methods box every Neighbor pushed or
+// popped, which is one allocation per candidate on the innermost search
+// loop.
 type resultHeap []Neighbor
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist } // max-heap
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// push adds a neighbor, sifting it up to keep the max-heap property.
+func (h *resultHeap) push(nb Neighbor) {
+	*h = append(*h, nb)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].Dist >= s[i].Dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+// replaceRoot overwrites the current maximum and sifts the replacement
+// down — the "evict the k-th best" step of a bounded k-NN heap.
+func (h resultHeap) replaceRoot(nb Neighbor) {
+	h[0] = nb
+	i := 0
+	for {
+		big := i
+		if l := 2*i + 1; l < len(h) && h[l].Dist > h[big].Dist {
+			big = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r].Dist > h[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
 }
 
 // knnAccumulator tracks the k nearest neighbors during a search.
@@ -55,12 +80,11 @@ func (a *knnAccumulator) bound() float64 {
 // offer considers a candidate.
 func (a *knnAccumulator) offer(n Neighbor) {
 	if len(a.heap) < a.k {
-		heap.Push(&a.heap, n)
+		a.heap.push(n)
 		return
 	}
 	if n.Dist < a.heap[0].Dist {
-		a.heap[0] = n
-		heap.Fix(&a.heap, 0)
+		a.heap.replaceRoot(n)
 	}
 }
 
@@ -111,7 +135,8 @@ func (t *Tree) KNNContext(ctx context.Context, q signature.Signature, k int) ([]
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
-	acc := &knnAccumulator{k: k}
+	defer e.release()
+	acc := e.newAccumulator(k)
 	if err := e.dfSearch(t.root, q, acc); err != nil {
 		return nil, e.stats, e.finish(err)
 	}
@@ -132,22 +157,48 @@ type branchEntry struct {
 	area    int
 }
 
-func (e *executor) orderBranches(n *node, q signature.Signature) []branchEntry {
-	branches := make([]branchEntry, len(n.entries))
+// orderBranches computes every entry's lower bound — aborting the popcount
+// early for entries already prunable under thr — and sorts by the Figure 4
+// key. The buffer comes from the executor's per-level free list; callers
+// return it with putBranches. Entries whose bound was clamped by the early
+// exit sort after every survivor (their value is at least the failing
+// limit, survivors' exact values are below it) and always fail the
+// caller's pruning test, so the traversal is unchanged.
+func (e *executor) orderBranches(n *node, q signature.Signature, thr float64, strict bool) []branchEntry {
+	branches := e.getBranches()
 	for i := range n.entries {
-		branches[i] = branchEntry{
-			idx:     i,
-			minDist: e.bound(q, &n.entries[i]),
-			area:    n.entries[i].sig.Area(),
-		}
+		md, _ := e.boundWithin(q, &n.entries[i], thr, strict)
+		branches = append(branches, branchEntry{idx: i, minDist: md, area: n.entryArea(i)})
 	}
-	sort.Slice(branches, func(a, b int) bool {
-		if branches[a].minDist != branches[b].minDist {
-			return branches[a].minDist < branches[b].minDist
-		}
-		return branches[a].area < branches[b].area
-	})
+	sortBranches(branches)
 	return branches
+}
+
+// sortBranches orders by (minDist, area, idx) — ascending bound, area
+// tie-break per Section 4.1, entry index as the final deterministic
+// tie-break. Insertion sort: nodes hold at most a few tens of entries and
+// the bounds arrive nearly sorted often enough that this beats a general
+// sort, without the closure allocation of sort.Slice.
+func sortBranches(b []branchEntry) {
+	for i := 1; i < len(b); i++ {
+		x := b[i]
+		j := i - 1
+		for j >= 0 && branchLess(x, b[j]) {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = x
+	}
+}
+
+func branchLess(a, b branchEntry) bool {
+	if a.minDist != b.minDist {
+		return a.minDist < b.minDist
+	}
+	if a.area != b.area {
+		return a.area < b.area
+	}
+	return a.idx < b.idx
 }
 
 // pruneFrom records the branches from position i on as pruned (entries are
@@ -166,14 +217,15 @@ func (e *executor) dfSearch(id storage.PageID, q signature.Signature, acc *knnAc
 	}
 	if n.leaf {
 		for i := range n.entries {
-			d := e.compare(q, n.entries[i].sig)
-			if d < acc.bound() {
+			d, failed := e.compareWithin(q, n.entries[i].sig, acc.bound(), true)
+			if !failed {
 				acc.offer(Neighbor{TID: n.entries[i].tid, Dist: d})
 			}
 		}
 		return nil
 	}
-	branches := e.orderBranches(n, q)
+	branches := e.orderBranches(n, q, acc.bound(), true)
+	defer e.putBranches(branches)
 	for bi, b := range branches {
 		if b.minDist >= acc.bound() {
 			// Entries are sorted: nothing further can improve the result.
@@ -205,6 +257,7 @@ func (t *Tree) AllNearestNeighborsContext(ctx context.Context, q signature.Signa
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
+	defer e.release()
 	best := math.Inf(1)
 	var out []Neighbor
 	if err := e.dfSearchAll(t.root, q, &best, &out); err != nil {
@@ -224,7 +277,13 @@ func (e *executor) dfSearchAll(id storage.PageID, q signature.Signature, best *f
 	}
 	if n.leaf {
 		for i := range n.entries {
-			d := e.compare(q, n.entries[i].sig)
+			// Inclusive threshold: ties with the current best must be kept,
+			// so a candidate is rejected only once its distance provably
+			// exceeds *best.
+			d, failed := e.compareWithin(q, n.entries[i].sig, *best, false)
+			if failed {
+				continue
+			}
 			switch {
 			case d < *best:
 				*best = d
@@ -236,7 +295,8 @@ func (e *executor) dfSearchAll(id storage.PageID, q signature.Signature, best *f
 		}
 		return nil
 	}
-	branches := e.orderBranches(n, q)
+	branches := e.orderBranches(n, q, *best, false)
+	defer e.putBranches(branches)
 	for bi, b := range branches {
 		if b.minDist > *best {
 			e.pruneFrom(n, branches, bi)
@@ -257,23 +317,54 @@ type pqItem struct {
 	area    int
 }
 
+// nodePQ is a min-heap over (minDist, area), hand-rolled like resultHeap
+// to keep pqItems out of interface boxes on the search's inner loop. The
+// backing slice is pooled with the executor.
 type nodePQ []pqItem
 
-func (h nodePQ) Len() int { return len(h) }
-func (h nodePQ) Less(i, j int) bool {
-	if h[i].minDist != h[j].minDist {
-		return h[i].minDist < h[j].minDist
+func pqLess(a, b pqItem) bool {
+	if a.minDist != b.minDist {
+		return a.minDist < b.minDist
 	}
-	return h[i].area < h[j].area
+	return a.area < b.area
 }
-func (h nodePQ) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodePQ) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
-func (h *nodePQ) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *nodePQ) push(it pqItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !pqLess(s[i], s[p]) {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *nodePQ) pop() pqItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < len(s) && pqLess(s[l], s[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < len(s) && pqLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
 }
 
 // KNNBestFirst returns the k nearest neighbors using the optimal best-first
@@ -299,10 +390,12 @@ func (t *Tree) KNNBestFirstContext(ctx context.Context, q signature.Signature, k
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
-	acc := &knnAccumulator{k: k}
-	pq := &nodePQ{{id: t.root, minDist: 0}}
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(pqItem)
+	defer e.release()
+	acc := e.newAccumulator(k)
+	pq := &e.pq
+	pq.push(pqItem{id: t.root, minDist: 0})
+	for len(*pq) > 0 {
+		item := pq.pop()
 		if item.minDist >= acc.bound() {
 			e.prune(item.id, item.minDist)
 			continue
@@ -313,20 +406,20 @@ func (t *Tree) KNNBestFirstContext(ctx context.Context, q signature.Signature, k
 		}
 		if n.leaf {
 			for i := range n.entries {
-				d := e.compare(q, n.entries[i].sig)
-				if d < acc.bound() {
+				d, failed := e.compareWithin(q, n.entries[i].sig, acc.bound(), true)
+				if !failed {
 					acc.offer(Neighbor{TID: n.entries[i].tid, Dist: d})
 				}
 			}
 			continue
 		}
 		for i := range n.entries {
-			md := e.bound(q, &n.entries[i])
-			if md < acc.bound() {
-				heap.Push(pq, pqItem{
+			md, prunable := e.boundWithin(q, &n.entries[i], acc.bound(), true)
+			if !prunable {
+				pq.push(pqItem{
 					id:      n.entries[i].child,
 					minDist: md,
-					area:    n.entries[i].sig.Area(),
+					area:    n.entryArea(i),
 				})
 			} else {
 				e.prune(n.entries[i].child, md)

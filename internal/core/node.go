@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"sgtree/internal/bitset"
 	"sgtree/internal/dataset"
 	"sgtree/internal/signature"
 	"sgtree/internal/storage"
@@ -55,12 +56,44 @@ func (e *entry) ref(leaf bool) uint32 {
 
 // node is the in-memory form of a tree node. cont lists the continuation
 // pages the node occupied when it was read (reused and trimmed on write).
+//
+// Decoding lays all entry signatures out in one contiguous []uint64 slab
+// (see decodeBuf), so a freshly read node costs three allocations however
+// many entries it has and the entry-scan loops of the query algorithms walk
+// adjacent memory. Entries appended later by update paths (splits, merges)
+// carry their own independently allocated signatures; the two kinds mix
+// freely because every entry's signature is self-describing.
 type node struct {
 	id      storage.PageID
 	leaf    bool
 	level   int // 0 for leaves
 	entries []entry
 	cont    []storage.PageID
+
+	// areas caches each entry's signature area (popcount). It is populated
+	// only when the node enters the decoded-node cache — cached nodes are
+	// immutable, so the cache can never go stale — and stays nil on the
+	// mutable nodes the update paths decode privately. Read through
+	// entryArea, never directly.
+	areas []int
+}
+
+// entryArea returns entry i's signature area, using the cached popcount
+// when the node carries one.
+func (n *node) entryArea(i int) int {
+	if n.areas != nil {
+		return n.areas[i]
+	}
+	return n.entries[i].sig.Area()
+}
+
+// cacheAreas populates the per-entry area cache. Only the read path calls
+// it, immediately before publishing the node to the decoded-node cache.
+func (n *node) cacheAreas() {
+	n.areas = make([]int, len(n.entries))
+	for i := range n.entries {
+		n.areas[i] = n.entries[i].sig.Area()
+	}
 }
 
 // nodeLayout bundles everything needed to serialize nodes: the signature
@@ -145,9 +178,17 @@ func (l nodeLayout) decodeBuf(id storage.PageID, buf []byte) (*node, error) {
 	}
 	count := int(binary.LittleEndian.Uint16(buf[2:4]))
 	n.entries = make([]entry, count)
+	// One contiguous word slab and one view-header slab back every entry
+	// signature: 3 allocations per node instead of 2 per entry, and the
+	// scan loops of bound/compare touch sequential memory.
+	words := (l.codec.Length + 63) / 64
+	slab := make([]uint64, count*words)
+	views := make([]bitset.Bitset, count)
 	pos := nodeHeaderSize
 	for i := 0; i < count; i++ {
-		sig, used, err := l.codec.Decode(buf[pos:])
+		views[i] = bitset.View(slab[i*words:(i+1)*words], l.codec.Length)
+		sig := signature.Signature{Bitset: &views[i]}
+		used, err := l.codec.DecodeInto(buf[pos:], sig)
 		if err != nil {
 			return nil, fmt.Errorf("core: node %d entry %d: %w", id, i, err)
 		}

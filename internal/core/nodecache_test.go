@@ -1,0 +1,491 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// TestNodeCacheUnit exercises the sharded cache directly: read-through
+// hits, LRU eviction, per-page invalidation and the epoch-based flush.
+func TestNodeCacheUnit(t *testing.T) {
+	c := newNodeCache(16) // 2 slots per shard
+	mk := func(id storage.PageID) *node { return &node{id: id, leaf: true} }
+	if c.get(1) != nil {
+		t.Fatal("empty cache returned a node")
+	}
+	c.put(1, mk(1))
+	c.put(2, mk(2))
+	if got := c.get(1); got == nil || got.id != 1 {
+		t.Fatal("cached node not returned")
+	}
+	if c.hits.Load() != 1 || c.misses.Load() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.hits.Load(), c.misses.Load())
+	}
+
+	// Per-page invalidation removes exactly that page.
+	c.invalidate(1)
+	if c.get(1) != nil {
+		t.Fatal("invalidated page still cached")
+	}
+	if got := c.get(2); got == nil || got.id != 2 {
+		t.Fatal("unrelated page lost by invalidate")
+	}
+
+	// Epoch bump flushes everything without touching the maps.
+	c.put(1, mk(1))
+	c.invalidateAll()
+	if c.get(1) != nil || c.get(2) != nil {
+		t.Fatal("invalidateAll left stale entries readable")
+	}
+	// Entries cached after the bump are visible again.
+	c.put(3, mk(3))
+	if c.get(3) == nil {
+		t.Fatal("post-flush insert not cached")
+	}
+
+	// Filling one shard past its capacity evicts the LRU entry. PageIDs
+	// congruent mod the shard count land in the same shard.
+	c2 := newNodeCache(16) // 2 per shard
+	c2.put(8, mk(8))
+	c2.put(16, mk(16))
+	c2.get(8) // 8 becomes MRU
+	c2.put(24, mk(24))
+	if c2.get(16) != nil {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if c2.get(8) == nil || c2.get(24) == nil {
+		t.Fatal("MRU entries evicted")
+	}
+
+	c2.resetStats()
+	if c2.hits.Load() != 0 || c2.misses.Load() != 0 {
+		t.Fatal("resetStats left counters non-zero")
+	}
+}
+
+// TestNodeCacheCounters checks that warm queries hit the cache, that the
+// counters surface through Counters(), and that ResetCounters zeroes them.
+func TestNodeCacheCounters(t *testing.T) {
+	d := questData(t, 300, 11)
+	tr := buildTree(t, d, testOptions(200))
+	q := sigOf(t, 200, d.Tx[0])
+
+	tr.ResetCounters()
+	if _, _, err := tr.KNN(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	c1 := tr.Counters()
+	if c1.NodeCacheMisses == 0 {
+		t.Fatal("cold query reported no node-cache misses")
+	}
+	if _, _, err := tr.KNN(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	c2 := tr.Counters()
+	if c2.NodeCacheHits == 0 {
+		t.Fatal("warm repeat query reported no node-cache hits")
+	}
+	if c2.NodeCacheMisses != c1.NodeCacheMisses {
+		t.Fatalf("warm repeat query missed: %d -> %d", c1.NodeCacheMisses, c2.NodeCacheMisses)
+	}
+	tr.ResetCounters()
+	if c := tr.Counters(); c.NodeCacheHits != 0 || c.NodeCacheMisses != 0 {
+		t.Fatalf("ResetCounters left node-cache counters at %d/%d", c.NodeCacheHits, c.NodeCacheMisses)
+	}
+}
+
+// TestNodeCacheInvalidationOnUpdate verifies queries observe inserts and
+// deletes made after the cache was warmed: a stale cached root or leaf
+// would hide the new entry (or resurrect the deleted one).
+func TestNodeCacheInvalidationOnUpdate(t *testing.T) {
+	d := questData(t, 400, 12)
+	tr := buildTree(t, d, testOptions(200))
+
+	// Warm the cache along many query paths.
+	for i := 0; i < 20; i++ {
+		if _, _, err := tr.KNN(sigOf(t, 200, d.Tx[i]), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Insert a brand-new signature and require an exact match for it.
+	novel := signature.New(200)
+	for _, it := range []int{3, 57, 91, 140, 199} {
+		novel.Set(it)
+	}
+	const novelTID = dataset.TID(100000)
+	if err := tr.Insert(novel, novelTID); err != nil {
+		t.Fatal(err)
+	}
+	ids, _, err := tr.Exact(novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range ids {
+		found = found || id == novelTID
+	}
+	if !found {
+		t.Fatal("inserted signature invisible to warm-cache exact query")
+	}
+	if nn, _, err := tr.NearestNeighbor(novel); err != nil {
+		t.Fatal(err)
+	} else if nn.Dist != 0 {
+		t.Fatalf("NN of just-inserted signature has dist %v, want 0", nn.Dist)
+	}
+
+	// Delete it again and require it gone.
+	if ok, err := tr.Delete(novel, novelTID); err != nil || !ok {
+		t.Fatalf("delete: ok=%v err=%v", ok, err)
+	}
+	ids, _, err = tr.Exact(novel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == novelTID {
+			t.Fatal("deleted signature still visible to warm-cache exact query")
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeCacheInvalidationOnBulkLoad rebuilds a warm tree via BulkLoad and
+// checks queries see only the new content.
+func TestNodeCacheInvalidationOnBulkLoad(t *testing.T) {
+	d := questData(t, 300, 13)
+	tr := buildTree(t, d, testOptions(200))
+	for i := 0; i < 10; i++ {
+		if _, _, err := tr.KNN(sigOf(t, 200, d.Tx[i]), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reload with only the first half, with shifted TIDs.
+	items := make([]BulkItem, 0, d.Len()/2)
+	for i := 0; i < d.Len()/2; i++ {
+		items = append(items, BulkItem{Sig: sigOf(t, 200, d.Tx[i]), TID: dataset.TID(i + 5000)})
+	}
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d after bulk load of %d", tr.Len(), len(items))
+	}
+	ids, _, err := tr.Containment(signature.New(200)) // matches everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(items) {
+		t.Fatalf("full scan found %d entries, want %d", len(ids), len(items))
+	}
+	for _, id := range ids {
+		if id < 5000 {
+			t.Fatalf("stale pre-bulk-load tid %d visible", id)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeCacheInvalidationOnRollback injects read faults at every
+// countdown position of an insert so the update rolls back at different
+// depths of mutation, each time with a pre-warmed decoded-node cache. After
+// every rollback, warm queries must see exactly the pre-update content —
+// the rollback must flush the decoded-node cache along with the undo pages.
+func TestNodeCacheInvalidationOnRollback(t *testing.T) {
+	tr, fp, d := newFaultTree(t, 200)
+	q := sigOf(t, 200, d.Tx[0])
+	want := linearKNN(d, d.Tx[0], 5)
+
+	novel := signature.New(200)
+	for it := 0; it < 200; it += 7 {
+		novel.Set(it)
+	}
+	const novelTID = dataset.TID(99999)
+	fired := false
+	for after := 0; after < 100; after++ {
+		// Warm the decoded-node cache along the query path, then clear only
+		// the page-level pool so the update's reads reach the faulty pager.
+		if _, _, err := tr.KNN(q, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.pool.Clear(); err != nil {
+			t.Fatal(err)
+		}
+		fp.Reset()
+		fp.After = after
+		fp.FailReads = true
+		err := tr.Insert(novel, novelTID)
+		fp.FailReads = false
+		if err == nil {
+			// The insert landed; undo it and stop once the op's read demand
+			// is below the countdown (no later position can fire).
+			if ok, derr := tr.Delete(novel, novelTID); derr != nil || !ok {
+				t.Fatalf("cleanup delete: ok=%v err=%v", ok, derr)
+			}
+			if !fp.Fired() {
+				break
+			}
+			continue
+		}
+		wantInjected(t, err, "insert")
+		fired = true
+
+		// The failed insert must have left nothing behind, visible or cached.
+		ids, _, err := tr.Exact(novel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 0 {
+			t.Fatalf("after=%d: rolled-back insert visible: %v", after, ids)
+		}
+		got, _, err := tr.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].Dist != want[i] {
+				t.Fatalf("after=%d: post-rollback KNN[%d] = %v, want %v", after, i, got[i].Dist, want[i])
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !fired {
+		t.Fatal("fault sweep never injected a read fault")
+	}
+}
+
+// TestNodeCacheRecovery reopens a persisted tree and checks the fresh
+// instance (with its fresh, empty cache) serves correct results.
+func TestNodeCacheRecovery(t *testing.T) {
+	opts := testOptions(200)
+	p := storage.NewMemPager(opts.PageSize)
+	tr, err := NewWithPager(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := questData(t, 250, 14)
+	m := signature.NewDirectMapper(200)
+	for i, tx := range d.Tx {
+		if err := tr.Insert(signature.FromItems(m, tx), dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the first tree's cache, then persist.
+	if _, _, err := tr.KNN(sigOf(t, 200, d.Tx[0]), 5); err != nil {
+		t.Fatal(err)
+	}
+	meta := tr.metaPage
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(p, meta, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := re.Counters(); c.NodeCacheHits != 0 || c.NodeCacheMisses != 0 {
+		t.Fatalf("reopened tree inherited cache counters %d/%d", c.NodeCacheHits, c.NodeCacheMisses)
+	}
+	for i := 0; i < 10; i++ {
+		got, _, err := re.KNN(sigOf(t, 200, d.Tx[i]), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := linearKNN(d, d.Tx[i], 5)
+		for j := range want {
+			if got[j].Dist != want[j] {
+				t.Fatalf("reopened KNN q%d[%d] = %v, want %v", i, j, got[j].Dist, want[j])
+			}
+		}
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeCacheDisabledMatchesEnabled runs a randomized oracle workload
+// against two trees with identical content — default cache vs cache
+// disabled — and requires byte-identical results from KNN, range and
+// containment queries.
+func TestNodeCacheDisabledMatchesEnabled(t *testing.T) {
+	d := questData(t, 400, 15)
+	cached := buildTree(t, d, testOptions(200))
+	noCacheOpts := testOptions(200)
+	noCacheOpts.NodeCacheSize = -1
+	plain := buildTree(t, d, noCacheOpts)
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 40; i++ {
+		q := sigOf(t, 200, d.Tx[rng.Intn(d.Len())])
+		if rng.Intn(2) == 0 {
+			q.Set(rng.Intn(200)) // perturb so not every query is indexed
+		}
+
+		a, _, err := cached.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := plain.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("KNN sizes differ: %d vs %d", len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("KNN[%d] differs: %+v vs %+v", j, a[j], b[j])
+			}
+		}
+
+		ra, _, err := cached.RangeSearch(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _, err := plain.RangeSearch(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("range sizes differ: %d vs %d", len(ra), len(rb))
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("range[%d] differs: %+v vs %+v", j, ra[j], rb[j])
+			}
+		}
+
+		ca, _, err := cached.Containment(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, _, err := plain.Containment(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ca) != len(cb) {
+			t.Fatalf("containment sizes differ: %d vs %d", len(ca), len(cb))
+		}
+		for j := range ca {
+			if ca[j] != cb[j] {
+				t.Fatalf("containment[%d] differs: %v vs %v", j, ca[j], cb[j])
+			}
+		}
+	}
+	if c := plain.Counters(); c.NodeCacheHits != 0 || c.NodeCacheMisses != 0 {
+		t.Fatalf("disabled cache recorded activity: %d/%d", c.NodeCacheHits, c.NodeCacheMisses)
+	}
+	if c := cached.Counters(); c.NodeCacheHits == 0 {
+		t.Fatal("enabled cache never hit across the workload")
+	}
+}
+
+// TestNodeCacheConcurrentUpdates races batch queries against interleaved
+// inserts and deletes. Run under -race this checks the cache's sharded
+// bookkeeping and the epoch flush; the final state must satisfy the tree
+// invariants and reflect every surviving insert.
+func TestNodeCacheConcurrentUpdates(t *testing.T) {
+	d := questData(t, 300, 16)
+	tr := buildTree(t, d, testOptions(200))
+
+	const writers = 2
+	const readers = 4
+	const opsPerWriter = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := dataset.TID(200000 + w*opsPerWriter)
+			for i := 0; i < opsPerWriter; i++ {
+				sig := signature.New(200)
+				for b := 0; b < 10; b++ {
+					sig.Set((w*53 + i*17 + b*29) % 200)
+				}
+				if err := tr.Insert(sig, base+dataset.TID(i)); err != nil {
+					errs <- err
+					return
+				}
+				if i%2 == 0 {
+					if _, err := tr.Delete(sig, base+dataset.TID(i)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + r)))
+			for i := 0; i < 60; i++ {
+				q := sigOf(t, 200, d.Tx[rng.Intn(d.Len())])
+				switch i % 3 {
+				case 0:
+					_, _, err := tr.KNN(q, 3)
+					if err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					_, _, err := tr.RangeSearch(q, 5)
+					if err != nil {
+						errs <- err
+						return
+					}
+				default:
+					_, _, err := tr.Containment(q)
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every odd-indexed insert survived; each must be findable now.
+	for w := 0; w < writers; w++ {
+		base := dataset.TID(200000 + w*opsPerWriter)
+		for i := 1; i < opsPerWriter; i += 2 {
+			sig := signature.New(200)
+			for b := 0; b < 10; b++ {
+				sig.Set((w*53 + i*17 + b*29) % 200)
+			}
+			ids, _, err := tr.Exact(sig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, id := range ids {
+				found = found || id == base+dataset.TID(i)
+			}
+			if !found {
+				t.Fatalf("surviving insert w%d i%d not found", w, i)
+			}
+		}
+	}
+}

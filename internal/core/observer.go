@@ -147,6 +147,12 @@ type Counters struct {
 	// cancellation or deadline.
 	Cancellations int64
 
+	// NodeCacheHits / NodeCacheMisses count query-path node reads served
+	// from (resp. decoded into) the decoded-node cache. Both stay zero when
+	// the cache is disabled (Options.NodeCacheSize < 0).
+	NodeCacheHits   int64
+	NodeCacheMisses int64
+
 	// WAL activity of the tree's buffer pool, all zero when the tree runs
 	// without a write-ahead log. These are cumulative (not per-query): a
 	// query never writes, so WAL traffic is attributable only to updates
@@ -160,7 +166,7 @@ type Counters struct {
 // Counters returns a snapshot of the cumulative query counters.
 func (t *Tree) Counters() Counters {
 	ws := t.pool.WALStats()
-	return Counters{
+	c := Counters{
 		Queries:        t.counters.queries.Load(),
 		NodesRead:      t.counters.nodesRead.Load(),
 		EntriesPruned:  t.counters.entriesPruned.Load(),
@@ -171,6 +177,11 @@ func (t *Tree) Counters() Counters {
 		WALCheckpoints: ws.Checkpoints,
 		WALBytes:       ws.BytesAppended,
 	}
+	if t.ncache != nil {
+		c.NodeCacheHits = t.ncache.hits.Load()
+		c.NodeCacheMisses = t.ncache.misses.Load()
+	}
+	return c
 }
 
 // ResetCounters zeroes the cumulative query counters (between benchmark
@@ -181,4 +192,7 @@ func (t *Tree) ResetCounters() {
 	t.counters.entriesPruned.Store(0)
 	t.counters.dataCompared.Store(0)
 	t.counters.cancellations.Store(0)
+	if t.ncache != nil {
+		t.ncache.resetStats()
+	}
 }

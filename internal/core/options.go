@@ -83,6 +83,13 @@ type Options struct {
 	PageSize int
 	// BufferPages is the buffer-pool capacity in pages (default 256).
 	BufferPages int
+	// NodeCacheSize is the capacity, in nodes, of the decoded-node cache
+	// the query paths read through (hot nodes skip page assembly and the
+	// signature codec entirely). 0 selects the default of 1024 nodes; a
+	// negative value disables the cache, which restores the strict
+	// one-page-access-per-node-visit behaviour the paper's I/O experiments
+	// assume (see also Tree.DropCaches).
+	NodeCacheSize int
 	// Split selects the split policy (default MinSplit, the policy the
 	// paper adopts after the Table 1 comparison).
 	Split SplitPolicy
@@ -135,6 +142,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BufferPages == 0 {
 		o.BufferPages = 256
+	}
+	if o.NodeCacheSize == 0 {
+		o.NodeCacheSize = 1024
 	}
 	if o.MinFill == 0 {
 		o.MinFill = 0.4
@@ -221,7 +231,44 @@ func (t *Tree) entryMinDist(q signature.Signature, e *entry) float64 {
 	return t.opts.minDist(q, e.sig)
 }
 
+// entryMinDistWithin is entryMinDist fused with the pruning test against
+// threshold thr (strict: prunable iff bound >= thr; inclusive: iff bound >
+// thr). On the plain-Hamming configuration the popcount kernel aborts as
+// soon as prunability is proven and the returned bound is clamped (still a
+// valid lower bound); configurations with auxiliary statistics fall back
+// to the full computation, so the fused form is never less exact than the
+// plain one where exactness matters.
+func (t *Tree) entryMinDistWithin(q signature.Signature, e *entry, thr float64, strict bool) (float64, bool) {
+	if t.opts.CardStats {
+		d := signature.MinDistCardRange(t.opts.Metric, q, e.sig, e.lo, e.hi)
+		return d, distFails(d, thr, strict)
+	}
+	if t.opts.FixedCardinality > 0 {
+		d := signature.MinDistFixedCard(t.opts.Metric, q, e.sig, t.opts.FixedCardinality)
+		return d, distFails(d, thr, strict)
+	}
+	return signature.MinDistWithin(t.opts.Metric, q, e.sig, thr, strict)
+}
+
 // distance returns the exact distance between two data signatures.
 func (o Options) distance(q, t signature.Signature) float64 {
 	return signature.Distance(o.Metric, q, t)
+}
+
+// distanceWithin is distance fused with the acceptance test against
+// threshold thr; for Hamming the XOR popcount aborts once rejection is
+// proven. Accepted candidates (failed == false) always carry their exact
+// distance.
+func (o Options) distanceWithin(q, t signature.Signature, thr float64, strict bool) (float64, bool) {
+	return signature.DistanceWithin(o.Metric, q, t, thr, strict)
+}
+
+// distFails reports whether distance d fails threshold thr under the
+// chosen comparison semantics (mirrors the signature package's internal
+// helper).
+func distFails(d, thr float64, strict bool) bool {
+	if strict {
+		return d >= thr
+	}
+	return d > thr
 }

@@ -135,6 +135,7 @@ func (t *Tree) predicateQuery(ctx context.Context, q signature.Signature, p pred
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
+	defer e.release()
 	var out []dataset.TID
 	if err := e.finish(e.predicateWalk(t.root, p, &out)); err != nil {
 		return nil, e.stats, err
@@ -165,6 +166,7 @@ func (t *Tree) RangeSearchContext(ctx context.Context, q signature.Signature, ep
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
+	defer e.release()
 	var out []Neighbor
 	if err := e.finish(e.rangeWalk(t.root, q, eps, &out)); err != nil {
 		return nil, e.stats, err

@@ -21,6 +21,11 @@ type Tree struct {
 	layout nodeLayout
 	pool   *storage.BufferPool
 
+	// ncache caches decoded nodes above the buffer pool for the query
+	// paths; nil when disabled (NodeCacheSize < 0). Invalidation happens
+	// under mu's write lock in writeNode/freeNode.
+	ncache *nodeCache
+
 	// observer receives traversal events from every query (see SetObserver);
 	// guarded by mu. counters accumulate across queries atomically, since
 	// many queries run concurrently under the read lock.
@@ -75,6 +80,7 @@ func NewWithPagerWAL(p storage.Pager, w *storage.WAL, opts Options) (*Tree, erro
 		codec:  opts.codec(),
 		layout: nodeLayout{codec: opts.codec(), cardStats: opts.CardStats, pageSize: opts.PageSize, maxPages: opts.MaxNodePages},
 		pool:   storage.NewBufferPool(p, opts.BufferPages),
+		ncache: newTreeNodeCache(opts),
 	}
 	if w != nil {
 		if w.PageSize() != opts.PageSize {
@@ -113,6 +119,7 @@ func OpenWithWAL(p storage.Pager, w *storage.WAL, metaPage storage.PageID, opts 
 		codec:    opts.codec(),
 		layout:   nodeLayout{codec: opts.codec(), cardStats: opts.CardStats, pageSize: opts.PageSize, maxPages: opts.MaxNodePages},
 		pool:     storage.NewBufferPool(p, opts.BufferPages),
+		ncache:   newTreeNodeCache(opts),
 		metaPage: metaPage,
 	}
 	if w != nil {
@@ -221,6 +228,13 @@ func (t *Tree) runUpdate(body func() error) error {
 	if err := body(); err != nil {
 		t.root, t.height, t.count = root, height, count
 		t.reinsertQueue = nil
+		// Rollback restores page bytes without passing through writeNode;
+		// the per-page invalidations already fired for every touched page,
+		// but bump the cache epoch as well so no decode from the failed
+		// update can survive.
+		if t.ncache != nil {
+			t.ncache.invalidateAll()
+		}
 		if rbErr := t.pool.RollbackUndo(); rbErr != nil {
 			return fmt.Errorf("%w (undo rollback also failed: %v)", err, rbErr)
 		}
@@ -249,11 +263,46 @@ func (t *Tree) Height() int {
 // Pool exposes the buffer pool for I/O accounting by benchmarks.
 func (t *Tree) Pool() *storage.BufferPool { return t.pool }
 
+// DropCaches flushes dirty pages and then empties both read caches — the
+// decoded-node cache and the buffer pool — so the next query starts
+// entirely cold. The paper's I/O experiments call this between queries;
+// clearing only the buffer pool would leave decoded nodes behind and
+// report near-zero page misses.
+func (t *Tree) DropCaches() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ncache != nil {
+		t.ncache.invalidateAll()
+	}
+	return t.pool.Clear()
+}
+
 // --- node I/O through the buffer pool ---
 //
 // A node occupies a primary page plus up to MaxNodePages-1 continuation
 // pages chained through 4-byte next pointers; reading an L-page node costs
 // L page accesses, which is how multipage nodes show up in the I/O metric.
+
+// readNodeCached is the query-path node read: it consults the decoded-node
+// cache before falling back to readNode, and publishes fresh decodes. The
+// returned node may be shared by concurrent queries and MUST NOT be
+// mutated — update paths use readNode directly, which always hands out a
+// private copy they may modify in place.
+func (t *Tree) readNodeCached(id storage.PageID) (*node, error) {
+	if t.ncache == nil {
+		return t.readNode(id)
+	}
+	if n := t.ncache.get(id); n != nil {
+		return n, nil
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, err
+	}
+	n.cacheAreas()
+	t.ncache.put(id, n)
+	return n, nil
+}
 
 // readNode assembles the node's logical byte string from its page chain
 // and decodes it.
@@ -298,6 +347,13 @@ func (t *Tree) readNode(id storage.PageID) (*node, error) {
 // writeNode distributes the node's logical byte string over its page
 // chain, growing or trimming continuation pages as the node's size moved.
 func (t *Tree) writeNode(n *node) error {
+	// The page's bytes are about to change; drop any cached decode before
+	// they do. Updates hold the write lock, so no query can re-fill the
+	// slot until the update completes (or rolls back, which bumps the
+	// cache epoch).
+	if t.ncache != nil {
+		t.ncache.invalidate(n.id)
+	}
 	buf, err := t.layout.encodeBuf(n)
 	if err != nil {
 		return err
@@ -388,6 +444,9 @@ func (t *Tree) allocNode(leaf bool, level int) (*node, error) {
 
 // freeNode releases the node's primary page and its continuation chain.
 func (t *Tree) freeNode(n *node) error {
+	if t.ncache != nil {
+		t.ncache.invalidate(n.id)
+	}
 	for _, cid := range n.cont {
 		if err := t.pool.Discard(cid); err != nil {
 			return err

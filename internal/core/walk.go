@@ -27,6 +27,7 @@ func (t *Tree) WalkContext(ctx context.Context, fn func(sig signature.Signature,
 		return nil
 	}
 	e := t.newExec(ctx)
+	defer e.release()
 	_, err := e.walkRec(t.root, fn)
 	return e.finish(err)
 }

@@ -356,7 +356,7 @@ func RunAblationLargeUniverse(s Scale) (*ResultTable, error) {
 		var m Measurement
 		exact := 0
 		for _, q := range queries {
-			if err := tr.Pool().Clear(); err != nil {
+			if err := tr.DropCaches(); err != nil {
 				return nil, err
 			}
 			tr.Pool().ResetStats()

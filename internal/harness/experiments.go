@@ -258,8 +258,10 @@ func RunDistanceRanges(s Scale) (*ResultTable, error) {
 	}
 	m := signature.NewDirectMapper(d.Universe)
 	for _, q := range queries {
-		// Measure the tree query (which also yields the NN distance).
-		if err := tr.Pool().Clear(); err != nil {
+		// Measure the tree query (which also yields the NN distance). Drop
+		// the decoded-node cache along with the buffer pool so I/O counts
+		// reflect a truly cold read path.
+		if err := tr.DropCaches(); err != nil {
 			return nil, err
 		}
 		tr.Pool().ResetStats()

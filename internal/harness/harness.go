@@ -128,7 +128,9 @@ func measureTreeKNN(tr *core.Tree, queries []dataset.Transaction, universe, k in
 	var agg Measurement
 	n := tr.Len()
 	for _, q := range queries {
-		if err := tr.Pool().Clear(); err != nil {
+		// DropCaches (not just Pool().Clear) so the decoded-node cache cannot
+		// hide page reads from the cold-buffer I/O measurement.
+		if err := tr.DropCaches(); err != nil {
 			return agg, err
 		}
 		tr.Pool().ResetStats()
@@ -157,7 +159,7 @@ func measureTreeRange(tr *core.Tree, queries []dataset.Transaction, universe int
 	var agg Measurement
 	n := tr.Len()
 	for _, q := range queries {
-		if err := tr.Pool().Clear(); err != nil {
+		if err := tr.DropCaches(); err != nil {
 			return agg, err
 		}
 		tr.Pool().ResetStats()

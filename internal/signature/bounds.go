@@ -104,6 +104,66 @@ func MinDist(m Metric, q, e Signature) float64 {
 	}
 }
 
+// hammingLimit converts a float64 pruning threshold into the smallest
+// integer count that already fails it: with strict semantics (survive iff
+// d < thr) any count >= ceil(thr) fails; with inclusive semantics (survive
+// iff d <= thr) any count >= floor(thr)+1 fails. A +Inf threshold never
+// fails (MaxInt), so the kernels degenerate to full counts.
+func hammingLimit(thr float64, strict bool) int {
+	if math.IsInf(thr, 1) {
+		return math.MaxInt
+	}
+	if thr < 0 {
+		return 0
+	}
+	if strict {
+		return int(math.Ceil(thr))
+	}
+	return int(math.Floor(thr)) + 1
+}
+
+// MinDistWithin is MinDist fused with the pruning test. It returns the
+// lower bound d and whether the entry is prunable under threshold thr:
+// prunable means the true bound fails the test (d > thr inclusive, d >= thr
+// strict), so the subtree under e cannot contain a surviving result. For
+// Hamming without auxiliary statistics the popcount loop aborts as soon as
+// the running count proves prunability — in that case the returned d is a
+// clamped lower bound (>= hammingLimit(thr, strict)) rather than the exact
+// value; since bounds on pruned entries are only reported to observers,
+// search results are unaffected. When prunable is false, d is always exact.
+func MinDistWithin(m Metric, q, e Signature, thr float64, strict bool) (float64, bool) {
+	if m == Hamming {
+		c, reached := q.Bitset.AndNotCountAtLeast(e.Bitset, hammingLimit(thr, strict))
+		return float64(c), reached
+	}
+	d := MinDist(m, q, e)
+	return d, fails(d, thr, strict)
+}
+
+// DistanceWithin is Distance fused with an acceptance test: it returns the
+// distance d and whether the candidate fails threshold thr (d > thr
+// inclusive, d >= thr strict). For Hamming the XOR popcount aborts once
+// failure is proven — the returned d is then a clamped lower bound; when
+// failed is false, d is the exact distance (candidates that survive are
+// always measured fully, so accepted results carry exact distances).
+func DistanceWithin(m Metric, q, t Signature, thr float64, strict bool) (float64, bool) {
+	if m == Hamming {
+		c, reached := q.Bitset.HammingAtLeast(t.Bitset, hammingLimit(thr, strict))
+		return float64(c), reached
+	}
+	d := Distance(m, q, t)
+	return d, fails(d, thr, strict)
+}
+
+// fails reports whether distance d fails threshold thr under the chosen
+// comparison semantics.
+func fails(d, thr float64, strict bool) bool {
+	if strict {
+		return d >= thr
+	}
+	return d > thr
+}
+
 // MinDistCardRange returns a lower bound on Distance(m, q, t) over all
 // transactions t ⊆ e whose cardinality lies in [lo, hi]. This implements
 // the final paragraph of the paper ("we can use ... statistics from the

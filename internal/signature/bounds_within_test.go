@@ -1,0 +1,105 @@
+package signature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHammingLimit(t *testing.T) {
+	cases := []struct {
+		thr    float64
+		strict bool
+		want   int
+	}{
+		{math.Inf(1), true, math.MaxInt},
+		{math.Inf(1), false, math.MaxInt},
+		{-1, true, 0},
+		{-0.5, false, 0},
+		{0, true, 0},  // strict: d >= 0 fails, everything prunable
+		{0, false, 1}, // inclusive: only d >= 1 fails
+		{3, true, 3},  // survive iff d < 3, so d >= 3 fails
+		{3, false, 4}, // survive iff d <= 3, so d >= 4 fails
+		{3.5, true, 4},
+		{3.5, false, 4},
+	}
+	for _, c := range cases {
+		if got := hammingLimit(c.thr, c.strict); got != c.want {
+			t.Errorf("hammingLimit(%v, %v) = %d, want %d", c.thr, c.strict, got, c.want)
+		}
+	}
+}
+
+// TestMinDistWithinMatchesMinDist checks the fused bound against the plain
+// bound across metrics, thresholds and strictness: the prunability verdict
+// must agree exactly, surviving entries must carry the exact bound, and a
+// clamped Hamming bound must still be an admissible lower bound.
+func TestMinDistWithinMatchesMinDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	metrics := []Metric{Hamming, Jaccard, Dice, Cosine}
+	for trial := 0; trial < 300; trial++ {
+		n := 16 + rng.Intn(200)
+		q, e := randSig(rng, n, 0.3), randSig(rng, n, 0.3)
+		for _, m := range metrics {
+			exact := MinDist(m, q, e)
+			thrs := []float64{0, exact / 2, exact, exact + 0.5, math.Inf(1)}
+			if m == Hamming {
+				thrs = append(thrs, exact-1, exact+1)
+			}
+			for _, thr := range thrs {
+				for _, strict := range []bool{true, false} {
+					d, prunable := MinDistWithin(m, q, e, thr, strict)
+					wantPrune := exact > thr
+					if strict {
+						wantPrune = exact >= thr
+					}
+					if prunable != wantPrune {
+						t.Fatalf("%v thr=%v strict=%v: prunable=%v, exact=%v", m, thr, strict, prunable, exact)
+					}
+					if !prunable && d != exact {
+						t.Fatalf("%v thr=%v strict=%v: surviving bound %v != exact %v", m, thr, strict, d, exact)
+					}
+					if prunable && d > exact {
+						t.Fatalf("%v thr=%v strict=%v: clamped bound %v above exact %v", m, thr, strict, d, exact)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceWithinMatchesDistance mirrors the bound test for the
+// candidate-acceptance kernel.
+func TestDistanceWithinMatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	metrics := []Metric{Hamming, Jaccard, Dice, Cosine}
+	for trial := 0; trial < 300; trial++ {
+		n := 16 + rng.Intn(200)
+		q, x := randSig(rng, n, 0.3), randSig(rng, n, 0.3)
+		for _, m := range metrics {
+			exact := Distance(m, q, x)
+			thrs := []float64{0, exact / 2, exact, exact + 0.5, math.Inf(1)}
+			if m == Hamming {
+				thrs = append(thrs, exact-1, exact+1)
+			}
+			for _, thr := range thrs {
+				for _, strict := range []bool{true, false} {
+					d, failed := DistanceWithin(m, q, x, thr, strict)
+					wantFail := exact > thr
+					if strict {
+						wantFail = exact >= thr
+					}
+					if failed != wantFail {
+						t.Fatalf("%v thr=%v strict=%v: failed=%v, exact=%v", m, thr, strict, failed, exact)
+					}
+					if !failed && d != exact {
+						t.Fatalf("%v thr=%v strict=%v: accepted distance %v != exact %v", m, thr, strict, d, exact)
+					}
+					if failed && d > exact {
+						t.Fatalf("%v thr=%v strict=%v: clamped distance %v above exact %v", m, thr, strict, d, exact)
+					}
+				}
+			}
+		}
+	}
+}

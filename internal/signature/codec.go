@@ -117,59 +117,66 @@ func (c Codec) appendSparse(dst []byte, s Signature) []byte {
 // Decode reads one encoded signature from buf, returning it and the number
 // of bytes consumed.
 func (c Codec) Decode(buf []byte) (Signature, int, error) {
+	s := New(c.Length)
+	used, err := c.DecodeInto(buf, s)
+	if err != nil {
+		return Signature{}, 0, err
+	}
+	return s, used, nil
+}
+
+// DecodeInto reads one encoded signature from buf into the preallocated
+// signature s (which must have length c.Length), returning the number of
+// bytes consumed. It performs no allocation: the dense form is copied
+// straight into s's backing words and the sparse form is replayed with
+// Reset+Set. This is the hot decode path — node loading decodes every
+// entry into one contiguous slab of views.
+func (c Codec) DecodeInto(buf []byte, s Signature) (int, error) {
+	if s.Len() != c.Length {
+		return 0, fmt.Errorf("signature: decode into length %d, codec length %d", s.Len(), c.Length)
+	}
 	if len(buf) == 0 {
-		return Signature{}, 0, fmt.Errorf("signature: decode on empty buffer")
+		return 0, fmt.Errorf("signature: decode on empty buffer")
 	}
 	switch buf[0] {
 	case tagDense:
 		nb := (c.Length + 7) / 8
 		if len(buf) < 1+nb {
-			return Signature{}, 0, fmt.Errorf("signature: dense form truncated: have %d bytes, need %d", len(buf)-1, nb)
+			return 0, fmt.Errorf("signature: dense form truncated: have %d bytes, need %d", len(buf)-1, nb)
 		}
-		s := New(c.Length)
-		words := make([]uint64, (c.Length+63)/64)
-		var tmp [8]byte
-		src := buf[1 : 1+nb]
-		for wi := range words {
-			for j := range tmp {
-				tmp[j] = 0
-			}
-			copy(tmp[:], src[min(len(src), wi*8):min(len(src), wi*8+8)])
-			words[wi] = binary.LittleEndian.Uint64(tmp[:])
-		}
-		s.SetWords(words)
-		return s, 1 + nb, nil
+		s.SetBytes(buf[1 : 1+nb])
+		return 1 + nb, nil
 	case tagSparse:
 		pos := 1
 		count, n := binary.Uvarint(buf[pos:])
 		if n <= 0 {
-			return Signature{}, 0, fmt.Errorf("signature: bad sparse count")
+			return 0, fmt.Errorf("signature: bad sparse count")
 		}
 		pos += n
 		if count > uint64(c.Length) {
-			return Signature{}, 0, fmt.Errorf("signature: sparse count %d exceeds length %d", count, c.Length)
+			return 0, fmt.Errorf("signature: sparse count %d exceeds length %d", count, c.Length)
 		}
-		s := New(c.Length)
+		s.Reset()
 		cur := 0
 		for i := uint64(0); i < count; i++ {
 			delta, n := binary.Uvarint(buf[pos:])
 			if n <= 0 {
-				return Signature{}, 0, fmt.Errorf("signature: truncated sparse position %d", i)
+				return 0, fmt.Errorf("signature: truncated sparse position %d", i)
 			}
 			pos += n
 			// Check the delta before adding: a huge value could overflow
 			// the int accumulator and bypass the range check below.
 			if delta > uint64(c.Length) {
-				return Signature{}, 0, fmt.Errorf("signature: sparse delta %d out of range", delta)
+				return 0, fmt.Errorf("signature: sparse delta %d out of range", delta)
 			}
 			cur += int(delta)
 			if cur >= c.Length {
-				return Signature{}, 0, fmt.Errorf("signature: sparse position %d out of range", cur)
+				return 0, fmt.Errorf("signature: sparse position %d out of range", cur)
 			}
 			s.Set(cur)
 		}
-		return s, pos, nil
+		return pos, nil
 	default:
-		return Signature{}, 0, fmt.Errorf("signature: unknown encoding tag 0x%02x", buf[0])
+		return 0, fmt.Errorf("signature: unknown encoding tag 0x%02x", buf[0])
 	}
 }
