@@ -5,7 +5,16 @@
 
 GO ?= go
 
-.PHONY: build test vet race crash fuzz check fmt bench bench-json
+# Pinned development-tool versions. `make tools` installs them; the CI
+# workflow uses the same pins, so a local `make tools && make check`
+# reproduces exactly what CI runs. sglint itself is part of the module
+# (cmd/sglint) and needs no installation or network access.
+# golang.org/x/perf publishes no tagged releases, hence `latest`.
+STATICCHECK_VERSION ?= v0.6.1
+GOVULNCHECK_VERSION ?= v1.1.4
+BENCHSTAT_VERSION ?= latest
+
+.PHONY: build test vet race crash fuzz check fmt lint staticcheck vuln tools bench bench-json
 
 build:
 	$(GO) build ./...
@@ -37,10 +46,39 @@ fuzz:
 	$(GO) test -fuzz FuzzReadDataset -fuzztime 5s -run '^$$' ./internal/dataset
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 5s -run '^$$' ./internal/storage
 
-check: vet test race crash
+check: vet fmt lint test race crash
 
+# fmt fails (and lists the offenders) when any file needs gofmt, so the
+# lane can gate merges; run `gofmt -w .` to fix.
 fmt:
-	gofmt -l .
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# The lint lane runs sglint, the repo's own invariant-analyzer suite
+# (lock discipline, page pin/unpin pairing, runUpdate undo scopes, atomic
+# counter access, banned APIs — see DESIGN.md §9). It builds from the
+# module itself, so it works offline and needs no `make tools`.
+lint:
+	$(GO) run ./cmd/sglint ./...
+
+# External analyzers live in their own targets so `make lint` (and
+# therefore `make check`) stays dependency-free; CI runs both after
+# `make tools`.
+staticcheck:
+	staticcheck ./...
+
+vuln:
+	govulncheck ./...
+
+# Installs the pinned external tools into GOBIN. Needs network access;
+# the import stanza in tools/tools.go records the same set for
+# `go mod tidy` inside the nested tools module.
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+	$(GO) install golang.org/x/perf/cmd/benchstat@$(BENCHSTAT_VERSION)
 
 # The bench lane measures the query-path benchmarks with allocation
 # counts and, when benchstat is on PATH, compares the run against the

@@ -1,0 +1,89 @@
+// Command sglint runs the repo's invariant-lint suite (internal/lint): a
+// multichecker over the analyzers that mechanically enforce the SG-tree's
+// concurrency, page-lifecycle, update-scope, atomic-counter, and
+// banned-API contracts. See DESIGN.md §9 for the contract each analyzer
+// guards.
+//
+// Usage:
+//
+//	go run ./cmd/sglint ./...          # whole repo (what `make lint` does)
+//	go run ./cmd/sglint -only pagelife ./internal/core
+//	go run ./cmd/sglint -list
+//
+// Exit status is 1 when any finding is reported. Findings can be
+// suppressed with an inline justification:
+//
+//	//sglint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it. Suppressions without a
+// reason are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sgtree/internal/lint"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list the analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sglint [-list] [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for n := range keep {
+			fmt.Fprintf(os.Stderr, "sglint: unknown analyzer %q (see -list)\n", n)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sglint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sglint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sglint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

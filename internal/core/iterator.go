@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -36,36 +35,69 @@ type browseItem struct {
 	tid  dataset.TID
 }
 
+// browseHeap is the distance-browsing frontier: a min-heap hand-rolled
+// over the slice like resultHeap and nodePQ (nn.go), keeping browseItems
+// out of interface boxes on the per-neighbor loop (and container/heap out
+// of the hot path, which sglint's bannedapi enforces).
 type browseHeap []browseItem
 
-func (h browseHeap) Len() int { return len(h) }
-func (h browseHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
+// browseLess orders the frontier by distance; at equal distance data is
+// yielded before expanding subtrees — the order stays non-decreasing (a
+// tied subtree can only contain items at this distance or farther) and
+// callers consuming a short prefix avoid expanding every tied node — with
+// integral Hamming distances the difference is large. Remaining ties break
+// by area then tid.
+func browseLess(a, b browseItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
 	}
-	// Yield data before expanding subtrees at the same distance: the order
-	// stays non-decreasing (a tied subtree can only contain items at this
-	// distance or farther) and callers consuming a short prefix avoid
-	// expanding every tied node — with integral Hamming distances the
-	// difference is large. Break remaining ties by area then tid.
-	iNode := h[i].node != storage.InvalidPage
-	jNode := h[j].node != storage.InvalidPage
-	if iNode != jNode {
-		return jNode
+	aNode := a.node != storage.InvalidPage
+	bNode := b.node != storage.InvalidPage
+	if aNode != bNode {
+		return bNode
 	}
-	if iNode {
-		return h[i].area < h[j].area
+	if aNode {
+		return a.area < b.area
 	}
-	return h[i].tid < h[j].tid
+	return a.tid < b.tid
 }
-func (h browseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *browseHeap) Push(x interface{}) { *h = append(*h, x.(browseItem)) }
-func (h *browseHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *browseHeap) push(it browseItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !browseLess(s[i], s[p]) {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *browseHeap) pop() browseItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < len(s) && browseLess(s[l], s[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < len(s) && browseLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
 }
 
 // NewNNIterator starts a distance-browsing traversal from q.
@@ -101,10 +133,10 @@ func (it *NNIterator) NextContext(ctx context.Context) (Neighbor, bool, error) {
 		it.e.ctx = ctx
 		defer func() { it.e.ctx = nil }()
 	}
-	for it.pq.Len() > 0 {
+	for len(it.pq) > 0 {
 		item := it.pq[0]
 		if item.node == storage.InvalidPage {
-			heap.Pop(&it.pq)
+			it.pq.pop()
 			it.e.result(item.tid, item.dist)
 			return Neighbor{TID: item.tid, Dist: item.dist}, true, nil
 		}
@@ -114,10 +146,10 @@ func (it *NNIterator) NextContext(ctx context.Context) (Neighbor, bool, error) {
 			// retry (e.g. after a transient cancellation) resumes cleanly.
 			return Neighbor{}, false, fmt.Errorf("core: distance browsing: %w", err)
 		}
-		heap.Pop(&it.pq)
+		it.pq.pop()
 		if n.leaf {
 			for i := range n.entries {
-				heap.Push(&it.pq, browseItem{
+				it.pq.push(browseItem{
 					dist: it.e.compare(it.q, n.entries[i].sig),
 					tid:  n.entries[i].tid,
 				})
@@ -125,7 +157,7 @@ func (it *NNIterator) NextContext(ctx context.Context) (Neighbor, bool, error) {
 			continue
 		}
 		for i := range n.entries {
-			heap.Push(&it.pq, browseItem{
+			it.pq.push(browseItem{
 				dist: it.e.bound(it.q, &n.entries[i]),
 				node: n.entries[i].child,
 				area: n.entryArea(i),

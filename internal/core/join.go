@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -186,33 +185,87 @@ type pairPQItem struct {
 	minDist  float64
 }
 
+// pairPQ is the best-first frontier of node pairs: a min-heap on minDist,
+// hand-rolled over the slice like nodePQ (nn.go) to keep pairPQItems out
+// of interface boxes (and container/heap out of the hot path, which
+// sglint's bannedapi enforces).
 type pairPQ []pairPQItem
 
-func (h pairPQ) Len() int            { return len(h) }
-func (h pairPQ) Less(i, j int) bool  { return h[i].minDist < h[j].minDist }
-func (h pairPQ) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairPQ) Push(x interface{}) { *h = append(*h, x.(pairPQItem)) }
-func (h *pairPQ) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *pairPQ) push(it pairPQItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[i].minDist >= s[p].minDist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
 }
 
-// pairHeap is a bounded max-heap of the k best pairs.
+func (h *pairPQ) pop() pairPQItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < len(s) && s[l].minDist < s[small].minDist {
+			small = l
+		}
+		if r := 2*i + 2; r < len(s) && s[r].minDist < s[small].minDist {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+}
+
+// pairHeap is a bounded max-heap of the k best pairs; the root is the
+// current k-th best, mirroring resultHeap's push/replaceRoot shape.
 type pairHeap []Pair
 
-func (h pairHeap) Len() int            { return len(h) }
-func (h pairHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(Pair)) }
-func (h *pairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *pairHeap) push(p Pair) {
+	*h = append(*h, p)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		par := (i - 1) / 2
+		if s[par].Dist >= s[i].Dist {
+			break
+		}
+		s[par], s[i] = s[i], s[par]
+		i = par
+	}
+}
+
+// replaceRoot overwrites the current worst of the k best and sifts the
+// replacement down.
+func (h pairHeap) replaceRoot(p Pair) {
+	h[0] = p
+	i := 0
+	for {
+		big := i
+		if l := 2*i + 1; l < len(h) && h[l].Dist > h[big].Dist {
+			big = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r].Dist > h[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
 }
 
 // ClosestPairs returns the k closest pairs between t and other (best-first,
@@ -255,16 +308,15 @@ func (t *Tree) ClosestPairsContext(ctx context.Context, other *Tree, k int) ([]P
 	}
 	offer := func(p Pair) {
 		if len(best) < k {
-			heap.Push(&best, p)
+			best.push(p)
 		} else if p.Dist < best[0].Dist {
-			best[0] = p
-			heap.Fix(&best, 0)
+			best.replaceRoot(p)
 		}
 	}
 
-	pq := &pairPQ{{id1: t.root, id2: other.root}}
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(pairPQItem)
+	pq := pairPQ{{id1: t.root, id2: other.root}}
+	for len(pq) > 0 {
+		item := pq.pop()
 		if item.minDist > bound() {
 			break
 		}
@@ -297,7 +349,7 @@ func (t *Tree) ClosestPairsContext(ctx context.Context, other *Tree, k int) ([]P
 			for j := range n2.entries {
 				md := e.pairBound(n1.coverSignature(t.opts.SignatureLength), n2.entries[j].sig)
 				if md <= bound() {
-					heap.Push(pq, pairPQItem{id1: item.id1, id2: n2.entries[j].child, minDist: md})
+					pq.push(pairPQItem{id1: item.id1, id2: n2.entries[j].child, minDist: md})
 				} else {
 					e.prune(n2.entries[j].child, md)
 				}
@@ -306,7 +358,7 @@ func (t *Tree) ClosestPairsContext(ctx context.Context, other *Tree, k int) ([]P
 			for i := range n1.entries {
 				md := e.pairBound(n1.entries[i].sig, n2.coverSignature(t.opts.SignatureLength))
 				if md <= bound() {
-					heap.Push(pq, pairPQItem{id1: n1.entries[i].child, id2: item.id2, minDist: md})
+					pq.push(pairPQItem{id1: n1.entries[i].child, id2: item.id2, minDist: md})
 				} else {
 					e.prune(n1.entries[i].child, md)
 				}
@@ -319,7 +371,7 @@ func (t *Tree) ClosestPairsContext(ctx context.Context, other *Tree, k int) ([]P
 					}
 					md := e.pairBound(n1.entries[i].sig, n2.entries[j].sig)
 					if md <= bound() {
-						heap.Push(pq, pairPQItem{id1: n1.entries[i].child, id2: n2.entries[j].child, minDist: md})
+						pq.push(pairPQItem{id1: n1.entries[i].child, id2: n2.entries[j].child, minDist: md})
 					} else {
 						e.prune(n1.entries[i].child, md)
 					}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCounter enforces the counter-access discipline (DESIGN.md §9.4):
+// the tree's cumulative counters are updated by many concurrent queries
+// under the read lock, so they exist only as sync/atomic values (or as
+// plain integers touched exclusively through sync/atomic functions). The
+// analyzer reports:
+//
+//  1. direct assignment to a field of a sync/atomic type (x.f = v, or
+//     overwriting a whole struct that contains atomic fields) — the
+//     assignment is a plain, unsynchronized store that races with every
+//     concurrent Add/Load;
+//  2. mixed access to a plain field: once any code touches a field via
+//     sync/atomic functions (atomic.AddInt64(&x.f, ...)), every direct
+//     read or write of that field elsewhere in the package is a race.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "fields maintained atomically are never read or written with plain loads and stores",
+	Run:  runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) error {
+	info := pass.Pkg.TypesInfo
+
+	// Pass A: fields of plain type that are accessed via sync/atomic
+	// functions anywhere in the package.
+	atomicallyUsed := map[*types.Var]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(pass.Pkg, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if field := fieldVarOf(pass.Pkg, un.X); field != nil {
+					atomicallyUsed[field] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Pkg.Files {
+		// Pass B: direct assignments to atomic-typed fields or to structs
+		// containing them.
+		ast.Inspect(f, func(x ast.Node) bool {
+			var lhss []ast.Expr
+			var tok_ token.Token
+			switch s := x.(type) {
+			case *ast.AssignStmt:
+				lhss, tok_ = s.Lhs, s.Tok
+			case *ast.IncDecStmt:
+				lhss, tok_ = []ast.Expr{s.X}, token.ASSIGN
+			default:
+				return true
+			}
+			if tok_ == token.DEFINE {
+				return true // fresh local value, not yet shared
+			}
+			for _, lhs := range lhss {
+				lhs = ast.Unparen(lhs)
+				tv, ok := info.Types[lhs]
+				if !ok {
+					continue
+				}
+				if isAtomicType(tv.Type) {
+					pass.Reportf(lhs.Pos(), "plain assignment to atomic value %s: use its Store method", exprString(lhs))
+					continue
+				}
+				if _, isSel := lhs.(*ast.SelectorExpr); !isSel {
+					if _, isStar := lhs.(*ast.StarExpr); !isStar {
+						continue
+					}
+				}
+				if n := namedOf(tv.Type); n != nil {
+					if field := firstAtomicField(n); field != "" {
+						pass.Reportf(lhs.Pos(), "assignment overwrites %s, which contains atomic field %s: a plain struct store races with concurrent atomic access; reset each field with Store",
+							n.Obj().Name(), field)
+					}
+				}
+			}
+			return true
+		})
+
+		// Pass C: plain accesses to fields that are used atomically.
+		if len(atomicallyUsed) > 0 {
+			checkMixedAccess(pass, f, atomicallyUsed)
+		}
+	}
+	return nil
+}
+
+// checkMixedAccess walks with an ancestor stack so that the legitimate
+// shape — &x.f as an argument of a sync/atomic call — can be skipped.
+func checkMixedAccess(pass *Pass, f *ast.File, atomicallyUsed map[*types.Var]bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(x ast.Node) bool {
+		if x == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, x)
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := fieldVarOf(pass.Pkg, sel)
+		if field == nil || !atomicallyUsed[field] {
+			return true
+		}
+		// Allowed: &x.f inside a sync/atomic call.
+		if len(stack) >= 3 {
+			if un, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && un.Op == token.AND {
+				if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && isAtomicPkgCall(pass.Pkg, call) {
+					return true
+				}
+			}
+		}
+		pass.Reportf(sel.Pos(), "field %s is maintained with sync/atomic elsewhere; this plain access races with concurrent atomic updates", field.Name())
+		return true
+	})
+}
+
+func isAtomicPkgCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldVarOf resolves e as a struct-field selection.
+func fieldVarOf(pkg *Package, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := pkg.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}
+
+// firstAtomicField returns the name of the first sync/atomic-typed field
+// of n's underlying struct, or "".
+func firstAtomicField(n *types.Named) string {
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isAtomicType(st.Field(i).Type()) {
+			return st.Field(i).Name()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BannedRule bans either an import or a set of package-level functions
+// inside packages matching the path prefixes.
+type BannedRule struct {
+	// Prefixes are package-path prefixes the rule applies to; empty means
+	// every package under analysis.
+	Prefixes []string
+	// Import bans importing this path outright.
+	Import string
+	// Pkg + Funcs ban calling (or referencing) the named package-level
+	// functions of Pkg.
+	Pkg   string
+	Funcs []string
+	// Why is appended to the diagnostic.
+	Why string
+}
+
+func (r *BannedRule) applies(pkgPath string) bool {
+	if len(r.Prefixes) == 0 {
+		return true
+	}
+	for _, p := range r.Prefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// randGlobalFuncs are the package-level functions of math/rand{,/v2} that
+// draw from the shared global source.
+var randGlobalFuncs = []string{
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+	"Uint32", "Uint64", "Float32", "Float64",
+	"ExpFloat64", "NormFloat64", "Perm", "Shuffle", "Seed", "Read",
+	// math/rand/v2 spellings
+	"N", "IntN", "Int32N", "Int64N", "UintN", "Uint32N", "Uint64N",
+}
+
+// DefaultBannedRules is the repo's banned-API policy (DESIGN.md §9.5):
+//
+//   - container/heap stays out of internal/core: the interface methods box
+//     every element pushed or popped, which PR 4 measured as one
+//     allocation per candidate on the innermost query loops — the
+//     hand-rolled slice heaps in nn.go are the replacement;
+//   - time.Now and the global math/rand source stay out of internal/core
+//     and internal/storage: the crash harness replays recorded workloads
+//     and asserts oracle equivalence, which only holds while query and
+//     recovery behavior is a pure function of the inputs. Randomness and
+//     clocks are injected at the edges (cmd/, harness, tests).
+func DefaultBannedRules() []BannedRule {
+	deterministic := []string{"sgtree/internal/core", "sgtree/internal/storage"}
+	return []BannedRule{
+		{
+			Prefixes: []string{"sgtree/internal/core"},
+			Import:   "container/heap",
+			Why:      "hot query paths use the hand-rolled slice heaps (DESIGN §8); container/heap boxes every element",
+		},
+		{
+			Prefixes: deterministic,
+			Pkg:      "time",
+			Funcs:    []string{"Now", "Since", "Until"},
+			Why:      "core and storage must stay deterministic for the crash/recovery oracle; take timestamps at the edges",
+		},
+		{
+			Prefixes: deterministic,
+			Pkg:      "math/rand",
+			Funcs:    randGlobalFuncs,
+			Why:      "the global rand source breaks crash-harness reproducibility; thread a seeded *rand.Rand from the caller",
+		},
+		{
+			Prefixes: deterministic,
+			Pkg:      "math/rand/v2",
+			Funcs:    randGlobalFuncs,
+			Why:      "the global rand source breaks crash-harness reproducibility; thread a seeded generator from the caller",
+		},
+	}
+}
+
+// NewBannedAPI builds the bannedapi analyzer over a rule set. The default
+// suite uses DefaultBannedRules; tests instantiate fixture-scoped rules.
+func NewBannedAPI(rules []BannedRule) *Analyzer {
+	return &Analyzer{
+		Name: "bannedapi",
+		Doc:  "no container/heap in hot paths; no wall clock or global rand source in deterministic packages",
+		Run: func(pass *Pass) error {
+			return runBannedAPI(pass, rules)
+		},
+	}
+}
+
+func runBannedAPI(pass *Pass, rules []BannedRule) error {
+	var active []BannedRule
+	for _, r := range rules {
+		if r.applies(pass.Pkg.PkgPath) {
+			active = append(active, r)
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, r := range active {
+				if r.Import != "" && r.Import == path {
+					pass.Reportf(imp.Pos(), "import of %s is banned here: %s", path, r.Why)
+				}
+			}
+		}
+		ast.Inspect(f, func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Pkg.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			for _, r := range active {
+				if r.Pkg == "" || pn.Imported().Path() != r.Pkg {
+					continue
+				}
+				for _, fn := range r.Funcs {
+					if sel.Sel.Name == fn {
+						pass.Reportf(sel.Pos(), "%s.%s is banned here: %s", r.Pkg, fn, r.Why)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// funcInfo is one function, method, or function literal of the package
+// under analysis, with the static call edges the graph-based analyzers
+// (lockdiscipline, updatescope) walk.
+type funcInfo struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	obj  *types.Func   // nil for literals
+
+	name     string // "Tree.Insert", "Tree.Insert$1" for its first literal
+	exported bool
+	recv     *types.Named // receiver's named type, nil for plain functions
+
+	parent *funcInfo // enclosing function, for literals
+
+	calls []callSite
+
+	// updateScopeEntry marks function literals passed as an argument to a
+	// call of a method named runUpdate: their bodies run inside the
+	// buffer-pool undo scope (see updatescope.go).
+	updateScopeEntry bool
+}
+
+// callSite is one static call from a function body to another function of
+// the same package (callee != nil) or to a function literal defined inline
+// (litCallee != nil for both direct calls and for the implicit "the
+// enclosing function may run this literal" edge).
+type callSite struct {
+	call   *ast.CallExpr // nil for the implicit enclosing->literal edge
+	callee *funcInfo
+	// recvExpr is the printed receiver expression of a method call
+	// ("t", "it.t", "other"), empty for plain calls.
+	recvExpr string
+}
+
+// packageGraph indexes every function of a package and its intra-package
+// call edges.
+type packageGraph struct {
+	pkg   *Package
+	funcs []*funcInfo
+	byObj map[*types.Func]*funcInfo
+	byLit map[*ast.FuncLit]*funcInfo
+}
+
+// buildGraph constructs the call graph for pkg. Function literals become
+// their own nodes, linked to the enclosing function by an implicit edge
+// (the enclosing function may execute the literal), except that the
+// graph-walking analyzers can choose to stop at update-scope entries.
+func buildGraph(pkg *Package) *packageGraph {
+	g := &packageGraph{
+		pkg:   pkg,
+		byObj: map[*types.Func]*funcInfo{},
+		byLit: map[*ast.FuncLit]*funcInfo{},
+	}
+	// Pass 1: declare nodes for every FuncDecl and nested FuncLit.
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+			fi := &funcInfo{
+				decl:     fd,
+				obj:      obj,
+				name:     fd.Name.Name,
+				exported: fd.Name.IsExported(),
+			}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				if named := namedOf(pkg.TypesInfo.Types[fd.Recv.List[0].Type].Type); named != nil {
+					fi.recv = named
+					fi.name = named.Obj().Name() + "." + fi.name
+				}
+			}
+			if obj != nil {
+				g.byObj[obj] = fi
+			}
+			g.funcs = append(g.funcs, fi)
+			g.declareLiterals(fi, fd.Body)
+		}
+	}
+	// Pass 2: resolve call edges, attributing statements inside a literal
+	// to the literal's own node.
+	for _, fi := range g.funcs {
+		if fi.lit == nil { // literals are visited through their parents
+			g.resolveCalls(fi, fi.body())
+		}
+	}
+	return g
+}
+
+func (fi *funcInfo) body() *ast.BlockStmt {
+	if fi.decl != nil {
+		return fi.decl.Body
+	}
+	return fi.lit.Body
+}
+
+// declareLiterals creates nodes for every function literal nested in body,
+// attributing each to its nearest enclosing function.
+func (g *packageGraph) declareLiterals(parent *funcInfo, body ast.Node) {
+	n := 0
+	var walk func(node ast.Node, owner *funcInfo)
+	walk = func(node ast.Node, owner *funcInfo) {
+		ast.Inspect(node, func(x ast.Node) bool {
+			lit, ok := x.(*ast.FuncLit)
+			if !ok || x == node {
+				return true
+			}
+			n++
+			fi := &funcInfo{
+				lit:    lit,
+				parent: owner,
+				name:   fmt.Sprintf("%s$%d", owner.name, n),
+			}
+			fi.recv = owner.recvRoot()
+			g.byLit[lit] = fi
+			g.funcs = append(g.funcs, fi)
+			walk(lit.Body, fi)
+			return false // literal's children handled by the recursive walk
+		})
+	}
+	walk(body, parent)
+}
+
+// recvRoot finds the receiver type of the nearest enclosing method.
+func (fi *funcInfo) recvRoot() *types.Named {
+	for f := fi; f != nil; f = f.parent {
+		if f.recv != nil {
+			return f.recv
+		}
+	}
+	return nil
+}
+
+// resolveCalls records fi's intra-package call edges, descending into
+// nested literals on their own nodes.
+func (g *packageGraph) resolveCalls(fi *funcInfo, body ast.Node) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			sub := g.byLit[x]
+			if sub == nil {
+				return true
+			}
+			// Implicit edge: the enclosing function may run the literal.
+			fi.calls = append(fi.calls, callSite{callee: sub})
+			g.resolveCalls(sub, x.Body)
+			return false
+		case *ast.CallExpr:
+			g.addCallEdges(fi, x)
+		}
+		return true
+	})
+}
+
+// addCallEdges resolves one call expression: a static edge when the callee
+// is a package-local function or method, plus update-scope marking when a
+// literal is passed to runUpdate.
+func (g *packageGraph) addCallEdges(fi *funcInfo, call *ast.CallExpr) {
+	var obj types.Object
+	var recvExpr string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = g.pkg.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = g.pkg.TypesInfo.Uses[fun.Sel]
+		if sel, ok := g.pkg.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			recvExpr = exprString(fun.X)
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	callee := g.byObj[fn]
+	if callee != nil {
+		fi.calls = append(fi.calls, callSite{call: call, callee: callee, recvExpr: recvExpr})
+	}
+	// Literals passed to a method named runUpdate execute inside the
+	// buffer-pool undo scope.
+	if fn.Name() == "runUpdate" {
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				if sub := g.byLit[lit]; sub != nil {
+					sub.updateScopeEntry = true
+				}
+			}
+		}
+	}
+}
+
+// namedOf unwraps pointers and aliases down to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}
+
+// isExportedEntry reports whether fi is callable from outside the package:
+// an exported top-level function or an exported method on an exported (or
+// any) named type. Methods on unexported types still count — values of
+// those types can escape through interfaces or exported wrappers.
+func (fi *funcInfo) isExportedEntry() bool {
+	return fi.decl != nil && fi.exported
+}

@@ -1,0 +1,98 @@
+// Package linttest is the fixture harness for the sglint analyzers,
+// modeled on golang.org/x/tools/go/analysis/analysistest but built on the
+// repo's own loader so it works offline. A fixture is a compiling package
+// under internal/lint/testdata/src/<name> whose source carries the
+// expected findings as trailing comments:
+//
+//	return c.n // want `exported .*Peek accesses Counter\.n`
+//
+// Each `want` comment holds one or more backquoted regular expressions
+// and applies to its own line: every regexp must match a diagnostic
+// reported on that line, and every diagnostic must be matched by some
+// regexp — missing and unexpected findings both fail the test. This keeps
+// the fixtures self-describing: reading one shows exactly which lines the
+// analyzer fires on and why the silent lines stay silent.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"sgtree/internal/lint"
+)
+
+// wantRe extracts the backquoted patterns of a `// want` comment.
+var wantRe = regexp.MustCompile("// want((?: +`[^`]*`)+) *$")
+
+var backquoted = regexp.MustCompile("`[^`]*`")
+
+// Run loads testdata/src/<fixture>, applies the analyzer, and diffs the
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	// Tests run with the package directory (internal/lint or a sibling) as
+	// the working directory; the loader resolves the fixture through the
+	// module, so any directory inside it works.
+	pkgs, err := lint.Load(".", "sgtree/internal/lint/testdata/src/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, q := range backquoted.FindAllString(m[1], -1) {
+						re, err := regexp.Compile(q[1 : len(q)-1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						wants[k] = append(wants[k], re)
+					}
+				}
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic:\n  %v", d)
+		}
+	}
+	for k, res := range wants {
+		for i, ok := range matched[k] {
+			if !ok {
+				t.Errorf("%s: no diagnostic matched want `%s`", fmt.Sprintf("%s:%d", k.file, k.line), res[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,426 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline enforces the tree's mutex contract (DESIGN.md §9.1).
+//
+// For every struct that declares a `mu sync.Mutex` / `sync.RWMutex` field
+// (Tree, the WAL, the pool shards, the node-cache shards, ...), the
+// analyzer infers the set of lock-guarded fields — the fields written
+// anywhere outside the struct's constructors — and checks:
+//
+//  1. an exported function that reads or writes a guarded field must
+//     acquire the mutex (or be a constructor of the struct);
+//  2. no call chain starting at an exported function that does not hold
+//     the lock may reach a function that touches guarded state or carries
+//     the `Locked` naming convention — chains are only safe when they pass
+//     through an acquiring function;
+//  3. a function with the `Locked` suffix must not acquire the mutex
+//     itself (the suffix promises "caller already holds it"; acquiring
+//     again self-deadlocks with sync.Mutex);
+//  4. a function that holds the mutex must not directly call, on the same
+//     receiver it locked, another method that acquires the same lock
+//     (recursive locking deadlocks).
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "mutex-guarded state is only touched with the lock held; Locked-suffix helpers are never called bare",
+	Run:  runLockDiscipline,
+}
+
+// guardedStruct is one struct with a mutex field.
+type guardedStruct struct {
+	named   *types.Named
+	muField *types.Var
+	rw      bool                // RWMutex vs Mutex
+	mutable map[*types.Var]bool // fields written outside constructors
+}
+
+// lockFacts are the per-function facts lockdiscipline derives.
+type lockFacts struct {
+	// acquires maps guarded struct -> receiver expressions the function
+	// locks ("t", "other", "s"); non-empty means the function is a lock
+	// holder for that struct.
+	acquires map[*guardedStruct][]string
+	// constructs marks structs the function creates via composite literal:
+	// the new value is function-local, so access needs no lock.
+	constructs map[*guardedStruct]bool
+	// touches are direct guarded-field accesses (read or write).
+	touches []fieldTouch
+}
+
+type fieldTouch struct {
+	gs    *guardedStruct
+	field *types.Var
+	pos   token.Pos
+}
+
+func runLockDiscipline(pass *Pass) error {
+	guarded := findGuardedStructs(pass.Pkg)
+	if len(guarded) == 0 {
+		return nil
+	}
+	g := buildGraph(pass.Pkg)
+	inferMutableFields(pass.Pkg, g, guarded)
+
+	facts := map[*funcInfo]*lockFacts{}
+	for _, fi := range g.funcs {
+		facts[fi] = lockFactsOf(pass.Pkg, fi, guarded)
+	}
+
+	for _, fi := range g.funcs {
+		f := facts[fi]
+
+		// Rule 3: Locked-suffix functions must not self-acquire.
+		if strings.HasSuffix(fi.name, "Locked") && fi.recv != nil {
+			if gs := structByNamed(guarded, fi.recv); gs != nil && len(f.acquires[gs]) > 0 {
+				pass.Reportf(fi.pos(), "%s has the Locked suffix (caller holds the mutex) but acquires %s.mu itself: recursive locking deadlocks", fi.name, gs.named.Obj().Name())
+			}
+		}
+
+		// Rule 1: exported functions touching guarded state must hold the lock.
+		if fi.isExportedEntry() {
+			for _, t := range f.touches {
+				if len(f.acquires[t.gs]) == 0 && !f.constructs[t.gs] {
+					pass.Reportf(t.pos, "exported %s accesses %s.%s, which is guarded by %s.mu, without acquiring the lock",
+						fi.name, t.gs.named.Obj().Name(), t.field.Name(), t.gs.named.Obj().Name())
+				}
+			}
+		}
+
+		// Rule 4: direct double-acquire on the same receiver expression.
+		for gs, recvs := range f.acquires {
+			for _, cs := range fi.calls {
+				if cs.call == nil || cs.callee == nil || cs.recvExpr == "" {
+					continue
+				}
+				cf := facts[cs.callee]
+				if cf == nil || !selfAcquires(cs.callee, cf, gs) {
+					continue
+				}
+				for _, r := range recvs {
+					if r == cs.recvExpr {
+						pass.Reportf(cs.call.Pos(), "%s holds %s.mu of %q and calls %s, which acquires the same mutex: recursive locking deadlocks",
+							fi.name, gs.named.Obj().Name(), r, cs.callee.name)
+					}
+				}
+			}
+		}
+	}
+
+	// Rule 2: reachability from lock-free exported entries to guarded code.
+	for _, root := range g.funcs {
+		f := facts[root]
+		if !root.isExportedEntry() {
+			continue
+		}
+		reportUnlockedPaths(pass, g, facts, guarded, root, f)
+	}
+	return nil
+}
+
+func (fi *funcInfo) pos() token.Pos {
+	if fi.decl != nil {
+		return fi.decl.Name.Pos()
+	}
+	return fi.lit.Pos()
+}
+
+// selfAcquires reports whether fn locks gs's mutex on its own receiver.
+func selfAcquires(fn *funcInfo, f *lockFacts, gs *guardedStruct) bool {
+	if fn.decl == nil || fn.decl.Recv == nil || len(fn.decl.Recv.List) == 0 {
+		return false
+	}
+	names := fn.decl.Recv.List[0].Names
+	if len(names) == 0 {
+		return false
+	}
+	recvName := names[0].Name
+	for _, r := range f.acquires[gs] {
+		if r == recvName {
+			return true
+		}
+	}
+	return false
+}
+
+// reportUnlockedPaths walks the call graph from an exported function that
+// does not hold gs.mu and reports the first guarded function reached per
+// target. The walk stops at functions that acquire or construct: below
+// them the lock is held (or the value is private).
+func reportUnlockedPaths(pass *Pass, g *packageGraph, facts map[*funcInfo]*lockFacts, guarded []*guardedStruct, root *funcInfo, rootFacts *lockFacts) {
+	for _, gs := range guarded {
+		if len(rootFacts.acquires[gs]) > 0 || rootFacts.constructs[gs] {
+			continue
+		}
+		type qitem struct {
+			fi  *funcInfo
+			via token.Pos // call position in root's body that leads here
+		}
+		seen := map[*funcInfo]bool{root: true}
+		var queue []qitem
+		for _, cs := range root.calls {
+			if cs.callee != nil && cs.call != nil {
+				queue = append(queue, qitem{cs.callee, cs.call.Pos()})
+			} else if cs.callee != nil {
+				queue = append(queue, qitem{cs.callee, cs.callee.pos()})
+			}
+		}
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			if seen[it.fi] {
+				continue
+			}
+			seen[it.fi] = true
+			f := facts[it.fi]
+			if len(f.acquires[gs]) > 0 || f.constructs[gs] {
+				continue // lock held (or value private) below this point
+			}
+			bad := ""
+			for _, t := range f.touches {
+				if t.gs == gs {
+					bad = t.gs.named.Obj().Name() + "." + t.field.Name()
+					break
+				}
+			}
+			if bad == "" && strings.HasSuffix(it.fi.name, "Locked") && it.fi.recvRoot() == gs.named {
+				bad = "its Locked-suffix contract"
+			}
+			if bad != "" {
+				pass.Reportf(it.via, "exported %s does not hold %s.mu but may reach %s, which touches %s",
+					root.name, gs.named.Obj().Name(), it.fi.name, bad)
+				continue // deeper reports would be redundant
+			}
+			for _, cs := range it.fi.calls {
+				if cs.callee != nil {
+					queue = append(queue, qitem{cs.callee, it.via})
+				}
+			}
+		}
+	}
+}
+
+// findGuardedStructs locates package-level structs with a mutex field
+// named mu or lock.
+func findGuardedStructs(pkg *Package) []*guardedStruct {
+	var out []*guardedStruct
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() != "mu" && f.Name() != "lock" {
+				continue
+			}
+			if n := namedOf(f.Type()); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" {
+				if n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex" {
+					out = append(out, &guardedStruct{
+						named:   named,
+						muField: f,
+						rw:      n.Obj().Name() == "RWMutex",
+						mutable: map[*types.Var]bool{},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func structByNamed(guarded []*guardedStruct, n *types.Named) *guardedStruct {
+	for _, gs := range guarded {
+		if gs.named == n {
+			return gs
+		}
+	}
+	return nil
+}
+
+// inferMutableFields marks, for every guarded struct, the fields assigned
+// anywhere outside the struct's constructors. Fields only ever written
+// while building the value (composite literals, constructor bodies) are
+// immutable-after-construction and reading them needs no lock. The mutex
+// itself and atomic fields (their own synchronization) are excluded.
+func inferMutableFields(pkg *Package, g *packageGraph, guarded []*guardedStruct) {
+	for _, fi := range g.funcs {
+		constructs := constructedStructs(pkg, fi, guarded)
+		ast.Inspect(fi.body(), func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false // literals have their own funcInfo
+			}
+			var lhss []ast.Expr
+			switch s := x.(type) {
+			case *ast.AssignStmt:
+				lhss = s.Lhs
+			case *ast.IncDecStmt:
+				lhss = []ast.Expr{s.X}
+			default:
+				return true
+			}
+			for _, lhs := range lhss {
+				gs, field := guardedFieldOf(pkg, guarded, lhs)
+				if gs == nil || constructs[gs] {
+					continue
+				}
+				if isAtomicType(field.Type()) || field == gs.muField {
+					continue
+				}
+				gs.mutable[field] = true
+			}
+			return true
+		})
+	}
+}
+
+// guardedFieldOf resolves expr as a selector on a guarded struct and
+// returns the struct and field, or nils.
+func guardedFieldOf(pkg *Package, guarded []*guardedStruct, expr ast.Expr) (*guardedStruct, *types.Var) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	selection, ok := pkg.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	recv := namedOf(selection.Recv())
+	if recv == nil {
+		return nil, nil
+	}
+	gs := structByNamed(guarded, recv)
+	if gs == nil {
+		return nil, nil
+	}
+	// Only direct fields of the guarded struct count; embedded hops would
+	// need their own guard analysis.
+	if len(selection.Index()) != 1 {
+		return nil, nil
+	}
+	return gs, field
+}
+
+// lockFactsOf computes one function's acquire/construct/touch facts.
+// Nested literals are excluded — they are separate funcInfos.
+func lockFactsOf(pkg *Package, fi *funcInfo, guarded []*guardedStruct) *lockFacts {
+	f := &lockFacts{
+		acquires:   map[*guardedStruct][]string{},
+		constructs: constructedStructs(pkg, fi, guarded),
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				// X.mu.Lock() / X.mu.RLock()
+				outer, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok || (outer.Sel.Name != "Lock" && outer.Sel.Name != "RLock") {
+					return true
+				}
+				gs, field := guardedFieldOf(pkg, guarded, outer.X)
+				if gs == nil || field != gs.muField {
+					return true
+				}
+				inner := ast.Unparen(outer.X).(*ast.SelectorExpr)
+				f.acquires[gs] = append(f.acquires[gs], exprString(inner.X))
+				return true
+			case *ast.SelectorExpr:
+				gs, field := guardedFieldOf(pkg, guarded, x)
+				if gs != nil && gs.mutable[field] {
+					f.touches = append(f.touches, fieldTouch{gs: gs, field: field, pos: x.Sel.Pos()})
+				}
+				return true
+			}
+			return true
+		})
+	}
+	// Walk statements but not nested literals: Inspect handles the
+	// cut-off via the FuncLit case above, except the body itself when fi
+	// IS a literal.
+	if fi.lit != nil {
+		for _, s := range fi.lit.Body.List {
+			walk(s)
+		}
+	} else {
+		for _, s := range fi.decl.Body.List {
+			walk(s)
+		}
+	}
+	return f
+}
+
+// constructedStructs returns the guarded structs fi builds via composite
+// literal (taking ownership of a fresh value). Building a struct that
+// embeds a guarded struct — directly or through arrays, as the node
+// cache's shard array does — constructs the inner guarded values too.
+func constructedStructs(pkg *Package, fi *funcInfo, guarded []*guardedStruct) map[*guardedStruct]bool {
+	out := map[*guardedStruct]bool{}
+	ast.Inspect(fi.body(), func(x ast.Node) bool {
+		if lit, ok := x.(*ast.CompositeLit); ok {
+			if tv, ok := pkg.TypesInfo.Types[lit]; ok {
+				for _, gs := range guarded {
+					if containsStruct(tv.Type, gs.named, nil) {
+						out[gs] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// containsStruct reports whether t is, or contains by value (through
+// struct fields and array elements), the named struct target.
+func containsStruct(t types.Type, target *types.Named, seen []types.Type) bool {
+	for _, s := range seen {
+		if s == t {
+			return false
+		}
+	}
+	seen = append(seen, t)
+	if n := namedOf(t); n != nil {
+		if n == target {
+			return true
+		}
+		t = n.Underlying()
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsStruct(u.Field(i).Type(), target, seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsStruct(u.Elem(), target, seen)
+	}
+	return false
+}
+
+// isAtomicType reports whether t is one of sync/atomic's value types.
+func isAtomicType(t types.Type) bool {
+	n := namedOf(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}

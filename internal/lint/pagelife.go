@@ -1,0 +1,437 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PageLife enforces the buffer-pool page lifecycle (DESIGN.md §9.2).
+//
+// Every BufferPool.Get / BufferPool.NewPage pins a frame; the pin must be
+// dropped with Unpin or Discard on every control-flow path of the calling
+// function, or the frame leaks and the pool's eviction stalls under load.
+// The checker walks each function body with a pinned-page abstract state:
+//
+//   - page, err := pool.Get(x) pins key "x" (the printed argument);
+//   - pool.Unpin(x, d), pool.Discard(x) — as statements, in assignments,
+//     in defers, or inside a deferred closure — release it;
+//   - a return while a non-deferred pin is live is reported, unless the
+//     return sits under a condition mentioning the pin's own error
+//     variable (the Get failed, so nothing was pinned);
+//   - a pin taken inside a loop must be released by the end of the same
+//     iteration.
+//
+// The second contract is the raw-pager fence: outside internal/storage no
+// code may call ReadPage/WritePage/Allocate/Free on a pager — every page
+// access must go through the BufferPool, or it bypasses the WAL and the
+// undo scopes that crash recovery (PR 2) depends on.
+var PageLife = &Analyzer{
+	Name: "pagelife",
+	Doc:  "BufferPool pins are released on all paths; raw pager access stays inside internal/storage",
+	Run:  runPageLife,
+}
+
+const storagePkgPath = "sgtree/internal/storage"
+
+func runPageLife(pass *Pass) error {
+	inStorage := pass.Pkg.PkgPath == storagePkgPath
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !inStorage {
+				// The pool's own internals manage frames below the
+				// pin/unpin API; pairing applies to its clients.
+				c := &pinChecker{pass: pass}
+				c.checkFunc(fd.Body)
+			}
+			checkRawPagerAccess(pass, fd.Body, inStorage)
+		}
+	}
+	return nil
+}
+
+// --- pin/release pairing ---
+
+type pin struct {
+	key    string       // printed page-id expression ("id", "n.id", "t.metaPage")
+	errVar types.Object // error variable bound at the pinning call, or nil
+	pos    token.Pos
+	what   string // "Get" or "NewPage"
+}
+
+// pinState is the abstract state: live pins plus keys with a pending
+// deferred release.
+type pinState struct {
+	pins     map[string]*pin
+	deferred map[string]bool
+}
+
+func newPinState() *pinState {
+	return &pinState{pins: map[string]*pin{}, deferred: map[string]bool{}}
+}
+
+func (s *pinState) clone() *pinState {
+	c := newPinState()
+	for k, v := range s.pins {
+		c.pins[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// merge folds another fall-through branch into s (union of live pins:
+// a pin leaking on either branch is a leak).
+func (s *pinState) merge(o *pinState) {
+	for k, v := range o.pins {
+		if _, ok := s.pins[k]; !ok {
+			s.pins[k] = v
+		}
+	}
+	for k := range o.deferred {
+		s.deferred[k] = true
+	}
+}
+
+type pinChecker struct {
+	pass *Pass
+}
+
+func (c *pinChecker) checkFunc(body *ast.BlockStmt) {
+	st := newPinState()
+	terminated := c.walkStmts(body.List, st, nil)
+	if !terminated {
+		c.checkLeaks(st, nil, body.Rbrace)
+	}
+	// Nested function literals get their own isolated analysis.
+	ast.Inspect(body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && !c.isDeferredReleaseLit(lit) {
+			sub := &pinChecker{pass: c.pass}
+			sub.checkFunc(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// isDeferredReleaseLit marks literals that exist only to carry releases in
+// a defer (`defer func() { pool.Unpin(id, false) }()`); those are analyzed
+// as part of the enclosing function's defer handling, not independently.
+func (c *pinChecker) isDeferredReleaseLit(lit *ast.FuncLit) bool {
+	only := len(lit.Body.List) > 0
+	for _, s := range lit.Body.List {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || c.poolMethod(call) == "" {
+			return false
+		}
+	}
+	return only
+}
+
+// walkStmts interprets a statement list. It returns true when the list
+// definitely terminates (returns) on every path that reaches its end.
+func (c *pinChecker) walkStmts(stmts []ast.Stmt, st *pinState, conds []ast.Expr) bool {
+	for _, s := range stmts {
+		if c.walkStmt(s, st, conds) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *pinChecker) walkStmt(s ast.Stmt, st *pinState, conds []ast.Expr) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.applyAssign(s, st)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			c.applyCall(call, st, false)
+		}
+	case *ast.DeferStmt:
+		c.applyDefer(s.Call, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ast.Inspect(r, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					c.applyCall(call, st, false)
+				}
+				return true
+			})
+		}
+		c.checkLeaks(st, conds, s.Pos())
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st, conds)
+		}
+		thenSt := st.clone()
+		thenConds := append(append([]ast.Expr{}, conds...), s.Cond)
+		thenTerm := c.walkStmts(s.Body.List, thenSt, thenConds)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = c.walkStmt(s.Else, elseSt, thenConds)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			*st = *thenSt
+			st.merge(elseSt)
+		}
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, st, conds)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st, conds)
+		}
+		c.walkLoopBody(s.Body, st, conds)
+	case *ast.RangeStmt:
+		c.walkLoopBody(s.Body, st, conds)
+	case *ast.SwitchStmt:
+		c.walkCaseBodies(caseBodies(s.Body), st, conds)
+	case *ast.TypeSwitchStmt:
+		c.walkCaseBodies(caseBodies(s.Body), st, conds)
+	case *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				bodies = append(bodies, cc.Body)
+			}
+		}
+		c.walkCaseBodies(bodies, st, conds)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, st, conds)
+	}
+	return false
+}
+
+func caseBodies(b *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, cl := range b.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func (c *pinChecker) walkCaseBodies(bodies [][]ast.Stmt, st *pinState, conds []ast.Expr) {
+	merged := st.clone()
+	first := true
+	for _, b := range bodies {
+		caseSt := st.clone()
+		if !c.walkStmts(b, caseSt, conds) {
+			if first {
+				merged = caseSt
+				first = false
+			} else {
+				merged.merge(caseSt)
+			}
+		}
+	}
+	*st = *merged
+}
+
+// walkLoopBody checks that pins taken inside the body do not survive an
+// iteration, and applies body releases of outer pins to the loop's exit
+// state.
+func (c *pinChecker) walkLoopBody(body *ast.BlockStmt, st *pinState, conds []ast.Expr) {
+	bodySt := st.clone()
+	terminated := c.walkStmts(body.List, bodySt, conds)
+	if !terminated {
+		for key, p := range bodySt.pins {
+			if _, outer := st.pins[key]; !outer && !bodySt.deferred[key] {
+				c.pass.Reportf(p.pos, "page %s pinned by %s inside a loop is not released by the end of the iteration", key, p.what)
+			}
+		}
+	}
+	// Releases of outer pins inside the body count for the exit state.
+	for key := range st.pins {
+		if _, still := bodySt.pins[key]; !still {
+			delete(st.pins, key)
+		}
+	}
+	for k := range bodySt.deferred {
+		st.deferred[k] = true
+	}
+}
+
+func (c *pinChecker) checkLeaks(st *pinState, conds []ast.Expr, pos token.Pos) {
+	for key, p := range st.pins {
+		if st.deferred[key] {
+			continue
+		}
+		if p.errVar != nil && condsMention(c.pass.Pkg, conds, p.errVar) {
+			continue // error path of the pinning call itself: nothing pinned
+		}
+		c.pass.Reportf(pos, "page %s pinned by %s at %s is not released on this path (missing Unpin or Discard)",
+			key, p.what, c.pass.Pkg.Fset.Position(p.pos))
+	}
+}
+
+func condsMention(pkg *Package, conds []ast.Expr, obj types.Object) bool {
+	for _, cond := range conds {
+		found := false
+		ast.Inspect(cond, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && pkg.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// applyAssign handles pins (page, err := pool.Get(id)) and releases
+// appearing on the right-hand side (err := pool.Discard(id)).
+func (c *pinChecker) applyAssign(s *ast.AssignStmt, st *pinState) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	switch c.poolMethod(call) {
+	case "Get":
+		if len(call.Args) != 1 || len(s.Lhs) != 2 {
+			return
+		}
+		key := exprString(call.Args[0])
+		st.pins[key] = &pin{key: key, errVar: identObj(c.pass.Pkg, s.Lhs[1]), pos: call.Pos(), what: "Get"}
+		delete(st.deferred, key)
+	case "NewPage":
+		if len(s.Lhs) != 3 {
+			return
+		}
+		id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			c.pass.Reportf(call.Pos(), "NewPage result must be bound to a variable so its release can be checked")
+			return
+		}
+		st.pins[id.Name] = &pin{key: id.Name, errVar: identObj(c.pass.Pkg, s.Lhs[2]), pos: call.Pos(), what: "NewPage"}
+		delete(st.deferred, id.Name)
+	case "Unpin", "Discard":
+		c.applyCall(call, st, false)
+	}
+}
+
+// applyCall handles releases. With deferred set, the release is recorded
+// as pending at function exit instead of applied immediately.
+func (c *pinChecker) applyCall(call *ast.CallExpr, st *pinState, deferred bool) {
+	switch c.poolMethod(call) {
+	case "Unpin", "Discard":
+		if len(call.Args) < 1 {
+			return
+		}
+		key := exprString(call.Args[0])
+		if deferred {
+			st.deferred[key] = true
+		} else {
+			delete(st.pins, key)
+		}
+	}
+}
+
+func (c *pinChecker) applyDefer(call *ast.CallExpr, st *pinState) {
+	if c.poolMethod(call) != "" {
+		c.applyCall(call, st, true)
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(x ast.Node) bool {
+			if inner, ok := x.(*ast.CallExpr); ok {
+				c.applyCall(inner, st, true)
+			}
+			return true
+		})
+	}
+}
+
+// poolMethod returns the method name when call is a method call on
+// *storage.BufferPool, else "".
+func (c *pinChecker) poolMethod(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	tv, ok := c.pass.Pkg.TypesInfo.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	n := namedOf(tv.Type)
+	if n == nil || n.Obj().Name() != "BufferPool" || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != storagePkgPath {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+func identObj(pkg *Package, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := pkg.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pkg.TypesInfo.Uses[id]
+}
+
+// --- raw pager fence ---
+
+var rawPagerMethods = map[string]bool{
+	"ReadPage":  true,
+	"WritePage": true,
+	"Allocate":  true,
+	"Free":      true,
+}
+
+// checkRawPagerAccess reports calls to the pager's page-transfer methods
+// outside internal/storage.
+func checkRawPagerAccess(pass *Pass, body ast.Node, inStorage bool) {
+	if inStorage {
+		return
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !rawPagerMethods[sel.Sel.Name] {
+			return true
+		}
+		tv, ok := pass.Pkg.TypesInfo.Types[sel.X]
+		if !ok {
+			return true
+		}
+		n := namedOf(tv.Type)
+		if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != storagePkgPath {
+			return true
+		}
+		// Pager itself, or any concrete pager implementation exported by
+		// the storage package (FilePager, MemPager, fault/crash pagers).
+		if n.Obj().Name() == "Pager" || strings.HasSuffix(n.Obj().Name(), "Pager") {
+			pass.Reportf(call.Pos(), "raw pager access (%s.%s) outside internal/storage: go through the BufferPool so the WAL and undo scopes see the write", n.Obj().Name(), sel.Sel.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOnly builds a Package with syntax but no type information — enough
+// for the suppression machinery, which is purely comment-driven.
+func parseOnly(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+// reportEveryVar flags every package-level var declaration; the tests
+// aim directives at its findings.
+var reportEveryVar = &Analyzer{
+	Name: "everyvar",
+	Doc:  "test analyzer",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+					pass.Reportf(gd.Pos(), "var declared")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestSuppressionWithReason(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+//sglint:ignore everyvar this one is fine, the test says so
+var a = 1
+
+var b = 2
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportEveryVar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only b): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 6 {
+		t.Errorf("surviving diagnostic at line %d, want 6", diags[0].Pos.Line)
+	}
+}
+
+func TestSuppressionSameLine(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+var a = 1 //sglint:ignore everyvar trailing directives cover their own line
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportEveryVar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestSuppressionNeedsReason(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+//sglint:ignore everyvar
+var a = 1
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportEveryVar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bare directive is itself a finding, and it does not suppress.
+	var gotBad, gotVar bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "needs a reason") {
+			gotBad = true
+		}
+		if d.Message == "var declared" {
+			gotVar = true
+		}
+	}
+	if !gotBad || !gotVar {
+		t.Fatalf("want both the malformed-directive finding and the unsuppressed finding, got %v", diags)
+	}
+}
+
+func TestSuppressionWrongAnalyzer(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+//sglint:ignore someotherlint reason text
+var a = 1
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportEveryVar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("directive for a different analyzer must not suppress; got %v", diags)
+	}
+}

@@ -1,0 +1,55 @@
+// Package atomiccounter is the fixture for the atomiccounter analyzer:
+// stats mirrors the tree's counter block — one sync/atomic value and one
+// plain integer maintained through sync/atomic functions. Lines with
+// `want` comments must be reported; every other line must stay silent.
+package atomiccounter
+
+import "sync/atomic"
+
+type stats struct {
+	hits  atomic.Int64
+	total int64
+}
+
+// Hit updates both counters correctly: silent.
+func (s *stats) Hit() {
+	s.hits.Add(1)
+	atomic.AddInt64(&s.total, 1)
+}
+
+// Snapshot reads both counters correctly: silent.
+func (s *stats) Snapshot() (int64, int64) {
+	return s.hits.Load(), atomic.LoadInt64(&s.total)
+}
+
+// Reset stores zero with plain assignments, racing with every concurrent
+// Hit.
+func (s *stats) Reset() {
+	s.hits = atomic.Int64{} // want `plain assignment to atomic value s\.hits: use its Store method`
+	s.total = 0             // want `field total is maintained with sync/atomic elsewhere; this plain access races`
+}
+
+// ResetAtomic is the correct version of Reset: silent.
+func (s *stats) ResetAtomic() {
+	s.hits.Store(0)
+	atomic.StoreInt64(&s.total, 0)
+}
+
+// Bump increments the plain counter directly even though Hit maintains it
+// atomically.
+func (s *stats) Bump() {
+	s.total++ // want `field total is maintained with sync/atomic elsewhere; this plain access races`
+}
+
+// Clear overwrites the whole struct, silently replacing the atomic value
+// under concurrent readers.
+func Clear(s *stats) {
+	*s = stats{} // want `assignment overwrites stats, which contains atomic field hits: a plain struct store races`
+}
+
+// Fresh builds a new value before sharing it: define-assignments are not
+// flagged. Silent.
+func Fresh() *stats {
+	s := stats{}
+	return &s
+}

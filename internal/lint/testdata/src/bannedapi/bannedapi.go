@@ -1,0 +1,56 @@
+// Package bannedapi is the fixture for the bannedapi analyzer. The
+// intHeap type reproduces the real pre-fix violation this analyzer was
+// written to catch: internal/core's iterator and join paths used
+// container/heap priority queues, which box every pushed and popped
+// element (one allocation per candidate on the innermost query loop).
+// Lines with `want` comments must be reported; every other line must stay
+// silent.
+package bannedapi
+
+import (
+	"container/heap" // want `import of container/heap is banned here: the hot paths use hand-rolled slice heaps`
+	"math/rand"
+	"time"
+)
+
+// intHeap is the container/heap shape the repo migrated away from.
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Smallest uses the banned import; only the import line is reported, so
+// these call sites stay silent.
+func Smallest(xs []int) int {
+	h := intHeap(xs)
+	heap.Init(&h)
+	return heap.Pop(&h).(int)
+}
+
+// Sample draws from the global rand source and the wall clock.
+func Sample(n int) (int, time.Time) {
+	i := rand.Intn(n)    // want `math/rand\.Intn is banned here: thread a seeded \*rand\.Rand from the caller`
+	return i, time.Now() // want `time\.Now is banned here: deterministic packages take timestamps at the edges`
+}
+
+// SampleSeeded threads an explicit source and measures with a duration
+// arithmetic API instead of the wall clock: silent.
+func SampleSeeded(r *rand.Rand, start, end time.Time) (int, time.Duration) {
+	return r.Intn(16), end.Sub(start)
+}
+
+// Stamp is allowed to read the clock because the suppression below
+// carries a justification; nothing is reported.
+func Stamp() int64 {
+	//sglint:ignore bannedapi benchmark reports are stamped here, outside the deterministic core
+	return time.Now().UnixNano()
+}

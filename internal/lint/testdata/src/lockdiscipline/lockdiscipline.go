@@ -1,0 +1,102 @@
+// Package lockdiscipline is the fixture for the lockdiscipline analyzer.
+// Counter mirrors the Tree's shape: a mu field, mutable guarded state (n),
+// and an immutable-after-construction field (name). Lines with `want`
+// comments must be reported; every other line must stay silent.
+//
+// This file also reproduces the real contract the analyzer guards in
+// internal/core: exported methods lock, unexported helpers assume the
+// lock, and Locked-suffix helpers document that assumption.
+package lockdiscipline
+
+import "sync"
+
+// Counter is a guarded struct: the analyzer discovers it by its mu field.
+type Counter struct {
+	mu   sync.Mutex
+	n    int
+	name string // written only during construction: readable without the lock
+}
+
+// New constructs the value; composite-literal writes do not make fields
+// lock-guarded.
+func New(name string) *Counter {
+	return &Counter{name: name}
+}
+
+// Add holds the lock around the guarded write: silent.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// Name reads an immutable field: no lock required.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+// Peek reads guarded state with no lock (rule 1).
+func (c *Counter) Peek() int {
+	return c.n // want `exported Counter\.Peek accesses Counter\.n, which is guarded by Counter\.mu, without acquiring the lock`
+}
+
+// bump assumes the caller holds the lock.
+func (c *Counter) bump() {
+	c.n++
+}
+
+// Bump reaches guarded state through a helper, still with no lock (rule 2).
+func (c *Counter) Bump() {
+	c.bump() // want `exported Counter\.Bump does not hold Counter\.mu but may reach Counter\.bump, which touches Counter\.n`
+}
+
+// SafeBump is the correct version of Bump: silent.
+func (c *Counter) SafeBump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}
+
+// resetLocked follows the Locked naming convention and, correctly, does
+// not lock.
+func (c *Counter) resetLocked() {
+	c.n = 0
+}
+
+// Reset calls a Locked-suffix helper without holding the lock (rule 2).
+func (c *Counter) Reset() {
+	c.resetLocked() // want `exported Counter\.Reset does not hold Counter\.mu but may reach Counter\.resetLocked, which touches Counter\.n`
+}
+
+// drainLocked claims the caller holds the mutex but acquires it anyway
+// (rule 3): with sync.Mutex this deadlocks the first real caller.
+func (c *Counter) drainLocked() int { // want `Counter\.drainLocked has the Locked suffix \(caller holds the mutex\) but acquires Counter\.mu itself`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.n
+	c.n = 0
+	return n
+}
+
+// Total locks on its own: fine in isolation.
+func (c *Counter) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Double locks and then calls Total on the same receiver, which locks
+// again (rule 4).
+func (c *Counter) Double() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return 2 * c.Total() // want `Counter\.Double holds Counter\.mu of "c" and calls Counter\.Total, which acquires the same mutex`
+}
+
+// Merge locks its own receiver and reads the other counter through its
+// locking accessor: distinct receivers, silent.
+func (c *Counter) Merge(other *Counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += other.Total()
+}

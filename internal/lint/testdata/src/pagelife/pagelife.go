@@ -1,0 +1,124 @@
+// Package pagelife is the fixture for the pagelife analyzer: it exercises
+// pin/release pairing against the real storage.BufferPool API and the raw
+// pager fence. Lines with `want` comments must be reported; every other
+// line must stay silent.
+package pagelife
+
+import "sgtree/internal/storage"
+
+// ReadBalanced is the canonical client shape: pin, check the error,
+// release on the success path. Silent.
+func ReadBalanced(pool *storage.BufferPool, id storage.PageID) (byte, error) {
+	page, err := pool.Get(id)
+	if err != nil {
+		return 0, err // nothing was pinned on the error path
+	}
+	b := page[0]
+	pool.Unpin(id, false)
+	return b, nil
+}
+
+// ReadDeferred releases through defer, including from an early return.
+// Silent.
+func ReadDeferred(pool *storage.BufferPool, id storage.PageID) (byte, error) {
+	page, err := pool.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Unpin(id, false)
+	if page[0] == 0 {
+		return 0, nil
+	}
+	return page[0], nil
+}
+
+// ReadDeferredClosure releases through a deferred closure, the shape
+// Tree.readNode callers use for dirty-tracking. Silent.
+func ReadDeferredClosure(pool *storage.BufferPool, id storage.PageID) (byte, error) {
+	page, err := pool.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	dirty := false
+	defer func() { pool.Unpin(id, dirty) }()
+	return page[0], nil
+}
+
+// Leak pins and returns without releasing.
+func Leak(pool *storage.BufferPool, id storage.PageID) (byte, error) {
+	page, err := pool.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	return page[0], nil // want `page id pinned by Get at .* is not released on this path \(missing Unpin or Discard\)`
+}
+
+// LeakOneBranch releases on one branch only: the fall-through path leaks
+// at the closing brace.
+func LeakOneBranch(pool *storage.BufferPool, id storage.PageID, flush bool) {
+	_, err := pool.Get(id)
+	if err != nil {
+		return
+	}
+	if flush {
+		pool.Unpin(id, true)
+	}
+} // want `page id pinned by Get at .* is not released on this path \(missing Unpin or Discard\)`
+
+// LoopBalanced pins and releases within each iteration. Silent.
+func LoopBalanced(pool *storage.BufferPool, ids []storage.PageID) (n int, err error) {
+	for _, id := range ids {
+		page, err := pool.Get(id)
+		if err != nil {
+			return n, err
+		}
+		n += int(page[0])
+		pool.Unpin(id, false)
+	}
+	return n, nil
+}
+
+// LoopLeak lets the pin survive the iteration: by the second pass the
+// frame count grows without bound.
+func LoopLeak(pool *storage.BufferPool, ids []storage.PageID) int {
+	n := 0
+	for _, id := range ids {
+		page, err := pool.Get(id) // want `page id pinned by Get inside a loop is not released by the end of the iteration`
+		if err != nil {
+			return n
+		}
+		n += int(page[0])
+	}
+	return n
+}
+
+// NewPageBound binds the NewPage result and releases it. Silent.
+func NewPageBound(pool *storage.BufferPool) (storage.PageID, error) {
+	id, page, err := pool.NewPage()
+	if err != nil {
+		return storage.InvalidPage, err
+	}
+	page[0] = 1
+	pool.Unpin(id, true)
+	return id, nil
+}
+
+// NewPageBlank discards the id, so no release can ever name the page.
+func NewPageBlank(pool *storage.BufferPool) error {
+	_, page, err := pool.NewPage() // want `NewPage result must be bound to a variable so its release can be checked`
+	if err != nil {
+		return err
+	}
+	page[0] = 1
+	return nil
+}
+
+// RawPagerRead bypasses the pool, invisible to the WAL and undo scopes.
+func RawPagerRead(p storage.Pager, id storage.PageID, buf []byte) error {
+	return p.ReadPage(id, buf) // want `raw pager access \(Pager\.ReadPage\) outside internal/storage: go through the BufferPool`
+}
+
+// RawPagerWrite is the dangerous direction: a write the WAL never saw.
+func RawPagerWrite(p *storage.MemPager, id storage.PageID, buf []byte) error {
+	return p.WritePage(id, buf) // want `raw pager access \(MemPager\.WritePage\) outside internal/storage: go through the BufferPool`
+}

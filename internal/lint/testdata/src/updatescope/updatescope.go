@@ -1,0 +1,69 @@
+// Package updatescope is the fixture for the updatescope analyzer: a
+// miniature tree with the same scope shape as internal/core — a runUpdate
+// method owning the buffer pool's undo scope and mutators (writeNode,
+// freeNode) that must only execute inside it. Lines with `want` comments
+// must be reported; every other line must stay silent.
+package updatescope
+
+import "sgtree/internal/storage"
+
+type tree struct {
+	pool *storage.BufferPool
+	root storage.PageID
+}
+
+// runUpdate owns the undo scope; it is the only function allowed to call
+// the pool's Begin/Commit/Rollback primitives.
+func (t *tree) runUpdate(fn func() error) error {
+	t.pool.BeginUndo()
+	if err := fn(); err != nil {
+		if rerr := t.pool.RollbackUndo(); rerr != nil {
+			return rerr
+		}
+		return err
+	}
+	return t.pool.CommitUndo()
+}
+
+func (t *tree) writeNode(id storage.PageID) error {
+	page, err := t.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	page[0] = 1
+	t.pool.Unpin(id, true)
+	return nil
+}
+
+func (t *tree) freeNode(id storage.PageID) error {
+	return t.pool.Discard(id)
+}
+
+// Insert mutates inside the scope literal: silent.
+func (t *tree) Insert(id storage.PageID) error {
+	return t.runUpdate(func() error {
+		return t.writeNode(id)
+	})
+}
+
+// Delete calls a mutator directly from an exported entry point.
+func (t *tree) Delete(id storage.PageID) error {
+	return t.freeNode(id) // want `tree\.Delete calls freeNode outside a runUpdate undo scope: a storage fault here leaves the tree structurally broken`
+}
+
+// Compact reaches a mutator through an unexported helper; the diagnostic
+// names the exported entry the unsafe path starts from.
+func (t *tree) Compact() error {
+	return t.rewrite()
+}
+
+func (t *tree) rewrite() error {
+	return t.writeNode(t.root) // want `tree\.rewrite calls writeNode outside a runUpdate undo scope \(reached from exported tree\.Compact\)`
+}
+
+// Checkpoint opens the scope primitives by hand instead of going through
+// runUpdate.
+func (t *tree) Checkpoint() error {
+	t.pool.BeginUndo()         // want `tree\.Checkpoint calls BufferPool\.BeginUndo directly: undo scopes are owned by runUpdate`
+	return t.pool.CommitUndo() // want `tree\.Checkpoint calls BufferPool\.CommitUndo directly: undo scopes are owned by runUpdate`
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// UpdateScope enforces the crash-recovery update contract from PR 2
+// (DESIGN.md §9.3): structural mutations of the tree — writeNode,
+// freeNode, allocNode — may only run inside a runUpdate undo scope, where
+// a mid-update storage fault rolls every touched page back and the WAL
+// commit protocol sees a consistent page image at the next Sync. A
+// mutation reachable from an exported entry point without passing through
+// a runUpdate function literal would corrupt the tree on faults and break
+// the recovery oracle.
+//
+// The buffer pool's undo-scope primitives (BeginUndo, CommitUndo,
+// RollbackUndo) are likewise only callable from a function named
+// runUpdate: scattering scopes across call sites would nest or leak them.
+var UpdateScope = &Analyzer{
+	Name: "updatescope",
+	Doc:  "structural mutations (writeNode/freeNode/allocNode) happen only inside runUpdate undo scopes",
+	Run:  runUpdateScope,
+}
+
+// mutatorNames are the structural-mutation methods of the tree. allocNode
+// is included because it writes the fresh node's pages.
+var mutatorNames = map[string]bool{
+	"writeNode": true,
+	"freeNode":  true,
+	"allocNode": true,
+}
+
+// undoScopeMethods are the BufferPool primitives reserved for runUpdate.
+var undoScopeMethods = map[string]bool{
+	"BeginUndo":    true,
+	"CommitUndo":   true,
+	"RollbackUndo": true,
+}
+
+func runUpdateScope(pass *Pass) error {
+	g := buildGraph(pass.Pkg)
+
+	// The contract only exists in packages that define the scope: a
+	// method named runUpdate on some receiver.
+	var scopeRecv []*funcInfo
+	for _, fi := range g.funcs {
+		if fi.decl != nil && fi.decl.Name.Name == "runUpdate" && fi.recv != nil {
+			scopeRecv = append(scopeRecv, fi)
+		}
+	}
+
+	// Undo-scope primitives are checked everywhere outside internal/storage.
+	if pass.Pkg.PkgPath != storagePkgPath {
+		for _, fi := range g.funcs {
+			checkUndoPrimitives(pass, g, fi)
+		}
+	}
+	if len(scopeRecv) == 0 {
+		return nil
+	}
+
+	// W = functions that may execute outside any runUpdate scope: the
+	// closure of the exported entry points under intra-package calls,
+	// never descending into scope-entry literals.
+	type witness struct {
+		root *funcInfo
+	}
+	outside := map[*funcInfo]*witness{}
+	var queue []*funcInfo
+	for _, fi := range g.funcs {
+		if fi.isExportedEntry() {
+			outside[fi] = &witness{root: fi}
+			queue = append(queue, fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for _, cs := range fi.calls {
+			cal := cs.callee
+			if cal == nil || cal.updateScopeEntry {
+				continue
+			}
+			if _, seen := outside[cal]; seen {
+				continue
+			}
+			outside[cal] = outside[fi]
+			queue = append(queue, cal)
+		}
+	}
+
+	// Report every mutator call issued by a function that may run outside
+	// a scope.
+	for fi, w := range outside {
+		for _, cs := range fi.calls {
+			if cs.call == nil || cs.callee == nil || cs.callee.decl == nil {
+				continue
+			}
+			name := cs.callee.decl.Name.Name
+			if !mutatorNames[name] || cs.callee.recv == nil {
+				continue
+			}
+			// Only mutators of a type that actually has runUpdate.
+			if !recvHasRunUpdate(scopeRecv, cs.callee) {
+				continue
+			}
+			via := ""
+			if w.root != fi {
+				via = " (reached from exported " + w.root.name + ")"
+			}
+			pass.Reportf(cs.call.Pos(), "%s calls %s outside a runUpdate undo scope%s: a storage fault here leaves the tree structurally broken and unrecoverable", fi.name, name, via)
+		}
+	}
+	return nil
+}
+
+func recvHasRunUpdate(scopeRecv []*funcInfo, mutator *funcInfo) bool {
+	for _, ru := range scopeRecv {
+		if ru.recv == mutator.recv {
+			return true
+		}
+	}
+	return false
+}
+
+// checkUndoPrimitives reports BeginUndo/CommitUndo/RollbackUndo calls on a
+// BufferPool from anywhere but a function named runUpdate.
+func checkUndoPrimitives(pass *Pass, g *packageGraph, fi *funcInfo) {
+	if fi.decl != nil && fi.decl.Name.Name == "runUpdate" {
+		return
+	}
+	ast.Inspect(fi.body(), func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // analyzed as its own funcInfo
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !undoScopeMethods[sel.Sel.Name] {
+			return true
+		}
+		tv, ok := pass.Pkg.TypesInfo.Types[sel.X]
+		if !ok {
+			return true
+		}
+		n := namedOf(tv.Type)
+		if n == nil || n.Obj().Name() != "BufferPool" || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != storagePkgPath {
+			return true
+		}
+		name := fi.name
+		if strings.Contains(name, "$") {
+			name = name + " (function literal)"
+		}
+		pass.Reportf(call.Pos(), "%s calls BufferPool.%s directly: undo scopes are owned by runUpdate, open one by calling it", name, sel.Sel.Name)
+		return true
+	})
+}

@@ -1,0 +1,8 @@
+// Nested module for development-tool dependencies. Keeping it out of the
+// root module means `go build ./...` and `go run ./cmd/sglint` stay
+// dependency-free (the repo must build offline); the pinned versions CI
+// installs live in the Makefile (STATICCHECK_VERSION et al.), and
+// tools/tools.go records the tool set in import form.
+module sgtree/tools
+
+go 1.24.0

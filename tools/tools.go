@@ -1,0 +1,15 @@
+//go:build tools
+
+// Package tools pins the repo's development tools in import form — the
+// blank-import convention — inside a nested module, so the root module
+// keeps zero dependencies and still builds fully offline. With network
+// access, `go mod tidy` here locks the versions the Makefile installs
+// (`make tools`); without it, `make lint` (sglint) and the whole `make
+// check` gate run from the module alone.
+package tools
+
+import (
+	_ "golang.org/x/perf/cmd/benchstat"
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
