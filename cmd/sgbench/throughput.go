@@ -38,9 +38,11 @@ type throughputReport struct {
 	KNN   workloadStats `json:"knn"`
 	Range workloadStats `json:"range"`
 
-	// Pool aggregates buffer-pool behaviour over both measured batches.
+	// Pool aggregates buffer-pool behaviour over both measured batches;
+	// the per-phase split lives inside KNN.Pool and Range.Pool.
 	Pool poolStats `json:"buffer_pool"`
-	// NodeCache aggregates decoded-node cache behaviour over both batches.
+	// NodeCache aggregates decoded-node cache behaviour over both
+	// batches; per-phase split inside KNN.NodeCache and Range.NodeCache.
 	NodeCache poolStats `json:"node_cache"`
 	// Counters are the tree's cumulative executor counters over both
 	// measured batches.
@@ -61,6 +63,12 @@ type workloadStats struct {
 	AvgDataComp  float64 `json:"avg_data_compared"`
 	AvgPruned    float64 `json:"avg_entries_pruned"`
 	TotalResults int     `json:"total_results"`
+
+	// Pool and NodeCache attribute cache behaviour to this phase alone:
+	// deltas of the tree's cumulative stats captured around the batch,
+	// so kNN and range cache patterns are separable in the report.
+	Pool      poolStats `json:"buffer_pool"`
+	NodeCache poolStats `json:"node_cache"`
 }
 
 type poolStats struct {
@@ -144,14 +152,39 @@ func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queri
 	tr.Pool().ResetStats()
 	tr.ResetCounters()
 
-	knn, err := measureBatch(ctx, qs, workers, func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error) {
+	// measurePhase brackets one batch with snapshots of the cumulative
+	// pool/cache stats so each phase's deltas are attributable to it; the
+	// top-level report keeps the cumulative view across both phases.
+	measurePhase := func(run func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error)) (workloadStats, error) {
+		ps0 := tr.Pool().Stats()
+		c0 := tr.Counters()
+		st, err := measureBatch(ctx, qs, workers, run)
+		if err != nil {
+			return st, err
+		}
+		ps1 := tr.Pool().Stats()
+		c1 := tr.Counters()
+		st.Pool = poolStats{
+			Hits:    ps1.Hits - ps0.Hits,
+			Misses:  ps1.Misses - ps0.Misses,
+			HitRate: hitRate(ps1.Hits-ps0.Hits, ps1.Misses-ps0.Misses),
+		}
+		st.NodeCache = poolStats{
+			Hits:    c1.NodeCacheHits - c0.NodeCacheHits,
+			Misses:  c1.NodeCacheMisses - c0.NodeCacheMisses,
+			HitRate: hitRate(c1.NodeCacheHits-c0.NodeCacheHits, c1.NodeCacheMisses-c0.NodeCacheMisses),
+		}
+		return st, nil
+	}
+
+	knn, err := measurePhase(func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error) {
 		res, st, err := tr.KNNContext(ctx, q, k)
 		return len(res), st, err
 	})
 	if err != nil {
 		return fail(err)
 	}
-	rng, err := measureBatch(ctx, qs, workers, func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error) {
+	rng, err := measurePhase(func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error) {
 		res, st, err := tr.RangeSearchContext(ctx, q, eps)
 		return len(res), st, err
 	})

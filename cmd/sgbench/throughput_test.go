@@ -49,6 +49,23 @@ func TestThroughputMode(t *testing.T) {
 	if rep.Counters.NodesRead <= 0 || rep.Counters.DataCompared <= 0 {
 		t.Errorf("cumulative counters empty: %+v", rep.Counters)
 	}
+	// The per-phase cache blocks attribute behaviour to each batch; they
+	// must sum back to the cumulative top-level blocks.
+	if got := rep.KNN.Pool.Hits + rep.KNN.Pool.Misses; got == 0 {
+		t.Error("knn phase has no buffer-pool traffic")
+	}
+	if got, want := rep.KNN.Pool.Hits+rep.Range.Pool.Hits, rep.Pool.Hits; got != want {
+		t.Errorf("per-phase pool hits sum to %d, cumulative says %d", got, want)
+	}
+	if got, want := rep.KNN.Pool.Misses+rep.Range.Pool.Misses, rep.Pool.Misses; got != want {
+		t.Errorf("per-phase pool misses sum to %d, cumulative says %d", got, want)
+	}
+	if got, want := rep.KNN.NodeCache.Hits+rep.Range.NodeCache.Hits, rep.NodeCache.Hits; got != want {
+		t.Errorf("per-phase node-cache hits sum to %d, cumulative says %d", got, want)
+	}
+	if got, want := rep.KNN.NodeCache.Misses+rep.Range.NodeCache.Misses, rep.NodeCache.Misses; got != want {
+		t.Errorf("per-phase node-cache misses sum to %d, cumulative says %d", got, want)
+	}
 }
 
 func TestThroughputModeFlagConflicts(t *testing.T) {

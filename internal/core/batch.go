@@ -12,8 +12,9 @@ import (
 )
 
 // This file is the parallel batch engine built on the executor layer.
-// Queries already run concurrently under the tree's read lock sharing the
-// buffer pool, so a batch of Q independent queries fans out across a
+// Queries already run concurrently — lock-free, each over its own pinned
+// snapshot, sharing the buffer pool — so a batch of Q independent
+// queries fans out across a
 // bounded worker pool: each worker pulls query indexes from a shared
 // counter and runs them through the ordinary context-aware APIs (one
 // executor per query).

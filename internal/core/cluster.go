@@ -32,16 +32,16 @@ type Cluster struct {
 // cluster's OR-cover converges to the full universe and all inter-cluster
 // distances collapse. k is clamped to the number of leaves.
 func (t *Tree) ClusterLeaves(k int) ([]Cluster, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if k < 1 {
 		return nil, fmt.Errorf("core: k = %d < 1", k)
 	}
-	if t.root == storage.InvalidPage {
+	snap := t.pinSnapshot()
+	defer snap.release()
+	if snap.root == storage.InvalidPage {
 		return nil, nil
 	}
 	var clusters []Cluster
-	if err := t.collectLeafClusters(t.root, &clusters); err != nil {
+	if err := t.collectLeafClusters(snap.root, &clusters); err != nil {
 		return nil, err
 	}
 	if k > len(clusters) {

@@ -38,6 +38,8 @@ func (t *Tree) Delete(sig signature.Signature, tid dataset.TID) (bool, error) {
 		}
 		t.count--
 		_ = underflow // the root never dissolves into an orphan; it shrinks below
+		// Copy-on-write may have relocated the root node; republish its id.
+		t.root = rootNode.id
 
 		// Shrink the root: a directory root with a single entry hands the
 		// tree to its only child; an empty root leaves an empty tree.

@@ -22,8 +22,8 @@ import (
 //   - observer dispatch and the tree's cumulative counters.
 //
 // An executor serves exactly one traversal and is not safe for concurrent
-// use; concurrency comes from running many executors (one per query) under
-// the tree's read lock, as the batch engine does.
+// use; concurrency comes from running many executors (one per query), each
+// over its own pinned snapshot, as the batch engine does.
 //
 // Executors are pooled (execPool): the scratch state a traversal needs —
 // the bounded result heap, the best-first frontier, one branch-ordering
@@ -46,25 +46,27 @@ type executor struct {
 var execPool = sync.Pool{New: func() interface{} { return new(executor) }}
 
 // newExec builds an executor for one traversal of t, drawing on the pool.
-// The caller must hold t.mu (read or write) and release the executor with
-// e.release() when the traversal — including any reads of e.stats — is
-// complete; the query entry points do this with defer, which runs after
-// the return values are evaluated. NNIterator keeps its executor for the
-// iterator's whole lifetime and never releases it. A nil or Background
-// context disables cancellation checks entirely, keeping the legacy APIs
-// at their original cost.
+// Query entry points call it after pinning a snapshot — it takes no lock
+// itself — and release the executor with e.release() when the traversal —
+// including any reads of e.stats — is complete; the query entry points do
+// this with defer, which runs after the return values are evaluated.
+// NNIterator keeps its executor for the iterator's whole lifetime and
+// never returns it to the pool. A nil or Background context disables
+// cancellation checks entirely, keeping the legacy APIs at their original
+// cost.
 func (t *Tree) newExec(ctx context.Context) *executor {
 	e := execPool.Get().(*executor)
 	e.t = t
 	if ctx != nil && ctx != context.Background() {
 		e.ctx = ctx
 	}
+	tObs := t.treeObserver()
 	qObs := observerFrom(ctx)
 	switch {
-	case t.observer != nil && qObs != nil:
-		e.obs = multiObserver{t.observer, qObs}
-	case t.observer != nil:
-		e.obs = t.observer
+	case tObs != nil && qObs != nil:
+		e.obs = multiObserver{tObs, qObs}
+	case tObs != nil:
+		e.obs = tObs
 	default:
 		e.obs = qObs
 	}

@@ -15,15 +15,18 @@ import (
 // k up front — callers stop when they have seen enough, and the tree is
 // explored lazily with the usual coverage bounds.
 //
-// The iterator reads tree pages through the shared executor as it
-// advances; it must not be used concurrently with updates to the same tree
-// (results would be undefined, though never unsafe — each Next locks the
-// tree internally) nor from multiple goroutines at once.
+// The iterator pins one tree snapshot for its whole lifetime: it browses
+// the tree exactly as of NewNNIterator, unaffected by (and never blocking)
+// concurrent updates. Release the snapshot by draining the iterator or by
+// calling Close — an abandoned, unclosed iterator keeps its epoch's pages
+// from being reclaimed. A single iterator must not be used from multiple
+// goroutines at once.
 type NNIterator struct {
-	t  *Tree
-	q  signature.Signature
-	e  *executor
-	pq browseHeap
+	t    *Tree
+	q    signature.Signature
+	e    *executor
+	snap *treeSnapshot // nil once released (exhausted or closed)
+	pq   browseHeap
 }
 
 // browseItem is either an unexpanded subtree (node != InvalidPage) or a
@@ -102,19 +105,31 @@ func (h *browseHeap) pop() browseItem {
 
 // NewNNIterator starts a distance-browsing traversal from q.
 func (t *Tree) NewNNIterator(q signature.Signature) (*NNIterator, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if err := t.checkQuerySignature(q); err != nil {
 		return nil, err
 	}
 	// The iterator owns its executor for the whole browsing session — the
 	// frontier spans many Next calls — so unlike the one-shot queries it
-	// never returns it to the executor pool.
-	it := &NNIterator{t: t, q: q.Clone(), e: t.newExec(nil)}
-	if t.root != storage.InvalidPage {
-		it.pq = browseHeap{{node: t.root}}
+	// never returns it to the executor pool. It likewise pins its snapshot
+	// once, here, instead of per step: the traversal stays coherent across
+	// the whole session even as writers publish new epochs.
+	it := &NNIterator{t: t, q: q.Clone(), e: t.newExec(nil), snap: t.pinSnapshot()}
+	if it.snap.root != storage.InvalidPage {
+		it.pq = browseHeap{{node: it.snap.root}}
 	}
 	return it, nil
+}
+
+// Close releases the iterator's snapshot pin without draining it. It is
+// idempotent and safe after exhaustion; the iterator's Stats remain
+// readable. Further Next calls return exhausted.
+func (it *NNIterator) Close() {
+	it.pq = nil
+	it.e.finish(nil)
+	if it.snap != nil {
+		it.snap.release()
+		it.snap = nil
+	}
 }
 
 // Next returns the next neighbor in non-decreasing distance order; ok is
@@ -127,8 +142,6 @@ func (it *NNIterator) Next() (Neighbor, bool, error) {
 // advancing check ctx, and an aborted call returns ctx's error. The
 // iterator remains usable after an abort (the pending frontier is kept).
 func (it *NNIterator) NextContext(ctx context.Context) (Neighbor, bool, error) {
-	it.t.mu.RLock()
-	defer it.t.mu.RUnlock()
 	if ctx != nil && ctx != context.Background() {
 		it.e.ctx = ctx
 		defer func() { it.e.ctx = nil }()
@@ -164,7 +177,9 @@ func (it *NNIterator) NextContext(ctx context.Context) (Neighbor, bool, error) {
 			})
 		}
 	}
-	it.e.finish(nil)
+	// Exhausted: drop the snapshot pin so the epoch's pages can be
+	// reclaimed without requiring an explicit Close.
+	it.Close()
 	return Neighbor{}, false, nil
 }
 

@@ -67,12 +67,13 @@ func (t *Tree) SimilarityJoin(other *Tree, eps float64) ([]Pair, QueryStats, err
 // partial-work stats accumulated so far.
 func (t *Tree) SimilarityJoinContext(ctx context.Context, other *Tree, eps float64) ([]Pair, QueryStats, error) {
 	self := t == other
-	t.mu.RLock()
+	snap := t.pinSnapshot()
+	defer snap.release()
+	osnap := snap
 	if !self {
-		other.mu.RLock()
-		defer other.mu.RUnlock()
+		osnap = other.pinSnapshot()
+		defer osnap.release()
 	}
-	defer t.mu.RUnlock()
 
 	if err := t.joinCompatible(other); err != nil {
 		return nil, QueryStats{}, err
@@ -80,13 +81,13 @@ func (t *Tree) SimilarityJoinContext(ctx context.Context, other *Tree, eps float
 	if eps < 0 {
 		return nil, QueryStats{}, fmt.Errorf("core: negative join range %v", eps)
 	}
-	if t.root == storage.InvalidPage || other.root == storage.InvalidPage {
+	if snap.root == storage.InvalidPage || osnap.root == storage.InvalidPage {
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
 	defer e.release()
 	var out []Pair
-	if err := e.finish(e.joinNodes(other, t.root, other.root, eps, self, &out)); err != nil {
+	if err := e.finish(e.joinNodes(other, snap.root, osnap.root, eps, self, &out)); err != nil {
 		return nil, e.stats, err
 	}
 	return out, e.stats, nil
@@ -280,12 +281,13 @@ func (t *Tree) ClosestPairs(other *Tree, k int) ([]Pair, QueryStats, error) {
 // ClosestPairsContext is ClosestPairs with cancellation.
 func (t *Tree) ClosestPairsContext(ctx context.Context, other *Tree, k int) ([]Pair, QueryStats, error) {
 	self := t == other
-	t.mu.RLock()
+	snap := t.pinSnapshot()
+	defer snap.release()
+	osnap := snap
 	if !self {
-		other.mu.RLock()
-		defer other.mu.RUnlock()
+		osnap = other.pinSnapshot()
+		defer osnap.release()
 	}
-	defer t.mu.RUnlock()
 
 	if err := t.joinCompatible(other); err != nil {
 		return nil, QueryStats{}, err
@@ -293,7 +295,7 @@ func (t *Tree) ClosestPairsContext(ctx context.Context, other *Tree, k int) ([]P
 	if k < 1 {
 		return nil, QueryStats{}, fmt.Errorf("core: k = %d < 1", k)
 	}
-	if t.root == storage.InvalidPage || other.root == storage.InvalidPage {
+	if snap.root == storage.InvalidPage || osnap.root == storage.InvalidPage {
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
@@ -314,7 +316,7 @@ func (t *Tree) ClosestPairsContext(ctx context.Context, other *Tree, k int) ([]P
 		}
 	}
 
-	pq := pairPQ{{id1: t.root, id2: other.root}}
+	pq := pairPQ{{id1: snap.root, id2: osnap.root}}
 	for len(pq) > 0 {
 		item := pq.pop()
 		if item.minDist > bound() {

@@ -123,21 +123,21 @@ func (t *Tree) KNN(q signature.Signature, k int) ([]Neighbor, QueryStats, error)
 // node and on abort returns ctx's error with the partial-work stats
 // accumulated so far.
 func (t *Tree) KNNContext(ctx context.Context, q signature.Signature, k int) ([]Neighbor, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if err := t.checkQuerySignature(q); err != nil {
 		return nil, QueryStats{}, err
 	}
 	if k < 1 {
 		return nil, QueryStats{}, fmt.Errorf("core: k = %d < 1", k)
 	}
-	if t.root == storage.InvalidPage {
+	snap := t.pinSnapshot()
+	defer snap.release()
+	if snap.root == storage.InvalidPage {
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
 	defer e.release()
 	acc := e.newAccumulator(k)
-	if err := e.dfSearch(t.root, q, acc); err != nil {
+	if err := e.dfSearch(snap.root, q, acc); err != nil {
 		return nil, e.stats, e.finish(err)
 	}
 	res := acc.results()
@@ -248,19 +248,19 @@ func (t *Tree) AllNearestNeighbors(q signature.Signature) ([]Neighbor, QueryStat
 
 // AllNearestNeighborsContext is AllNearestNeighbors with cancellation.
 func (t *Tree) AllNearestNeighborsContext(ctx context.Context, q signature.Signature) ([]Neighbor, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if err := t.checkQuerySignature(q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	if t.root == storage.InvalidPage {
+	snap := t.pinSnapshot()
+	defer snap.release()
+	if snap.root == storage.InvalidPage {
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
 	defer e.release()
 	best := math.Inf(1)
 	var out []Neighbor
-	if err := e.dfSearchAll(t.root, q, &best, &out); err != nil {
+	if err := e.dfSearchAll(snap.root, q, &best, &out); err != nil {
 		return nil, e.stats, e.finish(err)
 	}
 	sortNeighbors(out)
@@ -378,22 +378,22 @@ func (t *Tree) KNNBestFirst(q signature.Signature, k int) ([]Neighbor, QueryStat
 
 // KNNBestFirstContext is KNNBestFirst with cancellation.
 func (t *Tree) KNNBestFirstContext(ctx context.Context, q signature.Signature, k int) ([]Neighbor, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if err := t.checkQuerySignature(q); err != nil {
 		return nil, QueryStats{}, err
 	}
 	if k < 1 {
 		return nil, QueryStats{}, fmt.Errorf("core: k = %d < 1", k)
 	}
-	if t.root == storage.InvalidPage {
+	snap := t.pinSnapshot()
+	defer snap.release()
+	if snap.root == storage.InvalidPage {
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
 	defer e.release()
 	acc := e.newAccumulator(k)
 	pq := &e.pq
-	pq.push(pqItem{id: t.root, minDist: 0})
+	pq.push(pqItem{id: snap.root, minDist: 0})
 	for len(*pq) > 0 {
 		item := pq.pop()
 		if item.minDist >= acc.bound() {

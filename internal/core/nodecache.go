@@ -14,16 +14,21 @@ import (
 // chain and running the signature codec over it, so hot directory nodes
 // skip the codec entirely across queries and batch workers.
 //
-// Coherence protocol:
+// Coherence protocol (copy-on-write MVCC, see snapshot.go):
 //
-//   - Only the query paths (executor.visitIn) read through the cache, under
-//     the tree's read lock. Cached nodes are strictly read-only; their
-//     entry signatures alias one shared slab (see node).
-//   - Update paths decode nodes privately (Tree.readNode) because they
-//     mutate them in place, and every page mutation funnels through
-//     Tree.writeNode / Tree.freeNode — both of which invalidate the page's
-//     cache slot while holding the tree's write lock, before any query can
-//     observe the new bytes.
+//   - Only the query paths (executor.visitIn) read through the cache, each
+//     over a pinned snapshot, without locking the tree. Cached nodes are
+//     strictly read-only; their entry signatures alias one shared slab
+//     (see node).
+//   - Updates never modify a published page in place: writeNode relocates
+//     every node it touches onto fresh pages, which no reader (and hence
+//     no cache slot) can reach until the update publishes. A cached decode
+//     therefore never goes stale while its page id is live.
+//   - A page id only becomes dangerous when it returns to the free list
+//     and can be recycled for different content. reclaimSnapshots
+//     invalidates the slot immediately before each Discard, and a page is
+//     reclaimed only once no pinned reader can reach it, so no concurrent
+//     query can re-fill the slot with the old decode afterwards.
 //   - Epoch stamping handles the bulk cases: dropping every entry at once
 //     (update rollback, DropCaches) is a single atomic increment; stale
 //     entries are recognized lazily on lookup and evicted.
@@ -132,8 +137,10 @@ func (c *nodeCache) put(id storage.PageID, n *node) {
 	s.mu.Unlock()
 }
 
-// invalidate drops the cached decode of one page. Called with the tree's
-// write lock held, before the page's new bytes become visible to queries.
+// invalidate drops the cached decode of one page. Called under Tree.mu —
+// by reclaimSnapshots just before the page id returns to the free list,
+// or by the legacy in-place write path — so a recycled id can never serve
+// a stale decode.
 func (c *nodeCache) invalidate(id storage.PageID) {
 	s := c.shard(id)
 	s.mu.Lock()

@@ -111,16 +111,28 @@ func observerFrom(ctx context.Context) Observer {
 	return obs
 }
 
+// observerBox wraps the tree-level observer so queries can load it with a
+// single atomic pointer read; a nil box or nil obs both mean "none".
+type observerBox struct {
+	obs Observer
+}
+
 // SetObserver installs (or, with nil, removes) the tree-level observer.
 // It takes effect for queries started after the call.
 func (t *Tree) SetObserver(obs Observer) {
-	t.mu.Lock()
-	t.observer = obs
-	t.mu.Unlock()
+	t.observer.Store(&observerBox{obs: obs})
+}
+
+// treeObserver returns the tree-level observer, or nil.
+func (t *Tree) treeObserver() Observer {
+	if box := t.observer.Load(); box != nil {
+		return box.obs
+	}
+	return nil
 }
 
 // treeCounters are the tree's cumulative query-execution counters,
-// maintained atomically so concurrent queries under the read lock can all
+// maintained atomically so concurrent lock-free queries can all
 // update them.
 type treeCounters struct {
 	queries       atomic.Int64

@@ -126,18 +126,18 @@ func (t *Tree) SubsetContext(ctx context.Context, q signature.Signature) ([]data
 
 // predicateQuery runs one boolean query through the executor.
 func (t *Tree) predicateQuery(ctx context.Context, q signature.Signature, p predicate) ([]dataset.TID, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if err := t.checkQuerySignature(q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	if t.root == storage.InvalidPage {
+	snap := t.pinSnapshot()
+	defer snap.release()
+	if snap.root == storage.InvalidPage {
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
 	defer e.release()
 	var out []dataset.TID
-	if err := e.finish(e.predicateWalk(t.root, p, &out)); err != nil {
+	if err := e.finish(e.predicateWalk(snap.root, p, &out)); err != nil {
 		return nil, e.stats, err
 	}
 	return out, e.stats, nil
@@ -154,21 +154,21 @@ func (t *Tree) RangeSearch(q signature.Signature, eps float64) ([]Neighbor, Quer
 // checks ctx at every node and on abort returns ctx's error with the
 // partial-work stats accumulated so far.
 func (t *Tree) RangeSearchContext(ctx context.Context, q signature.Signature, eps float64) ([]Neighbor, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if err := t.checkQuerySignature(q); err != nil {
 		return nil, QueryStats{}, err
 	}
 	if eps < 0 {
 		return nil, QueryStats{}, fmt.Errorf("core: negative range %v", eps)
 	}
-	if t.root == storage.InvalidPage {
+	snap := t.pinSnapshot()
+	defer snap.release()
+	if snap.root == storage.InvalidPage {
 		return nil, QueryStats{}, nil
 	}
 	e := t.newExec(ctx)
 	defer e.release()
 	var out []Neighbor
-	if err := e.finish(e.rangeWalk(t.root, q, eps, &out)); err != nil {
+	if err := e.finish(e.rangeWalk(snap.root, q, eps, &out)); err != nil {
 		return nil, e.stats, err
 	}
 	sortNeighbors(out)

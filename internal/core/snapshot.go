@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"sgtree/internal/storage"
+)
+
+// treeSnapshot is one immutable published version of the tree. Writers
+// build each update out of fresh pages (copy-on-write, see writeNode) and
+// publish the new root/height/count here atomically at the end of
+// runUpdate, so readers pin a snapshot instead of locking the tree: every
+// page reachable from a pinned snapshot's root stays byte-identical until
+// the last pin is released and the snapshot's deferred frees are
+// reclaimed.
+//
+// root/height/count/epoch are immutable after publication. pins is the
+// reader reference count. frees and next are written only under Tree.mu,
+// after the snapshot has been superseded (retired): frees holds the pages
+// the *next* epoch's update replaced or deleted — they are exactly the
+// pages reachable from this snapshot but not from any later one — and
+// next chains retired snapshots oldest-first for reclaimSnapshots.
+type treeSnapshot struct {
+	root   storage.PageID
+	height int
+	count  int
+	epoch  uint64
+
+	pins  atomic.Int64
+	frees []storage.PageID // guarded by Tree.mu; set at retirement
+	next  *treeSnapshot    // guarded by Tree.mu; retire-chain link
+}
+
+// pinSnapshot acquires a read reference on the current snapshot without
+// taking Tree.mu. The recheck closes the race with a concurrent publish:
+// if snap still points at s after the pin landed, the increment
+// happens-before any writer's later pins.Load in reclaimSnapshots, so the
+// writer cannot free pages s can reach. If snap moved, the pin may have
+// landed on an already-retired snapshot whose pages are being reclaimed —
+// drop it and retry on the fresh snapshot. Snapshots are fresh
+// allocations, so the pointer comparison cannot be confused by reuse.
+func (t *Tree) pinSnapshot() *treeSnapshot {
+	for {
+		s := t.snap.Load()
+		s.pins.Add(1)
+		if t.snap.Load() == s {
+			return s
+		}
+		s.pins.Add(-1)
+	}
+}
+
+// release drops a pin taken by pinSnapshot.
+func (s *treeSnapshot) release() {
+	s.pins.Add(-1)
+}
+
+// publishSnapshot installs the tree's current root/height/count as the
+// next epoch and retires the previous snapshot, attaching the update's
+// deferred frees to it. Called under Tree.mu at the end of a successful
+// runUpdate.
+func (t *Tree) publishSnapshot() {
+	prev := t.snap.Load()
+	next := &treeSnapshot{root: t.root, height: t.height, count: t.count, epoch: prev.epoch + 1}
+	prev.frees = t.cowFrees
+	t.cowFrees = nil
+	t.cowFresh = nil
+	t.snap.Store(next)
+	if t.retireTail != nil {
+		t.retireTail.next = prev
+	} else {
+		t.retireHead = prev
+	}
+	t.retireTail = prev
+}
+
+// reclaimSnapshots drains the retire chain oldest-first, discarding each
+// retired snapshot's deferred frees once no reader pins it. It must stop
+// at the first still-pinned snapshot: a reader pinned at epoch N may
+// reach pages that only a later epoch's frees list names, so younger
+// retirees cannot be reclaimed out of order. Cached decodes are
+// invalidated before the page id returns to the free list, so a recycled
+// id can never serve a stale node. frees is consumed incrementally so a
+// Discard error cannot double-free on the next attempt. Called under
+// Tree.mu (start of runUpdate, Sync/Close, DropCaches).
+func (t *Tree) reclaimSnapshots() error {
+	for t.retireHead != nil {
+		s := t.retireHead
+		if s.pins.Load() != 0 {
+			return nil
+		}
+		for len(s.frees) > 0 {
+			id := s.frees[0]
+			if t.ncache != nil {
+				t.ncache.invalidate(id)
+			}
+			if err := t.pool.Discard(id); err != nil {
+				return err
+			}
+			s.frees = s.frees[1:]
+		}
+		t.retireHead = s.next
+		if t.retireHead == nil {
+			t.retireTail = nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+// sigTable materializes tid→signature for a dataset slice, the oracle's
+// view of one tree state.
+func sigTable(d *dataset.Dataset, lo, hi int) map[dataset.TID]signature.Signature {
+	m := signature.NewDirectMapper(d.Universe)
+	out := make(map[dataset.TID]signature.Signature, hi-lo)
+	for i := lo; i < hi; i++ {
+		out[dataset.TID(i)] = signature.FromItems(m, d.Tx[i])
+	}
+	return out
+}
+
+// drainIterator consumes it to exhaustion, checking the non-decreasing
+// distance contract, and returns the full tid→distance result set.
+func drainIterator(t *testing.T, it *NNIterator) map[dataset.TID]float64 {
+	t.Helper()
+	got := map[dataset.TID]float64{}
+	prev := -1.0
+	for {
+		n, ok, err := it.Next()
+		if err != nil {
+			t.Fatalf("iterator: %v", err)
+		}
+		if !ok {
+			return got
+		}
+		if n.Dist < prev {
+			t.Fatalf("iterator distance went backwards: %g after %g", n.Dist, prev)
+		}
+		prev = n.Dist
+		if _, dup := got[n.TID]; dup {
+			t.Fatalf("iterator yielded tid %d twice", n.TID)
+		}
+		got[n.TID] = n.Dist
+	}
+}
+
+// checkResultSet compares a drained iterator against the oracle table:
+// exactly the oracle's tids, each at its exact distance.
+func checkResultSet(t *testing.T, tag string, got map[dataset.TID]float64, want map[dataset.TID]signature.Signature, q signature.Signature) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: result set has %d entries, oracle has %d", tag, len(got), len(want))
+	}
+	for tid, s := range want {
+		d, ok := got[tid]
+		if !ok {
+			t.Fatalf("%s: oracle tid %d missing from results", tag, tid)
+		}
+		if wd := signature.Distance(signature.Hamming, q, s); d != wd {
+			t.Fatalf("%s: tid %d at distance %g, oracle says %g", tag, tid, d, wd)
+		}
+	}
+}
+
+// TestSnapshotIsolation is the writer-vs-reader linearization check: a
+// reader pinned before an Insert, Delete, or BulkLoad must see exactly the
+// pre-update result set, oracle-checked, while a reader pinned after sees
+// exactly the post-update set. The pinned reader is an NNIterator, which
+// holds one snapshot across its whole drain — the mutation happens between
+// its creation and its first Next.
+func TestSnapshotIsolation(t *testing.T) {
+	d := questData(t, 600, 907)
+	d2 := questData(t, 200, 911)
+	m := signature.NewDirectMapper(d.Universe)
+	q := signature.FromItems(m, d.Tx[7])
+
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, tr *Tree)
+		post   func() map[dataset.TID]signature.Signature
+	}{
+		{
+			name: "insert",
+			mutate: func(t *testing.T, tr *Tree) {
+				for i := 300; i < 600; i++ {
+					if err := tr.Insert(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil {
+						t.Fatalf("insert %d: %v", i, err)
+					}
+				}
+			},
+			post: func() map[dataset.TID]signature.Signature { return sigTable(d, 0, 600) },
+		},
+		{
+			name: "delete",
+			mutate: func(t *testing.T, tr *Tree) {
+				for i := 0; i < 100; i++ {
+					found, err := tr.Delete(signature.FromItems(m, d.Tx[i]), dataset.TID(i))
+					if err != nil {
+						t.Fatalf("delete %d: %v", i, err)
+					}
+					if !found {
+						t.Fatalf("delete %d: not found", i)
+					}
+				}
+			},
+			post: func() map[dataset.TID]signature.Signature { return sigTable(d, 100, 300) },
+		},
+		{
+			name: "bulkload",
+			mutate: func(t *testing.T, tr *Tree) {
+				if err := tr.BulkLoad(bulkItems(t, d2)); err != nil {
+					t.Fatalf("bulkload: %v", err)
+				}
+			},
+			post: func() map[dataset.TID]signature.Signature { return sigTable(d2, 0, 200) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := buildTree(t, d.Slice(0, 300), testOptions(200))
+			pre := sigTable(d, 0, 300)
+
+			it, err := tr.NewNNIterator(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(t, tr)
+
+			// The pinned reader sees exactly the pre-update world...
+			checkResultSet(t, "pinned reader", drainIterator(t, it), pre, q)
+
+			// ...and a reader pinned now sees exactly the post-update one.
+			it2, err := tr.NewNNIterator(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkResultSet(t, "fresh reader", drainIterator(t, it2), tc.post(), q)
+
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestIteratorDoesNotBlockWriter is the regression test for the old
+// lock-hold-across-yield hazard: an open NNIterator must neither block a
+// concurrent writer nor be broken by one. Before the snapshot refactor the
+// iterator re-acquired the tree's read lock on every step; a slow consumer
+// could starve writers, and a writer slipping in between steps could split
+// nodes out from under the frontier.
+func TestIteratorDoesNotBlockWriter(t *testing.T) {
+	d := questData(t, 500, 131)
+	m := signature.NewDirectMapper(d.Universe)
+	tr := buildTree(t, d.Slice(0, 400), testOptions(200))
+	q := signature.FromItems(m, d.Tx[3])
+
+	it, err := tr.NewNNIterator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume a few steps so the iterator is mid-traversal, then leave it
+	// open — the writer below must still complete promptly.
+	for i := 0; i < 5; i++ {
+		if _, ok, err := it.Next(); err != nil || !ok {
+			t.Fatalf("step %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 400; i < 500; i++ {
+			if err := tr.Insert(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("concurrent insert: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer blocked behind an open iterator")
+	}
+
+	// The iterator keeps browsing its pinned epoch: the remaining drain
+	// still covers exactly the pre-update result set.
+	got := drainIterator(t, it)
+	if len(got) != 400-5 {
+		t.Fatalf("drained %d entries after 5 consumed, want %d", len(got), 400-5)
+	}
+	// And a fresh reader sees the writer's world.
+	it2, err := tr.NewNNIterator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResultSet(t, "post-writer reader", drainIterator(t, it2), sigTable(d, 0, 500), q)
+}
+
+// TestIteratorCloseReleasesPin verifies Close releases the snapshot so a
+// later update can reclaim the superseded epoch's pages, and that Close is
+// idempotent and safe before exhaustion.
+func TestIteratorCloseReleasesPin(t *testing.T) {
+	d := questData(t, 400, 577)
+	m := signature.NewDirectMapper(d.Universe)
+	tr := buildTree(t, d.Slice(0, 200), testOptions(200))
+	q := signature.FromItems(m, d.Tx[0])
+
+	it, err := tr.NewNNIterator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := it.Next(); err != nil || !ok {
+		t.Fatalf("first step: ok=%v err=%v", ok, err)
+	}
+	it.Close()
+	it.Close() // idempotent
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Fatalf("Next after Close: ok=%v err=%v, want exhausted", ok, err)
+	}
+
+	// With no pins outstanding, updates reclaim superseded pages: page
+	// usage must stay bounded across repeated churn on the same keys.
+	for round := 0; round < 3; round++ {
+		for i := 200; i < 400; i++ {
+			if err := tr.Insert(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 200; i < 400; i++ {
+			if _, err := tr.Delete(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	after := tr.Pool().Pager().NumPages()
+	// Grow once more and churn again; a reclaim leak would keep growing.
+	for i := 200; i < 400; i++ {
+		if err := tr.Insert(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 200; i < 400; i++ {
+		if _, err := tr.Delete(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if again := tr.Pool().Pager().NumPages(); again > after {
+		t.Fatalf("pages grew across identical churn rounds: %d then %d — deferred frees are leaking", after, again)
+	}
+}
+
+// TestBatchRaceLane runs the batch engine at eight workers against live
+// insert and delete traffic. Its value is under `make race`: every
+// snapshot pin/release, node-cache probe, and buffer-pool access on the
+// lock-free read path runs under the race detector here.
+func TestBatchRaceLane(t *testing.T) {
+	d := questData(t, 1000, 313)
+	m := signature.NewDirectMapper(d.Universe)
+	tr := buildTree(t, d.Slice(0, 500), testOptions(200))
+
+	queries := make([]signature.Signature, 64)
+	for i := range queries {
+		queries[i] = signature.FromItems(m, d.Tx[(i*17)%1000])
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 500; i < 1000; i++ {
+			if err := tr.Insert(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+			if i%3 == 0 {
+				if _, err := tr.Delete(signature.FromItems(m, d.Tx[i-400]), dataset.TID(i-400)); err != nil {
+					t.Errorf("delete %d: %v", i-400, err)
+					return
+				}
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	for round := 0; round < 4; round++ {
+		res, err := tr.BatchNN(ctx, queries, 5, 8)
+		if err != nil {
+			t.Fatalf("BatchNN round %d: %v", round, err)
+		}
+		for i, r := range res {
+			if len(r.Neighbors) == 0 {
+				t.Fatalf("BatchNN round %d query %d: empty result on a populated tree", round, i)
+			}
+		}
+		if _, err := tr.BatchRangeQuery(ctx, queries, 6, 8); err != nil {
+			t.Fatalf("BatchRangeQuery round %d: %v", round, err)
+		}
+	}
+	wg.Wait()
+
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

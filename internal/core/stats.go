@@ -41,21 +41,21 @@ func (s TreeStats) Utilization() float64 {
 
 // Stats walks the whole tree and returns its structural statistics.
 func (t *Tree) Stats() (TreeStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	s := TreeStats{Height: t.height, Count: t.count}
-	if t.root == storage.InvalidPage {
+	snap := t.pinSnapshot()
+	defer snap.release()
+	s := TreeStats{Height: snap.height, Count: snap.count}
+	if snap.root == storage.InvalidPage {
 		return s, nil
 	}
-	s.NodesPerLevel = make([]int, t.height)
-	s.EntriesPerLevel = make([]int, t.height)
-	areaSum := make([]int, t.height)
-	if err := t.statsWalk(t.root, &s, areaSum); err != nil {
+	s.NodesPerLevel = make([]int, snap.height)
+	s.EntriesPerLevel = make([]int, snap.height)
+	areaSum := make([]int, snap.height)
+	if err := t.statsWalk(snap.root, &s, areaSum); err != nil {
 		return s, err
 	}
-	s.AvgAreaPerLevel = make([]float64, t.height)
+	s.AvgAreaPerLevel = make([]float64, snap.height)
 	dirNodes, dirEntries := 0, 0
-	for l := 0; l < t.height; l++ {
+	for l := 0; l < snap.height; l++ {
 		if s.EntriesPerLevel[l] > 0 {
 			s.AvgAreaPerLevel[l] = float64(areaSum[l]) / float64(s.EntriesPerLevel[l])
 		}

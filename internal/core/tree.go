@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sgtree/internal/dataset"
 	"sgtree/internal/signature"
@@ -12,30 +13,54 @@ import (
 
 // Tree is a signature tree: a paginated, height-balanced index over
 // ⟨signature, tid⟩ pairs. All methods are safe for concurrent use by
-// multiple goroutines: queries run concurrently under a read lock while
-// updates (Insert, Delete, BulkLoad) take the tree exclusively.
+// multiple goroutines: queries pin an immutable epoch snapshot (see
+// snapshot.go) and run without locking the tree, while updates (Insert,
+// Delete, BulkLoad) serialize on mu, build the new version out of fresh
+// copy-on-write pages, and publish it atomically. Readers therefore never
+// block writers and vice versa; each query sees exactly the tree as of
+// the last publish before it started.
 type Tree struct {
-	mu     sync.RWMutex
+	mu     sync.Mutex // serializes updates; queries never take it
 	opts   Options
 	codec  signature.Codec
 	layout nodeLayout
 	pool   *storage.BufferPool
 
+	// snap is the current published snapshot; readers pin it via
+	// pinSnapshot. retireHead/retireTail chain superseded snapshots
+	// oldest-first until reclaimSnapshots frees their deferred pages;
+	// both are guarded by mu.
+	snap       atomic.Pointer[treeSnapshot]
+	retireHead *treeSnapshot
+	retireTail *treeSnapshot
+
+	// Copy-on-write state for the update in flight, guarded by mu and
+	// alive only inside runUpdate. cowFresh marks pages allocated by this
+	// update (safe to modify in place and to discard immediately);
+	// cowFrees collects published pages the update replaced or deleted,
+	// deferred to the retiring snapshot at publish time so pinned readers
+	// keep seeing them.
+	cowFresh map[storage.PageID]bool
+	cowFrees []storage.PageID
+
 	// ncache caches decoded nodes above the buffer pool for the query
-	// paths; nil when disabled (NodeCacheSize < 0). Invalidation happens
-	// under mu's write lock in writeNode/freeNode.
+	// paths; nil when disabled (NodeCacheSize < 0). Because updates are
+	// copy-on-write, published page bytes never change; invalidation is
+	// only needed when a page id is about to return to the free list
+	// (reclaimSnapshots, rollback), before it can be recycled.
 	ncache *nodeCache
 
-	// observer receives traversal events from every query (see SetObserver);
-	// guarded by mu. counters accumulate across queries atomically, since
-	// many queries run concurrently under the read lock.
-	observer Observer
+	// observer receives traversal events from every query (see
+	// SetObserver); held in an atomic box so lock-free queries can read
+	// it. counters accumulate across queries atomically, since many
+	// queries run concurrently.
+	observer atomic.Pointer[observerBox]
 	counters treeCounters
 
 	metaPage storage.PageID
-	root     storage.PageID // InvalidPage for an empty tree
-	height   int            // levels; 1 = root is a leaf; 0 = empty
-	count    int            // indexed signatures
+	root     storage.PageID // InvalidPage for an empty tree; guarded by mu (readers use snap)
+	height   int            // levels; 1 = root is a leaf; 0 = empty; guarded by mu
+	count    int            // indexed signatures; guarded by mu
 
 	// Forced-reinsert state, alive only during one top-level Insert:
 	// reinsertActive marks levels that already evicted this round and
@@ -95,6 +120,7 @@ func NewWithPagerWAL(p storage.Pager, w *storage.WAL, opts Options) (*Tree, erro
 	t.metaPage = id
 	t.encodeMeta(page)
 	t.pool.Unpin(id, true)
+	t.snap.Store(&treeSnapshot{root: t.root, height: t.height, count: t.count, epoch: 1})
 	return t, nil
 }
 
@@ -136,6 +162,7 @@ func OpenWithWAL(p storage.Pager, w *storage.WAL, metaPage storage.PageID, opts 
 	if err := t.decodeMeta(page); err != nil {
 		return nil, err
 	}
+	t.snap.Store(&treeSnapshot{root: t.root, height: t.height, count: t.count, epoch: 1})
 	return t, nil
 }
 
@@ -210,28 +237,43 @@ func (t *Tree) Sync() error {
 }
 
 func (t *Tree) syncLocked() error {
+	if err := t.reclaimSnapshots(); err != nil {
+		return err
+	}
 	if err := t.flushMeta(); err != nil {
 		return err
 	}
 	return t.pool.FlushAll()
 }
 
-// runUpdate executes one mutating operation inside a buffer-pool undo
-// scope. If the operation fails at any point — typically because the pager
-// surfaced an I/O error mid-update — every page it touched and the tree's
-// metadata are rolled back in memory, so a storage fault never leaves the
-// in-memory tree structurally broken: the error surfaces and the tree
-// remains usable.
+// runUpdate executes one mutating operation as a copy-on-write
+// transaction. Reclaim runs first — before BeginUndo — so that deferred
+// frees from fully-unpinned old epochs land below the undo scope's free
+// mark and survive a rollback. The body then builds the new tree version
+// out of fresh pages only (writeNode relocates every published node it
+// touches), so published pages a pinned reader can see are never modified:
+// the undo scope needs no pre-image capture (BeginUndo(false)), and a
+// failed update rolls back by simply freeing the scope's fresh pages and
+// restoring the in-memory root/height/count. On success the new version is
+// published atomically and the replaced pages are attached to the retiring
+// snapshot for deferred reclamation.
 func (t *Tree) runUpdate(body func() error) error {
-	t.pool.BeginUndo()
+	if err := t.reclaimSnapshots(); err != nil {
+		return err
+	}
+	t.pool.BeginUndo(false)
+	t.cowFresh = make(map[storage.PageID]bool)
+	t.cowFrees = nil
 	root, height, count := t.root, t.height, t.count
 	if err := body(); err != nil {
 		t.root, t.height, t.count = root, height, count
 		t.reinsertQueue = nil
-		// Rollback restores page bytes without passing through writeNode;
-		// the per-page invalidations already fired for every touched page,
-		// but bump the cache epoch as well so no decode from the failed
-		// update can survive.
+		t.cowFresh = nil
+		t.cowFrees = nil
+		// Rollback frees the scope's fresh pages without passing through
+		// freeNode; none of them were ever cached (only published pages
+		// are), but bump the cache epoch as defense in depth so no decode
+		// from the failed update can survive.
 		if t.ncache != nil {
 			t.ncache.invalidateAll()
 		}
@@ -240,7 +282,17 @@ func (t *Tree) runUpdate(body func() error) error {
 		}
 		return err
 	}
-	return t.pool.CommitUndo()
+	t.publishSnapshot()
+	if err := t.pool.CommitUndo(); err != nil {
+		return err
+	}
+	// Opportunistic reclaim: with no readers pinned (the common idle case)
+	// the pages this update replaced return to the pager right away, so
+	// space usage matches the in-place behavior. Errors are not surfaced —
+	// the update itself committed, and an unreclaimed snapshot keeps its
+	// remaining frees queued for the next reclaim point to retry.
+	_ = t.reclaimSnapshots()
+	return nil
 }
 
 // Options returns the tree's configuration (defaults applied).
@@ -248,16 +300,12 @@ func (t *Tree) Options() Options { return t.opts }
 
 // Len returns the number of indexed signatures.
 func (t *Tree) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.count
+	return t.snap.Load().count
 }
 
 // Height returns the number of levels (0 when empty, 1 when the root is a leaf).
 func (t *Tree) Height() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.height
+	return t.snap.Load().height
 }
 
 // Pool exposes the buffer pool for I/O accounting by benchmarks.
@@ -268,9 +316,17 @@ func (t *Tree) Pool() *storage.BufferPool { return t.pool }
 // entirely cold. The paper's I/O experiments call this between queries;
 // clearing only the buffer pool would leave decoded nodes behind and
 // report near-zero page misses.
+//
+// DropCaches requires quiescence on the buffer-pool side: pool.Clear
+// fails if any page is still pinned, which includes pages held by
+// in-flight lock-free queries. Call it between query batches, not
+// concurrently with them.
 func (t *Tree) DropCaches() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := t.reclaimSnapshots(); err != nil {
+		return err
+	}
 	if t.ncache != nil {
 		t.ncache.invalidateAll()
 	}
@@ -346,12 +402,32 @@ func (t *Tree) readNode(id storage.PageID) (*node, error) {
 
 // writeNode distributes the node's logical byte string over its page
 // chain, growing or trimming continuation pages as the node's size moved.
+//
+// Inside a copy-on-write update (cowFresh non-nil) a node whose pages
+// belong to a published snapshot is first relocated: its old primary and
+// continuation pages are deferred to cowFrees — pinned readers keep
+// traversing them unchanged — and the new bytes land on fresh pages. The
+// caller observes the relocation through n.id; parent links are
+// recomputed from it (parentEntry) or patched explicitly by the
+// insert/delete paths.
 func (t *Tree) writeNode(n *node) error {
-	// The page's bytes are about to change; drop any cached decode before
-	// they do. Updates hold the write lock, so no query can re-fill the
-	// slot until the update completes (or rolls back, which bumps the
-	// cache epoch).
-	if t.ncache != nil {
+	if t.cowFresh != nil {
+		if !t.cowFresh[n.id] {
+			t.cowFrees = append(t.cowFrees, n.id)
+			t.cowFrees = append(t.cowFrees, n.cont...)
+			n.cont = nil
+			id, page, err := t.pool.NewPage()
+			if err != nil {
+				return err
+			}
+			_ = page
+			t.pool.Unpin(id, true)
+			t.cowFresh[id] = true
+			n.id = id
+		}
+	} else if t.ncache != nil {
+		// Legacy in-place path (no COW transaction running): the page's
+		// bytes are about to change, so drop any cached decode first.
 		t.ncache.invalidate(n.id)
 	}
 	buf, err := t.layout.encodeBuf(n)
@@ -438,13 +514,27 @@ func (t *Tree) allocNode(leaf bool, level int) (*node, error) {
 	}
 	_ = page
 	t.pool.Unpin(id, true)
+	if t.cowFresh != nil {
+		t.cowFresh[id] = true
+	}
 	n := &node{id: id, leaf: leaf, level: level}
 	return n, t.writeNode(n)
 }
 
 // freeNode releases the node's primary page and its continuation chain.
+// Under copy-on-write, pages of a published node are deferred to cowFrees
+// (a pinned reader may still reach them); pages fresh to this update were
+// never visible to any reader and are discarded immediately. A fresh
+// node's continuation pages are always fresh too — writeNode relocates a
+// published node's whole chain at once.
 func (t *Tree) freeNode(n *node) error {
-	if t.ncache != nil {
+	if t.cowFresh != nil && !t.cowFresh[n.id] {
+		t.cowFrees = append(t.cowFrees, n.id)
+		t.cowFrees = append(t.cowFrees, n.cont...)
+		n.cont = nil
+		return nil
+	}
+	if t.cowFresh == nil && t.ncache != nil {
 		t.ncache.invalidate(n.id)
 	}
 	for _, cid := range n.cont {
@@ -530,6 +620,8 @@ func (t *Tree) insertEntry(e entry, targetLevel int) error {
 		return err
 	}
 	if right == nil {
+		// Copy-on-write may have relocated the root node; republish its id.
+		t.root = rootNode.id
 		return nil
 	}
 	// Root split: grow a new root with two entries.
@@ -590,6 +682,9 @@ func (t *Tree) insertRec(n *node, e entry, targetLevel int) (*node, error) {
 			if e.hi > n.entries[idx].hi {
 				n.entries[idx].hi = e.hi
 			}
+			// The recursive writeNode may have relocated the child
+			// (copy-on-write); the entry must track its new id.
+			n.entries[idx].child = child.id
 		}
 		if t.overflows(n) {
 			return t.splitNode(n)

@@ -20,27 +20,27 @@ import (
 //  5. the recorded count matches the number of leaf entries;
 //  6. no node other than the root has fewer than two entries.
 func (t *Tree) CheckInvariants() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.root == storage.InvalidPage {
-		if t.height != 0 || t.count != 0 {
-			return fmt.Errorf("core: empty tree with height %d count %d", t.height, t.count)
+	snap := t.pinSnapshot()
+	defer snap.release()
+	if snap.root == storage.InvalidPage {
+		if snap.height != 0 || snap.count != 0 {
+			return fmt.Errorf("core: empty tree with height %d count %d", snap.height, snap.count)
 		}
 		return nil
 	}
-	rootNode, err := t.readNode(t.root)
+	rootNode, err := t.readNode(snap.root)
 	if err != nil {
 		return err
 	}
-	if rootNode.level != t.height-1 {
-		return fmt.Errorf("core: root level %d != height-1 (%d)", rootNode.level, t.height-1)
+	if rootNode.level != snap.height-1 {
+		return fmt.Errorf("core: root level %d != height-1 (%d)", rootNode.level, snap.height-1)
 	}
 	leafEntries := 0
 	if err := t.checkNode(rootNode, true, &leafEntries); err != nil {
 		return err
 	}
-	if leafEntries != t.count {
-		return fmt.Errorf("core: count %d but %d leaf entries found", t.count, leafEntries)
+	if leafEntries != snap.count {
+		return fmt.Errorf("core: count %d but %d leaf entries found", snap.count, leafEntries)
 	}
 	return nil
 }

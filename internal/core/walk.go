@@ -21,14 +21,14 @@ func (t *Tree) Walk(fn func(sig signature.Signature, tid dataset.TID) bool) erro
 // WalkContext is Walk with cancellation: the traversal checks ctx at every
 // node and returns its error on abort.
 func (t *Tree) WalkContext(ctx context.Context, fn func(sig signature.Signature, tid dataset.TID) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.root == storage.InvalidPage {
+	snap := t.pinSnapshot()
+	defer snap.release()
+	if snap.root == storage.InvalidPage {
 		return nil
 	}
 	e := t.newExec(ctx)
 	defer e.release()
-	_, err := e.walkRec(t.root, fn)
+	_, err := e.walkRec(snap.root, fn)
 	return e.finish(err)
 }
 

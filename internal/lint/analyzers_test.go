@@ -24,6 +24,10 @@ func TestUpdateScope(t *testing.T) {
 	linttest.Run(t, lint.UpdateScope, "updatescope")
 }
 
+func TestSnapshotLife(t *testing.T) {
+	linttest.Run(t, lint.SnapshotLife, "snapshotlife")
+}
+
 func TestAtomicCounter(t *testing.T) {
 	linttest.Run(t, lint.AtomicCounter, "atomiccounter")
 }

@@ -7,8 +7,8 @@ import (
 )
 
 // AtomicCounter enforces the counter-access discipline (DESIGN.md §9.4):
-// the tree's cumulative counters are updated by many concurrent queries
-// under the read lock, so they exist only as sync/atomic values (or as
+// the tree's cumulative counters are updated by many concurrent lock-free
+// queries, so they exist only as sync/atomic values (or as
 // plain integers touched exclusively through sync/atomic functions). The
 // analyzer reports:
 //
@@ -81,6 +81,12 @@ func runAtomicCounter(pass *Pass) error {
 					if _, isStar := lhs.(*ast.StarExpr); !isStar {
 						continue
 					}
+				}
+				// Only a store of the struct *value* clobbers its atomic
+				// fields; assigning a pointer to such a struct (x.t = nil,
+				// it.snap = s) rebinds the reference and is safe.
+				if _, isPtr := types.Unalias(tv.Type).(*types.Pointer); isPtr {
+					continue
 				}
 				if n := namedOf(tv.Type); n != nil {
 					if field := firstAtomicField(n); field != "" {

@@ -1,9 +1,10 @@
 // Package lint implements sglint, a suite of static analyzers that
 // mechanically enforce the SG-tree's cross-cutting contracts: the lock
 // discipline around Tree's mutex, buffer-pool page pin/unpin pairing, the
-// WAL/undo update-scope rule for structural mutations, atomic-counter
-// access discipline, and a set of banned APIs in deterministic or hot-path
-// code. The analyzers mirror the golang.org/x/tools/go/analysis shape
+// WAL/undo update-scope rule for structural mutations, the MVCC rule that
+// lock-free queries read the tree's shape only through a pinned snapshot,
+// atomic-counter access discipline, and a set of banned APIs in
+// deterministic or hot-path code. The analyzers mirror the golang.org/x/tools/go/analysis shape
 // (Analyzer, Pass, Report) but are self-contained: packages are loaded and
 // type-checked with the standard library only (see load.go), so the suite
 // builds offline with no external module dependencies.
@@ -165,6 +166,7 @@ func All() []*Analyzer {
 		LockDiscipline,
 		PageLife,
 		UpdateScope,
+		SnapshotLife,
 		AtomicCounter,
 		NewBannedAPI(DefaultBannedRules()),
 	}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotLife enforces the MVCC read-path contract (DESIGN.md §10): on a
+// tree type that publishes epoch snapshots — recognized by having both a
+// runUpdate method (writer side) and a pinSnapshot method (reader side) —
+// the fields root, height, and count are writer-side state guarded by the
+// tree's mutex. Query code runs lock-free and must read the tree's shape
+// from a pinned snapshot; a direct access to those fields from a function
+// reachable outside the mutex races with every concurrent update and can
+// observe a torn root/height pair.
+//
+// A function counts as writer-side — and its whole call subtree is exempt
+// — when it acquires the owner's mutex (t.mu.Lock()), constructs the
+// owner via composite literal (fresh value, not yet shared), or is the
+// runUpdate method itself.
+var SnapshotLife = &Analyzer{
+	Name: "snapshotlife",
+	Doc:  "lock-free query paths read root/height/count from a pinned snapshot, never from the tree directly",
+	Run:  runSnapshotLife,
+}
+
+// snapshotOwnedFields are the tree fields a published treeSnapshot
+// mirrors; everything outside the writer's mutex must use the mirror.
+var snapshotOwnedFields = map[string]bool{
+	"root":   true,
+	"height": true,
+	"count":  true,
+}
+
+func runSnapshotLife(pass *Pass) error {
+	g := buildGraph(pass.Pkg)
+
+	// Owner types: named types with both runUpdate and pinSnapshot
+	// methods. Packages without the pattern have no contract to check.
+	hasRunUpdate := map[*types.Named]bool{}
+	hasPin := map[*types.Named]bool{}
+	for _, fi := range g.funcs {
+		if fi.decl == nil || fi.recv == nil {
+			continue
+		}
+		switch fi.decl.Name.Name {
+		case "runUpdate":
+			hasRunUpdate[fi.recv] = true
+		case "pinSnapshot":
+			hasPin[fi.recv] = true
+		}
+	}
+	owners := map[*types.Named]bool{}
+	for n := range hasRunUpdate {
+		if hasPin[n] {
+			owners[n] = true
+		}
+	}
+	if len(owners) == 0 {
+		return nil
+	}
+
+	// Reader closure: every function reachable from an exported entry
+	// without passing through a writer-side function may execute
+	// lock-free.
+	type witness struct {
+		root *funcInfo
+	}
+	lockFree := map[*funcInfo]*witness{}
+	var queue []*funcInfo
+	for _, fi := range g.funcs {
+		if fi.isExportedEntry() && !writerSide(pass.Pkg, fi, owners) {
+			lockFree[fi] = &witness{root: fi}
+			queue = append(queue, fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		for _, cs := range fi.calls {
+			cal := cs.callee
+			if cal == nil || writerSide(pass.Pkg, cal, owners) {
+				continue
+			}
+			if _, seen := lockFree[cal]; seen {
+				continue
+			}
+			lockFree[cal] = lockFree[fi]
+			queue = append(queue, cal)
+		}
+	}
+
+	// Report direct accesses to snapshot-owned fields from the reader
+	// closure.
+	for fi, w := range lockFree {
+		fi, w := fi, w
+		ast.Inspect(fi.body(), func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false // analyzed as its own funcInfo
+			}
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field, recv := ownerFieldOf(pass.Pkg, owners, sel)
+			if field == "" {
+				return true
+			}
+			via := ""
+			if w.root != fi {
+				via = " (reached from exported " + w.root.name + ")"
+			}
+			pass.Reportf(sel.Sel.Pos(), "%s reads %s.%s without a pinned snapshot%s: lock-free query paths must go through pinSnapshot, not the tree's mutable fields",
+				fi.name, recv, field, via)
+			return true
+		})
+	}
+	return nil
+}
+
+// writerSide reports whether fi is exempt from the snapshot contract:
+// it is a runUpdate method of an owner, acquires an owner's mutex, or
+// constructs an owner value (composite literal — the fresh tree is not
+// shared yet).
+func writerSide(pkg *Package, fi *funcInfo, owners map[*types.Named]bool) bool {
+	if fi.decl != nil && fi.recv != nil && owners[fi.recv] && fi.decl.Name.Name == "runUpdate" {
+		return true
+	}
+	found := false
+	ast.Inspect(fi.body(), func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // separate funcInfo
+		case *ast.CompositeLit:
+			if tv, ok := pkg.TypesInfo.Types[x]; ok {
+				if n := namedOf(tv.Type); n != nil && owners[n] {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			// X.mu.Lock() on an owner.
+			outer, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok || outer.Sel.Name != "Lock" {
+				return true
+			}
+			if field, _ := ownerAnyFieldOf(pkg, owners, outer.X); field == "mu" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ownerFieldOf resolves sel as a direct selection of a snapshot-owned
+// field on an owner type, returning the field name and the printed
+// receiver expression ("" when it is not one).
+func ownerFieldOf(pkg *Package, owners map[*types.Named]bool, sel *ast.SelectorExpr) (string, string) {
+	if !snapshotOwnedFields[sel.Sel.Name] {
+		return "", ""
+	}
+	field, recv := ownerAnyFieldOf(pkg, owners, sel)
+	if field == "" {
+		return "", ""
+	}
+	return field, recv
+}
+
+// ownerAnyFieldOf resolves e as a direct field selection on an owner
+// type, returning the field name and printed receiver expression.
+func ownerAnyFieldOf(pkg *Package, owners map[*types.Named]bool, e ast.Expr) (string, string) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	selection, ok := pkg.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal || len(selection.Index()) != 1 {
+		return "", ""
+	}
+	recv := namedOf(selection.Recv())
+	if recv == nil || !owners[recv] {
+		return "", ""
+	}
+	return sel.Sel.Name, exprString(sel.X)
+}

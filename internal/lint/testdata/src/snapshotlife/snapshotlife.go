@@ -1,0 +1,86 @@
+// Package snapshotlife is the fixture for the snapshotlife analyzer: a
+// miniature MVCC tree with the same shape as internal/core — a type
+// carrying both runUpdate (writer side) and pinSnapshot (reader side)
+// methods, whose root/height/count fields may only be read lock-free
+// through a pinned snapshot. Lines with `want` comments must be reported;
+// every other line must stay silent.
+package snapshotlife
+
+import "sync"
+
+type snap struct {
+	root   int
+	height int
+	count  int
+}
+
+type tree struct {
+	mu     sync.Mutex
+	root   int
+	height int
+	count  int
+	cur    *snap
+}
+
+// New constructs a fresh tree; the composite literal marks the function
+// as owning an unshared value, so its field writes are silent.
+func New() *tree {
+	t := &tree{}
+	t.root = 1
+	return t
+}
+
+func (t *tree) pinSnapshot() *snap { return t.cur }
+
+// runUpdate is the writer side by definition: silent.
+func (t *tree) runUpdate(fn func() error) error {
+	t.root++
+	return fn()
+}
+
+// Insert acquires the mutex before touching writer-side state; the
+// update literal runs inside it too: silent.
+func (t *tree) Insert() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.height++
+	return t.runUpdate(func() error {
+		t.count++
+		return nil
+	})
+}
+
+// Sync holds the mutex, so the helper it calls is writer-side: silent.
+func (t *tree) Sync() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.flushMeta()
+}
+
+func (t *tree) flushMeta() {
+	_ = t.root
+}
+
+// Len reads count through the pinned snapshot: silent.
+func (t *tree) Len() int { return t.pinSnapshot().count }
+
+// Search reads the root directly from an exported lock-free query.
+func (t *tree) Search() int {
+	if t.root == 0 { // want `tree\.Search reads t\.root without a pinned snapshot`
+		return 0
+	}
+	return t.walk()
+}
+
+// walk is reached lock-free through Search; the diagnostic names the
+// exported entry the unsafe path starts from.
+func (t *tree) walk() int {
+	return t.count // want `tree\.walk reads t\.count without a pinned snapshot \(reached from exported tree\.Search\)`
+}
+
+// Stats mixes a safe snapshot read with an unsafe direct read; only the
+// latter is flagged.
+func (t *tree) Stats() (int, int) {
+	s := t.pinSnapshot()
+	return s.height, t.height // want `tree\.Stats reads t\.height without a pinned snapshot`
+}

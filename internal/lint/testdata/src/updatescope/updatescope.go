@@ -15,7 +15,7 @@ type tree struct {
 // runUpdate owns the undo scope; it is the only function allowed to call
 // the pool's Begin/Commit/Rollback primitives.
 func (t *tree) runUpdate(fn func() error) error {
-	t.pool.BeginUndo()
+	t.pool.BeginUndo(true)
 	if err := fn(); err != nil {
 		if rerr := t.pool.RollbackUndo(); rerr != nil {
 			return rerr
@@ -64,6 +64,6 @@ func (t *tree) rewrite() error {
 // Checkpoint opens the scope primitives by hand instead of going through
 // runUpdate.
 func (t *tree) Checkpoint() error {
-	t.pool.BeginUndo()         // want `tree\.Checkpoint calls BufferPool\.BeginUndo directly: undo scopes are owned by runUpdate`
+	t.pool.BeginUndo(true)     // want `tree\.Checkpoint calls BufferPool\.BeginUndo directly: undo scopes are owned by runUpdate`
 	return t.pool.CommitUndo() // want `tree\.Checkpoint calls BufferPool\.CommitUndo directly: undo scopes are owned by runUpdate`
 }

@@ -39,13 +39,19 @@ type BufferPool struct {
 	freeMu       sync.Mutex
 	pendingFrees []PageID
 
-	// Undo scope state. undoActive is read on every Get, so it is an
-	// atomic flag checked before taking undoMu.
-	undoActive atomic.Bool
-	undoMu     sync.Mutex
-	undoPages  map[PageID][]byte // pre-images, first touch wins
-	undoNew    map[PageID]bool   // pages allocated inside the scope
-	undoMark   int               // len(pendingFrees) at BeginUndo
+	// Undo scope state. undoActive and undoCapture are read on every Get /
+	// NewPage — including by lock-free snapshot readers — so they are
+	// atomic flags checked before taking undoMu. undoCapture additionally
+	// gates pre-image capture: copy-on-write writers pass
+	// BeginUndo(false) because they never modify published pages in
+	// place, so rollback needs no pre-images and concurrent readers'
+	// Gets stay off undoMu entirely.
+	undoActive  atomic.Bool
+	undoCapture atomic.Bool
+	undoMu      sync.Mutex
+	undoPages   map[PageID][]byte // pre-images, first touch wins
+	undoNew     map[PageID]bool   // pages allocated inside the scope
+	undoMark    int               // len(pendingFrees) at BeginUndo
 }
 
 // poolShard is one independently locked slice of the pool.
@@ -154,7 +160,7 @@ func (b *BufferPool) WALStats() WALStats {
 // the cached frame and is valid until Unpin.
 func (b *BufferPool) Get(id PageID) ([]byte, error) {
 	data, err := b.shard(id).get(id)
-	if err == nil && b.undoActive.Load() {
+	if err == nil && b.undoCapture.Load() {
 		b.captureUndo(id, data)
 	}
 	return data, err
@@ -488,11 +494,15 @@ func (b *BufferPool) Clear() error {
 }
 
 // BeginUndo opens an in-memory undo scope: until CommitUndo or
-// RollbackUndo, the pool captures a pre-image of every page first touched
-// through Get, records pages allocated through NewPage, and defers Discard
-// frees. Scopes protect single-writer updates (the tree holds its write
-// lock); they do not nest.
-func (b *BufferPool) BeginUndo() {
+// RollbackUndo, the pool records pages allocated through NewPage and
+// defers Discard frees. When capturePages is true it additionally captures
+// a pre-image of every page first touched through Get, so rollback can
+// restore in-place modifications. Copy-on-write writers pass false: they
+// never modify a published page in place, so rollback only needs to free
+// the scope's fresh pages — and skipping capture keeps concurrent
+// lock-free readers' Gets from serializing on undoMu. Scopes protect
+// single-writer updates (the tree holds its write lock); they do not nest.
+func (b *BufferPool) BeginUndo(capturePages bool) {
 	b.undoMu.Lock()
 	defer b.undoMu.Unlock()
 	if b.undoActive.Load() {
@@ -504,6 +514,7 @@ func (b *BufferPool) BeginUndo() {
 	b.undoMark = len(b.pendingFrees)
 	b.freeMu.Unlock()
 	b.undoActive.Store(true)
+	b.undoCapture.Store(capturePages)
 }
 
 // captureUndo saves the page's current content if it is the first touch in
@@ -529,6 +540,7 @@ func (b *BufferPool) captureUndo(id PageID, data []byte) {
 func (b *BufferPool) CommitUndo() error {
 	b.undoMu.Lock()
 	b.undoActive.Store(false)
+	b.undoCapture.Store(false)
 	b.undoPages = nil
 	b.undoNew = nil
 	b.undoMu.Unlock()
@@ -563,6 +575,7 @@ func (b *BufferPool) RollbackUndo() error {
 	created := b.undoNew
 	mark := b.undoMark
 	b.undoActive.Store(false)
+	b.undoCapture.Store(false)
 	b.undoPages = nil
 	b.undoNew = nil
 	b.undoMu.Unlock()

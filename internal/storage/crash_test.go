@@ -270,7 +270,20 @@ func neighborsEqual(a, b []core.Neighbor) bool {
 // the calibration run).
 func runCrashWorkload(t *testing.T, ops []crashOp, budget int64) int64 {
 	t.Helper()
-	tag := fmt.Sprintf("budget=%d", budget)
+	return runCrashWorkloadPinned(t, ops, budget, -1)
+}
+
+// runCrashWorkloadPinned is runCrashWorkload with an optional pinned
+// reader: once pinAt ops have committed, an NNIterator is opened and held
+// (never drained, never closed) for the rest of the run. The pin blocks
+// epoch reclamation, so every subsequent update's copy-on-write frees stay
+// queued on retired snapshots instead of returning to the pager — the
+// crash then lands with the deferred-free list maximally in play, and
+// recovery must still match the oracle (the unreturned pages are merely
+// leaked space in the durable image, invisible to the logical state).
+func runCrashWorkloadPinned(t *testing.T, ops []crashOp, budget int64, pinAt int) int64 {
+	t.Helper()
+	tag := fmt.Sprintf("budget=%d,pinAt=%d", budget, pinAt)
 
 	cp := storage.NewCrashPoint()
 	dbf := &memFile{}
@@ -300,7 +313,19 @@ func runCrashWorkload(t *testing.T, ops []crashOp, budget int64) int64 {
 	m := signature.NewDirectMapper(crashUniverse)
 	committed := 0
 	crashed := false
+	var pinned *core.NNIterator
 	for _, op := range ops {
+		if pinned == nil && pinAt >= 0 && committed >= pinAt {
+			var perr error
+			pinned, perr = tr.NewNNIterator(signature.FromItems(m, ops[0].items))
+			if perr != nil {
+				if !errors.Is(perr, storage.ErrCrashed) {
+					t.Fatalf("%s: opening pinned reader: %v", tag, perr)
+				}
+				crashed = true
+				break
+			}
+		}
 		var err error
 		if op.del {
 			var found bool
@@ -415,6 +440,35 @@ func TestCrashRecoverySweep(t *testing.T) {
 		budget := int64(i)*step + 13
 		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
 			runCrashWorkload(t, ops, budget)
+		})
+	}
+}
+
+// TestCrashRecoveryPinnedReaderSweep re-runs the crash sweep (at fewer
+// points) with a reader pinned after the fifth committed op. From then on
+// every update's copy-on-write frees defer to the retired-snapshot chain
+// and never reach the pager, so each crash lands with a live deferred-free
+// list; recovery must still reproduce the oracle exactly.
+func TestCrashRecoveryPinnedReaderSweep(t *testing.T) {
+	ops := genCrashOps(crashOps, 0xBADD1E)
+
+	total := runCrashWorkloadPinned(t, ops, -1, 5)
+	if total <= 0 {
+		t.Fatalf("calibration run wrote %d bytes", total)
+	}
+
+	points := 12
+	if testing.Short() {
+		points = 6
+	}
+	step := total / int64(points)
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < points; i++ {
+		budget := int64(i)*step + 31
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			runCrashWorkloadPinned(t, ops, budget, 5)
 		})
 	}
 }

@@ -618,11 +618,20 @@ func (ix *Index) Neighbors(query []int) (*NeighborIterator, error) {
 	return &NeighborIterator{it: it}, nil
 }
 
-// NeighborIterator yields matches in non-decreasing distance order. It must
-// not be used concurrently with updates to the same index.
+// NeighborIterator yields matches in non-decreasing distance order. The
+// iterator browses a snapshot of the index taken at Neighbors time, so
+// concurrent updates neither block on it nor disturb it; a single iterator
+// must still not be shared between goroutines. Drain it or call Close —
+// an abandoned open iterator keeps its snapshot's pages from being
+// reclaimed.
 type NeighborIterator struct {
 	it *core.NNIterator
 }
+
+// Close releases the iterator's snapshot without draining it. It is
+// idempotent, safe after exhaustion, and leaves Stats readable; further
+// Next calls report exhaustion.
+func (n *NeighborIterator) Close() { n.it.Close() }
 
 // Next returns the next match; ok is false when the index is exhausted.
 func (n *NeighborIterator) Next() (Match, bool, error) {
