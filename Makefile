@@ -14,7 +14,7 @@ STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 BENCHSTAT_VERSION ?= latest
 
-.PHONY: build test vet race crash fuzz check fmt lint staticcheck vuln tools bench bench-json bench-throughput
+.PHONY: build test vet race crash fuzz check fmt lint staticcheck vuln tools bench bench-json bench-throughput server-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,11 @@ race:
 # crash points.
 crash:
 	$(GO) test -run Crash -count=3 ./internal/storage/...
+
+# End-to-end service smoke test: primary + WAL-shipped read replica over
+# real HTTP, gated on replication lag reaching 0 and clean shutdown.
+server-smoke:
+	sh scripts/server_smoke.sh
 
 # Short fuzz passes over every fuzz target (codec decoding, dataset
 # parsing, WAL replay). Each target needs its own invocation: go test

@@ -1,0 +1,195 @@
+// Open-loop client load mode: drive a running sgserved with Poisson
+// arrivals at a target rate and report the latency distribution against an
+// SLO. Open-loop means arrivals are scheduled by the clock, not by
+// completions — a slow server accumulates in-flight requests instead of
+// silently throttling the offered load (the coordinated-omission trap of
+// closed-loop benchmarks).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// clientReport is the JSON document of one -serve run. The latency block
+// reuses the workloadStats shape of the embedded throughput mode so the
+// two are directly comparable.
+type clientReport struct {
+	Mode       string  `json:"mode"` // "client"
+	Target     string  `json:"target"`
+	Collection string  `json:"collection"`
+	RateQPS    float64 `json:"rate_qps"` // offered load
+	Seconds    float64 `json:"seconds"`
+	K          int     `json:"k"`
+
+	KNN workloadStats `json:"knn"`
+
+	SLOMs      float64 `json:"slo_ms"`
+	SLOHits    int     `json:"slo_hits"`
+	SLOHitRate float64 `json:"slo_hit_rate"`
+	SLOMet     bool    `json:"slo_met"` // ≥99% of requests under the SLO
+}
+
+// runClientLoad generates Poisson arrivals for duration d at rate qps
+// against serve's collection, issuing kNN queries drawn uniformly from the
+// collection's universe.
+func runClientLoad(stdout, stderr io.Writer, serve, collection string, qps float64, d time.Duration, k int, slo time.Duration) int {
+	if qps <= 0 || d <= 0 {
+		fmt.Fprintln(stderr, "sgbench: -serve needs -rate > 0 and -duration > 0")
+		return 2
+	}
+
+	// The collection's spec tells us the item universe to draw from.
+	universe, err := fetchUniverse(serve, collection)
+	if err != nil {
+		fmt.Fprintln(stderr, "sgbench:", err)
+		return 1
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	client := &http.Client{Timeout: 30 * time.Second}
+	url := fmt.Sprintf("%s/collections/%s/knn", serve, collection)
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		errs      int
+		results   int
+		wg        sync.WaitGroup
+	)
+	fire := func(items []int) {
+		defer wg.Done()
+		raw, _ := json.Marshal(map[string]any{"items": items, "k": k})
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+		lat := float64(time.Since(start).Microseconds()) / 1000.0
+		var n int
+		if err == nil {
+			var body struct {
+				Matches []json.RawMessage `json:"matches"`
+			}
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("HTTP %d", resp.StatusCode)
+			} else if derr := json.NewDecoder(resp.Body).Decode(&body); derr != nil {
+				err = derr
+			} else {
+				n = len(body.Matches)
+			}
+			resp.Body.Close()
+		}
+		mu.Lock()
+		if err != nil {
+			errs++
+		} else {
+			latencies = append(latencies, lat)
+			results += n
+		}
+		mu.Unlock()
+	}
+
+	begin := time.Now()
+	deadline := begin.Add(d)
+	next := begin
+	sent := 0
+	for {
+		// Exponential inter-arrival times make the arrival process Poisson.
+		next = next.Add(time.Duration(rng.ExpFloat64() / qps * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		time.Sleep(time.Until(next))
+		size := 3 + rng.Intn(12)
+		items := make([]int, 0, size)
+		seen := map[int]bool{}
+		for len(items) < size {
+			x := rng.Intn(universe)
+			if !seen[x] {
+				seen[x] = true
+				items = append(items, x)
+			}
+		}
+		wg.Add(1)
+		sent++
+		go fire(items)
+	}
+	wg.Wait()
+	wall := time.Since(begin).Seconds()
+
+	sort.Float64s(latencies)
+	sloMs := float64(slo.Microseconds()) / 1000.0
+	report := clientReport{
+		Mode:       "client",
+		Target:     serve,
+		Collection: collection,
+		RateQPS:    qps,
+		Seconds:    wall,
+		K:          k,
+		KNN: workloadStats{
+			Queries:      sent,
+			Errors:       errs,
+			WallSeconds:  wall,
+			QPS:          float64(len(latencies)) / wall,
+			LatencyMsP50: percentile(latencies, 0.50),
+			LatencyMsP90: percentile(latencies, 0.90),
+			LatencyMsP99: percentile(latencies, 0.99),
+			LatencyMsMax: percentile(latencies, 1),
+			TotalResults: results,
+		},
+		SLOMs: sloMs,
+	}
+	if slo > 0 {
+		idx := sort.SearchFloat64s(latencies, sloMs)
+		// All latencies ≤ sloMs (SearchFloat64s finds the first > only
+		// after stepping over equals).
+		for idx < len(latencies) && latencies[idx] == sloMs {
+			idx++
+		}
+		report.SLOHits = idx
+		if sent > 0 {
+			report.SLOHitRate = float64(idx) / float64(sent)
+		}
+		report.SLOMet = errs == 0 && report.SLOHitRate >= 0.99
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(stderr, "sgbench:", err)
+		return 1
+	}
+	if errs > 0 {
+		fmt.Fprintf(stderr, "sgbench: %d/%d requests failed\n", errs, sent)
+		return 1
+	}
+	return 0
+}
+
+func fetchUniverse(serve, collection string) (int, error) {
+	resp, err := http.Get(fmt.Sprintf("%s/collections/%s", serve, collection))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("describing collection %q: HTTP %d", collection, resp.StatusCode)
+	}
+	var body struct {
+		Spec struct {
+			Universe int `json:"universe"`
+		} `json:"spec"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, err
+	}
+	if body.Spec.Universe <= 0 {
+		return 0, fmt.Errorf("collection %q reports no universe", collection)
+	}
+	return body.Spec.Universe, nil
+}

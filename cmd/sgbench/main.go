@@ -12,10 +12,14 @@
 //	sgbench -workers 8          # parallel-throughput benchmark, JSON output
 //	sgbench -workers 8 -queries 5000 -k 10 -eps 4 -timeout 30s
 //	sgbench -workers 4 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	sgbench -serve http://localhost:7701 -collection quest \
+//	        -rate 200 -duration 30s -k 10 -slo 50ms
 //
 // The -workers mode measures concurrent query throughput through the batch
 // engine and emits one JSON document (latency percentiles, buffer-pool hit
-// rate, prune counters) suitable for saving as BENCH_*.json.
+// rate, prune counters) suitable for saving as BENCH_*.json. The -serve
+// mode is an open-loop network client: Poisson arrivals at -rate against a
+// running sgserved, reporting the same latency JSON plus an SLO verdict.
 package main
 
 import (
@@ -47,6 +51,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		chart    = fs.Bool("chart", false, "also render pruning bar charts")
 		workers  = fs.Int("workers", 0, "parallel-throughput mode: worker-pool size (JSON output)")
+		serve    = fs.String("serve", "", "client load mode: base URL of a running sgserved")
+		coll     = fs.String("collection", "", "client load mode: collection to query")
+		rate     = fs.Float64("rate", 100, "client load mode: offered load in queries/sec (Poisson)")
+		duration = fs.Duration("duration", 10*time.Second, "client load mode: run length")
+		slo      = fs.Duration("slo", 50*time.Millisecond, "client load mode: latency SLO")
 		k        = fs.Int("k", 10, "throughput mode: neighbors per kNN query")
 		eps      = fs.Float64("eps", 4, "throughput mode: range-query radius")
 		timeout  = fs.Duration("timeout", 0, "throughput mode: per-batch deadline (0 = none)")
@@ -94,6 +103,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *queries > 0 {
 		scale.Queries = *queries
+	}
+
+	if *serve != "" {
+		if *coll == "" {
+			fmt.Fprintln(stderr, "sgbench: -serve needs -collection")
+			return 2
+		}
+		return runClientLoad(stdout, stderr, strings.TrimRight(*serve, "/"), *coll, *rate, *duration, *k, *slo)
 	}
 
 	if *workers > 0 {

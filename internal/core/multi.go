@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+// This file is the scatter-gather layer over a partitioned index: one
+// logical collection split across several shard trees, queried by fanning
+// the same query out to every shard through the batch engine's worker pool
+// and merging the per-shard answers. Shards hold disjoint id sets, so
+// range and containment merges are plain concatenations; kNN merges the
+// per-shard top-k candidate lists through a bounded heap ordered the same
+// way sortNeighbors orders results, keeping the merge deterministic even
+// when candidates tie at the k-th distance.
+
+// neighborWorse reports whether a ranks strictly after b in result order
+// (greater distance, ties broken by greater TID) — the comparison the
+// merge heap roots its maximum on.
+func neighborWorse(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.TID > b.TID
+}
+
+// mergeHeap is a bounded max-heap of the k best candidates seen so far,
+// rooted at the current worst. Unlike the per-shard resultHeap it orders by
+// (Dist, TID), so the cross-shard merge is deterministic under distance
+// ties. Hand-rolled like resultHeap: container/heap is banned in this
+// package (boxing per candidate).
+type mergeHeap []Neighbor
+
+func (h *mergeHeap) push(nb Neighbor) {
+	*h = append(*h, nb)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !neighborWorse(s[i], s[p]) {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h mergeHeap) replaceRoot(nb Neighbor) {
+	h[0] = nb
+	i := 0
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && neighborWorse(h[l], h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && neighborWorse(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// offer considers one candidate for the bounded top-k.
+func (h *mergeHeap) offer(nb Neighbor, k int) {
+	if len(*h) < k {
+		h.push(nb)
+		return
+	}
+	if neighborWorse((*h)[0], nb) {
+		h.replaceRoot(nb)
+	}
+}
+
+// scatter runs fn once per shard tree on the batch engine's worker pool
+// (workers <= 0 means GOMAXPROCS) and returns the summed per-shard stats.
+// A shard failure fails the whole call: the shards answer one logical
+// query, so a partial answer would be silently wrong.
+func scatter(ctx context.Context, trees []*Tree, workers int, fn func(ctx context.Context, i int) (QueryStats, error)) (QueryStats, error) {
+	perStats := make([]QueryStats, len(trees))
+	perErr := make([]error, len(trees))
+	err := RunParallel(ctx, len(trees), workers, func(ctx context.Context, i int) error {
+		st, err := fn(ctx, i)
+		perStats[i], perErr[i] = st, err
+		return err
+	})
+	var stats QueryStats
+	for _, st := range perStats {
+		stats.add(st)
+	}
+	if err == nil {
+		for _, e := range perErr {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+	}
+	return stats, err
+}
+
+// ShardedKNN answers one k-nearest-neighbor query over a collection
+// partitioned across trees: the query fans out to every shard in parallel
+// (each shard computes its local top-k over its own pinned snapshot), and
+// the per-shard candidate lists merge through a bounded heap into the
+// global top-k, sorted by (distance, TID). Stats are summed across shards.
+func ShardedKNN(ctx context.Context, trees []*Tree, q signature.Signature, k, workers int) ([]Neighbor, QueryStats, error) {
+	if len(trees) == 0 || k <= 0 {
+		return nil, QueryStats{}, nil
+	}
+	per := make([][]Neighbor, len(trees))
+	stats, err := scatter(ctx, trees, workers, func(ctx context.Context, i int) (QueryStats, error) {
+		res, st, err := trees[i].KNNContext(ctx, q, k)
+		per[i] = res
+		return st, err
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	var h mergeHeap
+	for _, res := range per {
+		for _, nb := range res {
+			h.offer(nb, k)
+		}
+	}
+	out := []Neighbor(h)
+	sortNeighbors(out)
+	return out, stats, nil
+}
+
+// ShardedRange answers one range query (all ids within eps) over a
+// partitioned collection. Shards hold disjoint ids, so the merge is a
+// concatenation re-sorted into (distance, TID) order.
+func ShardedRange(ctx context.Context, trees []*Tree, q signature.Signature, eps float64, workers int) ([]Neighbor, QueryStats, error) {
+	if len(trees) == 0 {
+		return nil, QueryStats{}, nil
+	}
+	per := make([][]Neighbor, len(trees))
+	stats, err := scatter(ctx, trees, workers, func(ctx context.Context, i int) (QueryStats, error) {
+		res, st, err := trees[i].RangeSearchContext(ctx, q, eps)
+		per[i] = res
+		return st, err
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	var out []Neighbor
+	for _, res := range per {
+		out = append(out, res...)
+	}
+	sortNeighbors(out)
+	return out, stats, nil
+}
+
+// ShardedContainment answers one containment query over a partitioned
+// collection: the union of the shards' answers, sorted by id.
+func ShardedContainment(ctx context.Context, trees []*Tree, q signature.Signature, workers int) ([]dataset.TID, QueryStats, error) {
+	if len(trees) == 0 {
+		return nil, QueryStats{}, nil
+	}
+	per := make([][]dataset.TID, len(trees))
+	stats, err := scatter(ctx, trees, workers, func(ctx context.Context, i int) (QueryStats, error) {
+		ids, st, err := trees[i].ContainmentContext(ctx, q)
+		per[i] = ids
+		return st, err
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	var out []dataset.TID
+	for _, ids := range per {
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, stats, nil
+}
+
+// GrayKey is the gray-code ordering key of a signature — the order
+// bulk loading packs leaves in (Section 5.1's hamming-distance-minimizing
+// linear order). Range partitioning splits a collection along this order
+// so each shard covers a contiguous gray-code interval.
+type GrayKey []uint64
+
+// GrayCodeKey computes the gray-code ordering key of s.
+func GrayCodeKey(s signature.Signature) GrayKey {
+	return GrayKey(grayCodeKey(s))
+}
+
+// CompareGrayKeys orders two keys: -1, 0, or 1 as a sorts before, equal
+// to, or after b. Keys must come from signatures of the same length.
+func CompareGrayKeys(a, b GrayKey) int {
+	return compareGrayKeys(grayKey(a), grayKey(b))
+}

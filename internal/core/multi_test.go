@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+// TestNNIteratorCloseIdempotent pins the Close contract: Close (and the
+// implicit Close on exhaustion) releases the snapshot pin exactly once, no
+// matter how many times it runs, so a double Close can never underflow the
+// pin count and let a writer reclaim pages under another reader.
+func TestNNIteratorCloseIdempotent(t *testing.T) {
+	d := questData(t, 120, 31)
+	tr := buildTree(t, d, testOptions(200))
+	q := sigOf(t, 200, d.Tx[3])
+
+	// Explicit double (and triple) Close after a partial drain.
+	it, err := tr.NewNNIterator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := it.Next(); err != nil || !ok {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	it.Close()
+	it.Close()
+	it.Close()
+	if pins := tr.snap.Load().pins.Load(); pins != 0 {
+		t.Fatalf("pins = %d after triple Close, want 0", pins)
+	}
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Fatalf("Next after Close: ok=%v err=%v, want exhausted", ok, err)
+	}
+	if st := it.Stats(); st.NodesAccessed == 0 {
+		t.Fatal("Stats unreadable after Close")
+	}
+
+	// Exhaustion auto-closes; a later explicit Close must still be safe.
+	it2, err := tr.NewNNIterator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok, err := it2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != tr.Len() {
+		t.Fatalf("drained %d results, want %d", n, tr.Len())
+	}
+	it2.Close()
+	if pins := tr.snap.Load().pins.Load(); pins != 0 {
+		t.Fatalf("pins = %d after drain+Close, want 0", pins)
+	}
+
+	// The released snapshot must still be reclaimable: an update after the
+	// double Close publishes and reclaims without error.
+	if err := tr.Insert(sigOf(t, 200, d.Tx[5]), dataset.TID(9999)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// shardByHand splits d round-robin across n trees and returns both the
+// shards and a single unsharded reference tree.
+func shardByHand(t *testing.T, d *dataset.Dataset, n int) (shards []*Tree, whole *Tree) {
+	t.Helper()
+	m := signature.NewDirectMapper(d.Universe)
+	whole = mustTree(t, testOptions(200))
+	for i := 0; i < n; i++ {
+		shards = append(shards, mustTree(t, testOptions(200)))
+	}
+	for i, tx := range d.Tx {
+		s := signature.FromItems(m, tx)
+		if err := whole.Insert(s, dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := shards[i%n].Insert(s, dataset.TID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return shards, whole
+}
+
+func TestShardedQueriesMatchUnsharded(t *testing.T) {
+	d := questData(t, 400, 17)
+	shards, whole := shardByHand(t, d, 3)
+	ctx := context.Background()
+
+	for qi := 0; qi < 25; qi++ {
+		q := sigOf(t, 200, d.Tx[qi*7%len(d.Tx)])
+
+		// kNN: distance multisets must agree (ids can differ only within a
+		// tie at the k-th distance, which both sides break by TID here
+		// because the merge orders by (dist, TID)).
+		want, _, err := whole.KNNContext(ctx, q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := ShardedKNN(ctx, shards, q, 10, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: sharded kNN %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("query %d rank %d: dist %g, want %g", qi, i, got[i].Dist, want[i].Dist)
+			}
+		}
+
+		// Range: exact result sets in identical order.
+		wantR, _, err := whole.RangeSearchContext(ctx, q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotR, _, err := ShardedRange(ctx, shards, q, 6, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotR) != len(wantR) {
+			t.Fatalf("query %d: sharded range %d results, want %d", qi, len(gotR), len(wantR))
+		}
+		for i := range gotR {
+			if gotR[i] != wantR[i] {
+				t.Fatalf("query %d range rank %d: %+v, want %+v", qi, i, gotR[i], wantR[i])
+			}
+		}
+
+		// Containment: identical id sets (the unsharded tree reports
+		// traversal order; the sharded merge sorts, so compare sorted).
+		wantC, _, err := whole.ContainmentContext(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(wantC, func(a, b int) bool { return wantC[a] < wantC[b] })
+		gotC, _, err := ShardedContainment(ctx, shards, q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotC) != len(wantC) {
+			t.Fatalf("query %d: sharded containment %d ids, want %d", qi, len(gotC), len(wantC))
+		}
+		for i := range gotC {
+			if gotC[i] != wantC[i] {
+				t.Fatalf("query %d containment %d: id %d, want %d", qi, i, gotC[i], wantC[i])
+			}
+		}
+	}
+}
+
+func TestMergeHeapDeterministicUnderTies(t *testing.T) {
+	// Two shards return candidates tying at the k-th distance; the merge
+	// must keep the lowest TIDs regardless of shard arrival order.
+	a := []Neighbor{{TID: 5, Dist: 1}, {TID: 9, Dist: 2}}
+	b := []Neighbor{{TID: 2, Dist: 2}, {TID: 7, Dist: 2}}
+	for _, order := range [][][]Neighbor{{a, b}, {b, a}} {
+		var h mergeHeap
+		for _, res := range order {
+			for _, nb := range res {
+				h.offer(nb, 2)
+			}
+		}
+		out := []Neighbor(h)
+		sortNeighbors(out)
+		if out[0] != (Neighbor{TID: 5, Dist: 1}) || out[1] != (Neighbor{TID: 2, Dist: 2}) {
+			t.Fatalf("merge under ties = %+v", out)
+		}
+	}
+}

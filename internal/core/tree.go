@@ -333,6 +333,39 @@ func (t *Tree) DropCaches() error {
 	return t.pool.Clear()
 }
 
+// Refresh re-reads the meta page from the underlying store and publishes
+// its root/height/count as a fresh snapshot, after emptying both read
+// caches. It exists for replication followers: ApplyRedo rewrites the page
+// file beneath the tree, so the buffer pool, decoded-node cache and
+// current snapshot all hold the pre-apply version until Refresh installs
+// the shipped one. Like DropCaches it requires quiescence — pool.Clear
+// fails while any in-flight query still pins pages — so a follower must
+// fence queries against apply (e.g. with an RWMutex) before calling it.
+func (t *Tree) Refresh() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.reclaimSnapshots(); err != nil {
+		return err
+	}
+	if t.ncache != nil {
+		t.ncache.invalidateAll()
+	}
+	if err := t.pool.Clear(); err != nil {
+		return err
+	}
+	page, err := t.pool.Get(t.metaPage)
+	if err != nil {
+		return err
+	}
+	derr := t.decodeMeta(page)
+	t.pool.Unpin(t.metaPage, false)
+	if derr != nil {
+		return derr
+	}
+	t.publishSnapshot()
+	return nil
+}
+
 // --- node I/O through the buffer pool ---
 //
 // A node occupies a primary page plus up to MaxNodePages-1 continuation

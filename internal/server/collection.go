@@ -1,0 +1,355 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"sgtree"
+)
+
+// CollectionSpec is the wire (and on-disk) description of one collection:
+// the subset of sgtree.Config a service client chooses, plus the sharding
+// layout. It is stored as collection.json inside the collection's data
+// directory so a restarted primary reopens with the same configuration.
+type CollectionSpec struct {
+	Name            string `json:"name"`
+	Universe        int    `json:"universe"`
+	SignatureLength int    `json:"signature_length,omitempty"`
+	Metric          string `json:"metric,omitempty"` // hamming (default), jaccard, dice, cosine
+	Shards          int    `json:"shards,omitempty"` // default 1
+	Partition       string `json:"partition,omitempty"`
+	Durable         bool   `json:"durable,omitempty"`
+	Compress        bool   `json:"compress,omitempty"`
+	CardStats       bool   `json:"card_stats,omitempty"`
+	PageSize        int    `json:"page_size,omitempty"`
+	BufferPages     int    `json:"buffer_pages,omitempty"`
+	MaxNodeEntries  int    `json:"max_node_entries,omitempty"`
+}
+
+const collectionSpecName = "collection.json"
+
+func metricFromName(name string) (sgtree.Metric, error) {
+	switch name {
+	case "", "hamming":
+		return sgtree.Hamming, nil
+	case "jaccard":
+		return sgtree.Jaccard, nil
+	case "dice":
+		return sgtree.Dice, nil
+	case "cosine":
+		return sgtree.Cosine, nil
+	}
+	return sgtree.Hamming, fmt.Errorf("unknown metric %q", name)
+}
+
+// normalize validates the spec and fills defaults in place.
+func (sp *CollectionSpec) normalize() error {
+	if sp.Name == "" {
+		return fmt.Errorf("collection name required")
+	}
+	for _, r := range sp.Name {
+		if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
+			return fmt.Errorf("collection name %q: use [a-z0-9_-]", sp.Name)
+		}
+	}
+	if sp.Universe <= 0 {
+		return fmt.Errorf("universe must be positive")
+	}
+	if sp.Shards <= 0 {
+		sp.Shards = 1
+	}
+	if sp.Partition == "" {
+		sp.Partition = string(sgtree.HashPartitioning)
+	}
+	if _, err := metricFromName(sp.Metric); err != nil {
+		return err
+	}
+	switch sgtree.Partitioning(sp.Partition) {
+	case sgtree.HashPartitioning, sgtree.GrayPartitioning:
+	default:
+		return fmt.Errorf("unknown partition %q", sp.Partition)
+	}
+	return nil
+}
+
+func (sp CollectionSpec) config() sgtree.Config {
+	m, _ := metricFromName(sp.Metric)
+	return sgtree.Config{
+		Universe:        sp.Universe,
+		SignatureLength: sp.SignatureLength,
+		Metric:          m,
+		Compress:        sp.Compress,
+		CardStats:       sp.CardStats,
+		PageSize:        sp.PageSize,
+		BufferPages:     sp.BufferPages,
+		MaxNodeEntries:  sp.MaxNodeEntries,
+		Durable:         sp.Durable,
+	}
+}
+
+// collection is one served collection. On a primary, sh owns the shard
+// trees and writeMu serializes writers (queries are lock-free against the
+// shards' MVCC snapshots). On a replica, shards holds one replShard per
+// primary shard; sh is nil.
+type collection struct {
+	spec CollectionSpec
+
+	// Primary state.
+	writeMu sync.Mutex
+	sh      *sgtree.Sharded
+
+	// Replica state.
+	shards []*replShard
+}
+
+// replShard is one replicated shard on a follower. The RWMutex fences
+// queries (RLock) against the apply loop (Lock): ApplyRedo rewrites pages
+// beneath the open tree and the refresh needs query quiescence.
+type replShard struct {
+	mu         sync.RWMutex
+	rep        *sgtree.Replica
+	primaryLSN uint64 // last commit LSN the primary reported
+	lastErr    string // last poll/apply error ("" when healthy)
+}
+
+func (c *collection) isReplica() bool { return c.sh == nil }
+
+// createCollection builds a primary collection from a normalized spec.
+// Durable collections live under dataDir/name with WAL retention enabled
+// from creation (so followers bootstrap from LSN 0) and are synced
+// immediately so the shard meta pages are on the stream.
+func createCollection(spec CollectionSpec, dataDir string) (*collection, error) {
+	cfg := spec.config()
+	var (
+		sh  *sgtree.Sharded
+		err error
+	)
+	if spec.Durable {
+		if dataDir == "" {
+			return nil, fmt.Errorf("durable collections need a data directory (-data)")
+		}
+		dir := filepath.Join(dataDir, spec.Name)
+		sh, err = sgtree.NewShardedOnDir(cfg, spec.Shards, sgtree.Partitioning(spec.Partition), dir)
+		if err != nil {
+			return nil, err
+		}
+		sh.SetWALRetention(true)
+		if err := sh.Sync(); err != nil {
+			sh.Close()
+			return nil, err
+		}
+		raw, _ := json.MarshalIndent(spec, "", "  ")
+		if err := os.WriteFile(filepath.Join(dir, collectionSpecName), raw, 0o644); err != nil {
+			sh.Close()
+			return nil, err
+		}
+	} else {
+		sh, err = sgtree.NewSharded(cfg, spec.Shards, sgtree.Partitioning(spec.Partition))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &collection{spec: spec, sh: sh}, nil
+}
+
+// openCollections reopens every durable collection found under dataDir.
+// Reopening truncates each shard's log (recovery seals it), so previously
+// attached followers must re-seed — the stream endpoint tells them so.
+func openCollections(dataDir string) (map[string]*collection, error) {
+	cols := map[string]*collection{}
+	if dataDir == "" {
+		return cols, nil
+	}
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return cols, nil
+		}
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dataDir, e.Name(), collectionSpecName))
+		if err != nil {
+			continue // not a collection directory
+		}
+		var spec CollectionSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return nil, fmt.Errorf("collection %s: %w", e.Name(), err)
+		}
+		sh, err := sgtree.OpenShardedDir(spec.config(), filepath.Join(dataDir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("opening collection %s: %w", e.Name(), err)
+		}
+		sh.SetWALRetention(true)
+		cols[spec.Name] = &collection{spec: spec, sh: sh}
+	}
+	return cols, nil
+}
+
+// newReplicaCollection builds the follower-side state for a collection
+// described by the primary's manifest, with one empty replica per shard.
+func newReplicaCollection(spec CollectionSpec, dataDir string) (*collection, error) {
+	cfg := spec.config()
+	cfg.Durable = false // followers keep no WAL of their own
+	dir := filepath.Join(dataDir, spec.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &collection{spec: spec}
+	for i := 0; i < spec.Shards; i++ {
+		rep, err := sgtree.CreateReplica(cfg, filepath.Join(dir, fmt.Sprintf("shard-%03d.sgt", i)))
+		if err != nil {
+			for _, s := range c.shards {
+				s.rep.Close()
+			}
+			return nil, err
+		}
+		c.shards = append(c.shards, &replShard{rep: rep})
+	}
+	return c, nil
+}
+
+// close releases the collection's resources. Primary collections flush and
+// close their shards; replica shards just close their page files.
+func (c *collection) close() error {
+	if c.sh != nil {
+		return c.sh.Close()
+	}
+	var first error
+	for _, s := range c.shards {
+		s.mu.Lock()
+		if err := s.rep.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
+// view returns a queryable index over the collection, plus an unlock
+// function. On a primary it is the sharded index itself (queries run
+// lock-free over MVCC snapshots). On a replica it is a scatter-gather view
+// over the shards that have applied at least one batch, with every shard
+// read-locked until unlock — fencing the apply loop for the query's
+// duration.
+func (c *collection) view() (*sgtree.Sharded, func(), error) {
+	if c.sh != nil {
+		return c.sh, func() {}, nil
+	}
+	var locked []*replShard
+	unlock := func() {
+		for _, s := range locked {
+			s.mu.RUnlock()
+		}
+	}
+	var ixs []*sgtree.Index
+	for _, s := range c.shards {
+		s.mu.RLock()
+		locked = append(locked, s)
+		if ix := s.rep.Index(); ix != nil {
+			ixs = append(ixs, ix)
+		}
+	}
+	if len(ixs) == 0 {
+		unlock()
+		return nil, func() {}, nil // nothing applied yet: empty collection
+	}
+	view, err := sgtree.NewShardedView(ixs)
+	if err != nil {
+		unlock()
+		return nil, func() {}, err
+	}
+	return view, unlock, nil
+}
+
+// length returns the total indexed sets, taking replica read locks as
+// needed.
+func (c *collection) length() int {
+	if c.sh != nil {
+		return c.sh.Len()
+	}
+	n := 0
+	for _, s := range c.shards {
+		s.mu.RLock()
+		n += s.rep.Len()
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Write operations (primary only; the server rejects writes on replicas).
+
+type itemPayload struct {
+	ID    uint32 `json:"id"`
+	Items []int  `json:"items"`
+}
+
+func (c *collection) insert(items []itemPayload) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	for _, it := range items {
+		if err := c.sh.Insert(it.ID, it.Items); err != nil {
+			return err
+		}
+	}
+	return c.sh.Sync()
+}
+
+func (c *collection) delete(it itemPayload) (bool, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	found, err := c.sh.Delete(it.ID, it.Items)
+	if err != nil {
+		return false, err
+	}
+	return found, c.sh.Sync()
+}
+
+func (c *collection) bulkload(items []itemPayload) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	bulk := make([]sgtree.Item, len(items))
+	for i, it := range items {
+		bulk[i] = sgtree.Item{ID: it.ID, Items: it.Items}
+	}
+	if err := c.sh.BulkLoad(bulk); err != nil {
+		return err
+	}
+	return c.sh.Sync()
+}
+
+// Query operations, valid on both roles.
+
+func (c *collection) knn(ctx context.Context, items []int, k int) ([]sgtree.Match, sgtree.Stats, error) {
+	view, unlock, err := c.view()
+	if err != nil || view == nil {
+		return nil, sgtree.Stats{}, err
+	}
+	defer unlock()
+	return view.KNNContext(ctx, items, k)
+}
+
+func (c *collection) rangeSearch(ctx context.Context, items []int, eps float64) ([]sgtree.Match, sgtree.Stats, error) {
+	view, unlock, err := c.view()
+	if err != nil || view == nil {
+		return nil, sgtree.Stats{}, err
+	}
+	defer unlock()
+	return view.RangeSearchContext(ctx, items, eps)
+}
+
+func (c *collection) contains(ctx context.Context, items []int) ([]uint32, sgtree.Stats, error) {
+	view, unlock, err := c.view()
+	if err != nil || view == nil {
+		return nil, sgtree.Stats{}, err
+	}
+	defer unlock()
+	return view.ContainingContext(ctx, items)
+}

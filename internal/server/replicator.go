@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"sgtree"
+)
+
+// The replica side of replication: a poll loop that mirrors the primary's
+// durable collections. Each cycle it
+//
+//  1. fetches /repl/manifest and creates local replica state for any
+//     collection it has not seen yet, and
+//  2. for every shard, fetches /repl/stream from its applied LSN and
+//     applies the returned batch under the shard's write lock.
+//
+// The stream is idempotent full-page redo, so a crashed or restarted
+// follower just resumes from its checkpoint LSN. If the primary answers
+// 410 Gone the follower's position predates the primary's log (the
+// primary restarted and recovery truncated it) — the shard is re-seeded
+// from scratch and streams again from LSN 0.
+
+// followerID names this follower in the primary's /stats.
+func followerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "replica"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+func (s *Server) replicate() {
+	defer close(s.done)
+	id := followerID()
+	ticker := time.NewTicker(s.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		s.pollPrimary(id)
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// pollPrimary runs one replication cycle. Errors are recorded per shard
+// (or swallowed for manifest fetches — the next tick retries) rather than
+// stopping the loop: a briefly unreachable primary is normal.
+func (s *Server) pollPrimary(id string) {
+	specs, err := s.fetchManifest()
+	if err != nil {
+		return
+	}
+	for _, spec := range specs {
+		s.mu.RLock()
+		c := s.cols[spec.Name]
+		s.mu.RUnlock()
+		if c == nil {
+			c, err = newReplicaCollection(spec, s.cfg.DataDir)
+			if err != nil {
+				continue
+			}
+			s.mu.Lock()
+			s.cols[spec.Name] = c
+			s.mu.Unlock()
+		}
+		for i, shard := range c.shards {
+			s.pollShard(id, c, i, shard)
+		}
+	}
+}
+
+func (s *Server) fetchManifest() ([]CollectionSpec, error) {
+	resp, err := s.client.Get(s.cfg.Primary + "/repl/manifest")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("manifest: HTTP %d", resp.StatusCode)
+	}
+	var body struct {
+		Collections []CollectionSpec `json:"collections"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	sort.Slice(body.Collections, func(i, j int) bool {
+		return body.Collections[i].Name < body.Collections[j].Name
+	})
+	return body.Collections, nil
+}
+
+// pollShard fetches and applies one shard's pending log. The shard lock is
+// held only for the apply, not the network fetch.
+func (s *Server) pollShard(id string, c *collection, idx int, shard *replShard) {
+	from := func() uint64 {
+		shard.mu.RLock()
+		defer shard.mu.RUnlock()
+		return shard.rep.AppliedLSN()
+	}()
+	u := fmt.Sprintf("%s/repl/stream?collection=%s&shard=%d&from=%d&follower=%s",
+		s.cfg.Primary, url.QueryEscape(c.spec.Name), idx, from, url.QueryEscape(id))
+	resp, err := s.client.Get(u)
+	if err != nil {
+		s.noteShardErr(shard, err)
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		s.reseedShard(c, idx, shard)
+		return
+	default:
+		s.noteShardErr(shard, fmt.Errorf("stream: HTTP %d", resp.StatusCode))
+		return
+	}
+	var sr streamResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		s.noteShardErr(shard, err)
+		return
+	}
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	shard.primaryLSN = sr.CommitLSN
+	if err := shard.rep.ApplyRedo(sr.Records, sr.CommitLSN); err != nil {
+		shard.lastErr = err.Error()
+		return
+	}
+	shard.lastErr = ""
+}
+
+func (s *Server) noteShardErr(shard *replShard, err error) {
+	shard.mu.Lock()
+	shard.lastErr = err.Error()
+	shard.mu.Unlock()
+}
+
+// reseedShard rebuilds a shard replica from scratch after the primary
+// truncated its log: the old page file no longer matches any prefix the
+// primary can ship, so redo must restart from LSN 0.
+func (s *Server) reseedShard(c *collection, idx int, shard *replShard) {
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	path := filepath.Join(s.cfg.DataDir, c.spec.Name, fmt.Sprintf("shard-%03d.sgt", idx))
+	shard.rep.Close()
+	os.Remove(path)
+	cfg := c.spec.config()
+	cfg.Durable = false
+	rep, err := sgtree.CreateReplica(cfg, path)
+	if err != nil {
+		shard.lastErr = fmt.Sprintf("reseed: %v", err)
+		return
+	}
+	shard.rep = rep
+	shard.primaryLSN = 0
+	shard.lastErr = "reseeded; streaming from 0"
+}

@@ -1,0 +1,582 @@
+// Package server is the sgserved HTTP/JSON service: named collections of
+// sets, each partitioned across shard signature trees, with scatter-gather
+// kNN/range/containment queries, WAL-shipped read replicas, and a /stats
+// endpoint exposing per-shard counters and replication lag.
+//
+// Endpoints (see DESIGN.md §11 and the README quickstart):
+//
+//	POST /collections                     create a collection (primary)
+//	GET  /collections                     list collection names
+//	GET  /collections/{name}              spec + size
+//	POST /collections/{name}/insert       {"id":1,"items":[...]} or {"batch":[...]}
+//	POST /collections/{name}/delete      {"id":1,"items":[...]} → {"found":bool}
+//	POST /collections/{name}/bulkload     {"items":[{"id","items"},...]}
+//	POST /collections/{name}/knn          {"items":[...],"k":10}
+//	POST /collections/{name}/range        {"items":[...],"eps":2.5}
+//	POST /collections/{name}/contains     {"items":[...]}
+//	GET  /healthz                         liveness probe
+//	GET  /stats                           metrics document
+//	GET  /repl/manifest                   replicable collections (primary)
+//	GET  /repl/stream?...                 committed WAL records (primary)
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"sgtree"
+	"sgtree/internal/storage"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DataDir is the root directory for durable collections and replica
+	// stores. Required for durable collections and for replica mode.
+	DataDir string
+	// Primary, when non-empty, puts the server in replica mode: it
+	// mirrors every durable collection of the primary at this base URL
+	// (e.g. "http://host:7701") and serves read-only traffic.
+	Primary string
+	// PollInterval is the replication poll cadence (default 200ms).
+	PollInterval time.Duration
+	// Client performs the replica's HTTP requests (default
+	// http.DefaultClient); tests inject httptest clients here.
+	Client *http.Client
+}
+
+// Server is one sgserved process, primary or replica.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	met    *metrics
+	client *http.Client
+
+	mu   sync.RWMutex
+	cols map[string]*collection
+
+	// Primary: follower positions, keyed collection → follower id →
+	// per-shard applied LSNs (reported on each stream poll).
+	followMu  sync.Mutex
+	followers map[string]map[string][]uint64
+
+	// Replica: poll loop lifecycle.
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a server, reopening durable collections under DataDir
+// (primary mode) or starting the replication poll loop (replica mode).
+func New(cfg Config) (*Server, error) {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Millisecond
+	}
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		met:       newMetrics(),
+		client:    cfg.Client,
+		cols:      map[string]*collection{},
+		followers: map[string]map[string][]uint64{},
+	}
+	if s.client == nil {
+		s.client = http.DefaultClient
+	}
+	if cfg.Primary == "" {
+		cols, err := openCollections(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cols = cols
+	} else {
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("server: replica mode needs a data directory")
+		}
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+	}
+	s.routes()
+	if s.stop != nil {
+		go s.replicate()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops replication (replica mode) and closes every collection. On a
+// primary this is each durable shard's final commit point.
+func (s *Server) Close() error {
+	if s.stop != nil {
+		close(s.stop)
+		<-s.done
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for name, c := range s.cols {
+		if err := c.close(); err != nil && first == nil {
+			first = fmt.Errorf("collection %s: %w", name, err)
+		}
+	}
+	s.cols = map[string]*collection{}
+	return first
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": s.role()})
+	})
+	s.mux.HandleFunc("GET /stats", s.timed("stats", s.handleStats))
+	s.mux.HandleFunc("POST /collections", s.timed("create", s.primaryOnly(s.handleCreate)))
+	s.mux.HandleFunc("GET /collections", s.timed("list", s.handleList))
+	s.mux.HandleFunc("GET /collections/{name}", s.timed("describe", s.withCollection(s.handleDescribe)))
+	s.mux.HandleFunc("POST /collections/{name}/insert", s.timed("insert", s.primaryOnly(s.withCollection(s.handleInsert))))
+	s.mux.HandleFunc("POST /collections/{name}/delete", s.timed("delete", s.primaryOnly(s.withCollection(s.handleDelete))))
+	s.mux.HandleFunc("POST /collections/{name}/bulkload", s.timed("bulkload", s.primaryOnly(s.withCollection(s.handleBulkload))))
+	s.mux.HandleFunc("POST /collections/{name}/knn", s.timed("knn", s.withCollection(s.handleKNN)))
+	s.mux.HandleFunc("POST /collections/{name}/range", s.timed("range", s.withCollection(s.handleRange)))
+	s.mux.HandleFunc("POST /collections/{name}/contains", s.timed("contains", s.withCollection(s.handleContains)))
+	s.mux.HandleFunc("GET /repl/manifest", s.timed("repl", s.primaryOnly(s.handleManifest)))
+	s.mux.HandleFunc("GET /repl/stream", s.timed("repl", s.primaryOnly(s.handleStream)))
+}
+
+func (s *Server) role() string {
+	if s.cfg.Primary != "" {
+		return "replica"
+	}
+	return "primary"
+}
+
+// --- plumbing ---
+
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		writeJSON(w, ae.status, map[string]string{"error": ae.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+}
+
+// statusWriter captures the status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// timed wraps a handler with per-endpoint latency/error accounting.
+func (s *Server) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.met.record(endpoint, time.Since(start), sw.status >= 400)
+	}
+}
+
+// primaryOnly rejects mutating and replication-source endpoints on
+// replicas.
+func (s *Server) primaryOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Primary != "" {
+			writeJSON(w, http.StatusForbidden, map[string]string{"error": "read-only replica; send writes to the primary"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// withCollection resolves the {name} path segment.
+func (s *Server) withCollection(h func(w http.ResponseWriter, r *http.Request, c *collection)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		s.mu.RLock()
+		c := s.cols[name]
+		s.mu.RUnlock()
+		if c == nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no collection %q", name)})
+			return
+		}
+		h(w, r, c)
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// --- collection handlers ---
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec CollectionSpec
+	if err := decodeBody(r, &spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cols[spec.Name]; ok {
+		writeErr(w, &apiError{status: http.StatusConflict, msg: fmt.Sprintf("collection %q already exists", spec.Name)})
+		return
+	}
+	c, err := createCollection(spec, s.cfg.DataDir)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	s.cols[spec.Name] = c
+	writeJSON(w, http.StatusCreated, spec)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.cols))
+	for name := range s.cols {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"collections": names})
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, _ *http.Request, c *collection) {
+	writeJSON(w, http.StatusOK, map[string]any{"spec": c.spec, "len": c.length(), "role": s.role()})
+}
+
+type insertRequest struct {
+	ID    *uint32       `json:"id,omitempty"`
+	Items []int         `json:"items,omitempty"`
+	Batch []itemPayload `json:"batch,omitempty"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, c *collection) {
+	var req insertRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	batch := req.Batch
+	if req.ID != nil {
+		batch = append(batch, itemPayload{ID: *req.ID, Items: req.Items})
+	}
+	if len(batch) == 0 {
+		writeErr(w, badRequest("provide id+items or a batch"))
+		return
+	}
+	if err := c.insert(batch); err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"inserted": len(batch), "len": c.length()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, c *collection) {
+	var it itemPayload
+	if err := decodeBody(r, &it); err != nil {
+		writeErr(w, err)
+		return
+	}
+	found, err := c.delete(it)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"found": found, "len": c.length()})
+}
+
+func (s *Server) handleBulkload(w http.ResponseWriter, r *http.Request, c *collection) {
+	var req struct {
+		Items []itemPayload `json:"items"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := c.bulkload(req.Items); err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"loaded": len(req.Items), "len": c.length()})
+}
+
+type queryRequest struct {
+	Items []int   `json:"items"`
+	K     int     `json:"k,omitempty"`
+	Eps   float64 `json:"eps,omitempty"`
+}
+
+type matchJSON struct {
+	ID       uint32  `json:"id"`
+	Distance float64 `json:"distance"`
+}
+
+type queryStatsJSON struct {
+	NodesAccessed int `json:"nodes_accessed"`
+	DataCompared  int `json:"data_compared"`
+	EntriesPruned int `json:"entries_pruned"`
+}
+
+func toQueryStats(st sgtree.Stats) queryStatsJSON {
+	return queryStatsJSON{NodesAccessed: st.NodesAccessed, DataCompared: st.DataCompared, EntriesPruned: st.EntriesPruned}
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request, c *collection) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	res, st, err := c.knn(r.Context(), req.Items, req.K)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	out := make([]matchJSON, len(res))
+	for i, m := range res {
+		out[i] = matchJSON{ID: m.ID, Distance: m.Distance}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out, "stats": toQueryStats(st)})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, c *collection) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, st, err := c.rangeSearch(r.Context(), req.Items, req.Eps)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	out := make([]matchJSON, len(res))
+	for i, m := range res {
+		out[i] = matchJSON{ID: m.ID, Distance: m.Distance}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out, "stats": toQueryStats(st)})
+}
+
+func (s *Server) handleContains(w http.ResponseWriter, r *http.Request, c *collection) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	ids, st, err := c.contains(r.Context(), req.Items)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	if ids == nil {
+		ids = []uint32{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "stats": toQueryStats(st)})
+}
+
+// --- replication source (primary) ---
+
+// handleManifest lists the collections a follower should mirror: the
+// durable ones (in-memory collections have no log to ship).
+func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	var specs []CollectionSpec
+	for _, c := range s.cols {
+		if c.spec.Durable {
+			specs = append(specs, c.spec)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"collections": specs})
+}
+
+// streamResponse is one replication poll's answer.
+type streamResponse struct {
+	Records   []storage.StreamRecord `json:"records"`
+	CommitLSN uint64                 `json:"commit_lsn"`
+	// Resync tells the follower its position predates the log (the
+	// primary truncated, e.g. after a restart): it must re-seed from
+	// scratch rather than keep polling.
+	Resync bool `json:"resync,omitempty"`
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("collection")
+	shard, err := strconv.Atoi(q.Get("shard"))
+	if err != nil {
+		writeErr(w, badRequest("bad shard: %v", err))
+		return
+	}
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeErr(w, badRequest("bad from: %v", err))
+		return
+	}
+	s.mu.RLock()
+	c := s.cols[name]
+	s.mu.RUnlock()
+	if c == nil || c.isReplica() {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no collection %q", name)})
+		return
+	}
+	if shard < 0 || shard >= c.sh.NumShards() {
+		writeErr(w, badRequest("shard %d out of range (collection has %d)", shard, c.sh.NumShards()))
+		return
+	}
+	wal := c.sh.Shard(shard).Tree().Pool().WAL()
+	if wal == nil {
+		writeErr(w, badRequest("collection %q is not durable", name))
+		return
+	}
+	recs, lsn, err := wal.StreamCommitted(from)
+	if errors.Is(err, storage.ErrWALTruncated) {
+		writeJSON(w, http.StatusGone, streamResponse{Resync: true})
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if follower := q.Get("follower"); follower != "" {
+		s.noteFollower(name, follower, shard, c.sh.NumShards(), from)
+	}
+	if recs == nil {
+		recs = []storage.StreamRecord{}
+	}
+	writeJSON(w, http.StatusOK, streamResponse{Records: recs, CommitLSN: lsn})
+}
+
+// noteFollower records a follower's reported position for /stats.
+func (s *Server) noteFollower(col, follower string, shard, nShards int, applied uint64) {
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
+	byF := s.followers[col]
+	if byF == nil {
+		byF = map[string][]uint64{}
+		s.followers[col] = byF
+	}
+	pos := byF[follower]
+	if len(pos) != nShards {
+		pos = make([]uint64, nShards)
+	}
+	pos[shard] = applied
+	byF[follower] = pos
+}
+
+// --- stats ---
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	report := StatsReport{
+		Role:          s.role(),
+		UptimeSeconds: time.Since(s.met.start).Seconds(),
+		Endpoints:     s.met.snapshot(),
+		Collections:   map[string]CollectionStats{},
+	}
+	s.mu.RLock()
+	cols := make(map[string]*collection, len(s.cols))
+	for name, c := range s.cols {
+		cols[name] = c
+	}
+	s.mu.RUnlock()
+
+	var lagTotal uint64
+	for name, c := range cols {
+		cs := CollectionStats{
+			Shards:    c.spec.Shards,
+			Partition: c.spec.Partition,
+			Durable:   c.spec.Durable,
+			Len:       c.length(),
+		}
+		if !c.isReplica() {
+			commitLSNs := make([]uint64, c.sh.NumShards())
+			for i := 0; i < c.sh.NumShards(); i++ {
+				st := shardStatsOf(c.sh.Shard(i))
+				commitLSNs[i] = st.CommitLSN
+				cs.Shard = append(cs.Shard, st)
+			}
+			s.followMu.Lock()
+			for follower, pos := range s.followers[name] {
+				fs := FollowerStats{AppliedLSNs: pos}
+				for i, p := range pos {
+					if i < len(commitLSNs) && commitLSNs[i] > p {
+						fs.Lag += commitLSNs[i] - p
+					}
+				}
+				if cs.Followers == nil {
+					cs.Followers = map[string]FollowerStats{}
+				}
+				cs.Followers[follower] = fs
+			}
+			s.followMu.Unlock()
+		} else {
+			for _, rs := range c.shards {
+				rs.mu.RLock()
+				st := ShardStats{
+					AppliedLSN: rs.rep.AppliedLSN(),
+					PrimaryLSN: rs.primaryLSN,
+					LastError:  rs.lastErr,
+					Len:        rs.rep.Len(),
+				}
+				if ix := rs.rep.Index(); ix != nil {
+					full := shardStatsOf(ix)
+					full.AppliedLSN, full.PrimaryLSN, full.LastError = st.AppliedLSN, st.PrimaryLSN, st.LastError
+					st = full
+				}
+				rs.mu.RUnlock()
+				if st.PrimaryLSN > st.AppliedLSN {
+					st.Lag = st.PrimaryLSN - st.AppliedLSN
+				}
+				lagTotal += st.Lag
+				cs.Shard = append(cs.Shard, st)
+			}
+		}
+		report.Collections[name] = cs
+	}
+	if s.role() == "replica" {
+		report.ReplicationLagTotal = &lagTotal
+	}
+	writeJSON(w, http.StatusOK, report)
+}

@@ -1,0 +1,447 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+)
+
+func testSets(n, universe int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]int, n)
+	for i := range sets {
+		size := 3 + rng.Intn(12)
+		seen := map[int]bool{}
+		for len(seen) < size {
+			seen[rng.Intn(universe)] = true
+		}
+		for item := range seen {
+			sets[i] = append(sets[i], item)
+		}
+		sort.Ints(sets[i])
+	}
+	return sets
+}
+
+// bruteDistance is the Hamming (symmetric-difference) oracle.
+func bruteDistance(a, b []int) float64 {
+	in := map[int]int{}
+	for _, x := range a {
+		in[x] |= 1
+	}
+	for _, x := range b {
+		in[x] |= 2
+	}
+	d := 0
+	for _, m := range in {
+		if m != 3 {
+			d++
+		}
+	}
+	return float64(d)
+}
+
+// bruteKNN returns the sorted distance sequence of the true k nearest.
+func bruteKNN(byID map[uint32][]int, q []int, k int) []float64 {
+	var ds []float64
+	for _, items := range byID {
+		ds = append(ds, bruteDistance(q, items))
+	}
+	sort.Float64s(ds)
+	if len(ds) > k {
+		ds = ds[:k]
+	}
+	return ds
+}
+
+// do runs one JSON request against the test server and decodes the answer.
+func do(t *testing.T, client *http.Client, method, url string, body, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+type knnResponse struct {
+	Matches []matchJSON    `json:"matches"`
+	Stats   queryStatsJSON `json:"stats"`
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Health.
+	var health map[string]string
+	if code := do(t, client, "GET", ts.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if health["role"] != "primary" {
+		t.Fatalf("role %q, want primary", health["role"])
+	}
+
+	// Bad specs are rejected.
+	if code := do(t, client, "POST", ts.URL+"/collections", CollectionSpec{Name: "Bad Name", Universe: 100}, nil); code != 400 {
+		t.Fatalf("bad name: HTTP %d, want 400", code)
+	}
+	if code := do(t, client, "POST", ts.URL+"/collections", CollectionSpec{Name: "c", Universe: 0}, nil); code != 400 {
+		t.Fatalf("zero universe: HTTP %d, want 400", code)
+	}
+
+	spec := CollectionSpec{Name: "quest", Universe: 100, Shards: 3, Compress: true, PageSize: 1024, MaxNodeEntries: 8}
+	if code := do(t, client, "POST", ts.URL+"/collections", spec, nil); code != 201 {
+		t.Fatalf("create: HTTP %d, want 201", code)
+	}
+	if code := do(t, client, "POST", ts.URL+"/collections", spec, nil); code != 409 {
+		t.Fatalf("duplicate create: HTTP %d, want 409", code)
+	}
+
+	// Load data through the batch insert path.
+	sets := testSets(200, 100, 7)
+	byID := map[uint32][]int{}
+	var batch []itemPayload
+	for i, s := range sets {
+		batch = append(batch, itemPayload{ID: uint32(i), Items: s})
+		byID[uint32(i)] = s
+	}
+	var ins struct {
+		Inserted int `json:"inserted"`
+		Len      int `json:"len"`
+	}
+	if code := do(t, client, "POST", ts.URL+"/collections/quest/insert", map[string]any{"batch": batch}, &ins); code != 200 {
+		t.Fatalf("insert: HTTP %d", code)
+	}
+	if ins.Len != len(sets) {
+		t.Fatalf("len %d after insert, want %d", ins.Len, len(sets))
+	}
+
+	// Delete one and make sure it vanishes.
+	var del struct {
+		Found bool `json:"found"`
+	}
+	if code := do(t, client, "POST", ts.URL+"/collections/quest/delete", itemPayload{ID: 5, Items: sets[5]}, &del); code != 200 || !del.Found {
+		t.Fatalf("delete: HTTP %d found=%v", code, del.Found)
+	}
+	delete(byID, 5)
+
+	// kNN against the brute-force oracle.
+	queries := testSets(10, 100, 21)
+	for qi, q := range queries {
+		var kr knnResponse
+		if code := do(t, client, "POST", ts.URL+"/collections/quest/knn", queryRequest{Items: q, K: 8}, &kr); code != 200 {
+			t.Fatalf("knn: HTTP %d", code)
+		}
+		want := bruteKNN(byID, q, 8)
+		if len(kr.Matches) != len(want) {
+			t.Fatalf("query %d: %d matches, want %d", qi, len(kr.Matches), len(want))
+		}
+		for i, m := range kr.Matches {
+			if m.Distance != want[i] {
+				t.Fatalf("query %d rank %d: dist %g, want %g", qi, i, m.Distance, want[i])
+			}
+			items, ok := byID[m.ID]
+			if !ok {
+				t.Fatalf("query %d: returned deleted/unknown id %d", qi, m.ID)
+			}
+			if d := bruteDistance(q, items); d != m.Distance {
+				t.Fatalf("query %d: id %d reported %g, true %g", qi, m.ID, m.Distance, d)
+			}
+		}
+
+		// Range: every id within eps, none outside.
+		var rr knnResponse
+		if code := do(t, client, "POST", ts.URL+"/collections/quest/range", queryRequest{Items: q, Eps: 6}, &rr); code != 200 {
+			t.Fatalf("range: HTTP %d", code)
+		}
+		got := map[uint32]bool{}
+		for _, m := range rr.Matches {
+			got[m.ID] = true
+			if bruteDistance(q, byID[m.ID]) > 6 {
+				t.Fatalf("query %d: range returned id %d beyond eps", qi, m.ID)
+			}
+		}
+		for id, items := range byID {
+			if bruteDistance(q, items) <= 6 && !got[id] {
+				t.Fatalf("query %d: range missed id %d", qi, id)
+			}
+		}
+
+		// Containment oracle.
+		var cr struct {
+			IDs []uint32 `json:"ids"`
+		}
+		if code := do(t, client, "POST", ts.URL+"/collections/quest/contains", queryRequest{Items: q[:2]}, &cr); code != 200 {
+			t.Fatalf("contains: HTTP %d", code)
+		}
+		wantIDs := map[uint32]bool{}
+		for id, items := range byID {
+			have := map[int]bool{}
+			for _, x := range items {
+				have[x] = true
+			}
+			if have[q[0]] && have[q[1]] {
+				wantIDs[id] = true
+			}
+		}
+		if len(cr.IDs) != len(wantIDs) {
+			t.Fatalf("query %d: contains %d ids, want %d", qi, len(cr.IDs), len(wantIDs))
+		}
+		for _, id := range cr.IDs {
+			if !wantIDs[id] {
+				t.Fatalf("query %d: contains returned wrong id %d", qi, id)
+			}
+		}
+	}
+
+	// Unknown collection → 404.
+	if code := do(t, client, "POST", ts.URL+"/collections/nope/knn", queryRequest{Items: queries[0], K: 3}, nil); code != 404 {
+		t.Fatalf("unknown collection: HTTP %d, want 404", code)
+	}
+
+	// Stats document sanity.
+	var report StatsReport
+	if code := do(t, client, "GET", ts.URL+"/stats", nil, &report); code != 200 {
+		t.Fatalf("stats: HTTP %d", code)
+	}
+	if report.Role != "primary" {
+		t.Fatalf("stats role %q", report.Role)
+	}
+	cs, ok := report.Collections["quest"]
+	if !ok {
+		t.Fatal("stats: collection missing")
+	}
+	if cs.Shards != 3 || len(cs.Shard) != 3 {
+		t.Fatalf("stats: %d shards, %d shard entries", cs.Shards, len(cs.Shard))
+	}
+	if cs.Len != len(byID) {
+		t.Fatalf("stats len %d, want %d", cs.Len, len(byID))
+	}
+	var queriesSeen int64
+	for _, sh := range cs.Shard {
+		queriesSeen += sh.Queries
+	}
+	if queriesSeen == 0 {
+		t.Fatal("stats: no shard recorded any queries")
+	}
+	// len(queries) successes plus the unknown-collection 404 above.
+	if ep := report.Endpoints["knn"]; ep.Count != int64(len(queries))+1 || ep.Errors != 1 {
+		t.Fatalf("stats: knn endpoint count=%d errors=%d, want %d/1", ep.Count, ep.Errors, len(queries)+1)
+	}
+}
+
+func TestDurableCollectionsReopen(t *testing.T) {
+	dataDir := t.TempDir()
+	srv, err := New(Config{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	spec := CollectionSpec{Name: "dur", Universe: 100, Shards: 2, Durable: true, Compress: true, PageSize: 1024, MaxNodeEntries: 8}
+	if code := do(t, client, "POST", ts.URL+"/collections", spec, nil); code != 201 {
+		t.Fatalf("create: HTTP %d", code)
+	}
+	sets := testSets(60, 100, 13)
+	var batch []itemPayload
+	for i, s := range sets {
+		batch = append(batch, itemPayload{ID: uint32(i), Items: s})
+	}
+	if code := do(t, client, "POST", ts.URL+"/collections/dur/insert", map[string]any{"batch": batch}, nil); code != 200 {
+		t.Fatal("insert failed")
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := New(Config{DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	var desc struct {
+		Len int `json:"len"`
+	}
+	if code := do(t, ts2.Client(), "GET", ts2.URL+"/collections/dur", nil, &desc); code != 200 {
+		t.Fatalf("describe after reopen: HTTP %d", code)
+	}
+	if desc.Len != len(sets) {
+		t.Fatalf("len %d after reopen, want %d", desc.Len, len(sets))
+	}
+}
+
+// TestReplicationEndToEnd is the acceptance scenario: a replica server
+// attaches to a primary, catches up (lag 0 in /stats), serves the same
+// answers, sees later writes after shipping, and keeps serving correct
+// reads after the primary is killed.
+func TestReplicationEndToEnd(t *testing.T) {
+	primaryDir, replicaDir := t.TempDir(), t.TempDir()
+	prim, err := New(Config{DataDir: primaryDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(prim.Handler())
+	pc := pts.Client()
+
+	spec := CollectionSpec{Name: "repl", Universe: 100, Shards: 2, Durable: true, Compress: true, PageSize: 1024, MaxNodeEntries: 8}
+	if code := do(t, pc, "POST", pts.URL+"/collections", spec, nil); code != 201 {
+		t.Fatalf("create: HTTP %d", code)
+	}
+	sets := testSets(150, 100, 31)
+	byID := map[uint32][]int{}
+	push := func(lo, hi int) {
+		t.Helper()
+		var batch []itemPayload
+		for i := lo; i < hi; i++ {
+			batch = append(batch, itemPayload{ID: uint32(i), Items: sets[i]})
+			byID[uint32(i)] = sets[i]
+		}
+		if code := do(t, pc, "POST", pts.URL+"/collections/repl/insert", map[string]any{"batch": batch}, nil); code != 200 {
+			t.Fatalf("insert [%d,%d): HTTP %d", lo, hi, code)
+		}
+	}
+	push(0, 80)
+
+	rep, err := New(Config{DataDir: replicaDir, Primary: pts.URL, PollInterval: 20 * time.Millisecond, Client: pc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rep.Handler())
+	defer rts.Close()
+	rc := rts.Client()
+
+	// Writes on the replica are rejected.
+	if code := do(t, rc, "POST", rts.URL+"/collections/repl/insert", map[string]any{"id": 999, "items": sets[0]}, nil); code != 403 {
+		t.Fatalf("replica write: HTTP %d, want 403", code)
+	}
+
+	// waitCaughtUp polls the replica's /stats until replication lag is 0
+	// and the collection holds the expected number of sets.
+	waitCaughtUp := func(wantLen int) StatsReport {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var report StatsReport
+			if code := do(t, rc, "GET", rts.URL+"/stats", nil, &report); code != 200 {
+				t.Fatalf("replica stats: HTTP %d", code)
+			}
+			cs, ok := report.Collections["repl"]
+			if ok && cs.Len == wantLen &&
+				report.ReplicationLagTotal != nil && *report.ReplicationLagTotal == 0 {
+				return report
+			}
+			if time.Now().After(deadline) {
+				raw, _ := json.Marshal(report)
+				t.Fatalf("replica never caught up to len %d: %s", wantLen, raw)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	report := waitCaughtUp(80)
+	if report.Role != "replica" {
+		t.Fatalf("stats role %q", report.Role)
+	}
+	if got := len(report.Collections["repl"].Shard); got != 2 {
+		t.Fatalf("replica tracks %d shards, want 2", got)
+	}
+
+	// checkKNN verifies a server's kNN answers against the oracle.
+	checkKNN := func(client *http.Client, base string, k int) {
+		t.Helper()
+		for qi, q := range testSets(8, 100, 77) {
+			var kr knnResponse
+			if code := do(t, client, "POST", base+"/collections/repl/knn", queryRequest{Items: q, K: k}, &kr); code != 200 {
+				t.Fatalf("knn: HTTP %d", code)
+			}
+			want := bruteKNN(byID, q, k)
+			if len(kr.Matches) != len(want) {
+				t.Fatalf("query %d: %d matches, want %d", qi, len(kr.Matches), len(want))
+			}
+			for i, m := range kr.Matches {
+				if m.Distance != want[i] {
+					t.Fatalf("query %d rank %d: dist %g, want %g", qi, i, m.Distance, want[i])
+				}
+				items, ok := byID[m.ID]
+				if !ok {
+					t.Fatalf("query %d: unknown id %d", qi, m.ID)
+				}
+				if d := bruteDistance(q, items); d != m.Distance {
+					t.Fatalf("query %d: id %d reported %g, true %g", qi, m.ID, m.Distance, d)
+				}
+			}
+		}
+	}
+	checkKNN(rc, rts.URL, 10)
+
+	// The primary's /stats should list this follower as caught up.
+	var preport StatsReport
+	if code := do(t, pc, "GET", pts.URL+"/stats", nil, &preport); code != 200 {
+		t.Fatal("primary stats failed")
+	}
+	followers := preport.Collections["repl"].Followers
+	if len(followers) != 1 {
+		t.Fatalf("primary sees %d followers, want 1", len(followers))
+	}
+
+	// More writes, including deletes, become visible after shipping.
+	push(80, 150)
+	for i := 0; i < 10; i++ {
+		id := uint32(i * 7)
+		if code := do(t, pc, "POST", pts.URL+"/collections/repl/delete", itemPayload{ID: id, Items: sets[id]}, nil); code != 200 {
+			t.Fatalf("delete %d: HTTP %d", id, code)
+		}
+		delete(byID, id)
+	}
+	waitCaughtUp(140)
+	checkKNN(rc, rts.URL, 10)
+
+	// Kill the primary. The replica must keep serving correct reads.
+	pts.Close()
+	if err := prim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // let a poll cycle fail against the dead primary
+	checkKNN(rc, rts.URL, 10)
+	var health map[string]string
+	if code := do(t, rc, "GET", rts.URL+"/healthz", nil, &health); code != 200 || health["role"] != "replica" {
+		t.Fatalf("replica health after primary death: HTTP %d role %q", code, health["role"])
+	}
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

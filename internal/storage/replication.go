@@ -1,0 +1,191 @@
+package storage
+
+// WAL shipping for read replicas. A primary's write-ahead log doubles as a
+// physical replication stream: every committed batch is a self-contained
+// sequence of full page after-images plus free-list releases, so a follower
+// that applies the batches in LSN order to its own page file reconstructs a
+// byte-equivalent store — continuous redo, the same operation crash
+// recovery performs, minus the undo (only committed, synced batches ship).
+//
+// The flow is pull-based:
+//
+//	primary  : wal.SetRetain(true)            // keep the log; no truncation
+//	           recs, lsn, _ := wal.StreamCommitted(follower.applied)
+//	follower : pager.ApplyRedo(recs, lsn)     // redo + header LSN, synced
+//
+// Retention is the contract that makes bootstrap trivial: with truncation
+// disabled from the store's creation, a follower starts from an empty
+// CreateFilePager file and applies the stream from LSN 0 — no base-snapshot
+// shipping. A log that has already been truncated (recovery seals it, and a
+// checkpoint truncates it when retention is off) cannot serve a follower
+// whose position predates the truncation point; StreamCommitted then
+// returns ErrWALTruncated and the follower must be re-seeded.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrWALTruncated reports that a follower requested records that were
+// truncated away by a checkpoint or a recovery seal; the follower cannot
+// catch up from this log and must be re-seeded from a fresh copy.
+var ErrWALTruncated = errors.New("storage: WAL records truncated; follower must re-seed")
+
+// Stream record kinds, mirroring the on-disk WAL record kinds.
+const (
+	// StreamUpdate carries a full page after-image.
+	StreamUpdate = walRecUpdate
+	// StreamFree records a page released to the free list.
+	StreamFree = walRecFree
+)
+
+// StreamRecord is one replication-stream record: an update carrying a full
+// page after-image, or a free-list release (Image nil). Records ship in
+// strictly ascending LSN order and only from committed, synced batches.
+type StreamRecord struct {
+	Kind  byte   `json:"kind"`
+	Page  PageID `json:"page"`
+	LSN   uint64 `json:"lsn"`
+	Image []byte `json:"image,omitempty"`
+}
+
+// SetRetain toggles log retention. While retained, Reset (the checkpoint
+// truncation) is a no-op, so every committed record since the log's base
+// LSN stays available to StreamCommitted; the log grows until retention is
+// lifted and the next checkpoint truncates it. Enable retention before the
+// first commit a follower must see — records truncated earlier are gone.
+func (w *WAL) SetRetain(on bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.retain = on
+}
+
+// BaseLSN returns the LSN the log starts after: records with LSN ≤ base
+// were truncated away by a checkpoint or recovery seal.
+func (w *WAL) BaseLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.base
+}
+
+// LastCommitLSN returns the LSN of the most recent commit record (0 when
+// the log holds none since its base).
+func (w *WAL) LastCommitLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastCommit
+}
+
+// StreamCommitted returns the update and free records of every committed,
+// synced batch with LSN > from, in ascending LSN order with before-images
+// stripped, together with the LSN of the last commit record covering them.
+// A follower applies the records with FilePager.ApplyRedo and advances its
+// position to the returned commit LSN. When from predates the log's base
+// (the records were truncated away), it returns ErrWALTruncated.
+func (w *WAL) StreamCommitted(from uint64) ([]StreamRecord, uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if from < w.base {
+		return nil, 0, fmt.Errorf("%w (position %d, log base %d)", ErrWALTruncated, from, w.base)
+	}
+	recs, _, _, _, err := scanWAL(w.f, w.pageSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Ship only batches sealed by a commit record that is itself durable:
+	// an appended-but-unsynced commit may still be lost to a crash, and a
+	// follower must never get ahead of what the primary can recover.
+	commitLSN := uint64(0)
+	last := -1
+	for i, r := range recs {
+		if r.kind == walRecCommit && r.lsn <= w.syncedLSN {
+			last, commitLSN = i, r.lsn
+		}
+	}
+	var out []StreamRecord
+	for _, r := range recs[:last+1] {
+		if r.lsn <= from {
+			continue
+		}
+		switch r.kind {
+		case walRecUpdate:
+			out = append(out, StreamRecord{Kind: StreamUpdate, Page: r.page, LSN: r.lsn, Image: r.payload[w.pageSize:]})
+		case walRecFree:
+			out = append(out, StreamRecord{Kind: StreamFree, Page: r.page, LSN: r.lsn})
+		}
+	}
+	if commitLSN < from {
+		commitLSN = from
+	}
+	return out, commitLSN, nil
+}
+
+// ApplyRedo applies one shipped batch of committed records to the page
+// file: update images are written in order (growing the file as pages
+// appear), free releases are chained onto the free list, and the header's
+// checkpoint LSN advances to commitLSN, synced. Records with LSN ≤ the
+// current checkpoint LSN are skipped, so re-delivery after a partial apply
+// is harmless.
+//
+// The free chain is maintained conservatively: when an update arrives for a
+// page sitting on the follower's free chain (the primary reallocated it),
+// the page is popped if it is the chain head — the common case, since the
+// primary allocates head-first — and otherwise the whole chain is dropped.
+// Leaking free pages is benign; handing a live page out twice after a
+// promotion is not.
+func (p *FilePager) ApplyRedo(recs []StreamRecord, commitLSN uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inChain := p.freeChainMembers()
+	next := make([]byte, 4)
+	for _, r := range recs {
+		if r.Page == InvalidPage || r.LSN <= p.checkpointLSN {
+			continue
+		}
+		switch r.Kind {
+		case StreamUpdate:
+			if len(r.Image) != p.pageSize {
+				return fmt.Errorf("storage: redo image size %d != page size %d", len(r.Image), p.pageSize)
+			}
+			if int(r.Page) > p.numPages {
+				p.numPages = int(r.Page)
+			}
+			if inChain[r.Page] {
+				if p.freeHead == r.Page {
+					if _, err := p.f.ReadAt(next, p.offset(r.Page)); err != nil {
+						return fmt.Errorf("storage: reading free chain: %w", err)
+					}
+					p.freeHead = PageID(binary.LittleEndian.Uint32(next))
+					p.nFree--
+					delete(inChain, r.Page)
+				} else {
+					p.freeHead = InvalidPage
+					p.nFree = 0
+					inChain = map[PageID]bool{}
+				}
+			}
+			if _, err := p.f.WriteAt(r.Image, p.offset(r.Page)); err != nil {
+				return err
+			}
+		case StreamFree:
+			if int(r.Page) > p.numPages || inChain[r.Page] {
+				continue
+			}
+			binary.LittleEndian.PutUint32(next, uint32(p.freeHead))
+			if _, err := p.f.WriteAt(next, p.offset(r.Page)); err != nil {
+				return err
+			}
+			p.freeHead = r.Page
+			p.nFree++
+			inChain[r.Page] = true
+		}
+	}
+	if commitLSN > p.checkpointLSN {
+		p.checkpointLSN = commitLSN
+	}
+	if err := p.writeHeader(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}

@@ -1,0 +1,251 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+const replTestPageSize = 256
+
+// newReplPrimary builds a file pager + retained WAL + buffer pool in dir.
+func newReplPrimary(t *testing.T, dir string) (*FilePager, *WAL, *BufferPool) {
+	t.Helper()
+	path := filepath.Join(dir, "primary.sgt")
+	p, err := CreateFilePager(path, replTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := CreateWAL(WALPath(path), replTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetRetain(true)
+	b := NewBufferPool(p, 16)
+	b.AttachWAL(w)
+	return p, w, b
+}
+
+// catchUp streams everything past applied from w and applies it to follower.
+func catchUp(t *testing.T, w *WAL, follower *FilePager, applied uint64) uint64 {
+	t.Helper()
+	recs, lsn, err := w.StreamCommitted(applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplyRedo(recs, lsn); err != nil {
+		t.Fatal(err)
+	}
+	return lsn
+}
+
+// pagesEqual asserts the follower serves the same content as the primary for
+// every live page.
+func pagesEqual(t *testing.T, primary, follower *FilePager, pages []PageID) {
+	t.Helper()
+	want := make([]byte, replTestPageSize)
+	got := make([]byte, replTestPageSize)
+	for _, id := range pages {
+		if err := primary.ReadPage(id, want); err != nil {
+			t.Fatalf("primary page %d: %v", id, err)
+		}
+		if err := follower.ReadPage(id, got); err != nil {
+			t.Fatalf("follower page %d: %v", id, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("page %d differs between primary and follower", id)
+		}
+	}
+}
+
+func TestStreamCommittedApplyRedoRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p, w, b := newReplPrimary(t, dir)
+	defer p.Close()
+	defer w.Close()
+
+	follower, err := CreateFilePager(filepath.Join(dir, "follower.sgt"), replTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	// Batch 1: three pages written and committed.
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, buf, err := b.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range buf {
+			buf[j] = byte(i + 1)
+		}
+		b.Unpin(id, true)
+		ids = append(ids, id)
+	}
+	if err := b.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	applied := catchUp(t, w, follower, 0)
+	if applied == 0 || applied != w.LastCommitLSN() {
+		t.Fatalf("applied LSN %d, last commit %d", applied, w.LastCommitLSN())
+	}
+	pagesEqual(t, p, follower, ids)
+
+	// Batch 2: rewrite one page, free another, commit, catch up again.
+	buf, err := b.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range buf {
+		buf[j] = 0xAB
+	}
+	b.Unpin(ids[0], true)
+	if err := b.Discard(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	applied = catchUp(t, w, follower, applied)
+	pagesEqual(t, p, follower, []PageID{ids[0], ids[2]})
+	if got, want := follower.NumPages(), p.NumPages(); got != want {
+		t.Fatalf("follower live pages %d, primary %d", got, want)
+	}
+
+	// Batch 3: reallocate the freed page (free-chain pop must replicate).
+	id, nbuf, err := b.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ids[1] {
+		t.Fatalf("allocation did not reuse freed page: got %d, want %d", id, ids[1])
+	}
+	for j := range nbuf {
+		nbuf[j] = 0xCD
+	}
+	b.Unpin(id, true)
+	if err := b.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	applied = catchUp(t, w, follower, applied)
+	pagesEqual(t, p, follower, ids)
+	if got, want := follower.NumPages(), p.NumPages(); got != want {
+		t.Fatalf("follower live pages %d, primary %d after realloc", got, want)
+	}
+
+	// Nothing new: stream from the applied position is empty, LSN holds.
+	recs, lsn, err := w.StreamCommitted(applied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || lsn != applied {
+		t.Fatalf("idle stream returned %d records, LSN %d (applied %d)", len(recs), lsn, applied)
+	}
+
+	// Re-delivery of an already-applied batch is harmless.
+	recs, lsn, err = w.StreamCommitted(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplyRedo(recs, lsn); err != nil {
+		t.Fatal(err)
+	}
+	pagesEqual(t, p, follower, ids)
+}
+
+func TestStreamCommittedExcludesUnsyncedTail(t *testing.T) {
+	dir := t.TempDir()
+	p, w, b := newReplPrimary(t, dir)
+	defer p.Close()
+	defer w.Close()
+
+	id, buf, err := b.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 1
+	b.Unpin(id, true)
+	if err := b.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	durable := w.LastCommitLSN()
+
+	// Append a commit record without syncing: it must not ship.
+	img := make([]byte, replTestPageSize)
+	if err := w.AppendUpdate(id, img, img); err != nil {
+		t.Fatal(err)
+	}
+	unsynced, err := w.AppendCommit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, lsn, err := w.StreamCommitted(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != durable {
+		t.Fatalf("stream advanced to unsynced commit %d; durable horizon is %d (got %d)", unsynced, durable, lsn)
+	}
+	for _, r := range recs {
+		if r.LSN > durable {
+			t.Fatalf("record LSN %d past durable horizon %d shipped", r.LSN, durable)
+		}
+	}
+	// After a sync the tail becomes durable and ships.
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, lsn, err = w.StreamCommitted(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != unsynced {
+		t.Fatalf("post-sync stream LSN %d, want %d", lsn, unsynced)
+	}
+}
+
+func TestStreamCommittedTruncated(t *testing.T) {
+	dir := t.TempDir()
+	p, w, b := newReplPrimary(t, dir)
+	defer p.Close()
+	defer w.Close()
+
+	id, buf, err := b.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 1
+	b.Unpin(id, true)
+	if err := b.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lifting retention lets the next checkpoint truncate the log; a
+	// follower at LSN 0 can no longer catch up from it.
+	w.SetRetain(false)
+	buf, err = b.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 2
+	b.Unpin(id, true)
+	if err := b.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if w.BaseLSN() == 0 {
+		t.Fatal("checkpoint did not truncate after retention was lifted")
+	}
+	if _, _, err := w.StreamCommitted(0); !errors.Is(err, ErrWALTruncated) {
+		t.Fatalf("stream from truncated position: err = %v, want ErrWALTruncated", err)
+	}
+	// From the truncation point itself the stream works (and is empty).
+	recs, _, err := w.StreamCommitted(w.BaseLSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("expected empty stream at base, got %d records", len(recs))
+	}
+}

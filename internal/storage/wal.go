@@ -100,6 +100,12 @@ type WAL struct {
 	lsn      uint64
 	unsynced bool
 	stats    WALStats
+
+	// Replication state (see replication.go).
+	base       uint64 // header base LSN: records ≤ base were truncated away
+	syncedLSN  uint64 // last LSN known durable (advanced by Sync/Reset)
+	lastCommit uint64 // LSN of the most recent commit record
+	retain     bool   // retention on: Reset keeps the log for followers
 }
 
 func encodeWALHeader(pageSize int, baseLSN uint64) []byte {
@@ -167,11 +173,17 @@ func OpenWALFile(f File, pageSize int) (*WAL, error) {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	_, end, lsn, err := scanWAL(f, pageSize)
+	recs, end, base, lsn, err := scanWAL(f, pageSize)
 	if err != nil {
 		return nil, err
 	}
-	return &WAL{f: f, pageSize: pageSize, end: end, lsn: lsn}, nil
+	w := &WAL{f: f, pageSize: pageSize, end: end, lsn: lsn, base: base, syncedLSN: lsn}
+	for _, r := range recs {
+		if r.kind == walRecCommit {
+			w.lastCommit = r.lsn
+		}
+	}
+	return w, nil
 }
 
 // PageSize returns the page size the log was created with.
@@ -256,6 +268,7 @@ func (w *WAL) AppendCommit() (uint64, error) {
 		return 0, err
 	}
 	w.stats.Commits++
+	w.lastCommit = w.lsn
 	return w.lsn, nil
 }
 
@@ -270,6 +283,7 @@ func (w *WAL) Sync() error {
 		return err
 	}
 	w.unsynced = false
+	w.syncedLSN = w.lsn
 	w.stats.Syncs++
 	return nil
 }
@@ -277,10 +291,14 @@ func (w *WAL) Sync() error {
 // Reset truncates the log after a checkpoint: every logged page image is
 // durably in the page store, so the records are obsolete. Future records
 // continue the LSN sequence from lsn, persisted in the header so sequence
-// numbers stay monotonic across restarts.
+// numbers stay monotonic across restarts. While retention is on (SetRetain)
+// Reset is a no-op: the records stay available to replication followers.
 func (w *WAL) Reset(lsn uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.retain {
+		return nil
+	}
 	if err := w.f.Truncate(walHeaderSize); err != nil {
 		return err
 	}
@@ -294,7 +312,9 @@ func (w *WAL) Reset(lsn uint64) error {
 	if lsn > w.lsn {
 		w.lsn = lsn
 	}
+	w.base = lsn
 	w.unsynced = false
+	w.syncedLSN = w.lsn
 	w.stats.Checkpoints++
 	return nil
 }
@@ -323,23 +343,25 @@ type walRecord struct {
 // scanWAL parses records sequentially, stopping (without error) at the
 // first torn, corrupt, out-of-sequence or malformed record — everything
 // from that point on is untrusted tail. It returns the parsed records, the
-// offset just past the last valid record, and its LSN. Only a bad file
-// header is an error: then nothing in the log can be trusted.
-func scanWAL(f File, pageSize int) (recs []walRecord, end int64, lastLSN uint64, err error) {
+// offset just past the last valid record, the header's base LSN, and the
+// last valid record's LSN. Only a bad file header is an error: then nothing
+// in the log can be trusted.
+func scanWAL(f File, pageSize int) (recs []walRecord, end int64, base, lastLSN uint64, err error) {
 	hdr := make([]byte, walHeaderSize)
 	if _, err := f.ReadAt(hdr, 0); err != nil {
-		return nil, 0, 0, fmt.Errorf("storage: reading WAL header: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("storage: reading WAL header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != walMagic {
-		return nil, 0, 0, fmt.Errorf("storage: not a WAL file")
+		return nil, 0, 0, 0, fmt.Errorf("storage: not a WAL file")
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != walVersion {
-		return nil, 0, 0, fmt.Errorf("storage: unsupported WAL version %d", v)
+		return nil, 0, 0, 0, fmt.Errorf("storage: unsupported WAL version %d", v)
 	}
 	if got := int(binary.LittleEndian.Uint32(hdr[8:])); got != pageSize {
-		return nil, 0, 0, fmt.Errorf("storage: WAL page size %d != pager page size %d", got, pageSize)
+		return nil, 0, 0, 0, fmt.Errorf("storage: WAL page size %d != pager page size %d", got, pageSize)
 	}
-	lsn := binary.LittleEndian.Uint64(hdr[16:])
+	base = binary.LittleEndian.Uint64(hdr[16:])
+	lsn := base
 	off := int64(walHeaderSize)
 	rh := make([]byte, walRecHeaderSize)
 	for {
@@ -350,14 +372,14 @@ func scanWAL(f File, pageSize int) (recs []walRecord, end int64, lastLSN uint64,
 		switch rh[0] {
 		case walRecUpdate:
 			if plen != 2*pageSize {
-				return recs, off, lsn, nil
+				return recs, off, base, lsn, nil
 			}
 		case walRecFree, walRecCommit:
 			if plen != 0 {
-				return recs, off, lsn, nil
+				return recs, off, base, lsn, nil
 			}
 		default:
-			return recs, off, lsn, nil
+			return recs, off, base, lsn, nil
 		}
 		rlsn := binary.LittleEndian.Uint64(rh[8:])
 		if rlsn != lsn+1 {
@@ -384,7 +406,7 @@ func scanWAL(f File, pageSize int) (recs []walRecord, end int64, lastLSN uint64,
 		lsn = rlsn
 		off += int64(walRecHeaderSize + plen)
 	}
-	return recs, off, lsn, nil
+	return recs, off, base, lsn, nil
 }
 
 // RecoveryStats summarizes one WAL recovery pass.
@@ -472,7 +494,7 @@ func (p *FilePager) recoverFromWAL(wf File) (RecoveryStats, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var st RecoveryStats
-	recs, end, _, err := scanWAL(wf, p.pageSize)
+	recs, end, _, _, err := scanWAL(wf, p.pageSize)
 	if err != nil {
 		return st, err
 	}

@@ -408,7 +408,7 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	recs, _, last, err := scanWAL(osFile{f}, walTestPageSize)
+	recs, _, _, last, err := scanWAL(osFile{f}, walTestPageSize)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,99 @@
+package sgtree
+
+import (
+	"fmt"
+
+	"sgtree/internal/core"
+	"sgtree/internal/storage"
+)
+
+// Replica is a read-only copy of one durable shard, kept current by
+// applying the primary's replication stream (storage.WAL.StreamCommitted →
+// storage.FilePager.ApplyRedo). It starts from an empty page file and
+// catches up from LSN 0 — the primary retains its log from creation (see
+// Sharded.SetWALRetention), so no base snapshot ships.
+//
+// The caller must fence ApplyRedo against queries (the server uses one
+// RWMutex per shard: queries share-lock, apply exclusive-locks): applying
+// rewrites pages under the open tree, and the refresh that installs the
+// new version requires query quiescence. Writing through Index() corrupts
+// the replica — it serves reads only.
+type Replica struct {
+	cfg   Config
+	path  string
+	pager *storage.FilePager
+	ix    *Index // nil until the first applied batch ships the meta page
+}
+
+// CreateReplica creates an empty replica store at path (truncating it).
+// Queries against Index() return nothing until the first batch applies.
+func CreateReplica(cfg Config, path string) (*Replica, error) {
+	if cfg.Universe <= 0 {
+		return nil, fmt.Errorf("sgtree: Universe must be positive")
+	}
+	pageSize := cfg.PageSize
+	if pageSize == 0 {
+		pageSize = storage.DefaultPageSize
+	}
+	p, err := storage.CreateFilePager(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{cfg: cfg, path: path, pager: p}, nil
+}
+
+// ApplyRedo applies one shipped batch (continuous redo) and refreshes the
+// replica's tree so subsequent queries serve the new version. An empty
+// batch with a larger commit LSN just advances the applied position.
+func (r *Replica) ApplyRedo(recs []storage.StreamRecord, commitLSN uint64) error {
+	if len(recs) == 0 && commitLSN <= r.pager.CheckpointLSN() {
+		return nil
+	}
+	if err := r.pager.ApplyRedo(recs, commitLSN); err != nil {
+		return err
+	}
+	if r.ix == nil {
+		// The first applied batch carries the tree's meta page (page 1,
+		// committed at creation); until a batch arrives there is no tree
+		// to open.
+		if r.pager.NumPages() == 0 {
+			return nil
+		}
+		tree, err := core.Open(r.pager, 1, r.cfg.coreOptions())
+		if err != nil {
+			return fmt.Errorf("sgtree: opening replica tree: %w", err)
+		}
+		r.ix = &Index{
+			cfg:    r.cfg,
+			tree:   tree,
+			mapper: r.cfg.mapper(),
+			exact:  r.cfg.SignatureLength == 0 || r.cfg.SignatureLength >= r.cfg.Universe,
+		}
+		return nil
+	}
+	return r.ix.tree.Refresh()
+}
+
+// AppliedLSN returns the commit LSN of the last applied batch — the
+// replica's position in the primary's log. Replication lag is the
+// primary's last commit LSN minus this.
+func (r *Replica) AppliedLSN() uint64 { return r.pager.CheckpointLSN() }
+
+// Index returns the replica as a queryable Index, or nil before the first
+// batch has been applied. The returned index must only be read.
+func (r *Replica) Index() *Index { return r.ix }
+
+// Len returns the number of indexed sets (0 before the first batch).
+func (r *Replica) Len() int {
+	if r.ix == nil {
+		return 0
+	}
+	return r.ix.Len()
+}
+
+// Close closes the replica's page file. The tree is discarded without a
+// sync: a replica never has local changes worth flushing — its state is
+// exactly the applied stream, already durable in the page file.
+func (r *Replica) Close() error {
+	return r.pager.Close()
+}

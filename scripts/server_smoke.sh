@@ -1,0 +1,108 @@
+#!/bin/sh
+# Server smoke test: build sgserved, bring up a primary with a 2-shard
+# durable collection and a WAL-shipped read replica, probe health, writes,
+# queries and /stats (replication lag must reach 0), then shut both down
+# cleanly and gate on their exit statuses. Uses sgserved's own -call probe
+# mode as the HTTP client, so the script needs nothing beyond a Go
+# toolchain and POSIX sh.
+set -eu
+
+PRIMARY_PORT=${PRIMARY_PORT:-7731}
+REPLICA_PORT=${REPLICA_PORT:-7732}
+PRIMARY=http://localhost:$PRIMARY_PORT
+REPLICA=http://localhost:$REPLICA_PORT
+
+work=$(mktemp -d)
+prim_pid=""
+repl_pid=""
+cleanup() {
+    [ -n "$repl_pid" ] && kill "$repl_pid" 2>/dev/null || true
+    [ -n "$prim_pid" ] && kill "$prim_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "server_smoke: FAIL: $*" >&2
+    echo "--- primary log ---" >&2; cat "$work/primary.log" >&2 || true
+    echo "--- replica log ---" >&2; cat "$work/replica.log" >&2 || true
+    exit 1
+}
+
+call() { "$work/sgserved" -call "$@"; }
+
+wait_http() { # wait_http URL DESC
+    i=0
+    until call "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 100 ] && fail "$2 never became healthy"
+        sleep 0.1
+    done
+}
+
+echo "== build"
+go build -o "$work/sgserved" ./cmd/sgserved
+
+echo "== start primary"
+"$work/sgserved" -addr ":$PRIMARY_PORT" -data "$work/primary" >"$work/primary.log" 2>&1 &
+prim_pid=$!
+wait_http "$PRIMARY/healthz" primary
+
+echo "== create 2-shard durable collection"
+call "$PRIMARY/collections" \
+    -d '{"name":"smoke","universe":100,"shards":2,"durable":true,"compress":true}' \
+    | grep -q '"smoke"' || fail "create collection"
+
+echo "== insert 60 sets"
+batch=""
+i=0
+while [ "$i" -lt 60 ]; do
+    [ -n "$batch" ] && batch="$batch,"
+    batch="$batch{\"id\":$i,\"items\":[$((i % 100)),$(((i + 7) % 100)),$(((i + 23) % 100))]}"
+    i=$((i + 1))
+done
+call "$PRIMARY/collections/smoke/insert" -d "{\"batch\":[$batch]}" \
+    | grep -q '"len": 60' || fail "insert batch"
+
+echo "== start replica"
+"$work/sgserved" -addr ":$REPLICA_PORT" -data "$work/replica" \
+    -replica-of "$PRIMARY" -poll 100ms >"$work/replica.log" 2>&1 &
+repl_pid=$!
+wait_http "$REPLICA/healthz" replica
+
+echo "== wait for replication lag 0"
+i=0
+until call "$REPLICA/stats" 2>/dev/null | grep -q '"replication_lag_total": 0' &&
+    call "$REPLICA/collections/smoke" 2>/dev/null | grep -q '"len": 60'; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && fail "replica never caught up (lag != 0 or len != 60)"
+    sleep 0.1
+done
+
+echo "== query primary and replica, answers must match"
+q='{"items":[1,8,24],"k":5}'
+call "$PRIMARY/collections/smoke/knn" -d "$q" >"$work/primary.knn" || fail "primary knn"
+call "$REPLICA/collections/smoke/knn" -d "$q" >"$work/replica.knn" || fail "replica knn"
+grep -q '"matches"' "$work/primary.knn" || fail "primary knn returned no matches field"
+grep -q '"id"' "$work/primary.knn" || fail "primary knn returned no results"
+# The replica answers from the same committed state, so even the stats
+# block (nodes read, pruned) matches byte for byte.
+diff "$work/primary.knn" "$work/replica.knn" >&2 || fail "primary and replica answers differ"
+
+echo "== replica rejects writes"
+if call "$REPLICA/collections/smoke/insert" -d '{"id":999,"items":[1,2,3]}' >/dev/null 2>&1; then
+    fail "replica accepted a write"
+fi
+
+echo "== primary /stats lists the follower"
+call "$PRIMARY/stats" | grep -q '"followers"' || fail "primary stats has no followers block"
+
+echo "== clean shutdown"
+kill -TERM "$repl_pid"
+wait "$repl_pid" || fail "replica exit status $?"
+repl_pid=""
+kill -TERM "$prim_pid"
+wait "$prim_pid" || fail "primary exit status $?"
+prim_pid=""
+
+echo "server_smoke: PASS"

@@ -628,9 +628,11 @@ type NeighborIterator struct {
 	it *core.NNIterator
 }
 
-// Close releases the iterator's snapshot without draining it. It is
-// idempotent, safe after exhaustion, and leaves Stats readable; further
-// Next calls report exhaustion.
+// Close releases the iterator's snapshot without draining it. The
+// snapshot pin is released exactly once: Close is idempotent, so calling
+// it again (or after exhaustion, or via a redundant defer) is a no-op and
+// never double-releases the pin. Stats remain readable after Close;
+// further Next calls report exhaustion.
 func (n *NeighborIterator) Close() { n.it.Close() }
 
 // Next returns the next match; ok is false when the index is exhausted.

@@ -1,0 +1,465 @@
+package sgtree
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"sgtree/internal/core"
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+)
+
+// Partitioning selects how a sharded index routes each id to a shard tree.
+type Partitioning string
+
+const (
+	// HashPartitioning routes by a hash of the id: uniform load, no
+	// locality. The default.
+	HashPartitioning Partitioning = "hash"
+	// GrayPartitioning routes by the set's position in the gray-code order
+	// bulk loading packs leaves in: each shard covers a contiguous
+	// gray-code interval, so similar sets cluster on the same shard.
+	// Boundaries are established by BulkLoad (splitting the sorted input
+	// into equal contiguous runs); until then every set routes to shard 0.
+	GrayPartitioning Partitioning = "gray"
+)
+
+// shardManifest is the on-disk description of a sharded directory, stored
+// as manifest.json next to the shard files. Gray boundaries are hex-encoded
+// words (JSON numbers would round 64-bit values through float64).
+type shardManifest struct {
+	Version    int          `json:"version"`
+	Shards     int          `json:"shards"`
+	Partition  Partitioning `json:"partition"`
+	Boundaries [][]string   `json:"boundaries,omitempty"`
+}
+
+const shardManifestName = "manifest.json"
+
+// shardFile names shard i's pager file inside a sharded directory.
+func shardFile(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.sgt", i))
+}
+
+// Sharded is one logical index partitioned across several shard trees.
+// Every write routes to exactly one shard; every query fans out to all
+// shards in parallel and merges (see core.ShardedKNN and friends), so
+// results are identical to a single unsharded Index over the same data —
+// sharding is a throughput and scale-out decision, not a semantic one.
+//
+// Like Index, concurrent queries are safe against each other and against
+// one concurrent writer per shard; the caller serializes writers (the
+// server does this with one write lock per collection).
+type Sharded struct {
+	cfg   Config
+	part  Partitioning
+	dir   string // "" for in-memory
+	shard []*Index
+	trees []*core.Tree
+	// bounds[i] is the smallest gray key of shard i+1; len(bounds) is
+	// NumShards-1 once GrayPartitioning boundaries exist, 0 before.
+	bounds []core.GrayKey
+}
+
+// NewSharded creates an in-memory index partitioned across n shards.
+func NewSharded(cfg Config, n int, part Partitioning) (*Sharded, error) {
+	sh, err := newSharded(cfg, n, part, "")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		ix, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sh.attach(ix)
+	}
+	return sh, nil
+}
+
+// NewShardedOnDir creates an index of n shard files inside dir (created if
+// missing), plus a manifest.json recording the partitioning. With
+// cfg.Durable each shard keeps a write-ahead log next to its pager file.
+func NewShardedOnDir(cfg Config, n int, part Partitioning, dir string) (*Sharded, error) {
+	sh, err := newSharded(cfg, n, part, dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		ix, err := NewOnFile(cfg, shardFile(dir, i))
+		if err != nil {
+			sh.Close()
+			return nil, err
+		}
+		sh.attach(ix)
+	}
+	if err := sh.writeManifest(); err != nil {
+		sh.Close()
+		return nil, err
+	}
+	return sh, nil
+}
+
+// OpenShardedDir reopens a sharded directory created by NewShardedOnDir.
+// The configuration must match creation; shard count, partitioning and
+// gray boundaries come from the manifest. With cfg.Durable each shard's
+// write-ahead log is replayed first.
+func OpenShardedDir(cfg Config, dir string) (*Sharded, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, shardManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m shardManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("sgtree: parsing shard manifest: %w", err)
+	}
+	if m.Version != 1 || m.Shards <= 0 {
+		return nil, fmt.Errorf("sgtree: unsupported shard manifest (version %d, %d shards)", m.Version, m.Shards)
+	}
+	sh, err := newSharded(cfg, m.Shards, m.Partition, dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, words := range m.Boundaries {
+		key := make(core.GrayKey, len(words))
+		for j, w := range words {
+			v, err := strconv.ParseUint(w, 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sgtree: shard manifest boundary: %w", err)
+			}
+			key[j] = v
+		}
+		sh.bounds = append(sh.bounds, key)
+	}
+	for i := 0; i < m.Shards; i++ {
+		ix, err := OpenFile(cfg, shardFile(dir, i))
+		if err != nil {
+			sh.Close()
+			return nil, err
+		}
+		sh.attach(ix)
+	}
+	return sh, nil
+}
+
+// NewShardedView wraps already-open indexes as one queryable sharded
+// collection without taking ownership: queries scatter-gather across them,
+// but Close/Sync/writes remain the caller's responsibility (writes through
+// a view would bypass routing). A replication follower uses this to serve
+// reads over its per-shard replicas.
+func NewShardedView(ixs []*Index) (*Sharded, error) {
+	if len(ixs) == 0 {
+		return nil, fmt.Errorf("sgtree: sharded view needs at least one index")
+	}
+	sh := &Sharded{cfg: ixs[0].cfg, part: HashPartitioning}
+	for _, ix := range ixs {
+		sh.attach(ix)
+	}
+	return sh, nil
+}
+
+func newSharded(cfg Config, n int, part Partitioning, dir string) (*Sharded, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sgtree: shard count %d must be positive", n)
+	}
+	switch part {
+	case "":
+		part = HashPartitioning
+	case HashPartitioning, GrayPartitioning:
+	default:
+		return nil, fmt.Errorf("sgtree: unknown partitioning %q", part)
+	}
+	return &Sharded{cfg: cfg, part: part, dir: dir}, nil
+}
+
+func (sh *Sharded) attach(ix *Index) {
+	sh.shard = append(sh.shard, ix)
+	sh.trees = append(sh.trees, ix.tree)
+}
+
+func (sh *Sharded) writeManifest() error {
+	if sh.dir == "" {
+		return nil
+	}
+	m := shardManifest{Version: 1, Shards: len(sh.shard), Partition: sh.part}
+	for _, key := range sh.bounds {
+		words := make([]string, len(key))
+		for j, w := range key {
+			words[j] = strconv.FormatUint(w, 16)
+		}
+		m.Boundaries = append(m.Boundaries, words)
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(sh.dir, shardManifestName), raw, 0o644)
+}
+
+// hashShard is FNV-1a over the id's four little-endian bytes mod n — a
+// fixed function, so the same id routes identically across processes and
+// restarts (deletes must find what inserts stored).
+func hashShard(id uint32, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < 4; i++ {
+		h ^= id & 0xff
+		h *= 16777619
+		id >>= 8
+	}
+	return int(h % uint32(n))
+}
+
+// shardFor routes one (id, signature) pair to its shard index.
+func (sh *Sharded) shardFor(id uint32, s signature.Signature) int {
+	if sh.part == HashPartitioning {
+		return hashShard(id, len(sh.shard))
+	}
+	key := core.GrayCodeKey(s)
+	// Shard = number of boundaries ≤ key; bounds is sorted ascending.
+	lo, hi := 0, len(sh.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if core.CompareGrayKeys(sh.bounds[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// NumShards returns the number of shard trees.
+func (sh *Sharded) NumShards() int { return len(sh.shard) }
+
+// Shard exposes shard i as an Index, for stats and advanced use. Writing
+// through it directly bypasses routing and breaks delete routing — query
+// and inspect only.
+func (sh *Sharded) Shard(i int) *Index { return sh.shard[i] }
+
+// Partitioning returns the routing policy.
+func (sh *Sharded) Partitioning() Partitioning { return sh.part }
+
+// Exact reports whether distances are exact (see Index.Exact).
+func (sh *Sharded) Exact() bool { return sh.shard[0].exact }
+
+// Len returns the total number of indexed sets across all shards.
+func (sh *Sharded) Len() int {
+	n := 0
+	for _, ix := range sh.shard {
+		n += ix.Len()
+	}
+	return n
+}
+
+// Insert adds a set under the given id to its shard.
+func (sh *Sharded) Insert(id uint32, items []int) error {
+	s, err := sh.shard[0].sig(items)
+	if err != nil {
+		return err
+	}
+	return sh.trees[sh.shardFor(id, s)].Insert(s, dataset.TID(id))
+}
+
+// Delete removes the set previously inserted under the id with exactly
+// these items, reporting whether it was found. Routing is deterministic,
+// so the delete lands on the shard the insert did.
+func (sh *Sharded) Delete(id uint32, items []int) (bool, error) {
+	s, err := sh.shard[0].sig(items)
+	if err != nil {
+		return false, err
+	}
+	return sh.trees[sh.shardFor(id, s)].Delete(s, dataset.TID(id))
+}
+
+// BulkLoad replaces the contents of every shard with the given items.
+// Under hash partitioning items group by id hash. Under gray partitioning
+// the items are sorted into gray-code order and cut into NumShards
+// contiguous runs (cuts fall only between distinct keys, so routing by the
+// recorded boundaries always finds what bulk loading stored), and the
+// boundaries are persisted to the manifest.
+func (sh *Sharded) BulkLoad(items []Item) error {
+	n := len(sh.shard)
+	sigs := make([]signature.Signature, len(items))
+	for i, it := range items {
+		s, err := sh.shard[0].sig(it.Items)
+		if err != nil {
+			return fmt.Errorf("item %d: %w", i, err)
+		}
+		sigs[i] = s
+	}
+	groups := make([][]core.BulkItem, n)
+	if sh.part == GrayPartitioning {
+		keys := make([]core.GrayKey, len(items))
+		order := make([]int, len(items))
+		for i := range items {
+			keys[i] = core.GrayCodeKey(sigs[i])
+			order[i] = i
+		}
+		sortByGrayKey(order, keys)
+		sh.bounds = nil
+		cut := 0
+		for s := 0; s < n; s++ {
+			end := (s + 1) * len(order) / n
+			if s == n-1 {
+				end = len(order)
+			}
+			// Keep equal keys together: a cut inside a run of equal keys
+			// would route later deletes of the run's head to the wrong
+			// shard.
+			for end < len(order) && end > cut &&
+				core.CompareGrayKeys(keys[order[end]], keys[order[end-1]]) == 0 {
+				end++
+			}
+			if s > 0 {
+				if cut < len(order) {
+					sh.bounds = append(sh.bounds, keys[order[cut]])
+				} else {
+					sh.bounds = append(sh.bounds, maxGrayKey(keys))
+				}
+			}
+			for _, idx := range order[cut:end] {
+				groups[s] = append(groups[s], core.BulkItem{Sig: sigs[idx], TID: dataset.TID(items[idx].ID)})
+			}
+			cut = end
+		}
+	} else {
+		for i, it := range items {
+			s := hashShard(it.ID, n)
+			groups[s] = append(groups[s], core.BulkItem{Sig: sigs[i], TID: dataset.TID(it.ID)})
+		}
+	}
+	for i, g := range groups {
+		if err := sh.trees[i].BulkLoad(g); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return sh.writeManifest()
+}
+
+// sortByGrayKey sorts order (indexes into keys) into ascending gray-key
+// order, ties broken by position for determinism.
+func sortByGrayKey(order []int, keys []core.GrayKey) {
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if c := core.CompareGrayKeys(keys[a], keys[b]); c != 0 {
+			return c < 0
+		}
+		return a < b
+	})
+}
+
+// maxGrayKey returns a key no smaller than any in keys (used when a
+// trailing shard receives no items: its boundary pins it empty).
+func maxGrayKey(keys []core.GrayKey) core.GrayKey {
+	if len(keys) == 0 {
+		return nil
+	}
+	max := keys[0]
+	for _, k := range keys[1:] {
+		if core.CompareGrayKeys(k, max) > 0 {
+			max = k
+		}
+	}
+	return max
+}
+
+// KNN returns the k nearest sets across all shards, merged and sorted by
+// (distance, id) — the same answer an unsharded index gives.
+func (sh *Sharded) KNN(query []int, k int) ([]Match, Stats, error) {
+	return sh.KNNContext(context.Background(), query, k)
+}
+
+// KNNContext is KNN with cancellation.
+func (sh *Sharded) KNNContext(ctx context.Context, query []int, k int) ([]Match, Stats, error) {
+	s, err := sh.shard[0].sig(query)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, st, err := core.ShardedKNN(ctx, sh.trees, s, k, 0)
+	return toMatches(res), toStats(st), err
+}
+
+// RangeSearch returns every set within eps across all shards.
+func (sh *Sharded) RangeSearch(query []int, eps float64) ([]Match, Stats, error) {
+	return sh.RangeSearchContext(context.Background(), query, eps)
+}
+
+// RangeSearchContext is RangeSearch with cancellation.
+func (sh *Sharded) RangeSearchContext(ctx context.Context, query []int, eps float64) ([]Match, Stats, error) {
+	s, err := sh.shard[0].sig(query)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, st, err := core.ShardedRange(ctx, sh.trees, s, eps, 0)
+	return toMatches(res), toStats(st), err
+}
+
+// Containing returns the ids of all sets containing every query item,
+// across all shards, sorted by id.
+func (sh *Sharded) Containing(items []int) ([]uint32, Stats, error) {
+	return sh.ContainingContext(context.Background(), items)
+}
+
+// ContainingContext is Containing with cancellation.
+func (sh *Sharded) ContainingContext(ctx context.Context, items []int) ([]uint32, Stats, error) {
+	s, err := sh.shard[0].sig(items)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	ids, st, err := core.ShardedContainment(ctx, sh.trees, s, 0)
+	return toIDs(ids), toStats(st), err
+}
+
+// Sync flushes every shard. On durable shards each Sync is that shard's
+// atomic commit point; a clean shard's commit is a no-op, so syncing all
+// shards after a single-shard write is cheap.
+func (sh *Sharded) Sync() error {
+	for i, ix := range sh.shard {
+		if err := ix.Sync(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every shard, including the underlying pager
+// files.
+func (sh *Sharded) Close() error {
+	var first error
+	for i, ix := range sh.shard {
+		if err := ix.Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+		if p := ix.tree.Pool().Pager(); p != nil {
+			if err := p.Close(); err != nil && first == nil {
+				first = fmt.Errorf("shard %d pager: %w", i, err)
+			}
+		}
+		if w := ix.tree.Pool().WAL(); w != nil {
+			if err := w.Close(); err != nil && first == nil {
+				first = fmt.Errorf("shard %d wal: %w", i, err)
+			}
+		}
+	}
+	return first
+}
+
+// SetWALRetention toggles write-ahead-log retention on every durable
+// shard (see storage.WAL.SetRetain). A replication primary enables it
+// before the first commit so followers can bootstrap from LSN 0; shards
+// without a WAL are skipped.
+func (sh *Sharded) SetWALRetention(on bool) {
+	for _, ix := range sh.shard {
+		if w := ix.tree.Pool().WAL(); w != nil {
+			w.SetRetain(on)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package sgtree
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// trueDistance computes the Hamming (symmetric-difference) distance
+// between two item sets — the oracle for kNN tie checking.
+func trueDistance(a, b []int) float64 {
+	in := map[int]int{}
+	for _, x := range a {
+		in[x] |= 1
+	}
+	for _, x := range b {
+		in[x] |= 2
+	}
+	d := 0
+	for _, m := range in {
+		if m != 3 {
+			d++
+		}
+	}
+	return float64(d)
+}
+
+// TestShardedMatchesUnsharded is the scatter-gather correctness property:
+// for both partitionings, a sharded index answers kNN, range and
+// containment identically to one unsharded index over the same data —
+// modulo id choice inside a tie at the k-th kNN distance, where the
+// distance sequence must still match and every returned id must really be
+// at its reported distance.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	const universe = 100
+	sets := randomSets(300, universe, 11)
+	for _, part := range []Partitioning{HashPartitioning, GrayPartitioning} {
+		t.Run(string(part), func(t *testing.T) {
+			whole, err := New(testConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := NewSharded(testConfig(), 3, part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Bulk-load half (establishes gray boundaries), insert the
+			// rest dynamically, then delete a few — exercising routing
+			// across all three write paths.
+			var bulk []Item
+			for i, s := range sets[:150] {
+				bulk = append(bulk, Item{ID: uint32(i), Items: s})
+			}
+			if err := whole.BulkLoad(bulk); err != nil {
+				t.Fatal(err)
+			}
+			if err := sh.BulkLoad(bulk); err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range sets[150:] {
+				id := uint32(150 + i)
+				if err := whole.Insert(id, s); err != nil {
+					t.Fatal(err)
+				}
+				if err := sh.Insert(id, s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 30; i++ {
+				id := uint32(i * 9)
+				okW, err := whole.Delete(id, sets[id])
+				if err != nil {
+					t.Fatal(err)
+				}
+				okS, err := sh.Delete(id, sets[id])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if okW != okS {
+					t.Fatalf("delete %d: unsharded found=%v, sharded found=%v", id, okW, okS)
+				}
+			}
+			if whole.Len() != sh.Len() {
+				t.Fatalf("Len: unsharded %d, sharded %d", whole.Len(), sh.Len())
+			}
+			// byID recovers each live set for the tie oracle.
+			byID := map[uint32][]int{}
+			for i, s := range sets {
+				byID[uint32(i)] = s
+			}
+			for i := 0; i < 30; i++ {
+				delete(byID, uint32(i*9))
+			}
+
+			queries := randomSets(20, universe, 99)
+			for qi, q := range queries {
+				want, _, err := whole.KNN(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := sh.KNN(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("query %d: kNN %d results, want %d", qi, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Distance != want[i].Distance {
+						t.Fatalf("query %d rank %d: dist %g, want %g", qi, i, got[i].Distance, want[i].Distance)
+					}
+					items, ok := byID[got[i].ID]
+					if !ok {
+						t.Fatalf("query %d: kNN returned deleted/unknown id %d", qi, got[i].ID)
+					}
+					if d := trueDistance(q, items); d != got[i].Distance {
+						t.Fatalf("query %d: id %d reported dist %g, true dist %g", qi, got[i].ID, got[i].Distance, d)
+					}
+				}
+
+				wantR, _, err := whole.RangeSearch(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotR, _, err := sh.RangeSearch(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(gotR) != len(wantR) {
+					t.Fatalf("query %d: range %d results, want %d", qi, len(gotR), len(wantR))
+				}
+				for i := range gotR {
+					if gotR[i] != wantR[i] {
+						t.Fatalf("query %d range rank %d: %+v, want %+v", qi, i, gotR[i], wantR[i])
+					}
+				}
+
+				wantC, _, err := whole.Containing(q[:2])
+				if err != nil {
+					t.Fatal(err)
+				}
+				sort.Slice(wantC, func(a, b int) bool { return wantC[a] < wantC[b] })
+				gotC, _, err := sh.Containing(q[:2])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(gotC) != len(wantC) {
+					t.Fatalf("query %d: containment %d ids, want %d", qi, len(gotC), len(wantC))
+				}
+				for i := range gotC {
+					if gotC[i] != wantC[i] {
+						t.Fatalf("query %d containment %d: id %d, want %d", qi, i, gotC[i], wantC[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedDirPersistence closes and reopens a gray-partitioned sharded
+// directory and checks routing still matches the manifest boundaries.
+func TestShardedDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Durable = true
+	sh, err := NewShardedOnDir(cfg, 2, GrayPartitioning, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := randomSets(80, 100, 5)
+	var bulk []Item
+	for i, s := range sets {
+		bulk = append(bulk, Item{ID: uint32(i), Items: s})
+	}
+	if err := sh.BulkLoad(bulk); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	perShard := []int{sh.Shard(0).Len(), sh.Shard(1).Len()}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sh2, err := OpenShardedDir(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh2.Close()
+	if sh2.NumShards() != 2 || sh2.Partitioning() != GrayPartitioning {
+		t.Fatalf("reopened: %d shards, partitioning %q", sh2.NumShards(), sh2.Partitioning())
+	}
+	if got := []int{sh2.Shard(0).Len(), sh2.Shard(1).Len()}; got[0] != perShard[0] || got[1] != perShard[1] {
+		t.Fatalf("per-shard sizes %v after reopen, want %v", got, perShard)
+	}
+	// Deletes must route to the shard the bulk load filled.
+	for i := 0; i < len(sets); i += 7 {
+		ok, err := sh2.Delete(uint32(i), sets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("delete %d routed to the wrong shard after reopen", i)
+		}
+	}
+}
+
+// TestReplicaFollowsPrimary streams a durable index's WAL into a Replica
+// and checks the replica answers queries identically, batch after batch.
+func TestReplicaFollowsPrimary(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Durable = true
+	primary, err := NewOnFile(cfg, filepath.Join(dir, "primary.sgt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal := primary.Tree().Pool().WAL()
+	wal.SetRetain(true)
+
+	rep, err := CreateReplica(cfg, filepath.Join(dir, "replica.sgt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	catchUp := func() {
+		t.Helper()
+		recs, lsn, err := wal.StreamCommitted(rep.AppliedLSN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.ApplyRedo(recs, lsn); err != nil {
+			t.Fatal(err)
+		}
+		if rep.AppliedLSN() != wal.LastCommitLSN() {
+			t.Fatalf("applied LSN %d, primary commit LSN %d", rep.AppliedLSN(), wal.LastCommitLSN())
+		}
+	}
+
+	sets := randomSets(120, 100, 3)
+	for round := 0; round < 4; round++ {
+		for i := round * 30; i < (round+1)*30; i++ {
+			if err := primary.Insert(uint32(i), sets[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if round == 2 {
+			// A delete batch too: frees must replicate.
+			for i := 0; i < 10; i++ {
+				if _, err := primary.Delete(uint32(i), sets[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := primary.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		catchUp()
+
+		rix := rep.Index()
+		if rix == nil {
+			t.Fatal("replica has no tree after an applied batch")
+		}
+		if rix.Len() != primary.Len() {
+			t.Fatalf("round %d: replica Len %d, primary %d", round, rix.Len(), primary.Len())
+		}
+		for qi := 0; qi < 5; qi++ {
+			q := sets[(round*30+qi*3)%len(sets)]
+			want, _, err := primary.KNN(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := rix.KNN(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round %d query %d: %d results, want %d", round, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d query %d rank %d: %+v, want %+v", round, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
