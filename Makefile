@@ -14,7 +14,7 @@ STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 BENCHSTAT_VERSION ?= latest
 
-.PHONY: build test vet race crash fuzz check fmt lint staticcheck vuln tools bench bench-json bench-throughput server-smoke
+.PHONY: build test vet race crash fuzz check fmt lint staticcheck vuln tools bench bench-json bench-kernels bench-throughput server-smoke
 
 build:
 	$(GO) build ./...
@@ -46,12 +46,15 @@ server-smoke:
 	sh scripts/server_smoke.sh
 
 # Short fuzz passes over every fuzz target (codec decoding, dataset
-# parsing, WAL replay). Each target needs its own invocation: go test
-# accepts a single -fuzz pattern per run.
+# parsing, WAL replay, and the two arms of the kernel differential
+# harness — word-level in bitset, metric-level in signature). Each target
+# needs its own invocation: go test accepts a single -fuzz pattern per run.
 fuzz:
 	$(GO) test -fuzz FuzzCodecDecode -fuzztime 5s -run '^$$' ./internal/signature
 	$(GO) test -fuzz FuzzReadDataset -fuzztime 5s -run '^$$' ./internal/dataset
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 5s -run '^$$' ./internal/storage
+	$(GO) test -fuzz FuzzKernelEquivalence -fuzztime 5s -run '^$$' ./internal/bitset
+	$(GO) test -fuzz FuzzKernelEquivalence -fuzztime 5s -run '^$$' ./internal/signature
 
 check: vet fmt lint test race crash
 
@@ -104,6 +107,25 @@ ifeq ($(BENCH_UPDATE),1)
 else
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat BENCH_baseline.txt BENCH_latest.txt; \
+	else \
+		echo "benchstat not installed; skipping baseline comparison"; \
+	fi
+endif
+
+# The kernel micro-benchmark lane: the popcount/distance kernels of
+# internal/bitset, including the scalar-loop baselines kept for
+# comparison (BenchmarkKernelScalar*) and the batched slab kernels.
+# Numbers land in BENCH_kernels_latest.txt and compare against the
+# checked-in BENCH_kernels_baseline.txt (refresh with
+# `make bench-kernels BENCH_UPDATE=1`); run with SGTREE_NO_ASM=1 to
+# measure the pure-Go fallback on the same hardware.
+bench-kernels:
+	$(GO) test -bench Kernel -benchtime 300ms -count $(BENCH_COUNT) -run '^$$' ./internal/bitset | tee BENCH_kernels_latest.txt
+ifeq ($(BENCH_UPDATE),1)
+	cp BENCH_kernels_latest.txt BENCH_kernels_baseline.txt
+else
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat BENCH_kernels_baseline.txt BENCH_kernels_latest.txt; \
 	else \
 		echo "benchstat not installed; skipping baseline comparison"; \
 	fi

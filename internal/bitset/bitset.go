@@ -126,19 +126,18 @@ func (b *Bitset) CopyFrom(src *Bitset) {
 	copy(b.words, src.words)
 }
 
+// mustMatch panics on operand length mismatch. The message is a plain
+// constant: a fmt.Sprintf here would push every counting method past the
+// inlining budget, costing an extra call frame per kernel invocation.
 func (b *Bitset) mustMatch(o *Bitset) {
 	if b.n != o.n {
-		panic(fmt.Sprintf("bitset: length mismatch %d vs %d", b.n, o.n))
+		panic("bitset: operand length mismatch")
 	}
 }
 
 // Count returns the number of set bits (the signature "area").
 func (b *Bitset) Count() int {
-	c := 0
-	for _, w := range b.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
+	return kernCount(b.words)
 }
 
 // IsZero reports whether no bit is set.
@@ -243,54 +242,47 @@ func (b *Bitset) Intersects(o *Bitset) bool {
 // AndCount returns |b & o| without allocating.
 func (b *Bitset) AndCount(o *Bitset) int {
 	b.mustMatch(o)
-	c := 0
-	for i, w := range o.words {
-		c += bits.OnesCount64(b.words[i] & w)
-	}
-	return c
+	return kernAndCount(b.words, o.words)
 }
 
 // AndNotCount returns |b &^ o| (bits set in b but not in o) without allocating.
 func (b *Bitset) AndNotCount(o *Bitset) int {
 	b.mustMatch(o)
-	c := 0
-	for i, w := range o.words {
-		c += bits.OnesCount64(b.words[i] &^ w)
-	}
-	return c
+	return kernAndNotCount(b.words, o.words)
 }
 
-// AndNotCountAtLeast is AndNotCount with an early exit: it stops counting
-// as soon as the running count reaches limit, returning the count so far
-// and whether the limit was reached. When reached is true the returned
-// count is a lower bound on the true count (it is at least limit); when
-// false it is exact. A limit <= 0 reports reached immediately. This is the
-// kernel behind the fused mindist-with-threshold bound: once a directory
-// entry's lower bound exceeds the pruning radius, the remaining words need
-// not be counted.
+// AndNotCountAtLeast is AndNotCount with an early exit: counting may stop
+// once the running count reaches limit. It returns the count so far and
+// reached == (count >= limit).
+//
+// Contract (shared by every kernel implementation, asserted by the
+// differential harness):
+//
+//   - limit <= 0: returns (0, true) immediately — a non-positive limit is
+//     trivially reached before counting anything. This case is resolved
+//     here, before kernel dispatch; kernels only ever see limit > 0.
+//   - reached == false: the returned count is exact (and < limit).
+//   - reached == true: the returned count is in [limit, exact] — a lower
+//     bound on the true count. Implementations exit at block granularity
+//     (or not at all: exact counts satisfy the contract too), so callers
+//     must not interpret the clamped value as exact.
+//
+// This is the kernel behind the fused mindist-with-threshold bound: once a
+// directory entry's lower bound exceeds the pruning radius, the remaining
+// words need not be counted.
 func (b *Bitset) AndNotCountAtLeast(o *Bitset, limit int) (int, bool) {
 	b.mustMatch(o)
 	if limit <= 0 {
 		return 0, true
 	}
-	c := 0
-	for i, w := range o.words {
-		c += bits.OnesCount64(b.words[i] &^ w)
-		if c >= limit {
-			return c, true
-		}
-	}
-	return c, false
+	c := kernAndNotCountAtLeast(b.words, o.words, limit)
+	return c, c >= limit
 }
 
 // OrCount returns |b | o| without allocating.
 func (b *Bitset) OrCount(o *Bitset) int {
 	b.mustMatch(o)
-	c := 0
-	for i, w := range o.words {
-		c += bits.OnesCount64(b.words[i] | w)
-	}
-	return c
+	return kernOrCount(b.words, o.words)
 }
 
 // HammingDistance returns |b XOR o|: the number of positions where the two
@@ -298,30 +290,20 @@ func (b *Bitset) OrCount(o *Bitset) int {
 // of the symmetric difference of the underlying sets.
 func (b *Bitset) HammingDistance(o *Bitset) int {
 	b.mustMatch(o)
-	c := 0
-	for i, w := range o.words {
-		c += bits.OnesCount64(b.words[i] ^ w)
-	}
-	return c
+	return kernXorCount(b.words, o.words)
 }
 
-// HammingAtLeast is HammingDistance with an early exit, mirroring
-// AndNotCountAtLeast: counting stops once the running XOR popcount reaches
-// limit. When reached is true the returned count is a lower bound (at
-// least limit); when false it is the exact distance.
+// HammingAtLeast is HammingDistance with an early exit, under exactly the
+// AndNotCountAtLeast contract: limit <= 0 returns (0, true) before any
+// counting; reached == false means the returned distance is exact; reached
+// == true means it is a lower bound in [limit, exact distance].
 func (b *Bitset) HammingAtLeast(o *Bitset, limit int) (int, bool) {
 	b.mustMatch(o)
 	if limit <= 0 {
 		return 0, true
 	}
-	c := 0
-	for i, w := range o.words {
-		c += bits.OnesCount64(b.words[i] ^ w)
-		if c >= limit {
-			return c, true
-		}
-	}
-	return c, false
+	c := kernXorCountAtLeast(b.words, o.words, limit)
+	return c, c >= limit
 }
 
 // EnlargementCount returns |o &^ b|: how many new bits b would gain if o

@@ -41,6 +41,14 @@ type executor struct {
 	neighbors  []Neighbor      // backing array handed to acc.heap
 	pq         nodePQ          // best-first search frontier
 	branchFree [][]branchEntry // free list of branch-ordering buffers (one per depth)
+
+	// Slab-scan scratch (slabscan.go). counts and bounds hold one node's
+	// batched kernel output and are clobbered by the next slabBounds /
+	// slabDistances call, so traversals consume them before recursing;
+	// qpad holds the query words zero-padded to the slab row stride.
+	counts []int32
+	bounds []float64
+	qpad   []uint64
 }
 
 var execPool = sync.Pool{New: func() interface{} { return new(executor) }}
@@ -275,12 +283,41 @@ func (e *executor) rangeWalk(id storage.PageID, q signature.Signature, eps float
 		return err
 	}
 	if n.leaf {
+		if e.slabDistances(n, q) {
+			for i := range n.entries {
+				if d := e.bounds[i]; !distFails(d, eps, false) {
+					e.result(n.entries[i].tid, d)
+					*out = append(*out, Neighbor{TID: n.entries[i].tid, Dist: d})
+				}
+			}
+			return nil
+		}
 		for i := range n.entries {
 			if d, failed := e.compareWithin(q, n.entries[i].sig, eps, false); !failed {
 				e.result(n.entries[i].tid, d)
 				*out = append(*out, Neighbor{TID: n.entries[i].tid, Dist: d})
 			}
 		}
+		return nil
+	}
+	if e.slabBounds(n, q) {
+		// e.bounds is clobbered by the recursive calls below, so the
+		// surviving branches are copied into a pooled buffer first.
+		branches := e.getBranches()
+		for i := range n.entries {
+			if md := e.bounds[i]; distFails(md, eps, false) {
+				e.prune(n.entries[i].child, md)
+			} else {
+				branches = append(branches, branchEntry{idx: i, minDist: md})
+			}
+		}
+		for _, b := range branches {
+			if err := e.rangeWalk(n.entries[b.idx].child, q, eps, out); err != nil {
+				e.putBranches(branches)
+				return err
+			}
+		}
+		e.putBranches(branches)
 		return nil
 	}
 	for i := range n.entries {

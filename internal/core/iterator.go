@@ -160,11 +160,31 @@ func (it *NNIterator) NextContext(ctx context.Context) (Neighbor, bool, error) {
 			return Neighbor{}, false, fmt.Errorf("core: distance browsing: %w", err)
 		}
 		it.pq.pop()
+		// Both expansion loops only push onto the frontier, so the slab
+		// scratch can be consumed in place; distance browsing needs every
+		// entry's exact value anyway, which is exactly what the batched
+		// scans produce.
 		if n.leaf {
+			if it.e.slabDistances(n, it.q) {
+				for i := range n.entries {
+					it.pq.push(browseItem{dist: it.e.bounds[i], tid: n.entries[i].tid})
+				}
+				continue
+			}
 			for i := range n.entries {
 				it.pq.push(browseItem{
 					dist: it.e.compare(it.q, n.entries[i].sig),
 					tid:  n.entries[i].tid,
+				})
+			}
+			continue
+		}
+		if it.e.slabBounds(n, it.q) {
+			for i := range n.entries {
+				it.pq.push(browseItem{
+					dist: it.e.bounds[i],
+					node: n.entries[i].child,
+					area: n.entryArea(i),
 				})
 			}
 			continue

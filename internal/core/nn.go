@@ -157,18 +157,27 @@ type branchEntry struct {
 	area    int
 }
 
-// orderBranches computes every entry's lower bound — aborting the popcount
-// early for entries already prunable under thr — and sorts by the Figure 4
-// key. The buffer comes from the executor's per-level free list; callers
-// return it with putBranches. Entries whose bound was clamped by the early
-// exit sort after every survivor (their value is at least the failing
-// limit, survivors' exact values are below it) and always fail the
-// caller's pruning test, so the traversal is unchanged.
+// orderBranches computes every entry's lower bound and sorts by the Figure
+// 4 key. On slab-scannable nodes the bounds come from one batched kernel
+// pass (all exact); otherwise the per-entry kernel aborts the popcount
+// early for entries already prunable under thr. The buffer comes from the
+// executor's per-level free list; callers return it with putBranches.
+// Entries whose bound was clamped by the early exit sort after every
+// survivor (their value is at least the failing limit, survivors' exact
+// values are below it) and always fail the caller's pruning test, so the
+// traversal is identical on both paths — only the bound values observers
+// see for pruned entries differ (exact vs clamped, both valid).
 func (e *executor) orderBranches(n *node, q signature.Signature, thr float64, strict bool) []branchEntry {
 	branches := e.getBranches()
-	for i := range n.entries {
-		md, _ := e.boundWithin(q, &n.entries[i], thr, strict)
-		branches = append(branches, branchEntry{idx: i, minDist: md, area: n.entryArea(i)})
+	if e.slabBounds(n, q) {
+		for i := range n.entries {
+			branches = append(branches, branchEntry{idx: i, minDist: e.bounds[i], area: n.entryArea(i)})
+		}
+	} else {
+		for i := range n.entries {
+			md, _ := e.boundWithin(q, &n.entries[i], thr, strict)
+			branches = append(branches, branchEntry{idx: i, minDist: md, area: n.entryArea(i)})
+		}
 	}
 	sortBranches(branches)
 	return branches
@@ -216,6 +225,14 @@ func (e *executor) dfSearch(id storage.PageID, q signature.Signature, acc *knnAc
 		return err
 	}
 	if n.leaf {
+		if e.slabDistances(n, q) {
+			for i := range n.entries {
+				if d := e.bounds[i]; !distFails(d, acc.bound(), true) {
+					acc.offer(Neighbor{TID: n.entries[i].tid, Dist: d})
+				}
+			}
+			return nil
+		}
 		for i := range n.entries {
 			d, failed := e.compareWithin(q, n.entries[i].sig, acc.bound(), true)
 			if !failed {
@@ -276,11 +293,19 @@ func (e *executor) dfSearchAll(id storage.PageID, q signature.Signature, best *f
 		return err
 	}
 	if n.leaf {
+		slab := e.slabDistances(n, q)
 		for i := range n.entries {
 			// Inclusive threshold: ties with the current best must be kept,
 			// so a candidate is rejected only once its distance provably
 			// exceeds *best.
-			d, failed := e.compareWithin(q, n.entries[i].sig, *best, false)
+			var d float64
+			var failed bool
+			if slab {
+				d = e.bounds[i]
+				failed = distFails(d, *best, false)
+			} else {
+				d, failed = e.compareWithin(q, n.entries[i].sig, *best, false)
+			}
 			if failed {
 				continue
 			}
@@ -405,6 +430,14 @@ func (t *Tree) KNNBestFirstContext(ctx context.Context, q signature.Signature, k
 			return nil, e.stats, e.finish(err)
 		}
 		if n.leaf {
+			if e.slabDistances(n, q) {
+				for i := range n.entries {
+					if d := e.bounds[i]; !distFails(d, acc.bound(), true) {
+						acc.offer(Neighbor{TID: n.entries[i].tid, Dist: d})
+					}
+				}
+				continue
+			}
 			for i := range n.entries {
 				d, failed := e.compareWithin(q, n.entries[i].sig, acc.bound(), true)
 				if !failed {
@@ -413,8 +446,18 @@ func (t *Tree) KNNBestFirstContext(ctx context.Context, q signature.Signature, k
 			}
 			continue
 		}
+		// The loop body only pushes onto the frontier (no recursion, no
+		// nested slab scan), so consuming e.bounds in place is safe.
+		slab := e.slabBounds(n, q)
 		for i := range n.entries {
-			md, prunable := e.boundWithin(q, &n.entries[i], acc.bound(), true)
+			var md float64
+			var prunable bool
+			if slab {
+				md = e.bounds[i]
+				prunable = distFails(md, acc.bound(), true)
+			} else {
+				md, prunable = e.boundWithin(q, &n.entries[i], acc.bound(), true)
+			}
 			if !prunable {
 				pq.push(pqItem{
 					id:      n.entries[i].child,

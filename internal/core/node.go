@@ -76,6 +76,46 @@ type node struct {
 	// mutable nodes the update paths decode privately. Read through
 	// entryArea, never directly.
 	areas []int
+
+	// slab is the decoded entry signatures as a structure-of-arrays matrix:
+	// row i (entry i's signature words) occupies
+	// slab[i*slabStride : i*slabStride+words], with the row padding beyond
+	// the signature's words kept zero. The base address is 64-byte aligned
+	// and slabStride is a multiple of 4 words, which is what the batched
+	// AVX2 kernels (bitset.*Slab) need to scan whole nodes in one blocked
+	// pass. Entry views alias the same memory, so the slab is valid only
+	// while the entry set decodeBuf produced is intact: any mutation that
+	// removes, replaces, or reorders entries must call dropSlab (appends
+	// are caught by the slabRows != len(entries) check in slabScannable).
+	slab       []uint64
+	slabStride int
+	slabRows   int
+}
+
+// slabScannable reports whether the node's entry signatures can be scanned
+// through the slab kernels: a slab exists and still describes exactly the
+// current entries.
+func (n *node) slabScannable() bool {
+	return n.slab != nil && n.slabRows == len(n.entries)
+}
+
+// dropSlab detaches the slab after a mutation that invalidates row order.
+// The entry views keep aliasing the old memory, so signatures stay valid;
+// only the batched scans fall back to per-entry kernels.
+func (n *node) dropSlab() {
+	n.slab = nil
+	n.slabRows = 0
+}
+
+// slabStrideFor picks the slab row stride for signatures of the given word
+// count: whole 64-byte cache lines per row once signatures exceed half a
+// line, a half-line otherwise. Always a multiple of 4 (one 32-byte AVX2
+// chunk), so vectorized row scans never need a tail.
+func slabStrideFor(words int) int {
+	if words <= 4 {
+		return 4
+	}
+	return (words + 7) &^ 7
 }
 
 // entryArea returns entry i's signature area, using the cached popcount
@@ -180,13 +220,18 @@ func (l nodeLayout) decodeBuf(id storage.PageID, buf []byte) (*node, error) {
 	n.entries = make([]entry, count)
 	// One contiguous word slab and one view-header slab back every entry
 	// signature: 3 allocations per node instead of 2 per entry, and the
-	// scan loops of bound/compare touch sequential memory.
+	// scan loops of bound/compare touch sequential memory. The slab is laid
+	// out with a padded, cache-line-aligned row stride (see the node.slab
+	// field) so the batched kernels can process whole nodes; padding words
+	// start zero (AlignedWords zeroes) and stay zero because the entry
+	// views only ever touch the first `words` words of their row.
 	words := (l.codec.Length + 63) / 64
-	slab := make([]uint64, count*words)
+	stride := slabStrideFor(words)
+	slab := bitset.AlignedWords(count * stride)
 	views := make([]bitset.Bitset, count)
 	pos := nodeHeaderSize
 	for i := 0; i < count; i++ {
-		views[i] = bitset.View(slab[i*words:(i+1)*words], l.codec.Length)
+		views[i] = bitset.View(slab[i*stride:i*stride+words], l.codec.Length)
 		sig := signature.Signature{Bitset: &views[i]}
 		used, err := l.codec.DecodeInto(buf[pos:], sig)
 		if err != nil {
@@ -213,6 +258,9 @@ func (l nodeLayout) decodeBuf(id storage.PageID, buf []byte) (*node, error) {
 			pos += entryCardSize
 		}
 	}
+	n.slab = slab
+	n.slabStride = stride
+	n.slabRows = count
 	return n, nil
 }
 
@@ -267,7 +315,9 @@ func (n *node) parentEntry(length int) entry {
 }
 
 // removeEntry deletes entry i preserving order (order is irrelevant to the
-// structure but stable behaviour simplifies testing).
+// structure but stable behaviour simplifies testing). The slab no longer
+// matches the entry rows afterwards, so it is dropped.
 func (n *node) removeEntry(i int) {
 	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	n.dropSlab()
 }

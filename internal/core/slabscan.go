@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sgtree/internal/bitset"
+	"sgtree/internal/signature"
+)
+
+// Batched node scans. Decoded nodes keep their entry signatures in one
+// padded, cache-line-aligned slab (node.slab); here the executor computes
+// every entry's lower bound or exact distance in a single blocked kernel
+// pass over that slab instead of a per-entry popcount call. Every bound and
+// distance the tree uses is a function of x = |q ∩ e| plus per-entry
+// integers (areas, cardinality ranges), so one bitset.AndCountSlab pass plus
+// the signature package's *FromIntersect scalar finishers covers every
+// configuration; the plain-Hamming cases skip even that and batch the final
+// count directly (AndNotCountSlab for directory bounds, XorCountSlab for
+// leaf distances).
+//
+// Equivalence with the per-entry path is exact, not approximate:
+//
+//   - the finishers are bit-identical to MinDist/Distance for the same
+//     integer inputs (see the signature package), and
+//   - for Hamming the slab path's exact counts give the same prune/accept
+//     verdicts as the early-exit *AtLeast kernels, by the
+//     HammingPruneLimit equivalence (c >= limit ⟺ distFails(float64(c))).
+//
+// The only observable difference is that observers see exact bounds for
+// pruned entries where the early-exit path reports clamped ones; both are
+// valid lower bounds and search results are unaffected (the core property
+// test in slabscan_test.go pins the full equivalence).
+//
+// The scratch rules mirror orderBranches: e.counts and e.bounds are
+// executor-level buffers reused across nodes, so traversals must consume
+// them before recursing (rangeWalk copies survivors into a pooled
+// branchEntry buffer first; the leaf loops and the iterative best-first
+// loops consume in place).
+
+// slabScanEnabled gates the batched scans on vectorized slab kernels being
+// active. Without them (non-amd64, no AVX2, or SGTREE_NO_ASM set) the
+// per-entry early-exit kernels are the better engine and the traversals
+// keep their original scan loops.
+var slabScanEnabled = bitset.FastSlabKernels()
+
+// slabScanMaxStride caps the row width (in words) of batched scans. The
+// slab pass always counts whole rows, so for very long signatures the
+// per-entry *AtLeast kernels — which can abort a row part-way once the
+// count proves prunability — win back their advantage; 128 words (1 KiB
+// signatures) is far past the crossover for every benchmarked geometry.
+const slabScanMaxStride = 128
+
+// scanBufs sizes the executor's slab scratch for rows entries.
+func (e *executor) scanBufs(rows int) (counts []int32, bounds []float64) {
+	if cap(e.counts) < rows {
+		e.counts = make([]int32, rows)
+		e.bounds = make([]float64, rows)
+	}
+	return e.counts[:rows], e.bounds[:rows]
+}
+
+// padQuery returns the query's words zero-padded to stride words, using
+// pooled scratch. The padded form lets the vector kernels process whole
+// padded slab rows: both sides of every combining op are zero in the
+// padding, so the counts equal the unpadded ones.
+func (e *executor) padQuery(q signature.Signature, stride int) []uint64 {
+	w := q.Bitset.Words()
+	if len(w) == stride {
+		return w
+	}
+	if cap(e.qpad) < stride {
+		e.qpad = make([]uint64, stride)
+	}
+	qp := e.qpad[:stride]
+	n := copy(qp, w)
+	for i := n; i < stride; i++ {
+		qp[i] = 0
+	}
+	return qp
+}
+
+// slabBounds computes the exact lower-bound distance between q and every
+// directory entry of n in one batched pass, filling e.bounds[i] for entry
+// i. It returns false — leaving e.bounds untouched — when the node or
+// configuration cannot be slab-scanned (stale slab, vector kernels
+// unavailable, oversized rows); callers then run the per-entry path.
+// Prunability under a threshold is recovered exactly as
+// distFails(e.bounds[i], thr, strict), since every bound here is exact.
+func (e *executor) slabBounds(n *node, q signature.Signature) bool {
+	if !slabScanEnabled || !n.slabScannable() || n.slabStride > slabScanMaxStride {
+		return false
+	}
+	rows := len(n.entries)
+	counts, bounds := e.scanBufs(rows)
+	qp := e.padQuery(q, n.slabStride)
+	m := e.t.opts.Metric
+	switch {
+	case e.t.opts.CardStats:
+		bitset.AndCountSlab(qp, n.slab, n.slabStride, counts)
+		qa := q.Area()
+		for i, x := range counts {
+			bounds[i] = signature.MinDistCardRangeFromIntersect(m, int(x), qa, n.entries[i].lo, n.entries[i].hi)
+		}
+	case e.t.opts.FixedCardinality > 0:
+		bitset.AndCountSlab(qp, n.slab, n.slabStride, counts)
+		qa := q.Area()
+		for i, x := range counts {
+			bounds[i] = signature.MinDistFixedCardFromIntersect(int(x), qa, e.t.opts.FixedCardinality)
+		}
+	case m == signature.Hamming:
+		// mindist(q,e) = |q \ e|, batched directly.
+		bitset.AndNotCountSlab(qp, n.slab, n.slabStride, counts)
+		for i, c := range counts {
+			bounds[i] = float64(c)
+		}
+	default:
+		bitset.AndCountSlab(qp, n.slab, n.slabStride, counts)
+		qa := q.Area()
+		for i, x := range counts {
+			bounds[i] = signature.MinDistFromIntersect(m, int(x), qa)
+		}
+	}
+	e.stats.EntriesTested += rows
+	return true
+}
+
+// slabDistances computes the exact distance between q and every leaf entry
+// of n in one batched pass, filling e.bounds[i]. Same fallback contract as
+// slabBounds; additionally the non-Hamming metrics need the per-entry area
+// cache (|t| for the finisher), which only cache-published nodes carry.
+func (e *executor) slabDistances(n *node, q signature.Signature) bool {
+	if !slabScanEnabled || !n.slabScannable() || n.slabStride > slabScanMaxStride {
+		return false
+	}
+	m := e.t.opts.Metric
+	if m != signature.Hamming && n.areas == nil {
+		return false
+	}
+	rows := len(n.entries)
+	counts, bounds := e.scanBufs(rows)
+	qp := e.padQuery(q, n.slabStride)
+	if m == signature.Hamming {
+		bitset.XorCountSlab(qp, n.slab, n.slabStride, counts)
+		for i, c := range counts {
+			bounds[i] = float64(c)
+		}
+	} else {
+		bitset.AndCountSlab(qp, n.slab, n.slabStride, counts)
+		qa := q.Area()
+		for i, x := range counts {
+			bounds[i] = signature.DistanceFromIntersect(m, int(x), qa, n.areas[i])
+		}
+	}
+	e.stats.DataCompared += rows
+	return true
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/signature"
+	"sgtree/internal/storage"
+)
+
+// Property tests for the batched slab scans (slabscan.go): on real trees,
+// slabBounds/slabDistances must be bit-identical to the per-entry bound and
+// distance computations, prune/accept verdicts recovered from the exact
+// slab values must match the fused per-entry forms, and whole queries must
+// return identical results whichever engine runs. slabScanEnabled is forced
+// on for the duration so the scans are exercised (through the generic slab
+// kernels) even on hardware where production would keep the per-entry path.
+
+// slabTestConfig is one tree configuration under test; fixedCard makes the
+// generated transactions all the same size so FixedCardinality trees accept
+// them.
+type slabTestConfig struct {
+	name      string
+	universe  int
+	metric    signature.Metric
+	cardStats bool
+	fixedCard int
+	compress  bool
+}
+
+// slabTestConfigs covers every slabBounds/slabDistances branch: the three
+// AndCountSlab finishers (card-range, fixed-card, generic metric) and the
+// direct Hamming kernels, at universes on both sides of the stride padding
+// boundary (200 bits -> 4 words, stride 4, no padding; 300 bits -> 5
+// words, stride 8, 3 padded words per row and a padded query).
+var slabTestConfigs = []slabTestConfig{
+	{name: "hamming", universe: 200, metric: signature.Hamming, compress: true},
+	{name: "hamming-padded", universe: 300, metric: signature.Hamming},
+	{name: "hamming-cardstats", universe: 300, metric: signature.Hamming, cardStats: true, compress: true},
+	{name: "hamming-fixedcard", universe: 200, metric: signature.Hamming, fixedCard: 6},
+	{name: "jaccard", universe: 300, metric: signature.Jaccard, compress: true},
+	{name: "dice", universe: 200, metric: signature.Dice},
+	{name: "cosine", universe: 300, metric: signature.Cosine, compress: true},
+}
+
+func (c slabTestConfig) options() Options {
+	opts := testOptions(c.universe)
+	opts.Metric = c.metric
+	opts.CardStats = c.cardStats
+	opts.FixedCardinality = c.fixedCard
+	opts.Compress = c.compress
+	return opts
+}
+
+// data builds the config's dataset: clustered Quest data normally, uniform
+// fixed-size transactions when the tree declares a fixed cardinality.
+func (c slabTestConfig) data(t *testing.T, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	if c.fixedCard > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		d := dataset.New(c.universe)
+		for i := 0; i < n; i++ {
+			items := rng.Perm(c.universe)[:c.fixedCard]
+			d.Add(items...)
+		}
+		return d
+	}
+	d, err := gen.GenerateQuest(gen.QuestConfig{
+		NumTransactions: n, AvgSize: 8, AvgItemsetSize: 4,
+		NumItems: c.universe, NumItemsets: 50, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// queries picks a handful of probe signatures: dataset members, a random
+// outsider, the empty signature and the all-ones signature (the latter two
+// stress the zero/degenerate branches of the metric finishers).
+func (c slabTestConfig) queries(t *testing.T, d *dataset.Dataset, seed int64) []signature.Signature {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := signature.NewDirectMapper(d.Universe)
+	qs := []signature.Signature{
+		signature.FromItems(m, d.Tx[0]),
+		signature.FromItems(m, d.Tx[d.Len()/2]),
+		signature.FromItems(m, dataset.NewTransaction(rng.Perm(d.Universe)[:5]...)),
+	}
+	empty := signature.New(c.universe)
+	full := signature.New(c.universe)
+	for i := 0; i < c.universe; i++ {
+		full.Set(i)
+	}
+	return append(qs, empty, full)
+}
+
+// walkNodes applies fn to every node of the subtree rooted at id, freshly
+// decoded (so each node carries a slab and no area cache, exactly the state
+// decodeBuf leaves behind).
+func walkNodes(t *testing.T, tr *Tree, id storage.PageID, fn func(*node)) {
+	t.Helper()
+	n, err := tr.readNode(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn(n)
+	if n.leaf {
+		return
+	}
+	for i := range n.entries {
+		walkNodes(t, tr, n.entries[i].child, fn)
+	}
+}
+
+// slabTestThresholds exercises the verdict equivalence at and around the
+// integral Hamming boundaries and at fractional values for the normalized
+// metrics.
+var slabTestThresholds = []float64{0, 0.25, 0.5, 0.9, 1, 2, 3.5, 8, 64, math.Inf(1)}
+
+// TestSlabScanMatchesPerEntry is the node-level property: for every node of
+// trees built under each configuration, the batched slab scan produces the
+// same bounds and distances — bit-identical, not merely close — as the
+// per-entry signature-package calls, and threshold verdicts recovered from
+// the slab values agree with the fused per-entry forms.
+func TestSlabScanMatchesPerEntry(t *testing.T) {
+	defer func(v bool) { slabScanEnabled = v }(slabScanEnabled)
+	slabScanEnabled = true
+
+	for _, cfg := range slabTestConfigs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			d := cfg.data(t, 300, 1)
+			tr := buildTree(t, d, cfg.options())
+			defer tr.Close()
+			queries := cfg.queries(t, d, 2)
+
+			e := tr.newExec(nil)
+			defer e.release()
+
+			nodes, leaves := 0, 0
+			walkNodes(t, tr, tr.root, func(n *node) {
+				if !n.slabScannable() {
+					t.Fatalf("freshly decoded node %d not slab-scannable", n.id)
+				}
+				if n.slabStride%4 != 0 || len(n.slab) < n.slabRows*n.slabStride {
+					t.Fatalf("node %d: bad slab geometry stride=%d rows=%d len=%d",
+						n.id, n.slabStride, n.slabRows, len(n.slab))
+				}
+				nodes++
+				if n.leaf {
+					leaves++
+					checkSlabDistances(t, tr, e, n, queries)
+					return
+				}
+				checkSlabBounds(t, tr, e, n, queries)
+			})
+			if nodes < 3 || leaves < 2 {
+				t.Fatalf("tree too small for a meaningful check: %d nodes, %d leaves", nodes, leaves)
+			}
+		})
+	}
+}
+
+// checkSlabBounds compares slabBounds against entryMinDist /
+// entryMinDistWithin on one directory node.
+func checkSlabBounds(t *testing.T, tr *Tree, e *executor, n *node, queries []signature.Signature) {
+	t.Helper()
+	for qi, q := range queries {
+		if !e.slabBounds(n, q) {
+			t.Fatalf("slabBounds refused scannable node %d", n.id)
+		}
+		got := append([]float64(nil), e.bounds[:len(n.entries)]...)
+		for i := range n.entries {
+			want := tr.entryMinDist(q, &n.entries[i])
+			if got[i] != want {
+				t.Fatalf("node %d query %d entry %d: slab bound %v, per-entry %v",
+					n.id, qi, i, got[i], want)
+			}
+			for _, thr := range slabTestThresholds {
+				for _, strict := range []bool{true, false} {
+					d, prunable := tr.entryMinDistWithin(q, &n.entries[i], thr, strict)
+					if slabPrun := distFails(got[i], thr, strict); slabPrun != prunable {
+						t.Fatalf("node %d query %d entry %d thr=%v strict=%v: slab verdict %v, fused %v",
+							n.id, qi, i, thr, strict, slabPrun, prunable)
+					}
+					// A surviving fused bound is exact and must equal the
+					// slab value (a pruned one may be clamped).
+					if !prunable && d != got[i] {
+						t.Fatalf("node %d query %d entry %d: surviving fused bound %v != slab %v",
+							n.id, qi, i, d, got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkSlabDistances compares slabDistances against signature.Distance /
+// DistanceWithin on one leaf node, including the area-cache fallback for
+// the normalized metrics.
+func checkSlabDistances(t *testing.T, tr *Tree, e *executor, n *node, queries []signature.Signature) {
+	t.Helper()
+	m := tr.opts.Metric
+	if m != signature.Hamming {
+		// Without the per-entry area cache the normalized-metric finishers
+		// have no |t|; the scan must decline, leaving the per-entry path.
+		if n.areas != nil {
+			t.Fatalf("freshly decoded node %d already has an area cache", n.id)
+		}
+		if e.slabDistances(n, queries[0]) {
+			t.Fatalf("slabDistances ran on node %d without an area cache", n.id)
+		}
+		n.cacheAreas()
+	}
+	for qi, q := range queries {
+		if !e.slabDistances(n, q) {
+			t.Fatalf("slabDistances refused scannable node %d", n.id)
+		}
+		got := append([]float64(nil), e.bounds[:len(n.entries)]...)
+		for i := range n.entries {
+			want := signature.Distance(m, q, n.entries[i].sig)
+			if got[i] != want {
+				t.Fatalf("node %d query %d entry %d: slab distance %v, per-entry %v",
+					n.id, qi, i, got[i], want)
+			}
+			for _, thr := range slabTestThresholds {
+				for _, strict := range []bool{true, false} {
+					dd, failed := signature.DistanceWithin(m, q, n.entries[i].sig, thr, strict)
+					if slabFail := distFails(got[i], thr, strict); slabFail != failed {
+						t.Fatalf("node %d query %d entry %d thr=%v strict=%v: slab verdict %v, fused %v",
+							n.id, qi, i, thr, strict, slabFail, failed)
+					}
+					if !failed && dd != got[i] {
+						t.Fatalf("node %d query %d entry %d: accepted fused distance %v != slab %v",
+							n.id, qi, i, dd, got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// queryFingerprint runs one query through every traversal engine and
+// returns the combined results for comparison across scan paths.
+type queryFingerprint struct {
+	knn     []Neighbor
+	bf      []Neighbor
+	rng     []Neighbor
+	browsed []Neighbor
+}
+
+func fingerprint(t *testing.T, tr *Tree, q signature.Signature, k int, eps float64) queryFingerprint {
+	t.Helper()
+	var fp queryFingerprint
+	var err error
+	if fp.knn, _, err = tr.KNN(q, k); err != nil {
+		t.Fatal(err)
+	}
+	if fp.bf, _, err = tr.KNNBestFirst(q, k); err != nil {
+		t.Fatal(err)
+	}
+	if fp.rng, _, err = tr.RangeSearch(q, eps); err != nil {
+		t.Fatal(err)
+	}
+	it, err := tr.NewNNIterator(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	for len(fp.browsed) < k+5 {
+		nb, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		fp.browsed = append(fp.browsed, nb)
+	}
+	return fp
+}
+
+func neighborsEqual(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (fp queryFingerprint) diff(other queryFingerprint) string {
+	switch {
+	case !neighborsEqual(fp.knn, other.knn):
+		return "KNN"
+	case !neighborsEqual(fp.bf, other.bf):
+		return "KNNBestFirst"
+	case !neighborsEqual(fp.rng, other.rng):
+		return "RangeSearch"
+	case !neighborsEqual(fp.browsed, other.browsed):
+		return "NNIterator"
+	}
+	return ""
+}
+
+// TestSlabScanQueryEquivalence is the end-to-end property: on the same
+// tree, every query engine returns identical neighbor sequences whether it
+// runs the batched slab scans or the per-entry kernels — before and after
+// deletions that invalidate node slabs along the way (exercising the
+// dropSlab coherence sites).
+func TestSlabScanQueryEquivalence(t *testing.T) {
+	defer func(v bool) { slabScanEnabled = v }(slabScanEnabled)
+
+	for _, cfg := range slabTestConfigs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			d := cfg.data(t, 400, 3)
+			tr := buildTree(t, d, cfg.options())
+			defer tr.Close()
+			queries := cfg.queries(t, d, 4)
+			eps := 6.0
+			if cfg.metric != signature.Hamming {
+				eps = 0.6
+			}
+
+			m := signature.NewDirectMapper(d.Universe)
+			for phase, label := range []string{"initial", "after-deletes"} {
+				if phase == 1 {
+					// Delete a third of the data to exercise the slab
+					// invalidation paths (entry permutation, merges,
+					// forced reinserts) before re-checking equivalence.
+					for i := 0; i < d.Len(); i += 3 {
+						slabScanEnabled = i%2 == 0 // alternate engines during maintenance
+						if _, err := tr.Delete(signature.FromItems(m, d.Tx[i]), dataset.TID(i)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				for qi, q := range queries {
+					slabScanEnabled = false
+					perEntry := fingerprint(t, tr, q, 10, eps)
+					slabScanEnabled = true
+					slab := fingerprint(t, tr, q, 10, eps)
+					if engine := perEntry.diff(slab); engine != "" {
+						t.Fatalf("%s query %d: %s results differ between per-entry and slab scans",
+							label, qi, engine)
+					}
+				}
+			}
+		})
+	}
+}

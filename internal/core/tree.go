@@ -707,7 +707,10 @@ func (t *Tree) insertRec(n *node, e entry, targetLevel int) (*node, error) {
 		// page even without gaining an entry.
 		if t.opts.ForcedReinsert {
 			n.entries[idx] = child.parentEntry(t.opts.SignatureLength)
+			n.dropSlab()
 		} else {
+			// Merge writes through the entry view into the slab row, so
+			// the slab stays coherent on this path.
 			n.entries[idx].sig.Merge(e.sig)
 			if e.lo < n.entries[idx].lo {
 				n.entries[idx].lo = e.lo
@@ -727,6 +730,7 @@ func (t *Tree) insertRec(n *node, e entry, targetLevel int) (*node, error) {
 	// The child split: recompute its cover and add an entry for the sibling.
 	n.entries[idx] = child.parentEntry(t.opts.SignatureLength)
 	n.entries = append(n.entries, right.parentEntry(t.opts.SignatureLength))
+	n.dropSlab()
 	if t.overflows(n) {
 		return t.splitNode(n)
 	}

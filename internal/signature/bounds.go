@@ -65,36 +65,49 @@ func Distance(m Metric, q, t Signature) float64 {
 // similarity bound: for any t ⊆ e, |q∩t| ≤ |q∩e| and |q∪t| ≥ |q|, hence
 // J(q,t) ≤ |q∩e|/|q|.
 func MinDist(m Metric, q, e Signature) float64 {
+	if m == Hamming {
+		return float64(q.Difference(e))
+	}
+	return MinDistFromIntersect(m, q.Intersect(e), q.Area())
+}
+
+// MinDistFromIntersect is MinDist with the popcounts already done: x is
+// |q∩e| and qa is |q|. It is the scalar "finisher" behind the batched slab
+// scans — the kernel layer computes x for a whole node in one blocked pass
+// (bitset.AndCountSlab) and this function turns each count into the bound.
+//
+// Every intermediate quantity here is an integer, so any algebraically
+// equal way of producing x and qa (|q\e| = qa−x, |q∪e| = qa+ta−x, …) yields
+// bit-identical float64 results; the slab and per-entry paths therefore
+// agree exactly, which the differential harness asserts.
+func MinDistFromIntersect(m Metric, x, qa int) float64 {
 	switch m {
 	case Hamming:
-		return float64(q.Difference(e))
+		return float64(qa - x)
 	case Jaccard:
-		qa := q.Area()
 		if qa == 0 {
 			return 0
 		}
-		ub := float64(q.Intersect(e)) / float64(qa)
+		ub := float64(x) / float64(qa)
 		return 1 - ub
 	case Dice:
 		// 2|q∩t|/(|q|+|t|) ≤ 2|q∩e|/(|q|+|t|) and |t| ≥ |q∩t|; the
 		// maximum over feasible |t| is attained at |t| = |q∩t| ≤ |q∩e|,
 		// giving similarity ≤ 2x/(|q|+x) with x = |q∩e| (increasing in x).
-		x := float64(q.Intersect(e))
-		qa := float64(q.Area())
-		if qa+x == 0 {
+		xf, qaf := float64(x), float64(qa)
+		if qaf+xf == 0 {
 			return 0
 		}
-		return 1 - 2*x/(qa+x)
+		return 1 - 2*xf/(qaf+xf)
 	case Cosine:
 		// |q∩t|/√(|q||t|) with |q∩t| ≤ min(x, |t|) for x = |q∩e|: the
 		// maximum over feasible |t| is at |t| = |q∩t| = x, giving
 		// similarity ≤ √(x/|q|).
-		x := float64(q.Intersect(e))
-		qa := float64(q.Area())
-		if qa == 0 {
+		xf, qaf := float64(x), float64(qa)
+		if qaf == 0 {
 			return 0
 		}
-		ub := math.Sqrt(x / qa)
+		ub := math.Sqrt(xf / qaf)
 		if ub > 1 {
 			ub = 1
 		}
@@ -104,12 +117,55 @@ func MinDist(m Metric, q, e Signature) float64 {
 	}
 }
 
-// hammingLimit converts a float64 pruning threshold into the smallest
+// DistanceFromIntersect is Distance with the popcounts already done: x is
+// |q∩t|, qa is |q| and ta is |t|. Like MinDistFromIntersect it is the
+// scalar finisher for batched leaf scans, and is bit-identical to Distance
+// because all inputs are integers (|qΔt| = qa+ta−2x, |q∪t| = qa+ta−x).
+func DistanceFromIntersect(m Metric, x, qa, ta int) float64 {
+	switch m {
+	case Hamming:
+		return float64(qa + ta - 2*x)
+	case Jaccard:
+		u := qa + ta - x
+		if u == 0 {
+			return 0 // two empty sets: similarity 1 by convention
+		}
+		return 1 - float64(x)/float64(u)
+	case Dice:
+		d := qa + ta
+		if d == 0 {
+			return 0
+		}
+		return 1 - 2*float64(x)/float64(d)
+	case Cosine:
+		if qa == 0 && ta == 0 {
+			return 0
+		}
+		if qa == 0 || ta == 0 {
+			return 1
+		}
+		return 1 - float64(x)/math.Sqrt(float64(qa)*float64(ta))
+	default:
+		panic("signature: unknown metric")
+	}
+}
+
+// HammingPruneLimit converts a float64 pruning threshold into the smallest
 // integer count that already fails it: with strict semantics (survive iff
 // d < thr) any count >= ceil(thr) fails; with inclusive semantics (survive
 // iff d <= thr) any count >= floor(thr)+1 fails. A +Inf threshold never
 // fails (MaxInt), so the kernels degenerate to full counts.
-func hammingLimit(thr float64, strict bool) int {
+//
+// For any exact integer count c >= 0 and any thr, the equivalence
+//
+//	c >= HammingPruneLimit(thr, strict)  ⟺  fails(float64(c), thr, strict)
+//
+// holds (including thr < 0, where the limit is clamped to 0 so limit <= 0
+// short-circuits to "prunable", and thr = +Inf, where no finite count
+// reaches MaxInt). Callers that batch exact counts — the slab scans in
+// internal/core — rely on this to recover per-entry prunability from the
+// counts alone, with verdicts identical to the fused *AtLeast kernels.
+func HammingPruneLimit(thr float64, strict bool) int {
 	if math.IsInf(thr, 1) {
 		return math.MaxInt
 	}
@@ -128,12 +184,12 @@ func hammingLimit(thr float64, strict bool) int {
 // strict), so the subtree under e cannot contain a surviving result. For
 // Hamming without auxiliary statistics the popcount loop aborts as soon as
 // the running count proves prunability — in that case the returned d is a
-// clamped lower bound (>= hammingLimit(thr, strict)) rather than the exact
+// clamped lower bound (>= HammingPruneLimit(thr, strict)) rather than the exact
 // value; since bounds on pruned entries are only reported to observers,
 // search results are unaffected. When prunable is false, d is always exact.
 func MinDistWithin(m Metric, q, e Signature, thr float64, strict bool) (float64, bool) {
 	if m == Hamming {
-		c, reached := q.Bitset.AndNotCountAtLeast(e.Bitset, hammingLimit(thr, strict))
+		c, reached := q.Bitset.AndNotCountAtLeast(e.Bitset, HammingPruneLimit(thr, strict))
 		return float64(c), reached
 	}
 	d := MinDist(m, q, e)
@@ -148,7 +204,7 @@ func MinDistWithin(m Metric, q, e Signature, thr float64, strict bool) (float64,
 // always measured fully, so accepted results carry exact distances).
 func DistanceWithin(m Metric, q, t Signature, thr float64, strict bool) (float64, bool) {
 	if m == Hamming {
-		c, reached := q.Bitset.HammingAtLeast(t.Bitset, hammingLimit(thr, strict))
+		c, reached := q.Bitset.HammingAtLeast(t.Bitset, HammingPruneLimit(thr, strict))
 		return float64(c), reached
 	}
 	d := Distance(m, q, t)
@@ -180,14 +236,20 @@ func fails(d, thr float64, strict bool) bool {
 // ≤ x/(|q|+s−x) for s ≥ x (decreasing), again maximized at the point of
 // [lo,hi] closest to x. Dice and Cosine fall back to the generic bound.
 func MinDistCardRange(m Metric, q, e Signature, lo, hi int) float64 {
+	return MinDistCardRangeFromIntersect(m, q.Intersect(e), q.Area(), lo, hi)
+}
+
+// MinDistCardRangeFromIntersect is MinDistCardRange with the popcounts
+// already done (x = |q∩e|, qa = |q|), the finisher used by the slab scans
+// when directory entries carry cardinality statistics. Bit-identical to
+// MinDistCardRange for the same integer inputs.
+func MinDistCardRangeFromIntersect(m Metric, x, qa, lo, hi int) float64 {
 	if lo < 0 {
 		lo = 0
 	}
 	if hi < lo {
 		hi = lo
 	}
-	x := q.Intersect(e)
-	qa := q.Area()
 	switch m {
 	case Hamming:
 		s := x
@@ -232,7 +294,7 @@ func MinDistCardRange(m Metric, q, e Signature, lo, hi int) float64 {
 		}
 		return 1 - ub
 	default:
-		return MinDist(m, q, e)
+		return MinDistFromIntersect(m, x, qa)
 	}
 }
 
@@ -248,9 +310,14 @@ func MinDistFixedCard(m Metric, q, e Signature, d int) float64 {
 	if m != Hamming {
 		panic("signature: fixed-cardinality bound defined for Hamming only")
 	}
-	inter := q.Intersect(e)
-	qa := q.Area()
-	maxShared := inter
+	return MinDistFixedCardFromIntersect(q.Intersect(e), q.Area(), d)
+}
+
+// MinDistFixedCardFromIntersect is the Hamming fixed-cardinality bound with
+// the popcounts already done (x = |q∩e|, qa = |q|), the slab-scan finisher
+// for fixed-dimensionality trees. Bit-identical to MinDistFixedCard.
+func MinDistFixedCardFromIntersect(x, qa, d int) float64 {
+	maxShared := x
 	if d < maxShared {
 		maxShared = d
 	}
@@ -258,7 +325,7 @@ func MinDistFixedCard(m Metric, q, e Signature, d int) float64 {
 		maxShared = qa
 	}
 	strict := qa + d - 2*maxShared
-	relaxed := qa - inter // == |q \ e|
+	relaxed := qa - x // == |q \ e|
 	if strict > relaxed {
 		return float64(strict)
 	}

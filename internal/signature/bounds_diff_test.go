@@ -1,0 +1,227 @@
+package signature
+
+import (
+	"math"
+	"testing"
+)
+
+// Differential harness for the fused bound/distance layer: every fused or
+// batched form must agree with a bit-by-bit oracle that evaluates the
+// Section 4 definitions literally, bit positions one at a time. This is the
+// signature-level arm of the kernel correctness protocol (the word-level
+// arm lives in internal/bitset).
+
+// oracleSets decomposes two signatures into the per-position counts every
+// metric is defined over, reading bits one by one through Test — no
+// popcount kernels involved.
+func oracleSets(q, t Signature) (inter, qOnly, tOnly int) {
+	for i := 0; i < q.Len(); i++ {
+		qb, tb := q.Test(i), t.Test(i)
+		switch {
+		case qb && tb:
+			inter++
+		case qb:
+			qOnly++
+		case tb:
+			tOnly++
+		}
+	}
+	return
+}
+
+// oracleDistance evaluates Distance from the definitions.
+func oracleDistance(m Metric, q, t Signature) float64 {
+	inter, qOnly, tOnly := oracleSets(q, t)
+	qa, ta := inter+qOnly, inter+tOnly
+	switch m {
+	case Hamming:
+		return float64(qOnly + tOnly)
+	case Jaccard:
+		union := inter + qOnly + tOnly
+		if union == 0 {
+			return 0
+		}
+		return 1 - float64(inter)/float64(union)
+	case Dice:
+		if qa+ta == 0 {
+			return 0
+		}
+		return 1 - 2*float64(inter)/float64(qa+ta)
+	case Cosine:
+		if qa == 0 && ta == 0 {
+			return 0
+		}
+		if qa == 0 || ta == 0 {
+			return 1
+		}
+		return 1 - float64(inter)/math.Sqrt(float64(qa)*float64(ta))
+	default:
+		panic("unknown metric")
+	}
+}
+
+var allMetrics = []Metric{Hamming, Jaccard, Dice, Cosine}
+
+// diffCheckPair cross-checks every bound/distance form on one (q, e) pair
+// and a threshold.
+func diffCheckPair(t *testing.T, q, e Signature, thr float64, strict bool) {
+	t.Helper()
+	inter, qOnly, _ := oracleSets(q, e)
+	qa, ea := q.Area(), e.Area()
+	if qa != inter+qOnly {
+		t.Fatalf("Area() = %d, oracle %d", qa, inter+qOnly)
+	}
+	for _, m := range allMetrics {
+		// Distance vs oracle, and the FromIntersect finisher vs Distance
+		// (must be bit-identical, not merely close).
+		want := oracleDistance(m, q, e)
+		if got := Distance(m, q, e); got != want {
+			t.Errorf("%v Distance = %v, oracle %v", m, got, want)
+		}
+		if got := DistanceFromIntersect(m, inter, qa, ea); got != want {
+			t.Errorf("%v DistanceFromIntersect = %v, oracle %v", m, got, want)
+		}
+
+		// MinDist and its finisher.
+		wantMD := MinDist(m, q, e)
+		if got := MinDistFromIntersect(m, inter, qa); got != wantMD {
+			t.Errorf("%v MinDistFromIntersect = %v, MinDist %v", m, got, wantMD)
+		}
+		// The bound must actually lower-bound the distance to any covered
+		// signature; e itself is covered by e, so dist(q, e) qualifies.
+		if wantMD > want+1e-12 {
+			t.Errorf("%v MinDist %v exceeds distance-to-cover %v", m, wantMD, want)
+		}
+
+		// Fused forms: verdicts must match the unfused computation, and
+		// surviving values must be exact.
+		d, prunable := MinDistWithin(m, q, e, thr, strict)
+		if wantPrune := fails(wantMD, thr, strict); prunable != wantPrune {
+			t.Errorf("%v MinDistWithin(thr=%v,strict=%v) prunable=%v, want %v (bound %v)", m, thr, strict, prunable, wantPrune, wantMD)
+		}
+		if !prunable && d != wantMD {
+			t.Errorf("%v MinDistWithin surviving bound = %v, want exact %v", m, d, wantMD)
+		}
+		if prunable && d > wantMD {
+			// A clamped Hamming bound stops in [limit, exact]; it must
+			// never exceed the exact bound (non-Hamming metrics always
+			// return the exact value).
+			t.Errorf("%v MinDistWithin clamped bound %v exceeds exact %v", m, d, wantMD)
+		}
+
+		dd, failed := DistanceWithin(m, q, e, thr, strict)
+		if wantFail := fails(want, thr, strict); failed != wantFail {
+			t.Errorf("%v DistanceWithin(thr=%v,strict=%v) failed=%v, want %v (distance %v)", m, thr, strict, failed, wantFail, want)
+		}
+		if !failed && dd != want {
+			t.Errorf("%v DistanceWithin accepted distance = %v, want exact %v", m, dd, want)
+		}
+	}
+
+	// Cardinality-statistics bounds: the FromIntersect finisher must match
+	// the full form, and degenerate ranges must reproduce the generic and
+	// fixed-card bounds.
+	for _, rng := range [][2]int{{0, q.Len()}, {0, 0}, {ea, ea}, {1, 3}, {5, 2}, {-2, 4}} {
+		lo, hi := rng[0], rng[1]
+		for _, m := range allMetrics {
+			full := MinDistCardRange(m, q, e, lo, hi)
+			if got := MinDistCardRangeFromIntersect(m, inter, qa, lo, hi); got != full {
+				t.Errorf("%v MinDistCardRangeFromIntersect(%d,%d) = %v, full form %v", m, lo, hi, got, full)
+			}
+		}
+	}
+	fixed := MinDistFixedCard(Hamming, q, e, ea)
+	if got := MinDistFixedCardFromIntersect(inter, qa, ea); got != fixed {
+		t.Errorf("MinDistFixedCardFromIntersect = %v, full form %v", got, fixed)
+	}
+	if cr := MinDistCardRange(Hamming, q, e, ea, ea); cr != fixed {
+		t.Errorf("CardRange[d,d] = %v, FixedCard = %v", cr, fixed)
+	}
+}
+
+// TestHammingPruneLimitEquivalence pins the equivalence the slab scans rely
+// on: for exact integer counts, comparing against HammingPruneLimit is the
+// same predicate as fails(float64(c), thr, strict).
+func TestHammingPruneLimitEquivalence(t *testing.T) {
+	thrs := []float64{math.Inf(1), -1, -0.5, 0, 0.25, 0.999, 1, 1.5, 2, 63, 64, 64.0001, 1e9}
+	for _, thr := range thrs {
+		for _, strict := range []bool{true, false} {
+			limit := HammingPruneLimit(thr, strict)
+			for c := 0; c <= 130; c++ {
+				byLimit := c >= limit
+				byFloat := fails(float64(c), thr, strict)
+				if byLimit != byFloat {
+					t.Fatalf("thr=%v strict=%v c=%d: limit-test %v, float-test %v (limit=%d)",
+						thr, strict, c, byLimit, byFloat, limit)
+				}
+			}
+		}
+	}
+}
+
+// FuzzKernelEquivalence is the signature-level differential fuzz: arbitrary
+// bit patterns and thresholds, every metric, fused and batched forms versus
+// the bit-by-bit oracle.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add([]byte{0xFF, 0x0F}, []byte{0xF0, 0xFF}, 2.0, true)
+	f.Add([]byte{}, []byte{}, 0.5, false)
+	f.Add([]byte{0x01}, []byte{0x80, 0x01, 0x02}, math.Inf(1), true)
+	f.Add([]byte{0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA}, []byte{0x55}, -3.0, false)
+	f.Fuzz(func(t *testing.T, qb, eb []byte, thr float64, strict bool) {
+		if math.IsNaN(thr) {
+			return
+		}
+		// Equalize lengths: signatures under one tree share a length.
+		n := 8 * len(qb)
+		if m := 8 * len(eb); m > n {
+			n = m
+		}
+		if n == 0 {
+			n = 1
+		}
+		if n > 4096 {
+			return
+		}
+		q, e := New(n), New(n)
+		for i := 0; i < 8*len(qb) && i < n; i++ {
+			if qb[i/8]>>(uint(i)%8)&1 == 1 {
+				q.Set(i)
+			}
+		}
+		for i := 0; i < 8*len(eb) && i < n; i++ {
+			if eb[i/8]>>(uint(i)%8)&1 == 1 {
+				e.Set(i)
+			}
+		}
+		diffCheckPair(t, q, e, thr, strict)
+	})
+}
+
+// TestBoundsDifferentialTable runs diffCheckPair over deterministic edge
+// patterns: empty/full/disjoint/identical signatures at the tail-boundary
+// lengths, with thresholds around the integer boundaries.
+func TestBoundsDifferentialTable(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 259} {
+		empty := New(n)
+		full := New(n)
+		for i := 0; i < n; i++ {
+			full.Set(i)
+		}
+		half := New(n)
+		for i := 0; i < n; i += 2 {
+			half.Set(i)
+		}
+		single := New(n)
+		single.Set(n - 1)
+		sigs := []Signature{empty, full, half, single}
+		for _, q := range sigs {
+			for _, e := range sigs {
+				for _, thr := range []float64{math.Inf(1), 0, 0.5, 1, float64(n / 2), float64(n)} {
+					for _, strict := range []bool{true, false} {
+						diffCheckPair(t, q, e, thr, strict)
+					}
+				}
+			}
+		}
+	}
+}

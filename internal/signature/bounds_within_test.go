@@ -24,8 +24,8 @@ func TestHammingLimit(t *testing.T) {
 		{3.5, false, 4},
 	}
 	for _, c := range cases {
-		if got := hammingLimit(c.thr, c.strict); got != c.want {
-			t.Errorf("hammingLimit(%v, %v) = %d, want %d", c.thr, c.strict, got, c.want)
+		if got := HammingPruneLimit(c.thr, c.strict); got != c.want {
+			t.Errorf("HammingPruneLimit(%v, %v) = %d, want %d", c.thr, c.strict, got, c.want)
 		}
 	}
 }

@@ -182,6 +182,11 @@ func toStats(s core.QueryStats) Stats {
 // PageID identifies a tree page in observer events.
 type PageID = storage.PageID
 
+// TID identifies a stored transaction in observer events; it carries the
+// same value as Item.ID / Match.ID. Without this alias external code
+// could not implement Observer.OnResult or set FuncObserver.Result.
+type TID = dataset.TID
+
 // Observer receives per-query traversal events (node visits, prunes,
 // results, completion); see core.Observer for the hook semantics. Attach
 // one per-index with SetObserver or per-query with WithObserver.
