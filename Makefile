@@ -14,7 +14,7 @@ STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 BENCHSTAT_VERSION ?= latest
 
-.PHONY: build test vet race crash fuzz check fmt lint staticcheck vuln tools bench bench-json bench-kernels bench-throughput server-smoke
+.PHONY: build test vet race crash fuzz check fmt lint staticcheck vuln tools bench bench-json bench-kernels bench-throughput bench-recall server-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,7 @@ fuzz:
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 5s -run '^$$' ./internal/storage
 	$(GO) test -fuzz FuzzKernelEquivalence -fuzztime 5s -run '^$$' ./internal/bitset
 	$(GO) test -fuzz FuzzKernelEquivalence -fuzztime 5s -run '^$$' ./internal/signature
+	$(GO) test -fuzz FuzzSketchEquivalence -fuzztime 5s -run '^$$' ./internal/sketch
 
 check: vet fmt lint test race crash
 
@@ -146,3 +147,17 @@ bench-throughput:
 
 # Back-compat alias for the old target name.
 bench-json: bench-throughput
+
+# Refresh the checked-in recall/QPS sweep of the approximate sketch tier
+# (BENCH_recall.json): measured recall and speedup-vs-exact for both
+# route and answer modes across the recall-target grid, scored against a
+# brute-force oracle. `make bench-recall BENCH_UPDATE=1` also refreshes
+# the baseline the CI recall-bench job compares against. Like the other
+# BENCH files, numbers are only comparable when regenerated on the same
+# host, but measured recall is host-independent — that is the number CI
+# tracks.
+bench-recall:
+	$(GO) run ./cmd/sgbench -recall-sweep > BENCH_recall.json
+ifeq ($(BENCH_UPDATE),1)
+	cp BENCH_recall.json BENCH_recall_baseline.json
+endif

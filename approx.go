@@ -1,0 +1,504 @@
+package sgtree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sgtree/internal/core"
+	"sgtree/internal/dataset"
+	"sgtree/internal/signature"
+	"sgtree/internal/sketch"
+	"sgtree/internal/storage"
+)
+
+// SketchConfig enables the approximate sketch tier (DESIGN.md §13): an
+// in-memory MinHash LSH index in front of the exact tree. The zero
+// value of every field picks a sensible default, so &SketchConfig{} is
+// a valid configuration.
+type SketchConfig struct {
+	// K is the number of sketch registers per set (default 128). More
+	// registers sharpen similarity estimates and collision routing at
+	// 4·K bytes per indexed set (at the default 16-bit registers the
+	// flat store keeps 32-bit slots regardless of Bits).
+	K int
+	// Bits truncates each register to its low b bits, 1..32 (default
+	// 16). Smaller registers raise the accidental-collision floor; the
+	// estimator corrects for it, the router absorbs it into its
+	// per-band collision model.
+	Bits int
+	// Bands is the LSH band count; it must divide K (default K/2, i.e.
+	// two rows per band). More bands probe-at-full-recall catch lower
+	// similarities; the per-request recall knob decides how many of
+	// them a query actually probes.
+	Bands int
+	// Recall is the default target recall in (0,1] for Approx queries
+	// that do not pass their own (default 0.9). 1 probes every band.
+	Recall float64
+	// Scheme selects the sketch family: "kmin" (default; K independent
+	// hash functions) or "oneperm" (one-permutation hashing with
+	// rotation densification — one pass per element instead of K, but
+	// estimate quality degrades for sets much smaller than K).
+	Scheme string
+}
+
+func (c *SketchConfig) params() (sketch.Params, error) {
+	scheme, err := sketch.ParseScheme(c.Scheme)
+	if err != nil {
+		return sketch.Params{}, err
+	}
+	k := c.K
+	if k == 0 {
+		k = 128
+	}
+	return sketch.Params{K: k, Bits: c.Bits, Bands: c.Bands, Scheme: scheme}, nil
+}
+
+func (c *SketchConfig) recall() float64 {
+	if c.Recall == 0 {
+		return 0.9
+	}
+	return c.Recall
+}
+
+// ApproxMode selects what an Approx query returns.
+type ApproxMode int
+
+const (
+	// RouteApprox (the default) uses the sketch index only to nominate
+	// candidate leaves; the tree then verifies those leaves exactly, so
+	// every returned distance is exact and the result is a subset of
+	// the exact answer — recall is tunable, false positives impossible.
+	RouteApprox ApproxMode = iota
+	// AnswerApprox returns sketch-estimated distances directly without
+	// touching the tree: cheapest, but distances carry sampling error
+	// in both directions.
+	AnswerApprox
+)
+
+func (m ApproxMode) String() string {
+	switch m {
+	case RouteApprox:
+		return "route"
+	case AnswerApprox:
+		return "answer"
+	}
+	return fmt.Sprintf("ApproxMode(%d)", int(m))
+}
+
+// ParseApproxMode parses "route" (or "") and "answer".
+func ParseApproxMode(s string) (ApproxMode, error) {
+	switch s {
+	case "", "route":
+		return RouteApprox, nil
+	case "answer":
+		return AnswerApprox, nil
+	}
+	return 0, fmt.Errorf("sgtree: unknown approx mode %q (want route or answer)", s)
+}
+
+// ErrNoSketch reports an Approx query against an index whose Config has
+// no Sketch block.
+var ErrNoSketch = errors.New("sgtree: sketch tier not configured (set Config.Sketch)")
+
+// defaultBandS0 is the neighbor similarity the probe-count model plans
+// for: BandsForRecall guarantees the target recall for neighbors at
+// Jaccard similarity ≥ defaultBandS0, and the exact verification step
+// keeps whatever surfaces below it correct anyway.
+const defaultBandS0 = 0.5
+
+// staleRetries bounds how often a route-mode query rebuilds the sketch
+// index when concurrent writers keep moving the tree underneath it;
+// after that the query falls back to the exact traversal, which needs
+// no leaf tokens and is always correct.
+const staleRetries = 3
+
+// sketchTier is the per-index state of the approximate tier: the
+// current LSH index (atomically swapped on rebuild) plus pooled
+// per-query scratch. Rebuilds are lazy — the first Approx query after
+// an update pays one linear WalkLeaves pass — and serialized by mu so
+// a write burst triggers one rebuild, not one per waiting query.
+type sketchTier struct {
+	params sketch.Params
+	recall float64
+	metric signature.Metric // for answer-mode distance conversion
+
+	mu  sync.Mutex // serializes rebuilds
+	idx atomic.Pointer[sketch.Index]
+
+	scratch sync.Pool // *approxScratch
+}
+
+type approxScratch struct {
+	cs     sketch.CandidateSet
+	regs   []uint32
+	mins   []uint64
+	pos    []uint32
+	leaves []storage.PageID
+	ests   []core.Neighbor
+}
+
+func newSketchTier(cfg *SketchConfig, metric signature.Metric) (*sketchTier, error) {
+	p, err := cfg.params()
+	if err != nil {
+		return nil, err
+	}
+	// Validate eagerly so a bad block fails index construction, not the
+	// first query.
+	probe, err := sketch.NewIndex(p)
+	if err != nil {
+		return nil, err
+	}
+	st := &sketchTier{params: probe.Sketcher().Params(), recall: cfg.recall(), metric: metric}
+	st.scratch.New = func() any { return new(approxScratch) }
+	return st, nil
+}
+
+// index returns an LSH index that was current at some recent epoch,
+// rebuilding it if the tree has moved since the last build. The caller
+// must still pass idx.Epoch() to the candidate scan and treat
+// core.ErrStaleLeaves as "rebuild and retry" — a writer may land
+// between this check and the scan.
+func (st *sketchTier) index(tree *core.Tree) (*sketch.Index, error) {
+	if idx := st.idx.Load(); idx != nil && idx.Epoch() == tree.Epoch() {
+		return idx, nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if idx := st.idx.Load(); idx != nil && idx.Epoch() == tree.Epoch() {
+		return idx, nil
+	}
+	idx, err := st.rebuild(tree)
+	if err != nil {
+		return nil, err
+	}
+	st.idx.Store(idx)
+	return idx, nil
+}
+
+// rebuild walks every leaf entry once, sketching each stored signature
+// and filing it under its leaf page id — the token route-mode queries
+// hand back to the tree for exact verification.
+func (st *sketchTier) rebuild(tree *core.Tree) (*sketch.Index, error) {
+	idx, err := sketch.NewIndex(st.params)
+	if err != nil {
+		return nil, err
+	}
+	var pos []uint32
+	epoch, err := tree.WalkLeaves(context.Background(), func(leaf storage.PageID, sig signature.Signature, tid dataset.TID) bool {
+		pos = pos[:0]
+		for i := sig.NextSet(0); i >= 0; i = sig.NextSet(i + 1) {
+			pos = append(pos, uint32(i))
+		}
+		idx.Add(uint32(tid), uint32(leaf), sig.Area(), pos)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx.SetEpoch(epoch)
+	return idx, nil
+}
+
+// SketchEnabled reports whether the index was configured with a sketch
+// tier (Config.Sketch non-nil), i.e. whether Approx queries work.
+func (ix *Index) SketchEnabled() bool { return ix.sketch != nil }
+
+// SketchFootprint returns the approximate resident bytes of the current
+// sketch index, or 0 when the tier is disabled or not yet built.
+func (ix *Index) SketchFootprint() int {
+	if ix.sketch == nil {
+		return 0
+	}
+	if idx := ix.sketch.idx.Load(); idx != nil {
+		return idx.MemoryFootprint()
+	}
+	return 0
+}
+
+// ApproxKNN is an approximate k-nearest-neighbor query at the
+// configured default recall in route mode: the sketch tier nominates
+// candidate leaves, the tree verifies them exactly, and the result is a
+// subset of the exact KNN answer with exact distances. Requires
+// Config.Sketch.
+func (ix *Index) ApproxKNN(query []int, k int) ([]Match, Stats, error) {
+	return ix.ApproxKNNContext(context.Background(), query, k)
+}
+
+// ApproxKNNContext is ApproxKNN with cancellation.
+func (ix *Index) ApproxKNNContext(ctx context.Context, query []int, k int) ([]Match, Stats, error) {
+	return ix.ApproxKNNTuned(ctx, query, k, 0, RouteApprox)
+}
+
+// ApproxKNNTuned is ApproxKNN with per-request tuning: recall in (0,1]
+// sets the target recall for this query (0 means the configured
+// default; 1 probes every band), and mode selects route or answer
+// semantics (see ApproxMode).
+func (ix *Index) ApproxKNNTuned(ctx context.Context, query []int, k int, recall float64, mode ApproxMode) ([]Match, Stats, error) {
+	if ix.sketch == nil {
+		return nil, Stats{}, ErrNoSketch
+	}
+	if k < 1 {
+		return nil, Stats{}, fmt.Errorf("sgtree: k = %d < 1", k)
+	}
+	s, err := ix.sig(query)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, st, err := ix.approxKNNSig(ctx, s, k, recall, mode)
+	return toMatches(res), toStats(st), err
+}
+
+// ApproxRangeSearch is an approximate range query at the configured
+// default recall in route mode; results are a subset of the exact
+// range answer with exact distances. Requires Config.Sketch.
+func (ix *Index) ApproxRangeSearch(query []int, eps float64) ([]Match, Stats, error) {
+	return ix.ApproxRangeSearchContext(context.Background(), query, eps)
+}
+
+// ApproxRangeSearchContext is ApproxRangeSearch with cancellation.
+func (ix *Index) ApproxRangeSearchContext(ctx context.Context, query []int, eps float64) ([]Match, Stats, error) {
+	return ix.ApproxRangeSearchTuned(ctx, query, eps, 0, RouteApprox)
+}
+
+// ApproxRangeSearchTuned is ApproxRangeSearch with per-request recall
+// and mode, like ApproxKNNTuned.
+func (ix *Index) ApproxRangeSearchTuned(ctx context.Context, query []int, eps float64, recall float64, mode ApproxMode) ([]Match, Stats, error) {
+	if ix.sketch == nil {
+		return nil, Stats{}, ErrNoSketch
+	}
+	if eps < 0 {
+		return nil, Stats{}, fmt.Errorf("sgtree: negative range %v", eps)
+	}
+	s, err := ix.sig(query)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, st, err := ix.approxRangeSig(ctx, s, eps, recall, mode)
+	return toMatches(res), toStats(st), err
+}
+
+// approxKNNSig runs the sketch-then-verify pipeline for one already
+// mapped query signature (shared by Index and Sharded entry points).
+func (ix *Index) approxKNNSig(ctx context.Context, s signature.Signature, k int, recall float64, mode ApproxMode) ([]core.Neighbor, core.QueryStats, error) {
+	tier := ix.sketch
+	if recall == 0 {
+		recall = tier.recall
+	}
+	sc := tier.scratch.Get().(*approxScratch)
+	defer tier.scratch.Put(sc)
+	for attempt := 0; attempt < staleRetries; attempt++ {
+		idx, err := tier.index(ix.tree)
+		if err != nil {
+			return nil, core.QueryStats{}, err
+		}
+		probe := tier.sketchQuery(idx, s, recall, sc)
+		if mode == AnswerApprox {
+			cands := idx.Candidates(sc.regs, probe, &sc.cs)
+			return tier.answerKNN(idx, s, k, cands, sc), core.QueryStats{DataCompared: len(cands)}, nil
+		}
+		leaves := sc.leafSet(idx, probe)
+		res, st, err := ix.tree.CandidateKNNContext(ctx, s, k, idx.Epoch(), leaves)
+		if errors.Is(err, core.ErrStaleLeaves) {
+			continue
+		}
+		return res, st, err
+	}
+	// Writers kept moving the tree under us; the exact traversal needs
+	// no leaf tokens and is always a valid (superset) answer.
+	return ix.tree.KNNContext(ctx, s, k)
+}
+
+// approxRangeSig is approxKNNSig for range queries.
+func (ix *Index) approxRangeSig(ctx context.Context, s signature.Signature, eps float64, recall float64, mode ApproxMode) ([]core.Neighbor, core.QueryStats, error) {
+	tier := ix.sketch
+	if recall == 0 {
+		recall = tier.recall
+	}
+	sc := tier.scratch.Get().(*approxScratch)
+	defer tier.scratch.Put(sc)
+	for attempt := 0; attempt < staleRetries; attempt++ {
+		idx, err := tier.index(ix.tree)
+		if err != nil {
+			return nil, core.QueryStats{}, err
+		}
+		probe := tier.sketchQuery(idx, s, recall, sc)
+		if mode == AnswerApprox {
+			cands := idx.Candidates(sc.regs, probe, &sc.cs)
+			return tier.answerRange(idx, s, eps, cands, sc), core.QueryStats{DataCompared: len(cands)}, nil
+		}
+		leaves := sc.leafSet(idx, probe)
+		res, st, err := ix.tree.CandidateRangeContext(ctx, s, eps, idx.Epoch(), leaves)
+		if errors.Is(err, core.ErrStaleLeaves) {
+			continue
+		}
+		return res, st, err
+	}
+	return ix.tree.RangeSearchContext(ctx, s, eps)
+}
+
+// sketchQuery sketches the query signature into sc.regs and returns how
+// many bands to probe to hit the target recall at the planning
+// similarity defaultBandS0. sc.cs is then ready for a Candidates or
+// CandidateLeaves probe.
+func (st *sketchTier) sketchQuery(idx *sketch.Index, s signature.Signature, recall float64, sc *approxScratch) int {
+	sk := idx.Sketcher()
+	sc.pos = sc.pos[:0]
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		sc.pos = append(sc.pos, uint32(i))
+	}
+	if cap(sc.regs) < sk.K() {
+		sc.regs = make([]uint32, sk.K())
+	}
+	sc.regs = sc.regs[:sk.K()]
+	sc.mins = sk.Sketch(sc.pos, sc.regs, sc.mins)
+	return idx.BandsForRecall(recall, defaultBandS0)
+}
+
+// leafSet probes the band index at leaf granularity (the route-mode
+// fast path: one stamp per colliding record, no per-record candidate
+// list) and converts the tokens into the page id list the exact scan
+// takes. sc.regs must hold the query sketch (sketchQuery filled it).
+func (sc *approxScratch) leafSet(idx *sketch.Index, probe int) []storage.PageID {
+	sc.leaves = sc.leaves[:0]
+	for _, leaf := range idx.CandidateLeaves(sc.regs, probe, &sc.cs) {
+		sc.leaves = append(sc.leaves, storage.PageID(leaf))
+	}
+	return sc.leaves
+}
+
+// answerKNN ranks the candidates by sketch-estimated distance and
+// returns the top k without touching the tree. sc.regs must hold the
+// query sketch (candidates filled it).
+func (st *sketchTier) answerKNN(idx *sketch.Index, s signature.Signature, k int, cands []int32, sc *approxScratch) []core.Neighbor {
+	sk := idx.Sketcher()
+	qa := s.Area()
+	sc.ests = sc.ests[:0]
+	for _, c := range cands {
+		rec := idx.Record(c)
+		j := sk.Estimate(sc.regs, idx.Regs(c))
+		d := sketch.EstimateDistance(st.metric, j, qa, int(rec.Area))
+		sc.ests = append(sc.ests, core.Neighbor{TID: dataset.TID(rec.TID), Dist: d})
+	}
+	sortEstimates(sc.ests)
+	if len(sc.ests) > k {
+		sc.ests = sc.ests[:k]
+	}
+	out := make([]core.Neighbor, len(sc.ests))
+	copy(out, sc.ests)
+	return out
+}
+
+// answerRange keeps the candidates whose estimated distance is within
+// eps.
+func (st *sketchTier) answerRange(idx *sketch.Index, s signature.Signature, eps float64, cands []int32, sc *approxScratch) []core.Neighbor {
+	sk := idx.Sketcher()
+	qa := s.Area()
+	var out []core.Neighbor
+	for _, c := range cands {
+		rec := idx.Record(c)
+		j := sk.Estimate(sc.regs, idx.Regs(c))
+		if d := sketch.EstimateDistance(st.metric, j, qa, int(rec.Area)); d <= eps {
+			out = append(out, core.Neighbor{TID: dataset.TID(rec.TID), Dist: d})
+		}
+	}
+	sortEstimates(out)
+	return out
+}
+
+func sortEstimates(ns []core.Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].TID < ns[j].TID
+	})
+}
+
+// ApproxKNN is the sharded approximate k-NN query: every shard consults
+// its own sketch index, shards without a single sketch collision skip
+// their tree entirely, and the per-shard (route-mode exact) results
+// merge into one top-k. See Index.ApproxKNN for semantics.
+func (sh *Sharded) ApproxKNN(query []int, k int) ([]Match, Stats, error) {
+	return sh.ApproxKNNTuned(context.Background(), query, k, 0, RouteApprox)
+}
+
+// ApproxKNNTuned is ApproxKNN with per-request recall and mode.
+func (sh *Sharded) ApproxKNNTuned(ctx context.Context, query []int, k int, recall float64, mode ApproxMode) ([]Match, Stats, error) {
+	if sh.shard[0].sketch == nil {
+		return nil, Stats{}, ErrNoSketch
+	}
+	if k < 1 {
+		return nil, Stats{}, fmt.Errorf("sgtree: k = %d < 1", k)
+	}
+	s, err := sh.shard[0].sig(query)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, st, err := sh.scatterApprox(ctx, func(ctx context.Context, ix *Index) ([]core.Neighbor, core.QueryStats, error) {
+		return ix.approxKNNSig(ctx, s, k, recall, mode)
+	})
+	if err != nil {
+		return nil, toStats(st), err
+	}
+	sortEstimates(res)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return toMatches(res), toStats(st), nil
+}
+
+// ApproxRangeSearch is the sharded approximate range query; see
+// Index.ApproxRangeSearch.
+func (sh *Sharded) ApproxRangeSearch(query []int, eps float64) ([]Match, Stats, error) {
+	return sh.ApproxRangeSearchTuned(context.Background(), query, eps, 0, RouteApprox)
+}
+
+// ApproxRangeSearchTuned is ApproxRangeSearch with per-request recall
+// and mode.
+func (sh *Sharded) ApproxRangeSearchTuned(ctx context.Context, query []int, eps float64, recall float64, mode ApproxMode) ([]Match, Stats, error) {
+	if sh.shard[0].sketch == nil {
+		return nil, Stats{}, ErrNoSketch
+	}
+	if eps < 0 {
+		return nil, Stats{}, fmt.Errorf("sgtree: negative range %v", eps)
+	}
+	s, err := sh.shard[0].sig(query)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, st, err := sh.scatterApprox(ctx, func(ctx context.Context, ix *Index) ([]core.Neighbor, core.QueryStats, error) {
+		return ix.approxRangeSig(ctx, s, eps, recall, mode)
+	})
+	if err != nil {
+		return nil, toStats(st), err
+	}
+	sortEstimates(res)
+	return toMatches(res), toStats(st), nil
+}
+
+// scatterApprox fans one approximate query across all shards in
+// parallel and concatenates results and stats. A shard whose sketch
+// index has no collision for the query returns instantly without
+// touching its tree — the sketch tier is the router.
+func (sh *Sharded) scatterApprox(ctx context.Context, run func(context.Context, *Index) ([]core.Neighbor, core.QueryStats, error)) ([]core.Neighbor, core.QueryStats, error) {
+	perShard := make([][]core.Neighbor, len(sh.shard))
+	stats := make([]core.QueryStats, len(sh.shard))
+	err := core.RunParallel(ctx, len(sh.shard), 0, func(ctx context.Context, i int) error {
+		res, st, err := run(ctx, sh.shard[i])
+		perShard[i], stats[i] = res, st
+		return err
+	})
+	var all []core.Neighbor
+	var total core.QueryStats
+	for i := range perShard {
+		all = append(all, perShard[i]...)
+		total.NodesAccessed += stats[i].NodesAccessed
+		total.DataCompared += stats[i].DataCompared
+		total.EntriesPruned += stats[i].EntriesPruned
+	}
+	return all, total, err
+}

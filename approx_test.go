@@ -1,0 +1,371 @@
+package sgtree
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// approxTestConfigs mirrors the seven tree configurations of
+// internal/core's slabscan_test.go at the facade level, so the
+// route-mode subset property is exercised against every leaf-scan
+// shape (direct Hamming kernels, card-stats, fixed-cardinality,
+// compressed and padded layouts, and all four metrics).
+type approxTestConfig struct {
+	name      string
+	universe  int
+	metric    Metric
+	compress  bool
+	cardStats bool
+	fixedCard int
+}
+
+var approxTestConfigs = []approxTestConfig{
+	{name: "hamming", universe: 200, metric: Hamming, compress: true},
+	{name: "hamming-padded", universe: 300, metric: Hamming},
+	{name: "hamming-cardstats", universe: 300, metric: Hamming, cardStats: true, compress: true},
+	{name: "hamming-fixedcard", universe: 200, metric: Hamming, fixedCard: 6},
+	{name: "jaccard", universe: 300, metric: Jaccard, compress: true},
+	{name: "dice", universe: 200, metric: Dice},
+	{name: "cosine", universe: 300, metric: Cosine, compress: true},
+}
+
+func (c *approxTestConfig) config() Config {
+	return Config{
+		Universe:         c.universe,
+		Metric:           c.metric,
+		Compress:         c.compress,
+		CardStats:        c.cardStats,
+		FixedCardinality: c.fixedCard,
+		PageSize:         1024,
+		BufferPages:      64,
+		MaxNodeEntries:   8,
+		Sketch:           &SketchConfig{K: 256, Bits: 16, Recall: 0.9},
+	}
+}
+
+// approxData generates n clustered sets: a handful of prototype sets
+// with per-member mutations, so similar neighbors genuinely exist for
+// the sketch tier to find.
+func approxData(universe, n, fixedCard int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, n)
+	if fixedCard > 0 {
+		for i := range out {
+			out[i] = rng.Perm(universe)[:fixedCard]
+		}
+		return out
+	}
+	protos := make([][]int, 12)
+	for i := range protos {
+		protos[i] = rng.Perm(universe)[:6+rng.Intn(10)]
+	}
+	for i := range out {
+		p := protos[rng.Intn(len(protos))]
+		set := map[int]bool{}
+		for _, it := range p {
+			if rng.Float64() < 0.85 {
+				set[it] = true
+			}
+		}
+		for rng.Float64() < 0.4 {
+			set[rng.Intn(universe)] = true
+		}
+		if len(set) == 0 {
+			set[rng.Intn(universe)] = true
+		}
+		out[i] = make([]int, 0, len(set))
+		for it := range set {
+			out[i] = append(out[i], it)
+		}
+	}
+	return out
+}
+
+// TestApproxRouteSubset is the route-mode admissibility property: on
+// every tree configuration, at several recall targets, every
+// approximate result must appear in the exact answer with an identical
+// distance — never a false positive, never a wrong distance.
+func TestApproxRouteSubset(t *testing.T) {
+	for i := range approxTestConfigs {
+		cfg := &approxTestConfigs[i]
+		t.Run(cfg.name, func(t *testing.T) {
+			ix, err := New(cfg.config())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ix.Close()
+			data := approxData(cfg.universe, 400, cfg.fixedCard, int64(100+i))
+			items := make([]Item, len(data))
+			for j, set := range data {
+				items[j] = Item{ID: uint32(j), Items: set}
+			}
+			if err := ix.BulkLoad(items); err != nil {
+				t.Fatal(err)
+			}
+			eps := 8.0
+			if cfg.metric != Hamming {
+				eps = 0.8
+			}
+			for qi := 0; qi < 6; qi++ {
+				q := data[qi*37%len(data)]
+				exactNN, _, err := ix.KNN(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exactR, _, err := ix.RangeSearch(q, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inRange := map[uint32]float64{}
+				for _, m := range exactR {
+					inRange[m.ID] = m.Distance
+				}
+				for _, recall := range []float64{0.5, 0.9, 1} {
+					gotNN, _, err := ix.ApproxKNNTuned(context.Background(), q, 10, recall, RouteApprox)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(gotNN) > len(exactNN) {
+						t.Fatalf("recall %v: approx KNN returned %d > exact %d", recall, len(gotNN), len(exactNN))
+					}
+					for j, m := range gotNN {
+						// The approx list is the exact top of a candidate
+						// subset: position-wise it can never beat the true
+						// j-th nearest distance.
+						if m.Distance < exactNN[j].Distance {
+							t.Fatalf("recall %v: approx result %d dist %v beats exact %v",
+								recall, j, m.Distance, exactNN[j].Distance)
+						}
+					}
+					gotR, _, err := ix.ApproxRangeSearchTuned(context.Background(), q, eps, recall, RouteApprox)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, m := range gotR {
+						d, ok := inRange[m.ID]
+						if !ok {
+							t.Fatalf("recall %v: approx range returned id %d not in the exact answer", recall, m.ID)
+						}
+						if d != m.Distance {
+							t.Fatalf("recall %v: id %d approx dist %v != exact %v", recall, m.ID, m.Distance, d)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestApproxRecallOnMembers: a stored set queried at high recall should
+// find itself (distance 0 under every metric), and full-band probing
+// should recover most of the exact top-10.
+func TestApproxRecallOnMembers(t *testing.T) {
+	cfg := &approxTestConfigs[0]
+	ix, err := New(cfg.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	data := approxData(cfg.universe, 500, 0, 7)
+	for j, set := range data {
+		if err := ix.Insert(uint32(j), set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	self := 0
+	for qi := 0; qi < 50; qi++ {
+		q := data[qi*7%len(data)]
+		got, _, err := ix.ApproxKNNTuned(context.Background(), q, 5, 1, RouteApprox)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) > 0 && got[0].Distance == 0 {
+			self++
+		}
+	}
+	// An identical set collides in every band, so self-recall at full
+	// probing should be essentially perfect.
+	if self < 48 {
+		t.Fatalf("self-recall %d/50 at recall=1", self)
+	}
+}
+
+// TestApproxStalenessRebuild: the sketch index follows updates — an
+// item inserted after the first approximate query becomes findable by
+// the next one (lazy epoch-checked rebuild).
+func TestApproxStalenessRebuild(t *testing.T) {
+	cfg := &approxTestConfigs[0]
+	ix, err := New(cfg.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	data := approxData(cfg.universe, 200, 0, 9)
+	for j, set := range data {
+		if err := ix.Insert(uint32(j), set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := ix.ApproxKNN(data[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	novel := []int{1, 3, 5, 7, 9, 11}
+	if err := ix.Insert(9999, novel); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.ApproxKNNTuned(context.Background(), novel, 1, 1, RouteApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 9999 || got[0].Distance != 0 {
+		t.Fatalf("after insert, approx KNN for the new set = %+v, want id 9999 at distance 0", got)
+	}
+}
+
+// TestApproxAnswerMode: answer-mode results carry estimated distances —
+// in [0, metric range], sorted, and the query's own set surfaces at an
+// estimate of 0.
+func TestApproxAnswerMode(t *testing.T) {
+	cfg := &approxTestConfigs[4] // jaccard
+	ix, err := New(cfg.config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	data := approxData(cfg.universe, 300, 0, 21)
+	for j, set := range data {
+		if err := ix.Insert(uint32(j), set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, err := ix.ApproxKNNTuned(context.Background(), data[5], 5, 1, AnswerApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("answer mode found nothing for a stored set")
+	}
+	if got[0].Distance != 0 {
+		t.Fatalf("answer mode self-estimate distance %v, want 0", got[0].Distance)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Distance < got[i-1].Distance {
+			t.Fatal("answer-mode results not sorted by distance")
+		}
+		if got[i].Distance < 0 || got[i].Distance > 1 {
+			t.Fatalf("jaccard estimate %v outside [0,1]", got[i].Distance)
+		}
+	}
+	gotR, _, err := ix.ApproxRangeSearchTuned(context.Background(), data[5], 0.5, 1, AnswerApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range gotR {
+		if m.Distance > 0.5 {
+			t.Fatalf("answer-mode range returned estimate %v > eps", m.Distance)
+		}
+	}
+}
+
+// TestApproxDisabled: Approx queries without a Sketch block fail with
+// ErrNoSketch, and the mode parser round-trips.
+func TestApproxDisabled(t *testing.T) {
+	ix, err := New(Config{Universe: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, _, err := ix.ApproxKNN([]int{1, 2}, 3); !errors.Is(err, ErrNoSketch) {
+		t.Fatalf("ApproxKNN without sketch: %v, want ErrNoSketch", err)
+	}
+	if _, _, err := ix.ApproxRangeSearch([]int{1, 2}, 1); !errors.Is(err, ErrNoSketch) {
+		t.Fatalf("ApproxRangeSearch without sketch: %v, want ErrNoSketch", err)
+	}
+	if ix.SketchEnabled() {
+		t.Fatal("SketchEnabled true without a Sketch block")
+	}
+	for _, tc := range []struct {
+		in   string
+		want ApproxMode
+	}{{"", RouteApprox}, {"route", RouteApprox}, {"answer", AnswerApprox}} {
+		got, err := ParseApproxMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseApproxMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseApproxMode("bogus"); err == nil {
+		t.Fatal("ParseApproxMode accepted bogus mode")
+	}
+}
+
+// TestApproxBadSketchConfig: an invalid sketch block fails at New, not
+// at the first query.
+func TestApproxBadSketchConfig(t *testing.T) {
+	for _, bad := range []*SketchConfig{
+		{K: 128, Bands: 7},  // bands must divide K
+		{K: 128, Bits: 33},  // bits out of range
+		{Scheme: "quantum"}, // unknown scheme
+	} {
+		if _, err := New(Config{Universe: 100, Sketch: bad}); err == nil {
+			t.Fatalf("New accepted invalid sketch config %+v", bad)
+		}
+	}
+}
+
+// TestShardedApproxSubset: the sharded scatter-gather preserves the
+// route-mode subset property, and skips shards without sketch hits.
+func TestShardedApproxSubset(t *testing.T) {
+	cfg := approxTestConfigs[0].config()
+	sh, err := NewSharded(cfg, 4, HashPartitioning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	data := approxData(cfg.Universe, 600, 0, 33)
+	items := make([]Item, len(data))
+	for j, set := range data {
+		items[j] = Item{ID: uint32(j), Items: set}
+	}
+	if err := sh.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 6; qi++ {
+		q := data[qi*53%len(data)]
+		exact, _, err := sh.RangeSearch(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inExact := map[uint32]float64{}
+		for _, m := range exact {
+			inExact[m.ID] = m.Distance
+		}
+		got, _, err := sh.ApproxRangeSearchTuned(context.Background(), q, 8, 0.9, RouteApprox)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range got {
+			d, ok := inExact[m.ID]
+			if !ok {
+				t.Fatalf("sharded approx returned id %d not in the exact answer", m.ID)
+			}
+			if d != m.Distance {
+				t.Fatalf("sharded approx id %d dist %v != exact %v", m.ID, m.Distance, d)
+			}
+		}
+		gotNN, _, err := sh.ApproxKNNTuned(context.Background(), q, 5, 1, RouteApprox)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactNN, _, err := sh.KNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, m := range gotNN {
+			if j < len(exactNN) && m.Distance < exactNN[j].Distance {
+				t.Fatalf("sharded approx KNN result %d dist %v beats exact %v", j, m.Distance, exactNN[j].Distance)
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ type clientReport struct {
 	RateQPS    float64 `json:"rate_qps"` // offered load
 	Seconds    float64 `json:"seconds"`
 	K          int     `json:"k"`
+	Env        envJSON `json:"env"`
 
 	KNN workloadStats `json:"knn"`
 
@@ -131,6 +132,7 @@ func runClientLoad(stdout, stderr io.Writer, serve, collection string, qps float
 		RateQPS:    qps,
 		Seconds:    wall,
 		K:          k,
+		Env:        captureEnv(),
 		KNN: workloadStats{
 			Queries:      sent,
 			Errors:       errs,

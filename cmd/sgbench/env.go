@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// envJSON identifies the machine and build a benchmark JSON was produced
+// on, so checked-in BENCH_*.json files are comparable across runs: a
+// regression is only a regression against a baseline from a comparable
+// environment.
+type envJSON struct {
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	GitRevision string `json:"git_revision"`
+}
+
+// captureEnv snapshots the runtime environment. The git revision comes
+// from the binary's embedded VCS stamp when built from a clean checkout,
+// falling back to asking git directly (`go run` and test binaries carry
+// no stamp), then to "unknown".
+func captureEnv() envJSON {
+	return envJSON{
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GitRevision: gitRevision(),
+	}
+}
+
+func gitRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return "unknown"
+}

@@ -11,7 +11,10 @@
 //	sgbench -csv                # machine-readable output
 //	sgbench -workers 8          # parallel-throughput benchmark, JSON output
 //	sgbench -workers 8 -queries 5000 -k 10 -eps 4 -timeout 30s
+//	sgbench -workers 8 -engine invidx   # containment via inverted index
 //	sgbench -workers 4 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	sgbench -recall-sweep       # approx-tier recall/QPS sweep, JSON output
+//	sgbench -recall-sweep -sketch-k 256 -sketch-bits 16 -queries 500
 //	sgbench -serve http://localhost:7701 -collection quest \
 //	        -rate 200 -duration 30s -k 10 -slo 50ms
 //
@@ -59,6 +62,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		k        = fs.Int("k", 10, "throughput mode: neighbors per kNN query")
 		eps      = fs.Float64("eps", 4, "throughput mode: range-query radius")
 		timeout  = fs.Duration("timeout", 0, "throughput mode: per-batch deadline (0 = none)")
+		engine   = fs.String("engine", "tree", "throughput mode: containment engine (tree or invidx)")
+		sweep    = fs.Bool("recall-sweep", false, "recall/QPS sweep of the approximate sketch tier (JSON output)")
+		sketchK  = fs.Int("sketch-k", 128, "recall sweep: MinHash registers per signature")
+		sketchB  = fs.Int("sketch-bits", 16, "recall sweep: bits kept per register (0 = full)")
+		sketchBd = fs.Int("sketch-bands", 0, "recall sweep: LSH bands (0 = derive from k)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -113,12 +121,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runClientLoad(stdout, stderr, strings.TrimRight(*serve, "/"), *coll, *rate, *duration, *k, *slo)
 	}
 
+	if *sweep {
+		if *exp != "" || *ablation != "" {
+			fmt.Fprintln(stderr, "sgbench: -recall-sweep is a standalone mode; drop -exp/-ablation")
+			return 2
+		}
+		return runRecallSweep(stdout, stderr, scale, *workers, *queries, *k, *sketchK, *sketchB, *sketchBd)
+	}
+
 	if *workers > 0 {
 		if *exp != "" || *ablation != "" {
 			fmt.Fprintln(stderr, "sgbench: -workers is a standalone mode; drop -exp/-ablation")
 			return 2
 		}
-		return runThroughput(stdout, stderr, scale, *workers, *queries, *k, *eps, *timeout)
+		return runThroughput(stdout, stderr, scale, *workers, *queries, *k, *eps, *timeout, *engine)
 	}
 
 	emit := func(tables []*harness.ResultTable) {

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"sgtree"
+	"sgtree/internal/core"
+	"sgtree/internal/dataset"
+	"sgtree/internal/gen"
+	"sgtree/internal/harness"
+	"sgtree/internal/signature"
+)
+
+// This file is the recall/QPS sweep behind `sgbench -recall-sweep`: it
+// bulk-loads the Quest workload into a sketch-enabled facade index,
+// measures the exact-kNN baseline, then sweeps the approximate tier
+// across recall targets and modes, scoring each point's measured recall
+// against a brute-force oracle. The output is one JSON document meant
+// to be saved as BENCH_recall.json and compared against the checked-in
+// baseline by the recall-bench CI job.
+
+// recallReport is the JSON document one sweep emits.
+type recallReport struct {
+	Mode    string  `json:"mode"` // "recall-sweep"
+	Dataset string  `json:"dataset"`
+	D       int     `json:"d"`
+	Queries int     `json:"queries"`
+	K       int     `json:"k"`
+	Workers int     `json:"workers"`
+	Env     envJSON `json:"env"`
+
+	Sketch sketchParamsJSON `json:"sketch"`
+
+	BuildSeconds  float64 `json:"build_seconds"`
+	SketchSeconds float64 `json:"sketch_seconds"` // first-build time of the LSH index
+	SketchBytes   int     `json:"sketch_bytes"`
+
+	// Exact is the exact-kNN baseline every sweep point's speedup is
+	// relative to.
+	Exact workloadStats `json:"exact"`
+
+	Points []recallPoint `json:"points"`
+}
+
+type sketchParamsJSON struct {
+	K      int    `json:"k"`
+	Bits   int    `json:"bits"`
+	Bands  int    `json:"bands"`
+	Scheme string `json:"scheme"`
+}
+
+// recallPoint is one (recall target, mode) cell of the sweep.
+type recallPoint struct {
+	TargetRecall   float64       `json:"target_recall"`
+	ApproxMode     string        `json:"approx_mode"` // route | answer
+	MeasuredRecall float64       `json:"measured_recall"`
+	SpeedupVsExact float64       `json:"speedup_vs_exact"`
+	Stats          workloadStats `json:"stats"`
+}
+
+// recallTargets is the sweep grid, denser near 1 where the probe-count
+// model's marginal cost per nine grows fastest; 1.0 probes every band.
+var recallTargets = []float64{0.5, 0.8, 0.9, 0.95, 0.99, 0.995, 0.999, 1.0}
+
+// runRecallSweep executes the sweep and writes the JSON report.
+func runRecallSweep(stdout, stderr io.Writer, scale harness.Scale, workers, queries, k, sketchK, sketchBits, sketchBands int) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sgbench:", err)
+		return 1
+	}
+	if queries <= 0 {
+		queries = 500
+	}
+	if k <= 0 {
+		k = 10
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+
+	cfg := gen.QuestConfig{
+		NumTransactions: scale.D,
+		AvgSize:         8,
+		AvgItemsetSize:  4,
+		NumItems:        1000,
+		Seed:            42,
+	}
+	d, err := gen.GenerateQuest(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	ix, err := sgtree.New(sgtree.Config{
+		Universe:       d.Universe,
+		PageSize:       4096,
+		BufferPages:    256,
+		MaxNodeEntries: 64,
+		Compress:       true,
+		Sketch: &sgtree.SketchConfig{
+			K:     sketchK,
+			Bits:  sketchBits,
+			Bands: sketchBands,
+		},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	buildStart := time.Now()
+	items := make([]sgtree.Item, len(d.Tx))
+	for i, tx := range d.Tx {
+		items[i] = sgtree.Item{ID: uint32(i), Items: tx}
+	}
+	if err := ix.BulkLoad(items); err != nil {
+		return fail(err)
+	}
+	buildSeconds := time.Since(buildStart).Seconds()
+
+	q, err := gen.NewQuest(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	qsets := q.Queries(queries, 7)
+
+	// Brute-force oracle: for each query, the k-th exact distance and
+	// the id set within it (ties included), against the raw dataset —
+	// independent of the tree under test.
+	m := signature.NewDirectMapper(d.Universe)
+	dataSigs := make([]signature.Signature, len(d.Tx))
+	for i, tx := range d.Tx {
+		dataSigs[i] = signature.FromItems(m, tx)
+	}
+	oracle := make([]oracleEntry, len(qsets))
+	err = core.RunParallel(context.Background(), len(qsets), workers, func(_ context.Context, qi int) error {
+		qs := signature.FromItems(m, qsets[qi])
+		dists := make([]float64, len(dataSigs))
+		for i, s := range dataSigs {
+			dists[i] = signature.Distance(signature.Hamming, qs, s)
+		}
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		kth := sorted[min(k, len(sorted))-1]
+		in := make(map[uint32]bool)
+		for i, dist := range dists {
+			if dist <= kth {
+				in[uint32(i)] = true
+			}
+		}
+		oracle[qi] = oracleEntry{kth: kth, in: in}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	// Trigger the lazy sketch build outside the measured region and time
+	// it separately — steady-state queries never pay it.
+	sketchStart := time.Now()
+	if _, _, err := ix.ApproxKNN(qsets[0], k); err != nil {
+		return fail(err)
+	}
+	sketchSeconds := time.Since(sketchStart).Seconds()
+
+	// The exact baseline is scored against the oracle too — a sanity
+	// check that must come out at recall 1.0 on a direct-mapped index.
+	exact, exactRecall, err := runRecallBatch(qsets, workers, oracleHits{k: k, oracle: oracle}, func(ctx context.Context, qi int) ([]sgtree.Match, sgtree.Stats, error) {
+		return ix.KNNContext(ctx, qsets[qi], k)
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if exactRecall < 1 {
+		fmt.Fprintf(stderr, "sgbench: warning: exact baseline recall %.4f < 1 against the brute-force oracle\n", exactRecall)
+	}
+
+	report := recallReport{
+		Mode:          "recall-sweep",
+		Dataset:       cfg.Name(),
+		D:             scale.D,
+		Queries:       queries,
+		K:             k,
+		Workers:       workers,
+		Env:           captureEnv(),
+		BuildSeconds:  buildSeconds,
+		SketchSeconds: sketchSeconds,
+		SketchBytes:   ix.SketchFootprint(),
+		Exact:         exact,
+	}
+	report.Sketch = sketchParamsJSON{K: sketchK, Bits: sketchBits, Bands: sketchBands, Scheme: "kmin"}
+
+	for _, mode := range []sgtree.ApproxMode{sgtree.RouteApprox, sgtree.AnswerApprox} {
+		for _, target := range recallTargets {
+			target, mode := target, mode
+			st, recall, err := runRecallBatch(qsets, workers, oracleHits{k: k, oracle: oracle}, func(ctx context.Context, qi int) ([]sgtree.Match, sgtree.Stats, error) {
+				return ix.ApproxKNNTuned(ctx, qsets[qi], k, target, mode)
+			})
+			if err != nil {
+				return fail(err)
+			}
+			pt := recallPoint{
+				TargetRecall:   target,
+				ApproxMode:     mode.String(),
+				MeasuredRecall: recall,
+				Stats:          st,
+			}
+			if exact.QPS > 0 {
+				pt.SpeedupVsExact = st.QPS / exact.QPS
+			}
+			report.Points = append(report.Points, pt)
+		}
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// oracleEntry is one query's brute-force truth: the k-th exact distance
+// and every id within it (ties included).
+type oracleEntry struct {
+	kth float64
+	in  map[uint32]bool
+}
+
+// oracleHits configures recall scoring: with a nil oracle the batch is
+// a baseline (recall reported as 1).
+type oracleHits struct {
+	k      int
+	oracle []oracleEntry
+}
+
+// runRecallBatch runs one query per set through the worker pool, timing
+// each individually, and scores recall@k against the oracle: a result
+// counts as a hit when its id lies within the query's k-th exact
+// distance (ties included), so a legitimate tie permutation scores
+// full recall.
+func runRecallBatch(qsets []dataset.Transaction, workers int, oh oracleHits, run func(ctx context.Context, qi int) ([]sgtree.Match, sgtree.Stats, error)) (workloadStats, float64, error) {
+	type perQuery struct {
+		latency time.Duration
+		stats   sgtree.Stats
+		results int
+		hits    int
+	}
+	out := make([]perQuery, len(qsets))
+	start := time.Now()
+	err := core.RunParallel(context.Background(), len(qsets), workers, func(ctx context.Context, i int) error {
+		qStart := time.Now()
+		res, st, err := run(ctx, i)
+		if err != nil {
+			return err
+		}
+		hits := 0
+		if oh.oracle != nil {
+			for _, m := range res {
+				if oh.oracle[i].in[m.ID] {
+					hits++
+				}
+			}
+		}
+		out[i] = perQuery{latency: time.Since(qStart), stats: st, results: len(res), hits: hits}
+		return nil
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return workloadStats{}, 0, err
+	}
+
+	lat := make([]float64, len(out))
+	var nodes, data, pruned, results, hits int
+	for i, r := range out {
+		lat[i] = float64(r.latency.Microseconds()) / 1000.0
+		nodes += r.stats.NodesAccessed
+		data += r.stats.DataCompared
+		pruned += r.stats.EntriesPruned
+		results += r.results
+		hits += r.hits
+	}
+	sort.Float64s(lat)
+	n := float64(len(qsets))
+	st := workloadStats{
+		Queries:      len(qsets),
+		WallSeconds:  wall.Seconds(),
+		QPS:          n / wall.Seconds(),
+		LatencyMsP50: percentile(lat, 0.50),
+		LatencyMsP90: percentile(lat, 0.90),
+		LatencyMsP99: percentile(lat, 0.99),
+		LatencyMsMax: percentile(lat, 1),
+		AvgNodesRead: float64(nodes) / n,
+		AvgDataComp:  float64(data) / n,
+		AvgPruned:    float64(pruned) / n,
+		TotalResults: results,
+	}
+	recall := 1.0
+	if oh.oracle != nil {
+		recall = float64(hits) / (n * float64(oh.k))
+	}
+	return st, recall, nil
+}

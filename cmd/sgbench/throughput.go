@@ -13,6 +13,7 @@ import (
 	"sgtree/internal/dataset"
 	"sgtree/internal/gen"
 	"sgtree/internal/harness"
+	"sgtree/internal/invidx"
 	"sgtree/internal/signature"
 )
 
@@ -32,19 +33,24 @@ type throughputReport struct {
 	Eps     float64 `json:"eps"`     // range-query radius
 	Workers int     `json:"workers"` // worker-pool size
 	Timeout string  `json:"timeout"` // per-batch deadline ("" = none)
+	// Engine is the containment-phase engine: "tree" (signature tree)
+	// or "invidx" (inverted index), selected with -engine.
+	Engine string  `json:"engine"`
+	Env    envJSON `json:"env"`
 
 	BuildSeconds float64 `json:"build_seconds"`
 
-	KNN   workloadStats `json:"knn"`
-	Range workloadStats `json:"range"`
+	KNN      workloadStats `json:"knn"`
+	Range    workloadStats `json:"range"`
+	Contains workloadStats `json:"contains"`
 
-	// Pool aggregates buffer-pool behaviour over both measured batches;
-	// the per-phase split lives inside KNN.Pool and Range.Pool.
+	// Pool aggregates buffer-pool behaviour over all measured batches;
+	// the per-phase split lives inside each phase's own Pool field.
 	Pool poolStats `json:"buffer_pool"`
-	// NodeCache aggregates decoded-node cache behaviour over both
-	// batches; per-phase split inside KNN.NodeCache and Range.NodeCache.
+	// NodeCache aggregates decoded-node cache behaviour over all
+	// batches; per-phase split inside each phase's NodeCache field.
 	NodeCache poolStats `json:"node_cache"`
-	// Counters are the tree's cumulative executor counters over both
+	// Counters are the tree's cumulative executor counters over all
 	// measured batches.
 	Counters countersJSON `json:"counters"`
 }
@@ -88,7 +94,7 @@ type countersJSON struct {
 // runThroughput executes the throughput benchmark and writes the JSON
 // report to stdout. queries <= 0 picks a batch size large enough to give
 // stable percentiles at the configured scale.
-func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queries, k int, eps float64, timeout time.Duration) int {
+func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queries, k int, eps float64, timeout time.Duration, engine string) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "sgbench:", err)
 		return 1
@@ -98,6 +104,12 @@ func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queri
 	}
 	if k <= 0 {
 		k = 10
+	}
+	if engine == "" {
+		engine = "tree"
+	}
+	if engine != "tree" && engine != "invidx" {
+		return fail(fmt.Errorf("unknown -engine %q (want tree or invidx)", engine))
 	}
 
 	cfg := gen.QuestConfig{
@@ -137,8 +149,9 @@ func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queri
 	if err != nil {
 		return fail(err)
 	}
+	qTx := q.Queries(queries, 7)
 	qs := make([]signature.Signature, queries)
-	for i, tx := range q.Queries(queries, 7) {
+	for i, tx := range qTx {
 		qs[i] = signature.FromItems(m, tx)
 	}
 
@@ -155,7 +168,7 @@ func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queri
 	// measurePhase brackets one batch with snapshots of the cumulative
 	// pool/cache stats so each phase's deltas are attributable to it; the
 	// top-level report keeps the cumulative view across both phases.
-	measurePhase := func(run func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error)) (workloadStats, error) {
+	measurePhase := func(run func(ctx context.Context, i int, q signature.Signature) (int, core.QueryStats, error)) (workloadStats, error) {
 		ps0 := tr.Pool().Stats()
 		c0 := tr.Counters()
 		st, err := measureBatch(ctx, qs, workers, run)
@@ -177,19 +190,60 @@ func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queri
 		return st, nil
 	}
 
-	knn, err := measurePhase(func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error) {
+	knn, err := measurePhase(func(ctx context.Context, _ int, q signature.Signature) (int, core.QueryStats, error) {
 		res, st, err := tr.KNNContext(ctx, q, k)
 		return len(res), st, err
 	})
 	if err != nil {
 		return fail(err)
 	}
-	rng, err := measurePhase(func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error) {
+	rng, err := measurePhase(func(ctx context.Context, _ int, q signature.Signature) (int, core.QueryStats, error) {
 		res, st, err := tr.RangeSearchContext(ctx, q, eps)
 		return len(res), st, err
 	})
 	if err != nil {
 		return fail(err)
+	}
+
+	// Containment phase: the same probe sets through either the tree's
+	// subtree-pruned traversal or the inverted index's posting-list
+	// intersection (-engine=invidx) — the paper's Helmer & Moerkotte
+	// comparison point, now measurable side by side. Probes are short
+	// (three-item) prefixes of each query transaction so the phase does
+	// real intersection work instead of returning empty sets.
+	cSigs := make([]signature.Signature, len(qTx))
+	for i, tx := range qTx {
+		n := len(tx)
+		if n > 3 {
+			n = 3
+		}
+		cSigs[i] = signature.FromItems(m, tx[:n])
+	}
+	var contains workloadStats
+	if engine == "invidx" {
+		inv, err := invidx.Build(d)
+		if err != nil {
+			return fail(err)
+		}
+		contains, err = measureBatch(ctx, cSigs, workers, func(_ context.Context, i int, _ signature.Signature) (int, core.QueryStats, error) {
+			n := len(qTx[i])
+			if n > 3 {
+				n = 3
+			}
+			ids, work := inv.Containment(qTx[i][:n])
+			return len(ids), core.QueryStats{DataCompared: work}, nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		contains, err = measurePhase(func(ctx context.Context, i int, _ signature.Signature) (int, core.QueryStats, error) {
+			ids, st, err := tr.ContainmentContext(ctx, cSigs[i])
+			return len(ids), st, err
+		})
+		if err != nil {
+			return fail(err)
+		}
 	}
 
 	ps := tr.Pool().Stats()
@@ -201,9 +255,12 @@ func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queri
 		K:            k,
 		Eps:          eps,
 		Workers:      workers,
+		Engine:       engine,
+		Env:          captureEnv(),
 		BuildSeconds: buildSeconds,
 		KNN:          knn,
 		Range:        rng,
+		Contains:     contains,
 		Pool: poolStats{
 			Hits:    ps.Hits,
 			Misses:  ps.Misses,
@@ -235,7 +292,7 @@ func runThroughput(stdout, stderr io.Writer, scale harness.Scale, workers, queri
 
 // measureBatch runs one query per signature through the worker pool,
 // timing each query individually, and aggregates the batch.
-func measureBatch(ctx context.Context, qs []signature.Signature, workers int, run func(ctx context.Context, q signature.Signature) (int, core.QueryStats, error)) (workloadStats, error) {
+func measureBatch(ctx context.Context, qs []signature.Signature, workers int, run func(ctx context.Context, i int, q signature.Signature) (int, core.QueryStats, error)) (workloadStats, error) {
 	type perQuery struct {
 		latency time.Duration
 		stats   core.QueryStats
@@ -248,7 +305,7 @@ func measureBatch(ctx context.Context, qs []signature.Signature, workers int, ru
 	start := time.Now()
 	err := core.RunParallel(ctx, len(qs), workers, func(ctx context.Context, i int) error {
 		qStart := time.Now()
-		n, st, err := run(ctx, qs[i])
+		n, st, err := run(ctx, i, qs[i])
 		out[i] = perQuery{latency: time.Since(qStart), stats: st, results: n, err: err}
 		if err != nil {
 			errMu.Lock()

@@ -19,7 +19,13 @@ func TestThroughputMode(t *testing.T) {
 	if rep.Workers != 2 || rep.D != 1500 || rep.Queries != 60 || rep.K != 5 || rep.Eps != 3 {
 		t.Errorf("workload parameters not echoed: %+v", rep)
 	}
-	for name, w := range map[string]workloadStats{"knn": rep.KNN, "range": rep.Range} {
+	if rep.Engine != "tree" {
+		t.Errorf("engine = %q, want tree", rep.Engine)
+	}
+	if rep.Env.NumCPU <= 0 || rep.Env.GoMaxProcs <= 0 || rep.Env.GoVersion == "" || rep.Env.GitRevision == "" {
+		t.Errorf("environment block not captured: %+v", rep.Env)
+	}
+	for name, w := range map[string]workloadStats{"knn": rep.KNN, "range": rep.Range, "contains": rep.Contains} {
 		if w.Queries != 60 || w.Errors != 0 {
 			t.Errorf("%s: queries=%d errors=%d", name, w.Queries, w.Errors)
 		}
@@ -42,9 +48,9 @@ func TestThroughputMode(t *testing.T) {
 	if rep.Pool.HitRate < 0 || rep.Pool.HitRate > 1 {
 		t.Errorf("hit rate out of range: %v", rep.Pool.HitRate)
 	}
-	// Both measured batches ran 60 queries each through the executor.
-	if rep.Counters.Queries != 120 {
-		t.Errorf("counters.queries = %d, want 120", rep.Counters.Queries)
+	// All three measured batches ran 60 queries each through the executor.
+	if rep.Counters.Queries != 180 {
+		t.Errorf("counters.queries = %d, want 180", rep.Counters.Queries)
 	}
 	if rep.Counters.NodesRead <= 0 || rep.Counters.DataCompared <= 0 {
 		t.Errorf("cumulative counters empty: %+v", rep.Counters)
@@ -54,17 +60,88 @@ func TestThroughputMode(t *testing.T) {
 	if got := rep.KNN.Pool.Hits + rep.KNN.Pool.Misses; got == 0 {
 		t.Error("knn phase has no buffer-pool traffic")
 	}
-	if got, want := rep.KNN.Pool.Hits+rep.Range.Pool.Hits, rep.Pool.Hits; got != want {
+	if got, want := rep.KNN.Pool.Hits+rep.Range.Pool.Hits+rep.Contains.Pool.Hits, rep.Pool.Hits; got != want {
 		t.Errorf("per-phase pool hits sum to %d, cumulative says %d", got, want)
 	}
-	if got, want := rep.KNN.Pool.Misses+rep.Range.Pool.Misses, rep.Pool.Misses; got != want {
+	if got, want := rep.KNN.Pool.Misses+rep.Range.Pool.Misses+rep.Contains.Pool.Misses, rep.Pool.Misses; got != want {
 		t.Errorf("per-phase pool misses sum to %d, cumulative says %d", got, want)
 	}
-	if got, want := rep.KNN.NodeCache.Hits+rep.Range.NodeCache.Hits, rep.NodeCache.Hits; got != want {
+	if got, want := rep.KNN.NodeCache.Hits+rep.Range.NodeCache.Hits+rep.Contains.NodeCache.Hits, rep.NodeCache.Hits; got != want {
 		t.Errorf("per-phase node-cache hits sum to %d, cumulative says %d", got, want)
 	}
-	if got, want := rep.KNN.NodeCache.Misses+rep.Range.NodeCache.Misses, rep.NodeCache.Misses; got != want {
+	if got, want := rep.KNN.NodeCache.Misses+rep.Range.NodeCache.Misses+rep.Contains.NodeCache.Misses, rep.NodeCache.Misses; got != want {
 		t.Errorf("per-phase node-cache misses sum to %d, cumulative says %d", got, want)
+	}
+}
+
+func TestThroughputInvidxEngine(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-workers", "2", "-scale", "1500", "-queries", "60", "-k", "5", "-engine", "invidx"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep throughputReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Engine != "invidx" {
+		t.Errorf("engine = %q, want invidx", rep.Engine)
+	}
+	c := rep.Contains
+	if c.Queries != 60 || c.Errors != 0 || c.QPS <= 0 {
+		t.Errorf("invidx containment batch not measured: %+v", c)
+	}
+	// The inverted index never touches tree pages: its work shows up as
+	// posting-list elements scanned, not node reads.
+	if c.AvgNodesRead != 0 {
+		t.Errorf("invidx containment read %v tree nodes per query, want 0", c.AvgNodesRead)
+	}
+	if c.AvgDataComp <= 0 {
+		t.Error("invidx containment scanned no posting elements")
+	}
+
+	if code := run([]string{"-workers", "2", "-scale", "1500", "-engine", "btree"}, &out, &errb); code != 1 {
+		t.Errorf("bogus -engine: exit %d, want 1", code)
+	}
+}
+
+func TestRecallSweepMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-recall-sweep", "-scale", "1200", "-queries", "40", "-k", "5", "-sketch-k", "64"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep recallReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Mode != "recall-sweep" || rep.D != 1200 || rep.Queries != 40 || rep.K != 5 {
+		t.Errorf("workload parameters not echoed: %+v", rep)
+	}
+	if rep.Env.NumCPU <= 0 || rep.Env.GitRevision == "" {
+		t.Errorf("environment block not captured: %+v", rep.Env)
+	}
+	if rep.SketchBytes <= 0 {
+		t.Error("sketch footprint not reported")
+	}
+	if rep.Exact.QPS <= 0 {
+		t.Errorf("no exact baseline measured: %+v", rep.Exact)
+	}
+	if want := 2 * len(recallTargets); len(rep.Points) != want {
+		t.Fatalf("got %d sweep points, want %d", len(rep.Points), want)
+	}
+	modes := map[string]int{}
+	for _, pt := range rep.Points {
+		modes[pt.ApproxMode]++
+		if pt.MeasuredRecall < 0 || pt.MeasuredRecall > 1 {
+			t.Errorf("point %+v: recall out of range", pt)
+		}
+		if pt.Stats.QPS <= 0 {
+			t.Errorf("point %+v: no throughput measured", pt)
+		}
+	}
+	if modes["route"] != len(recallTargets) || modes["answer"] != len(recallTargets) {
+		t.Errorf("mode coverage wrong: %v", modes)
 	}
 }
 

@@ -28,6 +28,19 @@ type CollectionSpec struct {
 	PageSize        int    `json:"page_size,omitempty"`
 	BufferPages     int    `json:"buffer_pages,omitempty"`
 	MaxNodeEntries  int    `json:"max_node_entries,omitempty"`
+	// Sketch enables the approximate query tier and the
+	// /collections/{name}/approx/* endpoints (see sgtree.SketchConfig).
+	Sketch *SketchSpec `json:"sketch,omitempty"`
+}
+
+// SketchSpec is the wire form of sgtree.SketchConfig. Zero fields take
+// the library defaults, so {"sketch":{}} enables the tier as-is.
+type SketchSpec struct {
+	K      int     `json:"k,omitempty"`
+	Bits   int     `json:"bits,omitempty"`
+	Bands  int     `json:"bands,omitempty"`
+	Recall float64 `json:"recall,omitempty"`
+	Scheme string  `json:"scheme,omitempty"`
 }
 
 const collectionSpecName = "collection.json"
@@ -73,12 +86,35 @@ func (sp *CollectionSpec) normalize() error {
 	default:
 		return fmt.Errorf("unknown partition %q", sp.Partition)
 	}
+	if sp.Sketch != nil {
+		// Validate the sketch block eagerly by building a throwaway
+		// in-memory index with it, so a bad block fails the create call
+		// instead of the collection's first shard open.
+		probe := sp.config()
+		probe.Durable = false
+		ix, err := sgtree.New(probe)
+		if err != nil {
+			return fmt.Errorf("sketch: %w", err)
+		}
+		ix.Close()
+	}
 	return nil
 }
 
 func (sp CollectionSpec) config() sgtree.Config {
 	m, _ := metricFromName(sp.Metric)
+	var sk *sgtree.SketchConfig
+	if sp.Sketch != nil {
+		sk = &sgtree.SketchConfig{
+			K:      sp.Sketch.K,
+			Bits:   sp.Sketch.Bits,
+			Bands:  sp.Sketch.Bands,
+			Recall: sp.Sketch.Recall,
+			Scheme: sp.Sketch.Scheme,
+		}
+	}
 	return sgtree.Config{
+		Sketch:          sk,
 		Universe:        sp.Universe,
 		SignatureLength: sp.SignatureLength,
 		Metric:          m,
@@ -343,6 +379,24 @@ func (c *collection) rangeSearch(ctx context.Context, items []int, eps float64) 
 	}
 	defer unlock()
 	return view.RangeSearchContext(ctx, items, eps)
+}
+
+func (c *collection) approxKNN(ctx context.Context, items []int, k int, recall float64, mode sgtree.ApproxMode) ([]sgtree.Match, sgtree.Stats, error) {
+	view, unlock, err := c.view()
+	if err != nil || view == nil {
+		return nil, sgtree.Stats{}, err
+	}
+	defer unlock()
+	return view.ApproxKNNTuned(ctx, items, k, recall, mode)
+}
+
+func (c *collection) approxRange(ctx context.Context, items []int, eps float64, recall float64, mode sgtree.ApproxMode) ([]sgtree.Match, sgtree.Stats, error) {
+	view, unlock, err := c.view()
+	if err != nil || view == nil {
+		return nil, sgtree.Stats{}, err
+	}
+	defer unlock()
+	return view.ApproxRangeSearchTuned(ctx, items, eps, recall, mode)
 }
 
 func (c *collection) contains(ctx context.Context, items []int) ([]uint32, sgtree.Stats, error) {

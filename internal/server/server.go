@@ -13,6 +13,8 @@
 //	POST /collections/{name}/bulkload     {"items":[{"id","items"},...]}
 //	POST /collections/{name}/knn          {"items":[...],"k":10}
 //	POST /collections/{name}/range        {"items":[...],"eps":2.5}
+//	POST /collections/{name}/approx/knn   same body; ?recall=0.95&mode=route|answer
+//	POST /collections/{name}/approx/range same body; needs a "sketch" block in the spec
 //	POST /collections/{name}/contains     {"items":[...]}
 //	GET  /healthz                         liveness probe
 //	GET  /stats                           metrics document
@@ -142,6 +144,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /collections/{name}/bulkload", s.timed("bulkload", s.primaryOnly(s.withCollection(s.handleBulkload))))
 	s.mux.HandleFunc("POST /collections/{name}/knn", s.timed("knn", s.withCollection(s.handleKNN)))
 	s.mux.HandleFunc("POST /collections/{name}/range", s.timed("range", s.withCollection(s.handleRange)))
+	s.mux.HandleFunc("POST /collections/{name}/approx/knn", s.timed("approx_knn", s.withCollection(s.handleApproxKNN)))
+	s.mux.HandleFunc("POST /collections/{name}/approx/range", s.timed("approx_range", s.withCollection(s.handleApproxRange)))
 	s.mux.HandleFunc("POST /collections/{name}/contains", s.timed("contains", s.withCollection(s.handleContains)))
 	s.mux.HandleFunc("GET /repl/manifest", s.timed("repl", s.primaryOnly(s.handleManifest)))
 	s.mux.HandleFunc("GET /repl/stream", s.timed("repl", s.primaryOnly(s.handleStream)))
@@ -396,6 +400,78 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, c *collecti
 		out[i] = matchJSON{ID: m.ID, Distance: m.Distance}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"matches": out, "stats": toQueryStats(st)})
+}
+
+// approxParams parses the per-request tuning query parameters shared by
+// the approx endpoints: recall in (0,1] (absent or 0 means the
+// collection's configured default) and mode ("route" default/"answer").
+func approxParams(r *http.Request) (float64, sgtree.ApproxMode, error) {
+	q := r.URL.Query()
+	recall := 0.0
+	if raw := q.Get("recall"); raw != "" {
+		var err error
+		recall, err = strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return 0, 0, badRequest("bad recall: %v", err)
+		}
+		if recall < 0 || recall > 1 {
+			return 0, 0, badRequest("recall %v outside [0,1]", recall)
+		}
+	}
+	mode, err := sgtree.ParseApproxMode(q.Get("mode"))
+	if err != nil {
+		return 0, 0, badRequest("%v", err)
+	}
+	return recall, mode, nil
+}
+
+func (s *Server) handleApproxKNN(w http.ResponseWriter, r *http.Request, c *collection) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	recall, mode, err := approxParams(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, st, err := c.approxKNN(r.Context(), req.Items, req.K, recall, mode)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	out := make([]matchJSON, len(res))
+	for i, m := range res {
+		out[i] = matchJSON{ID: m.ID, Distance: m.Distance}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out, "stats": toQueryStats(st), "mode": mode.String()})
+}
+
+func (s *Server) handleApproxRange(w http.ResponseWriter, r *http.Request, c *collection) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	recall, mode, err := approxParams(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, st, err := c.approxRange(r.Context(), req.Items, req.Eps, recall, mode)
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	out := make([]matchJSON, len(res))
+	for i, m := range res {
+		out[i] = matchJSON{ID: m.ID, Distance: m.Distance}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out, "stats": toQueryStats(st), "mode": mode.String()})
 }
 
 func (s *Server) handleContains(w http.ResponseWriter, r *http.Request, c *collection) {

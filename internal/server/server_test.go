@@ -445,3 +445,115 @@ func TestReplicationEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+type approxResponse struct {
+	Matches []matchJSON    `json:"matches"`
+	Stats   queryStatsJSON `json:"stats"`
+	Mode    string         `json:"mode"`
+}
+
+// TestServerApproxEndpoints exercises the sketch-tier endpoints: route
+// mode returning a subset of the exact answer, answer mode returning
+// estimates, per-request recall/mode query params, and rejection of
+// approx queries on collections without a sketch block.
+func TestServerApproxEndpoints(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	spec := CollectionSpec{
+		Name: "approx", Universe: 300, Shards: 2,
+		Sketch: &SketchSpec{K: 256, Recall: 0.9},
+	}
+	if code := do(t, client, "POST", ts.URL+"/collections", spec, nil); code != 201 {
+		t.Fatalf("create: HTTP %d", code)
+	}
+	// A bad sketch block fails the create call.
+	bad := CollectionSpec{Name: "badsketch", Universe: 100, Sketch: &SketchSpec{K: 128, Bands: 7}}
+	if code := do(t, client, "POST", ts.URL+"/collections", bad, nil); code != 400 {
+		t.Fatalf("bad sketch spec: HTTP %d, want 400", code)
+	}
+
+	sets := testSets(200, 300, 5)
+	var batch []itemPayload
+	for i, s := range sets {
+		batch = append(batch, itemPayload{ID: uint32(i), Items: s})
+	}
+	if code := do(t, client, "POST", ts.URL+"/collections/approx/insert", insertRequest{Batch: batch}, nil); code != 200 {
+		t.Fatal("insert failed")
+	}
+
+	q := sets[17]
+	var exact knnResponse
+	if code := do(t, client, "POST", ts.URL+"/collections/approx/knn", queryRequest{Items: q, K: 10}, &exact); code != 200 {
+		t.Fatal("exact knn failed")
+	}
+	var approx approxResponse
+	if code := do(t, client, "POST", ts.URL+"/collections/approx/approx/knn?recall=1", queryRequest{Items: q, K: 10}, &approx); code != 200 {
+		t.Fatal("approx knn failed")
+	}
+	if approx.Mode != "route" {
+		t.Fatalf("mode %q, want route", approx.Mode)
+	}
+	if len(approx.Matches) == 0 || approx.Matches[0].Distance != 0 {
+		t.Fatalf("approx knn for a stored set: %+v, want self at distance 0", approx.Matches)
+	}
+	for i, m := range approx.Matches {
+		if i < len(exact.Matches) && m.Distance < exact.Matches[i].Distance {
+			t.Fatalf("approx result %d dist %v beats exact %v", i, m.Distance, exact.Matches[i].Distance)
+		}
+	}
+
+	// Route-mode range results are a subset of the exact range answer.
+	var exactR, approxR approxResponse
+	if code := do(t, client, "POST", ts.URL+"/collections/approx/range", queryRequest{Items: q, Eps: 8}, &exactR); code != 200 {
+		t.Fatal("exact range failed")
+	}
+	if code := do(t, client, "POST", ts.URL+"/collections/approx/approx/range?recall=0.9", queryRequest{Items: q, Eps: 8}, &approxR); code != 200 {
+		t.Fatal("approx range failed")
+	}
+	inExact := map[uint32]float64{}
+	for _, m := range exactR.Matches {
+		inExact[m.ID] = m.Distance
+	}
+	for _, m := range approxR.Matches {
+		d, ok := inExact[m.ID]
+		if !ok || d != m.Distance {
+			t.Fatalf("approx range match %+v not in exact answer", m)
+		}
+	}
+
+	// Answer mode serves estimates without touching the tree.
+	var ans approxResponse
+	if code := do(t, client, "POST", ts.URL+"/collections/approx/approx/knn?mode=answer", queryRequest{Items: q, K: 5}, &ans); code != 200 {
+		t.Fatal("answer-mode knn failed")
+	}
+	if ans.Mode != "answer" {
+		t.Fatalf("mode %q, want answer", ans.Mode)
+	}
+	if ans.Stats.NodesAccessed != 0 {
+		t.Fatalf("answer mode touched %d nodes", ans.Stats.NodesAccessed)
+	}
+
+	// Bad tuning parameters are rejected.
+	if code := do(t, client, "POST", ts.URL+"/collections/approx/approx/knn?recall=1.5", queryRequest{Items: q, K: 5}, nil); code != 400 {
+		t.Fatalf("recall=1.5: HTTP %d, want 400", code)
+	}
+	if code := do(t, client, "POST", ts.URL+"/collections/approx/approx/knn?mode=bogus", queryRequest{Items: q, K: 5}, nil); code != 400 {
+		t.Fatalf("mode=bogus: HTTP %d, want 400", code)
+	}
+
+	// Approx queries on a sketchless collection fail loudly.
+	plain := CollectionSpec{Name: "plain", Universe: 100}
+	if code := do(t, client, "POST", ts.URL+"/collections", plain, nil); code != 201 {
+		t.Fatal("create plain failed")
+	}
+	if code := do(t, client, "POST", ts.URL+"/collections/plain/approx/knn", queryRequest{Items: []int{1, 2}, K: 3}, nil); code != 400 {
+		t.Fatalf("approx on sketchless collection: HTTP %d, want 400", code)
+	}
+}

@@ -1,0 +1,240 @@
+package sketch
+
+import "os"
+
+// Hashing kernels. Sketch construction is a tight loop — K register
+// minima over every element of the input set — so, like the popcount
+// layer in internal/bitset, the package keeps one scalar reference
+// implementation and one 4x-unrolled variant behind a small registry:
+// the dispatcher binds the fastest implementation to package-level
+// function variables once at init, and the differential tests (plus
+// FuzzSketchEquivalence) iterate kernelImpls to pin every variant
+// bit-identical to the scalar reference. Setting the
+// SGTREE_SKETCH_SCALAR environment variable forces the scalar kernels,
+// mirroring the SGTREE_NO_ASM escape hatch of the bitset layer.
+
+// kernelImpl is one complete kernel set. All implementations of a slot
+// must be bit-identical on every input — the registry exists so the
+// tests can say that mechanically.
+type kernelImpl struct {
+	name string
+	// kmin fills mins[i] = min over xs of mix64(uint64(x) ^ seeds[i]),
+	// one independent hash stream per register (classic k-min MinHash).
+	// mins[i] is ^uint64(0) when xs is empty.
+	kmin func(seeds []uint64, xs []uint32, mins []uint64)
+	// onePerm hashes every element once with the single seed, routes it
+	// to bin (top32(h)·k)>>32 and keeps the per-bin minimum
+	// (one-permutation hashing). Empty bins keep the emptyBin sentinel;
+	// densification happens in the scheme layer, outside the kernel.
+	onePerm func(seed uint64, xs []uint32, mins []uint64)
+	// match counts equal positions of two equal-length register vectors
+	// — the collision count behind the MinHash estimator.
+	match func(a, b []uint32) int
+}
+
+// emptyBin marks a one-permutation bin no element hashed into. A real
+// hash value can collide with it only with probability 2^-64 per
+// element; such an element would be treated as absent from its bin,
+// which costs a densification borrow, never an out-of-range register.
+const emptyBin = ^uint64(0)
+
+// mix64 is the splitmix64 finalizer — the same full-avalanche mix the
+// signature package's HashMapper uses. One application per (element,
+// seed) pair is the entire hash budget of a sketch.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// binOf maps a hash to one of k one-permutation bins without division:
+// the top 32 bits scale into [0,k) via a 32.32 fixed-point multiply, so
+// the bins partition the hash space into k near-equal ranges.
+func binOf(h uint64, k int) int {
+	return int((h >> 32) * uint64(k) >> 32)
+}
+
+// --- scalar reference kernels ---
+
+func kminScalar(seeds []uint64, xs []uint32, mins []uint64) {
+	for i, s := range seeds {
+		m := ^uint64(0)
+		for _, x := range xs {
+			if h := mix64(uint64(x) ^ s); h < m {
+				m = h
+			}
+		}
+		mins[i] = m
+	}
+}
+
+func onePermScalar(seed uint64, xs []uint32, mins []uint64) {
+	for i := range mins {
+		mins[i] = emptyBin
+	}
+	k := len(mins)
+	for _, x := range xs {
+		h := mix64(uint64(x) ^ seed)
+		if b := binOf(h, k); h < mins[b] {
+			mins[b] = h
+		}
+	}
+}
+
+func matchScalar(a, b []uint32) int {
+	n := 0
+	for i := range a {
+		if a[i] == b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// --- unrolled kernels ---
+
+// kminUnrolled processes four registers per pass over the input set:
+// the element loads and the ^-mix amortize across four independent
+// minima, which keeps four dependency chains in flight the way the
+// bitset kernels keep four popcount accumulators.
+func kminUnrolled(seeds []uint64, xs []uint32, mins []uint64) {
+	i := 0
+	for ; i+4 <= len(seeds); i += 4 {
+		s0, s1, s2, s3 := seeds[i], seeds[i+1], seeds[i+2], seeds[i+3]
+		m0, m1, m2, m3 := ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)
+		for _, x := range xs {
+			v := uint64(x)
+			if h := mix64(v ^ s0); h < m0 {
+				m0 = h
+			}
+			if h := mix64(v ^ s1); h < m1 {
+				m1 = h
+			}
+			if h := mix64(v ^ s2); h < m2 {
+				m2 = h
+			}
+			if h := mix64(v ^ s3); h < m3 {
+				m3 = h
+			}
+		}
+		mins[i], mins[i+1], mins[i+2], mins[i+3] = m0, m1, m2, m3
+	}
+	if i < len(seeds) {
+		kminScalar(seeds[i:], xs, mins[i:])
+	}
+}
+
+// onePermUnrolled unrolls the element loop four-wide. Minima commute,
+// so the reordering relative to the scalar loop cannot change any bin's
+// final value — the differential tests still pin it bit-identical.
+func onePermUnrolled(seed uint64, xs []uint32, mins []uint64) {
+	for i := range mins {
+		mins[i] = emptyBin
+	}
+	k := len(mins)
+	j := 0
+	for ; j+4 <= len(xs); j += 4 {
+		h0 := mix64(uint64(xs[j]) ^ seed)
+		h1 := mix64(uint64(xs[j+1]) ^ seed)
+		h2 := mix64(uint64(xs[j+2]) ^ seed)
+		h3 := mix64(uint64(xs[j+3]) ^ seed)
+		if b := binOf(h0, k); h0 < mins[b] {
+			mins[b] = h0
+		}
+		if b := binOf(h1, k); h1 < mins[b] {
+			mins[b] = h1
+		}
+		if b := binOf(h2, k); h2 < mins[b] {
+			mins[b] = h2
+		}
+		if b := binOf(h3, k); h3 < mins[b] {
+			mins[b] = h3
+		}
+	}
+	for ; j < len(xs); j++ {
+		h := mix64(uint64(xs[j]) ^ seed)
+		if b := binOf(h, k); h < mins[b] {
+			mins[b] = h
+		}
+	}
+}
+
+// matchUnrolled keeps four branch-free equality accumulators per pass.
+func matchUnrolled(a, b []uint32) int {
+	var c0, c1, c2, c3 int
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		c0 += eq(a[i], b[i])
+		c1 += eq(a[i+1], b[i+1])
+		c2 += eq(a[i+2], b[i+2])
+		c3 += eq(a[i+3], b[i+3])
+	}
+	for ; i < len(a); i++ {
+		c0 += eq(a[i], b[i])
+	}
+	return c0 + c1 + c2 + c3
+}
+
+// eq is a branch-free equality bit: 1 when x == y, else 0.
+func eq(x, y uint32) int {
+	return int((uint64(x^y) - 1) >> 63)
+}
+
+var (
+	scalarKernels = kernelImpl{
+		name:    "scalar",
+		kmin:    kminScalar,
+		onePerm: onePermScalar,
+		match:   matchScalar,
+	}
+	unrolledKernels = kernelImpl{
+		name:    "unrolled",
+		kmin:    kminUnrolled,
+		onePerm: onePermUnrolled,
+		match:   matchUnrolled,
+	}
+)
+
+// kernelImpls is the differential-test registry: every implementation
+// here must agree bit-for-bit with scalarKernels on all inputs.
+var kernelImpls = []kernelImpl{scalarKernels, unrolledKernels}
+
+// Dispatched kernels, bound once at init. Function variables (rather
+// than an interface) keep the call one indirect jump with no boxing.
+var (
+	kminKernel    func(seeds []uint64, xs []uint32, mins []uint64)
+	onePermKernel func(seed uint64, xs []uint32, mins []uint64)
+	matchKernel   func(a, b []uint32) int
+)
+
+func init() {
+	impl := unrolledKernels
+	if os.Getenv("SGTREE_SKETCH_SCALAR") != "" {
+		impl = scalarKernels
+	}
+	kminKernel = impl.kmin
+	onePermKernel = impl.onePerm
+	matchKernel = impl.match
+}
+
+// ActiveKernel names the dispatched kernel set ("unrolled" or
+// "scalar"), for diagnostics and benchmark labels.
+func ActiveKernel() string {
+	if os.Getenv("SGTREE_SKETCH_SCALAR") != "" {
+		return scalarKernels.name
+	}
+	return unrolledKernels.name
+}
+
+// bandHash mixes one band's rows into a bucket key. The band index is
+// folded in so the same row values hash differently across bands.
+func bandHash(band int, rows []uint32) uint64 {
+	h := mix64(uint64(band)*0x9e3779b97f4a7c15 + 0x53474254) // "SGBT"
+	for _, r := range rows {
+		h = mix64(h ^ uint64(r))
+	}
+	return h
+}

@@ -1,0 +1,264 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Record is one sketched set in an Index: the caller's id, an opaque
+// routing token (the facade stores the set's leaf page id there, so a
+// candidate maps straight to the tree leaf to verify), and the set's
+// cardinality (needed to turn Jaccard estimates into metric distances
+// in answer mode).
+type Record struct {
+	TID  uint32
+	Leaf uint32
+	Area int32
+}
+
+// Index is an in-memory LSH band table over the sketches of one
+// collection. Build with Add (single-writer); after the build it is
+// immutable and safe for concurrent queries. The facade rebuilds the
+// whole index when the tree's snapshot epoch moves — records are small
+// (12 bytes + K registers), so a rebuild is a linear scan, not a tree
+// operation.
+type Index struct {
+	sk    *Sketcher
+	rows  int
+	bands int
+
+	recs    []Record
+	regs    []uint32             // all sketches, flat: record i at [i*K, (i+1)*K)
+	buckets []map[uint64][]int32 // per band: bucket key -> record indices
+
+	// Leaf tokens interned to dense indices at build time, so query-time
+	// leaf deduplication is a stamp-array write instead of a map insert
+	// (the map version dominated route-mode fixed cost per query).
+	leafIDs  []uint32         // dense leaf index -> leaf token
+	recLeaf  []int32          // record index -> dense leaf index
+	leafById map[uint32]int32 // build scratch, dead after the last Add
+
+	epoch uint64 // tree snapshot epoch the records were walked at
+
+	// build scratch, dead after the last Add
+	mins []uint64
+}
+
+// NewIndex creates an empty index for one parameter family.
+func NewIndex(p Params) (*Index, error) {
+	sk, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	p = sk.Params()
+	ix := &Index{
+		sk:       sk,
+		rows:     p.K / p.Bands,
+		bands:    p.Bands,
+		buckets:  make([]map[uint64][]int32, p.Bands),
+		leafById: make(map[uint32]int32),
+	}
+	for b := range ix.buckets {
+		ix.buckets[b] = make(map[uint64][]int32)
+	}
+	return ix, nil
+}
+
+// Sketcher returns the index's sketch family (for sketching queries).
+func (ix *Index) Sketcher() *Sketcher { return ix.sk }
+
+// Len returns the number of records.
+func (ix *Index) Len() int { return len(ix.recs) }
+
+// Bands returns the total band count.
+func (ix *Index) Bands() int { return ix.bands }
+
+// Epoch returns the tree snapshot epoch recorded by SetEpoch — the
+// version of the tree the records' leaf tokens are valid for.
+func (ix *Index) Epoch() uint64 { return ix.epoch }
+
+// SetEpoch records the snapshot epoch the records were walked at.
+func (ix *Index) SetEpoch(e uint64) { ix.epoch = e }
+
+// Add sketches one set (given by its sorted element positions) and
+// files it under every band bucket. Not safe concurrently with queries
+// or other Adds — the index is built single-writer, then published.
+func (ix *Index) Add(tid, leaf uint32, area int, positions []uint32) {
+	k := ix.sk.K()
+	i := int32(len(ix.recs))
+	ix.recs = append(ix.recs, Record{TID: tid, Leaf: leaf, Area: int32(area)})
+	li, ok := ix.leafById[leaf]
+	if !ok {
+		li = int32(len(ix.leafIDs))
+		ix.leafIDs = append(ix.leafIDs, leaf)
+		ix.leafById[leaf] = li
+	}
+	ix.recLeaf = append(ix.recLeaf, li)
+	ix.regs = append(ix.regs, make([]uint32, k)...)
+	regs := ix.regs[int(i)*k:]
+	ix.mins = ix.sk.Sketch(positions, regs, ix.mins)
+	for b := 0; b < ix.bands; b++ {
+		key := bandHash(b, regs[b*ix.rows:(b+1)*ix.rows])
+		ix.buckets[b][key] = append(ix.buckets[b][key], i)
+	}
+}
+
+// Record returns record i.
+func (ix *Index) Record(i int32) Record { return ix.recs[i] }
+
+// Regs returns record i's registers (read-only).
+func (ix *Index) Regs(i int32) []uint32 {
+	k := ix.sk.K()
+	return ix.regs[int(i)*k : int(i)*k+k]
+}
+
+// BandsForRecall returns how many bands to probe so a true neighbor of
+// Jaccard similarity s0 surfaces with probability at least recall:
+// the smallest n with 1-(1-p)^n >= recall, where p = (s0 + (1-s0)·2^-b)
+// ^ rows is the single-band collision probability (register matches
+// include the b-bit accidental-collision floor). The result is clamped
+// into [1, Bands]; recall >= 1 probes every band.
+func (ix *Index) BandsForRecall(recall, s0 float64) int {
+	if recall >= 1 {
+		return ix.bands
+	}
+	if recall <= 0 {
+		return 1
+	}
+	c := math.Exp2(-float64(ix.sk.Params().Bits))
+	p := math.Pow(s0+(1-s0)*c, float64(ix.rows))
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return ix.bands
+	}
+	n := int(math.Ceil(math.Log(1-recall) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	if n > ix.bands {
+		n = ix.bands
+	}
+	return n
+}
+
+// CandidateSet is reusable per-query scratch for Candidates: an epoch
+// stamp per record replaces a visited bitmap that would otherwise need
+// clearing between queries. One CandidateSet serves one query at a
+// time; pool them for concurrent queries.
+type CandidateSet struct {
+	stamp []uint32
+	cur   uint32
+	out   []int32
+
+	lstamp []uint32 // per dense leaf index, same stamp discipline
+	leaves []uint32
+}
+
+// Candidates appends to cs the indices of every record colliding with
+// the query sketch in at least one of the first probe bands (clamped
+// to [1, Bands]), deduplicated, and returns the slice. The returned
+// slice is valid until the next Candidates call on the same cs.
+func (ix *Index) Candidates(qregs []uint32, probe int, cs *CandidateSet) []int32 {
+	if probe < 1 {
+		probe = 1
+	}
+	if probe > ix.bands {
+		probe = ix.bands
+	}
+	if len(cs.stamp) < len(ix.recs) {
+		// cur restarts at 1, so the sibling stamp array must be cleared
+		// too or its stale entries could alias the restarted counter.
+		cs.stamp = make([]uint32, len(ix.recs))
+		for i := range cs.lstamp {
+			cs.lstamp[i] = 0
+		}
+		cs.cur = 0
+	}
+	cs.cur++
+	if cs.cur == 0 { // stamp wrap: reset both arrays and restart
+		for i := range cs.stamp {
+			cs.stamp[i] = 0
+		}
+		for i := range cs.lstamp {
+			cs.lstamp[i] = 0
+		}
+		cs.cur = 1
+	}
+	cs.out = cs.out[:0]
+	for b := 0; b < probe; b++ {
+		key := bandHash(b, qregs[b*ix.rows:(b+1)*ix.rows])
+		for _, r := range ix.buckets[b][key] {
+			if cs.stamp[r] != cs.cur {
+				cs.stamp[r] = cs.cur
+				cs.out = append(cs.out, r)
+			}
+		}
+	}
+	return cs.out
+}
+
+// CandidateLeaves returns the deduplicated leaf tokens of every record
+// colliding with the query sketch in at least one of the first probe
+// bands (clamped to [1, Bands]). It is the route-mode fast path:
+// verification is leaf-granular, so deduplicating at leaf granularity
+// directly — one stamp-array write per colliding record, no per-record
+// output — does strictly less work than Candidates. The returned slice
+// is valid until the next CandidateLeaves call on the same cs.
+func (ix *Index) CandidateLeaves(qregs []uint32, probe int, cs *CandidateSet) []uint32 {
+	if probe < 1 {
+		probe = 1
+	}
+	if probe > ix.bands {
+		probe = ix.bands
+	}
+	if len(cs.lstamp) < len(ix.leafIDs) {
+		// Same aliasing hazard as in Candidates, mirrored.
+		cs.lstamp = make([]uint32, len(ix.leafIDs))
+		for i := range cs.stamp {
+			cs.stamp[i] = 0
+		}
+		cs.cur = 0
+	}
+	cs.cur++
+	if cs.cur == 0 { // stamp wrap: reset and restart
+		for i := range cs.stamp {
+			cs.stamp[i] = 0
+		}
+		for i := range cs.lstamp {
+			cs.lstamp[i] = 0
+		}
+		cs.cur = 1
+	}
+	cs.leaves = cs.leaves[:0]
+	for b := 0; b < probe; b++ {
+		key := bandHash(b, qregs[b*ix.rows:(b+1)*ix.rows])
+		for _, r := range ix.buckets[b][key] {
+			if li := ix.recLeaf[r]; cs.lstamp[li] != cs.cur {
+				cs.lstamp[li] = cs.cur
+				cs.leaves = append(cs.leaves, ix.leafIDs[li])
+			}
+		}
+	}
+	return cs.leaves
+}
+
+// MemoryFootprint returns the approximate resident bytes of the index
+// (records, registers and bucket tables), for stats reporting.
+func (ix *Index) MemoryFootprint() int {
+	bytes := len(ix.recs)*12 + len(ix.regs)*4
+	for _, m := range ix.buckets {
+		for _, ids := range m {
+			bytes += 16 + len(ids)*4
+		}
+	}
+	return bytes
+}
+
+// String describes the index geometry.
+func (ix *Index) String() string {
+	p := ix.sk.Params()
+	return fmt.Sprintf("sketch.Index{%s K=%d b=%d bands=%dx%d n=%d}",
+		p.Scheme, p.K, p.Bits, ix.bands, ix.rows, len(ix.recs))
+}

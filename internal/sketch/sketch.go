@@ -1,0 +1,284 @@
+// Package sketch implements MinHash set sketches and an LSH band index
+// over them — the recall-tunable approximate tier in front of the exact
+// signature tree (DESIGN.md §13).
+//
+// A sketch compresses a set into K small registers such that the
+// fraction of matching registers between two sketches is an unbiased
+// estimator of the sets' Jaccard similarity. Two constructions are
+// provided: classic k-min MinHash (K independent hash streams, robust
+// at any set size) and one-permutation hashing with rotation
+// densification (one hash per element — K times cheaper to build on
+// large sets). Registers are truncated to b bits ("b-bit minwise
+// hashing", Li & König); the estimator corrects for the 2^-b accidental
+// collision rate, so small registers trade variance, not bias.
+//
+// The Index packs the sketches of an indexed collection into an LSH
+// band table: K registers split into bands of Rows consecutive
+// registers, each band hashed into a bucket key. Two sets collide in a
+// band only if all Rows registers match, so the probability a candidate
+// surfaces after probing n bands is 1-(1-s^Rows)^n for Jaccard
+// similarity s — the curve BandsForRecall inverts to turn a per-query
+// recall target into a band-probe budget.
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"sgtree/internal/signature"
+)
+
+// Scheme selects the MinHash construction.
+type Scheme int
+
+const (
+	// KMin is classic MinHash: K independent hash streams, register i
+	// the minimum of stream i over the set. Build cost O(K·|set|).
+	KMin Scheme = iota
+	// OnePerm is one-permutation hashing: a single hash stream routed
+	// into K bins, empty bins filled by borrowing the next non-empty
+	// bin's value (rotation densification). Build cost O(|set| + K),
+	// but the densified copies of the few occupied bins correlate
+	// between sketches, biasing estimates upward for sets much smaller
+	// than K — prefer KMin (the default) when typical sets are sparse
+	// relative to the register count.
+	OnePerm
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case KMin:
+		return "kmin"
+	case OnePerm:
+		return "oneperm"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseScheme maps a scheme name back to its value.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "", "kmin":
+		return KMin, nil
+	case "oneperm":
+		return OnePerm, nil
+	default:
+		return 0, fmt.Errorf("sketch: unknown scheme %q (have kmin, oneperm)", name)
+	}
+}
+
+// Params configures a sketch family. Two sketches are comparable only
+// when built with identical Params.
+type Params struct {
+	// K is the number of registers per sketch. Estimator standard error
+	// is about 1/√K. Required, and must be a multiple of Bands.
+	K int
+	// Bits is the register width in bits, 1..32 (default 16). Smaller
+	// registers shrink the index and speed up matching; the estimator
+	// corrects for the 2^-Bits collision floor.
+	Bits int
+	// Bands is the LSH band count; Rows = K/Bands registers per band
+	// (default K/2, i.e. two rows — the high-recall end). More rows per
+	// band sharpen the collision curve toward high similarities.
+	Bands int
+	// Scheme selects the construction (default KMin).
+	Scheme Scheme
+	// Seed perturbs every hash stream (default a fixed constant), so
+	// independent sketch families can coexist.
+	Seed uint64
+}
+
+const defaultSeed = 0x5347536b65746368 // "SGSketch"
+
+// withDefaults resolves the zero values documented on the fields.
+func (p Params) withDefaults() Params {
+	if p.Bits == 0 {
+		p.Bits = 16
+	}
+	if p.Bands == 0 && p.K > 0 {
+		p.Bands = (p.K + 1) / 2
+	}
+	if p.Seed == 0 {
+		p.Seed = defaultSeed
+	}
+	return p
+}
+
+// Validate checks the resolved parameters.
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	if p.K <= 0 {
+		return fmt.Errorf("sketch: K = %d must be positive", p.K)
+	}
+	if p.Bits < 1 || p.Bits > 32 {
+		return fmt.Errorf("sketch: Bits = %d outside [1,32]", p.Bits)
+	}
+	if p.Bands < 1 || p.Bands > p.K {
+		return fmt.Errorf("sketch: Bands = %d outside [1,K=%d]", p.Bands, p.K)
+	}
+	if p.K%p.Bands != 0 {
+		return fmt.Errorf("sketch: K = %d not a multiple of Bands = %d", p.K, p.Bands)
+	}
+	if p.Scheme != KMin && p.Scheme != OnePerm {
+		return fmt.Errorf("sketch: unknown scheme %d", p.Scheme)
+	}
+	return nil
+}
+
+// Rows returns the registers per band of the resolved parameters.
+func (p Params) Rows() int {
+	p = p.withDefaults()
+	return p.K / p.Bands
+}
+
+// Sketcher computes sketches for one parameter family. It is immutable
+// after New and safe for concurrent use.
+type Sketcher struct {
+	p     Params
+	seeds []uint64 // KMin: one seed per register stream
+	mask  uint32   // keeps the low Bits bits of a register
+}
+
+// New builds a Sketcher, resolving parameter defaults.
+func New(p Params) (*Sketcher, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sketcher{p: p}
+	if p.Bits == 32 {
+		s.mask = ^uint32(0)
+	} else {
+		s.mask = (1 << uint(p.Bits)) - 1
+	}
+	if p.Scheme == KMin {
+		// Per-register seeds from a splitmix64 stream off the base seed,
+		// the standard way to spawn independent full-avalanche streams.
+		s.seeds = make([]uint64, p.K)
+		x := p.Seed
+		for i := range s.seeds {
+			x += 0x9e3779b97f4a7c15
+			s.seeds[i] = mix64(x)
+		}
+	}
+	return s, nil
+}
+
+// Params returns the resolved parameters.
+func (s *Sketcher) Params() Params { return s.p }
+
+// K returns the register count.
+func (s *Sketcher) K() int { return s.p.K }
+
+// Sketch fills regs (length K) with the b-bit sketch of the set given
+// by its sorted element positions. The scratch slice mins (grown as
+// needed, may be nil) carries the 64-bit minima between the kernel and
+// the truncation; passing the same scratch across calls avoids the
+// per-sketch allocation. An empty set sketches to all-mask registers —
+// two empty sets therefore estimate similarity 1, matching the
+// signature package's empty-set conventions.
+func (s *Sketcher) Sketch(positions []uint32, regs []uint32, mins []uint64) []uint64 {
+	if len(regs) != s.p.K {
+		panic("sketch: regs length != K")
+	}
+	if cap(mins) < s.p.K {
+		mins = make([]uint64, s.p.K)
+	}
+	mins = mins[:s.p.K]
+	if s.p.Scheme == KMin {
+		kminKernel(s.seeds, positions, mins)
+	} else {
+		onePermKernel(s.p.Seed, positions, mins)
+		densify(mins)
+	}
+	for i, m := range mins {
+		regs[i] = uint32(m) & s.mask
+	}
+	return mins
+}
+
+// densify fills empty one-permutation bins by rotation: bin i borrows
+// the value of the nearest non-empty bin to its right (circularly),
+// re-mixed with the borrow distance so two sets that share the donor
+// bin but differ in which bins are empty do not spuriously match on
+// the borrowed registers beyond what the donor match implies. With no
+// occupied bin at all (empty set) every register keeps the sentinel.
+func densify(mins []uint64) {
+	k := len(mins)
+	// Find any occupied bin; bail if none.
+	first := -1
+	for i, m := range mins {
+		if m != emptyBin {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return
+	}
+	// Walk right-to-left from the first occupied bin so every empty bin
+	// sees the nearest occupied bin on its right in one circular pass.
+	donor := uint64(0)
+	dist := uint64(0)
+	for off := 0; off < k; off++ {
+		i := (first - off + k) % k
+		if mins[i] != emptyBin {
+			donor = mins[i]
+			dist = 0
+		} else {
+			dist++
+			mins[i] = mix64(donor + dist)
+		}
+	}
+}
+
+// Estimate returns the Jaccard-similarity estimate for two sketches of
+// this family, corrected for the b-bit collision floor: with matched
+// fraction m and accidental collision rate c = 2^-Bits, the unbiased
+// estimate is (m-c)/(1-c), clamped into [0,1].
+func (s *Sketcher) Estimate(a, b []uint32) float64 {
+	m := float64(matchKernel(a, b)) / float64(s.p.K)
+	c := math.Exp2(-float64(s.p.Bits))
+	j := (m - c) / (1 - c)
+	if j < 0 {
+		return 0
+	}
+	if j > 1 {
+		return 1
+	}
+	return j
+}
+
+// EstimateDistance converts a Jaccard-similarity estimate into a
+// distance under the given metric, using the two sets' cardinalities:
+// from j ≈ i/(qa+ta-i) the implied intersection is i = j(qa+ta)/(1+j),
+// which the standard identities turn into each metric's distance. The
+// empty-set conventions match signature.Distance (two empty sets are
+// at distance 0; empty vs non-empty uses j = 0).
+func EstimateDistance(m signature.Metric, j float64, qa, ta int) float64 {
+	if qa == 0 && ta == 0 {
+		return 0
+	}
+	if qa == 0 || ta == 0 {
+		j = 0
+	}
+	i := j * float64(qa+ta) / (1 + j)
+	switch m {
+	case signature.Hamming:
+		d := float64(qa+ta) - 2*i
+		if d < 0 {
+			return 0
+		}
+		return d
+	case signature.Jaccard:
+		return 1 - j
+	case signature.Dice:
+		return 1 - 2*i/float64(qa+ta)
+	case signature.Cosine:
+		return 1 - i/math.Sqrt(float64(qa)*float64(ta))
+	default:
+		panic("sketch: unknown metric")
+	}
+}

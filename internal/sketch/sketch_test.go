@@ -1,0 +1,418 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sgtree/internal/signature"
+)
+
+// randomSet draws n distinct positions from [0, universe).
+func randomSet(rng *rand.Rand, universe, n int) []uint32 {
+	seen := make(map[uint32]bool, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		x := uint32(rng.Intn(universe))
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// jaccardOf computes the exact Jaccard similarity of two position sets.
+func jaccardOf(a, b []uint32) float64 {
+	m := make(map[uint32]bool, len(a))
+	for _, x := range a {
+		m[x] = true
+	}
+	inter := 0
+	for _, x := range b {
+		if m[x] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// overlappingSets builds two sets sharing a prefix, giving a spread of
+// true similarities.
+func overlappingSets(rng *rand.Rand, universe, size, shared int) ([]uint32, []uint32) {
+	base := randomSet(rng, universe, size+2*(size-shared))
+	a := append([]uint32(nil), base[:shared]...)
+	b := append([]uint32(nil), base[:shared]...)
+	a = append(a, base[size:size+(size-shared)]...)
+	b = append(b, base[size+(size-shared):size+2*(size-shared)]...)
+	return a, b
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := []Params{
+		{K: 64},
+		{K: 128, Bits: 8, Bands: 32},
+		{K: 16, Bits: 32, Bands: 16, Scheme: OnePerm},
+		{K: 6, Bits: 1, Bands: 3},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+	bad := []Params{
+		{},                           // K missing
+		{K: -4},                      // negative K
+		{K: 64, Bits: 33},            // register too wide
+		{K: 64, Bands: 65},           // more bands than registers
+		{K: 64, Bands: 7},            // K not a multiple of Bands
+		{K: 64, Scheme: Scheme(9)},   // unknown scheme
+		{K: 64, Bits: -1, Bands: 16}, // negative width
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+	if got := (Params{K: 64}).Rows(); got != 2 {
+		t.Errorf("default Rows = %d, want 2 (Bands defaults to K/2)", got)
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for name, want := range map[string]Scheme{"": KMin, "kmin": KMin, "oneperm": OnePerm} {
+		got, err := ParseScheme(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v, nil", name, got, err, want)
+		}
+	}
+	if _, err := ParseScheme("simhash"); err == nil {
+		t.Error("ParseScheme(simhash) = nil error, want error")
+	}
+}
+
+// TestKernelDifferential pins every registry implementation
+// bit-identical to the scalar reference, across sizes that exercise
+// the unrolled kernels' main loops and tails.
+func TestKernelDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 64, 65, 128} {
+		seeds := make([]uint64, k)
+		for i := range seeds {
+			seeds[i] = rng.Uint64()
+		}
+		for _, n := range []int{0, 1, 2, 3, 4, 5, 8, 9, 100} {
+			xs := make([]uint32, n)
+			for i := range xs {
+				xs[i] = rng.Uint32()
+			}
+			want := make([]uint64, k)
+			scalarKernels.kmin(seeds, xs, want)
+			wantOP := make([]uint64, k)
+			scalarKernels.onePerm(seeds[0], xs, wantOP)
+			a := make([]uint32, k)
+			b := make([]uint32, k)
+			for i := range a {
+				a[i] = uint32(rng.Intn(4))
+				b[i] = uint32(rng.Intn(4))
+			}
+			wantMatch := scalarKernels.match(a, b)
+			for _, impl := range kernelImpls {
+				got := make([]uint64, k)
+				impl.kmin(seeds, xs, got)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s kmin k=%d n=%d register %d: %x != %x", impl.name, k, n, i, got[i], want[i])
+					}
+				}
+				impl.onePerm(seeds[0], xs, got)
+				for i := range got {
+					if got[i] != wantOP[i] {
+						t.Fatalf("%s onePerm k=%d n=%d register %d: %x != %x", impl.name, k, n, i, got[i], wantOP[i])
+					}
+				}
+				if m := impl.match(a, b); m != wantMatch {
+					t.Fatalf("%s match k=%d: %d != %d", impl.name, k, m, wantMatch)
+				}
+			}
+		}
+	}
+}
+
+// TestSketchIdentity: a set always sketches identically, and identical
+// sets estimate similarity exactly 1 under both schemes.
+func TestSketchIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, scheme := range []Scheme{KMin, OnePerm} {
+		for _, bits := range []int{1, 8, 16, 32} {
+			sk, err := New(Params{K: 64, Bits: bits, Scheme: scheme})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{0, 1, 5, 40, 200} {
+				set := randomSet(rng, 10000, n)
+				r1 := make([]uint32, sk.K())
+				r2 := make([]uint32, sk.K())
+				sk.Sketch(set, r1, nil)
+				sk.Sketch(set, r2, nil)
+				for i := range r1 {
+					if r1[i] != r2[i] {
+						t.Fatalf("%v b=%d n=%d: sketch not deterministic at register %d", scheme, bits, n, i)
+					}
+					if max := uint32(1)<<uint(bits) - 1; bits < 32 && r1[i] > max {
+						t.Fatalf("%v b=%d: register %d = %d exceeds %d", scheme, bits, i, r1[i], max)
+					}
+				}
+				if j := sk.Estimate(r1, r2); j != 1 {
+					t.Fatalf("%v b=%d n=%d: self-estimate %v, want 1", scheme, bits, n, j)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateAccuracy checks the estimator against the exact Jaccard
+// similarity across similarity levels. K=1024 at 32-bit registers has
+// standard error ≤ 0.016, so a 0.1 tolerance is ~6σ per pair — loose
+// enough to be deterministic-in-practice at this fixed seed, tight
+// enough to catch any systematic estimator error.
+func TestEstimateAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, scheme := range []Scheme{KMin, OnePerm} {
+		sk, err := New(Params{K: 1024, Bits: 32, Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra := make([]uint32, sk.K())
+		rb := make([]uint32, sk.K())
+		for _, shared := range []int{0, 10, 25, 40, 50} {
+			a, b := overlappingSets(rng, 100000, 50, shared)
+			truth := jaccardOf(a, b)
+			sk.Sketch(a, ra, nil)
+			sk.Sketch(b, rb, nil)
+			got := sk.Estimate(ra, rb)
+			if math.Abs(got-truth) > 0.1 {
+				t.Errorf("%v shared=%d: estimate %.3f vs exact %.3f", scheme, shared, got, truth)
+			}
+		}
+	}
+}
+
+// TestBBitCorrection: at 1-bit registers every register matches with
+// probability ≥ 1/2 by accident; the corrected estimator must still
+// track the exact similarity on disjoint sets (raw match ≈ 0.5 → 0).
+func TestBBitCorrection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sk, err := New(Params{K: 4096, Bits: 1, Bands: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randomSet(rng, 1000000, 500)
+	b := randomSet(rng, 1000000, 500)
+	// Regenerate b until disjoint from a (overwhelmingly already true).
+	m := make(map[uint32]bool)
+	for _, x := range a {
+		m[x] = true
+	}
+	for i := 0; i < len(b); i++ {
+		for m[b[i]] {
+			b[i] = uint32(rng.Intn(1000000))
+		}
+	}
+	ra := make([]uint32, sk.K())
+	rb := make([]uint32, sk.K())
+	sk.Sketch(a, ra, nil)
+	sk.Sketch(b, rb, nil)
+	if j := sk.Estimate(ra, rb); j > 0.08 {
+		t.Errorf("1-bit corrected estimate on disjoint sets = %.3f, want ≈ 0", j)
+	}
+}
+
+// TestEstimateDistance pins the metric conversion against
+// signature.Distance: feeding the exact Jaccard similarity into the
+// conversion must reproduce the exact distance for every metric.
+func TestEstimateDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const universe = 300
+	m := signature.NewDirectMapper(universe)
+	for trial := 0; trial < 50; trial++ {
+		a, b := overlappingSets(rng, universe, 20, rng.Intn(21))
+		sa := signature.FromItems(m, toInts(a))
+		sb := signature.FromItems(m, toInts(b))
+		j := jaccardOf(a, b)
+		for _, metric := range []signature.Metric{signature.Hamming, signature.Jaccard, signature.Dice, signature.Cosine} {
+			want := signature.Distance(metric, sa, sb)
+			got := EstimateDistance(metric, j, sa.Area(), sb.Area())
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("metric %v: EstimateDistance(exact j) = %v, signature.Distance = %v", metric, got, want)
+			}
+		}
+	}
+	// Empty-set conventions.
+	for _, metric := range []signature.Metric{signature.Hamming, signature.Jaccard, signature.Dice, signature.Cosine} {
+		if d := EstimateDistance(metric, 1, 0, 0); d != 0 {
+			t.Errorf("metric %v: both-empty distance %v, want 0", metric, d)
+		}
+	}
+}
+
+func toInts(xs []uint32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// TestIndexSelfCollision: an indexed set queried by its own sketch is a
+// candidate at every probe depth — identical sketches collide in every
+// band, which is what makes route-mode self-recall deterministic.
+func TestIndexSelfCollision(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, scheme := range []Scheme{KMin, OnePerm} {
+		ix, err := NewIndex(Params{K: 32, Bits: 8, Bands: 16, Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets := make([][]uint32, 50)
+		for i := range sets {
+			sets[i] = randomSet(rng, 5000, 1+rng.Intn(30))
+			ix.Add(uint32(i), uint32(i%7), len(sets[i]), sets[i])
+		}
+		var cs CandidateSet
+		regs := make([]uint32, 32)
+		for i, set := range sets {
+			ix.Sketcher().Sketch(set, regs, nil)
+			for _, probe := range []int{1, 4, 16} {
+				found := false
+				for _, r := range ix.Candidates(regs, probe, &cs) {
+					if ix.Record(r).TID == uint32(i) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%v: set %d not a candidate of its own sketch at probe=%d", scheme, i, probe)
+				}
+			}
+		}
+	}
+}
+
+// TestCandidatesDedup: a record colliding in several bands appears once.
+func TestCandidatesDedup(t *testing.T) {
+	ix, err := NewIndex(Params{K: 8, Bits: 4, Bands: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := []uint32{1, 2, 3}
+	ix.Add(7, 0, len(set), set)
+	regs := make([]uint32, 8)
+	ix.Sketcher().Sketch(set, regs, nil)
+	var cs CandidateSet
+	got := ix.Candidates(regs, 8, &cs)
+	if len(got) != 1 {
+		t.Fatalf("Candidates returned %d entries for one record colliding in all bands, want 1", len(got))
+	}
+	// Scratch reuse across queries must not leak previous results.
+	got = ix.Candidates(regs, 1, &cs)
+	if len(got) != 1 {
+		t.Fatalf("Candidates after reuse returned %d entries, want 1", len(got))
+	}
+}
+
+// TestCandidateLeaves: the leaf-granular fast path returns exactly the
+// distinct leaf tokens of the record-granular Candidates result, at
+// every probe depth, including when the two calls interleave on one
+// shared CandidateSet (the stamp counter is shared between them).
+func TestCandidateLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ix, err := NewIndex(Params{K: 32, Bits: 8, Bands: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([][]uint32, 120)
+	for i := range sets {
+		sets[i] = randomSet(rng, 2000, 1+rng.Intn(25))
+		ix.Add(uint32(i), uint32(i%9), len(sets[i]), sets[i]) // 9 distinct leaves
+	}
+	var cs CandidateSet
+	regs := make([]uint32, 32)
+	for qi := 0; qi < 30; qi++ {
+		ix.Sketcher().Sketch(sets[qi%len(sets)], regs, nil)
+		for _, probe := range []int{1, 3, 16} {
+			want := map[uint32]bool{}
+			for _, r := range ix.Candidates(regs, probe, &cs) {
+				want[ix.Record(r).Leaf] = true
+			}
+			leaves := ix.CandidateLeaves(regs, probe, &cs)
+			got := map[uint32]bool{}
+			for _, l := range leaves {
+				if got[l] {
+					t.Fatalf("probe=%d: leaf %d returned twice", probe, l)
+				}
+				got[l] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("probe=%d: got %d leaves, want %d", probe, len(got), len(want))
+			}
+			for l := range want {
+				if !got[l] {
+					t.Fatalf("probe=%d: leaf %d missing from CandidateLeaves", probe, l)
+				}
+			}
+		}
+	}
+}
+
+// TestBandsForRecall: monotone in the recall target, clamped to the
+// band count, and maximal at recall 1.
+func TestBandsForRecall(t *testing.T) {
+	ix, err := NewIndex(Params{K: 128, Bits: 16, Bands: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, r := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		n := ix.BandsForRecall(r, 0.5)
+		if n < prev {
+			t.Errorf("BandsForRecall(%v) = %d < BandsForRecall(prev) = %d, want monotone", r, n, prev)
+		}
+		if n < 1 || n > ix.Bands() {
+			t.Errorf("BandsForRecall(%v) = %d outside [1,%d]", r, n, ix.Bands())
+		}
+		prev = n
+	}
+	if n := ix.BandsForRecall(1, 0.5); n != ix.Bands() {
+		t.Errorf("BandsForRecall(1) = %d, want all %d bands", n, ix.Bands())
+	}
+	// A higher reference similarity needs fewer bands for the same recall.
+	if lo, hi := ix.BandsForRecall(0.95, 0.8), ix.BandsForRecall(0.95, 0.3); lo > hi {
+		t.Errorf("BandsForRecall at s0=0.8 probes %d > %d at s0=0.3, want fewer", lo, hi)
+	}
+}
+
+// TestEmptySet: the empty set sketches deterministically and matches
+// only other empty sets at similarity 1.
+func TestEmptySet(t *testing.T) {
+	for _, scheme := range []Scheme{KMin, OnePerm} {
+		sk, err := New(Params{K: 16, Bits: 8, Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		empty := make([]uint32, sk.K())
+		sk.Sketch(nil, empty, nil)
+		other := make([]uint32, sk.K())
+		sk.Sketch([]uint32{1, 2, 3, 4, 5}, other, nil)
+		if j := sk.Estimate(empty, empty); j != 1 {
+			t.Errorf("%v: empty-vs-empty estimate %v, want 1", scheme, j)
+		}
+		if j := sk.Estimate(empty, other); j > 0.6 {
+			t.Errorf("%v: empty-vs-nonempty estimate %v, want small", scheme, j)
+		}
+	}
+}

@@ -117,6 +117,12 @@ type Config struct {
 	// restores the last committed state. Costs one fsynced log append per
 	// page flush.
 	Durable bool
+	// Sketch enables the approximate query tier (ApproxKNN,
+	// ApproxRangeSearch): an in-memory MinHash LSH index that routes
+	// each query to a few candidate leaves the tree then verifies
+	// exactly. nil disables it; &SketchConfig{} enables it with
+	// defaults. See SketchConfig and DESIGN.md §13.
+	Sketch *SketchConfig
 }
 
 func (c Config) coreOptions() core.Options {
@@ -219,7 +225,8 @@ type Index struct {
 	cfg    Config
 	tree   *core.Tree
 	mapper signature.Mapper
-	exact  bool // direct mapping: distances are exact
+	exact  bool        // direct mapping: distances are exact
+	sketch *sketchTier // nil unless cfg.Sketch is set
 }
 
 // New creates an in-memory Index.
@@ -295,12 +302,28 @@ func openFile(cfg Config, path string) (*Index, RecoveryStats, error) {
 		p.Close()
 		return nil, stats, err
 	}
+	tier, err := cfg.sketchTier()
+	if err != nil {
+		tree.Close()
+		p.Close()
+		return nil, stats, err
+	}
 	return &Index{
 		cfg:    cfg,
 		tree:   tree,
 		mapper: cfg.mapper(),
 		exact:  cfg.SignatureLength == 0 || cfg.SignatureLength >= cfg.Universe,
+		sketch: tier,
 	}, stats, nil
+}
+
+// sketchTier builds the approximate tier for this configuration, or
+// nil when Sketch is unset.
+func (c Config) sketchTier() (*sketchTier, error) {
+	if c.Sketch == nil {
+		return nil, nil
+	}
+	return newSketchTier(c.Sketch, c.Metric)
 }
 
 func newIndex(cfg Config, pager storage.Pager, wal *storage.WAL) (*Index, error) {
@@ -318,11 +341,17 @@ func newIndex(cfg Config, pager storage.Pager, wal *storage.WAL) (*Index, error)
 	if err != nil {
 		return nil, err
 	}
+	tier, err := cfg.sketchTier()
+	if err != nil {
+		tree.Close()
+		return nil, err
+	}
 	return &Index{
 		cfg:    cfg,
 		tree:   tree,
 		mapper: cfg.mapper(),
 		exact:  cfg.SignatureLength == 0 || cfg.SignatureLength >= cfg.Universe,
+		sketch: tier,
 	}, nil
 }
 
