@@ -14,7 +14,7 @@ STATICCHECK_VERSION ?= v0.6.1
 GOVULNCHECK_VERSION ?= v1.1.4
 BENCHSTAT_VERSION ?= latest
 
-.PHONY: build test vet race crash fuzz check fmt lint staticcheck vuln tools bench bench-json bench-kernels bench-throughput bench-recall server-smoke
+.PHONY: build test vet race crash fuzz check fmt lint lint-fix-list staticcheck vuln tools bench bench-json bench-kernels bench-throughput bench-recall server-smoke
 
 build:
 	$(GO) build ./...
@@ -67,12 +67,21 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# The lint lane runs sglint, the repo's own invariant-analyzer suite
-# (lock discipline, page pin/unpin pairing, runUpdate undo scopes, atomic
-# counter access, banned APIs — see DESIGN.md §9). It builds from the
-# module itself, so it works offline and needs no `make tools`.
+# The lint lane runs sglint, the repo's own invariant-analyzer suite:
+# the syntactic wave (lock discipline, page pin/unpin pairing, runUpdate
+# undo scopes, atomic counter access, banned APIs) plus the dataflow wave
+# (slab coherence, epoch scan contracts, replica fencing, ctx threading,
+# and the //sglint:hotpath allocation gate) — see DESIGN.md §9. All
+# eleven analyzers share one export-data load per run, and the suite
+# builds from the module itself, so it works offline and needs no
+# `make tools`.
 lint:
 	$(GO) run ./cmd/sglint ./...
+
+# Audits every //sglint:ignore suppression in the tree with its recorded
+# justification — the worklist for burning down waived findings.
+lint-fix-list:
+	$(GO) run ./cmd/sglint -suppressions ./...
 
 # External analyzers live in their own targets so `make lint` (and
 # therefore `make check`) stays dependency-free; CI runs both after

@@ -162,7 +162,7 @@ func newSketchTier(cfg *SketchConfig, metric signature.Metric) (*sketchTier, err
 // must still pass idx.Epoch() to the candidate scan and treat
 // core.ErrStaleLeaves as "rebuild and retry" — a writer may land
 // between this check and the scan.
-func (st *sketchTier) index(tree *core.Tree) (*sketch.Index, error) {
+func (st *sketchTier) index(ctx context.Context, tree *core.Tree) (*sketch.Index, error) {
 	if idx := st.idx.Load(); idx != nil && idx.Epoch() == tree.Epoch() {
 		return idx, nil
 	}
@@ -171,7 +171,7 @@ func (st *sketchTier) index(tree *core.Tree) (*sketch.Index, error) {
 	if idx := st.idx.Load(); idx != nil && idx.Epoch() == tree.Epoch() {
 		return idx, nil
 	}
-	idx, err := st.rebuild(tree)
+	idx, err := st.rebuild(ctx, tree)
 	if err != nil {
 		return nil, err
 	}
@@ -182,13 +182,13 @@ func (st *sketchTier) index(tree *core.Tree) (*sketch.Index, error) {
 // rebuild walks every leaf entry once, sketching each stored signature
 // and filing it under its leaf page id — the token route-mode queries
 // hand back to the tree for exact verification.
-func (st *sketchTier) rebuild(tree *core.Tree) (*sketch.Index, error) {
+func (st *sketchTier) rebuild(ctx context.Context, tree *core.Tree) (*sketch.Index, error) {
 	idx, err := sketch.NewIndex(st.params)
 	if err != nil {
 		return nil, err
 	}
 	var pos []uint32
-	epoch, err := tree.WalkLeaves(context.Background(), func(leaf storage.PageID, sig signature.Signature, tid dataset.TID) bool {
+	epoch, err := tree.WalkLeaves(ctx, func(leaf storage.PageID, sig signature.Signature, tid dataset.TID) bool {
 		pos = pos[:0]
 		for i := sig.NextSet(0); i >= 0; i = sig.NextSet(i + 1) {
 			pos = append(pos, uint32(i))
@@ -291,7 +291,7 @@ func (ix *Index) approxKNNSig(ctx context.Context, s signature.Signature, k int,
 	sc := tier.scratch.Get().(*approxScratch)
 	defer tier.scratch.Put(sc)
 	for attempt := 0; attempt < staleRetries; attempt++ {
-		idx, err := tier.index(ix.tree)
+		idx, err := tier.index(ctx, ix.tree)
 		if err != nil {
 			return nil, core.QueryStats{}, err
 		}
@@ -321,7 +321,7 @@ func (ix *Index) approxRangeSig(ctx context.Context, s signature.Signature, eps 
 	sc := tier.scratch.Get().(*approxScratch)
 	defer tier.scratch.Put(sc)
 	for attempt := 0; attempt < staleRetries; attempt++ {
-		idx, err := tier.index(ix.tree)
+		idx, err := tier.index(ctx, ix.tree)
 		if err != nil {
 			return nil, core.QueryStats{}, err
 		}

@@ -8,6 +8,8 @@
 //
 //	go run ./cmd/sglint ./...          # whole repo (what `make lint` does)
 //	go run ./cmd/sglint -only pagelife ./internal/core
+//	go run ./cmd/sglint -json ./...    # machine-readable findings
+//	go run ./cmd/sglint -suppressions ./...  # audit //sglint:ignore directives
 //	go run ./cmd/sglint -list
 //
 // Exit status is 1 when any finding is reported. Findings can be
@@ -20,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,13 +31,25 @@ import (
 	"sgtree/internal/lint"
 )
 
+// jsonDiagnostic is the -json output shape for one finding, flat enough
+// for CI annotation tooling to consume directly.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
-		list = flag.Bool("list", false, "list the analyzers and exit")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array instead of plain text")
+		suppress = flag.Bool("suppressions", false, "list //sglint:ignore directives with their reasons instead of running analyzers")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sglint [-list] [-only a,b] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: sglint [-list] [-only a,b] [-json] [-suppressions] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,13 +89,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sglint: %v\n", err)
 		os.Exit(2)
 	}
+	if *suppress {
+		for _, s := range lint.Suppressions(pkgs) {
+			reason := s.Reason
+			if reason == "" {
+				reason = "(MISSING REASON)"
+			}
+			fmt.Printf("%s:%d: %s: %s\n", s.Pos.Filename, s.Pos.Line, strings.Join(s.Analyzers, ","), reason)
+		}
+		return
+	}
 	diags, err := lint.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sglint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "sglint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "sglint: %d finding(s)\n", len(diags))

@@ -170,12 +170,15 @@ func (t *Tree) CandidateRangeContext(ctx context.Context, q signature.Signature,
 // scanLeafKNN offers every entry of one candidate leaf to the k-NN
 // accumulator — the leaf-handling block of dfSearch, applied to a leaf
 // nominated by the sketch tier instead of reached by descent.
+//
+//sglint:hotpath
 func (e *executor) scanLeafKNN(id storage.PageID, q signature.Signature, acc *knnAccumulator) error {
 	n, err := e.visit(id)
 	if err != nil {
 		return err
 	}
 	if !n.leaf {
+		//sglint:alloc error path: boxing the id allocates only on a corrupt candidate set
 		return fmt.Errorf("core: candidate page %d is not a leaf", id)
 	}
 	if e.slabDistances(n, q) {
@@ -197,12 +200,15 @@ func (e *executor) scanLeafKNN(id storage.PageID, q signature.Signature, acc *kn
 
 // scanLeafRange collects every entry of one candidate leaf within eps —
 // the leaf-handling block of rangeWalk.
+//
+//sglint:hotpath
 func (e *executor) scanLeafRange(id storage.PageID, q signature.Signature, eps float64, out *[]Neighbor) error {
 	n, err := e.visit(id)
 	if err != nil {
 		return err
 	}
 	if !n.leaf {
+		//sglint:alloc error path: boxing the id allocates only on a corrupt candidate set
 		return fmt.Errorf("core: candidate page %d is not a leaf", id)
 	}
 	if e.slabDistances(n, q) {

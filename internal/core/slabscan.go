@@ -84,13 +84,15 @@ func (e *executor) padQuery(q signature.Signature, stride int) []uint64 {
 // unavailable, oversized rows); callers then run the per-entry path.
 // Prunability under a threshold is recovered exactly as
 // distFails(e.bounds[i], thr, strict), since every bound here is exact.
+//
+//sglint:hotpath
 func (e *executor) slabBounds(n *node, q signature.Signature) bool {
 	if !slabScanEnabled || !n.slabScannable() || n.slabStride > slabScanMaxStride {
 		return false
 	}
 	rows := len(n.entries)
-	counts, bounds := e.scanBufs(rows)
-	qp := e.padQuery(q, n.slabStride)
+	counts, bounds := e.scanBufs(rows) //sglint:alloc executor scratch grows once to the max row count, then is reused across nodes
+	qp := e.padQuery(q, n.slabStride)  //sglint:alloc pooled query padding, reallocated only when the stride grows
 	m := e.t.opts.Metric
 	switch {
 	case e.t.opts.CardStats:
@@ -126,6 +128,8 @@ func (e *executor) slabBounds(n *node, q signature.Signature) bool {
 // of n in one batched pass, filling e.bounds[i]. Same fallback contract as
 // slabBounds; additionally the non-Hamming metrics need the per-entry area
 // cache (|t| for the finisher), which only cache-published nodes carry.
+//
+//sglint:hotpath
 func (e *executor) slabDistances(n *node, q signature.Signature) bool {
 	if !slabScanEnabled || !n.slabScannable() || n.slabStride > slabScanMaxStride {
 		return false
@@ -135,8 +139,8 @@ func (e *executor) slabDistances(n *node, q signature.Signature) bool {
 		return false
 	}
 	rows := len(n.entries)
-	counts, bounds := e.scanBufs(rows)
-	qp := e.padQuery(q, n.slabStride)
+	counts, bounds := e.scanBufs(rows) //sglint:alloc executor scratch grows once to the max row count, then is reused across nodes
+	qp := e.padQuery(q, n.slabStride)  //sglint:alloc pooled query padding, reallocated only when the stride grows
 	if m == signature.Hamming {
 		bitset.XorCountSlab(qp, n.slab, n.slabStride, counts)
 		for i, c := range counts {

@@ -58,6 +58,26 @@ func TestBannedAPI(t *testing.T) {
 	linttest.Run(t, lint.NewBannedAPI(rules), "bannedapi")
 }
 
+func TestSlabCoherence(t *testing.T) {
+	linttest.Run(t, lint.SlabCoherence, "slabcoherence")
+}
+
+func TestEpochContract(t *testing.T) {
+	linttest.Run(t, lint.EpochContract, "epochcontract")
+}
+
+func TestReplFence(t *testing.T) {
+	linttest.Run(t, lint.ReplFence, "replfence")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, lint.CtxFlow, "ctxflow")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "hotpathalloc")
+}
+
 // TestRepoIsClean is the acceptance gate in test form: the full suite
 // over the whole module must report nothing. This is the same run `make
 // lint` performs; having it in the test suite means `go test ./...`

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// The CFG solver's correctness hangs on two things: the join semantics
+// (must bits intersect across paths, may bits union) and the block
+// structure (branches, loop back edges, early exits). These tests pin
+// both with a toy transfer function — `set(x)` installs facts for key
+// "x", `clear(x)` removes them — and assert the facts the solver reports
+// at the exit block.
+
+const (
+	tMust uint8 = 1 << 0 // joined by intersection
+	tMay  uint8 = 1 << 1 // joined by union
+)
+
+// parseBody parses `func f(...) { body }` and returns the body.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc set(x int){}\nfunc clear(x int){}\nfunc use(x int){}\nfunc f(x, n int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", body, err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no func f in %q", body)
+	return nil
+}
+
+// toyTransfer interprets set/clear/use calls. Each report-mode sighting
+// of a call is recorded in seen (call position -> held facts), which the
+// tests use both to check convergence at reporting time and to assert
+// the replay visits each node exactly once.
+func toyTransfer(seen map[token.Pos][]uint8) func(n ast.Node, f factMap, report bool) {
+	return func(n ast.Node, f factMap, report bool) {
+		inspectShallow(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			key := ""
+			if len(call.Args) > 0 {
+				if arg, ok := call.Args[0].(*ast.Ident); ok {
+					key = arg.Name
+				}
+			}
+			switch id.Name {
+			case "set":
+				f[key] = tMust | tMay
+			case "clear":
+				delete(f, key)
+			case "use":
+				if report {
+					seen[call.Pos()] = append(seen[call.Pos()], f[key])
+				}
+			}
+			return true
+		})
+	}
+}
+
+func solveBody(t *testing.T, body string) (factMap, map[token.Pos][]uint8) {
+	t.Helper()
+	seen := map[token.Pos][]uint8{}
+	exit := buildCFG(parseBody(t, body)).solve(nil, tMust, toyTransfer(seen))
+	return exit, seen
+}
+
+func TestSolveExitFacts(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want uint8 // facts for key "x" at exit
+	}{
+		{"straight line", "set(x)", tMust | tMay},
+		{"cleared", "set(x)\nclear(x)", 0},
+		{"if both branches", "if n > 0 { set(x) } else { set(x) }", tMust | tMay},
+		{"if one branch", "if n > 0 { set(x) }", tMay},
+		{"if one branch cleared other", "if n > 0 { set(x) } else { set(x)\nclear(x) }", tMay},
+		{"early return skips set", "if n > 0 { return }\nset(x)", tMay},
+		{"set before branch survives", "set(x)\nif n > 0 { use(x) }", tMust | tMay},
+		{"zero iteration for loop", "for i := 0; i < n; i++ { set(x) }", tMay},
+		{"zero iteration range loop", "for i := 0; i < n; i++ { _ = i }\nfor range make([]int, n) { set(x) }", tMay},
+		{"loop then unconditional set", "for i := 0; i < n; i++ { set(x) }\nset(x)", tMust | tMay},
+		{"infinite loop with break", "for { set(x)\nbreak }", tMust | tMay},
+		{"loop clears on back edge", "set(x)\nfor i := 0; i < n; i++ { clear(x) }", tMay},
+		{"switch without default", "switch n { case 1: set(x)\ncase 2: set(x) }", tMay},
+		{"switch with default", "switch n { case 1: set(x)\ndefault: set(x) }", tMust | tMay},
+		{"switch clause missing set", "switch n { case 1: set(x)\ndefault: }", tMay},
+		{"panic path drops out", "if n > 0 { panic(n) }\nset(x)", tMay},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exit, _ := solveBody(t, tc.body)
+			if got := exit["x"]; got != tc.want {
+				t.Errorf("exit facts for x = %03b, want %03b", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSolveNoPathToExit: a body that never falls off the end (infinite
+// loop with no break) yields nil exit facts.
+func TestSolveNoPathToExit(t *testing.T) {
+	exit, _ := solveBody(t, "set(x)\nfor {\n_ = n\n}")
+	if exit != nil {
+		t.Errorf("exit facts = %v, want nil (exit unreachable)", exit)
+	}
+}
+
+// TestSolveReportConverged: the reporting replay must run after the
+// fixpoint, so a use() at the top of a loop sees facts carried around the
+// back edge — converged to may-only when the set happens later in the
+// body — and each node is replayed exactly once.
+func TestSolveReportConverged(t *testing.T) {
+	_, seen := solveBody(t, "for i := 0; i < n; i++ { use(x)\nset(x) }")
+	if len(seen) != 1 {
+		t.Fatalf("recorded %d use() sites, want 1", len(seen))
+	}
+	for pos, facts := range seen {
+		if len(facts) != 1 {
+			t.Errorf("use() at %v replayed %d times, want exactly 1", pos, len(facts))
+		}
+		if facts[0] != tMay {
+			t.Errorf("use() saw facts %03b, want %03b (may-only: first iteration has no set)", facts[0], tMay)
+		}
+	}
+}
+
+// TestSolveReportStraightLine: on a straight-line body the replay sees
+// the same facts the fixpoint computed.
+func TestSolveReportStraightLine(t *testing.T) {
+	_, seen := solveBody(t, "set(x)\nuse(x)\nclear(x)\nuse(x)")
+	var got []uint8
+	for _, facts := range seen {
+		got = append(got, facts...)
+	}
+	if len(got) != 2 {
+		t.Fatalf("recorded %d use() sightings, want 2", len(got))
+	}
+	// Map order is nondeterministic; one use must have seen full facts,
+	// the other none.
+	if !(got[0] == tMust|tMay && got[1] == 0 || got[0] == 0 && got[1] == tMust|tMay) {
+		t.Errorf("use() facts = %03b, %03b; want one full, one empty", got[0], got[1])
+	}
+}
+
+func TestJoinInto(t *testing.T) {
+	cases := []struct {
+		name        string
+		dst, src    factMap
+		want        factMap
+		wantChanged bool
+	}{
+		{
+			name: "must intersects",
+			dst:  factMap{"a": tMust | tMay},
+			src:  factMap{"a": tMay},
+			want: factMap{"a": tMay}, wantChanged: true,
+		},
+		{
+			name: "may unions",
+			dst:  factMap{"a": tMust},
+			src:  factMap{"a": tMust | tMay},
+			want: factMap{"a": tMust | tMay}, wantChanged: true,
+		},
+		{
+			name: "absent in src drops must keeps may",
+			dst:  factMap{"a": tMust | tMay},
+			src:  factMap{},
+			want: factMap{"a": tMay}, wantChanged: true,
+		},
+		{
+			name: "absent in dst takes may only",
+			dst:  factMap{},
+			src:  factMap{"a": tMust | tMay},
+			want: factMap{"a": tMay}, wantChanged: true,
+		},
+		{
+			name: "equal is a fixpoint",
+			dst:  factMap{"a": tMust | tMay, "b": tMay},
+			src:  factMap{"a": tMust | tMay, "b": tMay},
+			want: factMap{"a": tMust | tMay, "b": tMay}, wantChanged: false,
+		},
+		{
+			name: "must-only key absent in src is deleted",
+			dst:  factMap{"a": tMust},
+			src:  factMap{},
+			want: factMap{}, wantChanged: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			changed := joinInto(tc.dst, tc.src, tMust)
+			if changed != tc.wantChanged {
+				t.Errorf("changed = %v, want %v", changed, tc.wantChanged)
+			}
+			if len(tc.dst) != len(tc.want) {
+				t.Fatalf("joined = %v, want %v", tc.dst, tc.want)
+			}
+			for k, v := range tc.want {
+				if tc.dst[k] != v {
+					t.Errorf("joined[%q] = %03b, want %03b", k, tc.dst[k], v)
+				}
+			}
+		})
+	}
+}

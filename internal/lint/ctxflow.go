@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxflow enforces context threading through the library packages: the
+// repo's *Context APIs exist so callers can cancel long scans, and a
+// context.Background()/context.TODO() anywhere on the path from such an
+// API to the executor silently severs that chain — the query keeps
+// running after the caller gave up. The analyzer reports
+//
+//   - context.TODO() anywhere in a library package (it is a placeholder
+//     by definition),
+//   - context.Background() in a function that has a ctx parameter in
+//     scope, unless it is the nil-default idiom (`ctx =
+//     context.Background()` assigning the parameter itself) or a
+//     sentinel comparison (`ctx != context.Background()`),
+//   - context.Background() in a helper reachable from a function with a
+//     ctx parameter — the helper should take and thread the ctx instead
+//     (top-level convenience wrappers like KNN-over-KNNContext are not
+//     reachable that way and stay exempt), and
+//   - an exported *Context API whose ctx parameter is never used: the
+//     executor never sees cancellation.
+//
+// Command packages (cmd/...) own their lifecycle and are skipped.
+
+// CtxFlow is the analyzer instance.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "library code must thread the caller's ctx to the executor; no context.Background/TODO on *Context API paths",
+	Run:  runCtxFlow,
+}
+
+// ctxCallKind classifies a call as context.Background, context.TODO, or
+// neither.
+func ctxCallKind(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Background", "TODO":
+		return fn.Name()
+	}
+	return ""
+}
+
+func isContextType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// ctxParamObjs returns the context.Context parameter objects of fi's own
+// signature (not inherited from an enclosing function).
+func ctxParamObjs(pkg *Package, fi *funcInfo) []types.Object {
+	var params *ast.FieldList
+	if fi.decl != nil {
+		params = fi.decl.Type.Params
+	} else {
+		params = fi.lit.Type.Params
+	}
+	var objs []types.Object
+	if params == nil {
+		return nil
+	}
+	for _, f := range params.List {
+		for _, name := range f.Names {
+			obj := pkg.TypesInfo.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+func runCtxFlow(pass *Pass) error {
+	if strings.HasPrefix(pass.Pkg.PkgPath, "cmd/") || strings.Contains(pass.Pkg.PkgPath, "/cmd/") {
+		return nil
+	}
+	info := pass.Pkg.TypesInfo
+	g := buildGraph(pass.Pkg)
+
+	ctxParams := map[*funcInfo][]types.Object{}
+	var roots []*funcInfo
+	for _, fi := range g.funcs {
+		if objs := ctxParamObjs(pass.Pkg, fi); len(objs) > 0 {
+			ctxParams[fi] = objs
+			roots = append(roots, fi)
+		}
+	}
+	// Helpers reachable from a ctx-carrying function should be threading
+	// that ctx; a Background there rebuilds a detached context mid-path.
+	onCtxPath := closureFrom(roots)
+
+	for _, fi := range g.funcs {
+		own := ctxParams[fi]
+		isOwnParam := func(e ast.Expr) bool {
+			id, ok := ast.Unparen(e).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := info.Uses[id]
+			for _, p := range own {
+				if obj == p {
+					return true
+				}
+			}
+			return false
+		}
+
+		// Pre-pass: Background calls appearing in the two sanctioned
+		// idioms. Keyed by the call node.
+		allowed := map[*ast.CallExpr]bool{}
+		inspectShallow(fi.body(), func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				// ctx = context.Background() — defaulting a nil parameter.
+				for i, lhs := range x.Lhs {
+					if !isOwnParam(lhs) || i >= len(x.Rhs) {
+						continue
+					}
+					if call, ok := ast.Unparen(x.Rhs[i]).(*ast.CallExpr); ok && ctxCallKind(info, call) == "Background" {
+						allowed[call] = true
+					}
+				}
+			case *ast.BinaryExpr:
+				// ctx != context.Background() — sentinel comparison.
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [][2]ast.Expr{{x.X, x.Y}, {x.Y, x.X}} {
+					if !isOwnParam(pair[0]) {
+						continue
+					}
+					if call, ok := ast.Unparen(pair[1]).(*ast.CallExpr); ok && ctxCallKind(info, call) == "Background" {
+						allowed[call] = true
+					}
+				}
+			}
+			return true
+		})
+
+		inspectShallow(fi.body(), func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch ctxCallKind(info, call) {
+			case "TODO":
+				pass.Reportf(call.Pos(), "context.TODO() in library code: thread the caller's ctx instead")
+			case "Background":
+				if allowed[call] {
+					return true
+				}
+				if len(own) > 0 {
+					pass.Reportf(call.Pos(), "context.Background() discards the ctx parameter in scope: the caller's cancellation and deadline are lost")
+				} else if onCtxPath[fi] {
+					pass.Reportf(call.Pos(), "context.Background() in a helper on a *Context API path: take and thread the caller's ctx instead of rebuilding a detached one")
+				}
+			}
+			return true
+		})
+
+		// Exported *Context APIs must actually deliver their ctx.
+		if fi.decl != nil && fi.exported && strings.HasSuffix(fi.decl.Name.Name, "Context") {
+			hasCtxParamType := false
+			for _, f := range fi.decl.Type.Params.List {
+				if tv, ok := info.Types[f.Type]; ok && isContextType(tv.Type) {
+					hasCtxParamType = true
+				}
+			}
+			if hasCtxParamType && len(own) == 0 {
+				pass.Reportf(fi.decl.Name.Pos(), "%s takes an unnamed ctx parameter it cannot thread: name it and pass it to the executor", fi.name)
+			}
+			used := false
+			for _, p := range own {
+				ast.Inspect(fi.decl.Body, func(x ast.Node) bool {
+					if id, ok := x.(*ast.Ident); ok && info.Uses[id] == p {
+						used = true
+					}
+					return true
+				})
+			}
+			if len(own) > 0 && !used {
+				pass.Reportf(fi.decl.Name.Pos(), "%s never uses its ctx parameter: the executor never sees cancellation", fi.name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// epochcontract enforces the sketch-tier snapshot contract of
+// internal/core/approx.go: candidate-leaf queries (CandidateKNN,
+// CandidateRange and their Context variants) carry leaf page ids that are
+// only meaningful at the snapshot epoch a WalkLeaves pass observed, and
+// the scans refuse with ErrStaleLeaves when the tree has moved on. A
+// consumer is correct only when it
+//
+//  1. issues the candidate scan inside a rebuild-and-retry loop that
+//     handles ErrStaleLeaves (a one-shot call silently drops results
+//     whenever a writer lands between build and scan),
+//  2. passes a pinned epoch — the one recorded at build time — rather
+//     than a constant or a re-read of Tree.Epoch() at call time (the
+//     latter always "matches" and defeats the staleness check entirely),
+//  3. compares Tree.Epoch() only on the rebuild path (a function that
+//     transitively runs WalkLeaves); anywhere else an epoch comparison
+//     is a racy substitute for the scan's own check, and
+//  4. keeps the epoch WalkLeaves returns (discarding it leaves nothing
+//     valid to stamp the harvested leaf ids with).
+//
+// Methods of the tree type itself are exempt — they are the
+// implementation of the contract, not consumers of it.
+
+// EpochContract is the analyzer instance.
+var EpochContract = &Analyzer{
+	Name: "epochcontract",
+	Doc:  "candidate-leaf scans must run in an ErrStaleLeaves retry loop with a pinned epoch; Tree.Epoch comparisons only on the rebuild path",
+	Run:  runEpochContract,
+}
+
+var candidateScanNames = map[string]bool{
+	"CandidateKNN":          true,
+	"CandidateRange":        true,
+	"CandidateKNNContext":   true,
+	"CandidateRangeContext": true,
+}
+
+// isEpochTree reports whether e's static type is an epoch-stamped tree:
+// a named type exposing both Epoch and WalkLeaves.
+func isEpochTree(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	return hasMethodNamed(tv.Type, "Epoch") && hasMethodNamed(tv.Type, "WalkLeaves")
+}
+
+// epochTreeType returns the named epoch-tree type of e, or nil.
+func epochTreeType(info *types.Info, e ast.Expr) *types.Named {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	if hasMethodNamed(tv.Type, "Epoch") && hasMethodNamed(tv.Type, "WalkLeaves") {
+		return namedOf(tv.Type)
+	}
+	return nil
+}
+
+func runEpochContract(pass *Pass) error {
+	info := pass.Pkg.TypesInfo
+	g := buildGraph(pass.Pkg)
+
+	// onRebuildPath: functions that transitively call WalkLeaves on an
+	// epoch tree — the one place a raw Epoch comparison is legitimate
+	// (deciding whether the derived index must be rebuilt).
+	onRebuildPath := callsTransitively(g, func(fi *funcInfo) bool {
+		found := false
+		inspectShallow(fi.body(), func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "WalkLeaves" && isEpochTree(info, sel.X) {
+				found = true
+			}
+			return true
+		})
+		return found
+	})
+
+	for _, fi := range g.funcs {
+		if fi.lit != nil {
+			continue // literals are checked within their root function below
+		}
+		c := &epochFuncChecker{pass: pass, info: info, fi: fi, onRebuildPath: onRebuildPath[fi]}
+		c.check()
+	}
+	return nil
+}
+
+type epochFuncChecker struct {
+	pass          *Pass
+	info          *types.Info
+	fi            *funcInfo
+	onRebuildPath bool
+
+	mentionsStale bool
+}
+
+// exemptTreeMethod reports whether the enclosing function is a method on
+// the same epoch-tree type as the receiver of the checked call — the
+// implementation side of the contract.
+func (c *epochFuncChecker) exemptTreeMethod(recvType *types.Named) bool {
+	return c.fi.recv != nil && recvType != nil && c.fi.recv.Obj() == recvType.Obj()
+}
+
+func (c *epochFuncChecker) check() {
+	body := c.fi.body()
+	// Does this function handle ErrStaleLeaves at all? A reference to the
+	// sentinel (errors.Is, ==, a return of it is counted too — the
+	// fixture-grade cases all compare) is the observable signal.
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.Ident:
+			if x.Name == "ErrStaleLeaves" {
+				c.mentionsStale = true
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.ForStmt:
+				if x.Init != nil {
+					walk(x.Init, loopDepth)
+				}
+				if x.Cond != nil {
+					walk(x.Cond, loopDepth)
+				}
+				if x.Post != nil {
+					walk(x.Post, loopDepth)
+				}
+				walk(x.Body, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				walk(x.X, loopDepth)
+				walk(x.Body, loopDepth+1)
+				return false
+			case *ast.CallExpr:
+				c.checkCall(x, loopDepth)
+			case *ast.BinaryExpr:
+				if x.Op == token.EQL || x.Op == token.NEQ {
+					c.checkEpochCompare(x)
+				}
+			case *ast.AssignStmt:
+				c.checkWalkLeavesAssign(x)
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+					if recv := c.walkLeavesRecv(call); recv != nil && !c.exemptTreeMethod(recv) {
+						c.pass.Reportf(call.Pos(), "WalkLeaves result discarded: the returned epoch is the only valid stamp for the harvested leaf ids")
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+}
+
+// walkLeavesRecv returns the epoch-tree type when call is
+// <tree>.WalkLeaves(...), else nil.
+func (c *epochFuncChecker) walkLeavesRecv(call *ast.CallExpr) *types.Named {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WalkLeaves" {
+		return nil
+	}
+	return epochTreeType(c.info, sel.X)
+}
+
+func (c *epochFuncChecker) checkWalkLeavesAssign(as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	recv := c.walkLeavesRecv(call)
+	if recv == nil || c.exemptTreeMethod(recv) {
+		return
+	}
+	if len(as.Lhs) >= 1 {
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && id.Name == "_" {
+			c.pass.Reportf(as.Pos(), "WalkLeaves epoch assigned to _: the returned epoch is the only valid stamp for the harvested leaf ids")
+		}
+	}
+}
+
+func (c *epochFuncChecker) checkCall(call *ast.CallExpr, loopDepth int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !candidateScanNames[sel.Sel.Name] {
+		return
+	}
+	recvType := epochTreeType(c.info, sel.X)
+	if recvType == nil || c.exemptTreeMethod(recvType) {
+		return
+	}
+	name := sel.Sel.Name
+	if loopDepth == 0 {
+		c.pass.Reportf(call.Pos(), "%s outside a retry loop: a concurrent writer makes the leaf set stale and a one-shot call silently returns ErrStaleLeaves", name)
+	}
+	if !c.mentionsStale {
+		c.pass.Reportf(call.Pos(), "%s caller never handles ErrStaleLeaves: stale candidate leaves must trigger a rebuild-and-retry or an exact fallback", name)
+	}
+	// The epoch argument: the parameter named "epoch" in the callee's
+	// signature.
+	fn, _ := c.info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	epochIdx := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == "epoch" {
+			epochIdx = i
+			break
+		}
+	}
+	if epochIdx < 0 || epochIdx >= len(call.Args) {
+		return
+	}
+	arg := call.Args[epochIdx]
+	if tv, ok := c.info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		c.pass.Reportf(arg.Pos(), "%s epoch is a constant: pass the epoch recorded when the leaf set was built (WalkLeaves / index build)", name)
+	}
+	if ec, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+		if esel, ok := ast.Unparen(ec.Fun).(*ast.SelectorExpr); ok && esel.Sel.Name == "Epoch" {
+			if exprString(esel.X) == exprString(sel.X) {
+				c.pass.Reportf(arg.Pos(), "%s re-reads %s.Epoch() at call time: the check always passes and the staleness protocol is defeated — pass the epoch the leaf set was built at", name, exprString(esel.X))
+			}
+		}
+	}
+}
+
+func (c *epochFuncChecker) checkEpochCompare(be *ast.BinaryExpr) {
+	isTreeEpochCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Epoch" {
+			return false
+		}
+		return epochTreeType(c.info, sel.X) != nil && !c.exemptTreeMethod(epochTreeType(c.info, sel.X))
+	}
+	if !isTreeEpochCall(be.X) && !isTreeEpochCall(be.Y) {
+		return
+	}
+	if c.onRebuildPath {
+		return
+	}
+	c.pass.Reportf(be.Pos(), "raw Tree.Epoch() comparison outside the rebuild path: staleness is checked by the candidate scan itself (ErrStaleLeaves); ad-hoc epoch comparisons race with writers")
+}

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// hotpathalloc gates heap allocations on annotated hot paths. A function
+// whose doc comment carries a `//sglint:hotpath` line is declared
+// allocation-sensitive — the kNN/range/slab-scan inner loops where one
+// per-call make() turns a memory-bandwidth-bound kernel into a GC
+// benchmark. The analyzer reruns the compiler's escape analysis
+// (`go tool compile -m`) over the package — fed the same export data the
+// loader already collected, so no extra `go list` run — and reports every
+// "escapes to heap" / "moved to heap" decision that lands inside an
+// annotated function's body. The gate is deterministic: the escape
+// verdicts come from the real compiler for this toolchain, not a
+// reimplementation, so `make lint` fails exactly when `go build` would
+// allocate.
+//
+// Intentional allocations (a buffer that amortizes across the scan, a
+// one-time growth path) are acknowledged in place with
+// `//sglint:alloc <reason>` on the allocating line or the line above;
+// the reason is mandatory. Note that escape decisions in inlined callees
+// are attributed to the *call site* line in the hot function — annotate
+// there.
+
+// HotPathAlloc is the analyzer instance.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "functions annotated //sglint:hotpath must not gain heap allocations (checked against the compiler's escape analysis)",
+	Run:  runHotPathAlloc,
+}
+
+// hotRange is one annotated function's source extent.
+type hotRange struct {
+	file       string // absolute path
+	start, end int    // line range, inclusive
+	name       string
+	pos        token.Pos // annotation site, for load-failure diagnostics
+}
+
+// allocWaiver is one //sglint:alloc directive.
+type allocWaiver struct {
+	reason string
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	fset := pass.Pkg.Fset
+
+	var hot []hotRange
+	waivers := map[string]map[int]*allocWaiver{} // file -> line -> waiver
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				text := strings.TrimSpace(cm.Text)
+				if !strings.HasPrefix(text, "//sglint:alloc") {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, "//sglint:alloc"))
+				p := fset.Position(cm.Pos())
+				if waivers[p.Filename] == nil {
+					waivers[p.Filename] = map[int]*allocWaiver{}
+				}
+				waivers[p.Filename][p.Line] = &allocWaiver{reason: reason}
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			for _, cm := range fd.Doc.List {
+				if strings.TrimSpace(cm.Text) != "//sglint:hotpath" {
+					continue
+				}
+				start := fset.Position(fd.Pos())
+				end := fset.Position(fd.Body.Rbrace)
+				hot = append(hot, hotRange{
+					file:  start.Filename,
+					start: start.Line,
+					end:   end.Line,
+					name:  fd.Name.Name,
+					pos:   cm.Pos(),
+				})
+				break
+			}
+		}
+	}
+	if len(hot) == 0 {
+		return nil
+	}
+
+	escapes, err := escapeAnalysis(pass.Pkg)
+	if err != nil {
+		// Not a hard error: report at the first annotation so the gate is
+		// visible instead of silently passing.
+		pass.Reportf(hot[0].pos, "hotpathalloc: escape analysis unavailable: %v", err)
+		return nil
+	}
+
+	// File-name -> *token.File for rebuilding positions from compiler
+	// line/col output.
+	tokFiles := map[string]*token.File{}
+	fset.Iterate(func(tf *token.File) bool {
+		tokFiles[tf.Name()] = tf
+		return true
+	})
+
+	for _, esc := range escapes {
+		var in *hotRange
+		for i := range hot {
+			h := &hot[i]
+			if esc.file == h.file && esc.line >= h.start && esc.line <= h.end {
+				in = h
+				break
+			}
+		}
+		if in == nil {
+			continue
+		}
+		pos := token.NoPos
+		if tf := tokFiles[esc.file]; tf != nil && esc.line <= tf.LineCount() {
+			pos = tf.LineStart(esc.line) + token.Pos(esc.col-1)
+		} else {
+			pos = in.pos
+		}
+		if w := lookupWaiver(waivers, esc.file, esc.line); w != nil {
+			if w.reason == "" {
+				pass.Reportf(pos, "//sglint:alloc needs a reason: say why this allocation is acceptable on the hot path")
+			}
+			continue
+		}
+		pass.Reportf(pos, "%s in //sglint:hotpath function %s: heap allocation on the hot path (waive with //sglint:alloc <reason> if intended)", esc.msg, in.name)
+	}
+	return nil
+}
+
+// lookupWaiver finds an //sglint:alloc directive covering line: on the
+// line itself (trailing comment) or the line above.
+func lookupWaiver(waivers map[string]map[int]*allocWaiver, file string, line int) *allocWaiver {
+	byLine := waivers[file]
+	if byLine == nil {
+		return nil
+	}
+	if w := byLine[line]; w != nil {
+		return w
+	}
+	return byLine[line-1]
+}
+
+// escapeLine is one escape-analysis verdict from the compiler.
+type escapeLine struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+// escapeAnalysis recompiles pkg with -m and collects the heap-escape
+// decisions. The import config is synthesized from the export-data map
+// the loader captured, so this adds one `go tool compile` per annotated
+// package and nothing else.
+func escapeAnalysis(pkg *Package) ([]escapeLine, error) {
+	tmp, err := os.MkdirTemp("", "sglint-escape-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	var cfg bytes.Buffer
+	for path, export := range pkg.Exports {
+		fmt.Fprintf(&cfg, "packagefile %s=%s\n", path, export)
+	}
+	cfgPath := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(cfgPath, cfg.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+
+	args := []string{
+		"tool", "compile",
+		"-p", pkg.PkgPath,
+		"-importcfg", cfgPath,
+		"-m",
+		"-o", filepath.Join(tmp, "out.a"),
+	}
+	args = append(args, pkg.GoFiles...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = pkg.Dir
+	// The compiler prints -m verdicts on stdout and errors on stderr.
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		first := stderr.String()
+		if i := strings.IndexByte(first, '\n'); i >= 0 {
+			first = first[:i]
+		}
+		return nil, fmt.Errorf("go tool compile -m: %v: %s", err, first)
+	}
+
+	var out []escapeLine
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(&stdout)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		file, ln, col, msg, ok := parseCompilerLine(line)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(pkg.Dir, file)
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", file, ln, col, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, escapeLine{file: file, line: ln, col: col, msg: msg})
+	}
+	return out, nil
+}
+
+// parseCompilerLine splits "path:line:col: message". The path may contain
+// colons only on platforms this repo does not target, so rightmost-wins
+// parsing on the two numeric fields is sufficient.
+func parseCompilerLine(s string) (file string, line, col int, msg string, ok bool) {
+	i := strings.Index(s, ": ")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	loc, msg := s[:i], s[i+2:]
+	parts := strings.Split(loc, ":")
+	if len(parts) < 3 {
+		return "", 0, 0, "", false
+	}
+	col, err := strconv.Atoi(parts[len(parts)-1])
+	if err != nil {
+		return "", 0, 0, "", false
+	}
+	line, err = strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		return "", 0, 0, "", false
+	}
+	file = strings.Join(parts[:len(parts)-2], ":")
+	return file, line, col, msg, true
+}

@@ -160,7 +160,8 @@ func suppressions(pkg *Package) (suppressionSet, []Diagnostic) {
 	return sup, bad
 }
 
-// All returns the full sglint suite in reporting order.
+// All returns the full sglint suite in reporting order: the wave-1
+// syntactic/graph checks first, then the wave-2 dataflow analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		LockDiscipline,
@@ -169,7 +170,52 @@ func All() []*Analyzer {
 		SnapshotLife,
 		AtomicCounter,
 		NewBannedAPI(DefaultBannedRules()),
+		SlabCoherence,
+		EpochContract,
+		ReplFence,
+		CtxFlow,
+		HotPathAlloc,
 	}
+}
+
+// Suppression is one //sglint:ignore directive, for auditing (`sglint
+// -suppressions`, `make lint-fix-list`).
+type Suppression struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+}
+
+// Suppressions lists every //sglint:ignore directive in pkgs, sorted by
+// position. Directives with a missing reason are included with an empty
+// Reason (Run reports those as findings).
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreDirective.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					out = append(out, Suppression{
+						Pos:       pkg.Fset.Position(c.Pos()),
+						Analyzers: strings.Split(m[1], ","),
+						Reason:    strings.TrimSpace(m[2]),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }
 
 // exprString renders an expression compactly for diagnostics and for

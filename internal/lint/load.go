@@ -13,6 +13,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package under analysis.
@@ -23,6 +25,17 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	// GoFiles holds the absolute paths of the package's production Go
+	// files, in go list order — the file list hotpathalloc re-feeds to
+	// the compiler for escape analysis.
+	GoFiles []string
+	// Exports maps every import path of the load (the package itself,
+	// its dependencies, the standard library) to its compiled export
+	// data file. One `go list -deps -export` run produces it, and every
+	// analyzer that needs build products (hotpathalloc's importcfg)
+	// shares it instead of shelling out again.
+	Exports map[string]string
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -35,17 +48,47 @@ type listedPackage struct {
 	Standard   bool
 }
 
+// loadCache memoizes Load results within one process, keyed by the
+// resolved directory plus the pattern list. One sglint (or `go test`)
+// invocation runs many analyzers — and the fixture harness loads many
+// sibling fixture packages — over the same load; the `go list -deps
+// -export` subprocess and the full type-check happen once per distinct
+// request instead of once per analyzer. Loaded packages are treated as
+// immutable by every analyzer, which is what makes sharing safe.
+var loadCache sync.Map // string -> *loadEntry
+
+type loadEntry struct {
+	once sync.Once
+	pkgs []*Package
+	err  error
+}
+
 // Load resolves patterns with the go tool and type-checks every matched
 // package from source. Dependencies — the standard library included — are
 // imported from the compiled export data that `go list -export` leaves in
 // the build cache, so loading needs no network access and no third-party
 // packages: this is what lets sglint run in the bare container the repo
 // targets. Test files are not loaded; the analyzers check the production
-// tree only.
+// tree only. Results are memoized per (dir, patterns) for the life of the
+// process.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		abs = dir
+	}
+	key := abs + "\x00" + strings.Join(patterns, "\x00")
+	e, _ := loadCache.LoadOrStore(key, &loadEntry{})
+	entry := e.(*loadEntry)
+	entry.once.Do(func() {
+		entry.pkgs, entry.err = load(dir, patterns)
+	})
+	return entry.pkgs, entry.err
+}
+
+func load(dir string, patterns []string) ([]*Package, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
 		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard",
@@ -91,12 +134,15 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	var pkgs []*Package
 	for _, t := range targets {
 		var files []*ast.File
+		var paths []string
 		for _, name := range t.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			path := filepath.Join(t.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 			if err != nil {
 				return nil, err
 			}
 			files = append(files, f)
+			paths = append(paths, path)
 		}
 		info := &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
@@ -118,6 +164,8 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			Files:     files,
 			Types:     tpkg,
 			TypesInfo: info,
+			GoFiles:   paths,
+			Exports:   exports,
 		})
 	}
 	return pkgs, nil

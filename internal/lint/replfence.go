@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// replfence enforces the replica apply/query fence of internal/server: a
+// shard struct that pairs a sync.RWMutex with a replica handle (a field
+// whose type has an ApplyRedo method) is a fence — redo application and
+// shard-state writes must hold the write lock, and every replica read
+// (serving a query from the replica's index) must hold at least the read
+// lock. ApplyRedo overlapping a query handler hands the scan a
+// half-applied tree; two overlapping appliers destroy LSN monotonicity.
+//
+// The analysis is flow-sensitive over the block CFG with must-facts
+// (held on every path) per mutex expression: Lock acquires the write
+// fence, RLock the read fence, Unlock/RUnlock release them. Deferred
+// statements are skipped — `defer mu.Unlock()` runs at return and does
+// not end the critical section mid-body. As a second, value-level check,
+// the commit LSN handed to ApplyRedo must come from the replication
+// stream, not a compile-time constant: WAL StreamCommitted consumers
+// apply monotonically increasing LSNs, and a constant pins the replica's
+// durable cursor forever.
+
+const (
+	fenceW uint8 = 1 << 0 // must-fact: write lock held
+	fenceR uint8 = 1 << 1 // must-fact: read (or write) lock held
+)
+
+// ReplFence is the analyzer instance.
+var ReplFence = &Analyzer{
+	Name: "replfence",
+	Doc:  "replica ApplyRedo and shard writes need the write fence; replica reads need at least the read fence; commit LSNs must come from the stream",
+	Run:  runReplFence,
+}
+
+// fencedStruct describes one mutex-fenced replica shard type.
+type fencedStruct struct {
+	named    *types.Named
+	mutex    string          // name of the sync.RWMutex field
+	replicas map[string]bool // fields whose type has ApplyRedo
+}
+
+func isSyncRWMutex(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "RWMutex"
+}
+
+func runReplFence(pass *Pass) error {
+	fenced := map[*types.Named]*fencedStruct{}
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		fs := &fencedStruct{named: named, replicas: map[string]bool{}}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isSyncRWMutex(f.Type()) {
+				fs.mutex = f.Name()
+			} else if hasMethodNamed(f.Type(), "ApplyRedo") {
+				fs.replicas[f.Name()] = true
+			}
+		}
+		if fs.mutex != "" && len(fs.replicas) > 0 {
+			fenced[named] = fs
+		}
+	}
+	if len(fenced) == 0 {
+		return nil
+	}
+
+	g := buildGraph(pass.Pkg)
+	c := &fenceChecker{pass: pass, fenced: fenced}
+	for _, fi := range g.funcs {
+		c.checkFunc(fi)
+	}
+	return nil
+}
+
+type fenceChecker struct {
+	pass   *Pass
+	fenced map[*types.Named]*fencedStruct
+}
+
+// fencedBase resolves e to (base expression, fence descriptor) when e is a
+// `base.field` selector whose base is a fenced shard struct.
+func (c *fenceChecker) fencedBase(e ast.Expr) (ast.Expr, *fencedStruct, string) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, ""
+	}
+	tv, ok := c.pass.Pkg.TypesInfo.Types[sel.X]
+	if !ok {
+		return nil, nil, ""
+	}
+	named := namedOf(tv.Type)
+	if named == nil {
+		return nil, nil, ""
+	}
+	fs, ok := c.fenced[named]
+	if !ok {
+		return nil, nil, ""
+	}
+	return sel.X, fs, sel.Sel.Name
+}
+
+func (c *fenceChecker) checkFunc(fi *funcInfo) {
+	info := c.pass.Pkg.TypesInfo
+
+	transfer := func(n ast.Node, f factMap, report bool) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return // defers run at return; they don't end the section here
+		}
+		inspectShallow(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.DeferStmt); ok {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Mutex operations on any sync.RWMutex expression.
+			if tv, ok := info.Types[sel.X]; ok && isSyncRWMutex(tv.Type) {
+				key := exprString(sel.X)
+				switch sel.Sel.Name {
+				case "Lock":
+					f[key] = fenceW | fenceR
+				case "RLock":
+					f[key] = (f[key] | fenceR) &^ fenceW
+				case "Unlock":
+					delete(f, key)
+				case "RUnlock":
+					f[key] &^= fenceR
+					if f[key] == 0 {
+						delete(f, key)
+					}
+				}
+				return true
+			}
+			// Replica-handle method calls through a fenced struct.
+			base, fs, field := c.fencedBase(sel.X)
+			if fs == nil || !fs.replicas[field] {
+				return true
+			}
+			key := exprString(base) + "." + fs.mutex
+			held := f[key]
+			switch sel.Sel.Name {
+			case "ApplyRedo", "Close":
+				if report && held&fenceW == 0 {
+					c.pass.Reportf(call.Pos(), "%s.%s.%s without holding %s.Lock: redo application must not overlap query handlers on the replica", exprString(base), field, sel.Sel.Name, key)
+				}
+				if sel.Sel.Name == "ApplyRedo" && len(call.Args) >= 2 {
+					if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+						if report {
+							c.pass.Reportf(call.Args[1].Pos(), "ApplyRedo commit LSN is a constant: apply the stream record's CommitLSN so replica LSNs stay monotonic")
+						}
+					}
+				}
+			default:
+				if report && held&(fenceR|fenceW) == 0 {
+					c.pass.Reportf(call.Pos(), "%s.%s.%s without holding %s.RLock: a concurrent ApplyRedo would hand the query a half-applied tree", exprString(base), field, sel.Sel.Name, key)
+				}
+			}
+			return true
+		})
+		// Shard-state writes: assigning any field of a fenced struct needs
+		// the write fence.
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				base, fs, field := c.fencedBase(lhs)
+				if fs == nil || field == fs.mutex {
+					continue
+				}
+				key := exprString(base) + "." + fs.mutex
+				if report && f[key]&fenceW == 0 {
+					c.pass.Reportf(lhs.Pos(), "write to %s.%s without holding %s.Lock: shard state is read by query handlers under RLock", exprString(base), field, key)
+				}
+			}
+		}
+	}
+
+	buildCFG(fi.body()).solve(nil, fenceW|fenceR, transfer)
+}

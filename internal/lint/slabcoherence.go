@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// slabcoherence enforces the decoded-slab contract of internal/core
+// (node.go): a decoded node keeps every entry signature in one contiguous
+// slab, and the slab's row order must match the entry slice exactly. Any
+// mutation that removes, replaces, or reorders entries therefore has to
+// call dropSlab before the node is written back (writeNode) — a stale
+// slab silently corrupts every batched kernel scan of the node. Appends
+// are exempt (slabScannable compares slabRows against len(entries)), and
+// so are nodes that provably never carried a slab: fresh allocations
+// (allocNode, composite literals) start slab-free, and once dropSlab has
+// run no later mutation can desynchronize anything.
+//
+// The check is flow-sensitive over the block CFG — a mutation followed by
+// dropSlab on every path is clean, a mutation on only one branch taints
+// only that branch — and interprocedural through per-function summaries:
+// a helper that drops its receiver's slab (removeEntry) clears the fact
+// at its call sites, and a helper that writes its node parameter
+// (finishNodeUpdate, splitNode) is a reporting sink like writeNode
+// itself.
+
+const (
+	slabDirty uint8 = 1 << 0 // may-fact: entries permuted since decode, slab not dropped
+	slabClean uint8 = 1 << 1 // must-fact: no live slab (dropped, or never attached)
+)
+
+// slabSummary is the interprocedural behavior of one function with
+// respect to its slab-node parameters (recvParam for the receiver).
+type slabSummary struct {
+	drops  map[int]bool // certainly drops the param's slab on every return path
+	dirty  map[int]bool // may leave the param's entries out of sync on some path
+	writes map[int]bool // passes the param to writeNode (directly or transitively)
+}
+
+func (s *slabSummary) equal(o *slabSummary) bool {
+	eq := func(a, b map[int]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(s.drops, o.drops) && eq(s.dirty, o.dirty) && eq(s.writes, o.writes)
+}
+
+// SlabCoherence is the analyzer instance.
+var SlabCoherence = &Analyzer{
+	Name: "slabcoherence",
+	Doc:  "entry-permuting node mutations must dropSlab before writeNode (stale slab rows corrupt batched scans)",
+	Run:  runSlabCoherence,
+}
+
+type slabChecker struct {
+	pass      *Pass
+	g         *packageGraph
+	slabTypes map[*types.Named]bool
+	summaries map[*funcInfo]*slabSummary
+}
+
+func runSlabCoherence(pass *Pass) error {
+	c := &slabChecker{
+		pass:      pass,
+		slabTypes: map[*types.Named]bool{},
+		summaries: map[*funcInfo]*slabSummary{},
+	}
+	// A slab-node type carries both the entries slice and the dropSlab
+	// method; the analyzer is inert in packages without one.
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if fieldNamed(named, "entries") != nil && hasMethodNamed(named, "dropSlab") {
+			c.slabTypes[named] = true
+		}
+	}
+	if len(c.slabTypes) == 0 {
+		return nil
+	}
+	c.g = buildGraph(pass.Pkg)
+
+	// Summaries to fixpoint: each round re-analyzes every function with
+	// the previous round's summaries. The lattice is tiny, so a handful
+	// of rounds converge; the cap is defensive.
+	for round := 0; round < 10; round++ {
+		changed := false
+		for _, fi := range c.g.funcs {
+			sum := c.analyze(fi, false)
+			if prev, ok := c.summaries[fi]; !ok || !prev.equal(sum) {
+				c.summaries[fi] = sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Reporting pass against the converged summaries.
+	for _, fi := range c.g.funcs {
+		c.analyze(fi, true)
+	}
+	return nil
+}
+
+func (c *slabChecker) isSlabNode(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && c.slabTypes[named]
+}
+
+func (c *slabChecker) exprIsSlabNode(e ast.Expr) bool {
+	t := typeOf(c.pass.Pkg.TypesInfo, ast.Unparen(e))
+	return t != nil && c.isSlabNode(t)
+}
+
+// entriesBase unwraps `base.entries`, returning base when its type is a
+// slab-node type.
+func (c *slabChecker) entriesBase(e ast.Expr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "entries" {
+		return nil, false
+	}
+	if !c.exprIsSlabNode(sel.X) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// isFreshNode reports whether e constructs a node that cannot carry a
+// slab yet: an allocNode call or a (pointer to) composite literal.
+func (c *slabChecker) isFreshNode(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			return fun.Name == "allocNode"
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == "allocNode"
+		}
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CompositeLit:
+		return true
+	}
+	return false
+}
+
+func taint(f factMap, key string) {
+	if f[key]&slabClean == 0 {
+		f[key] |= slabDirty
+	}
+}
+
+func dropped(f factMap, key string) {
+	f[key] = (f[key] | slabClean) &^ slabDirty
+}
+
+// analyze runs the flow analysis over fi's body, optionally reporting,
+// and returns fi's summary under the current summary table.
+func (c *slabChecker) analyze(fi *funcInfo, report bool) *slabSummary {
+	sum := &slabSummary{drops: map[int]bool{}, dirty: map[int]bool{}, writes: map[int]bool{}}
+	params := paramIndexes(c.pass.Pkg, fi)
+	info := c.pass.Pkg.TypesInfo
+
+	handleCall := func(call *ast.CallExpr, f factMap, rep bool) {
+		var fn *types.Func
+		var name string
+		var recvExpr ast.Expr
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			fn, _ = info.Uses[fun].(*types.Func)
+			name = fun.Name
+		case *ast.SelectorExpr:
+			fn, _ = info.Uses[fun.Sel].(*types.Func)
+			name = fun.Sel.Name
+			recvExpr = fun.X
+		default:
+			return
+		}
+		if name == "dropSlab" && recvExpr != nil && c.exprIsSlabNode(recvExpr) {
+			dropped(f, exprString(recvExpr))
+			return
+		}
+		checkWrite := func(arg ast.Expr, callee string) {
+			if arg == nil || !c.exprIsSlabNode(arg) {
+				return
+			}
+			key := exprString(arg)
+			if rep && f[key]&slabDirty != 0 {
+				c.pass.Reportf(call.Pos(), "%s is written by %s after an entry-permuting mutation without dropSlab: stale slab rows would corrupt batched scans", key, callee)
+			}
+			if i, ok := paramOf(c.pass.Pkg, params, arg); ok {
+				sum.writes[i] = true
+			}
+		}
+		if name == "writeNode" && len(call.Args) > 0 {
+			checkWrite(call.Args[0], "writeNode")
+			return
+		}
+		callee := c.g.byObj[fn]
+		if callee == nil {
+			return
+		}
+		calleeSum := c.summaries[callee]
+		if calleeSum == nil {
+			return
+		}
+		args := callArgs(call)
+		for i := range calleeSum.writes {
+			checkWrite(args[i], callee.name)
+		}
+		for i := range calleeSum.drops {
+			if arg := args[i]; arg != nil && c.exprIsSlabNode(arg) {
+				dropped(f, exprString(arg))
+			}
+		}
+		for i := range calleeSum.dirty {
+			if arg := args[i]; arg != nil && c.exprIsSlabNode(arg) {
+				taint(f, exprString(arg))
+				if pi, ok := paramOf(c.pass.Pkg, params, arg); ok {
+					sum.dirty[pi] = true // propagated below via exit facts too; keep for safety
+				}
+			}
+		}
+	}
+
+	transfer := func(n ast.Node, f factMap, rep bool) {
+		// Calls anywhere in the node (conditions, rhs, statements) fire
+		// their effects first — evaluation precedes assignment. Reporting
+		// requires both the solver's replay flag and the checker's
+		// reporting pass (summary-fixpoint rounds replay too).
+		inspectShallow(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				handleCall(call, f, rep && report)
+			}
+			return true
+		})
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+			lhs = ast.Unparen(lhs)
+			// base.entries = ... (whole-slice replacement)
+			if base, ok := c.entriesBase(lhs); ok {
+				if !isSelfAppend(rhs, lhs) {
+					taint(f, exprString(base))
+				}
+				continue
+			}
+			// base.entries[i] = ... (row replacement)
+			if idx, ok := lhs.(*ast.IndexExpr); ok {
+				if base, ok := c.entriesBase(idx.X); ok {
+					taint(f, exprString(base))
+					continue
+				}
+			}
+			// base.entries[i].sig = ... (signature swapped out of the slab)
+			if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "sig" {
+				if idx, ok := ast.Unparen(sel.X).(*ast.IndexExpr); ok {
+					if base, ok := c.entriesBase(idx.X); ok {
+						taint(f, exprString(base))
+						continue
+					}
+				}
+			}
+			// x = ... / x := ... rebinding a node variable resets its
+			// facts; fresh constructions are provably slab-free.
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && c.exprIsSlabNode(id) {
+				delete(f, id.Name)
+				if rhs != nil && c.isFreshNode(rhs) {
+					f[id.Name] = slabClean
+				}
+			}
+		}
+	}
+
+	exit := buildCFG(fi.body()).solve(nil, slabClean, transfer)
+	for obj, i := range params {
+		if !c.isSlabNode(obj.Type()) {
+			continue
+		}
+		bits := exit[obj.Name()]
+		if bits&slabClean != 0 {
+			sum.drops[i] = true
+		}
+		if bits&slabDirty != 0 {
+			sum.dirty[i] = true
+		}
+	}
+	return sum
+}
+
+// isSelfAppend reports whether rhs is `append(lhs, ...)` — the one
+// whole-slice form that keeps slab rows aligned (growth is caught at scan
+// time by the slabRows/len(entries) comparison).
+func isSelfAppend(rhs, lhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	return exprString(call.Args[0]) == exprString(lhs)
+}

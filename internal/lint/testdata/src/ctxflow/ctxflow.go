@@ -1,0 +1,75 @@
+// Package ctxflow is the fixture for the ctxflow analyzer: a miniature
+// *Context API surface with the same shape as the facade — exported
+// XxxContext entry points, an executor helper that takes the ctx, and
+// convenience wrappers that root a fresh Background. Lines with `want`
+// comments must be reported; every other line must stay silent.
+package ctxflow
+
+import "context"
+
+// exec is the executor: it takes the caller's ctx. Silent.
+func exec(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return n
+}
+
+// KNNContext threads its ctx to the executor, defaulting a nil ctx with
+// the sanctioned idiom. Silent.
+func KNNContext(ctx context.Context, k int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return exec(ctx, k)
+}
+
+// KNN is a top-level convenience wrapper: it has no caller ctx to
+// thread, and nothing on a *Context path reaches it. Silent.
+func KNN(k int) int {
+	return KNNContext(context.Background(), k)
+}
+
+// BadTODO left a placeholder in library code.
+func BadTODO(ctx context.Context, k int) int {
+	_ = ctx
+	return exec(context.TODO(), k) // want `context\.TODO\(\) in library code`
+}
+
+// BadDiscard has the caller's ctx in scope and roots a fresh one anyway.
+func BadDiscard(ctx context.Context, k int) int {
+	return exec(context.Background(), k) // want `context\.Background\(\) discards the ctx parameter in scope`
+}
+
+// RangeContext delivers its ctx but also calls a helper that rebuilds a
+// detached one mid-path.
+func RangeContext(ctx context.Context, eps int) int {
+	rebuildHelper(eps)
+	return exec(ctx, eps)
+}
+
+// rebuildHelper is reachable from RangeContext, so its Background severs
+// the cancellation chain the API promised.
+func rebuildHelper(eps int) int {
+	return exec(context.Background(), eps) // want `context\.Background\(\) in a helper on a \*Context API path`
+}
+
+// NextContext uses the sentinel-comparison idiom. Silent.
+func NextContext(ctx context.Context, k int) int {
+	if ctx != context.Background() {
+		return exec(ctx, k)
+	}
+	return k
+}
+
+// ResetContext accepts a ctx and never delivers it.
+func ResetContext(ctx context.Context, k int) int { // want `ResetContext never uses its ctx parameter`
+	return k
+}
+
+// DrainContext cannot thread a parameter it never named.
+func DrainContext(context.Context) int { // want `DrainContext takes an unnamed ctx parameter it cannot thread`
+	return 0
+}

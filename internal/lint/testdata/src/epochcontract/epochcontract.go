@@ -1,0 +1,137 @@
+// Package epochcontract is the fixture for the epochcontract analyzer: a
+// miniature epoch-stamped tree with the same contract surface as
+// internal/core — WalkLeaves returns the epoch the leaf set was observed
+// at, CandidateKNN/CandidateRange refuse with ErrStaleLeaves when passed
+// a stale epoch, and consumers must run the scans in a rebuild-and-retry
+// loop with the pinned epoch. Lines with `want` comments must be
+// reported; every other line must stay silent.
+package epochcontract
+
+import "errors"
+
+// ErrStaleLeaves mirrors core.ErrStaleLeaves.
+var ErrStaleLeaves = errors.New("stale leaves")
+
+type tree struct{ epoch uint64 }
+
+func (t *tree) Epoch() uint64 { return t.epoch }
+
+// WalkLeaves visits every leaf and returns the epoch the walk observed.
+// Methods of the tree type are the implementation side of the contract
+// and are exempt from the consumer checks.
+func (t *tree) WalkLeaves(fn func(leaf int) bool) (uint64, error) {
+	fn(0)
+	return t.epoch, nil
+}
+
+func (t *tree) CandidateKNN(q []byte, k int, epoch uint64, leaves []int) ([]int, error) {
+	if epoch != t.epoch {
+		return nil, ErrStaleLeaves
+	}
+	return nil, nil
+}
+
+func (t *tree) CandidateRange(q []byte, eps float64, epoch uint64, leaves []int) ([]int, error) {
+	if epoch != t.epoch {
+		return nil, ErrStaleLeaves
+	}
+	return nil, nil
+}
+
+// GoodRetry is the canonical consumer: pinned epoch from the build,
+// retry loop, ErrStaleLeaves handling. Silent.
+func GoodRetry(t *tree, q []byte, k int) ([]int, error) {
+	for i := 0; i < 3; i++ {
+		epoch, err := t.WalkLeaves(func(leaf int) bool { return true })
+		if err != nil {
+			return nil, err
+		}
+		res, err := t.CandidateKNN(q, k, epoch, nil)
+		if errors.Is(err, ErrStaleLeaves) {
+			continue
+		}
+		return res, err
+	}
+	return nil, nil
+}
+
+// BadOneShot issues the scan outside any loop and never handles the
+// staleness sentinel.
+func BadOneShot(t *tree, q []byte, k int, epoch uint64) ([]int, error) {
+	return t.CandidateKNN(q, k, epoch, nil) // want `CandidateKNN outside a retry loop` `CandidateKNN caller never handles ErrStaleLeaves`
+}
+
+// BadNoStaleHandling loops but swallows every error identically, never
+// distinguishing ErrStaleLeaves.
+func BadNoStaleHandling(t *tree, q []byte, eps float64, epoch uint64) []int {
+	for i := 0; i < 3; i++ {
+		res, err := t.CandidateRange(q, eps, epoch, nil) // want `CandidateRange caller never handles ErrStaleLeaves`
+		if err == nil {
+			return res
+		}
+	}
+	return nil
+}
+
+// BadConstEpoch pins the epoch to a literal: every scan after the first
+// write is silently stale.
+func BadConstEpoch(t *tree, q []byte, k int) {
+	for {
+		_, err := t.CandidateKNN(q, k, 0, nil) // want `CandidateKNN epoch is a constant`
+		if !errors.Is(err, ErrStaleLeaves) {
+			return
+		}
+	}
+}
+
+// BadFreshEpoch re-reads the tree's epoch at call time, so the staleness
+// check always passes and never protects anything.
+func BadFreshEpoch(t *tree, q []byte, k int) {
+	for {
+		_, err := t.CandidateKNN(q, k, t.Epoch(), nil) // want `CandidateKNN re-reads t\.Epoch\(\) at call time`
+		if !errors.Is(err, ErrStaleLeaves) {
+			return
+		}
+	}
+}
+
+// BadCompare polls the epoch instead of letting the scan report
+// staleness.
+func BadCompare(t *tree, cached uint64) bool {
+	return t.Epoch() == cached // want `raw Tree\.Epoch\(\) comparison outside the rebuild path`
+}
+
+// GoodRebuildCheck compares epochs on the rebuild path (it runs
+// WalkLeaves itself): silent.
+func GoodRebuildCheck(t *tree, cached uint64) uint64 {
+	if t.Epoch() != cached {
+		e, _ := t.WalkLeaves(func(leaf int) bool { return true })
+		return e
+	}
+	return cached
+}
+
+// GoodRebuildCheckIndirect reaches WalkLeaves through a helper; the
+// comparison is still on the rebuild path. Silent.
+func GoodRebuildCheckIndirect(t *tree, cached uint64) uint64 {
+	if t.Epoch() != cached {
+		return rebuildVia(t)
+	}
+	return cached
+}
+
+func rebuildVia(t *tree) uint64 {
+	e, _ := t.WalkLeaves(func(leaf int) bool { return true })
+	return e
+}
+
+// BadDiscardAssign throws the walk's epoch away; nothing valid remains
+// to stamp the harvested leaves with.
+func BadDiscardAssign(t *tree) {
+	_, _ = t.WalkLeaves(func(leaf int) bool { return true }) // want `WalkLeaves epoch assigned to _`
+}
+
+// BadDiscardStmt drops the whole result.
+func BadDiscardStmt(t *tree) {
+	t.WalkLeaves(func(leaf int) bool { return true }) // want `WalkLeaves result discarded`
+}

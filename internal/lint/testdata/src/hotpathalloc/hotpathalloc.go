@@ -1,0 +1,51 @@
+// Package hotpathalloc is the fixture for the hotpathalloc analyzer:
+// functions annotated //sglint:hotpath are checked against the
+// compiler's escape analysis, and every heap allocation inside one needs
+// an //sglint:alloc waiver with a reason. Lines with `want` comments
+// must be reported; every other line must stay silent.
+package hotpathalloc
+
+// Sum is annotated and allocation-free. Silent.
+//
+//sglint:hotpath
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Leaky gained a per-call allocation on the hot path.
+//
+//sglint:hotpath
+func Leaky(n int) []int {
+	s := make([]int, n) // want `make\(\[\]int, n\) escapes to heap in //sglint:hotpath function Leaky`
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// Waived allocates intentionally and says why. Silent.
+//
+//sglint:hotpath
+func Waived(n int) int {
+	buf := make([]byte, n) //sglint:alloc scratch buffer grows once per resize, amortized across the scan
+	return len(buf)
+}
+
+// NotAnnotated allocates freely: it is not on a declared hot path.
+// Silent.
+func NotAnnotated(n int) []byte {
+	return make([]byte, n)
+}
+
+// BadWaiver acknowledges the allocation without justifying it.
+//
+//sglint:hotpath
+func BadWaiver(n int) int {
+	//sglint:alloc
+	buf := make([]byte, n) // want `//sglint:alloc needs a reason`
+	return len(buf)
+}

@@ -1,0 +1,145 @@
+// Package replfence is the fixture for the replfence analyzer: a
+// miniature replica shard with the same shape as internal/server — an
+// RWMutex fencing a replica handle (a field whose type has ApplyRedo).
+// Redo application and shard-state writes need the write fence; replica
+// reads need at least the read fence; the commit LSN handed to ApplyRedo
+// must come from the stream, not a constant. Lines with `want` comments
+// must be reported; every other line must stay silent.
+package replfence
+
+import "sync"
+
+type replica struct{ lsn uint64 }
+
+func (r *replica) ApplyRedo(recs []byte, lsn uint64) error { return nil }
+func (r *replica) Close() error                            { return nil }
+func (r *replica) Len() int                                { return 0 }
+func (r *replica) AppliedLSN() uint64                      { return r.lsn }
+
+type shard struct {
+	mu  sync.RWMutex
+	rep *replica
+	lsn uint64
+}
+
+// NewShard constructs privately; composite literals are not fenced-field
+// writes. Silent.
+func NewShard(r *replica) *shard {
+	return &shard{rep: r}
+}
+
+// GoodApply holds the write fence across redo application and the
+// shard-state write. Silent.
+func GoodApply(s *shard, recs []byte, lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lsn = lsn
+	return s.rep.ApplyRedo(recs, lsn)
+}
+
+// BadApply applies with no fence at all.
+func BadApply(s *shard, recs []byte, lsn uint64) error {
+	return s.rep.ApplyRedo(recs, lsn) // want `s\.rep\.ApplyRedo without holding s\.mu\.Lock`
+}
+
+// BadApplyReadLocked holds only the read fence: an applier overlapping
+// other read-locked query handlers.
+func BadApplyReadLocked(s *shard, recs []byte, lsn uint64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rep.ApplyRedo(recs, lsn) // want `s\.rep\.ApplyRedo without holding s\.mu\.Lock`
+}
+
+// GoodQuery reads the replica under the read fence. Silent.
+func GoodQuery(s *shard) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rep.Len()
+}
+
+// GoodQueryWriteLocked reads under the write fence, which subsumes the
+// read fence. Silent.
+func GoodQueryWriteLocked(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rep.Len()
+}
+
+// BadQuery reads the replica with no fence: it can observe a
+// half-applied tree.
+func BadQuery(s *shard) int {
+	return s.rep.Len() // want `s\.rep\.Len without holding s\.mu\.RLock`
+}
+
+// BadFieldWrite mutates shard state outside the write fence.
+func BadFieldWrite(s *shard, lsn uint64) {
+	s.lsn = lsn // want `write to s\.lsn without holding s\.mu\.Lock`
+}
+
+// BadClose tears the replica down while query handlers may hold the
+// read fence.
+func BadClose(s *shard) error {
+	return s.rep.Close() // want `s\.rep\.Close without holding s\.mu\.Lock`
+}
+
+// BadConstLSN pins the replica's durable cursor to a compile-time
+// constant.
+func BadConstLSN(s *shard, recs []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rep.ApplyRedo(recs, 7) // want `ApplyRedo commit LSN is a constant`
+}
+
+// BadUnlockEarly releases the fence before applying.
+func BadUnlockEarly(s *shard, recs []byte, lsn uint64) error {
+	s.mu.Lock()
+	s.lsn = lsn
+	s.mu.Unlock()
+	return s.rep.ApplyRedo(recs, lsn) // want `s\.rep\.ApplyRedo without holding s\.mu\.Lock`
+}
+
+// GoodExplicitUnlock pairs Lock/Unlock around the whole critical
+// section without defer. Silent.
+func GoodExplicitUnlock(s *shard, recs []byte, lsn uint64) error {
+	s.mu.Lock()
+	s.lsn = lsn
+	err := s.rep.ApplyRedo(recs, lsn)
+	s.mu.Unlock()
+	return err
+}
+
+// BadOneBranch acquires the fence on only one path; the must-join drops
+// it at the merge point.
+func BadOneBranch(s *shard, recs []byte, lsn uint64, fast bool) error {
+	if fast {
+		s.mu.Lock()
+	}
+	err := s.rep.ApplyRedo(recs, lsn) // want `s\.rep\.ApplyRedo without holding s\.mu\.Lock`
+	if fast {
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// GoodBothBranches acquires the fence on every path before the apply.
+// Silent.
+func GoodBothBranches(s *shard, recs []byte, lsn uint64, fast bool) error {
+	if fast {
+		s.mu.Lock()
+	} else {
+		s.mu.Lock()
+	}
+	defer s.mu.Unlock()
+	return s.rep.ApplyRedo(recs, lsn)
+}
+
+// GoodClosureRead is the poll pattern: the read happens inside a
+// literal that takes the read fence itself. Silent.
+func GoodClosureRead(s *shard) uint64 {
+	from := func() uint64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.rep.AppliedLSN()
+	}()
+	return from
+}

@@ -1,0 +1,151 @@
+// Package slabcoherence is the fixture for the slabcoherence analyzer: a
+// miniature node type with the same shape as internal/core — an entries
+// slice whose row order must match a decoded signature slab, a dropSlab
+// method invalidating the slab, and a writeNode sink. Lines with `want`
+// comments must be reported; every other line must stay silent.
+package slabcoherence
+
+type entry struct {
+	sig int
+	tid int
+}
+
+type node struct {
+	entries []entry
+	slab    []byte
+}
+
+func (n *node) dropSlab() { n.slab = nil }
+
+type tree struct{}
+
+func (t *tree) allocNode() *node { return &node{} }
+
+func (t *tree) writeNode(n *node) error { return nil }
+
+// BadReplace swaps the whole entry slice and writes the node back with
+// the old slab still attached.
+func (t *tree) BadReplace(n *node, es []entry) error {
+	n.entries = es
+	return t.writeNode(n) // want `n is written by writeNode after an entry-permuting mutation without dropSlab`
+}
+
+// GoodReplace drops the slab after the swap: silent.
+func (t *tree) GoodReplace(n *node, es []entry) error {
+	n.entries = es
+	n.dropSlab()
+	return t.writeNode(n)
+}
+
+// GoodAppend grows the slice in place; the scan-time row-count check
+// covers appends, so no drop is needed: silent.
+func (t *tree) GoodAppend(n *node, e entry) error {
+	n.entries = append(n.entries, e)
+	return t.writeNode(n)
+}
+
+// BadTruncate removes trailing rows without dropping the slab.
+func (t *tree) BadTruncate(n *node) error {
+	n.entries = n.entries[:len(n.entries)-1]
+	return t.writeNode(n) // want `n is written by writeNode after an entry-permuting mutation without dropSlab`
+}
+
+// BadRowAssign replaces one row in place.
+func (t *tree) BadRowAssign(n *node, e entry) error {
+	n.entries[0] = e
+	return t.writeNode(n) // want `n is written by writeNode after an entry-permuting mutation without dropSlab`
+}
+
+// BadSigAssign swaps a signature out from under the slab.
+func (t *tree) BadSigAssign(n *node) error {
+	n.entries[0].sig = 7
+	return t.writeNode(n) // want `n is written by writeNode after an entry-permuting mutation without dropSlab`
+}
+
+// GoodFresh mutates a node that never carried a slab: silent.
+func (t *tree) GoodFresh(es []entry) error {
+	n := t.allocNode()
+	n.entries = es
+	return t.writeNode(n)
+}
+
+// GoodComposite mutates a literal-constructed node: silent.
+func (t *tree) GoodComposite(es []entry) error {
+	n := &node{entries: es}
+	n.entries = n.entries[:0]
+	return t.writeNode(n)
+}
+
+// GoodMutateAfterDrop re-splices entries after the slab is already gone
+// (the reinsert pattern): silent.
+func (t *tree) GoodMutateAfterDrop(n *node, kept, evicted []entry) error {
+	n.entries = kept
+	n.dropSlab()
+	n.entries = append(kept, evicted...)
+	return t.writeNode(n)
+}
+
+// BadOneBranch permutes on only one path; the write after the join may
+// still see a stale slab.
+func (t *tree) BadOneBranch(n *node, cond bool, es []entry) error {
+	if cond {
+		n.entries = es
+	}
+	return t.writeNode(n) // want `n is written by writeNode after an entry-permuting mutation without dropSlab`
+}
+
+// GoodBothBranches drops on the mutating path before the join: silent.
+func (t *tree) GoodBothBranches(n *node, cond bool, es []entry) error {
+	if cond {
+		n.entries = es
+		n.dropSlab()
+	}
+	return t.writeNode(n)
+}
+
+// BadLoopCarried writes at the top of each iteration; the mutation at
+// the bottom is live across the back edge.
+func (t *tree) BadLoopCarried(n *node, es []entry) error {
+	for i := 0; i < 3; i++ {
+		if err := t.writeNode(n); err != nil { // want `n is written by writeNode after an entry-permuting mutation without dropSlab`
+			return err
+		}
+		n.entries = es
+	}
+	return nil
+}
+
+// removeEntry mutates and then drops — the helper pattern whose summary
+// makes its callers clean.
+func (n *node) removeEntry(i int) {
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	n.dropSlab()
+}
+
+// GoodHelperDrop relies on removeEntry's summary: silent.
+func (t *tree) GoodHelperDrop(n *node) error {
+	n.removeEntry(0)
+	return t.writeNode(n)
+}
+
+// dirtyHelper permutes its parameter and leaves the slab attached; its
+// summary taints arguments at every call site.
+func dirtyHelper(n *node, es []entry) {
+	n.entries = es
+}
+
+// BadHelperDirty inherits the taint interprocedurally.
+func (t *tree) BadHelperDirty(n *node, es []entry) error {
+	dirtyHelper(n, es)
+	return t.writeNode(n) // want `n is written by writeNode after an entry-permuting mutation without dropSlab`
+}
+
+// flush writes its parameter; by summary it is a reporting sink like
+// writeNode itself.
+func (t *tree) flush(n *node) error { return t.writeNode(n) }
+
+// BadSummarizedWrite hands a dirty node to the summarized writer.
+func (t *tree) BadSummarizedWrite(n *node, es []entry) error {
+	n.entries = es
+	return t.flush(n) // want `n is written by tree\.flush after an entry-permuting mutation without dropSlab`
+}

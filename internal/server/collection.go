@@ -243,6 +243,7 @@ func newReplicaCollection(spec CollectionSpec, dataDir string) (*collection, err
 		rep, err := sgtree.CreateReplica(cfg, filepath.Join(dir, fmt.Sprintf("shard-%03d.sgt", i)))
 		if err != nil {
 			for _, s := range c.shards {
+				//sglint:ignore replfence construction-private shards: the collection is not published yet, no handler can race this cleanup
 				s.rep.Close()
 			}
 			return nil, err

@@ -80,6 +80,8 @@ func MinDist(m Metric, q, e Signature) float64 {
 // equal way of producing x and qa (|q\e| = qa−x, |q∪e| = qa+ta−x, …) yields
 // bit-identical float64 results; the slab and per-entry paths therefore
 // agree exactly, which the differential harness asserts.
+//
+//sglint:hotpath
 func MinDistFromIntersect(m Metric, x, qa int) float64 {
 	switch m {
 	case Hamming:
@@ -113,6 +115,7 @@ func MinDistFromIntersect(m Metric, x, qa int) float64 {
 		}
 		return 1 - ub
 	default:
+		//sglint:alloc panic message on the unreachable unknown-metric arm
 		panic("signature: unknown metric")
 	}
 }
@@ -121,6 +124,8 @@ func MinDistFromIntersect(m Metric, x, qa int) float64 {
 // |q∩t|, qa is |q| and ta is |t|. Like MinDistFromIntersect it is the
 // scalar finisher for batched leaf scans, and is bit-identical to Distance
 // because all inputs are integers (|qΔt| = qa+ta−2x, |q∪t| = qa+ta−x).
+//
+//sglint:hotpath
 func DistanceFromIntersect(m Metric, x, qa, ta int) float64 {
 	switch m {
 	case Hamming:
@@ -146,6 +151,7 @@ func DistanceFromIntersect(m Metric, x, qa, ta int) float64 {
 		}
 		return 1 - float64(x)/math.Sqrt(float64(qa)*float64(ta))
 	default:
+		//sglint:alloc panic message on the unreachable unknown-metric arm
 		panic("signature: unknown metric")
 	}
 }
@@ -165,6 +171,8 @@ func DistanceFromIntersect(m Metric, x, qa, ta int) float64 {
 // reaches MaxInt). Callers that batch exact counts — the slab scans in
 // internal/core — rely on this to recover per-entry prunability from the
 // counts alone, with verdicts identical to the fused *AtLeast kernels.
+//
+//sglint:hotpath
 func HammingPruneLimit(thr float64, strict bool) int {
 	if math.IsInf(thr, 1) {
 		return math.MaxInt
@@ -243,6 +251,8 @@ func MinDistCardRange(m Metric, q, e Signature, lo, hi int) float64 {
 // already done (x = |q∩e|, qa = |q|), the finisher used by the slab scans
 // when directory entries carry cardinality statistics. Bit-identical to
 // MinDistCardRange for the same integer inputs.
+//
+//sglint:hotpath
 func MinDistCardRangeFromIntersect(m Metric, x, qa, lo, hi int) float64 {
 	if lo < 0 {
 		lo = 0
@@ -316,6 +326,8 @@ func MinDistFixedCard(m Metric, q, e Signature, d int) float64 {
 // MinDistFixedCardFromIntersect is the Hamming fixed-cardinality bound with
 // the popcounts already done (x = |q∩e|, qa = |q|), the slab-scan finisher
 // for fixed-dimensionality trees. Bit-identical to MinDistFixedCard.
+//
+//sglint:hotpath
 func MinDistFixedCardFromIntersect(x, qa, d int) float64 {
 	maxShared := x
 	if d < maxShared {
